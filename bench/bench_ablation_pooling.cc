@@ -1,0 +1,149 @@
+// Ablation supporting the paper's core design decision (Section 2, Data
+// characterization): per-vehicle models vs one model pooled across all
+// units of a vehicle model. The paper argues pooled training "would result
+// in a too generic approach"; this bench quantifies it.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/experiment.h"
+#include "core/feature_selection.h"
+#include "core/windowing.h"
+#include "ml/lasso.h"
+#include "ml/metrics.h"
+#include "ml/scaler.h"
+#include "stats/descriptive.h"
+
+namespace vup {
+namespace {
+
+struct UnitProblem {
+  Matrix x_train;
+  std::vector<double> y_train;
+  Matrix x_test;
+  std::vector<double> y_test;
+};
+
+/// Builds one unit's train/test split with the paper's windowing settings
+/// (shared lag selection so pooled and per-vehicle models see identical
+/// feature spaces).
+StatusOr<UnitProblem> BuildProblem(const VehicleDataset& ds,
+                                   const std::vector<size_t>& lags,
+                                   size_t test_days) {
+  WindowingConfig wcfg;
+  wcfg.lookback_w = 60;
+  size_t n = ds.num_days();
+  if (n < wcfg.lookback_w + 140 + test_days) {
+    return Status::InvalidArgument("series too short");
+  }
+  size_t test_begin = n - test_days;
+  VUP_ASSIGN_OR_RETURN(
+      WindowedDataset train,
+      BuildWindowedDataset(ds, wcfg, test_begin - 140, test_begin - 1));
+  VUP_ASSIGN_OR_RETURN(WindowedDataset test,
+                       BuildWindowedDataset(ds, wcfg, test_begin, n - 1));
+  std::vector<size_t> cols = ColumnsForLags(train.columns, lags);
+  UnitProblem p;
+  p.x_train = train.x.SelectColumns(cols);
+  p.y_train = train.y;
+  p.x_test = test.x.SelectColumns(cols);
+  p.y_test = test.y;
+  return p;
+}
+
+double EvalModel(Regressor* model, const StandardScaler& scaler,
+                 const UnitProblem& p) {
+  Matrix x = scaler.Transform(p.x_test).value();
+  std::vector<double> pred = model->Predict(x).value();
+  for (double& v : pred) v = std::clamp(v, 0.0, 24.0);
+  return PercentageError(pred, p.y_test);
+}
+
+void Run() {
+  bench::PrintHeader("Ablation: per-vehicle vs pooled per-model training",
+                     "Section 2 design decision (per-vehicle models)");
+  Fleet fleet = bench::MakeBenchFleet();
+
+  // Use the refuse-compactor model with the most units.
+  std::map<std::string, std::vector<size_t>> units_by_model;
+  for (size_t i : fleet.IndicesOfType(VehicleType::kRefuseCompactor)) {
+    units_by_model[fleet.vehicle(i).model_id].push_back(i);
+  }
+  std::string best_model;
+  size_t best_count = 0;
+  for (const auto& [model, units] : units_by_model) {
+    if (units.size() > best_count) {
+      best_count = units.size();
+      best_model = model;
+    }
+  }
+  std::vector<size_t> units = units_by_model[best_model];
+  size_t cap = bench::EnvSize("VUP_BENCH_EVAL", 8);
+  if (units.size() > cap) units.resize(cap);
+  std::printf("model %s, %zu units, Lasso, w=60, K=10, 30 test days\n\n",
+              best_model.c_str(), units.size());
+
+  // Shared lag set: fixed weekly pattern (1..7, 14, 21) for comparability.
+  std::vector<size_t> lags = {1, 2, 3, 4, 5, 6, 7, 14, 21, 28};
+
+  std::vector<UnitProblem> problems;
+  std::vector<int64_t> unit_ids;
+  for (size_t i : units) {
+    StatusOr<VehicleDataset> ds = PrepareVehicleDataset(fleet, i);
+    if (!ds.ok()) continue;
+    StatusOr<UnitProblem> p = BuildProblem(ds.value(), lags, 30);
+    if (!p.ok()) continue;
+    problems.push_back(std::move(p).value());
+    unit_ids.push_back(fleet.vehicle(i).vehicle_id);
+  }
+  if (problems.size() < 2) {
+    std::printf("not enough eligible units\n");
+    return;
+  }
+
+  // Pooled model: one Lasso on the concatenation of all units' records.
+  Matrix pooled_x;
+  std::vector<double> pooled_y;
+  for (const UnitProblem& p : problems) {
+    for (size_t r = 0; r < p.x_train.rows(); ++r) {
+      pooled_x.AppendRow(p.x_train.Row(r));
+      pooled_y.push_back(p.y_train[r]);
+    }
+  }
+  StandardScaler pooled_scaler;
+  Matrix pooled_scaled = pooled_scaler.FitTransform(pooled_x).value();
+  Lasso pooled(Lasso::Options{.alpha = 0.1});
+  Status s = pooled.Fit(pooled_scaled, pooled_y);
+  VUP_CHECK(s.ok()) << s.ToString();
+
+  std::printf("%-10s %14s %14s\n", "unit", "perVehiclePE", "pooledPE");
+  std::vector<double> per_vehicle_pes, pooled_pes;
+  for (size_t u = 0; u < problems.size(); ++u) {
+    const UnitProblem& p = problems[u];
+    StandardScaler scaler;
+    Matrix x = scaler.FitTransform(p.x_train).value();
+    Lasso own(Lasso::Options{.alpha = 0.1});
+    s = own.Fit(x, p.y_train);
+    VUP_CHECK(s.ok()) << s.ToString();
+    double pe_own = EvalModel(&own, scaler, p);
+    double pe_pooled = EvalModel(&pooled, pooled_scaler, p);
+    per_vehicle_pes.push_back(pe_own);
+    pooled_pes.push_back(pe_pooled);
+    std::printf("%-10lld %14.2f %14.2f\n",
+                static_cast<long long>(unit_ids[u]), pe_own, pe_pooled);
+  }
+  std::printf("\nmean per-vehicle PE: %.2f   mean pooled PE: %.2f\n",
+              Mean(per_vehicle_pes), Mean(pooled_pes));
+  std::printf("expected shape: per-vehicle < pooled (the paper's rationale "
+              "for training one model per vehicle)\n");
+}
+
+}  // namespace
+}  // namespace vup
+
+int main() {
+  vup::Run();
+  return 0;
+}

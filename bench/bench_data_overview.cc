@@ -1,0 +1,77 @@
+// Reproduces the dataset-shape facts of Section 2: vehicle counts per type,
+// model counts, country coverage, period, and the "refuse compactors were
+// used 36% of the days in 2017" statistic.
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "bench_util.h"
+#include "stats/descriptive.h"
+
+namespace vup {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Dataset overview", "Section 2 (Data overview)");
+  Fleet fleet = bench::MakeBenchFleet();
+  std::printf("fleet: %zu vehicles, period %s .. %s (paper: 2239, "
+              "2015-01 .. 2018-09)\n",
+              fleet.size(), fleet.config().start_date.ToString().c_str(),
+              fleet.config().end_date.ToString().c_str());
+
+  std::map<VehicleType, int> per_type;
+  std::set<std::string> countries;
+  std::set<std::string> models;
+  for (const VehicleInfo& v : fleet.vehicles()) {
+    per_type[v.type]++;
+    countries.insert(v.country_code);
+    models.insert(v.model_id);
+  }
+  std::printf("types: %zu (paper: 10), countries in registry: %zu "
+              "(paper: 151), countries in this fleet: %zu\n",
+              per_type.size(), CountryRegistry::Global().size(),
+              countries.size());
+  std::printf("distinct models in fleet: %zu; registry models per type: "
+              "RC=%d SDR=%d RCY=%d (paper: 44 / 65 / 10)\n",
+              models.size(),
+              TraitsFor(VehicleType::kRefuseCompactor).model_count,
+              TraitsFor(VehicleType::kSingleDrumRoller).model_count,
+              TraitsFor(VehicleType::kRecycler).model_count);
+
+  std::printf("\n%-18s %8s %8s\n", "type", "units", "share%");
+  for (const auto& [type, count] : per_type) {
+    std::printf("%-18s %8d %7.1f%%\n",
+                std::string(VehicleTypeToString(type)).c_str(), count,
+                100.0 * count / static_cast<double>(fleet.size()));
+  }
+
+  // Working-day fraction of refuse compactors in calendar year 2017.
+  size_t eval_vehicles = bench::EnvSize("VUP_BENCH_EVAL", 60);
+  std::vector<size_t> rc = fleet.IndicesOfType(VehicleType::kRefuseCompactor);
+  if (rc.size() > eval_vehicles) rc.resize(eval_vehicles);
+  int used = 0, total = 0;
+  Date y2017 = Date::FromYmd(2017, 1, 1).value();
+  Date y2018 = Date::FromYmd(2018, 1, 1).value();
+  for (size_t index : rc) {
+    VehicleDailySeries s = fleet.GenerateDailySeries(index);
+    for (const DailyUsageRecord& d : s.days) {
+      if (d.date < y2017 || d.date >= y2018) continue;
+      ++total;
+      if (d.hours > 0.0) ++used;
+    }
+  }
+  if (total > 0) {
+    std::printf("\nrefuse compactors used on %.0f%% of 2017 days "
+                "(paper: 36%%) [%zu units]\n",
+                100.0 * used / total, rc.size());
+  }
+}
+
+}  // namespace
+}  // namespace vup
+
+int main() {
+  vup::Run();
+  return 0;
+}

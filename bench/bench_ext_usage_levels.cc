@@ -1,0 +1,76 @@
+// Extension bench (paper Section 5, future work): "the use of
+// classification models to predict discrete usage levels". One-vs-rest
+// logistic classification of tomorrow's usage level
+// (idle / short / medium / long) with the walk-forward protocol.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/experiment.h"
+#include "core/usage_levels.h"
+
+namespace vup {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Extension: discrete usage-level classification",
+                     "Section 5 future work");
+  Fleet fleet = bench::MakeBenchFleet();
+  ExperimentRunner runner(&fleet);
+  ExperimentOptions opts;
+  opts.max_vehicles = bench::EnvSize("VUP_BENCH_EVAL", 8);
+  std::vector<size_t> vehicles = runner.SelectVehicles(opts);
+
+  EvaluationConfig eval = bench::DefaultEvalConfig(Algorithm::kLasso);
+  UsageLevelClassifier::Options options;
+  options.pipeline = eval.forecaster;
+
+  LevelConfusionMatrix combined;
+  size_t evaluated = 0;
+  double majority_baseline_hits = 0.0;
+  size_t baseline_total = 0;
+  for (size_t v : vehicles) {
+    StatusOr<const VehicleDataset*> ds_or = runner.Dataset(v);
+    if (!ds_or.ok()) continue;
+    const VehicleDataset& ds = *ds_or.value();
+    StatusOr<LevelConfusionMatrix> confusion =
+        EvaluateUsageLevels(ds, eval, options);
+    if (!confusion.ok()) continue;
+    ++evaluated;
+    for (int i = 0; i < kNumUsageLevels; ++i) {
+      for (int j = 0; j < kNumUsageLevels; ++j) {
+        combined.counts[static_cast<size_t>(i)][static_cast<size_t>(j)] +=
+            confusion.value()
+                .counts[static_cast<size_t>(i)][static_cast<size_t>(j)];
+      }
+    }
+    // Majority-class baseline over the same eval span.
+    size_t n = ds.num_days();
+    size_t first = n - std::min<size_t>(eval.eval_days, n);
+    std::array<int, kNumUsageLevels> freq{};
+    for (size_t t = first; t < n; ++t) {
+      freq[static_cast<size_t>(LevelForHours(ds.hours()[t]))]++;
+    }
+    int best = 0;
+    for (int f : freq) best = std::max(best, f);
+    majority_baseline_hits += best;
+    baseline_total += n - first;
+  }
+
+  std::printf("vehicles evaluated: %zu\n\n", evaluated);
+  std::printf("%s\n", combined.ToString().c_str());
+  if (baseline_total > 0) {
+    std::printf("majority-class baseline accuracy: %.3f\n",
+                majority_baseline_hits / static_cast<double>(baseline_total));
+  }
+  std::printf("expected shape: classifier accuracy well above the majority "
+              "baseline; most confusion between adjacent levels\n");
+}
+
+}  // namespace
+}  // namespace vup
+
+int main() {
+  vup::Run();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces Figure 1(c): boxplots of daily utilization hours for the
+// single units of one refuse-compactor model. Expected: units of the same
+// model still differ substantially.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.h"
+#include "stats/descriptive.h"
+
+namespace vup {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "Per-unit boxplots of daily utilization hours (one compactor model)",
+      "Figure 1(c)");
+  Fleet fleet = bench::MakeBenchFleet();
+
+  // Pick the refuse-compactor model with the most units in this fleet.
+  std::map<std::string, std::vector<size_t>> units_by_model;
+  for (size_t i : fleet.IndicesOfType(VehicleType::kRefuseCompactor)) {
+    units_by_model[fleet.vehicle(i).model_id].push_back(i);
+  }
+  std::string best_model;
+  size_t best_count = 0;
+  for (const auto& [model, units] : units_by_model) {
+    if (units.size() > best_count) {
+      best_count = units.size();
+      best_model = model;
+    }
+  }
+  if (best_model.empty()) {
+    std::printf("no refuse compactors in fleet\n");
+    return;
+  }
+  std::printf("model %s: %zu units\n\n", best_model.c_str(), best_count);
+
+  struct Row {
+    int64_t unit;
+    BoxplotStats box;
+  };
+  std::vector<Row> rows;
+  for (size_t i : units_by_model[best_model]) {
+    VehicleDailySeries s = fleet.GenerateDailySeries(i);
+    std::vector<double> active;
+    for (const DailyUsageRecord& d : s.days) {
+      if (d.hours > 0.0) active.push_back(d.hours);
+    }
+    if (active.size() < 30) continue;
+    rows.push_back({s.info.vehicle_id, Boxplot(active)});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.box.median < b.box.median;
+  });
+
+  std::printf("%-10s %6s %7s %6s %6s %6s %6s %9s\n", "unit", "n", "min",
+              "q1", "med", "q3", "max", "outliers");
+  for (const Row& r : rows) {
+    std::printf("%-10lld %6zu %7.2f %6.2f %6.2f %6.2f %6.2f %9zu\n",
+                static_cast<long long>(r.unit), r.box.count, r.box.min,
+                r.box.q1, r.box.median, r.box.q3, r.box.max,
+                r.box.outliers.size());
+  }
+  if (rows.size() >= 2) {
+    std::printf("\nmedian spread across units of one model: %.1fx "
+                "(paper: units of the same model differ)\n",
+                rows.back().box.median /
+                    std::max(0.1, rows.front().box.median));
+  }
+}
+
+}  // namespace
+}  // namespace vup
+
+int main() {
+  vup::Run();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Reproduces Figure 1(d): weekly utilization-hours time series for five
+// random units of one refuse-compactor model. Expected: non-stationary,
+// mutually uncorrelated trends.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "stats/rolling.h"
+
+namespace vup {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Weekly utilization-hours series for 5 units",
+                     "Figure 1(d)");
+  Fleet fleet = bench::MakeBenchFleet();
+
+  std::map<std::string, std::vector<size_t>> units_by_model;
+  for (size_t i : fleet.IndicesOfType(VehicleType::kRefuseCompactor)) {
+    units_by_model[fleet.vehicle(i).model_id].push_back(i);
+  }
+  std::string best_model;
+  size_t best_count = 0;
+  for (const auto& [model, units] : units_by_model) {
+    if (units.size() > best_count) {
+      best_count = units.size();
+      best_model = model;
+    }
+  }
+  std::vector<size_t> units = units_by_model[best_model];
+  Rng rng(7);
+  rng.Shuffle(&units);
+  if (units.size() > 5) units.resize(5);
+  std::printf("model %s, %zu units\n\n", best_model.c_str(), units.size());
+
+  std::vector<std::vector<double>> weekly;
+  std::vector<int64_t> ids;
+  size_t max_weeks = 0;
+  for (size_t i : units) {
+    VehicleDailySeries s = fleet.GenerateDailySeries(i);
+    weekly.push_back(WeeklyTotals(s.Hours()));
+    ids.push_back(s.info.vehicle_id);
+    max_weeks = std::max(max_weeks, weekly.back().size());
+  }
+
+  std::printf("%-6s", "week");
+  for (int64_t id : ids) std::printf(" %10lld", static_cast<long long>(id));
+  std::printf("\n");
+  // Print one row per 2 weeks to keep the output readable.
+  for (size_t w = 0; w < max_weeks; w += 2) {
+    std::printf("%-6zu", w);
+    for (const std::vector<double>& series : weekly) {
+      if (w < series.size()) {
+        std::printf(" %10.1f", series[w]);
+      } else {
+        std::printf(" %10s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\nexpected shape: noisy, non-stationary, uncorrelated "
+              "weekly series (paper Figure 1d)\n");
+}
+
+}  // namespace
+}  // namespace vup
+
+int main() {
+  vup::Run();
+  return 0;
+}

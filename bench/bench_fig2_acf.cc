@@ -1,0 +1,65 @@
+// Reproduces Figure 2: the autocorrelation function of one refuse-compactor
+// unit's daily utilization-hours series. Expected: maximal at lag 0, weekly
+// peaks at lags 7, 14, 21, and elevated values at the nearby lags
+// (1, 6, 8, 13, ...).
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "core/experiment.h"
+#include "stats/acf.h"
+
+namespace vup {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Autocorrelation function of one unit", "Figure 2");
+  Fleet fleet = bench::MakeBenchFleet();
+  ExperimentRunner runner(&fleet);
+  // The paper plots a refuse-compactor unit; pick the first eligible one.
+  ExperimentOptions opts;
+  opts.max_vehicles = 40;
+  std::vector<size_t> selected = runner.SelectVehicles(opts);
+  std::erase_if(selected, [&fleet](size_t i) {
+    return fleet.vehicle(i).type != VehicleType::kRefuseCompactor;
+  });
+  if (selected.empty()) {
+    std::printf("no eligible refuse compactor\n");
+    return;
+  }
+  const VehicleDataset& ds = *runner.Dataset(selected[0]).value();
+  std::printf("unit: %s, %zu days\n\n", ds.info().ToString().c_str(),
+              ds.num_days());
+
+  const size_t max_lag = 21;  // Paper plots a ~20-day window.
+  StatusOr<std::vector<double>> acf_or =
+      Autocorrelation(ds.hours(), max_lag);
+  if (!acf_or.ok()) {
+    std::printf("ACF failed: %s\n", acf_or.status().ToString().c_str());
+    return;
+  }
+  const std::vector<double>& acf = acf_or.value();
+  double bound = AcfSignificanceBound(ds.num_days());
+  std::printf("%-5s %8s  %s (95%% bound: +/-%.3f)\n", "lag", "acf", "bar",
+              bound);
+  for (size_t l = 0; l <= max_lag; ++l) {
+    int bar_len = static_cast<int>(std::max(0.0, acf[l]) * 50);
+    std::string bar(static_cast<size_t>(bar_len), '#');
+    std::printf("%-5zu %8.3f  %s%s\n", l, acf[l], bar.c_str(),
+                l % 7 == 0 && l > 0 ? "  <- weekly peak" : "");
+  }
+
+  std::vector<size_t> top = TopKLagsByAcf(acf, 6);
+  std::printf("\ntop-6 lags by ACF:");
+  for (size_t l : top) std::printf(" %zu", l);
+  std::printf("  (paper: 7, 14, 21 and the adjacent days 1, 6, 8 rank high)\n");
+}
+
+}  // namespace
+}  // namespace vup
+
+int main() {
+  vup::Run();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces Figure 5(a)/(b): per-algorithm prediction-error distribution
+// in the Next-day and Next-working-day scenarios. Expected: ML beats the
+// LV/MA baselines in both scenarios; SVR comparable to GB; next-working-day
+// errors roughly half the next-day errors (~15% vs ~30% in the paper).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/experiment.h"
+#include "stats/descriptive.h"
+
+namespace vup {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Algorithm comparison in both scenarios",
+                     "Figure 5(a) next-day, 5(b) next-working-day");
+  Fleet fleet = bench::MakeBenchFleet();
+  ExperimentRunner runner(&fleet);
+  ExperimentOptions opts;
+  opts.max_vehicles = bench::EnvSize("VUP_BENCH_EVAL", 12);
+
+  for (Scenario scenario :
+       {Scenario::kNextDay, Scenario::kNextWorkingDay}) {
+    std::printf("\nscenario: %s\n",
+                std::string(ScenarioToString(scenario)).c_str());
+    std::printf("%-6s %8s %8s %8s %8s %8s %8s %9s\n", "alg", "meanPE",
+                "medPE", "q1PE", "q3PE", "minPE", "maxPE", "seconds");
+    for (int a = 0; a < kNumAlgorithms; ++a) {
+      EvaluationConfig cfg =
+          bench::DefaultEvalConfig(static_cast<Algorithm>(a));
+      cfg.scenario = scenario;
+      StatusOr<ExperimentResult> result = runner.Run(cfg, opts);
+      if (!result.ok()) {
+        std::printf("%-6s failed: %s\n",
+                    std::string(AlgorithmToString(static_cast<Algorithm>(a)))
+                        .c_str(),
+                    result.status().ToString().c_str());
+        continue;
+      }
+      const FleetEvaluation& f = result.value().fleet;
+      SummaryStats s = Summarize(f.per_vehicle_pe);
+      std::printf("%-6s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %9.2f\n",
+                  std::string(AlgorithmToString(static_cast<Algorithm>(a)))
+                      .c_str(),
+                  f.mean_pe, f.median_pe, s.q1, s.q3, s.min, s.max,
+                  result.value().wall_seconds);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\nexpected shape (paper): ML < baselines in both scenarios; "
+              "SVR ~ GB; next-working-day PE ~ half of next-day PE\n");
+}
+
+}  // namespace
+}  // namespace vup
+
+int main() {
+  vup::Run();
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Reproduces Section 4.2 (Algorithm settings): "For each algorithm we run
+// a grid search to fit the model to the analyzed data distribution."
+// Runs the per-algorithm grids on a handful of vehicles and reports how
+// often each setting wins, next to the paper's selections.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/experiment.h"
+#include "core/feature_selection.h"
+#include "core/windowing.h"
+#include "ml/gradient_boosting.h"
+#include "ml/grid_search.h"
+#include "ml/lasso.h"
+#include "ml/scaler.h"
+#include "ml/svr.h"
+
+namespace vup {
+namespace {
+
+struct Problem {
+  Matrix x;
+  std::vector<double> y;
+};
+
+StatusOr<Problem> BuildProblem(const VehicleDataset& ds) {
+  WindowingConfig wcfg;
+  wcfg.lookback_w = 60;
+  size_t n = ds.num_days();
+  if (n < 60 + 200) return Status::InvalidArgument("series too short");
+  VUP_ASSIGN_OR_RETURN(WindowedDataset w,
+                       BuildWindowedDataset(ds, wcfg, n - 200, n - 1));
+  std::vector<size_t> lags = SelectLagsByAcf(ds.hours(), 60, 15);
+  Matrix x = w.x.SelectColumns(ColumnsForLags(w.columns, lags));
+  StandardScaler scaler;
+  VUP_ASSIGN_OR_RETURN(x, scaler.FitTransform(x));
+  return Problem{std::move(x), std::move(w.y)};
+}
+
+void Report(const char* algorithm, const char* paper_setting,
+            const std::map<std::string, int>& wins) {
+  std::printf("%-6s paper: %-34s wins:", algorithm, paper_setting);
+  for (const auto& [setting, count] : wins) {
+    std::printf("  %s x%d", setting.c_str(), count);
+  }
+  std::printf("\n");
+}
+
+void Run() {
+  bench::PrintHeader("Per-algorithm grid search", "Section 4.2");
+  Fleet fleet = bench::MakeBenchFleet();
+  ExperimentRunner runner(&fleet);
+  ExperimentOptions opts;
+  opts.max_vehicles = bench::EnvSize("VUP_BENCH_EVAL", 6);
+  std::vector<size_t> vehicles = runner.SelectVehicles(opts);
+
+  std::vector<Problem> problems;
+  for (size_t v : vehicles) {
+    StatusOr<const VehicleDataset*> ds = runner.Dataset(v);
+    if (!ds.ok()) continue;
+    StatusOr<Problem> p = BuildProblem(*ds.value());
+    if (p.ok()) problems.push_back(std::move(p).value());
+  }
+  std::printf("grid-searching on %zu vehicles (time-ordered 75/25 split, "
+              "MAE)\n\n", problems.size());
+  GridSearchOptions gs;
+
+  // Lasso.
+  {
+    ParamGrid grid;
+    grid.axes["alpha"] = {0.01, 0.05, 0.1, 0.5, 1.0};
+    std::map<std::string, int> wins;
+    for (const Problem& p : problems) {
+      auto r = GridSearch(
+          [](const ParamMap& params) {
+            Lasso::Options o;
+            o.alpha = params.at("alpha");
+            return std::unique_ptr<Regressor>(new Lasso(o));
+          },
+          grid, p.x, p.y, gs);
+      if (r.ok()) {
+        wins[StrFormat("a=%g", r.value().best_params.at("alpha"))]++;
+      }
+    }
+    Report("Lasso", "alpha=0.1", wins);
+  }
+
+  // SVR.
+  {
+    ParamGrid grid;
+    grid.axes["C"] = {1.0, 10.0, 100.0};
+    grid.axes["eps"] = {0.05, 0.1, 0.5};
+    std::map<std::string, int> wins;
+    for (const Problem& p : problems) {
+      auto r = GridSearch(
+          [](const ParamMap& params) {
+            Svr::Options o;
+            o.c = params.at("C");
+            o.epsilon = params.at("eps");
+            return std::unique_ptr<Regressor>(new Svr(o));
+          },
+          grid, p.x, p.y, gs);
+      if (r.ok()) {
+        wins[StrFormat("C=%g,e=%g", r.value().best_params.at("C"),
+                       r.value().best_params.at("eps"))]++;
+      }
+    }
+    Report("SVR", "rbf, C=10, eps=0.1, gamma=1", wins);
+  }
+
+  // Gradient boosting.
+  {
+    ParamGrid grid;
+    grid.axes["lr"] = {0.05, 0.1, 0.3};
+    grid.axes["depth"] = {1, 2};
+    std::map<std::string, int> wins;
+    for (const Problem& p : problems) {
+      auto r = GridSearch(
+          [](const ParamMap& params) {
+            GradientBoosting::Options o;
+            o.learning_rate = params.at("lr");
+            o.max_depth = static_cast<int>(params.at("depth"));
+            o.n_estimators = 100;
+            return std::unique_ptr<Regressor>(new GradientBoosting(o));
+          },
+          grid, p.x, p.y, gs);
+      if (r.ok()) {
+        wins[StrFormat("lr=%g,d=%d", r.value().best_params.at("lr"),
+                       static_cast<int>(r.value().best_params.at("depth")))]++;
+      }
+    }
+    Report("GB", "lr=0.1, n=100, depth=1, loss=lad", wins);
+  }
+
+  std::printf("\nexpected shape: the winning settings cluster near the "
+              "paper's Section 4.2 selections\n");
+}
+
+}  // namespace
+}  // namespace vup
+
+int main() {
+  vup::Run();
+  return 0;
+}

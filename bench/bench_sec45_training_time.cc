@@ -1,0 +1,114 @@
+// Reproduces Section 4.5 (Prediction time): relative execution time of
+// (i) data preparation + feature selection, (ii) model training, and
+// (iii) model application, per algorithm. Expected ordering: preparation
+// and prediction are negligible; training LR/Lasso is fastest, SVR slower,
+// GB roughly an order of magnitude above the single models.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/experiment.h"
+#include "core/feature_selection.h"
+#include "core/windowing.h"
+#include "ml/scaler.h"
+
+namespace vup {
+namespace {
+
+/// One realistic per-vehicle training problem, prepared once: paper
+/// settings w=140, K=20 over a 140-target training window.
+struct Problem {
+  Matrix x;               // Scaled, selected design matrix.
+  std::vector<double> y;
+  VehicleDataset dataset;
+
+  static const Problem& Get() {
+    static const Problem& p = *new Problem(Make());
+    return p;
+  }
+
+  static Problem Make() {
+    Fleet fleet = bench::MakeBenchFleet();
+    ExperimentRunner runner(&fleet);
+    ExperimentOptions opts;
+    opts.max_vehicles = 1;
+    std::vector<size_t> selected = runner.SelectVehicles(opts);
+    VUP_CHECK(!selected.empty());
+    VehicleDataset ds = *runner.Dataset(selected[0]).value();
+
+    WindowingConfig wcfg;
+    wcfg.lookback_w = 140;
+    size_t n = ds.num_days();
+    WindowedDataset windowed =
+        BuildWindowedDataset(ds, wcfg, n - 141, n - 1).value();
+    std::vector<size_t> lags = SelectLagsByAcf(ds.hours(), 140, 20);
+    Matrix x = windowed.x.SelectColumns(ColumnsForLags(windowed.columns, lags));
+    StandardScaler scaler;
+    Problem p{scaler.FitTransform(x).value(), windowed.y, std::move(ds)};
+    return p;
+  }
+};
+
+void BM_PreparationAndSelection(benchmark::State& state) {
+  const Problem& p = Problem::Get();
+  WindowingConfig wcfg;
+  wcfg.lookback_w = 140;
+  size_t n = p.dataset.num_days();
+  for (auto _ : state) {
+    WindowedDataset windowed =
+        BuildWindowedDataset(p.dataset, wcfg, n - 141, n - 1).value();
+    std::vector<size_t> lags = SelectLagsByAcf(p.dataset.hours(), 140, 20);
+    Matrix x =
+        windowed.x.SelectColumns(ColumnsForLags(windowed.columns, lags));
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_PreparationAndSelection)->Unit(benchmark::kMillisecond);
+
+void FitBenchmark(benchmark::State& state, Algorithm algorithm) {
+  const Problem& p = Problem::Get();
+  ForecasterConfig cfg;
+  cfg.algorithm = algorithm;
+  for (auto _ : state) {
+    std::unique_ptr<Regressor> model = MakeRegressor(cfg).value();
+    Status s = model->Fit(p.x, p.y);
+    VUP_CHECK(s.ok()) << s.ToString();
+    benchmark::DoNotOptimize(model);
+  }
+}
+
+void BM_TrainLinearRegression(benchmark::State& state) {
+  FitBenchmark(state, Algorithm::kLinearRegression);
+}
+void BM_TrainLasso(benchmark::State& state) {
+  FitBenchmark(state, Algorithm::kLasso);
+}
+void BM_TrainSvr(benchmark::State& state) {
+  FitBenchmark(state, Algorithm::kSvr);
+}
+void BM_TrainGradientBoosting(benchmark::State& state) {
+  FitBenchmark(state, Algorithm::kGradientBoosting);
+}
+BENCHMARK(BM_TrainLinearRegression)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrainLasso)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrainSvr)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrainGradientBoosting)->Unit(benchmark::kMillisecond);
+
+void BM_PredictOne(benchmark::State& state) {
+  const Problem& p = Problem::Get();
+  ForecasterConfig cfg;
+  cfg.algorithm = Algorithm::kSvr;
+  std::unique_ptr<Regressor> model = MakeRegressor(cfg).value();
+  Status s = model->Fit(p.x, p.y);
+  VUP_CHECK(s.ok()) << s.ToString();
+  for (auto _ : state) {
+    StatusOr<double> pred = model->PredictOne(p.x.Row(0));
+    benchmark::DoNotOptimize(pred);
+  }
+}
+BENCHMARK(BM_PredictOne)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vup
+
+BENCHMARK_MAIN();

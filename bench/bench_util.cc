@@ -1,0 +1,44 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vup {
+namespace bench {
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(raw, &end, 10);
+  if (end == raw || v == 0) return fallback;
+  return static_cast<size_t>(v);
+}
+
+Fleet MakeBenchFleet() {
+  size_t n = EnvSize("VUP_BENCH_VEHICLES", kDefaultFleetSize);
+  return Fleet::Generate(FleetConfig::Small(n, kBenchSeed));
+}
+
+EvaluationConfig DefaultEvalConfig(Algorithm algorithm) {
+  EvaluationConfig cfg;
+  cfg.scenario = Scenario::kNextDay;
+  cfg.strategy = WindowStrategy::kSliding;
+  cfg.train_window = 140;  // Paper Section 4.3.
+  cfg.eval_days = 60;
+  cfg.retrain_every = 7;
+  cfg.forecaster.algorithm = algorithm;
+  cfg.forecaster.windowing.lookback_w = 140;
+  cfg.forecaster.selection.top_k = 20;
+  return cfg;
+}
+
+void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace vup

@@ -1,0 +1,42 @@
+#ifndef VUPRED_BENCH_BENCH_UTIL_H_
+#define VUPRED_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for the reproduction benches: deterministic fleets,
+// environment-variable scale knobs, and table printing helpers.
+//
+// Every bench accepts two environment variables:
+//   VUP_BENCH_VEHICLES  fleet size to generate   (default kDefaultFleetSize)
+//   VUP_BENCH_EVAL      vehicles to evaluate      (default per bench)
+// so the paper-scale run (2239 vehicles) is one env var away while the
+// default suite completes in minutes.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "telemetry/fleet.h"
+
+namespace vup {
+namespace bench {
+
+inline constexpr size_t kDefaultFleetSize = 400;
+inline constexpr uint64_t kBenchSeed = 42;
+
+/// Reads a size_t env knob with a fallback.
+size_t EnvSize(const char* name, size_t fallback);
+
+/// The shared deterministic bench fleet.
+Fleet MakeBenchFleet();
+
+/// Fast evaluation defaults shared by the experiment benches: trailing
+/// 60-day hold-out, weekly retraining, the paper's w=140 / K=20 settings.
+EvaluationConfig DefaultEvalConfig(Algorithm algorithm);
+
+/// Prints a horizontal rule and a bench header.
+void PrintHeader(const std::string& title, const std::string& paper_ref);
+
+}  // namespace bench
+}  // namespace vup
+
+#endif  // VUPRED_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,112 @@
+// Model selection: the paper's Section 4.2 grid search, on one vehicle.
+// Runs the hyper-parameter grids for Lasso, SVR and Gradient Boosting with
+// a time-ordered validation split and reports the chosen settings.
+//
+// Build & run:  ./build/examples/example_model_selection
+
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "core/feature_selection.h"
+#include "core/windowing.h"
+#include "ml/gradient_boosting.h"
+#include "ml/grid_search.h"
+#include "ml/lasso.h"
+#include "ml/scaler.h"
+#include "ml/svr.h"
+#include "telemetry/fleet.h"
+
+namespace {
+
+void Report(const char* name, const vup::StatusOr<vup::GridSearchResult>& r) {
+  if (!r.ok()) {
+    std::printf("%-6s grid search failed: %s\n", name,
+                r.status().ToString().c_str());
+    return;
+  }
+  std::printf("%-6s best MAE %.3f with", name, r.value().best_score);
+  for (const auto& [param, value] : r.value().best_params) {
+    std::printf(" %s=%g", param.c_str(), value);
+  }
+  std::printf("   (%zu combinations tried)\n", r.value().scores.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace vup;
+
+  Fleet fleet = Fleet::Generate(FleetConfig::Small(40, 11));
+  ExperimentRunner runner(&fleet);
+  ExperimentOptions options;
+  options.max_vehicles = 1;
+  std::vector<size_t> selected = runner.SelectVehicles(options);
+  if (selected.empty()) {
+    std::printf("no eligible vehicle\n");
+    return 1;
+  }
+  const VehicleDataset& ds = *runner.Dataset(selected[0]).value();
+  std::printf("vehicle: %s\n", ds.info().ToString().c_str());
+
+  // One windowed training problem with the paper's settings.
+  WindowingConfig wcfg;
+  wcfg.lookback_w = 60;
+  size_t n = ds.num_days();
+  WindowedDataset windowed =
+      BuildWindowedDataset(ds, wcfg, n - 200, n - 1).value();
+  std::vector<size_t> lags = SelectLagsByAcf(ds.hours(), 60, 15);
+  Matrix x = windowed.x.SelectColumns(ColumnsForLags(windowed.columns, lags));
+  StandardScaler scaler;
+  x = scaler.FitTransform(x).value();
+  std::printf("training matrix: %zu records x %zu features\n\n", x.rows(),
+              x.cols());
+
+  GridSearchOptions gs;
+  gs.validation_fraction = 0.25;
+
+  // Lasso: alpha grid around the paper's 0.1.
+  {
+    ParamGrid grid;
+    grid.axes["alpha"] = {0.01, 0.05, 0.1, 0.5, 1.0};
+    Report("Lasso", GridSearch(
+                        [](const ParamMap& p) {
+                          Lasso::Options o;
+                          o.alpha = p.at("alpha");
+                          return std::unique_ptr<Regressor>(new Lasso(o));
+                        },
+                        grid, x, windowed.y, gs));
+  }
+
+  // SVR: C and epsilon around the paper's C=10, eps=0.1.
+  {
+    ParamGrid grid;
+    grid.axes["C"] = {1.0, 10.0, 100.0};
+    grid.axes["epsilon"] = {0.05, 0.1, 0.5};
+    Report("SVR", GridSearch(
+                      [](const ParamMap& p) {
+                        Svr::Options o;
+                        o.c = p.at("C");
+                        o.epsilon = p.at("epsilon");
+                        return std::unique_ptr<Regressor>(new Svr(o));
+                      },
+                      grid, x, windowed.y, gs));
+  }
+
+  // Gradient boosting: learning rate and depth around the paper's settings.
+  {
+    ParamGrid grid;
+    grid.axes["learning_rate"] = {0.05, 0.1, 0.3};
+    grid.axes["max_depth"] = {1, 2};
+    Report("GB", GridSearch(
+                     [](const ParamMap& p) {
+                       GradientBoosting::Options o;
+                       o.learning_rate = p.at("learning_rate");
+                       o.max_depth = static_cast<int>(p.at("max_depth"));
+                       o.n_estimators = 100;
+                       return std::unique_ptr<Regressor>(
+                           new GradientBoosting(o));
+                     },
+                     grid, x, windowed.y, gs));
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: generate a small synthetic fleet, prepare one vehicle's
+// dataset through the full pipeline, train the paper's SVR forecaster, and
+// predict tomorrow's utilization hours.
+//
+// Build & run:  ./build/examples/example_quickstart
+
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "core/forecaster.h"
+#include "telemetry/fleet.h"
+
+int main() {
+  using namespace vup;
+
+  // 1. A reproducible synthetic fleet (the paper's dataset shape at small
+  //    scale: same period, same taxonomy, same country registry).
+  Fleet fleet = Fleet::Generate(FleetConfig::Small(/*num_vehicles=*/50,
+                                                   /*seed=*/7));
+  std::printf("generated %zu vehicles, %s .. %s\n", fleet.size(),
+              fleet.config().start_date.ToString().c_str(),
+              fleet.config().end_date.ToString().c_str());
+
+  // 2. Prepare one vehicle's model-ready dataset: generation -> cleaning ->
+  //    daily relational dataset with contextual enrichment.
+  StatusOr<VehicleDataset> dataset_or = PrepareVehicleDataset(fleet, 0);
+  if (!dataset_or.ok()) {
+    std::printf("preparation failed: %s\n",
+                dataset_or.status().ToString().c_str());
+    return 1;
+  }
+  const VehicleDataset& dataset = dataset_or.value();
+  std::printf("vehicle: %s\n", dataset.info().ToString().c_str());
+  std::printf("history: %zu days, %zu features per day\n",
+              dataset.num_days(), dataset.num_features());
+
+  // 3. Train the paper's per-vehicle pipeline: 140-day lookback window,
+  //    top-20 ACF lag selection, standardization, SVR (rbf, C=10, eps=0.1).
+  ForecasterConfig config;
+  config.algorithm = Algorithm::kSvr;
+  config.windowing.lookback_w = 140;
+  config.selection.top_k = 20;
+  VehicleForecaster forecaster(config);
+  size_t n = dataset.num_days();
+  Status trained = forecaster.Train(dataset, n - 140, n);
+  if (!trained.ok()) {
+    std::printf("training failed: %s\n", trained.ToString().c_str());
+    return 1;
+  }
+  std::printf("trained on the last 140 days; ACF selected %zu lags\n",
+              forecaster.selected_lags().size());
+
+  // 4. Forecast the next (unobserved) day.
+  StatusOr<double> pred = forecaster.PredictTarget(dataset, n);
+  if (!pred.ok()) {
+    std::printf("prediction failed: %s\n",
+                pred.status().ToString().c_str());
+    return 1;
+  }
+  Date tomorrow = dataset.dates().back().AddDays(1);
+  std::printf("forecast for %s: %.1f utilization hours\n",
+              tomorrow.ToString().c_str(), pred.value());
+  return 0;
+}

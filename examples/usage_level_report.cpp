@@ -1,0 +1,57 @@
+// Usage-level report: the paper's future-work idea (Section 5) as a
+// planning tool -- classify tomorrow's usage level (idle / short / medium /
+// long) for every vehicle on a site, with per-level probabilities, so the
+// site manager can assign operators and haulage in advance.
+//
+// Build & run:  ./build/examples/example_usage_level_report
+
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "core/usage_levels.h"
+#include "telemetry/fleet.h"
+
+int main() {
+  using namespace vup;
+
+  Fleet fleet = Fleet::Generate(FleetConfig::Small(60, 51));
+  ExperimentRunner runner(&fleet);
+  ExperimentOptions options;
+  options.max_vehicles = 8;
+  std::vector<size_t> site = runner.SelectVehicles(options);
+  if (site.empty()) {
+    std::printf("no vehicles with enough history\n");
+    return 1;
+  }
+
+  UsageLevelClassifier::Options cls_options;
+  cls_options.pipeline.windowing.lookback_w = 60;
+  cls_options.pipeline.selection.top_k = 15;
+
+  std::printf("Tomorrow's usage-level plan\n");
+  std::printf("%-10s %-18s %-8s  %-6s %-6s %-6s %-6s\n", "unit", "type",
+              "level", "pIdle", "pShort", "pMed", "pLong");
+  for (size_t index : site) {
+    StatusOr<const VehicleDataset*> ds_or = runner.Dataset(index);
+    if (!ds_or.ok()) continue;
+    const VehicleDataset& ds = *ds_or.value();
+    size_t n = ds.num_days();
+
+    UsageLevelClassifier classifier(cls_options);
+    if (!classifier.Train(ds, n - 180, n).ok()) continue;
+    StatusOr<UsageLevel> level = classifier.PredictTarget(ds, n);
+    StatusOr<std::array<double, kNumUsageLevels>> scores =
+        classifier.PredictScores(ds, n);
+    if (!level.ok() || !scores.ok()) continue;
+
+    std::printf("%-10lld %-18s %-8s  %5.2f  %5.2f  %5.2f  %5.2f\n",
+                static_cast<long long>(ds.info().vehicle_id),
+                std::string(VehicleTypeToString(ds.info().type)).c_str(),
+                std::string(UsageLevelToString(level.value())).c_str(),
+                scores.value()[0], scores.value()[1], scores.value()[2],
+                scores.value()[3]);
+  }
+  std::printf("\n(one-vs-rest probabilities; the predicted level is the "
+              "argmax)\n");
+  return 0;
+}

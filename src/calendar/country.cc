@@ -1,0 +1,389 @@
+#include "calendar/country.h"
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace vup {
+
+std::string_view RegionToString(Region r) {
+  switch (r) {
+    case Region::kEurope:
+      return "Europe";
+    case Region::kNorthAmerica:
+      return "NorthAmerica";
+    case Region::kSouthAmerica:
+      return "SouthAmerica";
+    case Region::kAfrica:
+      return "Africa";
+    case Region::kAsia:
+      return "Asia";
+    case Region::kOceania:
+      return "Oceania";
+    case Region::kMiddleEast:
+      return "MiddleEast";
+  }
+  return "?";
+}
+
+namespace {
+
+HolidayCalendar WesternChristianCalendar() {
+  HolidayCalendar cal;
+  cal.AddRule(HolidayRule::Fixed("New Year's Day", 1, 1));
+  cal.AddRule(HolidayRule::EasterBased("Good Friday", -2));
+  cal.AddRule(HolidayRule::EasterBased("Easter Monday", 1));
+  cal.AddRule(HolidayRule::Fixed("Labour Day", 5, 1));
+  cal.AddRule(HolidayRule::Fixed("Christmas Day", 12, 25));
+  cal.AddRule(HolidayRule::Fixed("St. Stephen's Day", 12, 26));
+  return cal;
+}
+
+HolidayCalendar MinimalSecularCalendar() {
+  HolidayCalendar cal;
+  cal.AddRule(HolidayRule::Fixed("New Year's Day", 1, 1));
+  cal.AddRule(HolidayRule::Fixed("Labour Day", 5, 1));
+  return cal;
+}
+
+Country MakeCountry(std::string code, std::string name, Region region,
+                    Hemisphere hemisphere, WeekendRule weekend,
+                    HolidayCalendar holidays) {
+  Country c;
+  c.code = std::move(code);
+  c.name = std::move(name);
+  c.region = region;
+  c.hemisphere = hemisphere;
+  c.weekend = std::move(weekend);
+  c.holidays = std::move(holidays);
+  return c;
+}
+
+std::vector<Country> BuildCuratedCountries() {
+  std::vector<Country> out;
+  const WeekendRule satsun = WeekendRule::SaturdaySunday();
+  const WeekendRule frisat = WeekendRule::FridaySaturday();
+
+  // --- Europe ---
+  {
+    HolidayCalendar italy = WesternChristianCalendar();
+    italy.AddRule(HolidayRule::Fixed("Epiphany", 1, 6));
+    italy.AddRule(HolidayRule::Fixed("Liberation Day", 4, 25));
+    italy.AddRule(HolidayRule::Fixed("Republic Day", 6, 2));
+    italy.AddRule(HolidayRule::Fixed("Ferragosto", 8, 15));
+    italy.AddRule(HolidayRule::Fixed("All Saints' Day", 11, 1));
+    italy.AddRule(HolidayRule::Fixed("Immaculate Conception", 12, 8));
+    out.push_back(MakeCountry("IT", "Italy", Region::kEurope,
+                              Hemisphere::kNorthern, satsun, std::move(italy)));
+  }
+  {
+    HolidayCalendar germany = WesternChristianCalendar();
+    germany.AddRule(HolidayRule::EasterBased("Ascension Day", 39));
+    germany.AddRule(HolidayRule::EasterBased("Whit Monday", 50));
+    germany.AddRule(HolidayRule::Fixed("German Unity Day", 10, 3));
+    out.push_back(MakeCountry("DE", "Germany", Region::kEurope,
+                              Hemisphere::kNorthern, satsun,
+                              std::move(germany)));
+  }
+  {
+    HolidayCalendar france = WesternChristianCalendar();
+    france.AddRule(HolidayRule::Fixed("Victory Day", 5, 8));
+    france.AddRule(HolidayRule::Fixed("Bastille Day", 7, 14));
+    france.AddRule(HolidayRule::Fixed("Assumption", 8, 15));
+    france.AddRule(HolidayRule::Fixed("Armistice Day", 11, 11));
+    out.push_back(MakeCountry("FR", "France", Region::kEurope,
+                              Hemisphere::kNorthern, satsun,
+                              std::move(france)));
+  }
+  {
+    HolidayCalendar uk;
+    uk.AddRule(HolidayRule::Fixed("New Year's Day", 1, 1));
+    uk.AddRule(HolidayRule::EasterBased("Good Friday", -2));
+    uk.AddRule(HolidayRule::EasterBased("Easter Monday", 1));
+    uk.AddRule(HolidayRule::NthWeekday("Early May Bank Holiday", 5,
+                                       Weekday::kMonday, 1));
+    uk.AddRule(HolidayRule::NthWeekday("Spring Bank Holiday", 5,
+                                       Weekday::kMonday, -1));
+    uk.AddRule(HolidayRule::NthWeekday("Summer Bank Holiday", 8,
+                                       Weekday::kMonday, -1));
+    uk.AddRule(HolidayRule::Fixed("Christmas Day", 12, 25));
+    uk.AddRule(HolidayRule::Fixed("Boxing Day", 12, 26));
+    out.push_back(MakeCountry("GB", "United Kingdom", Region::kEurope,
+                              Hemisphere::kNorthern, satsun, std::move(uk)));
+  }
+  {
+    HolidayCalendar spain = WesternChristianCalendar();
+    spain.AddRule(HolidayRule::Fixed("Epiphany", 1, 6));
+    spain.AddRule(HolidayRule::Fixed("National Day", 10, 12));
+    spain.AddRule(HolidayRule::Fixed("Constitution Day", 12, 6));
+    out.push_back(MakeCountry("ES", "Spain", Region::kEurope,
+                              Hemisphere::kNorthern, satsun,
+                              std::move(spain)));
+  }
+  {
+    HolidayCalendar pl = WesternChristianCalendar();
+    pl.AddRule(HolidayRule::Fixed("Constitution Day", 5, 3));
+    pl.AddRule(HolidayRule::Fixed("Independence Day", 11, 11));
+    out.push_back(MakeCountry("PL", "Poland", Region::kEurope,
+                              Hemisphere::kNorthern, satsun, std::move(pl)));
+  }
+  {
+    HolidayCalendar nl = WesternChristianCalendar();
+    nl.AddRule(HolidayRule::Fixed("King's Day", 4, 27));
+    out.push_back(MakeCountry("NL", "Netherlands", Region::kEurope,
+                              Hemisphere::kNorthern, satsun, std::move(nl)));
+  }
+  {
+    HolidayCalendar se = WesternChristianCalendar();
+    se.AddRule(HolidayRule::Fixed("National Day", 6, 6));
+    out.push_back(MakeCountry("SE", "Sweden", Region::kEurope,
+                              Hemisphere::kNorthern, satsun, std::move(se)));
+  }
+  {
+    HolidayCalendar ru = MinimalSecularCalendar();
+    ru.AddRule(HolidayRule::Fixed("Orthodox Christmas", 1, 7));
+    ru.AddRule(HolidayRule::Fixed("Defender of the Fatherland Day", 2, 23));
+    ru.AddRule(HolidayRule::Fixed("Victory Day", 5, 9));
+    ru.AddRule(HolidayRule::Fixed("Russia Day", 6, 12));
+    out.push_back(MakeCountry("RU", "Russia", Region::kEurope,
+                              Hemisphere::kNorthern, satsun, std::move(ru)));
+  }
+  {
+    HolidayCalendar tr = MinimalSecularCalendar();
+    tr.AddRule(HolidayRule::Fixed("Republic Day", 10, 29));
+    out.push_back(MakeCountry("TR", "Turkey", Region::kEurope,
+                              Hemisphere::kNorthern, satsun, std::move(tr)));
+  }
+
+  // --- North America ---
+  {
+    HolidayCalendar us;
+    us.AddRule(HolidayRule::Fixed("New Year's Day", 1, 1));
+    us.AddRule(HolidayRule::NthWeekday("Memorial Day", 5, Weekday::kMonday, -1));
+    us.AddRule(HolidayRule::Fixed("Independence Day", 7, 4));
+    us.AddRule(HolidayRule::NthWeekday("Labor Day", 9, Weekday::kMonday, 1));
+    us.AddRule(HolidayRule::NthWeekday("Thanksgiving", 11, Weekday::kThursday, 4));
+    us.AddRule(HolidayRule::Fixed("Christmas Day", 12, 25));
+    out.push_back(MakeCountry("US", "United States", Region::kNorthAmerica,
+                              Hemisphere::kNorthern, satsun, std::move(us)));
+  }
+  {
+    HolidayCalendar ca;
+    ca.AddRule(HolidayRule::Fixed("New Year's Day", 1, 1));
+    ca.AddRule(HolidayRule::EasterBased("Good Friday", -2));
+    ca.AddRule(HolidayRule::Fixed("Canada Day", 7, 1));
+    ca.AddRule(HolidayRule::NthWeekday("Labour Day", 9, Weekday::kMonday, 1));
+    ca.AddRule(HolidayRule::NthWeekday("Thanksgiving", 10, Weekday::kMonday, 2));
+    ca.AddRule(HolidayRule::Fixed("Christmas Day", 12, 25));
+    out.push_back(MakeCountry("CA", "Canada", Region::kNorthAmerica,
+                              Hemisphere::kNorthern, satsun, std::move(ca)));
+  }
+  {
+    HolidayCalendar mx = MinimalSecularCalendar();
+    mx.AddRule(HolidayRule::Fixed("Independence Day", 9, 16));
+    mx.AddRule(HolidayRule::Fixed("Revolution Day", 11, 20));
+    mx.AddRule(HolidayRule::Fixed("Christmas Day", 12, 25));
+    out.push_back(MakeCountry("MX", "Mexico", Region::kNorthAmerica,
+                              Hemisphere::kNorthern, satsun, std::move(mx)));
+  }
+
+  // --- South America ---
+  {
+    HolidayCalendar br = WesternChristianCalendar();
+    br.AddRule(HolidayRule::EasterBased("Carnival Monday", -48));
+    br.AddRule(HolidayRule::EasterBased("Carnival Tuesday", -47));
+    br.AddRule(HolidayRule::Fixed("Independence Day", 9, 7));
+    out.push_back(MakeCountry("BR", "Brazil", Region::kSouthAmerica,
+                              Hemisphere::kSouthern, satsun, std::move(br)));
+  }
+  {
+    HolidayCalendar ar = WesternChristianCalendar();
+    ar.AddRule(HolidayRule::Fixed("May Revolution", 5, 25));
+    ar.AddRule(HolidayRule::Fixed("Independence Day", 7, 9));
+    out.push_back(MakeCountry("AR", "Argentina", Region::kSouthAmerica,
+                              Hemisphere::kSouthern, satsun, std::move(ar)));
+  }
+  {
+    HolidayCalendar cl = WesternChristianCalendar();
+    cl.AddRule(HolidayRule::Fixed("Independence Day", 9, 18));
+    out.push_back(MakeCountry("CL", "Chile", Region::kSouthAmerica,
+                              Hemisphere::kSouthern, satsun, std::move(cl)));
+  }
+
+  // --- Africa ---
+  {
+    HolidayCalendar za = WesternChristianCalendar();
+    za.AddRule(HolidayRule::Fixed("Freedom Day", 4, 27));
+    za.AddRule(HolidayRule::Fixed("Day of Reconciliation", 12, 16));
+    out.push_back(MakeCountry("ZA", "South Africa", Region::kAfrica,
+                              Hemisphere::kSouthern, satsun, std::move(za)));
+  }
+  {
+    HolidayCalendar eg = MinimalSecularCalendar();
+    eg.AddRule(HolidayRule::Fixed("Revolution Day", 7, 23));
+    out.push_back(MakeCountry("EG", "Egypt", Region::kAfrica,
+                              Hemisphere::kNorthern, frisat, std::move(eg)));
+  }
+  {
+    HolidayCalendar ng = WesternChristianCalendar();
+    ng.AddRule(HolidayRule::Fixed("Independence Day", 10, 1));
+    out.push_back(MakeCountry("NG", "Nigeria", Region::kAfrica,
+                              Hemisphere::kNorthern, satsun, std::move(ng)));
+  }
+
+  // --- Asia ---
+  {
+    HolidayCalendar jp = MinimalSecularCalendar();
+    jp.AddRule(HolidayRule::Fixed("Foundation Day", 2, 11));
+    jp.AddRule(HolidayRule::Fixed("Showa Day", 4, 29));
+    jp.AddRule(HolidayRule::Fixed("Constitution Day", 5, 3));
+    jp.AddRule(HolidayRule::Fixed("Children's Day", 5, 5));
+    out.push_back(MakeCountry("JP", "Japan", Region::kAsia,
+                              Hemisphere::kNorthern, satsun, std::move(jp)));
+  }
+  {
+    HolidayCalendar cn = MinimalSecularCalendar();
+    cn.AddRule(HolidayRule::Fixed("National Day", 10, 1));
+    cn.AddRule(HolidayRule::Fixed("National Day Holiday", 10, 2));
+    cn.AddRule(HolidayRule::Fixed("National Day Holiday", 10, 3));
+    out.push_back(MakeCountry("CN", "China", Region::kAsia,
+                              Hemisphere::kNorthern, satsun, std::move(cn)));
+  }
+  {
+    HolidayCalendar in = MinimalSecularCalendar();
+    in.AddRule(HolidayRule::Fixed("Republic Day", 1, 26));
+    in.AddRule(HolidayRule::Fixed("Independence Day", 8, 15));
+    in.AddRule(HolidayRule::Fixed("Gandhi Jayanti", 10, 2));
+    out.push_back(MakeCountry("IN", "India", Region::kAsia,
+                              Hemisphere::kNorthern, satsun, std::move(in)));
+  }
+  {
+    HolidayCalendar kr = MinimalSecularCalendar();
+    kr.AddRule(HolidayRule::Fixed("Liberation Day", 8, 15));
+    out.push_back(MakeCountry("KR", "South Korea", Region::kAsia,
+                              Hemisphere::kNorthern, satsun, std::move(kr)));
+  }
+
+  // --- Middle East ---
+  {
+    HolidayCalendar ae = MinimalSecularCalendar();
+    ae.AddRule(HolidayRule::Fixed("National Day", 12, 2));
+    out.push_back(MakeCountry("AE", "United Arab Emirates",
+                              Region::kMiddleEast, Hemisphere::kNorthern,
+                              frisat, std::move(ae)));
+  }
+  {
+    HolidayCalendar sa = MinimalSecularCalendar();
+    sa.AddRule(HolidayRule::Fixed("National Day", 9, 23));
+    out.push_back(MakeCountry("SA", "Saudi Arabia", Region::kMiddleEast,
+                              Hemisphere::kNorthern, frisat, std::move(sa)));
+  }
+  {
+    HolidayCalendar il = MinimalSecularCalendar();
+    out.push_back(MakeCountry("IL", "Israel", Region::kMiddleEast,
+                              Hemisphere::kNorthern, frisat, std::move(il)));
+  }
+
+  // --- Oceania ---
+  {
+    HolidayCalendar au;
+    au.AddRule(HolidayRule::Fixed("New Year's Day", 1, 1));
+    au.AddRule(HolidayRule::Fixed("Australia Day", 1, 26));
+    au.AddRule(HolidayRule::EasterBased("Good Friday", -2));
+    au.AddRule(HolidayRule::EasterBased("Easter Monday", 1));
+    au.AddRule(HolidayRule::Fixed("Anzac Day", 4, 25));
+    au.AddRule(HolidayRule::Fixed("Christmas Day", 12, 25));
+    au.AddRule(HolidayRule::Fixed("Boxing Day", 12, 26));
+    out.push_back(MakeCountry("AU", "Australia", Region::kOceania,
+                              Hemisphere::kSouthern, satsun, std::move(au)));
+  }
+  {
+    HolidayCalendar nz;
+    nz.AddRule(HolidayRule::Fixed("New Year's Day", 1, 1));
+    nz.AddRule(HolidayRule::Fixed("Waitangi Day", 2, 6));
+    nz.AddRule(HolidayRule::EasterBased("Good Friday", -2));
+    nz.AddRule(HolidayRule::EasterBased("Easter Monday", 1));
+    nz.AddRule(HolidayRule::Fixed("Christmas Day", 12, 25));
+    nz.AddRule(HolidayRule::Fixed("Boxing Day", 12, 26));
+    out.push_back(MakeCountry("NZ", "New Zealand", Region::kOceania,
+                              Hemisphere::kSouthern, satsun, std::move(nz)));
+  }
+
+  return out;
+}
+
+/// Pads the curated list with synthetic countries until the registry holds
+/// the paper's 151 countries. Synthetic countries draw region, hemisphere and
+/// a plausible holiday calendar deterministically from their index.
+void PadWithSyntheticCountries(std::vector<Country>* countries,
+                               size_t target) {
+  Rng rng(0xC0UL);  // Fixed seed: the registry is part of the dataset spec.
+  static constexpr Region kRegions[] = {
+      Region::kEurope,     Region::kNorthAmerica, Region::kSouthAmerica,
+      Region::kAfrica,     Region::kAsia,         Region::kOceania,
+      Region::kMiddleEast,
+  };
+  size_t index = 0;
+  while (countries->size() < target) {
+    Region region = kRegions[rng.UniformInt(0, 6)];
+    Hemisphere hemisphere;
+    switch (region) {
+      case Region::kSouthAmerica:
+      case Region::kOceania:
+        hemisphere = Hemisphere::kSouthern;
+        break;
+      case Region::kAfrica:
+        hemisphere = rng.Bernoulli(0.5) ? Hemisphere::kSouthern
+                                        : Hemisphere::kNorthern;
+        break;
+      default:
+        hemisphere = Hemisphere::kNorthern;
+        break;
+    }
+    WeekendRule weekend = (region == Region::kMiddleEast && rng.Bernoulli(0.7))
+                              ? WeekendRule::FridaySaturday()
+                              : WeekendRule::SaturdaySunday();
+    HolidayCalendar cal = rng.Bernoulli(0.6) ? WesternChristianCalendar()
+                                             : MinimalSecularCalendar();
+    // One synthetic national day, unique-ish per country.
+    int month = static_cast<int>(rng.UniformInt(1, 12));
+    int day = static_cast<int>(rng.UniformInt(1, 28));
+    cal.AddRule(HolidayRule::Fixed("National Day", month, day));
+    Country c;
+    c.code = StrFormat("X%02zu", index);
+    c.name = StrFormat("Synthetic Country %zu", index);
+    c.region = region;
+    c.hemisphere = hemisphere;
+    c.weekend = std::move(weekend);
+    c.holidays = std::move(cal);
+    countries->push_back(std::move(c));
+    ++index;
+  }
+}
+
+}  // namespace
+
+CountryRegistry::CountryRegistry() {
+  countries_ = BuildCuratedCountries();
+  PadWithSyntheticCountries(&countries_, 151);
+}
+
+const CountryRegistry& CountryRegistry::Global() {
+  // Never destroyed: avoids static-destruction-order issues.
+  static const CountryRegistry& registry = *new CountryRegistry();
+  return registry;
+}
+
+const Country& CountryRegistry::at(size_t index) const {
+  VUP_CHECK(index < countries_.size()) << "country index " << index;
+  return countries_[index];
+}
+
+StatusOr<const Country*> CountryRegistry::Find(std::string_view code) const {
+  for (const Country& c : countries_) {
+    if (c.code == code) return &c;
+  }
+  return Status::NotFound("no country with code '" + std::string(code) + "'");
+}
+
+}  // namespace vup

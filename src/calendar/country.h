@@ -1,0 +1,71 @@
+#ifndef VUPRED_CALENDAR_COUNTRY_H_
+#define VUPRED_CALENDAR_COUNTRY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "calendar/date.h"
+#include "calendar/holiday.h"
+#include "calendar/season.h"
+#include "common/statusor.h"
+
+namespace vup {
+
+/// Coarse world region, used as a spatial contextual feature.
+enum class Region : int {
+  kEurope = 0,
+  kNorthAmerica = 1,
+  kSouthAmerica = 2,
+  kAfrica = 3,
+  kAsia = 4,
+  kOceania = 5,
+  kMiddleEast = 6,
+};
+
+std::string_view RegionToString(Region r);
+
+/// Static description of a country: identity, geography, rest-day
+/// convention, and public-holiday calendar. Drives the contextual
+/// enrichment of CAN-bus data (holiday/working-day flags, season).
+struct Country {
+  std::string code;   // ISO-3166-ish two-letter code, or synthetic "Xnn".
+  std::string name;
+  Region region = Region::kEurope;
+  Hemisphere hemisphere = Hemisphere::kNorthern;
+  WeekendRule weekend;
+  HolidayCalendar holidays;
+
+  /// A non-working day is a weekend rest day or a public holiday.
+  bool IsWorkingDay(const Date& date) const {
+    return !weekend.IsRestDay(date.weekday()) && !holidays.IsHoliday(date);
+  }
+};
+
+/// Registry of the 151 countries in the reproduced dataset: a curated set of
+/// real countries (realistic holiday rules) padded with synthetic countries
+/// to the paper's count. The registry is immutable and built once.
+class CountryRegistry {
+ public:
+  /// Singleton accessor (the registry is static data).
+  static const CountryRegistry& Global();
+
+  /// Total number of countries (== 151, matching the paper).
+  size_t size() const { return countries_.size(); }
+
+  const Country& at(size_t index) const;
+
+  /// Lookup by code; NotFound if absent.
+  StatusOr<const Country*> Find(std::string_view code) const;
+
+  const std::vector<Country>& countries() const { return countries_; }
+
+ private:
+  CountryRegistry();
+
+  std::vector<Country> countries_;
+};
+
+}  // namespace vup
+
+#endif  // VUPRED_CALENDAR_COUNTRY_H_

@@ -1,0 +1,161 @@
+#include "calendar/date.h"
+
+#include <array>
+#include <ostream>
+
+#include "common/string_util.h"
+
+namespace vup {
+
+namespace {
+
+// Howard Hinnant's days_from_civil (http://howardhinnant.github.io/date_algorithms.html).
+int32_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);           // [0, 399]
+  const unsigned doy =
+      (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(d) - 1;                                    // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;          // [0, 146096]
+  return era * 146097 + static_cast<int32_t>(doe) - 719468;
+}
+
+// Howard Hinnant's civil_from_days.
+void CivilFromDays(int32_t z, int* y_out, int* m_out, int* d_out) {
+  z += 719468;
+  const int era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);        // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;           // [0, 399]
+  const int y = static_cast<int>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);        // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                             // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                     // [1, 31]
+  const unsigned m = mp < 10 ? mp + 3 : mp - 9;                        // [1, 12]
+  *y_out = y + (m <= 2);
+  *m_out = static_cast<int>(m);
+  *d_out = static_cast<int>(d);
+}
+
+}  // namespace
+
+std::string_view WeekdayToString(Weekday d) {
+  switch (d) {
+    case Weekday::kMonday:
+      return "Monday";
+    case Weekday::kTuesday:
+      return "Tuesday";
+    case Weekday::kWednesday:
+      return "Wednesday";
+    case Weekday::kThursday:
+      return "Thursday";
+    case Weekday::kFriday:
+      return "Friday";
+    case Weekday::kSaturday:
+      return "Saturday";
+    case Weekday::kSunday:
+      return "Sunday";
+  }
+  return "?";
+}
+
+bool Date::IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int Date::DaysInMonth(int year, int month) {
+  static constexpr std::array<int, 12> kDays = {31, 28, 31, 30, 31, 30,
+                                                31, 31, 30, 31, 30, 31};
+  if (month < 1 || month > 12) return 0;
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[static_cast<size_t>(month - 1)];
+}
+
+StatusOr<Date> Date::FromYmd(int year, int month, int day) {
+  if (month < 1 || month > 12) {
+    return Status::InvalidArgument(
+        StrFormat("month out of range: %d", month));
+  }
+  int dim = DaysInMonth(year, month);
+  if (day < 1 || day > dim) {
+    return Status::InvalidArgument(
+        StrFormat("day out of range for %d-%02d: %d", year, month, day));
+  }
+  return Date(DaysFromCivil(year, month, day));
+}
+
+StatusOr<Date> Date::Parse(std::string_view text) {
+  std::vector<std::string> parts = Split(std::string(Trim(text)), '-');
+  if (parts.size() != 3) {
+    return Status::InvalidArgument("date must be YYYY-MM-DD, got '" +
+                                   std::string(text) + "'");
+  }
+  VUP_ASSIGN_OR_RETURN(long long y, ParseInt(parts[0]));
+  VUP_ASSIGN_OR_RETURN(long long m, ParseInt(parts[1]));
+  VUP_ASSIGN_OR_RETURN(long long d, ParseInt(parts[2]));
+  return FromYmd(static_cast<int>(y), static_cast<int>(m),
+                 static_cast<int>(d));
+}
+
+int Date::year() const {
+  int y, m, d;
+  CivilFromDays(days_, &y, &m, &d);
+  return y;
+}
+
+int Date::month() const {
+  int y, m, d;
+  CivilFromDays(days_, &y, &m, &d);
+  return m;
+}
+
+int Date::day() const {
+  int y, m, d;
+  CivilFromDays(days_, &y, &m, &d);
+  return d;
+}
+
+Weekday Date::weekday() const {
+  // Day 0 (1970-01-01) was a Thursday.
+  int32_t wd = (days_ % 7 + 7 + 3) % 7;  // 0 == Monday
+  return static_cast<Weekday>(wd);
+}
+
+int Date::day_of_year() const {
+  int y, m, d;
+  CivilFromDays(days_, &y, &m, &d);
+  StatusOr<Date> jan1 = FromYmd(y, 1, 1);
+  return days_ - jan1.value().day_number() + 1;
+}
+
+int Date::iso_week() const {
+  // ISO week 1 is the week containing the first Thursday of the year.
+  // Equivalent: week number of the Thursday in this date's week.
+  int32_t thursday =
+      days_ - static_cast<int32_t>(weekday()) + 3;  // Thursday of this week
+  Date th = Date(thursday);
+  int y, m, d;
+  CivilFromDays(th.days_, &y, &m, &d);
+  Date jan1 = FromYmd(y, 1, 1).value();
+  return (th.days_ - jan1.days_) / 7 + 1;
+}
+
+int Date::iso_week_year() const {
+  int32_t thursday = days_ - static_cast<int32_t>(weekday()) + 3;
+  int y, m, d;
+  CivilFromDays(thursday, &y, &m, &d);
+  return y;
+}
+
+std::string Date::ToString() const {
+  int y, m, d;
+  CivilFromDays(days_, &y, &m, &d);
+  return StrFormat("%04d-%02d-%02d", y, m, d);
+}
+
+std::ostream& operator<<(std::ostream& os, const Date& date) {
+  return os << date.ToString();
+}
+
+}  // namespace vup

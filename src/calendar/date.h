@@ -1,0 +1,81 @@
+#ifndef VUPRED_CALENDAR_DATE_H_
+#define VUPRED_CALENDAR_DATE_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/statusor.h"
+
+namespace vup {
+
+/// Days of the week, ISO-8601 ordering (Monday first).
+enum class Weekday : int {
+  kMonday = 0,
+  kTuesday = 1,
+  kWednesday = 2,
+  kThursday = 3,
+  kFriday = 4,
+  kSaturday = 5,
+  kSunday = 6,
+};
+
+std::string_view WeekdayToString(Weekday d);
+
+/// A calendar date in the proleptic Gregorian calendar.
+///
+/// Internally a day count since the Unix epoch (1970-01-01 == day 0), so
+/// date arithmetic, ordering and hashing are O(1). Conversions use the
+/// public-domain civil-calendar algorithms by Howard Hinnant.
+class Date {
+ public:
+  /// Constructs 1970-01-01. Prefer the factories below.
+  Date() : days_(0) {}
+
+  /// Validated construction from year/month/day.
+  static StatusOr<Date> FromYmd(int year, int month, int day);
+
+  /// Construction from a day count since 1970-01-01.
+  static Date FromDayNumber(int32_t days) { return Date(days); }
+
+  /// Parses "YYYY-MM-DD".
+  static StatusOr<Date> Parse(std::string_view text);
+
+  static bool IsLeapYear(int year);
+  static int DaysInMonth(int year, int month);
+
+  int year() const;
+  int month() const;   // 1..12
+  int day() const;     // 1..31
+  int32_t day_number() const { return days_; }
+
+  Weekday weekday() const;
+  int day_of_year() const;  // 1..366
+
+  /// ISO-8601 week number (1..53) and the year that week belongs to
+  /// (may differ from year() around January 1st).
+  int iso_week() const;
+  int iso_week_year() const;
+
+  Date AddDays(int n) const { return Date(days_ + n); }
+
+  /// Renders as "YYYY-MM-DD".
+  std::string ToString() const;
+
+  friend auto operator<=>(const Date&, const Date&) = default;
+
+  /// Number of days from `other` to `*this`.
+  int32_t operator-(const Date& other) const { return days_ - other.days_; }
+
+ private:
+  explicit Date(int32_t days) : days_(days) {}
+
+  int32_t days_;  // Days since 1970-01-01.
+};
+
+std::ostream& operator<<(std::ostream& os, const Date& date);
+
+}  // namespace vup
+
+#endif  // VUPRED_CALENDAR_DATE_H_

@@ -1,0 +1,157 @@
+#include "calendar/holiday.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace vup {
+
+Date EasterSunday(int year) {
+  // Anonymous Gregorian computus (Meeus/Jones/Butcher).
+  int a = year % 19;
+  int b = year / 100;
+  int c = year % 100;
+  int d = b / 4;
+  int e = b % 4;
+  int f = (b + 8) / 25;
+  int g = (b - f + 1) / 3;
+  int h = (19 * a + b - d - g + 15) % 30;
+  int i = c / 4;
+  int k = c % 4;
+  int l = (32 + 2 * e + 2 * i - h - k) % 7;
+  int m = (a + 11 * h + 22 * l) / 451;
+  int month = (h + l - 7 * m + 114) / 31;
+  int day = ((h + l - 7 * m + 114) % 31) + 1;
+  return Date::FromYmd(year, month, day).value();
+}
+
+HolidayRule HolidayRule::Fixed(std::string name, int month, int day) {
+  VUP_CHECK(month >= 1 && month <= 12);
+  VUP_CHECK(day >= 1 && day <= 31);
+  HolidayRule r;
+  r.kind = Kind::kFixedDate;
+  r.name = std::move(name);
+  r.month = month;
+  r.day = day;
+  return r;
+}
+
+HolidayRule HolidayRule::EasterBased(std::string name, int offset) {
+  HolidayRule r;
+  r.kind = Kind::kEasterOffset;
+  r.name = std::move(name);
+  r.easter_offset = offset;
+  return r;
+}
+
+HolidayRule HolidayRule::NthWeekday(std::string name, int month,
+                                    Weekday weekday, int nth) {
+  VUP_CHECK(month >= 1 && month <= 12);
+  VUP_CHECK(nth == -1 || (nth >= 1 && nth <= 5));
+  HolidayRule r;
+  r.kind = Kind::kNthWeekdayOfMonth;
+  r.name = std::move(name);
+  r.month = month;
+  r.weekday = weekday;
+  r.nth = nth;
+  return r;
+}
+
+namespace {
+
+/// Resolves a rule to its (single) date in `year`; returns false when the
+/// rule has no occurrence that year (e.g. 5th Monday of a 4-Monday month).
+bool ResolveRule(const HolidayRule& rule, int year, Date* out) {
+  switch (rule.kind) {
+    case HolidayRule::Kind::kFixedDate: {
+      StatusOr<Date> d = Date::FromYmd(year, rule.month, rule.day);
+      if (!d.ok()) return false;  // E.g. Feb 29 rule in a non-leap year.
+      *out = d.value();
+      return true;
+    }
+    case HolidayRule::Kind::kEasterOffset: {
+      *out = EasterSunday(year).AddDays(rule.easter_offset);
+      return true;
+    }
+    case HolidayRule::Kind::kNthWeekdayOfMonth: {
+      Date first = Date::FromYmd(year, rule.month, 1).value();
+      int first_wd = static_cast<int>(first.weekday());
+      int target_wd = static_cast<int>(rule.weekday);
+      int offset_to_first = (target_wd - first_wd + 7) % 7;
+      if (rule.nth == -1) {
+        // Last occurrence: walk back from the end of the month.
+        int dim = Date::DaysInMonth(year, rule.month);
+        Date last = Date::FromYmd(year, rule.month, dim).value();
+        int last_wd = static_cast<int>(last.weekday());
+        int back = (last_wd - target_wd + 7) % 7;
+        *out = last.AddDays(-back);
+        return true;
+      }
+      int day_of_month = 1 + offset_to_first + (rule.nth - 1) * 7;
+      if (day_of_month > Date::DaysInMonth(year, rule.month)) return false;
+      *out = Date::FromYmd(year, rule.month, day_of_month).value();
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool WeekendRule::IsRestDay(Weekday d) const {
+  return std::find(rest_days.begin(), rest_days.end(), d) != rest_days.end();
+}
+
+WeekendRule WeekendRule::SaturdaySunday() {
+  return WeekendRule{{Weekday::kSaturday, Weekday::kSunday}};
+}
+
+WeekendRule WeekendRule::FridaySaturday() {
+  return WeekendRule{{Weekday::kFriday, Weekday::kSaturday}};
+}
+
+WeekendRule WeekendRule::SundayOnly() {
+  return WeekendRule{{Weekday::kSunday}};
+}
+
+HolidayCalendar::HolidayCalendar(std::vector<HolidayRule> rules)
+    : rules_(std::move(rules)) {}
+
+void HolidayCalendar::AddRule(HolidayRule rule) {
+  rules_.push_back(std::move(rule));
+}
+
+bool HolidayCalendar::IsHoliday(const Date& date) const {
+  for (const HolidayRule& rule : rules_) {
+    Date resolved;
+    if (ResolveRule(rule, date.year(), &resolved) && resolved == date) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> HolidayCalendar::HolidaysOn(const Date& date) const {
+  std::vector<std::string> names;
+  for (const HolidayRule& rule : rules_) {
+    Date resolved;
+    if (ResolveRule(rule, date.year(), &resolved) && resolved == date) {
+      names.push_back(rule.name);
+    }
+  }
+  return names;
+}
+
+std::vector<Date> HolidayCalendar::HolidaysInYear(int year) const {
+  std::vector<Date> dates;
+  for (const HolidayRule& rule : rules_) {
+    Date resolved;
+    if (ResolveRule(rule, year, &resolved) && resolved.year() == year) {
+      dates.push_back(resolved);
+    }
+  }
+  std::sort(dates.begin(), dates.end());
+  return dates;
+}
+
+}  // namespace vup

@@ -1,0 +1,76 @@
+#ifndef VUPRED_CALENDAR_HOLIDAY_H_
+#define VUPRED_CALENDAR_HOLIDAY_H_
+
+#include <string>
+#include <vector>
+
+#include "calendar/date.h"
+
+namespace vup {
+
+/// Gregorian Easter Sunday for `year` (anonymous Gregorian computus).
+Date EasterSunday(int year);
+
+/// A single holiday-generation rule. Rules are calendar-year generators:
+/// each rule produces at most one holiday per year.
+struct HolidayRule {
+  enum class Kind {
+    kFixedDate,         // Same month/day every year (e.g. Dec 25).
+    kEasterOffset,      // Offset in days from Easter Sunday (e.g. -2 == Good Friday).
+    kNthWeekdayOfMonth, // E.g. 4th Thursday of November. nth in 1..5;
+                        // nth == -1 means the last such weekday of the month.
+  };
+
+  Kind kind = Kind::kFixedDate;
+  std::string name;
+  int month = 1;      // kFixedDate / kNthWeekdayOfMonth
+  int day = 1;        // kFixedDate
+  int easter_offset = 0;                  // kEasterOffset
+  Weekday weekday = Weekday::kMonday;     // kNthWeekdayOfMonth
+  int nth = 1;                            // kNthWeekdayOfMonth
+
+  static HolidayRule Fixed(std::string name, int month, int day);
+  static HolidayRule EasterBased(std::string name, int offset);
+  static HolidayRule NthWeekday(std::string name, int month, Weekday weekday,
+                                int nth);
+};
+
+/// Which days of the week are the rest days. Most of the world rests
+/// Saturday+Sunday; several countries use Friday+Saturday.
+struct WeekendRule {
+  std::vector<Weekday> rest_days = {Weekday::kSaturday, Weekday::kSunday};
+
+  bool IsRestDay(Weekday d) const;
+
+  static WeekendRule SaturdaySunday();
+  static WeekendRule FridaySaturday();
+  static WeekendRule SundayOnly();
+};
+
+/// A country's public-holiday calendar: a set of rules evaluated per year,
+/// with an internal per-year cache.
+class HolidayCalendar {
+ public:
+  HolidayCalendar() = default;
+  explicit HolidayCalendar(std::vector<HolidayRule> rules);
+
+  void AddRule(HolidayRule rule);
+
+  /// True if `date` is a public holiday under this calendar.
+  bool IsHoliday(const Date& date) const;
+
+  /// Names of all holidays falling on `date` (usually zero or one).
+  std::vector<std::string> HolidaysOn(const Date& date) const;
+
+  /// All holiday dates in `year`, sorted ascending.
+  std::vector<Date> HolidaysInYear(int year) const;
+
+  const std::vector<HolidayRule>& rules() const { return rules_; }
+
+ private:
+  std::vector<HolidayRule> rules_;
+};
+
+}  // namespace vup
+
+#endif  // VUPRED_CALENDAR_HOLIDAY_H_

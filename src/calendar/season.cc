@@ -1,0 +1,49 @@
+#include "calendar/season.h"
+
+#include "common/check.h"
+
+namespace vup {
+
+std::string_view SeasonToString(Season s) {
+  switch (s) {
+    case Season::kWinter:
+      return "Winter";
+    case Season::kSpring:
+      return "Spring";
+    case Season::kSummer:
+      return "Summer";
+    case Season::kAutumn:
+      return "Autumn";
+  }
+  return "?";
+}
+
+std::string_view HemisphereToString(Hemisphere h) {
+  switch (h) {
+    case Hemisphere::kNorthern:
+      return "Northern";
+    case Hemisphere::kSouthern:
+      return "Southern";
+  }
+  return "?";
+}
+
+Season SeasonForMonth(int month, Hemisphere hemisphere) {
+  VUP_CHECK(month >= 1 && month <= 12) << "month=" << month;
+  // Northern-hemisphere mapping: Dec,Jan,Feb -> winter, etc.
+  Season northern;
+  if (month == 12 || month <= 2) {
+    northern = Season::kWinter;
+  } else if (month <= 5) {
+    northern = Season::kSpring;
+  } else if (month <= 8) {
+    northern = Season::kSummer;
+  } else {
+    northern = Season::kAutumn;
+  }
+  if (hemisphere == Hemisphere::kNorthern) return northern;
+  // Shift by two seasons for the southern hemisphere.
+  return static_cast<Season>((static_cast<int>(northern) + 2) % 4);
+}
+
+}  // namespace vup

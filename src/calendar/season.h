@@ -1,0 +1,40 @@
+#ifndef VUPRED_CALENDAR_SEASON_H_
+#define VUPRED_CALENDAR_SEASON_H_
+
+#include <string_view>
+
+#include "calendar/date.h"
+
+namespace vup {
+
+/// Earth hemisphere, used to flip meteorological seasons.
+enum class Hemisphere : int {
+  kNorthern = 0,
+  kSouthern = 1,
+};
+
+/// Meteorological season. Numbering follows the northern-hemisphere cycle
+/// starting at winter (Dec-Feb).
+enum class Season : int {
+  kWinter = 0,
+  kSpring = 1,
+  kSummer = 2,
+  kAutumn = 3,
+};
+
+std::string_view SeasonToString(Season s);
+std::string_view HemisphereToString(Hemisphere h);
+
+/// Meteorological season for `month` (1..12) in `hemisphere`.
+/// Northern: Dec-Feb winter, Mar-May spring, Jun-Aug summer, Sep-Nov autumn;
+/// the southern hemisphere is shifted by half a year.
+Season SeasonForMonth(int month, Hemisphere hemisphere);
+
+/// Convenience overload.
+inline Season SeasonForDate(const Date& date, Hemisphere hemisphere) {
+  return SeasonForMonth(date.month(), hemisphere);
+}
+
+}  // namespace vup
+
+#endif  // VUPRED_CALENDAR_SEASON_H_

@@ -1,0 +1,67 @@
+#ifndef VUPRED_COMMON_CHECK_H_
+#define VUPRED_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace vup {
+namespace internal_check {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Used only via the VUP_CHECK family of macros.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "CHECK failed: " << condition << " at " << file << ":" << line
+            << " ";
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace vup
+
+/// Aborts with a diagnostic if `cond` is false. For programmer errors
+/// (broken invariants), not for recoverable conditions -- those return Status.
+/// Extra context can be streamed: VUP_CHECK(n > 0) << "n=" << n;
+#define VUP_CHECK(cond)                                            \
+  switch (0)                                                       \
+  case 0:                                                          \
+  default:                                                         \
+    if (cond)                                                      \
+      ;                                                            \
+    else                                                           \
+      ::vup::internal_check::CheckFailureStream(#cond, __FILE__, __LINE__)
+
+#define VUP_CHECK_EQ(a, b) VUP_CHECK((a) == (b))
+#define VUP_CHECK_NE(a, b) VUP_CHECK((a) != (b))
+#define VUP_CHECK_LT(a, b) VUP_CHECK((a) < (b))
+#define VUP_CHECK_LE(a, b) VUP_CHECK((a) <= (b))
+#define VUP_CHECK_GT(a, b) VUP_CHECK((a) > (b))
+#define VUP_CHECK_GE(a, b) VUP_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+// In release builds VUP_DCHECK compiles the condition out (short-circuited).
+#define VUP_DCHECK(cond) VUP_CHECK(true || (cond))
+#else
+#define VUP_DCHECK(cond) VUP_CHECK(cond)
+#endif
+
+#endif  // VUPRED_COMMON_CHECK_H_

@@ -1,0 +1,53 @@
+#ifndef VUPRED_COMMON_LOGGING_H_
+#define VUPRED_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace vup {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+std::string_view LogLevelToString(LogLevel level);
+
+/// Sets the minimum level emitted to stderr. Messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Buffers one log record and emits it (with level tag and source location)
+/// on destruction. Used only via the VUP_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace vup
+
+/// Usage: VUP_LOG(kInfo) << "trained " << n << " models";
+#define VUP_LOG(level)                                   \
+  ::vup::internal_logging::LogMessage(                   \
+      ::vup::LogLevel::level, __FILE__, __LINE__)
+
+#endif  // VUPRED_COMMON_LOGGING_H_

@@ -1,0 +1,89 @@
+#ifndef VUPRED_COMMON_STATUSOR_H_
+#define VUPRED_COMMON_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace vup {
+
+/// StatusOr<T> holds either a usable value of type T or an error Status.
+///
+/// Typical use:
+///
+///   StatusOr<Model> result = Train(data);
+///   if (!result.ok()) return result.status();
+///   Model model = std::move(result).value();
+///
+/// Accessing `value()` on an error StatusOr aborts the process (programmer
+/// error), matching the check-macro contract used throughout the library.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. Must not be OK: an OK StatusOr must
+  /// carry a value.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    VUP_CHECK(!status_.ok()) << "StatusOr constructed from OK status without a value";
+  }
+
+  /// Constructs from a value; the status is OK.
+  StatusOr(T value)  // NOLINT(runtime/explicit)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    VUP_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    VUP_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    VUP_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace vup
+
+/// Assigns the value of a StatusOr expression to `lhs`, returning the error
+/// status from the enclosing function on failure.
+#define VUP_ASSIGN_OR_RETURN(lhs, expr)          \
+  VUP_ASSIGN_OR_RETURN_IMPL_(                    \
+      VUP_STATUS_MACRO_CONCAT_(vup_sor_, __LINE__), lhs, expr)
+
+#define VUP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) {                                 \
+    return tmp.status();                           \
+  }                                                \
+  lhs = std::move(tmp).value()
+
+#define VUP_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define VUP_STATUS_MACRO_CONCAT_(x, y) VUP_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+#endif  // VUPRED_COMMON_STATUSOR_H_

@@ -1,0 +1,110 @@
+#include "core/evaluation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "ml/metrics.h"
+#include "stats/descriptive.h"
+
+namespace vup {
+
+std::string_view ScenarioToString(Scenario s) {
+  switch (s) {
+    case Scenario::kNextDay:
+      return "NextDay";
+    case Scenario::kNextWorkingDay:
+      return "NextWorkingDay";
+  }
+  return "?";
+}
+
+std::string_view WindowStrategyToString(WindowStrategy s) {
+  switch (s) {
+    case WindowStrategy::kSliding:
+      return "Sliding";
+    case WindowStrategy::kExpanding:
+      return "Expanding";
+  }
+  return "?";
+}
+
+StatusOr<VehicleEvaluation> EvaluateVehicle(const VehicleDataset& ds,
+                                            const EvaluationConfig& config) {
+  if (config.eval_days == 0) {
+    return Status::InvalidArgument("eval_days must be >= 1");
+  }
+  if (config.retrain_every == 0) {
+    return Status::InvalidArgument("retrain_every must be >= 1");
+  }
+
+  // Scenario view: the next-working-day variant compresses the series to
+  // working days, so step t -> t+1 skips idleness.
+  const VehicleDataset working =
+      config.scenario == Scenario::kNextWorkingDay
+          ? ds.CompressToWorkingDays(config.working_day_min_hours)
+          : VehicleDataset(ds);
+
+  const size_t n = working.num_days();
+  const size_t w = config.forecaster.windowing.lookback_w;
+  const size_t min_train_records = 8;
+
+  // First evaluable target: needs a lookback window plus a minimally-sized
+  // training span before it.
+  const size_t min_target = w + min_train_records;
+  if (n < min_target + 1) {
+    return Status::InvalidArgument(StrFormat(
+        "series of %zu rows too short for lookback %zu + training", n, w));
+  }
+  const size_t first_target = std::max(min_target, n - config.eval_days);
+
+  VehicleForecaster forecaster(config.forecaster);
+  VehicleEvaluation out;
+  size_t since_retrain = config.retrain_every;  // Force initial training.
+  for (size_t t = first_target; t < n; ++t) {
+    if (since_retrain >= config.retrain_every) {
+      size_t train_end = t;  // Targets strictly before t.
+      size_t train_begin =
+          config.strategy == WindowStrategy::kExpanding
+              ? w
+              : std::max(w, train_end - std::min(train_end - w,
+                                                 config.train_window));
+      VUP_RETURN_IF_ERROR(forecaster.Train(working, train_begin, train_end));
+      since_retrain = 0;
+    }
+    ++since_retrain;
+
+    VUP_ASSIGN_OR_RETURN(double pred, forecaster.PredictTarget(working, t));
+    out.dates.push_back(working.dates()[t]);
+    out.actuals.push_back(working.hours()[t]);
+    out.predictions.push_back(pred);
+  }
+
+  out.num_predictions = out.predictions.size();
+  out.pe = PercentageError(out.predictions, out.actuals);
+  out.mae = MeanAbsoluteError(out.predictions, out.actuals);
+  return out;
+}
+
+FleetEvaluation AggregateFleet(
+    const std::vector<StatusOr<VehicleEvaluation>>& evaluations) {
+  FleetEvaluation fleet;
+  std::vector<double> maes;
+  for (const StatusOr<VehicleEvaluation>& e : evaluations) {
+    if (!e.ok() || !std::isfinite(e.value().pe)) {
+      ++fleet.vehicles_skipped;
+      continue;
+    }
+    fleet.per_vehicle_pe.push_back(e.value().pe);
+    maes.push_back(e.value().mae);
+  }
+  fleet.vehicles_evaluated = fleet.per_vehicle_pe.size();
+  if (fleet.vehicles_evaluated > 0) {
+    fleet.mean_pe = Mean(fleet.per_vehicle_pe);
+    fleet.median_pe = Median(fleet.per_vehicle_pe);
+    fleet.mean_mae = Mean(maes);
+  }
+  return fleet;
+}
+
+}  // namespace vup

@@ -1,0 +1,85 @@
+#ifndef VUPRED_CORE_EVALUATION_H_
+#define VUPRED_CORE_EVALUATION_H_
+
+#include <string_view>
+#include <vector>
+
+#include "calendar/date.h"
+#include "common/statusor.h"
+#include "core/forecaster.h"
+#include "pipeline/dataset.h"
+
+namespace vup {
+
+/// The paper's two problem variants (Section 3).
+enum class Scenario : int {
+  kNextDay = 0,         // Predict tomorrow, idle days included.
+  kNextWorkingDay = 1,  // Predict the next day with >= 1 h of use.
+};
+
+std::string_view ScenarioToString(Scenario s);
+
+/// The paper's two hold-out strategies (Section 4.1 / Figure 3).
+enum class WindowStrategy : int {
+  kSliding = 0,    // Fixed-size training history.
+  kExpanding = 1,  // All preceding days.
+};
+
+std::string_view WindowStrategyToString(WindowStrategy s);
+
+/// Per-vehicle hold-out evaluation configuration.
+struct EvaluationConfig {
+  Scenario scenario = Scenario::kNextDay;
+  WindowStrategy strategy = WindowStrategy::kSliding;
+  /// TW: training targets per model fit under the sliding strategy
+  /// (ignored by expanding). Paper pairs this with the lookback w; both
+  /// default to 140.
+  size_t train_window = 140;
+  /// Number of trailing target days evaluated.
+  size_t eval_days = 120;
+  /// Retrain cadence in evaluated targets: 1 retrains per slide like the
+  /// paper; larger values trade fidelity for speed in large sweeps.
+  size_t retrain_every = 1;
+  /// Threshold defining a working day for kNextWorkingDay.
+  double working_day_min_hours = 1.0;
+
+  ForecasterConfig forecaster;
+};
+
+/// Evaluation outcome for one vehicle.
+struct VehicleEvaluation {
+  double pe = 0.0;   // The paper's Percentage Error over the eval span.
+  double mae = 0.0;
+  size_t num_predictions = 0;
+  std::vector<Date> dates;        // Target dates, aligned with the below.
+  std::vector<double> actuals;
+  std::vector<double> predictions;
+};
+
+/// Runs the hold-out walk-forward evaluation of Section 4.1 on one
+/// vehicle's dataset: for each of the last eval_days targets, (re)train on
+/// the preceding window per the strategy, predict, and accumulate errors.
+///
+/// Errors: InvalidArgument when the series is too short for
+/// lookback + training + evaluation under the given configuration.
+StatusOr<VehicleEvaluation> EvaluateVehicle(const VehicleDataset& ds,
+                                            const EvaluationConfig& config);
+
+/// Fleet-level aggregate (Steps 5-6 of Section 4.1): per-vehicle PEs and
+/// their average across vehicles.
+struct FleetEvaluation {
+  double mean_pe = 0.0;
+  double median_pe = 0.0;
+  double mean_mae = 0.0;
+  size_t vehicles_evaluated = 0;
+  size_t vehicles_skipped = 0;  // Too little data / degenerate PE.
+  std::vector<double> per_vehicle_pe;
+};
+
+/// Aggregates per-vehicle evaluations, skipping non-finite PEs.
+FleetEvaluation AggregateFleet(
+    const std::vector<StatusOr<VehicleEvaluation>>& evaluations);
+
+}  // namespace vup
+
+#endif  // VUPRED_CORE_EVALUATION_H_

@@ -1,0 +1,88 @@
+#include "core/experiment.h"
+
+#include <chrono>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "pipeline/cleaning.h"
+
+namespace vup {
+
+StatusOr<VehicleDataset> PrepareVehicleDataset(const Fleet& fleet,
+                                               size_t index) {
+  VehicleDailySeries series = fleet.GenerateDailySeries(index);
+  if (series.days.empty()) {
+    return Status::InvalidArgument("vehicle has no generated history");
+  }
+  CleaningReport report;
+  VUP_ASSIGN_OR_RETURN(
+      std::vector<DailyUsageRecord> cleaned,
+      CleanDailyRecords(series.days, series.days.front().date,
+                        series.days.back().date, CleaningOptions(), &report));
+  return VehicleDataset::Build(series.info, cleaned,
+                               fleet.CountryOf(series.info));
+}
+
+ExperimentRunner::ExperimentRunner(const Fleet* fleet) : fleet_(fleet) {
+  VUP_CHECK(fleet_ != nullptr);
+}
+
+StatusOr<const VehicleDataset*> ExperimentRunner::Dataset(size_t index) {
+  auto it = cache_.find(index);
+  if (it == cache_.end()) {
+    VUP_ASSIGN_OR_RETURN(VehicleDataset ds,
+                         PrepareVehicleDataset(*fleet_, index));
+    it = cache_.emplace(index, std::move(ds)).first;
+  }
+  return &it->second;
+}
+
+std::vector<size_t> ExperimentRunner::SelectVehicles(
+    const ExperimentOptions& options) {
+  // Deterministic shuffle of all indices, then keep the first eligible
+  // max_vehicles. Eligibility needs the dataset, so test lazily.
+  std::vector<size_t> order(fleet_->size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng rng(SplitMix64(options.subsample_seed ^ fleet_->config().seed));
+  rng.Shuffle(&order);
+
+  std::vector<size_t> selected;
+  for (size_t index : order) {
+    if (selected.size() >= options.max_vehicles) break;
+    StatusOr<const VehicleDataset*> ds = Dataset(index);
+    if (!ds.ok()) continue;
+    const VehicleDataset& d = *ds.value();
+    if (d.num_days() < options.min_days) continue;
+    size_t working = 0;
+    for (double h : d.hours()) {
+      if (h >= 1.0) ++working;
+    }
+    if (working < options.min_working_days) continue;
+    selected.push_back(index);
+  }
+  return selected;
+}
+
+StatusOr<ExperimentResult> ExperimentRunner::Run(
+    const EvaluationConfig& config, const ExperimentOptions& options) {
+  auto start = std::chrono::steady_clock::now();
+  ExperimentResult result;
+  result.vehicle_indices = SelectVehicles(options);
+  if (result.vehicle_indices.empty()) {
+    return Status::FailedPrecondition(
+        "no eligible vehicles under the experiment options");
+  }
+  std::vector<StatusOr<VehicleEvaluation>> evaluations;
+  evaluations.reserve(result.vehicle_indices.size());
+  for (size_t index : result.vehicle_indices) {
+    VUP_ASSIGN_OR_RETURN(const VehicleDataset* ds, Dataset(index));
+    evaluations.push_back(EvaluateVehicle(*ds, config));
+  }
+  result.fleet = AggregateFleet(evaluations);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace vup

@@ -1,0 +1,70 @@
+#ifndef VUPRED_CORE_EXPERIMENT_H_
+#define VUPRED_CORE_EXPERIMENT_H_
+
+#include <map>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/evaluation.h"
+#include "telemetry/fleet.h"
+
+namespace vup {
+
+/// Generates, cleans and assembles the model-ready dataset of one fleet
+/// vehicle: the full preparation pipeline of Section 2 on the fast
+/// generation path.
+StatusOr<VehicleDataset> PrepareVehicleDataset(const Fleet& fleet,
+                                               size_t index);
+
+/// Fleet-experiment options.
+struct ExperimentOptions {
+  /// Evaluate at most this many vehicles (deterministic subsample of the
+  /// eligible ones). The paper evaluates all 2 239; benches subsample.
+  size_t max_vehicles = 30;
+  /// Skip vehicles with fewer days of history than this.
+  size_t min_days = 500;
+  /// Skip vehicles whose series has fewer working days than this
+  /// (degenerate, mostly-parked units).
+  size_t min_working_days = 60;
+  uint64_t subsample_seed = 7;
+};
+
+/// One experiment's outcome.
+struct ExperimentResult {
+  FleetEvaluation fleet;
+  std::vector<size_t> vehicle_indices;  // Vehicles evaluated (or attempted).
+  double wall_seconds = 0.0;
+};
+
+/// Orchestrates per-vehicle evaluations across a fleet with dataset
+/// caching, so comparing several algorithms/configurations on the same
+/// vehicles only pays preparation once.
+class ExperimentRunner {
+ public:
+  /// `fleet` must outlive the runner.
+  explicit ExperimentRunner(const Fleet* fleet);
+
+  ExperimentRunner(const ExperimentRunner&) = delete;
+  ExperimentRunner& operator=(const ExperimentRunner&) = delete;
+
+  /// The cached dataset of one vehicle (prepared on first use).
+  StatusOr<const VehicleDataset*> Dataset(size_t index);
+
+  /// Deterministic subsample of vehicles eligible under `options`.
+  std::vector<size_t> SelectVehicles(const ExperimentOptions& options);
+
+  /// Trains and evaluates every selected vehicle per Section 4.1 and
+  /// aggregates to the fleet level.
+  StatusOr<ExperimentResult> Run(const EvaluationConfig& config,
+                                 const ExperimentOptions& options);
+
+  const Fleet& fleet() const { return *fleet_; }
+
+ private:
+  const Fleet* fleet_;
+  std::map<size_t, VehicleDataset> cache_;
+};
+
+}  // namespace vup
+
+#endif  // VUPRED_CORE_EXPERIMENT_H_

@@ -1,0 +1,42 @@
+#include "core/feature_selection.h"
+
+#include <algorithm>
+
+#include "stats/acf.h"
+
+namespace vup {
+
+std::vector<size_t> SelectLagsByAcf(std::span<const double> hours,
+                                    size_t lookback_w, size_t top_k) {
+  std::vector<size_t> lags;
+  if (lookback_w == 0 || top_k == 0) return lags;
+  const size_t k = std::min(top_k, lookback_w);
+
+  StatusOr<std::vector<double>> acf = Autocorrelation(hours, lookback_w);
+  if (acf.ok()) {
+    lags = TopKLagsByAcf(acf.value(), k);
+  } else {
+    // Constant or too-short series: fall back to the most recent K days.
+    for (size_t l = 1; l <= k; ++l) lags.push_back(l);
+  }
+  std::sort(lags.begin(), lags.end());
+  return lags;
+}
+
+std::vector<size_t> ColumnsForLags(std::span<const WindowColumn> columns,
+                                   std::span<const size_t> lags) {
+  std::vector<size_t> out;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    const WindowColumn& col = columns[c];
+    if (col.kind == WindowColumn::Kind::kTargetContext) {
+      out.push_back(c);
+      continue;
+    }
+    if (std::find(lags.begin(), lags.end(), col.lag) != lags.end()) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace vup

@@ -1,0 +1,40 @@
+#ifndef VUPRED_CORE_FEATURE_SELECTION_H_
+#define VUPRED_CORE_FEATURE_SELECTION_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/windowing.h"
+
+namespace vup {
+
+/// Statistics-based feature selection (Section 3): the autocorrelation
+/// function of the vehicle's utilization-hours series decides which of the
+/// w lookback days are kept. The K lags with maximal ACF survive; only the
+/// features of those days enter the model.
+struct FeatureSelectionConfig {
+  /// K: number of day-lags kept. Paper default 20, optimum reported in
+  /// [10, 30].
+  size_t top_k = 20;
+};
+
+/// Picks the top-K lags in [1, lookback_w] by ACF of `hours` (typically the
+/// training span of the series). Returned ascending.
+///
+/// Degenerate series (constant, or shorter than lookback_w + 1) make the
+/// ACF undefined; the fallback keeps the K most recent lags (1..K), the
+/// natural uninformed prior.
+std::vector<size_t> SelectLagsByAcf(std::span<const double> hours,
+                                    size_t lookback_w, size_t top_k);
+
+/// Maps selected lags to the column indices of a windowed design matrix:
+/// keeps every kLagFeature column whose lag is selected plus every
+/// kTargetContext column. Returned in the columns' original order.
+std::vector<size_t> ColumnsForLags(std::span<const WindowColumn> columns,
+                                   std::span<const size_t> lags);
+
+}  // namespace vup
+
+#endif  // VUPRED_CORE_FEATURE_SELECTION_H_

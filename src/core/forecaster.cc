@@ -1,0 +1,326 @@
+#include "core/forecaster.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "common/string_util.h"
+#include "ml/linear_regression.h"
+#include "ml/serialize.h"
+
+namespace vup {
+
+std::string_view AlgorithmToString(Algorithm a) {
+  switch (a) {
+    case Algorithm::kLastValue:
+      return "LV";
+    case Algorithm::kMovingAverage:
+      return "MA";
+    case Algorithm::kLinearRegression:
+      return "LR";
+    case Algorithm::kLasso:
+      return "Lasso";
+    case Algorithm::kSvr:
+      return "SVR";
+    case Algorithm::kGradientBoosting:
+      return "GB";
+  }
+  return "?";
+}
+
+StatusOr<std::unique_ptr<Regressor>> MakeRegressor(
+    const ForecasterConfig& config) {
+  switch (config.algorithm) {
+    case Algorithm::kLinearRegression: {
+      LinearRegression::Options lr;
+      lr.ridge = config.lr_ridge;
+      return std::unique_ptr<Regressor>(new LinearRegression(lr));
+    }
+    case Algorithm::kLasso:
+      return std::unique_ptr<Regressor>(new Lasso(config.lasso));
+    case Algorithm::kSvr:
+      return std::unique_ptr<Regressor>(new Svr(config.svr));
+    case Algorithm::kGradientBoosting:
+      return std::unique_ptr<Regressor>(new GradientBoosting(config.gb));
+    case Algorithm::kLastValue:
+    case Algorithm::kMovingAverage:
+      return Status::InvalidArgument(
+          "baseline algorithms are not trained regressors");
+  }
+  return Status::Internal("unreachable algorithm");
+}
+
+VehicleForecaster::VehicleForecaster(ForecasterConfig config)
+    : config_(std::move(config)) {}
+
+Status VehicleForecaster::Train(const VehicleDataset& ds, size_t train_begin,
+                                size_t train_end) {
+  trained_ = false;
+  if (train_begin >= train_end) {
+    return Status::InvalidArgument("empty training span");
+  }
+  if (train_end > ds.num_days()) {
+    return Status::OutOfRange("training span beyond dataset");
+  }
+
+  if (IsBaseline()) {
+    trained_ = true;  // Baselines read the series at prediction time.
+    return Status::OK();
+  }
+
+  if (train_begin < config_.windowing.lookback_w) {
+    return Status::InvalidArgument(StrFormat(
+        "train_begin %zu < lookback_w %zu", train_begin,
+        config_.windowing.lookback_w));
+  }
+  if (train_end - train_begin < 2) {
+    return Status::InvalidArgument("need at least 2 training records");
+  }
+
+  VUP_ASSIGN_OR_RETURN(
+      WindowedDataset windowed,
+      BuildWindowedDataset(ds, config_.windowing, train_begin,
+                           train_end - 1));
+  all_columns_ = windowed.columns;
+
+  // Statistics-based feature selection on the training span of the hours
+  // series (the days the lookback windows draw from).
+  selected_lags_.clear();
+  selected_columns_.clear();
+  Matrix x = std::move(windowed.x);
+  if (config_.use_feature_selection) {
+    std::span<const double> hours(ds.hours());
+    std::span<const double> train_hours =
+        hours.subspan(train_begin - config_.windowing.lookback_w,
+                      config_.windowing.lookback_w + (train_end - train_begin));
+    selected_lags_ = SelectLagsByAcf(train_hours, config_.windowing.lookback_w,
+                                     config_.selection.top_k);
+    selected_columns_ = ColumnsForLags(all_columns_, selected_lags_);
+    x = x.SelectColumns(selected_columns_);
+  }
+
+  if (config_.standardize) {
+    VUP_ASSIGN_OR_RETURN(x, scaler_.FitTransform(x));
+  }
+
+  VUP_ASSIGN_OR_RETURN(model_, MakeRegressor(config_));
+  VUP_RETURN_IF_ERROR(model_->Fit(x, windowed.y));
+  trained_ = true;
+  return Status::OK();
+}
+
+StatusOr<double> VehicleForecaster::PredictTarget(const VehicleDataset& ds,
+                                                  size_t target_index) const {
+  if (!trained_) return Status::FailedPrecondition("forecaster not trained");
+
+  double prediction = 0.0;
+  if (IsBaseline()) {
+    if (target_index == 0 || target_index > ds.num_days()) {
+      return Status::InvalidArgument("baseline needs at least one past day");
+    }
+    std::span<const double> history(ds.hours().data(), target_index);
+    if (config_.algorithm == Algorithm::kLastValue) {
+      VUP_ASSIGN_OR_RETURN(prediction, LastValueBaseline().Predict(history));
+    } else {
+      VUP_ASSIGN_OR_RETURN(
+          prediction,
+          MovingAverageBaseline(config_.ma_period).Predict(history));
+    }
+  } else {
+    VUP_ASSIGN_OR_RETURN(
+        std::vector<double> row,
+        BuildFeatureRowForTarget(ds, config_.windowing, target_index));
+    if (config_.use_feature_selection) {
+      std::vector<double> selected;
+      selected.reserve(selected_columns_.size());
+      for (size_t c : selected_columns_) selected.push_back(row[c]);
+      row = std::move(selected);
+    }
+    if (config_.standardize) {
+      VUP_ASSIGN_OR_RETURN(row, scaler_.TransformRow(row));
+    }
+    VUP_ASSIGN_OR_RETURN(prediction, model_->PredictOne(row));
+  }
+
+  if (config_.clamp_predictions) {
+    prediction = std::clamp(prediction, 0.0, 24.0);
+  }
+  return prediction;
+}
+
+namespace {
+
+constexpr const char* kForecasterMagic = "vupred-forecaster v1";
+
+/// Reads the next non-empty "key values..." line and checks the key.
+StatusOr<std::vector<std::string>> ExpectLine(std::istream& is,
+                                              std::string_view key) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> tokens;
+    for (const std::string& t : Split(std::string(Trim(line)), ' ')) {
+      if (!t.empty()) tokens.push_back(t);
+    }
+    if (tokens.empty() || tokens[0] != key) {
+      return Status::InvalidArgument("expected '" + std::string(key) +
+                                     "', got '" +
+                                     (tokens.empty() ? "" : tokens[0]) + "'");
+    }
+    tokens.erase(tokens.begin());
+    return tokens;
+  }
+  return Status::InvalidArgument("unexpected end of forecaster stream");
+}
+
+StatusOr<long long> ExpectIntLine(std::istream& is, std::string_view key) {
+  VUP_ASSIGN_OR_RETURN(std::vector<std::string> rest, ExpectLine(is, key));
+  if (rest.size() != 1) {
+    return Status::InvalidArgument("expected one value for '" +
+                                   std::string(key) + "'");
+  }
+  return ParseInt(rest[0]);
+}
+
+StatusOr<std::vector<size_t>> ExpectIndexVector(std::istream& is,
+                                                std::string_view key) {
+  VUP_ASSIGN_OR_RETURN(std::vector<std::string> rest, ExpectLine(is, key));
+  if (rest.empty()) {
+    return Status::InvalidArgument("missing count for '" + std::string(key) +
+                                   "'");
+  }
+  VUP_ASSIGN_OR_RETURN(long long count, ParseInt(rest[0]));
+  if (count < 0 || static_cast<size_t>(count) != rest.size() - 1) {
+    return Status::InvalidArgument("index vector size mismatch for '" +
+                                   std::string(key) + "'");
+  }
+  std::vector<size_t> out;
+  out.reserve(static_cast<size_t>(count));
+  for (size_t i = 1; i < rest.size(); ++i) {
+    VUP_ASSIGN_OR_RETURN(long long v, ParseInt(rest[i]));
+    if (v < 0) return Status::InvalidArgument("negative index");
+    out.push_back(static_cast<size_t>(v));
+  }
+  return out;
+}
+
+void WriteIndexVector(std::ostream& os, const char* key,
+                      const std::vector<size_t>& v) {
+  os << key << " " << v.size();
+  for (size_t x : v) os << " " << x;
+  os << "\n";
+}
+
+}  // namespace
+
+Status VehicleForecaster::Save(std::ostream& os) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("cannot save an untrained forecaster");
+  }
+  if (IsBaseline()) {
+    return Status::Unimplemented(
+        "baseline forecasters carry no state to save");
+  }
+  os << kForecasterMagic << "\n";
+  os << "algorithm " << AlgorithmToString(config_.algorithm) << "\n";
+  os << "lookback_w " << config_.windowing.lookback_w << "\n";
+  os << "include_target_day_context "
+     << (config_.windowing.include_target_day_context ? 1 : 0) << "\n";
+  os << "include_lag_context "
+     << (config_.windowing.include_lag_context ? 1 : 0) << "\n";
+  os << "lag_engine_features " << config_.windowing.lag_engine_features
+     << "\n";
+  os << "top_k " << config_.selection.top_k << "\n";
+  os << "use_feature_selection " << (config_.use_feature_selection ? 1 : 0)
+     << "\n";
+  os << "standardize " << (config_.standardize ? 1 : 0) << "\n";
+  os << "clamp_predictions " << (config_.clamp_predictions ? 1 : 0) << "\n";
+  WriteIndexVector(os, "selected_lags", selected_lags_);
+  WriteIndexVector(os, "selected_columns", selected_columns_);
+  if (config_.standardize) {
+    VUP_RETURN_IF_ERROR(SaveScaler(scaler_, os));
+  }
+  VUP_RETURN_IF_ERROR(SaveRegressor(*model_, os));
+  os << "end-forecaster\n";
+  if (!os) return Status::DataLoss("stream write failed");
+  return Status::OK();
+}
+
+StatusOr<VehicleForecaster> VehicleForecaster::Load(std::istream& is) {
+  // Magic line.
+  {
+    std::string line;
+    if (!std::getline(is, line)) {
+      return Status::InvalidArgument("empty forecaster stream");
+    }
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line != kForecasterMagic) {
+      return Status::InvalidArgument("not a vupred-forecaster v1 stream");
+    }
+  }
+
+  ForecasterConfig config;
+  VUP_ASSIGN_OR_RETURN(std::vector<std::string> alg,
+                       ExpectLine(is, "algorithm"));
+  if (alg.size() != 1) {
+    return Status::InvalidArgument("malformed algorithm line");
+  }
+  bool found = false;
+  for (int a = 0; a < kNumAlgorithms; ++a) {
+    if (AlgorithmToString(static_cast<Algorithm>(a)) == alg[0]) {
+      config.algorithm = static_cast<Algorithm>(a);
+      found = true;
+    }
+  }
+  if (!found) {
+    return Status::InvalidArgument("unknown algorithm: " + alg[0]);
+  }
+
+  VUP_ASSIGN_OR_RETURN(long long lookback, ExpectIntLine(is, "lookback_w"));
+  config.windowing.lookback_w = static_cast<size_t>(lookback);
+  VUP_ASSIGN_OR_RETURN(long long tdc,
+                       ExpectIntLine(is, "include_target_day_context"));
+  config.windowing.include_target_day_context = tdc != 0;
+  VUP_ASSIGN_OR_RETURN(long long lc,
+                       ExpectIntLine(is, "include_lag_context"));
+  config.windowing.include_lag_context = lc != 0;
+  VUP_ASSIGN_OR_RETURN(long long lef,
+                       ExpectIntLine(is, "lag_engine_features"));
+  config.windowing.lag_engine_features = static_cast<size_t>(lef);
+  VUP_ASSIGN_OR_RETURN(long long top_k, ExpectIntLine(is, "top_k"));
+  config.selection.top_k = static_cast<size_t>(top_k);
+  VUP_ASSIGN_OR_RETURN(long long ufs,
+                       ExpectIntLine(is, "use_feature_selection"));
+  config.use_feature_selection = ufs != 0;
+  VUP_ASSIGN_OR_RETURN(long long std_flag, ExpectIntLine(is, "standardize"));
+  config.standardize = std_flag != 0;
+  VUP_ASSIGN_OR_RETURN(long long clamp,
+                       ExpectIntLine(is, "clamp_predictions"));
+  config.clamp_predictions = clamp != 0;
+
+  VehicleForecaster forecaster(config);
+  VUP_ASSIGN_OR_RETURN(forecaster.selected_lags_,
+                       ExpectIndexVector(is, "selected_lags"));
+  VUP_ASSIGN_OR_RETURN(forecaster.selected_columns_,
+                       ExpectIndexVector(is, "selected_columns"));
+  forecaster.all_columns_ = MakeWindowColumns(config.windowing);
+  for (size_t c : forecaster.selected_columns_) {
+    if (c >= forecaster.all_columns_.size()) {
+      return Status::InvalidArgument("selected column index out of range");
+    }
+  }
+  if (config.standardize) {
+    VUP_ASSIGN_OR_RETURN(forecaster.scaler_, LoadScaler(is));
+  }
+  VUP_ASSIGN_OR_RETURN(forecaster.model_, LoadRegressor(is));
+  VUP_ASSIGN_OR_RETURN(std::vector<std::string> end,
+                       ExpectLine(is, "end-forecaster"));
+  if (!end.empty()) {
+    return Status::InvalidArgument("trailing tokens after end-forecaster");
+  }
+  forecaster.trained_ = true;
+  return forecaster;
+}
+
+}  // namespace vup

@@ -1,0 +1,121 @@
+#ifndef VUPRED_CORE_FORECASTER_H_
+#define VUPRED_CORE_FORECASTER_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string_view>
+
+#include "common/statusor.h"
+#include "core/feature_selection.h"
+#include "core/windowing.h"
+#include "ml/baselines.h"
+#include "ml/gradient_boosting.h"
+#include "ml/lasso.h"
+#include "ml/model.h"
+#include "ml/scaler.h"
+#include "ml/svr.h"
+#include "pipeline/dataset.h"
+
+namespace vup {
+
+/// The six forecasting methods the paper compares (Section 3):
+/// two naive baselines and four regression algorithms.
+enum class Algorithm : int {
+  kLastValue = 0,        // LV baseline.
+  kMovingAverage = 1,    // MA baseline, period 30.
+  kLinearRegression = 2,
+  kLasso = 3,            // alpha = 0.1.
+  kSvr = 4,              // rbf, C=10, eps=0.1.
+  kGradientBoosting = 5, // lr=0.1, 100 stumps, LAD.
+};
+
+inline constexpr int kNumAlgorithms = 6;
+
+std::string_view AlgorithmToString(Algorithm a);
+
+/// Per-vehicle forecaster configuration: algorithm plus the methodology
+/// knobs (lookback window, ACF feature selection, scaling).
+struct ForecasterConfig {
+  Algorithm algorithm = Algorithm::kSvr;
+  WindowingConfig windowing;
+  FeatureSelectionConfig selection;
+  bool use_feature_selection = true;
+  /// Standardize features before the regressor (required for sane SVR
+  /// distances, harmless elsewhere).
+  bool standardize = true;
+  /// Clamp predictions to the physical range [0, 24] hours.
+  bool clamp_predictions = true;
+
+  size_t ma_period = 30;  // Moving-average baseline period.
+  /// LR on wide windowed designs needs Tikhonov stabilization (see
+  /// LinearRegression::Options::ridge): with ~200 standardized columns and
+  /// ~140 records, plain OLS interpolates and extrapolates wildly. This
+  /// plays the role of scikit-learn's minimum-norm lstsq solution.
+  double lr_ridge = 25.0;
+  Lasso::Options lasso;
+  Svr::Options svr;
+  GradientBoosting::Options gb;
+};
+
+/// Builds an unfitted regressor for an ML algorithm with the paper's
+/// hyper-parameters from `config`. InvalidArgument for baseline algorithms
+/// (they are not trained models).
+StatusOr<std::unique_ptr<Regressor>> MakeRegressor(
+    const ForecasterConfig& config);
+
+/// One vehicle's end-to-end forecasting pipeline:
+/// windowing -> ACF lag selection -> standardization -> regressor.
+/// Baselines (LV, MA) skip the pipeline and read the hours series directly.
+class VehicleForecaster {
+ public:
+  explicit VehicleForecaster(ForecasterConfig config);
+
+  /// Trains on records whose target rows are train_begin..train_end-1
+  /// (half-open, indices into `ds`). Requirements: for ML algorithms,
+  /// train_begin >= lookback_w and at least 2 records. For baselines this
+  /// records the training span end and succeeds trivially.
+  Status Train(const VehicleDataset& ds, size_t train_begin,
+               size_t train_end);
+
+  /// Predicts utilization hours of target row `target_index`
+  /// (may equal ds.num_days() for the one-step-ahead forecast).
+  /// FailedPrecondition before Train.
+  StatusOr<double> PredictTarget(const VehicleDataset& ds,
+                                 size_t target_index) const;
+
+  const ForecasterConfig& config() const { return config_; }
+  bool trained() const { return trained_; }
+
+  /// Lags selected at the last Train (empty for baselines or when feature
+  /// selection is off).
+  const std::vector<size_t>& selected_lags() const { return selected_lags_; }
+
+  /// Persists the trained pipeline (config, selected columns, scaler,
+  /// model) as text, so a model trained centrally can be applied at the
+  /// edge without retraining. FailedPrecondition before Train;
+  /// Unimplemented for baseline algorithms (they carry no state).
+  Status Save(std::ostream& os) const;
+
+  /// Restores a pipeline written by Save.
+  static StatusOr<VehicleForecaster> Load(std::istream& is);
+
+ private:
+  bool IsBaseline() const {
+    return config_.algorithm == Algorithm::kLastValue ||
+           config_.algorithm == Algorithm::kMovingAverage;
+  }
+
+  ForecasterConfig config_;
+  bool trained_ = false;
+
+  // ML pipeline state.
+  std::unique_ptr<Regressor> model_;
+  StandardScaler scaler_;
+  std::vector<WindowColumn> all_columns_;
+  std::vector<size_t> selected_lags_;
+  std::vector<size_t> selected_columns_;
+};
+
+}  // namespace vup
+
+#endif  // VUPRED_CORE_FORECASTER_H_

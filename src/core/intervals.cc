@@ -1,0 +1,92 @@
+#include "core/intervals.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "stats/descriptive.h"
+
+namespace vup {
+
+ResidualIntervalEstimator::ResidualIntervalEstimator(double confidence)
+    : confidence_(confidence) {
+  VUP_CHECK(confidence > 0.0 && confidence < 1.0)
+      << "confidence=" << confidence;
+}
+
+Status ResidualIntervalEstimator::Fit(std::span<const double> predictions,
+                                      std::span<const double> actuals) {
+  fitted_ = false;
+  if (predictions.size() != actuals.size()) {
+    return Status::InvalidArgument("prediction/actual size mismatch");
+  }
+  if (predictions.size() < 5) {
+    return Status::InvalidArgument(StrFormat(
+        "need at least 5 residuals to calibrate, got %zu",
+        predictions.size()));
+  }
+  std::vector<double> residuals(predictions.size());
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    residuals[i] = actuals[i] - predictions[i];
+  }
+  double alpha = (1.0 - confidence_) / 2.0;
+  lower_offset_ = Quantile(residuals, alpha);
+  upper_offset_ = Quantile(residuals, 1.0 - alpha);
+  fitted_ = true;
+  return Status::OK();
+}
+
+Status ResidualIntervalEstimator::Fit(const VehicleEvaluation& evaluation) {
+  return Fit(evaluation.predictions, evaluation.actuals);
+}
+
+StatusOr<ForecastInterval> ResidualIntervalEstimator::IntervalFor(
+    double point_forecast) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("interval estimator not calibrated");
+  }
+  ForecastInterval interval;
+  interval.point = point_forecast;
+  interval.lower = std::clamp(point_forecast + lower_offset_, 0.0, 24.0);
+  interval.upper = std::clamp(point_forecast + upper_offset_, 0.0, 24.0);
+  return interval;
+}
+
+StatusOr<CoverageResult> EvaluateIntervalCoverage(
+    const VehicleEvaluation& evaluation, double confidence,
+    double calibration_fraction) {
+  if (calibration_fraction <= 0.0 || calibration_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        "calibration_fraction must be in (0, 1)");
+  }
+  const size_t n = evaluation.predictions.size();
+  size_t split = static_cast<size_t>(calibration_fraction *
+                                     static_cast<double>(n));
+  if (split < 5 || n - split < 1) {
+    return Status::InvalidArgument(
+        "evaluation too short to split for coverage measurement");
+  }
+
+  ResidualIntervalEstimator estimator(confidence);
+  VUP_RETURN_IF_ERROR(estimator.Fit(
+      std::span<const double>(evaluation.predictions).subspan(0, split),
+      std::span<const double>(evaluation.actuals).subspan(0, split)));
+
+  CoverageResult result;
+  result.calibration_points = split;
+  size_t covered = 0;
+  double width_sum = 0.0;
+  for (size_t i = split; i < n; ++i) {
+    VUP_ASSIGN_OR_RETURN(ForecastInterval interval,
+                         estimator.IntervalFor(evaluation.predictions[i]));
+    if (interval.Contains(evaluation.actuals[i])) ++covered;
+    width_sum += interval.width();
+  }
+  result.test_points = n - split;
+  result.coverage =
+      static_cast<double>(covered) / static_cast<double>(result.test_points);
+  result.mean_width = width_sum / static_cast<double>(result.test_points);
+  return result;
+}
+
+}  // namespace vup

@@ -1,0 +1,86 @@
+#ifndef VUPRED_CORE_INTERVALS_H_
+#define VUPRED_CORE_INTERVALS_H_
+
+#include <span>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/evaluation.h"
+
+namespace vup {
+
+/// A point forecast with a confidence band.
+struct ForecastInterval {
+  double lower = 0.0;
+  double point = 0.0;
+  double upper = 0.0;
+
+  double width() const { return upper - lower; }
+  bool Contains(double value) const {
+    return value >= lower && value <= upper;
+  }
+};
+
+/// Empirical-residual interval estimator: the paper's evaluation goal (iii),
+/// "estimate the prediction errors to get confidence intervals for the
+/// estimations" (Section 4).
+///
+/// Calibrates on walk-forward residuals (actual - predicted) from a
+/// held-out span, then brackets any new point forecast with the residual
+/// quantiles at the requested confidence. Distribution-free; asymmetric
+/// residuals (common in the next-day scenario, where misses are one-sided)
+/// produce asymmetric bands.
+class ResidualIntervalEstimator {
+ public:
+  /// `confidence` in (0, 1), e.g. 0.9 for an 80%-central band at
+  /// quantiles (0.05, 0.95)... precisely: the band covers `confidence`
+  /// centrally, i.e. quantiles ((1-c)/2, (1+c)/2).
+  explicit ResidualIntervalEstimator(double confidence = 0.9);
+
+  /// Calibrates from aligned predictions and actuals (walk-forward
+  /// hold-out output). InvalidArgument when sizes mismatch or fewer than 5
+  /// residuals are available.
+  Status Fit(std::span<const double> predictions,
+             std::span<const double> actuals);
+
+  /// Convenience: calibrate straight from an evaluation result.
+  Status Fit(const VehicleEvaluation& evaluation);
+
+  bool fitted() const { return fitted_; }
+  double confidence() const { return confidence_; }
+  /// Calibrated residual quantiles (additive offsets around the point).
+  double lower_offset() const { return lower_offset_; }
+  double upper_offset() const { return upper_offset_; }
+
+  /// Brackets a point forecast; the band is clamped to the physical
+  /// [0, 24] hours range. FailedPrecondition before Fit.
+  StatusOr<ForecastInterval> IntervalFor(double point_forecast) const;
+
+ private:
+  double confidence_;
+  bool fitted_ = false;
+  double lower_offset_ = 0.0;
+  double upper_offset_ = 0.0;
+};
+
+/// Out-of-sample coverage of the residual intervals.
+struct CoverageResult {
+  /// Fraction of test actuals inside their interval. Should approach the
+  /// nominal confidence when residuals are stationary.
+  double coverage = 0.0;
+  double mean_width = 0.0;
+  size_t calibration_points = 0;
+  size_t test_points = 0;
+};
+
+/// Splits a walk-forward evaluation temporally: the first
+/// `calibration_fraction` of the eval span calibrates the residual
+/// quantiles, the rest measures empirical coverage -- the protocol a
+/// deployment would use to attach bands to live forecasts.
+StatusOr<CoverageResult> EvaluateIntervalCoverage(
+    const VehicleEvaluation& evaluation, double confidence = 0.9,
+    double calibration_fraction = 0.5);
+
+}  // namespace vup
+
+#endif  // VUPRED_CORE_INTERVALS_H_

@@ -1,0 +1,94 @@
+#ifndef VUPRED_CORE_TWO_STAGE_H_
+#define VUPRED_CORE_TWO_STAGE_H_
+
+#include <memory>
+
+#include "common/statusor.h"
+#include "core/evaluation.h"
+#include "core/forecaster.h"
+#include "ml/logistic_regression.h"
+
+namespace vup {
+
+/// Configuration of the two-stage forecaster, this repository's
+/// implementation of the paper's future-work direction (Section 5: "the
+/// use of classification models to predict discrete usage levels").
+struct TwoStageConfig {
+  /// The regression stage (an ML algorithm; baselines are rejected).
+  /// Windowing/selection/scaling settings are shared by both stages.
+  ForecasterConfig regression;
+  /// The working/idle gate. The strong default L2 matters: the gate sees
+  /// ~200 windowed features from ~140 records, and a lightly-regularized
+  /// logistic separates the training span perfectly and generalizes badly.
+  LogisticRegression::Options classifier = {.l2 = 50.0};
+  /// A target day counts as working when hours >= this threshold.
+  double working_threshold_hours = 1.0;
+  /// P(working) above which the gate opens.
+  double decision_threshold = 0.5;
+  /// false: hard gate (predict 0 below the threshold, regression output
+  /// above). true: soft gate (P(working) * regression output), a
+  /// probability-weighted forecast useful for fleet-level planning.
+  bool soft_gate = false;
+};
+
+/// Two-stage per-vehicle forecaster for the next-day scenario: a logistic
+/// classifier decides whether the vehicle works at all on the target day;
+/// a regressor trained on working-day records only predicts the hours.
+/// Directly attacks the failure mode of Figure 6(a): single-stage
+/// regressors hedge between idle days and working-day levels.
+class TwoStageForecaster {
+ public:
+  explicit TwoStageForecaster(TwoStageConfig config);
+
+  /// Trains both stages on records targeting train_begin..train_end-1.
+  /// Degenerate training spans (all working or all idle) collapse the gate
+  /// to the constant class and train the regressor when possible.
+  Status Train(const VehicleDataset& ds, size_t train_begin,
+               size_t train_end);
+
+  /// Predicts utilization hours of target row `target_index`
+  /// (== ds.num_days() for the one-step-ahead forecast).
+  StatusOr<double> PredictTarget(const VehicleDataset& ds,
+                                 size_t target_index) const;
+
+  /// P(target day is a working day); 0/1 for degenerate gates.
+  StatusOr<double> PredictWorkingProbability(const VehicleDataset& ds,
+                                             size_t target_index) const;
+
+  bool trained() const { return trained_; }
+  const TwoStageConfig& config() const { return config_; }
+
+ private:
+  StatusOr<std::vector<double>> PreparedRow(const VehicleDataset& ds,
+                                            size_t target_index) const;
+
+  TwoStageConfig config_;
+  bool trained_ = false;
+
+  // Shared feature pipeline state.
+  std::vector<WindowColumn> all_columns_;
+  std::vector<size_t> selected_columns_;
+  StandardScaler scaler_;
+
+  // Stage 1: the gate. When `degenerate_` the training span had a single
+  // class and `constant_class_` is used instead of the model.
+  LogisticRegression gate_;
+  bool degenerate_gate_ = false;
+  int constant_class_ = 1;
+
+  // Stage 2: hours regressor (trained on working-day records).
+  std::unique_ptr<Regressor> regressor_;
+  bool has_regressor_ = false;
+  double fallback_hours_ = 0.0;  // Median working-day hours.
+};
+
+/// Walk-forward evaluation of the two-stage forecaster with the protocol
+/// of EvaluateVehicle (always next-day scenario: the gate exists to handle
+/// idle days, which the next-working-day scenario removes).
+StatusOr<VehicleEvaluation> EvaluateVehicleTwoStage(
+    const VehicleDataset& ds, const EvaluationConfig& eval_config,
+    const TwoStageConfig& two_stage_config);
+
+}  // namespace vup
+
+#endif  // VUPRED_CORE_TWO_STAGE_H_

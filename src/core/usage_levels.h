@@ -1,0 +1,101 @@
+#ifndef VUPRED_CORE_USAGE_LEVELS_H_
+#define VUPRED_CORE_USAGE_LEVELS_H_
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/evaluation.h"
+#include "core/forecaster.h"
+#include "ml/logistic_regression.h"
+#include "ml/scaler.h"
+
+namespace vup {
+
+/// Discrete usage levels, the paper's future-work prediction target
+/// (Section 5: "the use of classification models to predict discrete usage
+/// levels"). Bucket boundaries follow the shape of Figure 1(a).
+enum class UsageLevel : int {
+  kIdle = 0,    // < 1 h.
+  kShort = 1,   // [1, 3) h.
+  kMedium = 2,  // [3, 6) h.
+  kLong = 3,    // >= 6 h.
+};
+
+inline constexpr int kNumUsageLevels = 4;
+
+std::string_view UsageLevelToString(UsageLevel level);
+
+/// Maps daily utilization hours to a level.
+UsageLevel LevelForHours(double hours);
+
+/// Row-normalized confusion counts for the level classifier.
+struct LevelConfusionMatrix {
+  std::array<std::array<int, kNumUsageLevels>, kNumUsageLevels> counts{};
+
+  int total() const;
+  /// Fraction of exactly-right predictions.
+  double Accuracy() const;
+  /// Fraction within one level of the truth (idle predicted short counts).
+  double WithinOneAccuracy() const;
+  std::string ToString() const;
+};
+
+/// One-vs-rest stack of logistic classifiers over the same windowed
+/// feature pipeline the regression forecaster uses. Predicts the usage
+/// level of the next day.
+class UsageLevelClassifier {
+ public:
+  struct Options {
+    /// Shared feature pipeline settings (algorithm field is ignored).
+    ForecasterConfig pipeline;
+    /// Strongly regularized by default: each one-vs-rest head fits ~200
+    /// windowed features from ~140 records.
+    LogisticRegression::Options logistic = {.l2 = 50.0};
+  };
+
+  explicit UsageLevelClassifier(Options options);
+
+  /// Trains the one-vs-rest stack on records targeting
+  /// train_begin..train_end-1. Levels absent from the training span
+  /// receive a constant-score model (never predicted unless trained).
+  Status Train(const VehicleDataset& ds, size_t train_begin,
+               size_t train_end);
+
+  /// Most probable level of target row `target_index`.
+  StatusOr<UsageLevel> PredictTarget(const VehicleDataset& ds,
+                                     size_t target_index) const;
+
+  /// Per-level scores (one-vs-rest probabilities, not normalized).
+  StatusOr<std::array<double, kNumUsageLevels>> PredictScores(
+      const VehicleDataset& ds, size_t target_index) const;
+
+  bool trained() const { return trained_; }
+
+ private:
+  Options options_;
+  bool trained_ = false;
+  std::vector<WindowColumn> all_columns_;
+  std::vector<size_t> selected_columns_;
+  StandardScaler scaler_;
+  struct PerLevel {
+    bool usable = false;
+    double prior = 0.0;  // Training frequency, fallback score.
+    LogisticRegression model;
+  };
+  std::array<PerLevel, kNumUsageLevels> models_;
+};
+
+/// Walk-forward evaluation of the level classifier: trains on the
+/// preceding window per the strategy and accumulates a confusion matrix
+/// over the last eval_days targets (protocol of Section 4.1 adapted to
+/// classification).
+StatusOr<LevelConfusionMatrix> EvaluateUsageLevels(
+    const VehicleDataset& ds, const EvaluationConfig& eval_config,
+    const UsageLevelClassifier::Options& options);
+
+}  // namespace vup
+
+#endif  // VUPRED_CORE_USAGE_LEVELS_H_

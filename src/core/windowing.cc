@@ -1,0 +1,135 @@
+#include "core/windowing.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "pipeline/enrich.h"
+
+namespace vup {
+
+std::string WindowColumn::ToString() const {
+  if (kind == Kind::kLagFeature) {
+    return StrFormat("%s@t-%zu",
+                     VehicleDataset::FeatureNames()[feature].c_str(), lag);
+  }
+  return StrFormat("%s@target", ContextFeatureNames()[feature].c_str());
+}
+
+namespace {
+
+/// Number of per-lag-day feature columns under `config`.
+size_t LagFeatureCount(const WindowingConfig& config) {
+  if (config.include_lag_context) {
+    return VehicleDataset::FeatureNames().size();
+  }
+  return std::min(config.lag_engine_features,
+                  VehicleDataset::kNumEngineFeatures);
+}
+
+}  // namespace
+
+std::vector<WindowColumn> MakeWindowColumns(const WindowingConfig& config) {
+  std::vector<WindowColumn> columns;
+  const size_t nf = LagFeatureCount(config);
+  columns.reserve(config.lookback_w * nf +
+                  (config.include_target_day_context ? kNumContextFeatures
+                                                     : 0));
+  for (size_t lag = 1; lag <= config.lookback_w; ++lag) {
+    for (size_t f = 0; f < nf; ++f) {
+      columns.push_back(
+          {WindowColumn::Kind::kLagFeature, lag, f});
+    }
+  }
+  if (config.include_target_day_context) {
+    for (size_t f = 0; f < kNumContextFeatures; ++f) {
+      columns.push_back({WindowColumn::Kind::kTargetContext, 0, f});
+    }
+  }
+  return columns;
+}
+
+namespace {
+
+Status ValidateWindowing(const VehicleDataset& ds,
+                         const WindowingConfig& config, size_t target_index,
+                         bool allow_one_past_end) {
+  if (config.lookback_w < 1) {
+    return Status::InvalidArgument("lookback_w must be >= 1");
+  }
+  size_t max_target = ds.num_days() - (allow_one_past_end ? 0 : 1);
+  if (target_index > max_target) {
+    return Status::OutOfRange(
+        StrFormat("target index %zu beyond dataset of %zu days", target_index,
+                  ds.num_days()));
+  }
+  if (target_index < config.lookback_w) {
+    return Status::InvalidArgument(
+        StrFormat("target index %zu has fewer than w=%zu preceding days",
+                  target_index, config.lookback_w));
+  }
+  return Status::OK();
+}
+
+/// Appends the feature row for `target_index` to `out`.
+void FillFeatureRow(const VehicleDataset& ds, const WindowingConfig& config,
+                    size_t target_index, std::vector<double>* out) {
+  const size_t nf = LagFeatureCount(config);
+  for (size_t lag = 1; lag <= config.lookback_w; ++lag) {
+    std::span<const double> row = ds.FeatureRow(target_index - lag);
+    out->insert(out->end(), row.begin(), row.begin() + static_cast<long>(nf));
+  }
+  if (config.include_target_day_context) {
+    Date target_date = target_index < ds.num_days()
+                           ? ds.dates()[target_index]
+                           : ds.dates().back().AddDays(1);
+    std::vector<double> ctx =
+        ContextToVector(ComputeContext(target_date, ds.country()));
+    out->insert(out->end(), ctx.begin(), ctx.end());
+  }
+}
+
+}  // namespace
+
+StatusOr<WindowedDataset> BuildWindowedDataset(const VehicleDataset& ds,
+                                               const WindowingConfig& config,
+                                               size_t first_target,
+                                               size_t last_target) {
+  if (first_target > last_target) {
+    return Status::InvalidArgument("first_target > last_target");
+  }
+  VUP_RETURN_IF_ERROR(ValidateWindowing(ds, config, first_target, false));
+  VUP_RETURN_IF_ERROR(ValidateWindowing(ds, config, last_target, false));
+
+  WindowedDataset out;
+  out.columns = MakeWindowColumns(config);
+  const size_t num_records = last_target - first_target + 1;
+  const size_t num_cols = out.columns.size();
+  out.x = Matrix(num_records, num_cols);
+  out.y.reserve(num_records);
+  out.target_rows.reserve(num_records);
+
+  std::vector<double> row;
+  row.reserve(num_cols);
+  for (size_t t = first_target; t <= last_target; ++t) {
+    row.clear();
+    FillFeatureRow(ds, config, t, &row);
+    VUP_CHECK(row.size() == num_cols);
+    std::span<double> dst = out.x.MutableRow(t - first_target);
+    for (size_t c = 0; c < num_cols; ++c) dst[c] = row[c];
+    out.y.push_back(ds.hours()[t]);
+    out.target_rows.push_back(t);
+  }
+  return out;
+}
+
+StatusOr<std::vector<double>> BuildFeatureRowForTarget(
+    const VehicleDataset& ds, const WindowingConfig& config,
+    size_t target_index) {
+  VUP_RETURN_IF_ERROR(ValidateWindowing(ds, config, target_index, true));
+  std::vector<double> row;
+  FillFeatureRow(ds, config, target_index, &row);
+  return row;
+}
+
+}  // namespace vup

@@ -1,0 +1,85 @@
+#ifndef VUPRED_CORE_WINDOWING_H_
+#define VUPRED_CORE_WINDOWING_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "linalg/matrix.h"
+#include "pipeline/dataset.h"
+
+namespace vup {
+
+/// Training-data generation parameters (Section 3, "Training data
+/// generation"): a lookback window SW of w days slides over the training
+/// span; each position yields one record whose features are the per-day
+/// feature vectors of the w preceding days.
+struct WindowingConfig {
+  /// w == |SW|: days of history per record. Paper default 140.
+  size_t lookback_w = 140;
+  /// Append the known-in-advance calendar context of the target day itself
+  /// (its day-of-week, holiday flag, ...). The paper enriches records with
+  /// contextual information; the target day's calendar is known a priori.
+  bool include_target_day_context = true;
+  /// Also carry the calendar context of every lag day. Off by default: a
+  /// past day's calendar is a deterministic function of its date and adds
+  /// only redundant columns; the enrichment ablation bench turns it on.
+  bool include_lag_context = false;
+  /// How many engine features each lag day contributes (a prefix of
+  /// VehicleDataset::FeatureNames(), so 1 == just day_hours). Capped at
+  /// kNumEngineFeatures. With K selected days and ~140 training records,
+  /// carrying all 10 engine features per day overfits; the defaults keep
+  /// the strongly informative ones (hours, fuel, load, rpm).
+  size_t lag_engine_features = 4;
+};
+
+/// Provenance of one column of the windowed design matrix.
+struct WindowColumn {
+  enum class Kind {
+    kLagFeature,     // Feature `feature` of day (target - lag).
+    kTargetContext,  // Context feature `feature` of the target day.
+  };
+  Kind kind = Kind::kLagFeature;
+  size_t lag = 0;      // 1..w for kLagFeature.
+  size_t feature = 0;  // Index into VehicleDataset::FeatureNames() for lag
+                       // features; into ContextFeatureNames() for context.
+
+  std::string ToString() const;
+};
+
+/// The windowed (relational) training view of one vehicle.
+struct WindowedDataset {
+  Matrix x;                      // One row per record.
+  std::vector<double> y;         // Target H_{t+1} per record.
+  std::vector<size_t> target_rows;  // Source-dataset row of each target.
+  std::vector<WindowColumn> columns;
+
+  size_t num_records() const { return y.size(); }
+};
+
+/// Column layout for a given config and dataset feature count (stable:
+/// lag-major, i.e. all features of lag 1, then lag 2, ..., then target
+/// context).
+std::vector<WindowColumn> MakeWindowColumns(const WindowingConfig& config);
+
+/// Builds records whose target rows are `first_target .. last_target`
+/// (inclusive, indices into `ds`). Requirements:
+///   lookback_w >= 1, first_target >= lookback_w,
+///   last_target < ds.num_days(), first_target <= last_target.
+StatusOr<WindowedDataset> BuildWindowedDataset(const VehicleDataset& ds,
+                                               const WindowingConfig& config,
+                                               size_t first_target,
+                                               size_t last_target);
+
+/// Builds the feature row for predicting target row `target_index`.
+/// `target_index` may equal ds.num_days(): the one-step-ahead forecast
+/// beyond the observed series; its calendar context uses the day after the
+/// last observed date.
+StatusOr<std::vector<double>> BuildFeatureRowForTarget(
+    const VehicleDataset& ds, const WindowingConfig& config,
+    size_t target_index);
+
+}  // namespace vup
+
+#endif  // VUPRED_CORE_WINDOWING_H_

@@ -1,0 +1,69 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace vup {
+
+StatusOr<Matrix> CholeskyFactor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::InvalidArgument(
+          "matrix is not positive definite (Cholesky pivot <= 0)");
+    }
+    l(j, j) = std::sqrt(diag);
+    for (size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      l(i, j) = sum / l(j, j);
+    }
+  }
+  return l;
+}
+
+StatusOr<std::vector<double>> CholeskySolve(const Matrix& a,
+                                            std::span<const double> b) {
+  if (b.size() != a.rows()) {
+    return Status::InvalidArgument("rhs size does not match matrix");
+  }
+  VUP_ASSIGN_OR_RETURN(Matrix l, CholeskyFactor(a));
+  const size_t n = l.rows();
+  // Forward substitution: L z = b.
+  std::vector<double> z(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l(i, k) * z[k];
+    z[i] = sum / l(i, i);
+  }
+  // Backward substitution: L^T x = z.
+  std::vector<double> x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = z[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= l(k, ii) * x[k];
+    x[ii] = sum / l(ii, ii);
+  }
+  return x;
+}
+
+StatusOr<std::vector<double>> SolveNormalEquations(const Matrix& x,
+                                                   std::span<const double> y,
+                                                   double ridge) {
+  if (y.size() != x.rows()) {
+    return Status::InvalidArgument("target size does not match design matrix");
+  }
+  if (ridge < 0.0) {
+    return Status::InvalidArgument("ridge must be non-negative");
+  }
+  Matrix gram = x.Gram();
+  for (size_t i = 0; i < gram.rows(); ++i) gram(i, i) += ridge;
+  std::vector<double> xty = x.TransposeMultiplyVec(y);
+  return CholeskySolve(gram, xty);
+}
+
+}  // namespace vup

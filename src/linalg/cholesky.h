@@ -1,0 +1,31 @@
+#ifndef VUPRED_LINALG_CHOLESKY_H_
+#define VUPRED_LINALG_CHOLESKY_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "linalg/matrix.h"
+
+namespace vup {
+
+/// Cholesky factorization A = L * L^T of a symmetric positive-definite
+/// matrix. Returns the lower-triangular factor L, or InvalidArgument when A
+/// is not square / not positive definite (within numerical tolerance).
+StatusOr<Matrix> CholeskyFactor(const Matrix& a);
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky
+/// (forward + backward substitution). b.size() must equal A.rows().
+StatusOr<std::vector<double>> CholeskySolve(const Matrix& a,
+                                            std::span<const double> b);
+
+/// Solves the ridge-regularized normal equations
+///   (X^T X + ridge * I) w = X^T y.
+/// With ridge == 0 this is ordinary least squares via normal equations;
+/// a small positive ridge guarantees positive definiteness.
+StatusOr<std::vector<double>> SolveNormalEquations(const Matrix& x,
+                                                   std::span<const double> y,
+                                                   double ridge);
+
+}  // namespace vup
+
+#endif  // VUPRED_LINALG_CHOLESKY_H_

@@ -1,0 +1,157 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace vup {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  Matrix m;
+  for (const std::vector<double>& row : rows) {
+    m.AppendRow(row);
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> Matrix::Col(size_t c) const {
+  VUP_CHECK(c < cols_);
+  std::vector<double> out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  VUP_CHECK(cols_ == other.rows_)
+      << "shape mismatch: " << rows_ << "x" << cols_ << " * " << other.rows_
+      << "x" << other.cols_;
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out(i, j) += a * other(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::MultiplyVec(std::span<const double> v) const {
+  VUP_CHECK(cols_ == v.size());
+  std::vector<double> out(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    out[i] = Dot(Row(i), v);
+  }
+  return out;
+}
+
+Matrix Matrix::Gram() const {
+  Matrix g(cols_, cols_);
+  for (size_t i = 0; i < cols_; ++i) {
+    for (size_t j = i; j < cols_; ++j) {
+      double sum = 0.0;
+      for (size_t r = 0; r < rows_; ++r) {
+        sum += (*this)(r, i) * (*this)(r, j);
+      }
+      g(i, j) = sum;
+      g(j, i) = sum;
+    }
+  }
+  return g;
+}
+
+std::vector<double> Matrix::TransposeMultiplyVec(
+    std::span<const double> v) const {
+  VUP_CHECK(rows_ == v.size());
+  std::vector<double> out(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double scale = v[r];
+    if (scale == 0.0) continue;
+    std::span<const double> row = Row(r);
+    for (size_t c = 0; c < cols_; ++c) {
+      out[c] += scale * row[c];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::SelectColumns(std::span<const size_t> columns) const {
+  Matrix out(rows_, columns.size());
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t j = 0; j < columns.size(); ++j) {
+      VUP_CHECK(columns[j] < cols_) << "column " << columns[j];
+      out(r, j) = (*this)(r, columns[j]);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::SelectRows(std::span<const size_t> rows) const {
+  Matrix out(rows.size(), cols_);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    VUP_CHECK(rows[i] < rows_) << "row " << rows[i];
+    std::span<const double> src = Row(rows[i]);
+    std::span<double> dst = out.MutableRow(i);
+    for (size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+void Matrix::AppendRow(std::span<const double> row) {
+  if (rows_ == 0 && cols_ == 0) {
+    cols_ = row.size();
+  }
+  VUP_CHECK(row.size() == cols_)
+      << "row of size " << row.size() << " into matrix with " << cols_
+      << " cols";
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
+std::string Matrix::ToString() const {
+  std::string out = StrFormat("Matrix %zux%zu\n", rows_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      out += StrFormat("%10.4f ", (*this)(r, c));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+double Dot(std::span<const double> a, std::span<const double> b) {
+  VUP_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm2(std::span<const double> v) { return std::sqrt(Dot(v, v)); }
+
+std::vector<double> Axpy(std::span<const double> a, double scale,
+                         std::span<const double> b) {
+  VUP_CHECK(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + scale * b[i];
+  return out;
+}
+
+}  // namespace vup

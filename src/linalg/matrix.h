@@ -1,0 +1,109 @@
+#ifndef VUPRED_LINALG_MATRIX_H_
+#define VUPRED_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace vup {
+
+/// Dense row-major matrix of doubles.
+///
+/// Sized for the regression problems in this library (hundreds of rows,
+/// tens to a few hundred columns); favors clarity over blocking/vectorized
+/// kernels. All index accesses are bounds-checked in debug builds.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// rows x cols matrix of zeros.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(size_t rows, size_t cols, double fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer-style data; all rows must be equal length.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  /// Identity matrix of order n.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) {
+    VUP_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    VUP_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// View of row r as a contiguous span.
+  std::span<const double> Row(size_t r) const {
+    VUP_DCHECK(r < rows_);
+    return std::span<const double>(data_).subspan(r * cols_, cols_);
+  }
+  std::span<double> MutableRow(size_t r) {
+    VUP_DCHECK(r < rows_);
+    return std::span<double>(data_).subspan(r * cols_, cols_);
+  }
+
+  /// Copies column c.
+  std::vector<double> Col(size_t c) const;
+
+  Matrix Transpose() const;
+
+  /// Matrix product; requires cols() == other.rows().
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Matrix-vector product; requires cols() == v.size().
+  std::vector<double> MultiplyVec(std::span<const double> v) const;
+
+  /// A^T * A (Gram matrix), computed exploiting symmetry.
+  Matrix Gram() const;
+
+  /// A^T * v; requires rows() == v.size().
+  std::vector<double> TransposeMultiplyVec(std::span<const double> v) const;
+
+  /// Returns a new matrix keeping only the listed columns, in order.
+  Matrix SelectColumns(std::span<const size_t> columns) const;
+
+  /// Returns a new matrix keeping only the listed rows, in order.
+  Matrix SelectRows(std::span<const size_t> rows) const;
+
+  /// Appends a row; must match cols() (or sets cols() on the first row).
+  void AppendRow(std::span<const double> row);
+
+  /// Raw storage (row-major), for tight numeric loops.
+  const std::vector<double>& data() const { return data_; }
+
+  std::string ToString() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Dot product; sizes must match.
+double Dot(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean norm.
+double Norm2(std::span<const double> v);
+
+/// out = a + scale * b (sizes must match).
+std::vector<double> Axpy(std::span<const double> a, double scale,
+                         std::span<const double> b);
+
+}  // namespace vup
+
+#endif  // VUPRED_LINALG_MATRIX_H_

@@ -1,0 +1,104 @@
+#include "linalg/qr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace vup {
+
+StatusOr<std::vector<double>> QrLeastSquares(const Matrix& x,
+                                             std::span<const double> y) {
+  const size_t m = x.rows();
+  const size_t n = x.cols();
+  if (m == 0 || n == 0) {
+    return Status::InvalidArgument("empty design matrix");
+  }
+  if (y.size() != m) {
+    return Status::InvalidArgument("target size does not match design matrix");
+  }
+
+  // Working copies: factorization happens in place on `a`, rhs in `b`.
+  Matrix a = x;
+  std::vector<double> b(y.begin(), y.end());
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+
+  // Column squared norms for pivoting.
+  std::vector<double> col_norms(n, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t i = 0; i < m; ++i) col_norms[j] += a(i, j) * a(i, j);
+  }
+  const double total_norm =
+      std::sqrt(std::accumulate(col_norms.begin(), col_norms.end(), 0.0));
+  const double tol = std::max(m, n) * 1e-12 * std::max(total_norm, 1.0);
+
+  const size_t steps = std::min(m, n);
+  size_t rank = 0;
+  for (size_t k = 0; k < steps; ++k) {
+    // Pivot: bring the column with the largest remaining norm to position k.
+    size_t pivot = k;
+    double best = col_norms[k];
+    for (size_t j = k + 1; j < n; ++j) {
+      if (col_norms[j] > best) {
+        best = col_norms[j];
+        pivot = j;
+      }
+    }
+    if (pivot != k) {
+      for (size_t i = 0; i < m; ++i) std::swap(a(i, k), a(i, pivot));
+      std::swap(col_norms[k], col_norms[pivot]);
+      std::swap(perm[k], perm[pivot]);
+    }
+
+    // Householder vector for column k below the diagonal.
+    double norm_x = 0.0;
+    for (size_t i = k; i < m; ++i) norm_x += a(i, k) * a(i, k);
+    norm_x = std::sqrt(norm_x);
+    if (norm_x <= tol) break;  // Remaining columns are numerically dependent.
+    ++rank;
+
+    double alpha = a(k, k) >= 0.0 ? -norm_x : norm_x;
+    std::vector<double> v(m - k);
+    v[0] = a(k, k) - alpha;
+    for (size_t i = k + 1; i < m; ++i) v[i - k] = a(i, k);
+    double vtv = 0.0;
+    for (double vi : v) vtv += vi * vi;
+    if (vtv == 0.0) continue;
+
+    a(k, k) = alpha;
+    for (size_t i = k + 1; i < m; ++i) a(i, k) = 0.0;
+
+    // Apply the reflector to remaining columns and to the rhs.
+    for (size_t j = k + 1; j < n; ++j) {
+      double dot = 0.0;
+      for (size_t i = k; i < m; ++i) dot += v[i - k] * a(i, j);
+      double scale = 2.0 * dot / vtv;
+      for (size_t i = k; i < m; ++i) a(i, j) -= scale * v[i - k];
+    }
+    double dot_b = 0.0;
+    for (size_t i = k; i < m; ++i) dot_b += v[i - k] * b[i];
+    double scale_b = 2.0 * dot_b / vtv;
+    for (size_t i = k; i < m; ++i) b[i] -= scale_b * v[i - k];
+
+    // Downdate column norms.
+    for (size_t j = k + 1; j < n; ++j) {
+      col_norms[j] -= a(k, j) * a(k, j);
+      if (col_norms[j] < 0.0) col_norms[j] = 0.0;
+    }
+  }
+
+  // Back substitution on the rank x rank leading triangle.
+  std::vector<double> w_permuted(n, 0.0);
+  for (size_t ii = rank; ii-- > 0;) {
+    double sum = b[ii];
+    for (size_t j = ii + 1; j < rank; ++j) sum -= a(ii, j) * w_permuted[j];
+    w_permuted[ii] = sum / a(ii, ii);
+  }
+
+  // Undo the column permutation.
+  std::vector<double> w(n, 0.0);
+  for (size_t j = 0; j < n; ++j) w[perm[j]] = w_permuted[j];
+  return w;
+}
+
+}  // namespace vup

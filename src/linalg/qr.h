@@ -1,0 +1,22 @@
+#ifndef VUPRED_LINALG_QR_H_
+#define VUPRED_LINALG_QR_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "linalg/matrix.h"
+
+namespace vup {
+
+/// Minimum-norm least-squares solve of min_w ||X w - y||_2 via Householder QR
+/// with column pivoting. Handles rank-deficient design matrices by zeroing
+/// the coefficients of dependent columns (rank-revealing truncation), which
+/// makes OLS on collinear windowed features well-defined.
+///
+/// Requires x.rows() >= 1, x.cols() >= 1, y.size() == x.rows().
+StatusOr<std::vector<double>> QrLeastSquares(const Matrix& x,
+                                             std::span<const double> y);
+
+}  // namespace vup
+
+#endif  // VUPRED_LINALG_QR_H_

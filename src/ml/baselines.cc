@@ -1,0 +1,32 @@
+#include "ml/baselines.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "stats/descriptive.h"
+
+namespace vup {
+
+StatusOr<double> LastValueBaseline::Predict(
+    std::span<const double> history) const {
+  if (history.empty()) {
+    return Status::InvalidArgument("empty history for last-value baseline");
+  }
+  return history.back();
+}
+
+MovingAverageBaseline::MovingAverageBaseline(size_t period) : period_(period) {
+  VUP_CHECK(period_ >= 1);
+}
+
+StatusOr<double> MovingAverageBaseline::Predict(
+    std::span<const double> history) const {
+  if (history.empty()) {
+    return Status::InvalidArgument(
+        "empty history for moving-average baseline");
+  }
+  size_t n = std::min(period_, history.size());
+  return Mean(history.subspan(history.size() - n, n));
+}
+
+}  // namespace vup

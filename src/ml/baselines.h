@@ -1,0 +1,40 @@
+#ifndef VUPRED_ML_BASELINES_H_
+#define VUPRED_ML_BASELINES_H_
+
+#include <cstddef>
+#include <span>
+
+#include "common/statusor.h"
+
+namespace vup {
+
+/// The paper's two naive baselines (Section 3). They forecast directly from
+/// the target-series history -- no features, no training -- so they expose a
+/// series interface rather than the Regressor fit/predict contract.
+
+/// Predicts the next value as the last observed value (LV).
+class LastValueBaseline {
+ public:
+  /// InvalidArgument on empty history.
+  StatusOr<double> Predict(std::span<const double> history) const;
+};
+
+/// Predicts the next value as the mean of the last `period` observations
+/// (MA). The paper uses period == 30. Shorter histories average what is
+/// available.
+class MovingAverageBaseline {
+ public:
+  explicit MovingAverageBaseline(size_t period = 30);
+
+  size_t period() const { return period_; }
+
+  /// InvalidArgument on empty history.
+  StatusOr<double> Predict(std::span<const double> history) const;
+
+ private:
+  size_t period_;
+};
+
+}  // namespace vup
+
+#endif  // VUPRED_ML_BASELINES_H_

@@ -1,0 +1,98 @@
+#include "ml/grid_search.h"
+
+#include <limits>
+#include <numeric>
+
+#include "ml/metrics.h"
+
+namespace vup {
+
+std::vector<ParamMap> ParamGrid::Combinations() const {
+  std::vector<ParamMap> out = {ParamMap{}};
+  for (const auto& [name, values] : axes) {
+    std::vector<ParamMap> next;
+    next.reserve(out.size() * values.size());
+    for (const ParamMap& base : out) {
+      for (double v : values) {
+        ParamMap extended = base;
+        extended[name] = v;
+        next.push_back(std::move(extended));
+      }
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+StatusOr<GridSearchResult> GridSearch(const RegressorFactory& factory,
+                                      const ParamGrid& grid, const Matrix& x,
+                                      std::span<const double> y,
+                                      const GridSearchOptions& options) {
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("target size does not match design matrix");
+  }
+  if (options.validation_fraction <= 0.0 ||
+      options.validation_fraction >= 1.0) {
+    return Status::InvalidArgument("validation_fraction must be in (0, 1)");
+  }
+  const size_t n = x.rows();
+  size_t n_valid = static_cast<size_t>(options.validation_fraction *
+                                       static_cast<double>(n));
+  n_valid = std::max<size_t>(n_valid, 1);
+  if (n_valid >= n) {
+    return Status::InvalidArgument("not enough rows for a train/valid split");
+  }
+  const size_t n_train = n - n_valid;
+
+  std::vector<size_t> train_rows(n_train), valid_rows(n_valid);
+  std::iota(train_rows.begin(), train_rows.end(), 0);
+  std::iota(valid_rows.begin(), valid_rows.end(), n_train);
+  Matrix x_train = x.SelectRows(train_rows);
+  Matrix x_valid = x.SelectRows(valid_rows);
+  std::vector<double> y_train(y.begin(), y.begin() + static_cast<long>(n_train));
+  std::vector<double> y_valid(y.begin() + static_cast<long>(n_train), y.end());
+
+  GridSearchResult result;
+  result.best_score = std::numeric_limits<double>::infinity();
+  Status last_failure = Status::OK();
+  for (const ParamMap& params : grid.Combinations()) {
+    std::unique_ptr<Regressor> model = factory(params);
+    if (model == nullptr) {
+      return Status::InvalidArgument("factory returned null model");
+    }
+    Status fit = model->Fit(x_train, y_train);
+    if (!fit.ok()) {
+      last_failure = fit;
+      continue;
+    }
+    StatusOr<std::vector<double>> pred = model->Predict(x_valid);
+    if (!pred.ok()) {
+      last_failure = pred.status();
+      continue;
+    }
+    double score = 0.0;
+    switch (options.metric) {
+      case GridMetric::kMae:
+        score = MeanAbsoluteError(pred.value(), y_valid);
+        break;
+      case GridMetric::kRmse:
+        score = RootMeanSquaredError(pred.value(), y_valid);
+        break;
+      case GridMetric::kPercentageError:
+        score = PercentageError(pred.value(), y_valid);
+        break;
+    }
+    result.scores.emplace_back(params, score);
+    if (score < result.best_score) {
+      result.best_score = score;
+      result.best_params = params;
+    }
+  }
+  if (result.scores.empty()) {
+    if (!last_failure.ok()) return last_failure;
+    return Status::InvalidArgument("empty parameter grid evaluation");
+  }
+  return result;
+}
+
+}  // namespace vup

@@ -1,0 +1,62 @@
+#ifndef VUPRED_ML_GRID_SEARCH_H_
+#define VUPRED_ML_GRID_SEARCH_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace vup {
+
+/// One hyper-parameter assignment (name -> value).
+using ParamMap = std::map<std::string, double>;
+
+/// Builds an unfitted model from a parameter assignment.
+using RegressorFactory =
+    std::function<std::unique_ptr<Regressor>(const ParamMap&)>;
+
+/// Cartesian hyper-parameter grid. The paper runs "a grid search to fit the
+/// model to the analyzed data distribution" (Section 4.2).
+struct ParamGrid {
+  std::map<std::string, std::vector<double>> axes;
+
+  /// All combinations, lexicographic in axis name then value order.
+  /// An empty grid yields one empty assignment.
+  std::vector<ParamMap> Combinations() const;
+};
+
+enum class GridMetric : int {
+  kMae = 0,
+  kRmse = 1,
+  kPercentageError = 2,
+};
+
+struct GridSearchOptions {
+  /// Trailing fraction of rows held out for validation. The split is
+  /// time-ordered (no shuffling): these are forecasting problems.
+  double validation_fraction = 0.25;
+  GridMetric metric = GridMetric::kMae;
+};
+
+struct GridSearchResult {
+  ParamMap best_params;
+  double best_score = 0.0;
+  /// Every evaluated combination with its validation score.
+  std::vector<std::pair<ParamMap, double>> scores;
+};
+
+/// Evaluates every grid combination with a time-ordered hold-out split and
+/// returns the lowest-scoring one (all metrics are errors: lower is
+/// better). Combinations whose Fit fails are skipped; if all fail, the last
+/// failure status is returned.
+StatusOr<GridSearchResult> GridSearch(const RegressorFactory& factory,
+                                      const ParamGrid& grid, const Matrix& x,
+                                      std::span<const double> y,
+                                      const GridSearchOptions& options);
+
+}  // namespace vup
+
+#endif  // VUPRED_ML_GRID_SEARCH_H_

@@ -1,0 +1,79 @@
+#include "ml/linear_regression.h"
+
+#include "linalg/cholesky.h"
+#include "linalg/qr.h"
+#include "stats/descriptive.h"
+
+namespace vup {
+
+Status LinearRegression::Fit(const Matrix& x, std::span<const double> y) {
+  fitted_ = false;
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("empty design matrix");
+  }
+  if (y.size() != x.rows()) {
+    return Status::InvalidArgument("target size does not match design matrix");
+  }
+  if (options_.ridge < 0.0) {
+    return Status::InvalidArgument("ridge must be non-negative");
+  }
+
+  if (options_.ridge > 0.0) {
+    // Ridge path: center (to exclude the intercept from the penalty when
+    // fit_intercept), then solve (Xc^T Xc + ridge I) w = Xc^T yc.
+    const size_t n = x.rows();
+    const size_t d = x.cols();
+    std::vector<double> x_mean(d, 0.0);
+    double y_mean = 0.0;
+    if (options_.fit_intercept) {
+      for (size_t c = 0; c < d; ++c) {
+        double sum = 0.0;
+        for (size_t r = 0; r < n; ++r) sum += x(r, c);
+        x_mean[c] = sum / static_cast<double>(n);
+      }
+      y_mean = Mean(y);
+    }
+    Matrix xc(n, d);
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = 0; c < d; ++c) xc(r, c) = x(r, c) - x_mean[c];
+    }
+    std::vector<double> yc(n);
+    for (size_t r = 0; r < n; ++r) yc[r] = y[r] - y_mean;
+    VUP_ASSIGN_OR_RETURN(coef_,
+                         SolveNormalEquations(xc, yc, options_.ridge));
+    intercept_ = y_mean;
+    for (size_t c = 0; c < d; ++c) intercept_ -= coef_[c] * x_mean[c];
+    fitted_ = true;
+    return Status::OK();
+  }
+
+  if (!options_.fit_intercept) {
+    VUP_ASSIGN_OR_RETURN(coef_, QrLeastSquares(x, y));
+    intercept_ = 0.0;
+    fitted_ = true;
+    return Status::OK();
+  }
+
+  // Augment with a leading ones column for the intercept.
+  Matrix augmented(x.rows(), x.cols() + 1);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    augmented(r, 0) = 1.0;
+    for (size_t c = 0; c < x.cols(); ++c) augmented(r, c + 1) = x(r, c);
+  }
+  VUP_ASSIGN_OR_RETURN(std::vector<double> w, QrLeastSquares(augmented, y));
+  intercept_ = w[0];
+  coef_.assign(w.begin() + 1, w.end());
+  fitted_ = true;
+  return Status::OK();
+}
+
+StatusOr<double> LinearRegression::PredictOne(
+    std::span<const double> features) const {
+  if (!fitted_) return Status::FailedPrecondition("model not fitted");
+  if (features.size() != coef_.size()) {
+    return Status::InvalidArgument("feature count differs from training");
+  }
+  return intercept_ + Dot(features, coef_);
+}
+
+}  // namespace vup

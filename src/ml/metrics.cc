@@ -1,0 +1,66 @@
+#include "ml/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "stats/descriptive.h"
+
+namespace vup {
+
+double PercentageError(std::span<const double> predicted,
+                       std::span<const double> actual) {
+  VUP_CHECK(predicted.size() == actual.size());
+  double num = 0.0;
+  double den = 0.0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    num += std::abs(predicted[i] - actual[i]);
+    den += std::abs(actual[i]);
+  }
+  if (den == 0.0) {
+    return num == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return 100.0 * num / den;
+}
+
+double MeanAbsoluteError(std::span<const double> predicted,
+                         std::span<const double> actual) {
+  VUP_CHECK(predicted.size() == actual.size());
+  if (predicted.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    sum += std::abs(predicted[i] - actual[i]);
+  }
+  return sum / static_cast<double>(predicted.size());
+}
+
+double RootMeanSquaredError(std::span<const double> predicted,
+                            std::span<const double> actual) {
+  VUP_CHECK(predicted.size() == actual.size());
+  if (predicted.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    double d = predicted[i] - actual[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(predicted.size()));
+}
+
+double RSquared(std::span<const double> predicted,
+                std::span<const double> actual) {
+  VUP_CHECK(predicted.size() == actual.size());
+  if (predicted.empty()) return 0.0;
+  double mean = Mean(actual);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    double r = actual[i] - predicted[i];
+    double t = actual[i] - mean;
+    ss_res += r * r;
+    ss_tot += t * t;
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace vup

@@ -1,0 +1,31 @@
+#ifndef VUPRED_ML_METRICS_H_
+#define VUPRED_ML_METRICS_H_
+
+#include <span>
+
+namespace vup {
+
+/// The paper's Percentage Error (Section 4.1):
+///   PE = 100 * sum_i |pred_i - actual_i| / sum_i |actual_i|.
+/// Returns 0 when both sums are zero and +infinity when only the
+/// denominator is zero. Sizes must match (checked).
+double PercentageError(std::span<const double> predicted,
+                       std::span<const double> actual);
+
+/// Mean absolute error.
+double MeanAbsoluteError(std::span<const double> predicted,
+                         std::span<const double> actual);
+
+/// Root mean squared error.
+double RootMeanSquaredError(std::span<const double> predicted,
+                            std::span<const double> actual);
+
+/// Coefficient of determination R^2 = 1 - SS_res / SS_tot.
+/// Degenerate case: when the actual series is constant (SS_tot == 0),
+/// returns 1.0 for exact predictions and 0.0 otherwise.
+double RSquared(std::span<const double> predicted,
+                std::span<const double> actual);
+
+}  // namespace vup
+
+#endif  // VUPRED_ML_METRICS_H_

@@ -1,0 +1,66 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+
+namespace vup {
+
+Status StandardScaler::Fit(const Matrix& x) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("cannot fit scaler on empty matrix");
+  }
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  means_.assign(d, 0.0);
+  scales_.assign(d, 1.0);
+  for (size_t c = 0; c < d; ++c) {
+    double sum = 0.0;
+    for (size_t r = 0; r < n; ++r) sum += x(r, c);
+    means_[c] = sum / static_cast<double>(n);
+  }
+  for (size_t c = 0; c < d; ++c) {
+    double ss = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      double dlt = x(r, c) - means_[c];
+      ss += dlt * dlt;
+    }
+    // Population stddev, like sklearn's StandardScaler.
+    double sd = std::sqrt(ss / static_cast<double>(n));
+    scales_[c] = sd > 0.0 ? sd : 1.0;
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+StatusOr<Matrix> StandardScaler::Transform(const Matrix& x) const {
+  if (!fitted_) return Status::FailedPrecondition("scaler not fitted");
+  if (x.cols() != means_.size()) {
+    return Status::InvalidArgument("column count differs from fit");
+  }
+  Matrix out(x.rows(), x.cols());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    for (size_t c = 0; c < x.cols(); ++c) {
+      out(r, c) = (x(r, c) - means_[c]) / scales_[c];
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<double>> StandardScaler::TransformRow(
+    std::span<const double> row) const {
+  if (!fitted_) return Status::FailedPrecondition("scaler not fitted");
+  if (row.size() != means_.size()) {
+    return Status::InvalidArgument("feature count differs from fit");
+  }
+  std::vector<double> out(row.size());
+  for (size_t c = 0; c < row.size(); ++c) {
+    out[c] = (row[c] - means_[c]) / scales_[c];
+  }
+  return out;
+}
+
+StatusOr<Matrix> StandardScaler::FitTransform(const Matrix& x) {
+  VUP_RETURN_IF_ERROR(Fit(x));
+  return Transform(x);
+}
+
+}  // namespace vup

@@ -1,0 +1,60 @@
+#include "pipeline/aggregate.h"
+
+#include <map>
+
+namespace vup {
+
+std::vector<DailyUsageRecord> AggregateReportsDaily(
+    std::span<const AggregatedReport> reports) {
+  // date day-number -> (slot -> report); map keeps days ordered and the
+  // inner map deduplicates slots (last wins).
+  std::map<int32_t, std::map<int, AggregatedReport>> by_day;
+  for (const AggregatedReport& r : reports) {
+    by_day[r.date.day_number()][r.slot] = r;
+  }
+
+  std::vector<DailyUsageRecord> out;
+  out.reserve(by_day.size());
+  for (const auto& [day_number, slots] : by_day) {
+    DailyUsageRecord rec;
+    rec.date = Date::FromDayNumber(day_number);
+
+    double on_weight = 0.0;
+    double sum_load = 0.0, sum_rpm = 0.0, sum_coolant = 0.0, sum_oil = 0.0;
+    double fuel_l = 0.0;
+    double speed_km = 0.0;
+    double last_fuel_level = 0.0;
+    for (const auto& [slot, r] : slots) {
+      double w = r.engine_on_fraction;
+      double slot_hours = w * static_cast<double>(kSlotSeconds) / 3600.0;
+      rec.hours += slot_hours;
+      if (w > 0.0) {
+        on_weight += w;
+        sum_load += w * r.avg_engine_load_pct;
+        sum_rpm += w * r.avg_engine_rpm;
+        sum_coolant += w * r.avg_coolant_temp_c;
+        sum_oil += w * r.avg_oil_pressure_kpa;
+        fuel_l += r.avg_fuel_rate_lph * slot_hours;
+        speed_km += r.avg_speed_kmh * slot_hours;
+      }
+      if (r.sample_count > 0) last_fuel_level = r.fuel_level_pct;
+      rec.dtc_count += r.dtc_count;
+    }
+    if (on_weight > 0.0) {
+      rec.avg_engine_load_pct = sum_load / on_weight;
+      rec.avg_engine_rpm = sum_rpm / on_weight;
+      rec.avg_coolant_temp_c = sum_coolant / on_weight;
+      rec.avg_oil_pressure_kpa = sum_oil / on_weight;
+    }
+    rec.fuel_used_l = fuel_l;
+    rec.distance_km = speed_km;
+    rec.fuel_level_end_pct = last_fuel_level;
+    // Idle share is not directly observable from the aggregated signals;
+    // approximate as time at low load.
+    rec.idle_hours = 0.0;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+}  // namespace vup

@@ -1,0 +1,95 @@
+#include "pipeline/cleaning.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace vup {
+
+namespace {
+
+/// Clamps `*v` into [lo, hi]; counts the fix. Non-finite becomes 0.
+void FixRange(double* v, double lo, double hi, CleaningReport* report) {
+  if (!std::isfinite(*v)) {
+    *v = 0.0;
+    ++report->non_finite_fixed;
+    return;
+  }
+  double clamped = std::clamp(*v, lo, hi);
+  if (clamped != *v) {
+    *v = clamped;
+    ++report->values_clamped;
+  }
+}
+
+}  // namespace
+
+StatusOr<std::vector<DailyUsageRecord>> CleanDailyRecords(
+    std::vector<DailyUsageRecord> records, const Date& start, const Date& end,
+    const CleaningOptions& options, CleaningReport* report) {
+  if (start > end) {
+    return Status::InvalidArgument("cleaning window start after end");
+  }
+  CleaningReport local;
+  CleaningReport* rep = report != nullptr ? report : &local;
+  *rep = CleaningReport{};
+  rep->input_records = records.size();
+
+  // Keep only in-window records, sorted by date (stable: ties keep input
+  // order so "last wins" dedup is deterministic).
+  std::erase_if(records, [&](const DailyUsageRecord& r) {
+    return r.date < start || r.date > end;
+  });
+  std::stable_sort(records.begin(), records.end(),
+                   [](const DailyUsageRecord& a, const DailyUsageRecord& b) {
+                     return a.date < b.date;
+                   });
+
+  std::vector<DailyUsageRecord> out;
+  out.reserve(static_cast<size_t>(end - start) + 1);
+  size_t i = 0;
+  double last_fuel_level = 0.0;
+  for (Date d = start; d <= end; d = d.AddDays(1)) {
+    // Advance to the last record of this date (dedup: last wins).
+    bool have = false;
+    DailyUsageRecord rec;
+    while (i < records.size() && records[i].date == d) {
+      if (have && options.drop_duplicates) ++rep->duplicates_dropped;
+      rec = records[i];
+      have = true;
+      ++i;
+    }
+    if (!have) {
+      if (!options.fill_missing_days) continue;
+      rec = DailyUsageRecord{};
+      rec.date = d;
+      rec.fuel_level_end_pct = last_fuel_level;  // Carry the tank state.
+      ++rep->missing_days_filled;
+    }
+
+    FixRange(&rec.hours, 0.0, options.max_hours, rep);
+    FixRange(&rec.fuel_used_l, 0.0, 1e5, rep);
+    FixRange(&rec.avg_engine_load_pct, 0.0, 100.0, rep);
+    FixRange(&rec.avg_engine_rpm, 0.0, 5000.0, rep);
+    FixRange(&rec.avg_coolant_temp_c, -40.0, 150.0, rep);
+    FixRange(&rec.avg_oil_pressure_kpa, 0.0, 1000.0, rep);
+    FixRange(&rec.fuel_level_end_pct, 0.0, 100.0, rep);
+    FixRange(&rec.distance_km, 0.0, 2000.0, rep);
+    FixRange(&rec.idle_hours, 0.0, options.max_hours, rep);
+    if (rec.idle_hours > rec.hours) {
+      rec.idle_hours = rec.hours;
+      ++rep->values_clamped;
+    }
+    if (rec.dtc_count < 0) {
+      rec.dtc_count = 0;
+      ++rep->values_clamped;
+    }
+    last_fuel_level = rec.fuel_level_end_pct;
+    out.push_back(rec);
+  }
+  rep->output_records = out.size();
+  return out;
+}
+
+}  // namespace vup

@@ -1,0 +1,46 @@
+#ifndef VUPRED_PIPELINE_CLEANING_H_
+#define VUPRED_PIPELINE_CLEANING_H_
+
+#include <vector>
+
+#include "calendar/date.h"
+#include "common/statusor.h"
+#include "telemetry/usage_model.h"
+
+namespace vup {
+
+/// Options of preparation step (i), Data cleaning.
+struct CleaningOptions {
+  /// Physical bound on daily utilization.
+  double max_hours = 24.0;
+  /// Insert explicit zero-usage records for calendar days missing from the
+  /// input (connectivity gaps read as no usage, the same convention the
+  /// paper's acquisition-derived utilization uses).
+  bool fill_missing_days = true;
+  /// Drop duplicate records for the same day (keep the last).
+  bool drop_duplicates = true;
+};
+
+/// What the cleaner did, for observability and tests.
+struct CleaningReport {
+  size_t input_records = 0;
+  size_t output_records = 0;
+  size_t missing_days_filled = 0;
+  size_t duplicates_dropped = 0;
+  size_t values_clamped = 0;   // Out-of-physical-range values fixed.
+  size_t non_finite_fixed = 0; // NaN/inf replaced with 0.
+};
+
+/// Cleans a per-vehicle daily history covering [start, end]:
+/// sorts by date, deduplicates, fills calendar gaps, clamps out-of-range
+/// values (hours into [0, max_hours], percentages into [0, 100]), replaces
+/// non-finite values. Records outside [start, end] are dropped.
+///
+/// InvalidArgument when start > end.
+StatusOr<std::vector<DailyUsageRecord>> CleanDailyRecords(
+    std::vector<DailyUsageRecord> records, const Date& start, const Date& end,
+    const CleaningOptions& options, CleaningReport* report);
+
+}  // namespace vup
+
+#endif  // VUPRED_PIPELINE_CLEANING_H_

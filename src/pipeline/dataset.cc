@@ -1,0 +1,162 @@
+#include "pipeline/dataset.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "pipeline/enrich.h"
+
+namespace vup {
+
+const std::vector<std::string>& VehicleDataset::FeatureNames() {
+  static const std::vector<std::string>& names = *new std::vector<std::string>(
+      [] {
+        std::vector<std::string> n = {
+            "day_hours",       "fuel_used_l",     "engine_load_pct",
+            "engine_rpm",      "coolant_temp_c",  "oil_pressure_kpa",
+            "fuel_level_pct",  "distance_km",     "idle_hours",
+            "dtc_count",
+        };
+        VUP_CHECK(n.size() == kNumEngineFeatures);
+        const std::vector<std::string>& ctx = ContextFeatureNames();
+        n.insert(n.end(), ctx.begin(), ctx.end());
+        return n;
+      }());
+  return names;
+}
+
+StatusOr<VehicleDataset> VehicleDataset::Build(
+    const VehicleInfo& info, std::span<const DailyUsageRecord> records,
+    const Country& country) {
+  if (records.empty()) {
+    return Status::InvalidArgument("cannot build dataset from zero days");
+  }
+  for (size_t i = 1; i < records.size(); ++i) {
+    if (records[i].date - records[i - 1].date != 1) {
+      return Status::InvalidArgument(
+          "records must cover consecutive dates (gap before " +
+          records[i].date.ToString() + "); run CleanDailyRecords first");
+    }
+  }
+
+  VehicleDataset ds;
+  ds.info_ = info;
+  ds.country_ = &country;
+  const size_t nf = FeatureNames().size();
+  ds.dates_.reserve(records.size());
+  ds.hours_.reserve(records.size());
+  ds.features_.reserve(records.size() * nf);
+  for (const DailyUsageRecord& r : records) {
+    ds.dates_.push_back(r.date);
+    ds.hours_.push_back(r.hours);
+    ds.features_.push_back(r.hours);
+    ds.features_.push_back(r.fuel_used_l);
+    ds.features_.push_back(r.avg_engine_load_pct);
+    ds.features_.push_back(r.avg_engine_rpm);
+    ds.features_.push_back(r.avg_coolant_temp_c);
+    ds.features_.push_back(r.avg_oil_pressure_kpa);
+    ds.features_.push_back(r.fuel_level_end_pct);
+    ds.features_.push_back(r.distance_km);
+    ds.features_.push_back(r.idle_hours);
+    ds.features_.push_back(static_cast<double>(r.dtc_count));
+    std::vector<double> ctx =
+        ContextToVector(ComputeContext(r.date, country));
+    ds.features_.insert(ds.features_.end(), ctx.begin(), ctx.end());
+  }
+  VUP_CHECK(ds.features_.size() == records.size() * nf);
+  return ds;
+}
+
+double VehicleDataset::feature(size_t day, size_t f) const {
+  VUP_CHECK(day < dates_.size()) << "day " << day;
+  VUP_CHECK(f < num_features()) << "feature " << f;
+  return features_[day * num_features() + f];
+}
+
+std::span<const double> VehicleDataset::FeatureRow(size_t day) const {
+  VUP_CHECK(day < dates_.size()) << "day " << day;
+  return std::span<const double>(features_).subspan(day * num_features(),
+                                                    num_features());
+}
+
+VehicleDataset VehicleDataset::CompressToWorkingDays(double min_hours) const {
+  VehicleDataset out;
+  out.info_ = info_;
+  out.country_ = country_;
+  const size_t nf = num_features();
+  for (size_t i = 0; i < dates_.size(); ++i) {
+    if (hours_[i] < min_hours) continue;
+    out.dates_.push_back(dates_[i]);
+    out.hours_.push_back(hours_[i]);
+    std::span<const double> row = FeatureRow(i);
+    out.features_.insert(out.features_.end(), row.begin(), row.end());
+  }
+  VUP_CHECK(out.features_.size() == out.dates_.size() * nf);
+  return out;
+}
+
+StatusOr<VehicleDataset> VehicleDataset::FromTable(const VehicleInfo& info,
+                                                   const Table& table,
+                                                   const Country& country) {
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("cannot rebuild dataset from zero rows");
+  }
+  VUP_ASSIGN_OR_RETURN(const Column* dates, table.ColumnByName("date"));
+  VUP_ASSIGN_OR_RETURN(const Column* hours,
+                       table.ColumnByName("utilization_hours"));
+  const std::vector<std::string>& names = FeatureNames();
+  std::vector<const Column*> engine_columns;
+  engine_columns.reserve(kNumEngineFeatures);
+  // Engine feature 0 is day_hours == utilization_hours, read separately.
+  for (size_t f = 1; f < kNumEngineFeatures; ++f) {
+    VUP_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(names[f]));
+    engine_columns.push_back(col);
+  }
+
+  std::vector<DailyUsageRecord> records;
+  records.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (dates->IsNull(r) || hours->IsNull(r)) {
+      return Status::InvalidArgument(
+          StrFormat("NULL date or hours at row %zu", r));
+    }
+    DailyUsageRecord rec;
+    rec.date = dates->DateAt(r);
+    rec.hours = hours->DoubleAt(r);
+    auto numeric = [&](size_t index) {
+      const Column* col = engine_columns[index];
+      return col->IsNull(r) ? 0.0 : col->DoubleAt(r);
+    };
+    rec.fuel_used_l = numeric(0);
+    rec.avg_engine_load_pct = numeric(1);
+    rec.avg_engine_rpm = numeric(2);
+    rec.avg_coolant_temp_c = numeric(3);
+    rec.avg_oil_pressure_kpa = numeric(4);
+    rec.fuel_level_end_pct = numeric(5);
+    rec.distance_km = numeric(6);
+    rec.idle_hours = numeric(7);
+    rec.dtc_count = static_cast<int>(numeric(8));
+    records.push_back(rec);
+  }
+  return Build(info, records, country);
+}
+
+StatusOr<Table> VehicleDataset::ToTable() const {
+  std::vector<Field> fields;
+  fields.push_back({"date", DataType::kDate, false});
+  fields.push_back({"utilization_hours", DataType::kDouble, false});
+  for (const std::string& name : FeatureNames()) {
+    fields.push_back({name, DataType::kDouble, false});
+  }
+  VUP_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+  Table table(std::move(schema));
+  for (size_t i = 0; i < dates_.size(); ++i) {
+    std::vector<Value> row;
+    row.reserve(2 + num_features());
+    row.push_back(Value::Day(dates_[i]));
+    row.push_back(Value::Real(hours_[i]));
+    for (double f : FeatureRow(i)) row.push_back(Value::Real(f));
+    VUP_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+}  // namespace vup

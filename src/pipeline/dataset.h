@@ -1,0 +1,86 @@
+#ifndef VUPRED_PIPELINE_DATASET_H_
+#define VUPRED_PIPELINE_DATASET_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "calendar/country.h"
+#include "common/statusor.h"
+#include "table/table.h"
+#include "telemetry/usage_model.h"
+#include "telemetry/vehicle.h"
+
+namespace vup {
+
+/// Preparation step (v), Transformation: one vehicle's cleaned daily history
+/// in relational form -- a date-indexed target series (daily utilization
+/// hours) plus a dense per-day feature matrix combining CAN-derived engine
+/// features with the contextual enrichment.
+///
+/// This is the object the core methodology consumes: windowing slices its
+/// rows into training records, feature selection picks day-lags of it.
+class VehicleDataset {
+ public:
+  /// Number of engine (CAN-derived) features per day.
+  static constexpr size_t kNumEngineFeatures = 10;
+
+  /// All per-day feature names: engine features then context features.
+  static const std::vector<std::string>& FeatureNames();
+
+  /// Builds from cleaned records. Requirements: records non-empty, dates
+  /// strictly consecutive (run CleanDailyRecords first); violations return
+  /// InvalidArgument.
+  static StatusOr<VehicleDataset> Build(
+      const VehicleInfo& info, std::span<const DailyUsageRecord> records,
+      const Country& country);
+
+  const VehicleInfo& info() const { return info_; }
+  size_t num_days() const { return dates_.size(); }
+  const std::vector<Date>& dates() const { return dates_; }
+
+  /// The target series H_t, aligned with dates().
+  const std::vector<double>& hours() const { return hours_; }
+
+  size_t num_features() const { return FeatureNames().size(); }
+
+  /// Feature value of day `day` (row) and feature `f` (column).
+  double feature(size_t day, size_t f) const;
+
+  /// All features of one day.
+  std::span<const double> FeatureRow(size_t day) const;
+
+  /// The country context used at build time.
+  const Country& country() const { return *country_; }
+
+  /// Next-working-day view: drops days with hours < min_hours, compressing
+  /// the series so "next row" means "next working day" (the paper's second
+  /// scenario). Dates are preserved so calendar features stay truthful.
+  VehicleDataset CompressToWorkingDays(double min_hours = 1.0) const;
+
+  /// Relational table: date, hours, then every feature column.
+  StatusOr<Table> ToTable() const;
+
+  /// Inverse of ToTable for persisted datasets: rebuilds the daily records
+  /// from the table's engine-feature columns (context columns are
+  /// recomputed from the dates and `country`, so stale context in the
+  /// table cannot leak back in). The table must carry at least the
+  /// `date`, `utilization_hours` and engine-feature columns with the
+  /// canonical names, rows in consecutive-date order.
+  static StatusOr<VehicleDataset> FromTable(const VehicleInfo& info,
+                                            const Table& table,
+                                            const Country& country);
+
+ private:
+  VehicleDataset() = default;
+
+  VehicleInfo info_;
+  const Country* country_ = nullptr;
+  std::vector<Date> dates_;
+  std::vector<double> hours_;
+  std::vector<double> features_;  // Row-major, num_days x num_features.
+};
+
+}  // namespace vup
+
+#endif  // VUPRED_PIPELINE_DATASET_H_

@@ -1,0 +1,39 @@
+#include "pipeline/enrich.h"
+
+#include "calendar/season.h"
+
+namespace vup {
+
+const std::vector<std::string>& ContextFeatureNames() {
+  static const std::vector<std::string>& names = *new std::vector<std::string>{
+      "ctx_day_of_week", "ctx_is_weekend", "ctx_is_holiday",
+      "ctx_is_working_day", "ctx_week_of_year", "ctx_month",
+      "ctx_season", "ctx_year", "ctx_region",
+  };
+  return names;
+}
+
+ContextFeatures ComputeContext(const Date& date, const Country& country) {
+  ContextFeatures c;
+  c.day_of_week = static_cast<double>(date.weekday());
+  bool weekend = country.weekend.IsRestDay(date.weekday());
+  bool holiday = country.holidays.IsHoliday(date);
+  c.is_weekend = weekend ? 1.0 : 0.0;
+  c.is_holiday = holiday ? 1.0 : 0.0;
+  c.is_working_day = (!weekend && !holiday) ? 1.0 : 0.0;
+  c.week_of_year = static_cast<double>(date.iso_week());
+  c.month = static_cast<double>(date.month());
+  c.season =
+      static_cast<double>(SeasonForDate(date, country.hemisphere));
+  c.year = static_cast<double>(date.year());
+  c.region = static_cast<double>(country.region);
+  return c;
+}
+
+std::vector<double> ContextToVector(const ContextFeatures& c) {
+  return {c.day_of_week, c.is_weekend,    c.is_holiday,
+          c.is_working_day, c.week_of_year, c.month,
+          c.season,        c.year,         c.region};
+}
+
+}  // namespace vup

@@ -1,0 +1,43 @@
+#ifndef VUPRED_PIPELINE_ENRICH_H_
+#define VUPRED_PIPELINE_ENRICH_H_
+
+#include <string>
+#include <vector>
+
+#include "calendar/country.h"
+#include "calendar/date.h"
+
+namespace vup {
+
+/// Preparation step (iv), Enrichment: the multi-level contextual features
+/// joined onto each vehicle-day (Section 2's "Contextual information"):
+/// temporal (day of week, holiday/working day by country, week, month,
+/// season, year) and spatial (region). Encoded numerically, ready for the
+/// regressors.
+struct ContextFeatures {
+  double day_of_week = 0.0;     // 0 (Monday) .. 6 (Sunday).
+  double is_weekend = 0.0;      // Country's rest-day convention.
+  double is_holiday = 0.0;      // Country's public-holiday calendar.
+  double is_working_day = 0.0;  // !weekend && !holiday.
+  double week_of_year = 1.0;    // ISO week 1..53.
+  double month = 1.0;           // 1..12.
+  double season = 0.0;          // Season enum value, hemisphere-corrected.
+  double year = 2015.0;
+  double region = 0.0;          // Region enum value.
+};
+
+/// Number of scalar context features (== fields of ContextFeatures).
+inline constexpr size_t kNumContextFeatures = 9;
+
+/// Stable names, aligned with ContextFeatures::ToVector ordering.
+const std::vector<std::string>& ContextFeatureNames();
+
+/// Computes the context of one vehicle-day.
+ContextFeatures ComputeContext(const Date& date, const Country& country);
+
+/// Flattens to the canonical ordering of ContextFeatureNames().
+std::vector<double> ContextToVector(const ContextFeatures& c);
+
+}  // namespace vup
+
+#endif  // VUPRED_PIPELINE_ENRICH_H_

@@ -1,0 +1,94 @@
+#include "pipeline/ingest.h"
+
+#include "common/string_util.h"
+#include "pipeline/aggregate.h"
+
+namespace vup {
+
+Status IngestionStore::Ingest(const AggregatedReport& report) {
+  if (report.slot < 0 || report.slot >= kSlotsPerDay) {
+    ++stats_.rejected;
+    return Status::InvalidArgument(
+        StrFormat("slot %d outside [0, %d)", report.slot, kSlotsPerDay));
+  }
+  if (report.vehicle_id <= 0) {
+    ++stats_.rejected;
+    return Status::InvalidArgument("non-positive vehicle id");
+  }
+  SlotKey key{report.date.day_number(), report.slot};
+  auto& slots = by_vehicle_[report.vehicle_id];
+  auto [it, inserted] = slots.insert_or_assign(key, report);
+  (void)it;
+  if (inserted) {
+    ++stats_.reports_ingested;
+  } else {
+    ++stats_.duplicates;
+  }
+  return Status::OK();
+}
+
+Status IngestionStore::IngestBatch(
+    const std::vector<AggregatedReport>& reports) {
+  for (const AggregatedReport& r : reports) {
+    VUP_RETURN_IF_ERROR(Ingest(r));
+  }
+  return Status::OK();
+}
+
+std::vector<int64_t> IngestionStore::VehicleIds() const {
+  std::vector<int64_t> ids;
+  ids.reserve(by_vehicle_.size());
+  for (const auto& [id, slots] : by_vehicle_) ids.push_back(id);
+  return ids;
+}
+
+bool IngestionStore::HasVehicle(int64_t vehicle_id) const {
+  return by_vehicle_.count(vehicle_id) > 0;
+}
+
+size_t IngestionStore::ReportCount(int64_t vehicle_id) const {
+  auto it = by_vehicle_.find(vehicle_id);
+  return it == by_vehicle_.end() ? 0 : it->second.size();
+}
+
+StatusOr<std::pair<Date, Date>> IngestionStore::CoverageOf(
+    int64_t vehicle_id) const {
+  auto it = by_vehicle_.find(vehicle_id);
+  if (it == by_vehicle_.end() || it->second.empty()) {
+    return Status::NotFound(
+        StrFormat("no reports for vehicle %lld",
+                  static_cast<long long>(vehicle_id)));
+  }
+  Date first = Date::FromDayNumber(it->second.begin()->first.first);
+  Date last = Date::FromDayNumber(it->second.rbegin()->first.first);
+  return std::make_pair(first, last);
+}
+
+StatusOr<std::vector<DailyUsageRecord>> IngestionStore::DailyRecords(
+    int64_t vehicle_id) const {
+  auto it = by_vehicle_.find(vehicle_id);
+  if (it == by_vehicle_.end()) {
+    return Status::NotFound(
+        StrFormat("no reports for vehicle %lld",
+                  static_cast<long long>(vehicle_id)));
+  }
+  std::vector<AggregatedReport> reports;
+  reports.reserve(it->second.size());
+  for (const auto& [key, report] : it->second) reports.push_back(report);
+  return AggregateReportsDaily(reports);
+}
+
+StatusOr<VehicleDataset> IngestionStore::BuildDataset(
+    const VehicleInfo& info, const Country& country, const Date& start,
+    const Date& end) const {
+  VUP_ASSIGN_OR_RETURN(std::vector<DailyUsageRecord> daily,
+                       DailyRecords(info.vehicle_id));
+  CleaningReport report;
+  VUP_ASSIGN_OR_RETURN(
+      std::vector<DailyUsageRecord> cleaned,
+      CleanDailyRecords(std::move(daily), start, end, CleaningOptions(),
+                        &report));
+  return VehicleDataset::Build(info, cleaned, country);
+}
+
+}  // namespace vup

@@ -1,0 +1,77 @@
+#ifndef VUPRED_PIPELINE_INGEST_H_
+#define VUPRED_PIPELINE_INGEST_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "calendar/country.h"
+#include "common/statusor.h"
+#include "pipeline/cleaning.h"
+#include "pipeline/dataset.h"
+#include "telemetry/report.h"
+#include "telemetry/vehicle.h"
+
+namespace vup {
+
+/// The centralized server of Section 2: every 10 minutes each on-board
+/// device uploads an aggregated report; the server organizes them per
+/// vehicle and serves cleaned, model-ready daily datasets to the learning
+/// pipeline.
+///
+/// Ingestion is idempotent per (vehicle, date, slot): re-deliveries --
+/// common after connectivity recovery -- overwrite rather than duplicate,
+/// and are counted. Reports may arrive in any order.
+class IngestionStore {
+ public:
+  struct Stats {
+    size_t reports_ingested = 0;   // Distinct (vehicle, date, slot) kept.
+    size_t duplicates = 0;         // Re-deliveries that overwrote.
+    size_t rejected = 0;           // Failed validation.
+  };
+
+  IngestionStore() = default;
+
+  /// Validates and stores one report. InvalidArgument on a slot outside
+  /// [0, kSlotsPerDay) or a non-positive vehicle id.
+  Status Ingest(const AggregatedReport& report);
+
+  /// Batch convenience; stops at the first rejection.
+  Status IngestBatch(const std::vector<AggregatedReport>& reports);
+
+  size_t num_vehicles() const { return by_vehicle_.size(); }
+  std::vector<int64_t> VehicleIds() const;
+  bool HasVehicle(int64_t vehicle_id) const;
+
+  /// Number of stored reports for one vehicle.
+  size_t ReportCount(int64_t vehicle_id) const;
+
+  /// Date coverage [first, last] of a vehicle's stored reports; NotFound
+  /// for unknown vehicles.
+  StatusOr<std::pair<Date, Date>> CoverageOf(int64_t vehicle_id) const;
+
+  /// Daily aggregation of the vehicle's stored reports (preparation step
+  /// iii), sorted by date; days without reports are absent (cleaning fills
+  /// them). NotFound for unknown vehicles.
+  StatusOr<std::vector<DailyUsageRecord>> DailyRecords(
+      int64_t vehicle_id) const;
+
+  /// Full preparation: aggregate -> clean over [start, end] -> relational
+  /// dataset with contextual enrichment for the given vehicle identity.
+  StatusOr<VehicleDataset> BuildDataset(const VehicleInfo& info,
+                                        const Country& country,
+                                        const Date& start,
+                                        const Date& end) const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // (day_number, slot) -> report; map keys keep reports ordered.
+  using SlotKey = std::pair<int32_t, int>;
+  std::map<int64_t, std::map<SlotKey, AggregatedReport>> by_vehicle_;
+  Stats stats_;
+};
+
+}  // namespace vup
+
+#endif  // VUPRED_PIPELINE_INGEST_H_

@@ -1,0 +1,81 @@
+#include "pipeline/normalize.h"
+
+#include "stats/descriptive.h"
+
+namespace vup {
+
+Status MinMaxNormalizer::Fit(std::span<const double> values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot fit normalizer on empty data");
+  }
+  min_ = Min(values);
+  max_ = Max(values);
+  fitted_ = true;
+  return Status::OK();
+}
+
+StatusOr<double> MinMaxNormalizer::TransformOne(double value) const {
+  if (!fitted_) return Status::FailedPrecondition("normalizer not fitted");
+  double range = max_ - min_;
+  if (range == 0.0) return 0.0;
+  return (value - min_) / range;
+}
+
+StatusOr<std::vector<double>> MinMaxNormalizer::Transform(
+    std::span<const double> values) const {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (double v : values) {
+    VUP_ASSIGN_OR_RETURN(double t, TransformOne(v));
+    out.push_back(t);
+  }
+  return out;
+}
+
+StatusOr<std::vector<double>> MinMaxNormalizer::InverseTransform(
+    std::span<const double> values) const {
+  if (!fitted_) return Status::FailedPrecondition("normalizer not fitted");
+  std::vector<double> out;
+  out.reserve(values.size());
+  double range = max_ - min_;
+  for (double v : values) out.push_back(min_ + v * range);
+  return out;
+}
+
+Status ZScoreNormalizer::Fit(std::span<const double> values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot fit normalizer on empty data");
+  }
+  mean_ = Mean(values);
+  stddev_ = StdDev(values);
+  fitted_ = true;
+  return Status::OK();
+}
+
+StatusOr<double> ZScoreNormalizer::TransformOne(double value) const {
+  if (!fitted_) return Status::FailedPrecondition("normalizer not fitted");
+  if (stddev_ == 0.0) return 0.0;
+  return (value - mean_) / stddev_;
+}
+
+StatusOr<std::vector<double>> ZScoreNormalizer::Transform(
+    std::span<const double> values) const {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (double v : values) {
+    VUP_ASSIGN_OR_RETURN(double t, TransformOne(v));
+    out.push_back(t);
+  }
+  return out;
+}
+
+StatusOr<std::vector<double>> ZScoreNormalizer::InverseTransform(
+    std::span<const double> values) const {
+  if (!fitted_) return Status::FailedPrecondition("normalizer not fitted");
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (double v : values) out.push_back(mean_ + v * stddev_);
+  return out;
+}
+
+}  // namespace vup

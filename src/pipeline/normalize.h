@@ -1,0 +1,66 @@
+#ifndef VUPRED_PIPELINE_NORMALIZE_H_
+#define VUPRED_PIPELINE_NORMALIZE_H_
+
+#include <span>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace vup {
+
+/// Preparation step (ii), Normalization: makes continuous features
+/// comparable with each other. Both normalizers follow a fit/transform/
+/// inverse-transform contract and are no-ops on degenerate (constant)
+/// inputs rather than dividing by zero.
+
+/// Min-max scaling to [0, 1].
+class MinMaxNormalizer {
+ public:
+  /// Learns min/max from `values`. InvalidArgument on empty input.
+  Status Fit(std::span<const double> values);
+
+  bool fitted() const { return fitted_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Maps through (v - min) / (max - min); constant inputs map to 0.
+  /// FailedPrecondition when not fitted.
+  StatusOr<std::vector<double>> Transform(
+      std::span<const double> values) const;
+  StatusOr<double> TransformOne(double value) const;
+
+  StatusOr<std::vector<double>> InverseTransform(
+      std::span<const double> values) const;
+
+ private:
+  bool fitted_ = false;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Standardization to zero mean, unit variance.
+class ZScoreNormalizer {
+ public:
+  Status Fit(std::span<const double> values);
+
+  bool fitted() const { return fitted_; }
+  double mean() const { return mean_; }
+  double stddev() const { return stddev_; }
+
+  /// Maps through (v - mean) / stddev; constant inputs map to 0.
+  StatusOr<std::vector<double>> Transform(
+      std::span<const double> values) const;
+  StatusOr<double> TransformOne(double value) const;
+
+  StatusOr<std::vector<double>> InverseTransform(
+      std::span<const double> values) const;
+
+ private:
+  bool fitted_ = false;
+  double mean_ = 0.0;
+  double stddev_ = 0.0;
+};
+
+}  // namespace vup
+
+#endif  // VUPRED_PIPELINE_NORMALIZE_H_

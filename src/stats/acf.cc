@@ -1,0 +1,56 @@
+#include "stats/acf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "stats/descriptive.h"
+
+namespace vup {
+
+StatusOr<std::vector<double>> Autocorrelation(std::span<const double> series,
+                                              size_t max_lag) {
+  const size_t n = series.size();
+  if (n < max_lag + 1 || n < 2) {
+    return Status::InvalidArgument(StrFormat(
+        "series of length %zu too short for max_lag %zu", n, max_lag));
+  }
+  const double mean = Mean(series);
+  double denom = 0.0;
+  for (double v : series) {
+    double d = v - mean;
+    denom += d * d;
+  }
+  if (denom == 0.0) {
+    return Status::InvalidArgument(
+        "autocorrelation undefined for constant series");
+  }
+  std::vector<double> acf(max_lag + 1, 0.0);
+  for (size_t lag = 0; lag <= max_lag; ++lag) {
+    double num = 0.0;
+    for (size_t t = lag; t < n; ++t) {
+      num += (series[t] - mean) * (series[t - lag] - mean);
+    }
+    acf[lag] = num / denom;
+  }
+  return acf;
+}
+
+double AcfSignificanceBound(size_t n) {
+  if (n == 0) return 0.0;
+  return 1.96 / std::sqrt(static_cast<double>(n));
+}
+
+std::vector<size_t> TopKLagsByAcf(std::span<const double> acf, size_t k) {
+  std::vector<size_t> lags;
+  if (acf.size() <= 1) return lags;
+  for (size_t lag = 1; lag < acf.size(); ++lag) lags.push_back(lag);
+  std::sort(lags.begin(), lags.end(), [&acf](size_t a, size_t b) {
+    if (acf[a] != acf[b]) return acf[a] > acf[b];
+    return a < b;
+  });
+  if (lags.size() > k) lags.resize(k);
+  return lags;
+}
+
+}  // namespace vup

@@ -1,0 +1,35 @@
+#ifndef VUPRED_STATS_ACF_H_
+#define VUPRED_STATS_ACF_H_
+
+#include <span>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace vup {
+
+/// Sample autocorrelation function of `series` for lags 0..max_lag.
+///
+/// Uses the standard biased estimator
+///   r(l) = sum_{t=l}^{n-1} (x_t - mean)(x_{t-l} - mean) / sum (x_t - mean)^2,
+/// the estimator behind the paper's Figure 2 and its statistics-based feature
+/// selection (Section 3). r(0) == 1 by construction; |r(l)| <= 1.
+///
+/// Errors: InvalidArgument if the series is shorter than max_lag + 1 or has
+/// zero variance (autocorrelation undefined for a constant series).
+StatusOr<std::vector<double>> Autocorrelation(std::span<const double> series,
+                                              size_t max_lag);
+
+/// Approximate 95% white-noise significance bound for an ACF estimated from
+/// `n` observations: +/- 1.96 / sqrt(n).
+double AcfSignificanceBound(size_t n);
+
+/// Indices of the `k` lags in [1, max_lag] with the largest ACF values,
+/// sorted by descending ACF value (ties broken by smaller lag).
+/// `acf` is the output of Autocorrelation (index == lag).
+/// Returns fewer than k lags when max_lag < k.
+std::vector<size_t> TopKLagsByAcf(std::span<const double> acf, size_t k);
+
+}  // namespace vup
+
+#endif  // VUPRED_STATS_ACF_H_

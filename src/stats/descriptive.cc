@@ -1,0 +1,120 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace vup {
+
+double Mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  double mean = Mean(values);
+  double ss = 0.0;
+  for (double v : values) {
+    double d = v - mean;
+    ss += d * d;
+  }
+  return ss / static_cast<double>(values.size() - 1);
+}
+
+double StdDev(std::span<const double> values) {
+  return std::sqrt(Variance(values));
+}
+
+double Min(std::span<const double> values) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Max(std::span<const double> values) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return *std::max_element(values.begin(), values.end());
+}
+
+double Quantile(std::span<const double> values, double p) {
+  VUP_CHECK(!values.empty()) << "Quantile of empty data";
+  VUP_CHECK(p >= 0.0 && p <= 1.0) << "p=" << p;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  double h = p * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(h));
+  size_t hi = static_cast<size_t>(std::ceil(h));
+  double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double Median(std::span<const double> values) {
+  return Quantile(values, 0.5);
+}
+
+BoxplotStats Boxplot(std::span<const double> values) {
+  VUP_CHECK(!values.empty()) << "Boxplot of empty data";
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  BoxplotStats b;
+  b.count = sorted.size();
+  b.min = sorted.front();
+  b.max = sorted.back();
+  b.q1 = Quantile(sorted, 0.25);
+  b.median = Quantile(sorted, 0.5);
+  b.q3 = Quantile(sorted, 0.75);
+
+  double iqr = b.q3 - b.q1;
+  double lo_fence = b.q1 - 1.5 * iqr;
+  double hi_fence = b.q3 + 1.5 * iqr;
+
+  b.whisker_low = b.q1;
+  b.whisker_high = b.q3;
+  for (double v : sorted) {
+    if (v >= lo_fence) {
+      b.whisker_low = v;
+      break;
+    }
+  }
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
+    if (*it <= hi_fence) {
+      b.whisker_high = *it;
+      break;
+    }
+  }
+  for (double v : sorted) {
+    if (v < lo_fence || v > hi_fence) b.outliers.push_back(v);
+  }
+  return b;
+}
+
+std::string BoxplotToString(const BoxplotStats& b) {
+  return StrFormat(
+      "n=%zu min=%.2f whiskLo=%.2f q1=%.2f med=%.2f q3=%.2f whiskHi=%.2f "
+      "max=%.2f outliers=%zu",
+      b.count, b.min, b.whisker_low, b.q1, b.median, b.q3, b.whisker_high,
+      b.max, b.outliers.size());
+}
+
+SummaryStats Summarize(std::span<const double> values) {
+  SummaryStats s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.mean = Mean(values);
+  s.stddev = StdDev(values);
+  s.min = Min(values);
+  s.q1 = Quantile(values, 0.25);
+  s.median = Median(values);
+  s.q3 = Quantile(values, 0.75);
+  s.max = Max(values);
+  return s;
+}
+
+}  // namespace vup

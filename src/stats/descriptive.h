@@ -1,0 +1,69 @@
+#ifndef VUPRED_STATS_DESCRIPTIVE_H_
+#define VUPRED_STATS_DESCRIPTIVE_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vup {
+
+/// Arithmetic mean. Returns 0 for empty input.
+double Mean(std::span<const double> values);
+
+/// Unbiased sample variance (n-1 denominator). Returns 0 for n < 2.
+double Variance(std::span<const double> values);
+
+/// sqrt(Variance).
+double StdDev(std::span<const double> values);
+
+double Min(std::span<const double> values);
+double Max(std::span<const double> values);
+
+/// Quantile with linear interpolation between order statistics
+/// (type-7, the numpy/R default). `p` in [0, 1]. Requires non-empty input.
+double Quantile(std::span<const double> values, double p);
+
+/// Median == Quantile(0.5).
+double Median(std::span<const double> values);
+
+/// The five-number summary plus Tukey outlier fences, exactly the statistics
+/// drawn by the paper's boxplots (Figure 1b/1c): whiskers at the most extreme
+/// observations within 1.5*IQR of the quartiles; anything beyond is an
+/// outlier ('+' markers in the paper).
+struct BoxplotStats {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double whisker_low = 0.0;   // Lowest value >= q1 - 1.5*IQR.
+  double whisker_high = 0.0;  // Highest value <= q3 + 1.5*IQR.
+  std::vector<double> outliers;
+  size_t count = 0;
+
+  double iqr() const { return q3 - q1; }
+};
+
+/// Computes boxplot statistics. Requires non-empty input.
+BoxplotStats Boxplot(std::span<const double> values);
+
+/// One-line rendering of the five-number summary for reports.
+std::string BoxplotToString(const BoxplotStats& b);
+
+/// All-in-one descriptive summary.
+struct SummaryStats {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+};
+
+SummaryStats Summarize(std::span<const double> values);
+
+}  // namespace vup
+
+#endif  // VUPRED_STATS_DESCRIPTIVE_H_

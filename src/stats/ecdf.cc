@@ -1,0 +1,44 @@
+#include "stats/ecdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace vup {
+
+Ecdf::Ecdf(std::span<const double> sample)
+    : sorted_(sample.begin(), sample.end()) {
+  VUP_CHECK(!sorted_.empty()) << "Ecdf of empty sample";
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const {
+  auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::InverseAt(double p) const {
+  VUP_CHECK(p > 0.0 && p <= 1.0) << "p=" << p;
+  size_t rank = static_cast<size_t>(
+      std::max<long long>(0, static_cast<long long>(
+          std::ceil(p * static_cast<double>(sorted_.size()))) - 1));
+  return sorted_[std::min(rank, sorted_.size() - 1)];
+}
+
+std::vector<std::pair<double, double>> Ecdf::Curve(size_t points) const {
+  VUP_CHECK(points >= 2);
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points);
+  double lo = min();
+  double hi = max();
+  for (size_t i = 0; i < points; ++i) {
+    double x = lo + (hi - lo) * static_cast<double>(i) /
+                        static_cast<double>(points - 1);
+    out.emplace_back(x, (*this)(x));
+  }
+  return out;
+}
+
+}  // namespace vup

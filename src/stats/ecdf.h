@@ -1,0 +1,39 @@
+#ifndef VUPRED_STATS_ECDF_H_
+#define VUPRED_STATS_ECDF_H_
+
+#include <span>
+#include <vector>
+
+namespace vup {
+
+/// Empirical Cumulative Distribution Function.
+///
+/// F(x) is the fraction of observations <= x, the quantity plotted in the
+/// paper's Figure 1(a) for per-type daily utilization hours.
+class Ecdf {
+ public:
+  /// Builds from a sample (copied and sorted). Requires non-empty input.
+  explicit Ecdf(std::span<const double> sample);
+
+  /// F(x): fraction of the sample <= x. Monotone non-decreasing in x,
+  /// 0 below the minimum, 1 at and above the maximum.
+  double operator()(double x) const;
+
+  /// Generalized inverse: smallest sample value v with F(v) >= p, p in (0,1].
+  double InverseAt(double p) const;
+
+  size_t sample_size() const { return sorted_.size(); }
+  double min() const { return sorted_.front(); }
+  double max() const { return sorted_.back(); }
+
+  /// Evaluation grid of (x, F(x)) pairs with `points` equally spaced x
+  /// values across [min, max]; handy for printing CDF curves.
+  std::vector<std::pair<double, double>> Curve(size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace vup
+
+#endif  // VUPRED_STATS_ECDF_H_

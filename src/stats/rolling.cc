@@ -1,0 +1,57 @@
+#include "stats/rolling.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace vup {
+
+std::vector<double> RollingSum(std::span<const double> series, size_t window) {
+  VUP_CHECK(window >= 1);
+  std::vector<double> out(series.size(), 0.0);
+  double sum = 0.0;
+  for (size_t i = 0; i < series.size(); ++i) {
+    sum += series[i];
+    if (i >= window) sum -= series[i - window];
+    out[i] = sum;
+  }
+  return out;
+}
+
+std::vector<double> RollingMean(std::span<const double> series,
+                                size_t window) {
+  std::vector<double> sums = RollingSum(series, window);
+  for (size_t i = 0; i < sums.size(); ++i) {
+    size_t effective = std::min(i + 1, window);
+    sums[i] /= static_cast<double>(effective);
+  }
+  return sums;
+}
+
+std::vector<double> Diff(std::span<const double> series) {
+  std::vector<double> out;
+  if (series.size() < 2) return out;
+  out.reserve(series.size() - 1);
+  for (size_t i = 1; i < series.size(); ++i) {
+    out.push_back(series[i] - series[i - 1]);
+  }
+  return out;
+}
+
+std::vector<double> WeeklyTotals(std::span<const double> daily) {
+  std::vector<double> out;
+  double sum = 0.0;
+  size_t count = 0;
+  for (double v : daily) {
+    sum += v;
+    if (++count == 7) {
+      out.push_back(sum);
+      sum = 0.0;
+      count = 0;
+    }
+  }
+  if (count > 0) out.push_back(sum);
+  return out;
+}
+
+}  // namespace vup

@@ -1,0 +1,27 @@
+#ifndef VUPRED_STATS_ROLLING_H_
+#define VUPRED_STATS_ROLLING_H_
+
+#include <span>
+#include <vector>
+
+namespace vup {
+
+/// Trailing moving average: out[i] = mean(series[max(0, i-window+1) .. i]).
+/// The first window-1 entries average over the shorter available prefix.
+/// Requires window >= 1.
+std::vector<double> RollingMean(std::span<const double> series, size_t window);
+
+/// Trailing moving sum with the same partial-prefix semantics.
+std::vector<double> RollingSum(std::span<const double> series, size_t window);
+
+/// First differences: out[i] = series[i+1] - series[i]; length n-1.
+std::vector<double> Diff(std::span<const double> series);
+
+/// Aggregates a daily series into consecutive 7-day (weekly) sums; a
+/// trailing partial week is summed as-is. Used for Figure 1(d)'s weekly
+/// utilization-hours series.
+std::vector<double> WeeklyTotals(std::span<const double> daily);
+
+}  // namespace vup
+
+#endif  // VUPRED_STATS_ROLLING_H_

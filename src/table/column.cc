@@ -1,0 +1,218 @@
+#include "table/column.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace vup {
+
+template <typename T>
+std::vector<T>& Column::Storage() {
+  return std::get<std::vector<T>>(data_);
+}
+
+template <typename T>
+const std::vector<T>& Column::Storage() const {
+  return std::get<std::vector<T>>(data_);
+}
+
+Column::Column(DataType type) : type_(type) {
+  switch (type) {
+    case DataType::kInt64:
+      data_ = std::vector<int64_t>();
+      break;
+    case DataType::kDouble:
+      data_ = std::vector<double>();
+      break;
+    case DataType::kString:
+      data_ = std::vector<std::string>();
+      break;
+    case DataType::kDate:
+      data_ = std::vector<Date>();
+      break;
+  }
+}
+
+bool Column::IsNull(size_t i) const {
+  VUP_CHECK(i < valid_.size()) << "row " << i;
+  return !valid_[i];
+}
+
+Status Column::Append(const Value& value) {
+  if (value.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  switch (type_) {
+    case DataType::kInt64: {
+      VUP_ASSIGN_OR_RETURN(int64_t v, value.AsInt());
+      AppendInt(v);
+      return Status::OK();
+    }
+    case DataType::kDouble: {
+      // Accept ints into double columns (widening).
+      VUP_ASSIGN_OR_RETURN(double v, value.AsNumeric());
+      AppendDouble(v);
+      return Status::OK();
+    }
+    case DataType::kString: {
+      VUP_ASSIGN_OR_RETURN(std::string v, value.AsString());
+      AppendString(std::move(v));
+      return Status::OK();
+    }
+    case DataType::kDate: {
+      VUP_ASSIGN_OR_RETURN(Date v, value.AsDate());
+      AppendDate(v);
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable column type");
+}
+
+void Column::AppendNull() {
+  switch (type_) {
+    case DataType::kInt64:
+      Storage<int64_t>().push_back(0);
+      break;
+    case DataType::kDouble:
+      Storage<double>().push_back(0.0);
+      break;
+    case DataType::kString:
+      Storage<std::string>().emplace_back();
+      break;
+    case DataType::kDate:
+      Storage<Date>().emplace_back();
+      break;
+  }
+  valid_.push_back(false);
+  ++null_count_;
+}
+
+void Column::AppendInt(int64_t v) {
+  VUP_CHECK(type_ == DataType::kInt64);
+  Storage<int64_t>().push_back(v);
+  valid_.push_back(true);
+}
+
+void Column::AppendDouble(double v) {
+  VUP_CHECK(type_ == DataType::kDouble);
+  Storage<double>().push_back(v);
+  valid_.push_back(true);
+}
+
+void Column::AppendString(std::string v) {
+  VUP_CHECK(type_ == DataType::kString);
+  Storage<std::string>().push_back(std::move(v));
+  valid_.push_back(true);
+}
+
+void Column::AppendDate(Date v) {
+  VUP_CHECK(type_ == DataType::kDate);
+  Storage<Date>().push_back(v);
+  valid_.push_back(true);
+}
+
+Value Column::GetValue(size_t i) const {
+  VUP_CHECK(i < valid_.size()) << "row " << i;
+  if (!valid_[i]) return Value::Null();
+  switch (type_) {
+    case DataType::kInt64:
+      return Value::Int(Storage<int64_t>()[i]);
+    case DataType::kDouble:
+      return Value::Real(Storage<double>()[i]);
+    case DataType::kString:
+      return Value::Str(Storage<std::string>()[i]);
+    case DataType::kDate:
+      return Value::Day(Storage<Date>()[i]);
+  }
+  return Value::Null();
+}
+
+int64_t Column::IntAt(size_t i) const {
+  VUP_CHECK(type_ == DataType::kInt64);
+  VUP_CHECK(i < valid_.size());
+  return Storage<int64_t>()[i];
+}
+
+double Column::DoubleAt(size_t i) const {
+  VUP_CHECK(type_ == DataType::kDouble);
+  VUP_CHECK(i < valid_.size());
+  return Storage<double>()[i];
+}
+
+const std::string& Column::StringAt(size_t i) const {
+  VUP_CHECK(type_ == DataType::kString);
+  VUP_CHECK(i < valid_.size());
+  return Storage<std::string>()[i];
+}
+
+Date Column::DateAt(size_t i) const {
+  VUP_CHECK(type_ == DataType::kDate);
+  VUP_CHECK(i < valid_.size());
+  return Storage<Date>()[i];
+}
+
+StatusOr<std::vector<double>> Column::ToDoubles() const {
+  std::vector<double> out;
+  out.reserve(size());
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  switch (type_) {
+    case DataType::kInt64: {
+      const std::vector<int64_t>& v = Storage<int64_t>();
+      for (size_t i = 0; i < v.size(); ++i) {
+        out.push_back(valid_[i] ? static_cast<double>(v[i]) : nan);
+      }
+      return out;
+    }
+    case DataType::kDouble: {
+      const std::vector<double>& v = Storage<double>();
+      for (size_t i = 0; i < v.size(); ++i) {
+        out.push_back(valid_[i] ? v[i] : nan);
+      }
+      return out;
+    }
+    case DataType::kString:
+    case DataType::kDate:
+      return Status::InvalidArgument("non-numeric column");
+  }
+  return Status::Internal("unreachable column type");
+}
+
+StatusOr<std::vector<double>> Column::ToDoublesDropNull() const {
+  VUP_ASSIGN_OR_RETURN(std::vector<double> all, ToDoubles());
+  std::vector<double> out;
+  out.reserve(all.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (valid_[i]) out.push_back(all[i]);
+  }
+  return out;
+}
+
+Column Column::Take(const std::vector<size_t>& indices) const {
+  Column out(type_);
+  for (size_t i : indices) {
+    VUP_CHECK(i < valid_.size()) << "row " << i;
+    if (!valid_[i]) {
+      out.AppendNull();
+      continue;
+    }
+    switch (type_) {
+      case DataType::kInt64:
+        out.AppendInt(Storage<int64_t>()[i]);
+        break;
+      case DataType::kDouble:
+        out.AppendDouble(Storage<double>()[i]);
+        break;
+      case DataType::kString:
+        out.AppendString(Storage<std::string>()[i]);
+        break;
+      case DataType::kDate:
+        out.AppendDate(Storage<Date>()[i]);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace vup

@@ -1,0 +1,77 @@
+#ifndef VUPRED_TABLE_COLUMN_H_
+#define VUPRED_TABLE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "calendar/date.h"
+#include "common/statusor.h"
+#include "table/value.h"
+
+namespace vup {
+
+/// Typed columnar storage with a validity (null) bitmap.
+///
+/// Values are stored in a type-homogeneous vector; NULL slots keep a
+/// placeholder in the data vector and a false bit in `valid_`. This is the
+/// Arrow-style layout scaled down to what the pipeline needs.
+class Column {
+ public:
+  explicit Column(DataType type);
+
+  DataType type() const { return type_; }
+  size_t size() const { return valid_.size(); }
+  size_t null_count() const { return null_count_; }
+
+  bool IsNull(size_t i) const;
+
+  /// Appends a cell. InvalidArgument when the value type does not match the
+  /// column type (int64 is accepted into double columns and widened).
+  Status Append(const Value& value);
+  void AppendNull();
+
+  // Typed appends (no validation cost).
+  void AppendInt(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string v);
+  void AppendDate(Date v);
+
+  /// Dynamically-typed read.
+  Value GetValue(size_t i) const;
+
+  // Typed reads; caller must know the column type and check IsNull first.
+  // Reading a NULL slot returns the placeholder (0 / "" / epoch).
+  int64_t IntAt(size_t i) const;
+  double DoubleAt(size_t i) const;
+  const std::string& StringAt(size_t i) const;
+  Date DateAt(size_t i) const;
+
+  /// Numeric view of an int64/double column; NULLs become NaN.
+  /// InvalidArgument for string/date columns.
+  StatusOr<std::vector<double>> ToDoubles() const;
+
+  /// Numeric view skipping NULLs.
+  StatusOr<std::vector<double>> ToDoublesDropNull() const;
+
+  /// New column with only the listed rows, in order.
+  Column Take(const std::vector<size_t>& indices) const;
+
+ private:
+  template <typename T>
+  std::vector<T>& Storage();
+  template <typename T>
+  const std::vector<T>& Storage() const;
+
+  DataType type_;
+  std::variant<std::vector<int64_t>, std::vector<double>,
+               std::vector<std::string>, std::vector<Date>>
+      data_;
+  std::vector<bool> valid_;
+  size_t null_count_ = 0;
+};
+
+}  // namespace vup
+
+#endif  // VUPRED_TABLE_COLUMN_H_

@@ -1,0 +1,185 @@
+#include "table/csv.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace vup {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field, char delimiter) {
+  return field.find(delimiter) != std::string::npos ||
+         field.find('"') != std::string::npos ||
+         field.find('\n') != std::string::npos ||
+         field.find('\r') != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field, char delimiter) {
+  if (!NeedsQuoting(field, delimiter)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+/// Splits one CSV record honoring quotes. Returns false on malformed quoting.
+bool SplitCsvLine(const std::string& line, char delimiter,
+                  std::vector<std::string>* out) {
+  out->clear();
+  std::string field;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else {
+      if (c == '"' && field.empty()) {
+        in_quotes = true;
+      } else if (c == delimiter) {
+        out->push_back(std::move(field));
+        field.clear();
+      } else {
+        field += c;
+      }
+    }
+  }
+  if (in_quotes) return false;
+  out->push_back(std::move(field));
+  return true;
+}
+
+StatusOr<Value> ParseCell(const std::string& cell, const Field& field,
+                          const CsvOptions& options) {
+  if (cell == options.null_literal) return Value::Null();
+  switch (field.type) {
+    case DataType::kInt64: {
+      VUP_ASSIGN_OR_RETURN(long long v, ParseInt(cell));
+      return Value::Int(v);
+    }
+    case DataType::kDouble: {
+      VUP_ASSIGN_OR_RETURN(double v, ParseDouble(cell));
+      return Value::Real(v);
+    }
+    case DataType::kString:
+      return Value::Str(cell);
+    case DataType::kDate: {
+      VUP_ASSIGN_OR_RETURN(Date d, Date::Parse(cell));
+      return Value::Day(d);
+    }
+  }
+  return Status::Internal("unreachable field type");
+}
+
+}  // namespace
+
+Status WriteCsv(const Table& table, std::ostream& os,
+                const CsvOptions& options) {
+  const Schema& schema = table.schema();
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    if (i > 0) os << options.delimiter;
+    os << QuoteField(schema.field(i).name, options.delimiter);
+  }
+  os << "\n";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) os << options.delimiter;
+      Value v = table.At(r, c);
+      if (v.is_null()) {
+        os << options.null_literal;
+      } else {
+        os << QuoteField(v.ToString(), options.delimiter);
+      }
+    }
+    os << "\n";
+  }
+  if (!os) return Status::DataLoss("stream write failed");
+  return Status::OK();
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open for write: " + path);
+  return WriteCsv(table, out, options);
+}
+
+StatusOr<Table> ReadCsv(std::istream& is, const Schema& schema,
+                        const CsvOptions& options) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    return Status::InvalidArgument("empty CSV input (missing header)");
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  std::vector<std::string> header;
+  if (!SplitCsvLine(line, options.delimiter, &header)) {
+    return Status::InvalidArgument("malformed CSV header");
+  }
+  if (header.size() != schema.num_fields()) {
+    return Status::InvalidArgument(
+        StrFormat("header has %zu fields, schema expects %zu", header.size(),
+                  schema.num_fields()));
+  }
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] != schema.field(i).name) {
+      return Status::InvalidArgument("header field '" + header[i] +
+                                     "' does not match schema field '" +
+                                     schema.field(i).name + "'");
+    }
+  }
+
+  Table table(schema);
+  size_t line_no = 1;
+  std::vector<std::string> cells;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (!SplitCsvLine(line, options.delimiter, &cells)) {
+      return Status::InvalidArgument(
+          StrFormat("malformed quoting at line %zu", line_no));
+    }
+    if (cells.size() != schema.num_fields()) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu has %zu fields, expected %zu", line_no,
+                    cells.size(), schema.num_fields()));
+    }
+    std::vector<Value> row;
+    row.reserve(cells.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+      StatusOr<Value> v = ParseCell(cells[i], schema.field(i), options);
+      if (!v.ok()) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu, field '%s': %s", line_no,
+                      schema.field(i).name.c_str(),
+                      v.status().message().c_str()));
+      }
+      row.push_back(std::move(v).value());
+    }
+    VUP_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+StatusOr<Table> ReadCsvFile(const std::string& path, const Schema& schema,
+                            const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open for read: " + path);
+  return ReadCsv(in, schema, options);
+}
+
+}  // namespace vup

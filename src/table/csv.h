@@ -1,0 +1,39 @@
+#ifndef VUPRED_TABLE_CSV_H_
+#define VUPRED_TABLE_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/statusor.h"
+#include "table/table.h"
+
+namespace vup {
+
+/// CSV serialization options. Fields are minimally quoted: a field is quoted
+/// only when it contains the delimiter, a quote or a newline.
+struct CsvOptions {
+  char delimiter = ',';
+  /// Literal used for NULL cells on write and recognized on read.
+  std::string null_literal = "";
+};
+
+/// Writes `table` (header + rows) to `os`.
+Status WriteCsv(const Table& table, std::ostream& os,
+                const CsvOptions& options = CsvOptions());
+
+/// Writes to a file, overwriting.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = CsvOptions());
+
+/// Reads a CSV with a header row into a table with the given schema.
+/// The header must match the schema field names (same order). Cell parsing
+/// is strict per field type; empty / null_literal cells become NULL.
+StatusOr<Table> ReadCsv(std::istream& is, const Schema& schema,
+                        const CsvOptions& options = CsvOptions());
+
+StatusOr<Table> ReadCsvFile(const std::string& path, const Schema& schema,
+                            const CsvOptions& options = CsvOptions());
+
+}  // namespace vup
+
+#endif  // VUPRED_TABLE_CSV_H_

@@ -1,0 +1,51 @@
+#include "table/schema.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace vup {
+
+StatusOr<Schema> Schema::Make(std::vector<Field> fields) {
+  std::unordered_set<std::string> seen;
+  for (const Field& f : fields) {
+    if (f.name.empty()) {
+      return Status::InvalidArgument("field with empty name");
+    }
+    if (!seen.insert(f.name).second) {
+      return Status::InvalidArgument("duplicate field name: " + f.name);
+    }
+  }
+  return Schema(std::move(fields));
+}
+
+const Field& Schema::field(size_t i) const {
+  VUP_CHECK(i < fields_.size()) << "field index " << i;
+  return fields_[i];
+}
+
+StatusOr<size_t> Schema::FieldIndex(std::string_view name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("no field named '" + std::string(name) + "'");
+}
+
+bool Schema::HasField(std::string_view name) const {
+  return FieldIndex(name).ok();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "Schema(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += DataTypeToString(fields_[i].type);
+    if (!fields_[i].nullable) out += "!";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace vup

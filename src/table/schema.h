@@ -1,0 +1,55 @@
+#ifndef VUPRED_TABLE_SCHEMA_H_
+#define VUPRED_TABLE_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+#include "table/value.h"
+
+namespace vup {
+
+/// A named, typed column descriptor.
+struct Field {
+  std::string name;
+  DataType type = DataType::kDouble;
+  bool nullable = true;
+
+  friend bool operator==(const Field& a, const Field& b) {
+    return a.name == b.name && a.type == b.type && a.nullable == b.nullable;
+  }
+};
+
+/// An ordered set of uniquely-named fields.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// InvalidArgument on duplicate field names.
+  static StatusOr<Schema> Make(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const;
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name`; NotFound otherwise.
+  StatusOr<size_t> FieldIndex(std::string_view name) const;
+
+  bool HasField(std::string_view name) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.fields_ == b.fields_;
+  }
+
+ private:
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  std::vector<Field> fields_;
+};
+
+}  // namespace vup
+
+#endif  // VUPRED_TABLE_SCHEMA_H_

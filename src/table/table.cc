@@ -1,0 +1,176 @@
+#include "table/table.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace vup {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (size_t i = 0; i < schema_.num_fields(); ++i) {
+    columns_.emplace_back(schema_.field(i).type);
+  }
+}
+
+Status Table::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row has %zu values, schema has %zu fields", row.size(),
+                  columns_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null() && !schema_.field(i).nullable) {
+      return Status::InvalidArgument("NULL in non-nullable field '" +
+                                     schema_.field(i).name + "'");
+    }
+  }
+  // Validate all cells before mutating any column so a failed append leaves
+  // the table unchanged.
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    StatusOr<DataType> t = row[i].type();
+    DataType expected = schema_.field(i).type;
+    DataType actual = t.value();
+    bool ok = actual == expected ||
+              (expected == DataType::kDouble && actual == DataType::kInt64);
+    if (!ok) {
+      return Status::InvalidArgument(
+          StrFormat("field '%s' expects %s, got %s",
+                    schema_.field(i).name.c_str(),
+                    std::string(DataTypeToString(expected)).c_str(),
+                    std::string(DataTypeToString(actual)).c_str()));
+    }
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    Status s = columns_[i].Append(row[i]);
+    VUP_CHECK(s.ok()) << s.ToString();
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+const Column& Table::column(size_t i) const {
+  VUP_CHECK(i < columns_.size()) << "column " << i;
+  return columns_[i];
+}
+
+StatusOr<const Column*> Table::ColumnByName(std::string_view name) const {
+  VUP_ASSIGN_OR_RETURN(size_t idx, schema_.FieldIndex(name));
+  return &columns_[idx];
+}
+
+Value Table::At(size_t row, size_t col) const {
+  VUP_CHECK(row < num_rows_);
+  return column(col).GetValue(row);
+}
+
+StatusOr<Value> Table::At(size_t row, std::string_view col) const {
+  VUP_ASSIGN_OR_RETURN(size_t idx, schema_.FieldIndex(col));
+  if (row >= num_rows_) {
+    return Status::OutOfRange(StrFormat("row %zu of %zu", row, num_rows_));
+  }
+  return columns_[idx].GetValue(row);
+}
+
+StatusOr<Table> Table::Select(const std::vector<std::string>& names) const {
+  std::vector<Field> fields;
+  std::vector<size_t> indices;
+  for (const std::string& name : names) {
+    VUP_ASSIGN_OR_RETURN(size_t idx, schema_.FieldIndex(name));
+    fields.push_back(schema_.field(idx));
+    indices.push_back(idx);
+  }
+  VUP_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+  Table out(std::move(schema));
+  std::vector<size_t> all_rows(num_rows_);
+  std::iota(all_rows.begin(), all_rows.end(), 0);
+  for (size_t j = 0; j < indices.size(); ++j) {
+    out.columns_[j] = columns_[indices[j]].Take(all_rows);
+  }
+  out.num_rows_ = num_rows_;
+  return out;
+}
+
+Table Table::Filter(const std::function<bool(size_t)>& predicate) const {
+  std::vector<size_t> keep;
+  for (size_t r = 0; r < num_rows_; ++r) {
+    if (predicate(r)) keep.push_back(r);
+  }
+  return TakeRows(keep);
+}
+
+StatusOr<Table> Table::SortBy(std::string_view column_name) const {
+  VUP_ASSIGN_OR_RETURN(size_t idx, schema_.FieldIndex(column_name));
+  const Column& col = columns_[idx];
+  DataType t = col.type();
+  if (t == DataType::kString) {
+    return Status::InvalidArgument("SortBy supports numeric/date columns");
+  }
+  std::vector<size_t> order(num_rows_);
+  std::iota(order.begin(), order.end(), 0);
+  auto key = [&col, t](size_t r) -> double {
+    switch (t) {
+      case DataType::kInt64:
+        return static_cast<double>(col.IntAt(r));
+      case DataType::kDouble:
+        return col.DoubleAt(r);
+      case DataType::kDate:
+        return static_cast<double>(col.DateAt(r).day_number());
+      default:
+        return 0.0;
+    }
+  };
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    bool na = col.IsNull(a);
+    bool nb = col.IsNull(b);
+    if (na != nb) return nb;  // NULLs last.
+    if (na && nb) return false;
+    return key(a) < key(b);
+  });
+  return TakeRows(order);
+}
+
+StatusOr<std::map<std::string, std::vector<size_t>>> Table::GroupIndicesBy(
+    std::string_view column_name) const {
+  VUP_ASSIGN_OR_RETURN(size_t idx, schema_.FieldIndex(column_name));
+  std::map<std::string, std::vector<size_t>> groups;
+  for (size_t r = 0; r < num_rows_; ++r) {
+    groups[columns_[idx].GetValue(r).ToString()].push_back(r);
+  }
+  return groups;
+}
+
+Table Table::TakeRows(const std::vector<size_t>& indices) const {
+  Table out(schema_);
+  for (size_t j = 0; j < columns_.size(); ++j) {
+    out.columns_[j] = columns_[j].Take(indices);
+  }
+  out.num_rows_ = indices.size();
+  return out;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t i = 0; i < schema_.num_fields(); ++i) {
+    if (i > 0) out += " | ";
+    out += schema_.field(i).name;
+  }
+  out += "\n";
+  size_t shown = std::min(max_rows, num_rows_);
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) out += " | ";
+      out += columns_[c].GetValue(r).ToString();
+    }
+    out += "\n";
+  }
+  if (shown < num_rows_) {
+    out += StrFormat("... (%zu more rows)\n", num_rows_ - shown);
+  }
+  return out;
+}
+
+}  // namespace vup

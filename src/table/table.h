@@ -1,0 +1,68 @@
+#ifndef VUPRED_TABLE_TABLE_H_
+#define VUPRED_TABLE_TABLE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+#include "table/column.h"
+#include "table/schema.h"
+
+namespace vup {
+
+/// An in-memory relational table: a schema plus one typed column per field.
+///
+/// This is the "relational data format" the paper's preparation step (v)
+/// transforms CAN-bus data into. Supports the operations the pipeline needs:
+/// row append, projection, filtering, sorting and group-by.
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Appends one row; `row` must have one value per field and each value
+  /// must match the field type (NULL allowed for nullable fields).
+  Status AppendRow(const std::vector<Value>& row);
+
+  const Column& column(size_t i) const;
+  StatusOr<const Column*> ColumnByName(std::string_view name) const;
+
+  Value At(size_t row, size_t col) const;
+  StatusOr<Value> At(size_t row, std::string_view col) const;
+
+  /// New table with only the named columns (projection).
+  StatusOr<Table> Select(const std::vector<std::string>& names) const;
+
+  /// New table with only rows where `predicate(row_index)` is true.
+  Table Filter(const std::function<bool(size_t)>& predicate) const;
+
+  /// New table with rows reordered by ascending value of a numeric or date
+  /// column (NULLs last, stable).
+  StatusOr<Table> SortBy(std::string_view column_name) const;
+
+  /// Groups row indices by the rendered value of `column_name`
+  /// (map preserves key order lexicographically).
+  StatusOr<std::map<std::string, std::vector<size_t>>> GroupIndicesBy(
+      std::string_view column_name) const;
+
+  /// New table with only the listed rows, in order.
+  Table TakeRows(const std::vector<size_t>& indices) const;
+
+  /// Pretty-prints up to `max_rows` rows.
+  std::string ToString(size_t max_rows = 10) const;
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace vup
+
+#endif  // VUPRED_TABLE_TABLE_H_

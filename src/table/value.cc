@@ -1,0 +1,70 @@
+#include "table/value.h"
+
+#include "common/string_util.h"
+
+namespace vup {
+
+std::string_view DataTypeToString(DataType t) {
+  switch (t) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+    case DataType::kDate:
+      return "date";
+  }
+  return "?";
+}
+
+StatusOr<DataType> Value::type() const {
+  if (std::holds_alternative<int64_t>(data_)) return DataType::kInt64;
+  if (std::holds_alternative<double>(data_)) return DataType::kDouble;
+  if (std::holds_alternative<std::string>(data_)) return DataType::kString;
+  if (std::holds_alternative<Date>(data_)) return DataType::kDate;
+  return Status::InvalidArgument("NULL value has no type");
+}
+
+StatusOr<int64_t> Value::AsInt() const {
+  if (const int64_t* v = std::get_if<int64_t>(&data_)) return *v;
+  return Status::InvalidArgument("value is not int64: " + ToString());
+}
+
+StatusOr<double> Value::AsDouble() const {
+  if (const double* v = std::get_if<double>(&data_)) return *v;
+  return Status::InvalidArgument("value is not double: " + ToString());
+}
+
+StatusOr<std::string> Value::AsString() const {
+  if (const std::string* v = std::get_if<std::string>(&data_)) return *v;
+  return Status::InvalidArgument("value is not string: " + ToString());
+}
+
+StatusOr<Date> Value::AsDate() const {
+  if (const Date* v = std::get_if<Date>(&data_)) return *v;
+  return Status::InvalidArgument("value is not date: " + ToString());
+}
+
+StatusOr<double> Value::AsNumeric() const {
+  if (const double* v = std::get_if<double>(&data_)) return *v;
+  if (const int64_t* v = std::get_if<int64_t>(&data_)) {
+    return static_cast<double>(*v);
+  }
+  return Status::InvalidArgument("value is not numeric: " + ToString());
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (const int64_t* v = std::get_if<int64_t>(&data_)) {
+    return StrFormat("%lld", static_cast<long long>(*v));
+  }
+  if (const double* v = std::get_if<double>(&data_)) {
+    return StrFormat("%g", *v);
+  }
+  if (const std::string* v = std::get_if<std::string>(&data_)) return *v;
+  if (const Date* v = std::get_if<Date>(&data_)) return v->ToString();
+  return "?";
+}
+
+}  // namespace vup

@@ -1,0 +1,70 @@
+#ifndef VUPRED_TABLE_VALUE_H_
+#define VUPRED_TABLE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "calendar/date.h"
+#include "common/statusor.h"
+
+namespace vup {
+
+/// Column data types of the relational layer.
+enum class DataType : int {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+  kDate = 3,
+};
+
+std::string_view DataTypeToString(DataType t);
+
+/// A single dynamically-typed cell: one of the supported types or NULL.
+/// Used at the row-assembly and CSV boundaries; bulk storage is typed
+/// (see Column).
+class Value {
+ public:
+  /// NULL value.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Payload(v)); }
+  static Value Real(double v) { return Value(Payload(v)); }
+  static Value Str(std::string v) { return Value(Payload(std::move(v))); }
+  static Value Day(Date v) { return Value(Payload(v)); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+
+  /// The type held, or nullopt-like error for NULL.
+  StatusOr<DataType> type() const;
+
+  /// Checked accessors: InvalidArgument when the value holds another type.
+  StatusOr<int64_t> AsInt() const;
+  StatusOr<double> AsDouble() const;
+  StatusOr<std::string> AsString() const;
+  StatusOr<Date> AsDate() const;
+
+  /// Numeric view: int64 widened to double; InvalidArgument otherwise.
+  StatusOr<double> AsNumeric() const;
+
+  /// Human-readable rendering ("NULL" for null cells).
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  using Payload =
+      std::variant<std::monostate, int64_t, double, std::string, Date>;
+
+  explicit Value(Payload data) : data_(std::move(data)) {}
+
+  Payload data_;
+};
+
+}  // namespace vup
+
+#endif  // VUPRED_TABLE_VALUE_H_

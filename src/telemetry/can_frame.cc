@@ -1,0 +1,86 @@
+#include "telemetry/can_frame.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace vup {
+
+std::string CanFrame::ToString() const {
+  std::string out = StrFormat("CAN id=0x%08X pgn=%u data=", id, PgnFromId(id));
+  for (uint8_t b : data) out += StrFormat("%02X", b);
+  return out;
+}
+
+uint32_t MakeJ1939Id(uint8_t priority, uint32_t pgn, uint8_t source) {
+  return (static_cast<uint32_t>(priority & 0x7u) << 26) |
+         ((pgn & 0x3FFFFu) << 8) | source;
+}
+
+uint32_t PgnFromId(uint32_t id) { return (id >> 8) & 0x3FFFFu; }
+
+uint8_t SourceFromId(uint32_t id) { return static_cast<uint8_t>(id & 0xFFu); }
+
+namespace {
+
+uint64_t NotAvailableRaw(int byte_length) {
+  // All bytes 0xFF.
+  return byte_length >= 8 ? ~0ULL : ((1ULL << (8 * byte_length)) - 1);
+}
+
+Status ValidateSlot(const SignalSpec& spec, const CanFrame& frame) {
+  if (PgnFromId(frame.id) != spec.pgn) {
+    return Status::NotFound(
+        StrFormat("frame pgn %u does not carry signal '%s' (pgn %u)",
+                  PgnFromId(frame.id), spec.name.c_str(), spec.pgn));
+  }
+  if (spec.start_byte < 0 || spec.byte_length < 1 ||
+      spec.start_byte + spec.byte_length > 8) {
+    return Status::InvalidArgument("signal slot outside 8-byte payload");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FrameCodec::EncodeSignal(const SignalSpec& spec, double value,
+                                CanFrame* frame) {
+  VUP_RETURN_IF_ERROR(ValidateSlot(spec, *frame));
+  double clamped = std::clamp(value, spec.min_value, spec.max_value);
+  double raw_d = (clamped - spec.offset) / spec.scale;
+  uint64_t raw = static_cast<uint64_t>(std::llround(std::max(0.0, raw_d)));
+  // Reserve the all-ones pattern for "not available".
+  uint64_t na = NotAvailableRaw(spec.byte_length);
+  if (raw >= na) raw = na - 1;
+  for (int i = 0; i < spec.byte_length; ++i) {
+    frame->data[static_cast<size_t>(spec.start_byte + i)] =
+        static_cast<uint8_t>((raw >> (8 * i)) & 0xFFu);
+  }
+  return Status::OK();
+}
+
+Status FrameCodec::EncodeNotAvailable(const SignalSpec& spec,
+                                      CanFrame* frame) {
+  VUP_RETURN_IF_ERROR(ValidateSlot(spec, *frame));
+  for (int i = 0; i < spec.byte_length; ++i) {
+    frame->data[static_cast<size_t>(spec.start_byte + i)] = 0xFF;
+  }
+  return Status::OK();
+}
+
+StatusOr<double> FrameCodec::DecodeSignal(const SignalSpec& spec,
+                                          const CanFrame& frame) {
+  VUP_RETURN_IF_ERROR(ValidateSlot(spec, frame));
+  uint64_t raw = 0;
+  for (int i = spec.byte_length - 1; i >= 0; --i) {
+    raw = (raw << 8) |
+          frame.data[static_cast<size_t>(spec.start_byte + i)];
+  }
+  if (raw == NotAvailableRaw(spec.byte_length)) {
+    return Status::OutOfRange("signal '" + spec.name + "' not available");
+  }
+  return static_cast<double>(raw) * spec.scale + spec.offset;
+}
+
+}  // namespace vup

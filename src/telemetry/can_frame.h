@@ -1,0 +1,54 @@
+#ifndef VUPRED_TELEMETRY_CAN_FRAME_H_
+#define VUPRED_TELEMETRY_CAN_FRAME_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/statusor.h"
+#include "telemetry/signal.h"
+
+namespace vup {
+
+/// A raw extended-frame CAN message (29-bit identifier, 8 data bytes),
+/// structured per SAE J1939: id = priority(3) | PGN(18) | source address(8).
+struct CanFrame {
+  uint32_t id = 0;
+  std::array<uint8_t, 8> data = {0xFF, 0xFF, 0xFF, 0xFF,
+                                 0xFF, 0xFF, 0xFF, 0xFF};
+
+  std::string ToString() const;
+};
+
+/// Assembles a 29-bit J1939 identifier. priority in [0,7], pgn 18-bit,
+/// source 8-bit.
+uint32_t MakeJ1939Id(uint8_t priority, uint32_t pgn, uint8_t source);
+
+/// Extracts the PGN field from a 29-bit J1939 identifier.
+uint32_t PgnFromId(uint32_t id);
+
+/// Extracts the source address.
+uint8_t SourceFromId(uint32_t id);
+
+/// Encodes/decodes physical signal values into frame payload bytes per the
+/// signal's scale/offset/position. All-ones raw payload means "not
+/// available" (J1939 convention) and round-trips as such.
+class FrameCodec {
+ public:
+  /// Writes `value` (clamped to the signal's physical range) into `frame`.
+  /// The frame's id must carry the signal's PGN.
+  static Status EncodeSignal(const SignalSpec& spec, double value,
+                             CanFrame* frame);
+
+  /// Marks the signal's slot as not-available.
+  static Status EncodeNotAvailable(const SignalSpec& spec, CanFrame* frame);
+
+  /// Reads the signal from `frame`. NotFound when the frame carries a
+  /// different PGN; OutOfRange when the slot holds "not available".
+  static StatusOr<double> DecodeSignal(const SignalSpec& spec,
+                                       const CanFrame& frame);
+};
+
+}  // namespace vup
+
+#endif  // VUPRED_TELEMETRY_CAN_FRAME_H_

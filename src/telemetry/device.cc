@@ -1,0 +1,45 @@
+#include "telemetry/device.h"
+
+#include <cmath>
+
+namespace vup {
+
+OnboardDevice::OnboardDevice(ConnectivityConfig config, uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+std::vector<AggregatedReport> OnboardDevice::Deliver(
+    const std::vector<AggregatedReport>& day_reports) {
+  std::vector<AggregatedReport> delivered;
+  for (const AggregatedReport& report : day_reports) {
+    // Advance the link state one slot.
+    if (online_) {
+      if (rng_.Bernoulli(config_.offline_start_prob)) {
+        online_ = false;
+        double mean = std::max(1.0, config_.mean_offline_slots);
+        offline_slots_remaining_ =
+            1 + static_cast<int64_t>(rng_.Exponential(1.0 / mean));
+      }
+    }
+
+    if (online_) {
+      delivered.push_back(report);
+    } else {
+      backlog_.push_back(report);
+      if (--offline_slots_remaining_ <= 0) {
+        online_ = true;
+        // Recover part of the backlog, lose the rest.
+        for (const AggregatedReport& buffered : backlog_) {
+          if (rng_.Bernoulli(config_.recovery_fraction)) {
+            delivered.push_back(buffered);
+          } else {
+            ++lost_count_;
+          }
+        }
+        backlog_.clear();
+      }
+    }
+  }
+  return delivered;
+}
+
+}  // namespace vup

@@ -1,0 +1,53 @@
+#ifndef VUPRED_TELEMETRY_DEVICE_H_
+#define VUPRED_TELEMETRY_DEVICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "telemetry/report.h"
+
+namespace vup {
+
+/// Connectivity behaviour of the on-board uplink. Vehicles operate in remote
+/// regions where connectivity drops for stretches of time (Section 2:
+/// "the sudden absence of connectivity may affect data collection").
+struct ConnectivityConfig {
+  /// Probability per slot of entering an offline episode.
+  double offline_start_prob = 0.004;
+  /// Mean offline episode length in slots (geometric).
+  double mean_offline_slots = 12.0;
+  /// Fraction of reports buffered while offline that are recovered once the
+  /// link returns (the rest are lost: the device has a bounded buffer).
+  double recovery_fraction = 0.7;
+};
+
+/// Simulates the report uplink of one vehicle's on-board device: buffers
+/// reports during offline episodes, recovers part of the backlog on
+/// reconnect, loses the rest. Stateful across calls.
+class OnboardDevice {
+ public:
+  OnboardDevice(ConnectivityConfig config, uint64_t seed);
+
+  /// Pushes one day of slot reports through the link; returns the reports
+  /// that actually reach the server (in order). Lost reports surface as
+  /// data gaps downstream, which the cleaning stage must handle.
+  std::vector<AggregatedReport> Deliver(
+      const std::vector<AggregatedReport>& day_reports);
+
+  /// Total reports lost so far.
+  int64_t lost_count() const { return lost_count_; }
+  bool online() const { return online_; }
+
+ private:
+  ConnectivityConfig config_;
+  Rng rng_;
+  bool online_ = true;
+  int64_t offline_slots_remaining_ = 0;
+  std::vector<AggregatedReport> backlog_;
+  int64_t lost_count_ = 0;
+};
+
+}  // namespace vup
+
+#endif  // VUPRED_TELEMETRY_DEVICE_H_

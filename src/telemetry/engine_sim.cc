@@ -1,0 +1,223 @@
+#include "telemetry/engine_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "telemetry/can_frame.h"
+#include "telemetry/signal.h"
+
+namespace vup {
+
+namespace {
+
+constexpr int64_t kDaySeconds = 86400;
+constexpr int64_t kEmitPeriodS = 60;  // One parametric message per minute.
+
+/// A contiguous engine-on episode within the day, [start_s, end_s) as
+/// seconds from midnight.
+struct WorkEpisode {
+  int64_t start_s;
+  int64_t end_s;
+};
+
+/// Splits `target_hours` into 1-3 episodes in the working window of the day.
+std::vector<WorkEpisode> PlanEpisodes(double target_hours, Rng* rng) {
+  std::vector<WorkEpisode> episodes;
+  if (target_hours <= 0.0) return episodes;
+  double remaining_s = target_hours * 3600.0;
+  int n_episodes = target_hours > 9.0   ? 1
+                   : target_hours > 4.0 ? (rng->Bernoulli(0.6) ? 2 : 1)
+                                        : (rng->Bernoulli(0.3) ? 2 : 1);
+  // Shift start: early morning for long days.
+  double start_h = target_hours > 12.0 ? rng->Uniform(0.0, 4.0)
+                                       : rng->Uniform(6.0, 9.0);
+  int64_t cursor = static_cast<int64_t>(start_h * 3600.0);
+  for (int e = 0; e < n_episodes; ++e) {
+    double share = (e == n_episodes - 1) ? 1.0 : rng->Uniform(0.4, 0.6);
+    int64_t dur = static_cast<int64_t>(remaining_s * share);
+    dur = std::max<int64_t>(dur, kEmitPeriodS);
+    int64_t end = std::min(cursor + dur, kDaySeconds - 1);
+    episodes.push_back({cursor, end});
+    remaining_s -= static_cast<double>(end - cursor);
+    if (remaining_s <= kEmitPeriodS) break;
+    // Lunch/shift break before the next episode.
+    cursor = end + static_cast<int64_t>(rng->Uniform(1800.0, 5400.0));
+    if (cursor >= kDaySeconds - kEmitPeriodS) break;
+  }
+  return episodes;
+}
+
+}  // namespace
+
+EngineSimulator::EngineSimulator(VehicleInfo info, ModelSpec model,
+                                 uint64_t seed)
+    : info_(std::move(info)),
+      model_(std::move(model)),
+      rng_(seed),
+      engine_hours_total_(rng_.Uniform(100.0, 5000.0)) {}
+
+TelemetryMessage EngineSimulator::MakeParametric(int64_t ts,
+                                                 double load_pct) {
+  const SignalCatalog& catalog = SignalCatalog::Global();
+  TelemetryMessage msg;
+  msg.kind = MessageKind::kParametric;
+  msg.vehicle_id = info_.vehicle_id;
+  msg.timestamp_s = ts;
+
+  double rpm = std::clamp(900.0 + 11.0 * load_pct + rng_.Normal(0.0, 40.0),
+                          650.0, 2500.0);
+  double fuel_rate = model_.engine_power_kw * (load_pct / 100.0) * 0.22;
+  double oil_pressure =
+      std::clamp(250.0 + 1.5 * load_pct + rng_.Normal(0.0, 10.0), 100.0,
+                 800.0);
+  double speed = std::max(0.0, rng_.Normal(3.0, 2.0));
+  double hydraulic = coolant_temp_c_ - rng_.Uniform(5.0, 15.0);
+
+  // One frame per PGN, all signals of that PGN encoded together.
+  for (uint32_t pgn : catalog.Pgns()) {
+    CanFrame frame;
+    frame.id = MakeJ1939Id(6, pgn, 0x21);
+    bool used = false;
+    for (const SignalSpec& spec : catalog.signals()) {
+      if (spec.pgn != pgn) continue;
+      double value = 0.0;
+      switch (spec.id) {
+        case SignalId::kEngineRpm:
+          value = rpm;
+          break;
+        case SignalId::kEngineLoad:
+          value = load_pct;
+          break;
+        case SignalId::kEngineFuelRate:
+          value = fuel_rate;
+          break;
+        case SignalId::kEngineOilPressure:
+          value = oil_pressure;
+          break;
+        case SignalId::kCoolantTemp:
+          value = coolant_temp_c_;
+          break;
+        case SignalId::kVehicleSpeed:
+          value = speed;
+          break;
+        case SignalId::kFuelLevel:
+          value = fuel_level_pct_;
+          break;
+        case SignalId::kEngineHours:
+          value = engine_hours_total_;
+          break;
+        case SignalId::kHydraulicOilTemp:
+        case SignalId::kPumpDriveTemp:
+          value = hydraulic;
+          break;
+      }
+      Status s = FrameCodec::EncodeSignal(spec, value, &frame);
+      VUP_CHECK(s.ok()) << s.ToString();
+      used = true;
+    }
+    if (used) msg.frames.push_back(frame);
+  }
+  return msg;
+}
+
+std::vector<TelemetryMessage> EngineSimulator::SimulateDay(
+    const Date& date, double target_hours) {
+  std::vector<TelemetryMessage> out;
+  const int64_t midnight = SlotStartEpochS(date, 0);
+  coolant_temp_c_ = 20.0;  // Overnight cool-down.
+
+  std::vector<WorkEpisode> episodes = PlanEpisodes(target_hours, &rng_);
+  // Day-level operating load, consistent with the fast path's relationship.
+  double intensity = std::clamp(target_hours / 8.0, 0.2, 2.5);
+  double day_load =
+      std::clamp(30.0 + 22.0 * intensity + rng_.Normal(0.0, 5.0), 15.0, 95.0);
+
+  for (const WorkEpisode& ep : episodes) {
+    // Engine on.
+    TelemetryMessage on;
+    on.kind = MessageKind::kEngineOn;
+    on.vehicle_id = info_.vehicle_id;
+    on.timestamp_s = midnight + ep.start_s;
+    out.push_back(on);
+
+    for (int64_t t = ep.start_s; t < ep.end_s; t += kEmitPeriodS) {
+      int64_t ts = midnight + t;
+      double minutes = static_cast<double>(kEmitPeriodS) / 60.0;
+      // Warm-up towards operating temperature.
+      coolant_temp_c_ += (84.0 - coolant_temp_c_) * 0.08;
+      double load =
+          std::clamp(day_load + rng_.Normal(0.0, 6.0), 10.0, 100.0);
+      out.push_back(MakeParametric(ts, load));
+
+      // Bookkeeping.
+      double fuel_rate = model_.engine_power_kw * (load / 100.0) * 0.22;
+      double used_l = fuel_rate * minutes / 60.0;
+      fuel_level_pct_ -= 100.0 * used_l / model_.fuel_tank_l;
+      if (fuel_level_pct_ < 15.0) {
+        fuel_level_pct_ += rng_.Uniform(60.0, 85.0);
+        fuel_level_pct_ = std::min(fuel_level_pct_, 100.0);
+      }
+      engine_hours_total_ += minutes / 60.0;
+
+      // Occasional diagnostic message.
+      if (rng_.Bernoulli(0.0005)) {
+        TelemetryMessage dm;
+        dm.kind = MessageKind::kDiagnostic;
+        dm.vehicle_id = info_.vehicle_id;
+        dm.timestamp_s = ts;
+        DiagnosticTroubleCode dtc;
+        dtc.spn = static_cast<uint32_t>(rng_.UniformInt(100, 5000));
+        dtc.fmi = static_cast<uint8_t>(rng_.UniformInt(0, 31));
+        dm.dtcs.push_back(dtc);
+        out.push_back(dm);
+      }
+    }
+
+    // Engine off.
+    TelemetryMessage off;
+    off.kind = MessageKind::kEngineOff;
+    off.vehicle_id = info_.vehicle_id;
+    off.timestamp_s = midnight + ep.end_s;
+    out.push_back(off);
+  }
+  return out;
+}
+
+std::vector<AggregatedReport> AggregateDay(
+    const std::vector<TelemetryMessage>& messages, int64_t vehicle_id,
+    const Date& date, bool* engine_on_at_start) {
+  VUP_CHECK(engine_on_at_start != nullptr);
+  std::vector<AggregatedReport> out;
+  bool engine_on = *engine_on_at_start;
+  size_t msg_index = 0;
+  for (int slot = 0; slot < kSlotsPerDay; ++slot) {
+    ReportAggregator agg(vehicle_id, date, slot, engine_on);
+    int64_t slot_end = SlotStartEpochS(date, slot) + kSlotSeconds;
+    while (msg_index < messages.size() &&
+           messages[msg_index].timestamp_s < slot_end) {
+      Status s = agg.Consume(messages[msg_index]);
+      VUP_CHECK(s.ok()) << s.ToString();
+      ++msg_index;
+    }
+    engine_on = agg.engine_on();
+    AggregatedReport report = agg.Finalize();
+    if (report.engine_on_fraction > 0.0 || report.sample_count > 0 ||
+        report.dtc_count > 0) {
+      out.push_back(report);
+    }
+  }
+  *engine_on_at_start = engine_on;
+  return out;
+}
+
+double DailyUtilizationHours(const std::vector<AggregatedReport>& reports) {
+  double hours = 0.0;
+  for (const AggregatedReport& r : reports) {
+    hours += r.engine_on_fraction * static_cast<double>(kSlotSeconds) /
+             3600.0;
+  }
+  return hours;
+}
+
+}  // namespace vup

@@ -1,0 +1,180 @@
+#include "telemetry/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace vup {
+
+FleetConfig FleetConfig::Default() {
+  FleetConfig c;
+  c.start_date = Date::FromYmd(2015, 1, 1).value();
+  c.end_date = Date::FromYmd(2018, 9, 30).value();
+  return c;
+}
+
+FleetConfig FleetConfig::Small(size_t num_vehicles, uint64_t seed) {
+  FleetConfig c = Default();
+  c.num_vehicles = num_vehicles;
+  c.seed = seed;
+  return c;
+}
+
+std::vector<double> VehicleDailySeries::Hours() const {
+  std::vector<double> out;
+  out.reserve(days.size());
+  for (const DailyUsageRecord& d : days) out.push_back(d.hours);
+  return out;
+}
+
+std::vector<Date> VehicleDailySeries::Dates() const {
+  std::vector<Date> out;
+  out.reserve(days.size());
+  for (const DailyUsageRecord& d : days) out.push_back(d.date);
+  return out;
+}
+
+Fleet Fleet::Generate(const FleetConfig& config) {
+  VUP_CHECK(config.num_vehicles > 0);
+  VUP_CHECK(config.start_date < config.end_date)
+      << config.start_date.ToString() << " .. " << config.end_date.ToString();
+
+  Fleet fleet;
+  fleet.config_ = config;
+  fleet.vehicles_.reserve(config.num_vehicles);
+  fleet.profiles_.reserve(config.num_vehicles);
+
+  Rng rng(SplitMix64(config.seed ^ 0xF1EE7ULL));
+  const ModelRegistry& models = ModelRegistry::Global();
+  const CountryRegistry& countries = CountryRegistry::Global();
+
+  // Country popularity follows a Zipf-like law: a few countries host most of
+  // the fleet, the rest form a long tail across all 151.
+  std::vector<double> country_cdf;
+  {
+    double total = 0.0;
+    for (size_t i = 0; i < countries.size(); ++i) {
+      total += 1.0 / static_cast<double>(i + 2);
+      country_cdf.push_back(total);
+    }
+    for (double& v : country_cdf) v /= total;
+  }
+  auto pick_country = [&](Rng* r) -> const Country& {
+    double u = r->Uniform();
+    size_t idx = static_cast<size_t>(
+        std::lower_bound(country_cdf.begin(), country_cdf.end(), u) -
+        country_cdf.begin());
+    return countries.at(std::min(idx, countries.size() - 1));
+  };
+
+  // Type shares from the traits table.
+  std::vector<double> type_cdf;
+  {
+    double total = 0.0;
+    for (const VehicleTypeTraits& t : AllTypeTraits()) {
+      total += t.fleet_share;
+      type_cdf.push_back(total);
+    }
+    for (double& v : type_cdf) v /= total;
+  }
+
+  const int32_t period_days = config.end_date - config.start_date;
+  for (size_t i = 0; i < config.num_vehicles; ++i) {
+    Rng unit_rng = rng.Fork(i);
+    double u = unit_rng.Uniform();
+    int type_idx = static_cast<int>(
+        std::lower_bound(type_cdf.begin(), type_cdf.end(), u) -
+        type_cdf.begin());
+    type_idx = std::min(type_idx, kNumVehicleTypes - 1);
+    VehicleType type = static_cast<VehicleType>(type_idx);
+
+    const std::vector<ModelSpec>& type_models = models.ModelsOf(type);
+    const ModelSpec& model = type_models[static_cast<size_t>(
+        unit_rng.UniformInt(0, static_cast<int64_t>(type_models.size()) - 1))];
+
+    VehicleInfo info;
+    info.vehicle_id = static_cast<int64_t>(100000 + i);
+    info.type = type;
+    info.model_id = model.id;
+    info.country_code = pick_country(&unit_rng).code;
+    // Most units are installed near the start of the period; stragglers join
+    // later but keep at least ~200 days of history.
+    int32_t install_offset = static_cast<int32_t>(
+        std::min<double>(unit_rng.Exponential(1.0 / 160.0),
+                         std::max(0, period_days - 220)));
+    info.install_date = config.start_date.AddDays(install_offset);
+    fleet.vehicles_.push_back(info);
+
+    fleet.profiles_.push_back(
+        UsageProfile::ForUnit(TraitsFor(type), model, &unit_rng));
+  }
+  return fleet;
+}
+
+const VehicleInfo& Fleet::vehicle(size_t index) const {
+  VUP_CHECK(index < vehicles_.size()) << "vehicle index " << index;
+  return vehicles_[index];
+}
+
+const Country& Fleet::CountryOf(const VehicleInfo& info) const {
+  StatusOr<const Country*> c =
+      CountryRegistry::Global().Find(info.country_code);
+  VUP_CHECK(c.ok()) << c.status().ToString();
+  return *c.value();
+}
+
+const ModelSpec& Fleet::ModelOf(const VehicleInfo& info) const {
+  StatusOr<const ModelSpec*> m = ModelRegistry::Global().Find(info.model_id);
+  VUP_CHECK(m.ok()) << m.status().ToString();
+  return *m.value();
+}
+
+const UsageProfile& Fleet::ProfileOf(size_t index) const {
+  VUP_CHECK(index < profiles_.size());
+  return profiles_[index];
+}
+
+uint64_t Fleet::VehicleSeed(size_t index) const {
+  return SplitMix64(config_.seed * 0x9E3779B97F4A7C15ULL + index + 1);
+}
+
+VehicleDailySeries Fleet::GenerateDailySeries(size_t index) const {
+  const VehicleInfo& info = vehicle(index);
+  const Country& country = CountryOf(info);
+  const ModelSpec& model = ModelOf(info);
+
+  VehicleDailySeries series;
+  series.info = info;
+  UsageModel usage(profiles_[index], &country, VehicleSeed(index));
+  for (Date d = info.install_date; d <= config_.end_date; d = d.AddDays(1)) {
+    series.days.push_back(usage.NextDailyRecord(d, model));
+  }
+  return series;
+}
+
+EngineSimulator Fleet::MakeEngineSimulator(size_t index) const {
+  const VehicleInfo& info = vehicle(index);
+  return EngineSimulator(info, ModelOf(info),
+                         SplitMix64(VehicleSeed(index) ^ 0xE1131ULL));
+}
+
+std::vector<size_t> Fleet::IndicesOfType(VehicleType type) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < vehicles_.size(); ++i) {
+    if (vehicles_[i].type == type) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> Fleet::IndicesOfModel(std::string_view model_id) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < vehicles_.size(); ++i) {
+    if (vehicles_[i].model_id == model_id) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace vup

@@ -1,0 +1,86 @@
+#ifndef VUPRED_TELEMETRY_FLEET_H_
+#define VUPRED_TELEMETRY_FLEET_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "calendar/country.h"
+#include "calendar/date.h"
+#include "common/statusor.h"
+#include "telemetry/engine_sim.h"
+#include "telemetry/taxonomy.h"
+#include "telemetry/usage_model.h"
+#include "telemetry/vehicle.h"
+
+namespace vup {
+
+/// Parameters of the synthetic fleet. Defaults reproduce the paper's
+/// dataset shape: 2 239 vehicles, 10 types, 151 countries, January 2015 to
+/// September 2018.
+struct FleetConfig {
+  size_t num_vehicles = 2239;
+  Date start_date;  // Defaults to 2015-01-01 (set in Default()).
+  Date end_date;    // Defaults to 2018-09-30.
+  uint64_t seed = 42;
+
+  /// Config with the paper's period filled in.
+  static FleetConfig Default();
+
+  /// Smaller fleet for tests/benches; same period, same seed derivation.
+  static FleetConfig Small(size_t num_vehicles, uint64_t seed = 42);
+};
+
+/// One vehicle's generated daily history (fast path).
+struct VehicleDailySeries {
+  VehicleInfo info;
+  std::vector<DailyUsageRecord> days;  // Consecutive dates, install..end.
+
+  /// Just the utilization-hours series.
+  std::vector<double> Hours() const;
+  /// Dates aligned with Hours().
+  std::vector<Date> Dates() const;
+};
+
+/// The synthetic fleet: vehicle identities plus deterministic per-vehicle
+/// generators. Generation of a vehicle's series is independent of every
+/// other vehicle (seeded by fleet seed x vehicle id), so any subset can be
+/// materialized cheaply and reproducibly.
+class Fleet {
+ public:
+  static Fleet Generate(const FleetConfig& config);
+
+  const FleetConfig& config() const { return config_; }
+  const std::vector<VehicleInfo>& vehicles() const { return vehicles_; }
+  size_t size() const { return vehicles_.size(); }
+
+  const VehicleInfo& vehicle(size_t index) const;
+  const Country& CountryOf(const VehicleInfo& info) const;
+  const ModelSpec& ModelOf(const VehicleInfo& info) const;
+  const UsageProfile& ProfileOf(size_t index) const;
+
+  /// Fast path: the vehicle's full daily history (hours + engine features),
+  /// deterministic in (fleet seed, vehicle index).
+  VehicleDailySeries GenerateDailySeries(size_t index) const;
+
+  /// Full-fidelity path: an engine simulator for the vehicle, to produce
+  /// raw CAN messages for selected days.
+  EngineSimulator MakeEngineSimulator(size_t index) const;
+
+  /// Vehicle indices of a given type / model.
+  std::vector<size_t> IndicesOfType(VehicleType type) const;
+  std::vector<size_t> IndicesOfModel(std::string_view model_id) const;
+
+ private:
+  Fleet() = default;
+
+  uint64_t VehicleSeed(size_t index) const;
+
+  FleetConfig config_;
+  std::vector<VehicleInfo> vehicles_;
+  std::vector<UsageProfile> profiles_;
+};
+
+}  // namespace vup
+
+#endif  // VUPRED_TELEMETRY_FLEET_H_

@@ -1,0 +1,21 @@
+#include "telemetry/message.h"
+
+namespace vup {
+
+std::string_view MessageKindToString(MessageKind k) {
+  switch (k) {
+    case MessageKind::kEngineOn:
+      return "EngineOn";
+    case MessageKind::kEngineOff:
+      return "EngineOff";
+    case MessageKind::kParametric:
+      return "Parametric";
+    case MessageKind::kDiagnostic:
+      return "Diagnostic";
+    case MessageKind::kStatusReport:
+      return "StatusReport";
+  }
+  return "?";
+}
+
+}  // namespace vup

@@ -1,0 +1,47 @@
+#ifndef VUPRED_TELEMETRY_MESSAGE_H_
+#define VUPRED_TELEMETRY_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/can_frame.h"
+
+namespace vup {
+
+/// Message classes produced by the on-board controller, mirroring the
+/// paper's CAN-bus information list: engine on/off events, parametric
+/// messages, diagnostic messages, and status reports.
+enum class MessageKind : int {
+  kEngineOn = 0,
+  kEngineOff = 1,
+  kParametric = 2,
+  kDiagnostic = 3,
+  kStatusReport = 4,
+};
+
+std::string_view MessageKindToString(MessageKind k);
+
+/// J1939 DM1-style diagnostic trouble code.
+struct DiagnosticTroubleCode {
+  uint32_t spn = 0;            // Suspect parameter number.
+  uint8_t fmi = 0;             // Failure mode identifier (0..31).
+  uint8_t occurrence_count = 1;
+
+  friend bool operator==(const DiagnosticTroubleCode&,
+                         const DiagnosticTroubleCode&) = default;
+};
+
+/// One message as captured on the vehicle, before 10-minute aggregation.
+/// `timestamp_s` is seconds since the Unix epoch.
+struct TelemetryMessage {
+  MessageKind kind = MessageKind::kParametric;
+  int64_t vehicle_id = 0;
+  int64_t timestamp_s = 0;
+  std::vector<CanFrame> frames;               // kParametric / kStatusReport.
+  std::vector<DiagnosticTroubleCode> dtcs;    // kDiagnostic.
+};
+
+}  // namespace vup
+
+#endif  // VUPRED_TELEMETRY_MESSAGE_H_

@@ -1,0 +1,88 @@
+#include "telemetry/signal.h"
+
+#include <algorithm>
+
+namespace vup {
+
+namespace {
+
+SignalSpec MakeSpec(SignalId id, std::string name, std::string unit,
+                    double min_value, double max_value, double scale,
+                    double offset, uint32_t pgn, int start_byte,
+                    int byte_length) {
+  SignalSpec s;
+  s.id = id;
+  s.name = std::move(name);
+  s.unit = std::move(unit);
+  s.min_value = min_value;
+  s.max_value = max_value;
+  s.scale = scale;
+  s.offset = offset;
+  s.pgn = pgn;
+  s.start_byte = start_byte;
+  s.byte_length = byte_length;
+  return s;
+}
+
+}  // namespace
+
+SignalCatalog::SignalCatalog() {
+  // PGN layout loosely follows J1939-71: EEC1 (61444) carries rpm/load,
+  // Engine Fluids (65263) oil pressure, Engine Temperature (65262) coolant,
+  // Fuel Economy (65266) fuel rate, Dash Display (65276) fuel level,
+  // CCVS (65265) wheel speed, Engine Hours (65253), vendor PGNs for the
+  // machine-control signals.
+  signals_.push_back(MakeSpec(SignalId::kEngineRpm, "engine_rpm", "rpm", 0.0,
+                              8031.875, 0.125, 0.0, 61444, 3, 2));
+  signals_.push_back(MakeSpec(SignalId::kEngineLoad, "engine_load",
+                              "%", 0.0, 125.0, 1.0, 0.0, 61444, 2, 1));
+  signals_.push_back(MakeSpec(SignalId::kEngineOilPressure,
+                              "engine_oil_pressure", "kPa", 0.0, 1000.0, 4.0,
+                              0.0, 65263, 3, 1));
+  signals_.push_back(MakeSpec(SignalId::kCoolantTemp, "engine_coolant_temp",
+                              "degC", -40.0, 210.0, 1.0, -40.0, 65262, 0, 1));
+  signals_.push_back(MakeSpec(SignalId::kEngineFuelRate, "engine_fuel_rate",
+                              "L/h", 0.0, 3212.75, 0.05, 0.0, 65266, 0, 2));
+  signals_.push_back(MakeSpec(SignalId::kFuelLevel, "fuel_level", "%", 0.0,
+                              100.0, 0.4, 0.0, 65276, 1, 1));
+  signals_.push_back(MakeSpec(SignalId::kVehicleSpeed, "vehicle_speed",
+                              "km/h", 0.0, 250.996, 1.0 / 256.0, 0.0, 65265,
+                              1, 2));
+  signals_.push_back(MakeSpec(SignalId::kEngineHours, "engine_hours", "h",
+                              0.0, 210554060.75, 0.05, 0.0, 65253, 0, 4));
+  signals_.push_back(MakeSpec(SignalId::kHydraulicOilTemp,
+                              "hydraulic_oil_temp", "degC", -40.0, 210.0, 1.0,
+                              -40.0, 65128, 0, 1));
+  signals_.push_back(MakeSpec(SignalId::kPumpDriveTemp, "pump_drive_temp",
+                              "degC", -40.0, 210.0, 1.0, -40.0, 65128, 1, 1));
+}
+
+const SignalCatalog& SignalCatalog::Global() {
+  static const SignalCatalog& catalog = *new SignalCatalog();
+  return catalog;
+}
+
+StatusOr<const SignalSpec*> SignalCatalog::Find(SignalId id) const {
+  for (const SignalSpec& s : signals_) {
+    if (s.id == id) return &s;
+  }
+  return Status::NotFound("unknown signal id");
+}
+
+StatusOr<const SignalSpec*> SignalCatalog::FindByName(
+    std::string_view name) const {
+  for (const SignalSpec& s : signals_) {
+    if (s.name == name) return &s;
+  }
+  return Status::NotFound("unknown signal name: " + std::string(name));
+}
+
+std::vector<uint32_t> SignalCatalog::Pgns() const {
+  std::vector<uint32_t> pgns;
+  for (const SignalSpec& s : signals_) pgns.push_back(s.pgn);
+  std::sort(pgns.begin(), pgns.end());
+  pgns.erase(std::unique(pgns.begin(), pgns.end()), pgns.end());
+  return pgns;
+}
+
+}  // namespace vup

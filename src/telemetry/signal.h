@@ -1,0 +1,65 @@
+#ifndef VUPRED_TELEMETRY_SIGNAL_H_
+#define VUPRED_TELEMETRY_SIGNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace vup {
+
+/// Stable identifiers for the CAN signals the simulator produces. SPN values
+/// follow the SAE J1939 assignments for the real signals.
+enum class SignalId : uint32_t {
+  kEngineRpm = 190,          // rpm
+  kFuelLevel = 96,           // %
+  kEngineOilPressure = 100,  // kPa
+  kCoolantTemp = 110,        // deg C
+  kEngineFuelRate = 183,     // L/h
+  kVehicleSpeed = 84,        // km/h
+  kEngineLoad = 92,          // %
+  kHydraulicOilTemp = 1638,  // deg C
+  kEngineHours = 247,        // h (cumulative)
+  kPumpDriveTemp = 4201,     // deg C (machine-control system signal)
+};
+
+/// Physical description plus wire encoding of one CAN signal:
+/// physical = raw * scale + offset, raw stored little-endian in
+/// `byte_length` bytes starting at `start_byte` of the frame carrying `pgn`.
+struct SignalSpec {
+  SignalId id = SignalId::kEngineRpm;
+  std::string name;
+  std::string unit;
+  double min_value = 0.0;
+  double max_value = 0.0;
+  double scale = 1.0;
+  double offset = 0.0;
+  uint32_t pgn = 0;
+  int start_byte = 0;   // 0..7
+  int byte_length = 2;  // 1, 2 or 4
+};
+
+/// Catalog of every signal the simulated vehicles emit.
+class SignalCatalog {
+ public:
+  static const SignalCatalog& Global();
+
+  const std::vector<SignalSpec>& signals() const { return signals_; }
+
+  StatusOr<const SignalSpec*> Find(SignalId id) const;
+  StatusOr<const SignalSpec*> FindByName(std::string_view name) const;
+
+  /// Distinct PGNs used by the catalog, ascending.
+  std::vector<uint32_t> Pgns() const;
+
+ private:
+  SignalCatalog();
+
+  std::vector<SignalSpec> signals_;
+};
+
+}  // namespace vup
+
+#endif  // VUPRED_TELEMETRY_SIGNAL_H_

@@ -1,0 +1,140 @@
+#include "telemetry/taxonomy.h"
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace vup {
+
+namespace {
+
+// Short code used in model ids, per type.
+constexpr const char* kTypeCodes[kNumVehicleTypes] = {
+    "RC", "SDR", "TR", "CM", "PV", "RCY", "CP", "GR", "EX", "WL",
+};
+
+const std::vector<VehicleTypeTraits>& TraitsTable() {
+  // Calibration targets (paper Figure 1a): graders and refuse compactors
+  // above 6 h median on active days; coring machines below 1 h; long tails
+  // for the heavily-used types. Fleet shares make refuse compactors the most
+  // numerous type, as in the paper ("the mostly used vehicle type").
+  static const std::vector<VehicleTypeTraits>& table =
+      *new std::vector<VehicleTypeTraits>{
+          {VehicleType::kRefuseCompactor, 44, 6.5, 0.15, 0.985, 0.005, 220.0,
+           0.26},
+          {VehicleType::kSingleDrumRoller, 65, 2.6, 0.20, 0.91, 0.002, 110.0,
+           0.20},
+          {VehicleType::kTandemRoller, 30, 3.0, 0.19, 0.91, 0.002, 95.0,
+           0.10},
+          {VehicleType::kCoringMachine, 12, 0.8, 0.26, 0.80, 0.000, 60.0,
+           0.04},
+          {VehicleType::kPaver, 25, 4.4, 0.17, 0.93, 0.002, 150.0, 0.08},
+          {VehicleType::kRecycler, 10, 3.6, 0.18, 0.91, 0.002, 350.0, 0.03},
+          {VehicleType::kColdPlaner, 15, 2.2, 0.21, 0.88, 0.002, 300.0,
+           0.05},
+          {VehicleType::kGrader, 20, 6.8, 0.14, 0.985, 0.004, 180.0, 0.07},
+          {VehicleType::kExcavator, 35, 5.0, 0.17, 0.96, 0.003, 140.0, 0.10},
+          {VehicleType::kWheelLoader, 28, 4.0, 0.17, 0.94, 0.002, 160.0,
+           0.07},
+      };
+  return table;
+}
+
+}  // namespace
+
+std::string_view VehicleTypeToString(VehicleType t) {
+  switch (t) {
+    case VehicleType::kRefuseCompactor:
+      return "RefuseCompactor";
+    case VehicleType::kSingleDrumRoller:
+      return "SingleDrumRoller";
+    case VehicleType::kTandemRoller:
+      return "TandemRoller";
+    case VehicleType::kCoringMachine:
+      return "CoringMachine";
+    case VehicleType::kPaver:
+      return "Paver";
+    case VehicleType::kRecycler:
+      return "Recycler";
+    case VehicleType::kColdPlaner:
+      return "ColdPlaner";
+    case VehicleType::kGrader:
+      return "Grader";
+    case VehicleType::kExcavator:
+      return "Excavator";
+    case VehicleType::kWheelLoader:
+      return "WheelLoader";
+  }
+  return "?";
+}
+
+StatusOr<VehicleType> VehicleTypeFromString(std::string_view name) {
+  for (int i = 0; i < kNumVehicleTypes; ++i) {
+    VehicleType t = static_cast<VehicleType>(i);
+    if (VehicleTypeToString(t) == name) return t;
+  }
+  return Status::NotFound("unknown vehicle type: " + std::string(name));
+}
+
+const VehicleTypeTraits& TraitsFor(VehicleType t) {
+  int idx = static_cast<int>(t);
+  VUP_CHECK(idx >= 0 && idx < kNumVehicleTypes);
+  return TraitsTable()[static_cast<size_t>(idx)];
+}
+
+const std::vector<VehicleTypeTraits>& AllTypeTraits() { return TraitsTable(); }
+
+ModelRegistry::ModelRegistry() {
+  by_type_.resize(kNumVehicleTypes);
+  Rng rng(0x3D0DE15ULL);  // Fixed: the registry is part of the dataset spec.
+  for (int ti = 0; ti < kNumVehicleTypes; ++ti) {
+    VehicleType type = static_cast<VehicleType>(ti);
+    const VehicleTypeTraits& traits = TraitsFor(type);
+    Rng type_rng = rng.Fork(static_cast<uint64_t>(ti));
+    std::vector<ModelSpec>& models = by_type_[static_cast<size_t>(ti)];
+    models.reserve(static_cast<size_t>(traits.model_count));
+    for (int mi = 0; mi < traits.model_count; ++mi) {
+      ModelSpec spec;
+      spec.id = StrFormat("%s-%03d", kTypeCodes[ti], mi + 1);
+      spec.type = type;
+      // Model-level heterogeneity: medians across models of one type span
+      // roughly a 4x range (Figure 1b shows large spread across the 44
+      // refuse-compactor models).
+      spec.hours_scale = type_rng.LogNormal(0.0, 0.45);
+      spec.work_prob_scale = type_rng.Uniform(0.75, 1.15);
+      spec.engine_power_kw =
+          traits.engine_power_kw * type_rng.Uniform(0.7, 1.4);
+      spec.fuel_tank_l = spec.engine_power_kw * type_rng.Uniform(1.2, 2.0);
+      models.push_back(std::move(spec));
+    }
+  }
+}
+
+const ModelRegistry& ModelRegistry::Global() {
+  static const ModelRegistry& registry = *new ModelRegistry();
+  return registry;
+}
+
+const std::vector<ModelSpec>& ModelRegistry::ModelsOf(VehicleType type) const {
+  int idx = static_cast<int>(type);
+  VUP_CHECK(idx >= 0 && idx < kNumVehicleTypes);
+  return by_type_[static_cast<size_t>(idx)];
+}
+
+StatusOr<const ModelSpec*> ModelRegistry::Find(
+    std::string_view model_id) const {
+  for (const std::vector<ModelSpec>& models : by_type_) {
+    for (const ModelSpec& m : models) {
+      if (m.id == model_id) return &m;
+    }
+  }
+  return Status::NotFound("unknown model id: " + std::string(model_id));
+}
+
+size_t ModelRegistry::total_model_count() const {
+  size_t n = 0;
+  for (const std::vector<ModelSpec>& models : by_type_) n += models.size();
+  return n;
+}
+
+}  // namespace vup

@@ -1,0 +1,115 @@
+#ifndef VUPRED_TELEMETRY_USAGE_MODEL_H_
+#define VUPRED_TELEMETRY_USAGE_MODEL_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "calendar/country.h"
+#include "calendar/date.h"
+#include "common/random.h"
+#include "telemetry/taxonomy.h"
+#include "telemetry/vehicle.h"
+
+namespace vup {
+
+/// Per-unit parameters of the latent daily usage process. Derived from type
+/// traits x model multipliers x unit-level randomness, which produces the
+/// three-level heterogeneity of the paper's Figure 1 (types differ, models
+/// within a type differ, units within a model differ).
+struct UsageProfile {
+  /// Median hours on an active day for this specific unit.
+  double base_hours = 5.0;
+  /// Lognormal sigma of active-day hours.
+  double hours_sigma = 0.5;
+  /// Probability of working on each weekday (Mon..Sun) while deployed.
+  std::array<double, 7> dow_work_prob = {0.8, 0.8, 0.8, 0.8, 0.8, 0.2, 0.05};
+  /// Deterministic per-unit multiplier on active-day hours per weekday
+  /// (e.g. half-day Saturdays). Part of the learnable weekly signal.
+  std::array<double, 7> dow_hours_shape = {1.0, 1.0, 1.0, 1.0, 1.0, 0.6, 0.5};
+  /// Work probability multiplier on public holidays.
+  double holiday_work_prob = 0.05;
+  /// Seasonal suppression amplitude in [0, 1): work probability is scaled by
+  /// (1 - amplitude * winterness(date)), winterness peaking mid-January in
+  /// the north and mid-July in the south. Reproduces the paper's
+  /// December/January usage dip for northern-hemisphere vehicles.
+  double seasonal_amplitude = 0.35;
+  /// Probability that an active day is an extreme (16-24 h) shift.
+  double long_shift_prob = 0.02;
+  /// Daily sigma of the random walk on log(base level): non-stationarity.
+  double drift_sigma = 0.006;
+  /// AR(1) coefficient of the day-to-day noise on active-day hours.
+  double noise_ar = 0.55;
+  /// Deployment regime switching: P(dormant -> deployed) and
+  /// P(deployed -> dormant) per day. Vehicles parked between construction
+  /// projects produce long all-idle stretches.
+  double deploy_rate = 0.045;
+  double undeploy_rate = 0.016;
+  /// Measurement corruption: daily utilization is derived from the
+  /// *received* 10-minute reports, so connectivity dropouts undercount
+  /// single days. With this probability a day's recorded hours (and the
+  /// usage-proportional features) retain only a random fraction of the
+  /// true value. Single lag days are therefore unreliable; averaging many
+  /// selected days smooths the corruption out (the paper's Figure 4
+  /// argument against very small K).
+  double record_loss_prob = 0.08;
+
+  /// Builds the profile for one unit. `unit_rng` supplies the unit-level
+  /// heterogeneity; the same rng state always yields the same profile.
+  static UsageProfile ForUnit(const VehicleTypeTraits& traits,
+                              const ModelSpec& model, Rng* unit_rng);
+};
+
+/// Smooth 0..1 "winterness" of a date: 1 at the coldest point of the year
+/// for the hemisphere, 0 at the warmest.
+double Winterness(const Date& date, Hemisphere hemisphere);
+
+/// Everything the downstream pipeline consumes about one vehicle-day.
+/// The fast generation path emits these directly; the full-fidelity path
+/// derives the same quantities from simulated CAN frames (tests check the
+/// two paths agree on the shared fields).
+struct DailyUsageRecord {
+  Date date;
+  double hours = 0.0;  // Daily utilization hours: the prediction target.
+  double fuel_used_l = 0.0;
+  double avg_engine_load_pct = 0.0;
+  double avg_engine_rpm = 0.0;
+  double avg_coolant_temp_c = 0.0;
+  double avg_oil_pressure_kpa = 0.0;
+  double fuel_level_end_pct = 0.0;
+  double distance_km = 0.0;
+  double idle_hours = 0.0;  // Engine-on but not working.
+  int dtc_count = 0;
+};
+
+/// Stateful generator of one vehicle's daily utilization-hours series and
+/// correlated engine features. Call Next() with consecutive dates.
+class UsageModel {
+ public:
+  /// `country` must outlive the model (registry entries do).
+  UsageModel(UsageProfile profile, const Country* country, uint64_t seed);
+
+  /// Generates the next day. Returns hours == 0 for idle days.
+  double NextDailyHours(const Date& date);
+
+  /// Generates the next day's full record, including engine features
+  /// consistent with the drawn hours. `model` supplies power/tank size.
+  DailyUsageRecord NextDailyRecord(const Date& date, const ModelSpec& model);
+
+  const UsageProfile& profile() const { return profile_; }
+  bool deployed() const { return deployed_; }
+
+ private:
+  UsageProfile profile_;
+  const Country* country_;
+  Rng rng_;
+
+  bool deployed_ = true;
+  double drift_log_ = 0.0;
+  double noise_state_ = 0.0;      // AR(1) state.
+  double fuel_level_pct_ = 100.0; // Persistent tank state.
+};
+
+}  // namespace vup
+
+#endif  // VUPRED_TELEMETRY_USAGE_MODEL_H_

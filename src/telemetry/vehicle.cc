@@ -1,0 +1,15 @@
+#include "telemetry/vehicle.h"
+
+#include "common/string_util.h"
+
+namespace vup {
+
+std::string VehicleInfo::ToString() const {
+  return StrFormat("Vehicle{id=%lld type=%s model=%s country=%s since=%s}",
+                   static_cast<long long>(vehicle_id),
+                   std::string(VehicleTypeToString(type)).c_str(),
+                   model_id.c_str(), country_code.c_str(),
+                   install_date.ToString().c_str());
+}
+
+}  // namespace vup

@@ -1,0 +1,26 @@
+#ifndef VUPRED_TELEMETRY_VEHICLE_H_
+#define VUPRED_TELEMETRY_VEHICLE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "calendar/date.h"
+#include "telemetry/taxonomy.h"
+
+namespace vup {
+
+/// Identity and static attributes of one tracked vehicle unit
+/// ("unit/asset info" in the paper's vendor-information feature class).
+struct VehicleInfo {
+  int64_t vehicle_id = 0;
+  VehicleType type = VehicleType::kRefuseCompactor;
+  std::string model_id;      // Key into ModelRegistry.
+  std::string country_code;  // Key into CountryRegistry.
+  Date install_date;         // First day with telematics coverage.
+
+  std::string ToString() const;
+};
+
+}  // namespace vup
+
+#endif  // VUPRED_TELEMETRY_VEHICLE_H_

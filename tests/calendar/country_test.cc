@@ -1,0 +1,84 @@
+#include "calendar/country.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+TEST(CountryRegistryTest, HasPaperCountryCount) {
+  EXPECT_EQ(CountryRegistry::Global().size(), 151u);
+}
+
+TEST(CountryRegistryTest, CodesAreUnique) {
+  std::set<std::string> codes;
+  for (const Country& c : CountryRegistry::Global().countries()) {
+    EXPECT_TRUE(codes.insert(c.code).second) << "duplicate code " << c.code;
+  }
+}
+
+TEST(CountryRegistryTest, FindKnownCountries) {
+  const Country* italy = CountryRegistry::Global().Find("IT").value();
+  EXPECT_EQ(italy->name, "Italy");
+  EXPECT_EQ(italy->region, Region::kEurope);
+  EXPECT_EQ(italy->hemisphere, Hemisphere::kNorthern);
+
+  const Country* australia = CountryRegistry::Global().Find("AU").value();
+  EXPECT_EQ(australia->hemisphere, Hemisphere::kSouthern);
+
+  EXPECT_FALSE(CountryRegistry::Global().Find("ZZ").ok());
+}
+
+TEST(CountryRegistryTest, DeterministicAcrossAccesses) {
+  const Country& a = CountryRegistry::Global().at(100);
+  const Country& b = CountryRegistry::Global().at(100);
+  EXPECT_EQ(a.code, b.code);
+  EXPECT_EQ(a.region, b.region);
+}
+
+TEST(CountryTest, ItalyWorkingDays) {
+  const Country& italy = *CountryRegistry::Global().Find("IT").value();
+  // A regular Wednesday.
+  EXPECT_TRUE(italy.IsWorkingDay(Date::FromYmd(2017, 3, 15).value()));
+  // A Saturday.
+  EXPECT_FALSE(italy.IsWorkingDay(Date::FromYmd(2017, 3, 18).value()));
+  // Ferragosto (Aug 15), a Tuesday in 2017.
+  EXPECT_FALSE(italy.IsWorkingDay(Date::FromYmd(2017, 8, 15).value()));
+  // Christmas.
+  EXPECT_FALSE(italy.IsWorkingDay(Date::FromYmd(2017, 12, 25).value()));
+}
+
+TEST(CountryTest, MiddleEastWeekendConvention) {
+  const Country& uae = *CountryRegistry::Global().Find("AE").value();
+  // Friday is a rest day in the UAE registry entry.
+  EXPECT_FALSE(uae.IsWorkingDay(Date::FromYmd(2017, 3, 17).value()));
+  // Sunday is a working day.
+  EXPECT_TRUE(uae.IsWorkingDay(Date::FromYmd(2017, 3, 19).value()));
+}
+
+TEST(CountryTest, UsThanksgivingObserved) {
+  const Country& us = *CountryRegistry::Global().Find("US").value();
+  EXPECT_FALSE(us.IsWorkingDay(Date::FromYmd(2017, 11, 23).value()));
+  EXPECT_TRUE(us.IsWorkingDay(Date::FromYmd(2017, 11, 21).value()));
+}
+
+TEST(CountryRegistryTest, SyntheticCountriesAreWellFormed) {
+  size_t synthetic = 0;
+  for (const Country& c : CountryRegistry::Global().countries()) {
+    if (c.code[0] == 'X') {
+      ++synthetic;
+      EXPECT_FALSE(c.holidays.HolidaysInYear(2017).empty());
+      EXPECT_FALSE(c.weekend.rest_days.empty());
+    }
+  }
+  EXPECT_GT(synthetic, 100u);  // Most of the 151 are synthetic.
+}
+
+TEST(RegionTest, Names) {
+  EXPECT_EQ(RegionToString(Region::kEurope), "Europe");
+  EXPECT_EQ(RegionToString(Region::kMiddleEast), "MiddleEast");
+}
+
+}  // namespace
+}  // namespace vup

@@ -1,0 +1,135 @@
+#include "calendar/date.h"
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+TEST(DateTest, EpochIsDayZero) {
+  Date epoch = Date::FromYmd(1970, 1, 1).value();
+  EXPECT_EQ(epoch.day_number(), 0);
+  EXPECT_EQ(epoch.weekday(), Weekday::kThursday);
+  EXPECT_EQ(Date(), epoch);
+}
+
+TEST(DateTest, KnownDates) {
+  Date d = Date::FromYmd(2015, 1, 1).value();
+  EXPECT_EQ(d.day_number(), 16436);
+  EXPECT_EQ(d.weekday(), Weekday::kThursday);
+
+  Date end = Date::FromYmd(2018, 9, 30).value();
+  EXPECT_EQ(end.weekday(), Weekday::kSunday);
+  EXPECT_EQ(end - d, 1368);
+}
+
+TEST(DateTest, AccessorsRoundTrip) {
+  Date d = Date::FromYmd(2016, 2, 29).value();
+  EXPECT_EQ(d.year(), 2016);
+  EXPECT_EQ(d.month(), 2);
+  EXPECT_EQ(d.day(), 29);
+}
+
+TEST(DateTest, RejectsInvalidDates) {
+  EXPECT_FALSE(Date::FromYmd(2015, 0, 1).ok());
+  EXPECT_FALSE(Date::FromYmd(2015, 13, 1).ok());
+  EXPECT_FALSE(Date::FromYmd(2015, 2, 29).ok());  // Not a leap year.
+  EXPECT_FALSE(Date::FromYmd(2015, 4, 31).ok());
+  EXPECT_TRUE(Date::FromYmd(2016, 2, 29).ok());   // Leap year.
+}
+
+TEST(DateTest, LeapYearRules) {
+  EXPECT_TRUE(Date::IsLeapYear(2016));
+  EXPECT_FALSE(Date::IsLeapYear(2015));
+  EXPECT_TRUE(Date::IsLeapYear(2000));   // Divisible by 400.
+  EXPECT_FALSE(Date::IsLeapYear(1900));  // Divisible by 100 only.
+}
+
+TEST(DateTest, DaysInMonth) {
+  EXPECT_EQ(Date::DaysInMonth(2015, 2), 28);
+  EXPECT_EQ(Date::DaysInMonth(2016, 2), 29);
+  EXPECT_EQ(Date::DaysInMonth(2015, 4), 30);
+  EXPECT_EQ(Date::DaysInMonth(2015, 12), 31);
+  EXPECT_EQ(Date::DaysInMonth(2015, 0), 0);
+}
+
+TEST(DateTest, AddDaysAndDifference) {
+  Date d = Date::FromYmd(2015, 12, 31).value();
+  Date next = d.AddDays(1);
+  EXPECT_EQ(next.ToString(), "2016-01-01");
+  EXPECT_EQ(next - d, 1);
+  EXPECT_EQ(d.AddDays(365).ToString(), "2016-12-30");
+  EXPECT_EQ(d.AddDays(-31).ToString(), "2015-11-30");
+}
+
+TEST(DateTest, ComparisonOperators) {
+  Date a = Date::FromYmd(2015, 5, 1).value();
+  Date b = Date::FromYmd(2015, 5, 2).value();
+  EXPECT_LT(a, b);
+  EXPECT_LE(a, a);
+  EXPECT_GT(b, a);
+  EXPECT_NE(a, b);
+}
+
+TEST(DateTest, ParseRoundTrips) {
+  Date d = Date::Parse("2017-06-15").value();
+  EXPECT_EQ(d.ToString(), "2017-06-15");
+  EXPECT_FALSE(Date::Parse("2017/06/15").ok());
+  EXPECT_FALSE(Date::Parse("2017-6").ok());
+  EXPECT_FALSE(Date::Parse("abc").ok());
+  EXPECT_FALSE(Date::Parse("2017-02-30").ok());
+}
+
+TEST(DateTest, DayOfYear) {
+  EXPECT_EQ(Date::FromYmd(2015, 1, 1).value().day_of_year(), 1);
+  EXPECT_EQ(Date::FromYmd(2015, 12, 31).value().day_of_year(), 365);
+  EXPECT_EQ(Date::FromYmd(2016, 12, 31).value().day_of_year(), 366);
+  EXPECT_EQ(Date::FromYmd(2016, 3, 1).value().day_of_year(), 61);
+}
+
+TEST(DateTest, IsoWeekKnownValues) {
+  // 2015-01-01 was a Thursday -> ISO week 1 of 2015.
+  Date d1 = Date::FromYmd(2015, 1, 1).value();
+  EXPECT_EQ(d1.iso_week(), 1);
+  EXPECT_EQ(d1.iso_week_year(), 2015);
+  // 2016-01-01 was a Friday; ISO week 53 of 2015.
+  Date d2 = Date::FromYmd(2016, 1, 1).value();
+  EXPECT_EQ(d2.iso_week(), 53);
+  EXPECT_EQ(d2.iso_week_year(), 2015);
+  // 2018-12-31 is a Monday of ISO week 1 of 2019.
+  Date d3 = Date::FromYmd(2018, 12, 31).value();
+  EXPECT_EQ(d3.iso_week(), 1);
+  EXPECT_EQ(d3.iso_week_year(), 2019);
+}
+
+class DateRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DateRoundTripTest, DayNumberYmdRoundTrip) {
+  // Property: FromDayNumber(d).day_number() == d and Ymd round-trips,
+  // across several decades including leap boundaries.
+  int32_t base = GetParam();
+  for (int32_t offset = 0; offset < 800; offset += 13) {
+    Date d = Date::FromDayNumber(base + offset);
+    Date back = Date::FromYmd(d.year(), d.month(), d.day()).value();
+    EXPECT_EQ(back.day_number(), base + offset);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Eras, DateRoundTripTest,
+                         ::testing::Values(-25567, 0, 10957, 16436, 18262,
+                                           25000));
+
+TEST(DateTest, WeekdayCyclesWithDayNumber) {
+  Date d = Date::FromYmd(2015, 6, 1).value();  // A Monday.
+  EXPECT_EQ(d.weekday(), Weekday::kMonday);
+  for (int i = 0; i < 14; ++i) {
+    EXPECT_EQ(static_cast<int>(d.AddDays(i).weekday()), i % 7);
+  }
+}
+
+TEST(WeekdayTest, Names) {
+  EXPECT_EQ(WeekdayToString(Weekday::kMonday), "Monday");
+  EXPECT_EQ(WeekdayToString(Weekday::kSunday), "Sunday");
+}
+
+}  // namespace
+}  // namespace vup

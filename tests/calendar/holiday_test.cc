@@ -1,0 +1,105 @@
+#include "calendar/holiday.h"
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+TEST(EasterTest, KnownEasterDates) {
+  EXPECT_EQ(EasterSunday(2015).ToString(), "2015-04-05");
+  EXPECT_EQ(EasterSunday(2016).ToString(), "2016-03-27");
+  EXPECT_EQ(EasterSunday(2017).ToString(), "2017-04-16");
+  EXPECT_EQ(EasterSunday(2018).ToString(), "2018-04-01");
+  EXPECT_EQ(EasterSunday(2000).ToString(), "2000-04-23");
+}
+
+class EasterPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EasterPropertyTest, AlwaysASundayInSpringWindow) {
+  Date easter = EasterSunday(GetParam());
+  EXPECT_EQ(easter.weekday(), Weekday::kSunday);
+  // Gregorian Easter falls between March 22 and April 25.
+  Date lo = Date::FromYmd(GetParam(), 3, 22).value();
+  Date hi = Date::FromYmd(GetParam(), 4, 25).value();
+  EXPECT_GE(easter, lo);
+  EXPECT_LE(easter, hi);
+}
+
+INSTANTIATE_TEST_SUITE_P(Years, EasterPropertyTest,
+                         ::testing::Range(1990, 2031));
+
+TEST(HolidayRuleTest, FixedDateRule) {
+  HolidayCalendar cal;
+  cal.AddRule(HolidayRule::Fixed("Christmas", 12, 25));
+  EXPECT_TRUE(cal.IsHoliday(Date::FromYmd(2017, 12, 25).value()));
+  EXPECT_FALSE(cal.IsHoliday(Date::FromYmd(2017, 12, 24).value()));
+  EXPECT_EQ(cal.HolidaysOn(Date::FromYmd(2017, 12, 25).value()),
+            (std::vector<std::string>{"Christmas"}));
+}
+
+TEST(HolidayRuleTest, EasterOffsetRule) {
+  HolidayCalendar cal;
+  cal.AddRule(HolidayRule::EasterBased("Good Friday", -2));
+  cal.AddRule(HolidayRule::EasterBased("Easter Monday", 1));
+  // Easter 2018 = April 1.
+  EXPECT_TRUE(cal.IsHoliday(Date::FromYmd(2018, 3, 30).value()));
+  EXPECT_TRUE(cal.IsHoliday(Date::FromYmd(2018, 4, 2).value()));
+  EXPECT_FALSE(cal.IsHoliday(Date::FromYmd(2018, 4, 1).value()));
+}
+
+TEST(HolidayRuleTest, NthWeekdayRule) {
+  HolidayCalendar cal;
+  // US Thanksgiving: 4th Thursday of November.
+  cal.AddRule(HolidayRule::NthWeekday("Thanksgiving", 11,
+                                      Weekday::kThursday, 4));
+  EXPECT_TRUE(cal.IsHoliday(Date::FromYmd(2015, 11, 26).value()));
+  EXPECT_TRUE(cal.IsHoliday(Date::FromYmd(2018, 11, 22).value()));
+  EXPECT_FALSE(cal.IsHoliday(Date::FromYmd(2018, 11, 15).value()));
+}
+
+TEST(HolidayRuleTest, LastWeekdayRule) {
+  HolidayCalendar cal;
+  // US Memorial Day: last Monday of May.
+  cal.AddRule(HolidayRule::NthWeekday("Memorial Day", 5, Weekday::kMonday,
+                                      -1));
+  EXPECT_TRUE(cal.IsHoliday(Date::FromYmd(2016, 5, 30).value()));
+  EXPECT_TRUE(cal.IsHoliday(Date::FromYmd(2017, 5, 29).value()));
+  EXPECT_FALSE(cal.IsHoliday(Date::FromYmd(2017, 5, 22).value()));
+}
+
+TEST(HolidayCalendarTest, HolidaysInYearSortedAndComplete) {
+  HolidayCalendar cal;
+  cal.AddRule(HolidayRule::Fixed("Christmas", 12, 25));
+  cal.AddRule(HolidayRule::Fixed("New Year", 1, 1));
+  cal.AddRule(HolidayRule::EasterBased("Good Friday", -2));
+  std::vector<Date> days = cal.HolidaysInYear(2017);
+  ASSERT_EQ(days.size(), 3u);
+  EXPECT_EQ(days[0].ToString(), "2017-01-01");
+  EXPECT_EQ(days[1].ToString(), "2017-04-14");
+  EXPECT_EQ(days[2].ToString(), "2017-12-25");
+}
+
+TEST(WeekendRuleTest, Conventions) {
+  WeekendRule satsun = WeekendRule::SaturdaySunday();
+  EXPECT_TRUE(satsun.IsRestDay(Weekday::kSaturday));
+  EXPECT_TRUE(satsun.IsRestDay(Weekday::kSunday));
+  EXPECT_FALSE(satsun.IsRestDay(Weekday::kFriday));
+
+  WeekendRule frisat = WeekendRule::FridaySaturday();
+  EXPECT_TRUE(frisat.IsRestDay(Weekday::kFriday));
+  EXPECT_TRUE(frisat.IsRestDay(Weekday::kSaturday));
+  EXPECT_FALSE(frisat.IsRestDay(Weekday::kSunday));
+
+  WeekendRule sun = WeekendRule::SundayOnly();
+  EXPECT_TRUE(sun.IsRestDay(Weekday::kSunday));
+  EXPECT_FALSE(sun.IsRestDay(Weekday::kSaturday));
+}
+
+TEST(HolidayCalendarTest, EmptyCalendarHasNoHolidays) {
+  HolidayCalendar cal;
+  EXPECT_FALSE(cal.IsHoliday(Date::FromYmd(2017, 1, 1).value()));
+  EXPECT_TRUE(cal.HolidaysInYear(2017).empty());
+}
+
+}  // namespace
+}  // namespace vup

@@ -1,0 +1,52 @@
+#include "calendar/season.h"
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+TEST(SeasonTest, NorthernMapping) {
+  EXPECT_EQ(SeasonForMonth(12, Hemisphere::kNorthern), Season::kWinter);
+  EXPECT_EQ(SeasonForMonth(1, Hemisphere::kNorthern), Season::kWinter);
+  EXPECT_EQ(SeasonForMonth(2, Hemisphere::kNorthern), Season::kWinter);
+  EXPECT_EQ(SeasonForMonth(3, Hemisphere::kNorthern), Season::kSpring);
+  EXPECT_EQ(SeasonForMonth(5, Hemisphere::kNorthern), Season::kSpring);
+  EXPECT_EQ(SeasonForMonth(6, Hemisphere::kNorthern), Season::kSummer);
+  EXPECT_EQ(SeasonForMonth(8, Hemisphere::kNorthern), Season::kSummer);
+  EXPECT_EQ(SeasonForMonth(9, Hemisphere::kNorthern), Season::kAutumn);
+  EXPECT_EQ(SeasonForMonth(11, Hemisphere::kNorthern), Season::kAutumn);
+}
+
+class SeasonFlipTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeasonFlipTest, SouthernIsShiftedByTwoSeasons) {
+  int month = GetParam();
+  Season north = SeasonForMonth(month, Hemisphere::kNorthern);
+  Season south = SeasonForMonth(month, Hemisphere::kSouthern);
+  EXPECT_EQ((static_cast<int>(north) + 2) % 4, static_cast<int>(south));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMonths, SeasonFlipTest, ::testing::Range(1, 13));
+
+TEST(SeasonTest, ForDateUsesMonth) {
+  Date d = Date::FromYmd(2017, 7, 15).value();
+  EXPECT_EQ(SeasonForDate(d, Hemisphere::kNorthern), Season::kSummer);
+  EXPECT_EQ(SeasonForDate(d, Hemisphere::kSouthern), Season::kWinter);
+}
+
+TEST(SeasonTest, Names) {
+  EXPECT_EQ(SeasonToString(Season::kWinter), "Winter");
+  EXPECT_EQ(SeasonToString(Season::kSpring), "Spring");
+  EXPECT_EQ(SeasonToString(Season::kSummer), "Summer");
+  EXPECT_EQ(SeasonToString(Season::kAutumn), "Autumn");
+  EXPECT_EQ(HemisphereToString(Hemisphere::kNorthern), "Northern");
+  EXPECT_EQ(HemisphereToString(Hemisphere::kSouthern), "Southern");
+}
+
+TEST(SeasonDeathTest, RejectsInvalidMonth) {
+  EXPECT_DEATH({ SeasonForMonth(0, Hemisphere::kNorthern); }, "month");
+  EXPECT_DEATH({ SeasonForMonth(13, Hemisphere::kNorthern); }, "month");
+}
+
+}  // namespace
+}  // namespace vup

@@ -1,0 +1,51 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  VUP_CHECK(true);
+  VUP_CHECK(1 + 1 == 2) << "never evaluated";
+  VUP_CHECK_EQ(3, 3);
+  VUP_CHECK_NE(3, 4);
+  VUP_CHECK_LT(1, 2);
+  VUP_CHECK_LE(2, 2);
+  VUP_CHECK_GT(2, 1);
+  VUP_CHECK_GE(2, 2);
+  VUP_DCHECK(true);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH({ VUP_CHECK(false) << "context 42"; },
+               "CHECK failed: false.*context 42");
+}
+
+TEST(CheckDeathTest, ComparisonMacrosReportCondition) {
+  int a = 1, b = 2;
+  EXPECT_DEATH({ VUP_CHECK_EQ(a, b); }, "CHECK failed");
+  EXPECT_DEATH({ VUP_CHECK_GE(a, b); }, "CHECK failed");
+}
+
+TEST(CheckDeathTest, MessageIncludesLocation) {
+  EXPECT_DEATH({ VUP_CHECK(false); }, "check_test.cc");
+}
+
+TEST(CheckTest, StreamOperandsNotEvaluatedOnSuccess) {
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return "x";
+  };
+  VUP_CHECK(true) << count();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(CheckTest, ConditionWithCommasViaParens) {
+  // Conditions containing template commas must work when parenthesized.
+  VUP_CHECK((std::is_same_v<int, int>));
+}
+
+}  // namespace
+}  // namespace vup

@@ -1,0 +1,67 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+/// RAII guard restoring the global log level after each test.
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, LevelNames) {
+  EXPECT_EQ(LogLevelToString(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(LogLevelToString(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(LogLevelToString(LogLevel::kWarning), "WARN");
+  EXPECT_EQ(LogLevelToString(LogLevel::kError), "ERROR");
+}
+
+TEST(LoggingTest, SetGetRoundTrips) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST(LoggingTest, EmitsAtOrAboveThreshold) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarning);
+  ::testing::internal::CaptureStderr();
+  VUP_LOG(kInfo) << "hidden message";
+  VUP_LOG(kWarning) << "visible warning " << 42;
+  VUP_LOG(kError) << "visible error";
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("hidden message"), std::string::npos);
+  EXPECT_NE(err.find("visible warning 42"), std::string::npos);
+  EXPECT_NE(err.find("visible error"), std::string::npos);
+  EXPECT_NE(err.find("[WARN"), std::string::npos);
+}
+
+TEST(LoggingTest, MessageCarriesSourceLocation) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  VUP_LOG(kInfo) << "locate me";
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("logging_test.cc"), std::string::npos);
+}
+
+TEST(LoggingTest, StreamsArbitraryTypes) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  VUP_LOG(kInfo) << "pi=" << 3.14 << " flag=" << true << " s="
+                 << std::string("x");
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("pi=3.14 flag=1 s=x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vup

@@ -1,0 +1,195 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+class UniformIntBoundsTest
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(UniformIntBoundsTest, StaysInClosedRange) {
+  auto [lo, hi] = GetParam();
+  Rng rng(99);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    int64_t v = rng.UniformInt(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+    saw_lo |= v == lo;
+    saw_hi |= v == hi;
+  }
+  if (hi - lo < 100) {
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, UniformIntBoundsTest,
+    ::testing::Values(std::pair<int64_t, int64_t>{0, 0},
+                      std::pair<int64_t, int64_t>{0, 1},
+                      std::pair<int64_t, int64_t>{-5, 5},
+                      std::pair<int64_t, int64_t>{0, 6},
+                      std::pair<int64_t, int64_t>{-1000, 1000}));
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(5);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParamsScales) {
+  Rng rng(5);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Exponential(0.5);
+    EXPECT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequencyMatches) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(19);
+  const int n = 50000;
+  long long sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.Poisson(3.5);
+  EXPECT_NEAR(static_cast<double>(sum) / n, 3.5, 0.1);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesApproximation) {
+  Rng rng(23);
+  const int n = 20000;
+  long long sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.Poisson(100.0);
+  EXPECT_NEAR(static_cast<double>(sum) / n, 100.0, 1.0);
+}
+
+TEST(RngTest, GammaMeanMatchesShapeTimesScale) {
+  Rng rng(29);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Gamma(2.0, 3.0);
+  EXPECT_NEAR(sum / n, 6.0, 0.15);
+  // Shape < 1 branch.
+  sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Gamma(0.5, 2.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 1.0, 0.05);
+}
+
+TEST(RngTest, LogNormalIsPositive) {
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.LogNormal(0.0, 0.5), 0.0);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+}
+
+TEST(RngTest, ForkIsIndependentOfParentAdvancement) {
+  Rng parent(41);
+  Rng child1 = parent.Fork(1);
+  parent.NextUint64();  // Advancing the parent must not change forks...
+  Rng parent2(41);
+  Rng child2 = parent2.Fork(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(child1.NextUint64(), child2.NextUint64());
+  }
+}
+
+TEST(RngTest, ForkTagsDecorrelate) {
+  Rng parent(43);
+  Rng a = parent.Fork(1);
+  Rng b = parent.Fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(SplitMix64Test, KnownFixedPointFree) {
+  // SplitMix64 must be deterministic and non-identity.
+  EXPECT_EQ(SplitMix64(0), SplitMix64(0));
+  EXPECT_NE(SplitMix64(1), 1u);
+  EXPECT_NE(SplitMix64(0), SplitMix64(1));
+}
+
+}  // namespace
+}  // namespace vup

@@ -1,0 +1,75 @@
+#include "common/statusor.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsNotFound());
+  EXPECT_EQ(v.status().message(), "missing");
+}
+
+TEST(StatusOrTest, ValueOrFallsBack) {
+  StatusOr<int> err = Status::NotFound("x");
+  EXPECT_EQ(err.value_or(7), 7);
+  StatusOr<int> good = 3;
+  EXPECT_EQ(good.value_or(7), 3);
+}
+
+TEST(StatusOrTest, MoveOnlyTypesWork) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(5);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = std::move(v).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+TEST(StatusOrTest, ArrowOperatorReachesMembers) {
+  StatusOr<std::string> v = std::string("abc");
+  EXPECT_EQ(v->size(), 3u);
+}
+
+StatusOr<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+StatusOr<int> Doubled(int v) {
+  VUP_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  return parsed * 2;
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  StatusOr<int> good = Doubled(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+
+  StatusOr<int> bad = Doubled(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorAborts) {
+  StatusOr<int> err = Status::Internal("boom");
+  EXPECT_DEATH({ (void)err.value(); }, "StatusOr::value");
+}
+
+TEST(StatusOrDeathTest, OkStatusConstructionAborts) {
+  EXPECT_DEATH({ StatusOr<int> v = Status::OK(); (void)v; }, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace vup

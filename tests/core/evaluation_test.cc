@@ -1,0 +1,187 @@
+#include "core/evaluation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace vup {
+namespace {
+
+const Country& Italy() {
+  return *CountryRegistry::Global().Find("IT").value();
+}
+
+Date D(int day) { return Date::FromYmd(2016, 2, 1).value().AddDays(day); }
+
+VehicleDataset WeeklyDataset(int n, double noise_sigma = 0.0,
+                             uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<DailyUsageRecord> recs;
+  for (int i = 0; i < n; ++i) {
+    DailyUsageRecord r;
+    r.date = D(i);
+    int wd = static_cast<int>(r.date.weekday());
+    r.hours = wd < 5 ? 5.0 + wd + noise_sigma * rng.Normal() : 0.0;
+    r.hours = std::max(0.0, r.hours);
+    recs.push_back(r);
+  }
+  VehicleInfo info;
+  info.vehicle_id = 4;
+  return VehicleDataset::Build(info, recs, Italy()).value();
+}
+
+EvaluationConfig FastConfig(Algorithm a) {
+  EvaluationConfig cfg;
+  cfg.eval_days = 30;
+  cfg.retrain_every = 10;
+  cfg.forecaster.algorithm = a;
+  cfg.forecaster.windowing.lookback_w = 14;
+  cfg.forecaster.selection.top_k = 7;
+  cfg.train_window = 100;
+  return cfg;
+}
+
+TEST(ScenarioStrategyNamesTest, Stable) {
+  EXPECT_EQ(ScenarioToString(Scenario::kNextDay), "NextDay");
+  EXPECT_EQ(ScenarioToString(Scenario::kNextWorkingDay), "NextWorkingDay");
+  EXPECT_EQ(WindowStrategyToString(WindowStrategy::kSliding), "Sliding");
+  EXPECT_EQ(WindowStrategyToString(WindowStrategy::kExpanding), "Expanding");
+}
+
+TEST(EvaluateVehicleTest, NearZeroErrorOnDeterministicSeries) {
+  VehicleDataset ds = WeeklyDataset(250);
+  for (Algorithm a : {Algorithm::kLinearRegression, Algorithm::kLasso,
+                      Algorithm::kGradientBoosting}) {
+    VehicleEvaluation ev = EvaluateVehicle(ds, FastConfig(a)).value();
+    EXPECT_LT(ev.pe, 6.0) << AlgorithmToString(a);
+    EXPECT_EQ(ev.num_predictions, 30u);
+    EXPECT_EQ(ev.actuals.size(), 30u);
+    EXPECT_EQ(ev.predictions.size(), 30u);
+    EXPECT_EQ(ev.dates.size(), 30u);
+  }
+}
+
+TEST(EvaluateVehicleTest, EvalSpanIsSeriesTail) {
+  VehicleDataset ds = WeeklyDataset(250);
+  VehicleEvaluation ev =
+      EvaluateVehicle(ds, FastConfig(Algorithm::kLastValue)).value();
+  EXPECT_EQ(ev.dates.back(), ds.dates().back());
+  EXPECT_EQ(ev.dates.front(), ds.dates()[250 - 30]);
+  for (size_t i = 0; i < ev.actuals.size(); ++i) {
+    size_t idx = static_cast<size_t>(ev.dates[i] - ds.dates()[0]);
+    EXPECT_DOUBLE_EQ(ev.actuals[i], ds.hours()[idx]);
+  }
+}
+
+TEST(EvaluateVehicleTest, NextWorkingDayCompressesSeries) {
+  VehicleDataset ds = WeeklyDataset(300);
+  EvaluationConfig cfg = FastConfig(Algorithm::kLastValue);
+  cfg.scenario = Scenario::kNextWorkingDay;
+  VehicleEvaluation ev = EvaluateVehicle(ds, cfg).value();
+  // Every evaluated actual is a working day.
+  for (double a : ev.actuals) {
+    EXPECT_GE(a, 1.0);
+  }
+}
+
+TEST(EvaluateVehicleTest, NextWorkingDayEasierThanNextDayOnNoisyIdle) {
+  // Random idle days make next-day hard; the compressed scenario removes
+  // them (the paper's central Figure 5 contrast).
+  Rng rng(9);
+  std::vector<DailyUsageRecord> recs;
+  for (int i = 0; i < 400; ++i) {
+    DailyUsageRecord r;
+    r.date = D(i);
+    int wd = static_cast<int>(r.date.weekday());
+    bool works = wd < 5 && rng.Bernoulli(0.7);  // Random weekday idleness.
+    r.hours = works ? 6.0 + 0.3 * rng.Normal() : 0.0;
+    r.hours = std::max(0.0, r.hours);
+    recs.push_back(r);
+  }
+  VehicleInfo info;
+  info.vehicle_id = 5;
+  auto ds = VehicleDataset::Build(info, recs, Italy()).value();
+
+  EvaluationConfig next_day = FastConfig(Algorithm::kGradientBoosting);
+  next_day.eval_days = 60;
+  EvaluationConfig next_working = next_day;
+  next_working.scenario = Scenario::kNextWorkingDay;
+
+  double pe_day = EvaluateVehicle(ds, next_day).value().pe;
+  double pe_working = EvaluateVehicle(ds, next_working).value().pe;
+  EXPECT_LT(pe_working, pe_day);
+  EXPECT_LT(pe_working, 25.0);
+}
+
+TEST(EvaluateVehicleTest, ExpandingAtLeastAsGoodAsSlidingOnStationary) {
+  VehicleDataset ds = WeeklyDataset(300, 0.5, 3);
+  EvaluationConfig sliding = FastConfig(Algorithm::kLasso);
+  sliding.train_window = 60;
+  EvaluationConfig expanding = sliding;
+  expanding.strategy = WindowStrategy::kExpanding;
+  double pe_sliding = EvaluateVehicle(ds, sliding).value().pe;
+  double pe_expanding = EvaluateVehicle(ds, expanding).value().pe;
+  // Stationary series: more data never hurts much. Allow slack.
+  EXPECT_LT(pe_expanding, pe_sliding * 1.3);
+}
+
+TEST(EvaluateVehicleTest, RetrainCadenceOneMatchesPaperProtocol) {
+  VehicleDataset ds = WeeklyDataset(200);
+  EvaluationConfig cfg = FastConfig(Algorithm::kLinearRegression);
+  cfg.eval_days = 10;
+  cfg.retrain_every = 1;
+  VehicleEvaluation ev = EvaluateVehicle(ds, cfg).value();
+  EXPECT_EQ(ev.num_predictions, 10u);
+  EXPECT_LT(ev.pe, 5.0);
+}
+
+TEST(EvaluateVehicleTest, RejectsTooShortSeries) {
+  VehicleDataset ds = WeeklyDataset(30);
+  EvaluationConfig cfg = FastConfig(Algorithm::kLasso);
+  cfg.forecaster.windowing.lookback_w = 28;
+  EXPECT_TRUE(EvaluateVehicle(ds, cfg).status().IsInvalidArgument());
+}
+
+TEST(EvaluateVehicleTest, RejectsBadConfig) {
+  VehicleDataset ds = WeeklyDataset(100);
+  EvaluationConfig cfg = FastConfig(Algorithm::kLasso);
+  cfg.eval_days = 0;
+  EXPECT_FALSE(EvaluateVehicle(ds, cfg).ok());
+  cfg = FastConfig(Algorithm::kLasso);
+  cfg.retrain_every = 0;
+  EXPECT_FALSE(EvaluateVehicle(ds, cfg).ok());
+}
+
+TEST(AggregateFleetTest, AveragesAndSkips) {
+  VehicleEvaluation good1;
+  good1.pe = 10.0;
+  good1.mae = 1.0;
+  VehicleEvaluation good2;
+  good2.pe = 30.0;
+  good2.mae = 2.0;
+  VehicleEvaluation degenerate;
+  degenerate.pe = std::numeric_limits<double>::infinity();
+  std::vector<StatusOr<VehicleEvaluation>> evals;
+  evals.push_back(good1);
+  evals.push_back(good2);
+  evals.push_back(degenerate);
+  evals.push_back(Status::InvalidArgument("too short"));
+  FleetEvaluation fleet = AggregateFleet(evals);
+  EXPECT_EQ(fleet.vehicles_evaluated, 2u);
+  EXPECT_EQ(fleet.vehicles_skipped, 2u);
+  EXPECT_DOUBLE_EQ(fleet.mean_pe, 20.0);
+  EXPECT_DOUBLE_EQ(fleet.median_pe, 20.0);
+  EXPECT_DOUBLE_EQ(fleet.mean_mae, 1.5);
+  EXPECT_EQ(fleet.per_vehicle_pe.size(), 2u);
+}
+
+TEST(AggregateFleetTest, EmptyInput) {
+  FleetEvaluation fleet = AggregateFleet({});
+  EXPECT_EQ(fleet.vehicles_evaluated, 0u);
+  EXPECT_DOUBLE_EQ(fleet.mean_pe, 0.0);
+}
+
+}  // namespace
+}  // namespace vup

@@ -1,0 +1,115 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+Fleet SmallFleet() { return Fleet::Generate(FleetConfig::Small(60, 3)); }
+
+EvaluationConfig FastEval() {
+  EvaluationConfig cfg;
+  cfg.eval_days = 20;
+  cfg.retrain_every = 10;
+  cfg.forecaster.algorithm = Algorithm::kLasso;
+  cfg.forecaster.windowing.lookback_w = 21;
+  cfg.forecaster.selection.top_k = 7;
+  cfg.train_window = 60;
+  return cfg;
+}
+
+TEST(PrepareVehicleDatasetTest, ProducesConsecutiveCleanDataset) {
+  Fleet fleet = SmallFleet();
+  VehicleDataset ds = PrepareVehicleDataset(fleet, 0).value();
+  EXPECT_GT(ds.num_days(), 300u);
+  for (size_t i = 1; i < ds.num_days(); ++i) {
+    EXPECT_EQ(ds.dates()[i] - ds.dates()[i - 1], 1);
+  }
+  for (double h : ds.hours()) {
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, 24.0);
+  }
+  EXPECT_EQ(ds.info().vehicle_id, fleet.vehicle(0).vehicle_id);
+}
+
+TEST(ExperimentRunnerTest, DatasetCachingReturnsSameObject) {
+  Fleet fleet = SmallFleet();
+  ExperimentRunner runner(&fleet);
+  const VehicleDataset* a = runner.Dataset(2).value();
+  const VehicleDataset* b = runner.Dataset(2).value();
+  EXPECT_EQ(a, b);
+}
+
+TEST(ExperimentRunnerTest, SelectVehiclesDeterministicAndBounded) {
+  Fleet fleet = SmallFleet();
+  ExperimentRunner runner(&fleet);
+  ExperimentOptions opts;
+  opts.max_vehicles = 5;
+  std::vector<size_t> first = runner.SelectVehicles(opts);
+  std::vector<size_t> second = runner.SelectVehicles(opts);
+  EXPECT_EQ(first, second);
+  EXPECT_LE(first.size(), 5u);
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(ExperimentRunnerTest, SelectionRespectsMinDays) {
+  Fleet fleet = SmallFleet();
+  ExperimentRunner runner(&fleet);
+  ExperimentOptions opts;
+  opts.max_vehicles = 50;
+  opts.min_days = 100000;  // Impossible.
+  EXPECT_TRUE(runner.SelectVehicles(opts).empty());
+}
+
+TEST(ExperimentRunnerTest, RunProducesFleetEvaluation) {
+  Fleet fleet = SmallFleet();
+  ExperimentRunner runner(&fleet);
+  ExperimentOptions opts;
+  opts.max_vehicles = 4;
+  ExperimentResult result = runner.Run(FastEval(), opts).value();
+  EXPECT_GT(result.fleet.vehicles_evaluated, 0u);
+  EXPECT_GT(result.fleet.mean_pe, 0.0);
+  EXPECT_LT(result.fleet.mean_pe, 500.0);
+  EXPECT_EQ(result.vehicle_indices.size(),
+            result.fleet.vehicles_evaluated + result.fleet.vehicles_skipped);
+  EXPECT_GT(result.wall_seconds, 0.0);
+}
+
+TEST(ExperimentRunnerTest, RunIsReproducible) {
+  Fleet fleet = SmallFleet();
+  ExperimentRunner runner(&fleet);
+  ExperimentOptions opts;
+  opts.max_vehicles = 3;
+  double pe1 = runner.Run(FastEval(), opts).value().fleet.mean_pe;
+  double pe2 = runner.Run(FastEval(), opts).value().fleet.mean_pe;
+  EXPECT_DOUBLE_EQ(pe1, pe2);
+}
+
+TEST(ExperimentRunnerTest, ImpossibleOptionsFailCleanly) {
+  Fleet fleet = SmallFleet();
+  ExperimentRunner runner(&fleet);
+  ExperimentOptions opts;
+  opts.max_vehicles = 3;
+  opts.min_days = 100000;
+  EXPECT_TRUE(runner.Run(FastEval(), opts).status().IsFailedPrecondition());
+}
+
+TEST(ExperimentRunnerTest, BaselineVsMlOrdering) {
+  // The paper's headline: ML beats the naive baselines. Verified here at
+  // small scale so the suite stays fast.
+  Fleet fleet = SmallFleet();
+  ExperimentRunner runner(&fleet);
+  ExperimentOptions opts;
+  opts.max_vehicles = 6;
+  EvaluationConfig ml = FastEval();
+  ml.scenario = Scenario::kNextWorkingDay;
+  EvaluationConfig ma = ml;
+  ma.forecaster.algorithm = Algorithm::kMovingAverage;
+  double pe_ml = runner.Run(ml, opts).value().fleet.mean_pe;
+  double pe_ma = runner.Run(ma, opts).value().fleet.mean_pe;
+  // Lasso should be competitive with MA (usually better) on working days.
+  EXPECT_LT(pe_ml, pe_ma * 1.25);
+}
+
+}  // namespace
+}  // namespace vup

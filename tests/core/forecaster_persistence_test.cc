@@ -1,0 +1,121 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/forecaster.h"
+
+namespace vup {
+namespace {
+
+const Country& Italy() {
+  return *CountryRegistry::Global().Find("IT").value();
+}
+
+Date D(int day) { return Date::FromYmd(2016, 2, 1).value().AddDays(day); }
+
+VehicleDataset WeeklyDataset(int n) {
+  std::vector<DailyUsageRecord> recs;
+  for (int i = 0; i < n; ++i) {
+    DailyUsageRecord r;
+    r.date = D(i);
+    int wd = static_cast<int>(r.date.weekday());
+    r.hours = wd < 5 ? 4.0 + wd + 0.05 * (i % 3) : 0.0;
+    r.avg_engine_load_pct = r.hours > 0 ? 50 : 0;
+    r.fuel_used_l = r.hours * 12;
+    recs.push_back(r);
+  }
+  VehicleInfo info;
+  info.vehicle_id = 30;
+  return VehicleDataset::Build(info, recs, Italy()).value();
+}
+
+class ForecasterPersistenceTest : public ::testing::TestWithParam<Algorithm> {
+};
+
+TEST_P(ForecasterPersistenceTest, SaveLoadPredictsIdentically) {
+  VehicleDataset ds = WeeklyDataset(220);
+  ForecasterConfig cfg;
+  cfg.algorithm = GetParam();
+  cfg.windowing.lookback_w = 14;
+  cfg.selection.top_k = 7;
+  cfg.gb.n_estimators = 30;
+  VehicleForecaster original(cfg);
+  ASSERT_TRUE(original.Train(ds, 20, 200).ok());
+
+  std::ostringstream os;
+  ASSERT_TRUE(original.Save(os).ok())
+      << AlgorithmToString(GetParam());
+  std::istringstream is(os.str());
+  StatusOr<VehicleForecaster> loaded_or = VehicleForecaster::Load(is);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  const VehicleForecaster& loaded = loaded_or.value();
+  EXPECT_TRUE(loaded.trained());
+  EXPECT_EQ(loaded.selected_lags(), original.selected_lags());
+
+  for (size_t t = 205; t <= ds.num_days(); t += 3) {
+    EXPECT_DOUBLE_EQ(loaded.PredictTarget(ds, t).value(),
+                     original.PredictTarget(ds, t).value())
+        << "target " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MlAlgorithms, ForecasterPersistenceTest,
+    ::testing::Values(Algorithm::kLinearRegression, Algorithm::kLasso,
+                      Algorithm::kSvr, Algorithm::kGradientBoosting),
+    [](const ::testing::TestParamInfo<Algorithm>& info) {
+      return std::string(AlgorithmToString(info.param));
+    });
+
+TEST(ForecasterPersistenceTest, UntrainedRejected) {
+  VehicleForecaster forecaster(ForecasterConfig{});
+  std::ostringstream os;
+  EXPECT_TRUE(forecaster.Save(os).IsFailedPrecondition());
+}
+
+TEST(ForecasterPersistenceTest, BaselineRejected) {
+  VehicleDataset ds = WeeklyDataset(100);
+  ForecasterConfig cfg;
+  cfg.algorithm = Algorithm::kLastValue;
+  VehicleForecaster forecaster(cfg);
+  ASSERT_TRUE(forecaster.Train(ds, 0, 90).ok());
+  std::ostringstream os;
+  EXPECT_TRUE(forecaster.Save(os).IsUnimplemented());
+}
+
+TEST(ForecasterPersistenceTest, GarbageRejected) {
+  for (const char* garbage :
+       {"", "nonsense", "vupred-forecaster v1\nalgorithm Alien\n",
+        "vupred-forecaster v1\nalgorithm SVR\nlookback_w 14\n"}) {
+    std::istringstream is(garbage);
+    EXPECT_FALSE(VehicleForecaster::Load(is).ok()) << garbage;
+  }
+}
+
+TEST(ForecasterPersistenceTest, CorruptColumnIndexRejected) {
+  VehicleDataset ds = WeeklyDataset(200);
+  ForecasterConfig cfg;
+  cfg.algorithm = Algorithm::kLasso;
+  cfg.windowing.lookback_w = 14;
+  cfg.selection.top_k = 7;
+  VehicleForecaster forecaster(cfg);
+  ASSERT_TRUE(forecaster.Train(ds, 20, 190).ok());
+  std::ostringstream os;
+  ASSERT_TRUE(forecaster.Save(os).ok());
+  // Tamper: blow up a selected column index far beyond the layout.
+  std::string text = os.str();
+  size_t pos = text.find("selected_columns");
+  ASSERT_NE(pos, std::string::npos);
+  size_t line_end = text.find('\n', pos);
+  std::string line = text.substr(pos, line_end - pos);
+  // Replace the last index with 99999.
+  size_t last_space = line.rfind(' ');
+  std::string tampered = text.substr(0, pos) +
+                         line.substr(0, last_space) + " 99999" +
+                         text.substr(line_end);
+  std::istringstream is(tampered);
+  EXPECT_FALSE(VehicleForecaster::Load(is).ok());
+}
+
+}  // namespace
+}  // namespace vup

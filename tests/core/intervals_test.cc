@@ -1,0 +1,134 @@
+#include "core/intervals.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace vup {
+namespace {
+
+TEST(ForecastIntervalTest, ContainsAndWidth) {
+  ForecastInterval i{2.0, 5.0, 9.0};
+  EXPECT_DOUBLE_EQ(i.width(), 7.0);
+  EXPECT_TRUE(i.Contains(2.0));
+  EXPECT_TRUE(i.Contains(9.0));
+  EXPECT_TRUE(i.Contains(5.5));
+  EXPECT_FALSE(i.Contains(1.9));
+  EXPECT_FALSE(i.Contains(9.1));
+}
+
+TEST(ResidualIntervalTest, SymmetricResidualsGiveSymmetricBand) {
+  // Residuals -2..2 uniform-ish.
+  std::vector<double> pred(101), actual(101);
+  for (int i = 0; i <= 100; ++i) {
+    pred[static_cast<size_t>(i)] = 10.0;
+    actual[static_cast<size_t>(i)] = 10.0 + (i - 50) / 25.0;  // -2..2.
+  }
+  ResidualIntervalEstimator est(0.8);
+  ASSERT_TRUE(est.Fit(pred, actual).ok());
+  EXPECT_NEAR(est.lower_offset(), -1.6, 0.05);
+  EXPECT_NEAR(est.upper_offset(), 1.6, 0.05);
+  ForecastInterval band = est.IntervalFor(10.0).value();
+  EXPECT_NEAR(band.lower, 8.4, 0.05);
+  EXPECT_NEAR(band.upper, 11.6, 0.05);
+}
+
+TEST(ResidualIntervalTest, AsymmetricResidualsGiveAsymmetricBand) {
+  // Model always over-predicts: residuals in [-4, 0].
+  std::vector<double> pred(50), actual(50);
+  Rng rng(3);
+  for (size_t i = 0; i < 50; ++i) {
+    pred[i] = 8.0;
+    actual[i] = 8.0 - rng.Uniform(0.0, 4.0);
+  }
+  ResidualIntervalEstimator est(0.9);
+  ASSERT_TRUE(est.Fit(pred, actual).ok());
+  EXPECT_LT(est.lower_offset(), -1.0);
+  EXPECT_LT(est.upper_offset(), 0.5);  // Upper offset near zero.
+}
+
+TEST(ResidualIntervalTest, BandClampedToPhysicalRange) {
+  std::vector<double> pred(10, 1.0), actual(10);
+  for (size_t i = 0; i < 10; ++i) actual[i] = 1.0 + (i % 2 ? 5.0 : -5.0);
+  ResidualIntervalEstimator est(0.9);
+  ASSERT_TRUE(est.Fit(pred, actual).ok());
+  ForecastInterval low = est.IntervalFor(0.5).value();
+  EXPECT_GE(low.lower, 0.0);
+  ForecastInterval high = est.IntervalFor(23.5).value();
+  EXPECT_LE(high.upper, 24.0);
+}
+
+TEST(ResidualIntervalTest, ValidatesInput) {
+  ResidualIntervalEstimator est(0.9);
+  EXPECT_TRUE(est.IntervalFor(5.0).status().IsFailedPrecondition());
+  std::vector<double> a = {1, 2, 3};
+  EXPECT_TRUE(est.Fit(a, std::vector<double>{1, 2}).IsInvalidArgument());
+  EXPECT_TRUE(est.Fit(a, a).IsInvalidArgument());  // Too few residuals.
+}
+
+TEST(ResidualIntervalDeathTest, ConfidenceBoundsChecked) {
+  EXPECT_DEATH({ ResidualIntervalEstimator est(0.0); }, "confidence");
+  EXPECT_DEATH({ ResidualIntervalEstimator est(1.0); }, "confidence");
+}
+
+TEST(CoverageTest, NominalCoverageOnStationaryResiduals) {
+  // Stationary residual distribution: empirical coverage approaches the
+  // nominal confidence.
+  Rng rng(7);
+  VehicleEvaluation ev;
+  for (int i = 0; i < 400; ++i) {
+    double actual = 6.0 + rng.Normal();
+    ev.predictions.push_back(6.0);
+    ev.actuals.push_back(actual);
+  }
+  CoverageResult result = EvaluateIntervalCoverage(ev, 0.9, 0.5).value();
+  EXPECT_EQ(result.calibration_points, 200u);
+  EXPECT_EQ(result.test_points, 200u);
+  EXPECT_NEAR(result.coverage, 0.9, 0.07);
+  EXPECT_GT(result.mean_width, 2.0);  // ~2 * 1.64 sigma.
+  EXPECT_LT(result.mean_width, 4.5);
+}
+
+class CoverageConfidenceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CoverageConfidenceSweep, CoverageTracksNominal) {
+  double confidence = GetParam();
+  Rng rng(11);
+  VehicleEvaluation ev;
+  for (int i = 0; i < 600; ++i) {
+    ev.predictions.push_back(5.0);
+    ev.actuals.push_back(5.0 + rng.Normal(0.0, 0.8));
+  }
+  CoverageResult result =
+      EvaluateIntervalCoverage(ev, confidence, 0.5).value();
+  EXPECT_NEAR(result.coverage, confidence, 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(Confidences, CoverageConfidenceSweep,
+                         ::testing::Values(0.5, 0.8, 0.9, 0.95));
+
+TEST(CoverageTest, WiderConfidenceWiderBand) {
+  Rng rng(13);
+  VehicleEvaluation ev;
+  for (int i = 0; i < 300; ++i) {
+    ev.predictions.push_back(5.0);
+    ev.actuals.push_back(5.0 + rng.Normal());
+  }
+  double w80 = EvaluateIntervalCoverage(ev, 0.8, 0.5).value().mean_width;
+  double w95 = EvaluateIntervalCoverage(ev, 0.95, 0.5).value().mean_width;
+  EXPECT_GT(w95, w80);
+}
+
+TEST(CoverageTest, ValidatesSplit) {
+  VehicleEvaluation ev;
+  for (int i = 0; i < 6; ++i) {
+    ev.predictions.push_back(1.0);
+    ev.actuals.push_back(1.0);
+  }
+  EXPECT_FALSE(EvaluateIntervalCoverage(ev, 0.9, 0.0).ok());
+  EXPECT_FALSE(EvaluateIntervalCoverage(ev, 0.9, 1.0).ok());
+  EXPECT_FALSE(EvaluateIntervalCoverage(ev, 0.9, 0.5).ok());  // Too short.
+}
+
+}  // namespace
+}  // namespace vup

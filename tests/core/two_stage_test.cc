@@ -1,0 +1,201 @@
+#include "core/two_stage.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace vup {
+namespace {
+
+const Country& Italy() {
+  return *CountryRegistry::Global().Find("IT").value();
+}
+
+Date D(int day) { return Date::FromYmd(2016, 2, 1).value().AddDays(day); }
+
+/// Weekday working (6+dow hours with noise), weekend idle; a fraction of
+/// weekdays randomly idle.
+VehicleDataset MixedDataset(int n, double random_idle_prob, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DailyUsageRecord> recs;
+  for (int i = 0; i < n; ++i) {
+    DailyUsageRecord r;
+    r.date = D(i);
+    int wd = static_cast<int>(r.date.weekday());
+    bool works = wd < 5 && !rng.Bernoulli(random_idle_prob);
+    r.hours = works ? std::max(1.0, 6.0 + wd + 0.3 * rng.Normal()) : 0.0;
+    r.avg_engine_load_pct = r.hours > 0 ? 50 : 0;
+    r.fuel_used_l = r.hours * 11;
+    recs.push_back(r);
+  }
+  VehicleInfo info;
+  info.vehicle_id = 10;
+  return VehicleDataset::Build(info, recs, Italy()).value();
+}
+
+TwoStageConfig FastConfig() {
+  TwoStageConfig cfg;
+  cfg.regression.algorithm = Algorithm::kLasso;
+  cfg.regression.windowing.lookback_w = 14;
+  cfg.regression.selection.top_k = 7;
+  return cfg;
+}
+
+TEST(TwoStageTest, LearnsCalendarGateAndLevel) {
+  VehicleDataset ds = MixedDataset(250, 0.0, 1);
+  TwoStageForecaster forecaster(FastConfig());
+  ASSERT_TRUE(forecaster.Train(ds, 30, 220).ok());
+  EXPECT_TRUE(forecaster.trained());
+  for (size_t t = 225; t < 245; ++t) {
+    double pred = forecaster.PredictTarget(ds, t).value();
+    if (ds.hours()[t] == 0.0) {
+      EXPECT_DOUBLE_EQ(pred, 0.0) << "t=" << t;  // Hard gate closes.
+    } else {
+      EXPECT_NEAR(pred, ds.hours()[t], 1.5) << "t=" << t;
+    }
+  }
+}
+
+TEST(TwoStageTest, WorkingProbabilityTracksCalendar) {
+  VehicleDataset ds = MixedDataset(250, 0.0, 2);
+  TwoStageForecaster forecaster(FastConfig());
+  ASSERT_TRUE(forecaster.Train(ds, 30, 220).ok());
+  for (size_t t = 225; t < 240; ++t) {
+    double p = forecaster.PredictWorkingProbability(ds, t).value();
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    int wd = static_cast<int>(ds.dates()[t].weekday());
+    if (wd < 5) {
+      EXPECT_GT(p, 0.5) << "t=" << t;
+    } else {
+      EXPECT_LT(p, 0.5) << "t=" << t;
+    }
+  }
+}
+
+TEST(TwoStageTest, SoftGateScalesByProbability) {
+  VehicleDataset ds = MixedDataset(250, 0.2, 3);
+  TwoStageConfig cfg = FastConfig();
+  cfg.soft_gate = true;
+  TwoStageForecaster forecaster(cfg);
+  ASSERT_TRUE(forecaster.Train(ds, 30, 220).ok());
+  for (size_t t = 225; t < 240; ++t) {
+    double p = forecaster.PredictWorkingProbability(ds, t).value();
+    double soft = forecaster.PredictTarget(ds, t).value();
+    EXPECT_GE(soft, 0.0);
+    EXPECT_LE(soft, 24.0 * p + 1e-9);
+  }
+}
+
+TEST(TwoStageTest, DegenerateAllWorkingSpan) {
+  // Every training target is a working day: the gate collapses to 1.
+  std::vector<DailyUsageRecord> recs;
+  for (int i = 0; i < 120; ++i) {
+    DailyUsageRecord r;
+    r.date = D(i);
+    r.hours = 5.0 + (i % 3);
+    recs.push_back(r);
+  }
+  VehicleInfo info;
+  info.vehicle_id = 11;
+  auto ds = VehicleDataset::Build(info, recs, Italy()).value();
+  TwoStageForecaster forecaster(FastConfig());
+  ASSERT_TRUE(forecaster.Train(ds, 20, 110).ok());
+  EXPECT_DOUBLE_EQ(
+      forecaster.PredictWorkingProbability(ds, 115).value(), 1.0);
+  EXPECT_GT(forecaster.PredictTarget(ds, 115).value(), 3.0);
+}
+
+TEST(TwoStageTest, DegenerateAllIdleSpan) {
+  std::vector<DailyUsageRecord> recs;
+  for (int i = 0; i < 120; ++i) {
+    DailyUsageRecord r;
+    r.date = D(i);
+    r.hours = 0.0;
+    recs.push_back(r);
+  }
+  VehicleInfo info;
+  info.vehicle_id = 12;
+  auto ds = VehicleDataset::Build(info, recs, Italy()).value();
+  TwoStageForecaster forecaster(FastConfig());
+  ASSERT_TRUE(forecaster.Train(ds, 20, 110).ok());
+  EXPECT_DOUBLE_EQ(forecaster.PredictTarget(ds, 115).value(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      forecaster.PredictWorkingProbability(ds, 115).value(), 0.0);
+}
+
+TEST(TwoStageTest, RejectsBaselineRegression) {
+  VehicleDataset ds = MixedDataset(100, 0.0, 4);
+  TwoStageConfig cfg = FastConfig();
+  cfg.regression.algorithm = Algorithm::kMovingAverage;
+  TwoStageForecaster forecaster(cfg);
+  EXPECT_TRUE(forecaster.Train(ds, 20, 90).IsInvalidArgument());
+}
+
+TEST(TwoStageTest, ValidatesTrainingSpan) {
+  VehicleDataset ds = MixedDataset(100, 0.0, 5);
+  TwoStageForecaster forecaster(FastConfig());
+  EXPECT_TRUE(forecaster.Train(ds, 50, 50).IsInvalidArgument());
+  EXPECT_TRUE(forecaster.Train(ds, 5, 50).IsInvalidArgument());
+  EXPECT_TRUE(forecaster.Train(ds, 20, 200).IsOutOfRange());
+  EXPECT_TRUE(
+      forecaster.PredictTarget(ds, 60).status().IsFailedPrecondition());
+}
+
+TEST(EvaluateTwoStageTest, GateWinsWhenIdlenessIsCalendarDriven) {
+  // Calendar-deterministic idleness: the gate predicts idle days exactly,
+  // so the two-stage forecast must be excellent.
+  VehicleDataset ds = MixedDataset(400, 0.0, 6);
+  EvaluationConfig eval;
+  eval.eval_days = 50;
+  eval.retrain_every = 10;
+  eval.train_window = 140;
+  eval.forecaster.algorithm = Algorithm::kLasso;
+  eval.forecaster.windowing.lookback_w = 14;
+  eval.forecaster.selection.top_k = 7;
+
+  VehicleEvaluation single = EvaluateVehicle(ds, eval).value();
+  VehicleEvaluation two =
+      EvaluateVehicleTwoStage(ds, eval, FastConfig()).value();
+  EXPECT_EQ(two.num_predictions, 50u);
+  EXPECT_LT(two.pe, 10.0);
+  EXPECT_LT(two.pe, single.pe * 1.2);
+}
+
+TEST(EvaluateTwoStageTest, SoftGateComparableUnderRandomIdleness) {
+  // Random (unpredictable) weekday idleness: a hard gate takes the full
+  // hit on missed idles, while the soft gate reproduces the hedging of a
+  // single-stage regressor; it must stay in the same error range.
+  VehicleDataset ds = MixedDataset(400, 0.25, 6);
+  EvaluationConfig eval;
+  eval.eval_days = 50;
+  eval.retrain_every = 10;
+  eval.train_window = 140;
+  eval.forecaster.algorithm = Algorithm::kLasso;
+  eval.forecaster.windowing.lookback_w = 14;
+  eval.forecaster.selection.top_k = 7;
+
+  VehicleEvaluation single = EvaluateVehicle(ds, eval).value();
+  TwoStageConfig soft_cfg = FastConfig();
+  soft_cfg.soft_gate = true;
+  VehicleEvaluation soft =
+      EvaluateVehicleTwoStage(ds, eval, soft_cfg).value();
+  EXPECT_LT(soft.pe, single.pe * 1.3);
+
+  TwoStageConfig hard_cfg = FastConfig();
+  VehicleEvaluation hard =
+      EvaluateVehicleTwoStage(ds, eval, hard_cfg).value();
+  EXPECT_TRUE(std::isfinite(hard.pe));
+}
+
+TEST(EvaluateTwoStageTest, ValidatesConfig) {
+  VehicleDataset ds = MixedDataset(100, 0.0, 7);
+  EvaluationConfig eval;
+  eval.eval_days = 0;
+  EXPECT_FALSE(EvaluateVehicleTwoStage(ds, eval, FastConfig()).ok());
+}
+
+}  // namespace
+}  // namespace vup

@@ -1,0 +1,157 @@
+#include "core/usage_levels.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace vup {
+namespace {
+
+const Country& Italy() {
+  return *CountryRegistry::Global().Find("IT").value();
+}
+
+Date D(int day) { return Date::FromYmd(2016, 2, 1).value().AddDays(day); }
+
+TEST(LevelForHoursTest, BucketBoundaries) {
+  EXPECT_EQ(LevelForHours(0.0), UsageLevel::kIdle);
+  EXPECT_EQ(LevelForHours(0.99), UsageLevel::kIdle);
+  EXPECT_EQ(LevelForHours(1.0), UsageLevel::kShort);
+  EXPECT_EQ(LevelForHours(2.99), UsageLevel::kShort);
+  EXPECT_EQ(LevelForHours(3.0), UsageLevel::kMedium);
+  EXPECT_EQ(LevelForHours(5.99), UsageLevel::kMedium);
+  EXPECT_EQ(LevelForHours(6.0), UsageLevel::kLong);
+  EXPECT_EQ(LevelForHours(24.0), UsageLevel::kLong);
+}
+
+TEST(UsageLevelTest, Names) {
+  EXPECT_EQ(UsageLevelToString(UsageLevel::kIdle), "Idle");
+  EXPECT_EQ(UsageLevelToString(UsageLevel::kLong), "Long");
+}
+
+TEST(ConfusionMatrixTest, AccuracyMetrics) {
+  LevelConfusionMatrix m;
+  m.counts[0][0] = 8;  // Idle right.
+  m.counts[0][1] = 2;  // Idle -> Short (within one).
+  m.counts[3][3] = 6;  // Long right.
+  m.counts[3][1] = 4;  // Long -> Short (off by two).
+  EXPECT_EQ(m.total(), 20);
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 14.0 / 20.0);
+  EXPECT_DOUBLE_EQ(m.WithinOneAccuracy(), 16.0 / 20.0);
+  std::string s = m.ToString();
+  EXPECT_NE(s.find("Idle"), std::string::npos);
+  EXPECT_NE(s.find("accuracy=0.700"), std::string::npos);
+}
+
+TEST(ConfusionMatrixTest, EmptyIsZero) {
+  LevelConfusionMatrix m;
+  EXPECT_EQ(m.total(), 0);
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(m.WithinOneAccuracy(), 0.0);
+}
+
+/// Calendar-determined levels: Mon/Tue long, Wed/Thu medium, Fri short,
+/// weekend idle.
+VehicleDataset LeveledDataset(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DailyUsageRecord> recs;
+  for (int i = 0; i < n; ++i) {
+    DailyUsageRecord r;
+    r.date = D(i);
+    int wd = static_cast<int>(r.date.weekday());
+    double base = wd <= 1 ? 8.0 : wd <= 3 ? 4.0 : wd == 4 ? 1.8 : 0.0;
+    r.hours = base > 0 ? std::max(0.2, base + 0.2 * rng.Normal()) : 0.0;
+    r.avg_engine_load_pct = r.hours > 0 ? 50 : 0;
+    recs.push_back(r);
+  }
+  VehicleInfo info;
+  info.vehicle_id = 20;
+  return VehicleDataset::Build(info, recs, Italy()).value();
+}
+
+UsageLevelClassifier::Options FastOptions() {
+  UsageLevelClassifier::Options options;
+  options.pipeline.windowing.lookback_w = 14;
+  options.pipeline.selection.top_k = 7;
+  return options;
+}
+
+TEST(UsageLevelClassifierTest, LearnsCalendarLevels) {
+  VehicleDataset ds = LeveledDataset(250, 1);
+  UsageLevelClassifier classifier(FastOptions());
+  ASSERT_TRUE(classifier.Train(ds, 30, 220).ok());
+  EXPECT_TRUE(classifier.trained());
+  int correct = 0, total = 0;
+  for (size_t t = 225; t < 249; ++t) {
+    UsageLevel predicted = classifier.PredictTarget(ds, t).value();
+    if (predicted == LevelForHours(ds.hours()[t])) ++correct;
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.8);
+}
+
+TEST(UsageLevelClassifierTest, ScoresAreProbabilities) {
+  VehicleDataset ds = LeveledDataset(250, 2);
+  UsageLevelClassifier classifier(FastOptions());
+  ASSERT_TRUE(classifier.Train(ds, 30, 220).ok());
+  auto scores = classifier.PredictScores(ds, 230).value();
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(UsageLevelClassifierTest, MissingLevelFallsBackToPrior) {
+  // No Long days at all: that one-vs-rest slot is degenerate but the
+  // classifier still trains and never predicts Long with high score.
+  std::vector<DailyUsageRecord> recs;
+  Rng rng(3);
+  for (int i = 0; i < 150; ++i) {
+    DailyUsageRecord r;
+    r.date = D(i);
+    int wd = static_cast<int>(r.date.weekday());
+    r.hours = wd < 5 ? 2.0 + 0.1 * rng.Normal() : 0.0;
+    recs.push_back(r);
+  }
+  VehicleInfo info;
+  info.vehicle_id = 21;
+  auto ds = VehicleDataset::Build(info, recs, Italy()).value();
+  UsageLevelClassifier classifier(FastOptions());
+  ASSERT_TRUE(classifier.Train(ds, 20, 140).ok());
+  auto scores = classifier.PredictScores(ds, 145).value();
+  EXPECT_DOUBLE_EQ(scores[static_cast<size_t>(UsageLevel::kLong)], 0.0);
+  EXPECT_DOUBLE_EQ(scores[static_cast<size_t>(UsageLevel::kMedium)], 0.0);
+}
+
+TEST(UsageLevelClassifierTest, ValidatesSpans) {
+  VehicleDataset ds = LeveledDataset(100, 4);
+  UsageLevelClassifier classifier(FastOptions());
+  EXPECT_TRUE(classifier.Train(ds, 50, 50).IsInvalidArgument());
+  EXPECT_TRUE(classifier.Train(ds, 5, 60).IsInvalidArgument());
+  EXPECT_TRUE(classifier.Train(ds, 20, 300).IsOutOfRange());
+  EXPECT_TRUE(
+      classifier.PredictTarget(ds, 60).status().IsFailedPrecondition());
+}
+
+TEST(EvaluateUsageLevelsTest, WalkForwardConfusion) {
+  VehicleDataset ds = LeveledDataset(300, 5);
+  EvaluationConfig eval;
+  eval.eval_days = 40;
+  eval.retrain_every = 10;
+  eval.train_window = 140;
+  LevelConfusionMatrix confusion =
+      EvaluateUsageLevels(ds, eval, FastOptions()).value();
+  EXPECT_EQ(confusion.total(), 40);
+  EXPECT_GT(confusion.Accuracy(), 0.7);
+  EXPECT_GE(confusion.WithinOneAccuracy(), confusion.Accuracy());
+}
+
+TEST(EvaluateUsageLevelsTest, ValidatesConfig) {
+  VehicleDataset ds = LeveledDataset(100, 6);
+  EvaluationConfig eval;
+  eval.eval_days = 0;
+  EXPECT_FALSE(EvaluateUsageLevels(ds, eval, FastOptions()).ok());
+}
+
+}  // namespace
+}  // namespace vup

@@ -1,0 +1,175 @@
+#include "core/windowing.h"
+
+#include <gtest/gtest.h>
+
+#include "pipeline/enrich.h"
+
+namespace vup {
+namespace {
+
+const Country& Italy() {
+  return *CountryRegistry::Global().Find("IT").value();
+}
+
+Date D(int day) { return Date::FromYmd(2017, 5, 1).value().AddDays(day); }
+
+VehicleDataset MakeDataset(int n) {
+  std::vector<DailyUsageRecord> recs;
+  for (int i = 0; i < n; ++i) {
+    DailyUsageRecord r;
+    r.date = D(i);
+    r.hours = static_cast<double>(i);  // Identifiable per-day value.
+    r.fuel_used_l = 100.0 + i;
+    recs.push_back(r);
+  }
+  VehicleInfo info;
+  info.vehicle_id = 1;
+  return VehicleDataset::Build(info, recs, Italy()).value();
+}
+
+TEST(WindowColumnsTest, LayoutAndCount) {
+  WindowingConfig cfg;
+  cfg.lookback_w = 3;
+  cfg.lag_engine_features = VehicleDataset::kNumEngineFeatures;
+  auto columns = MakeWindowColumns(cfg);
+  EXPECT_EQ(columns.size(),
+            3 * VehicleDataset::kNumEngineFeatures + kNumContextFeatures);
+  EXPECT_EQ(columns[0].kind, WindowColumn::Kind::kLagFeature);
+  EXPECT_EQ(columns[0].lag, 1u);
+  EXPECT_EQ(columns[0].feature, 0u);
+  EXPECT_EQ(columns.back().kind, WindowColumn::Kind::kTargetContext);
+  // Lag-major ordering: second block is lag 2.
+  EXPECT_EQ(columns[VehicleDataset::kNumEngineFeatures].lag, 2u);
+}
+
+TEST(WindowColumnsTest, DefaultLagFeaturePrefix) {
+  // By default each lag day contributes the first lag_engine_features
+  // engine features (hours, fuel, load, rpm).
+  WindowingConfig cfg;
+  cfg.lookback_w = 3;
+  auto columns = MakeWindowColumns(cfg);
+  EXPECT_EQ(columns.size(),
+            3 * cfg.lag_engine_features + kNumContextFeatures);
+  for (const WindowColumn& col : columns) {
+    if (col.kind == WindowColumn::Kind::kLagFeature) {
+      EXPECT_LT(col.feature, cfg.lag_engine_features);
+    }
+  }
+  // The knob is capped at the engine-feature count.
+  cfg.lag_engine_features = 10000;
+  EXPECT_EQ(MakeWindowColumns(cfg).size(),
+            3 * VehicleDataset::kNumEngineFeatures + kNumContextFeatures);
+}
+
+TEST(WindowColumnsTest, OptionalContextBlocks) {
+  WindowingConfig cfg;
+  cfg.lookback_w = 2;
+  cfg.lag_engine_features = VehicleDataset::kNumEngineFeatures;
+  cfg.include_target_day_context = false;
+  EXPECT_EQ(MakeWindowColumns(cfg).size(),
+            2 * VehicleDataset::kNumEngineFeatures);
+  cfg.include_lag_context = true;
+  EXPECT_EQ(MakeWindowColumns(cfg).size(),
+            2 * VehicleDataset::FeatureNames().size());
+}
+
+TEST(WindowingTest, RecordCountMatchesPaperFormula) {
+  // |TW| - w records when sliding w over a TW-day training span.
+  VehicleDataset ds = MakeDataset(50);
+  WindowingConfig cfg;
+  cfg.lookback_w = 7;
+  // Targets 7..49: all 43 positions with a full lookback.
+  WindowedDataset w = BuildWindowedDataset(ds, cfg, 7, 49).value();
+  EXPECT_EQ(w.num_records(), 43u);
+  EXPECT_EQ(w.x.rows(), 43u);
+  EXPECT_EQ(w.x.cols(), w.columns.size());
+}
+
+TEST(WindowingTest, NoTargetLeakageAlignment) {
+  // THE critical correctness property: the lag-l hours feature of the
+  // record targeting day t must equal hours[t - l], never hours[t].
+  VehicleDataset ds = MakeDataset(30);
+  WindowingConfig cfg;
+  cfg.lookback_w = 5;
+  WindowedDataset w = BuildWindowedDataset(ds, cfg, 5, 29).value();
+  for (size_t rec = 0; rec < w.num_records(); ++rec) {
+    size_t target = w.target_rows[rec];
+    EXPECT_DOUBLE_EQ(w.y[rec], ds.hours()[target]);
+    for (size_t c = 0; c < w.columns.size(); ++c) {
+      const WindowColumn& col = w.columns[c];
+      if (col.kind != WindowColumn::Kind::kLagFeature) continue;
+      if (col.feature == 0) {  // day_hours feature.
+        EXPECT_DOUBLE_EQ(w.x(rec, c),
+                         ds.hours()[target - col.lag])
+            << "record " << rec << " lag " << col.lag;
+      }
+    }
+  }
+}
+
+TEST(WindowingTest, TargetContextMatchesTargetDate) {
+  VehicleDataset ds = MakeDataset(30);
+  WindowingConfig cfg;
+  cfg.lookback_w = 5;
+  WindowedDataset w = BuildWindowedDataset(ds, cfg, 10, 10).value();
+  // Find the ctx_day_of_week column.
+  size_t dow_col = w.columns.size();
+  for (size_t c = 0; c < w.columns.size(); ++c) {
+    if (w.columns[c].kind == WindowColumn::Kind::kTargetContext &&
+        w.columns[c].feature == 0) {
+      dow_col = c;
+    }
+  }
+  ASSERT_LT(dow_col, w.columns.size());
+  EXPECT_DOUBLE_EQ(w.x(0, dow_col),
+                   static_cast<double>(ds.dates()[10].weekday()));
+}
+
+TEST(WindowingTest, ValidatesBounds) {
+  VehicleDataset ds = MakeDataset(20);
+  WindowingConfig cfg;
+  cfg.lookback_w = 7;
+  EXPECT_FALSE(BuildWindowedDataset(ds, cfg, 3, 10).ok());   // < lookback.
+  EXPECT_FALSE(BuildWindowedDataset(ds, cfg, 7, 20).ok());   // Past end.
+  EXPECT_FALSE(BuildWindowedDataset(ds, cfg, 10, 8).ok());   // Inverted.
+  cfg.lookback_w = 0;
+  EXPECT_FALSE(BuildWindowedDataset(ds, cfg, 1, 5).ok());
+}
+
+TEST(PredictionRowTest, MatchesTrainingRowLayout) {
+  VehicleDataset ds = MakeDataset(30);
+  WindowingConfig cfg;
+  cfg.lookback_w = 4;
+  WindowedDataset w = BuildWindowedDataset(ds, cfg, 12, 12).value();
+  std::vector<double> row = BuildFeatureRowForTarget(ds, cfg, 12).value();
+  ASSERT_EQ(row.size(), w.columns.size());
+  for (size_t c = 0; c < row.size(); ++c) {
+    EXPECT_DOUBLE_EQ(row[c], w.x(0, c));
+  }
+}
+
+TEST(PredictionRowTest, OneStepBeyondEndUsesNextCalendarDay) {
+  VehicleDataset ds = MakeDataset(30);
+  WindowingConfig cfg;
+  cfg.lookback_w = 4;
+  std::vector<double> row =
+      BuildFeatureRowForTarget(ds, cfg, ds.num_days()).value();
+  // Lag-1 hours is the last observed day.
+  EXPECT_DOUBLE_EQ(row[0], ds.hours().back());
+  // The context block describes the day after the series end.
+  size_t ctx_start = cfg.lookback_w * cfg.lag_engine_features;
+  Date next = ds.dates().back().AddDays(1);
+  EXPECT_DOUBLE_EQ(row[ctx_start], static_cast<double>(next.weekday()));
+  // Two past the end is rejected.
+  EXPECT_FALSE(BuildFeatureRowForTarget(ds, cfg, ds.num_days() + 1).ok());
+}
+
+TEST(WindowColumnTest, ToStringReadable) {
+  WindowColumn lag{WindowColumn::Kind::kLagFeature, 7, 0};
+  EXPECT_EQ(lag.ToString(), "day_hours@t-7");
+  WindowColumn ctx{WindowColumn::Kind::kTargetContext, 0, 0};
+  EXPECT_EQ(ctx.ToString(), "ctx_day_of_week@target");
+}
+
+}  // namespace
+}  // namespace vup

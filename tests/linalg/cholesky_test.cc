@@ -1,0 +1,95 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+TEST(CholeskyTest, FactorsKnownSpdMatrix) {
+  Matrix a = Matrix::FromRows({{4, 2}, {2, 3}});
+  Matrix l = CholeskyFactor(a).value();
+  EXPECT_DOUBLE_EQ(l(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(l(1, 0), 1.0);
+  EXPECT_NEAR(l(1, 1), std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(l(0, 1), 0.0);
+}
+
+TEST(CholeskyTest, FactorReconstructs) {
+  Matrix a = Matrix::FromRows({{25, 15, -5}, {15, 18, 0}, {-5, 0, 11}});
+  Matrix l = CholeskyFactor(a).value();
+  Matrix reconstructed = l.Multiply(l.Transpose());
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(reconstructed(i, j), a(i, j), 1e-10);
+    }
+  }
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  Matrix a(2, 3);
+  EXPECT_FALSE(CholeskyFactor(a).ok());
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 1}});  // Eigenvalues 3, -1.
+  EXPECT_FALSE(CholeskyFactor(a).ok());
+}
+
+TEST(CholeskySolveTest, SolvesKnownSystem) {
+  Matrix a = Matrix::FromRows({{4, 2}, {2, 3}});
+  std::vector<double> b = {10, 8};
+  std::vector<double> x = CholeskySolve(a, b).value();
+  // Verify A x == b.
+  std::vector<double> ax = a.MultiplyVec(x);
+  EXPECT_NEAR(ax[0], 10.0, 1e-10);
+  EXPECT_NEAR(ax[1], 8.0, 1e-10);
+}
+
+TEST(CholeskySolveTest, RejectsSizeMismatch) {
+  Matrix a = Matrix::Identity(3);
+  std::vector<double> b = {1, 2};
+  EXPECT_FALSE(CholeskySolve(a, b).ok());
+}
+
+TEST(NormalEquationsTest, RecoverExactLinearModel) {
+  // y = 2*x0 - 3*x1, overdetermined.
+  Matrix x = Matrix::FromRows({{1, 0}, {0, 1}, {1, 1}, {2, 1}, {1, 2}});
+  std::vector<double> y;
+  for (size_t r = 0; r < x.rows(); ++r) {
+    y.push_back(2 * x(r, 0) - 3 * x(r, 1));
+  }
+  std::vector<double> w = SolveNormalEquations(x, y, 0.0).value();
+  EXPECT_NEAR(w[0], 2.0, 1e-10);
+  EXPECT_NEAR(w[1], -3.0, 1e-10);
+}
+
+TEST(NormalEquationsTest, RidgeShrinksCoefficients) {
+  Matrix x = Matrix::FromRows({{1, 0}, {0, 1}, {1, 1}});
+  std::vector<double> y = {2, -3, -1};
+  std::vector<double> w0 = SolveNormalEquations(x, y, 0.0).value();
+  std::vector<double> w1 = SolveNormalEquations(x, y, 10.0).value();
+  EXPECT_LT(std::abs(w1[0]), std::abs(w0[0]));
+  EXPECT_LT(std::abs(w1[1]), std::abs(w0[1]));
+}
+
+TEST(NormalEquationsTest, RidgeMakesSingularSolvable) {
+  // Duplicate columns: X^T X singular; ridge regularizes.
+  Matrix x = Matrix::FromRows({{1, 1}, {2, 2}, {3, 3}});
+  std::vector<double> y = {2, 4, 6};
+  EXPECT_FALSE(SolveNormalEquations(x, y, 0.0).ok());
+  std::vector<double> w = SolveNormalEquations(x, y, 1e-6).value();
+  // Symmetric problem: both coefficients near 1.
+  EXPECT_NEAR(w[0], 1.0, 1e-3);
+  EXPECT_NEAR(w[1], 1.0, 1e-3);
+}
+
+TEST(NormalEquationsTest, RejectsNegativeRidge) {
+  Matrix x = Matrix::Identity(2);
+  std::vector<double> y = {1, 2};
+  EXPECT_FALSE(SolveNormalEquations(x, y, -1.0).ok());
+}
+
+}  // namespace
+}  // namespace vup

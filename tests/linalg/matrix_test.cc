@@ -1,0 +1,124 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 0.0);
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+
+  Matrix filled(2, 2, 7.0);
+  EXPECT_DOUBLE_EQ(filled(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(filled(1, 1), 7.0);
+}
+
+TEST(MatrixTest, FromRowsAndIdentity) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+
+  Matrix id = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(id(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+}
+
+TEST(MatrixTest, RowAndColViews) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  auto row = m.Row(1);
+  EXPECT_DOUBLE_EQ(row[0], 4);
+  EXPECT_DOUBLE_EQ(row[2], 6);
+  auto col = m.Col(1);
+  EXPECT_EQ(col, (std::vector<double>{2, 5}));
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6);
+  EXPECT_DOUBLE_EQ(t(0, 0), 1);
+}
+
+TEST(MatrixTest, Multiply) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(MatrixTest, MultiplyVec) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  std::vector<double> v = {1, 0, -1};
+  EXPECT_EQ(a.MultiplyVec(v), (std::vector<double>{-2, -2}));
+}
+
+TEST(MatrixTest, GramMatchesExplicitProduct) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  Matrix g = a.Gram();
+  Matrix expected = a.Transpose().Multiply(a);
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(g(i, j), expected(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(MatrixTest, TransposeMultiplyVec) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  std::vector<double> v = {1, 1};
+  EXPECT_EQ(a.TransposeMultiplyVec(v), (std::vector<double>{4, 6}));
+}
+
+TEST(MatrixTest, SelectColumnsAndRows) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  std::vector<size_t> cols = {2, 0};
+  Matrix sc = a.SelectColumns(cols);
+  EXPECT_EQ(sc.cols(), 2u);
+  EXPECT_DOUBLE_EQ(sc(1, 0), 6);
+  EXPECT_DOUBLE_EQ(sc(1, 1), 4);
+
+  std::vector<size_t> rows = {2, 2, 0};
+  Matrix sr = a.SelectRows(rows);
+  EXPECT_EQ(sr.rows(), 3u);
+  EXPECT_DOUBLE_EQ(sr(0, 0), 7);
+  EXPECT_DOUBLE_EQ(sr(1, 0), 7);
+  EXPECT_DOUBLE_EQ(sr(2, 2), 3);
+}
+
+TEST(MatrixTest, AppendRowGrowsMatrix) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  m.AppendRow(std::vector<double>{1, 2});
+  m.AppendRow(std::vector<double>{3, 4});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4);
+}
+
+TEST(VectorOpsTest, DotNormAxpy) {
+  std::vector<double> a = {1, 2, 3};
+  std::vector<double> b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32);
+  EXPECT_DOUBLE_EQ(Norm2(std::vector<double>{3, 4}), 5);
+  EXPECT_EQ(Axpy(a, 2.0, b), (std::vector<double>{9, 12, 15}));
+}
+
+TEST(MatrixDeathTest, ShapeMismatchChecks) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_DEATH({ a.Multiply(b); }, "shape mismatch");
+}
+
+}  // namespace
+}  // namespace vup

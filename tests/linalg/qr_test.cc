@@ -1,0 +1,104 @@
+#include "linalg/qr.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace vup {
+namespace {
+
+TEST(QrTest, ExactSquareSolve) {
+  Matrix x = Matrix::FromRows({{2, 1}, {1, 3}});
+  std::vector<double> y = {5, 10};
+  std::vector<double> w = QrLeastSquares(x, y).value();
+  EXPECT_NEAR(2 * w[0] + w[1], 5.0, 1e-10);
+  EXPECT_NEAR(w[0] + 3 * w[1], 10.0, 1e-10);
+}
+
+TEST(QrTest, OverdeterminedRecoversTrueModel) {
+  Rng rng(7);
+  Matrix x(50, 3);
+  std::vector<double> y(50);
+  const double w_true[3] = {1.5, -2.0, 0.5};
+  for (size_t r = 0; r < 50; ++r) {
+    double dot = 0;
+    for (size_t c = 0; c < 3; ++c) {
+      x(r, c) = rng.Normal();
+      dot += w_true[c] * x(r, c);
+    }
+    y[r] = dot;
+  }
+  std::vector<double> w = QrLeastSquares(x, y).value();
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(w[c], w_true[c], 1e-9);
+  }
+}
+
+TEST(QrTest, ResidualOrthogonalToColumns) {
+  // Property: at the least-squares optimum, X^T (y - Xw) == 0.
+  Rng rng(13);
+  Matrix x(30, 4);
+  std::vector<double> y(30);
+  for (size_t r = 0; r < 30; ++r) {
+    for (size_t c = 0; c < 4; ++c) x(r, c) = rng.Normal();
+    y[r] = rng.Normal() * 3.0;
+  }
+  std::vector<double> w = QrLeastSquares(x, y).value();
+  std::vector<double> pred = x.MultiplyVec(w);
+  std::vector<double> residual(30);
+  for (size_t r = 0; r < 30; ++r) residual[r] = y[r] - pred[r];
+  std::vector<double> xtr = x.TransposeMultiplyVec(residual);
+  for (double v : xtr) {
+    EXPECT_NEAR(v, 0.0, 1e-8);
+  }
+}
+
+TEST(QrTest, RankDeficientZeroesDependentColumns) {
+  // Third column = first + second; solution must still reproduce y.
+  Matrix x(6, 3);
+  Rng rng(3);
+  std::vector<double> y(6);
+  for (size_t r = 0; r < 6; ++r) {
+    x(r, 0) = rng.Normal();
+    x(r, 1) = rng.Normal();
+    x(r, 2) = x(r, 0) + x(r, 1);
+    y[r] = 2.0 * x(r, 0) - x(r, 1);
+  }
+  std::vector<double> w = QrLeastSquares(x, y).value();
+  std::vector<double> pred = x.MultiplyVec(w);
+  for (size_t r = 0; r < 6; ++r) {
+    EXPECT_NEAR(pred[r], y[r], 1e-8);
+  }
+}
+
+TEST(QrTest, ConstantZeroColumnHandled) {
+  Matrix x(4, 2);
+  std::vector<double> y = {1, 2, 3, 4};
+  for (size_t r = 0; r < 4; ++r) {
+    x(r, 0) = static_cast<double>(r + 1);
+    x(r, 1) = 0.0;
+  }
+  std::vector<double> w = QrLeastSquares(x, y).value();
+  EXPECT_NEAR(w[0], 1.0, 1e-10);
+  EXPECT_NEAR(w[1], 0.0, 1e-10);
+}
+
+TEST(QrTest, WideMatrixInterpolates) {
+  // More columns than rows: an exact interpolating solution exists.
+  Matrix x = Matrix::FromRows({{1, 2, 3, 4}, {4, 3, 2, 1}});
+  std::vector<double> y = {10, 20};
+  std::vector<double> w = QrLeastSquares(x, y).value();
+  std::vector<double> pred = x.MultiplyVec(w);
+  EXPECT_NEAR(pred[0], 10, 1e-9);
+  EXPECT_NEAR(pred[1], 20, 1e-9);
+}
+
+TEST(QrTest, RejectsBadShapes) {
+  Matrix empty;
+  EXPECT_FALSE(QrLeastSquares(empty, std::vector<double>{}).ok());
+  Matrix x(3, 2);
+  EXPECT_FALSE(QrLeastSquares(x, std::vector<double>{1, 2}).ok());
+}
+
+}  // namespace
+}  // namespace vup

@@ -1,0 +1,45 @@
+#include "ml/baselines.h"
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+TEST(LastValueTest, ReturnsLastElement) {
+  LastValueBaseline lv;
+  EXPECT_DOUBLE_EQ(lv.Predict(std::vector<double>{1, 2, 3}).value(), 3.0);
+  EXPECT_DOUBLE_EQ(lv.Predict(std::vector<double>{7}).value(), 7.0);
+}
+
+TEST(LastValueTest, EmptyHistoryIsError) {
+  LastValueBaseline lv;
+  EXPECT_TRUE(lv.Predict({}).status().IsInvalidArgument());
+}
+
+TEST(MovingAverageTest, AveragesLastPeriod) {
+  MovingAverageBaseline ma(3);
+  EXPECT_EQ(ma.period(), 3u);
+  EXPECT_DOUBLE_EQ(ma.Predict(std::vector<double>{10, 1, 2, 3}).value(), 2.0);
+}
+
+TEST(MovingAverageTest, ShortHistoryAveragesAvailable) {
+  MovingAverageBaseline ma(30);
+  EXPECT_DOUBLE_EQ(ma.Predict(std::vector<double>{4, 6}).value(), 5.0);
+}
+
+TEST(MovingAverageTest, PaperDefaultPeriod30) {
+  MovingAverageBaseline ma;
+  EXPECT_EQ(ma.period(), 30u);
+  std::vector<double> h(60, 0.0);
+  for (size_t i = 30; i < 60; ++i) h[i] = 2.0;
+  // Only the last 30 values (all 2.0) matter.
+  EXPECT_DOUBLE_EQ(ma.Predict(h).value(), 2.0);
+}
+
+TEST(MovingAverageTest, EmptyHistoryIsError) {
+  MovingAverageBaseline ma(5);
+  EXPECT_TRUE(ma.Predict({}).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace vup

@@ -1,0 +1,139 @@
+#include "ml/grid_search.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ml/lasso.h"
+#include "ml/linear_regression.h"
+
+namespace vup {
+namespace {
+
+TEST(ParamGridTest, CartesianProduct) {
+  ParamGrid grid;
+  grid.axes["a"] = {1, 2};
+  grid.axes["b"] = {10, 20, 30};
+  auto combos = grid.Combinations();
+  EXPECT_EQ(combos.size(), 6u);
+  // Every combination unique and complete.
+  for (const ParamMap& c : combos) {
+    EXPECT_EQ(c.size(), 2u);
+    EXPECT_TRUE(c.count("a"));
+    EXPECT_TRUE(c.count("b"));
+  }
+}
+
+TEST(ParamGridTest, EmptyGridOneEmptyCombo) {
+  ParamGrid grid;
+  auto combos = grid.Combinations();
+  ASSERT_EQ(combos.size(), 1u);
+  EXPECT_TRUE(combos[0].empty());
+}
+
+TEST(GridSearchTest, FindsBestAlpha) {
+  // Sparse ground truth: moderate alpha beats none and beats huge.
+  Rng rng(5);
+  Matrix x(120, 6);
+  std::vector<double> y(120);
+  for (size_t r = 0; r < 120; ++r) {
+    for (size_t c = 0; c < 6; ++c) x(r, c) = rng.Normal();
+    y[r] = 2.0 * x(r, 0) + 0.3 * rng.Normal();
+  }
+  ParamGrid grid;
+  grid.axes["alpha"] = {0.05, 1000.0};
+  RegressorFactory factory = [](const ParamMap& p) {
+    Lasso::Options opts;
+    opts.alpha = p.at("alpha");
+    return std::unique_ptr<Regressor>(new Lasso(opts));
+  };
+  GridSearchOptions opts;
+  GridSearchResult result = GridSearch(factory, grid, x, y, opts).value();
+  EXPECT_DOUBLE_EQ(result.best_params.at("alpha"), 0.05);
+  EXPECT_EQ(result.scores.size(), 2u);
+  EXPECT_LT(result.best_score, 1.0);
+}
+
+TEST(GridSearchTest, TimeOrderedSplitUsesTrailingValidation) {
+  // Construct data where the tail differs from the head; a model trained on
+  // the head must be evaluated on the tail (score clearly nonzero).
+  Matrix x(20, 1);
+  std::vector<double> y(20);
+  for (size_t i = 0; i < 20; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = i < 15 ? 0.0 : 100.0;  // Regime change in the validation tail.
+  }
+  ParamGrid grid;  // Single default combination.
+  RegressorFactory factory = [](const ParamMap&) {
+    return std::unique_ptr<Regressor>(new LinearRegression());
+  };
+  GridSearchOptions opts;
+  opts.validation_fraction = 0.25;
+  GridSearchResult result = GridSearch(factory, grid, x, y, opts).value();
+  EXPECT_GT(result.best_score, 10.0);
+}
+
+TEST(GridSearchTest, MetricSelection) {
+  Matrix x = Matrix::FromRows({{0.}, {1.}, {2.}, {3.}, {4.}, {5.}, {6.}, {7.}});
+  std::vector<double> y = {0, 1, 2, 3, 4, 5, 6, 7};
+  ParamGrid grid;
+  RegressorFactory factory = [](const ParamMap&) {
+    return std::unique_ptr<Regressor>(new LinearRegression());
+  };
+  for (GridMetric metric : {GridMetric::kMae, GridMetric::kRmse,
+                            GridMetric::kPercentageError}) {
+    GridSearchOptions opts;
+    opts.metric = metric;
+    GridSearchResult r = GridSearch(factory, grid, x, y, opts).value();
+    EXPECT_NEAR(r.best_score, 0.0, 1e-6);
+  }
+}
+
+TEST(GridSearchTest, SkipsFailingCombinations) {
+  Matrix x = Matrix::FromRows({{0.}, {1.}, {2.}, {3.}});
+  std::vector<double> y = {0, 1, 2, 3};
+  ParamGrid grid;
+  grid.axes["alpha"] = {-1.0, 0.1};  // Negative alpha fails Fit.
+  RegressorFactory factory = [](const ParamMap& p) {
+    Lasso::Options opts;
+    opts.alpha = p.at("alpha");
+    return std::unique_ptr<Regressor>(new Lasso(opts));
+  };
+  GridSearchResult r =
+      GridSearch(factory, grid, x, y, GridSearchOptions()).value();
+  EXPECT_EQ(r.scores.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.best_params.at("alpha"), 0.1);
+}
+
+TEST(GridSearchTest, AllFailingReturnsError) {
+  Matrix x = Matrix::FromRows({{0.}, {1.}, {2.}, {3.}});
+  std::vector<double> y = {0, 1, 2, 3};
+  ParamGrid grid;
+  grid.axes["alpha"] = {-1.0};
+  RegressorFactory factory = [](const ParamMap& p) {
+    Lasso::Options opts;
+    opts.alpha = p.at("alpha");
+    return std::unique_ptr<Regressor>(new Lasso(opts));
+  };
+  EXPECT_FALSE(GridSearch(factory, grid, x, y, GridSearchOptions()).ok());
+}
+
+TEST(GridSearchTest, ValidatesOptions) {
+  Matrix x = Matrix::FromRows({{0.}, {1.}});
+  std::vector<double> y = {0, 1};
+  ParamGrid grid;
+  RegressorFactory factory = [](const ParamMap&) {
+    return std::unique_ptr<Regressor>(new LinearRegression());
+  };
+  GridSearchOptions bad;
+  bad.validation_fraction = 0.0;
+  EXPECT_FALSE(GridSearch(factory, grid, x, y, bad).ok());
+  bad.validation_fraction = 1.0;
+  EXPECT_FALSE(GridSearch(factory, grid, x, y, bad).ok());
+  // Mismatched shapes.
+  EXPECT_FALSE(GridSearch(factory, grid, x, std::vector<double>{1},
+                          GridSearchOptions())
+                   .ok());
+}
+
+}  // namespace
+}  // namespace vup

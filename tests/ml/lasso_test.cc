@@ -1,0 +1,136 @@
+#include "ml/lasso.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace vup {
+namespace {
+
+/// Data with two informative features and six noise features.
+void MakeSparseProblem(Matrix* x, std::vector<double>* y, uint64_t seed) {
+  Rng rng(seed);
+  *x = Matrix(120, 8);
+  y->resize(120);
+  for (size_t r = 0; r < 120; ++r) {
+    for (size_t c = 0; c < 8; ++c) (*x)(r, c) = rng.Normal();
+    (*y)[r] = 3.0 * (*x)(r, 0) - 2.0 * (*x)(r, 1) + 0.1 * rng.Normal();
+  }
+}
+
+size_t CountNonzero(const std::vector<double>& w, double tol = 1e-9) {
+  size_t n = 0;
+  for (double v : w) {
+    if (std::abs(v) > tol) ++n;
+  }
+  return n;
+}
+
+TEST(LassoTest, RecoversSparseSignal) {
+  Matrix x;
+  std::vector<double> y;
+  MakeSparseProblem(&x, &y, 1);
+  Lasso lasso(Lasso::Options{.alpha = 0.1});
+  ASSERT_TRUE(lasso.Fit(x, y).ok());
+  EXPECT_NEAR(lasso.coefficients()[0], 3.0, 0.2);
+  EXPECT_NEAR(lasso.coefficients()[1], -2.0, 0.2);
+  for (size_t c = 2; c < 8; ++c) {
+    EXPECT_NEAR(lasso.coefficients()[c], 0.0, 0.1);
+  }
+  EXPECT_EQ(lasso.name(), "Lasso");
+}
+
+class LassoAlphaSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LassoAlphaSweepTest, SparsityGrowsWithAlpha) {
+  // Property: larger alpha never yields more nonzero coefficients, and
+  // coefficient magnitudes shrink.
+  Matrix x;
+  std::vector<double> y;
+  MakeSparseProblem(&x, &y, 7);
+  double alpha = GetParam();
+  Lasso small(Lasso::Options{.alpha = alpha});
+  Lasso large(Lasso::Options{.alpha = alpha * 10});
+  ASSERT_TRUE(small.Fit(x, y).ok());
+  ASSERT_TRUE(large.Fit(x, y).ok());
+  EXPECT_LE(CountNonzero(large.coefficients()),
+            CountNonzero(small.coefficients()));
+  double norm_small = 0, norm_large = 0;
+  for (double w : small.coefficients()) norm_small += std::abs(w);
+  for (double w : large.coefficients()) norm_large += std::abs(w);
+  EXPECT_LE(norm_large, norm_small + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, LassoAlphaSweepTest,
+                         ::testing::Values(0.01, 0.05, 0.1, 0.3));
+
+TEST(LassoTest, HugeAlphaKillsAllCoefficients) {
+  Matrix x;
+  std::vector<double> y;
+  MakeSparseProblem(&x, &y, 3);
+  Lasso lasso(Lasso::Options{.alpha = 1e6});
+  ASSERT_TRUE(lasso.Fit(x, y).ok());
+  EXPECT_EQ(CountNonzero(lasso.coefficients()), 0u);
+  // Prediction degenerates to the target mean.
+  double mean = 0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(y.size());
+  EXPECT_NEAR(lasso.intercept(), mean, 1e-9);
+}
+
+TEST(LassoTest, TinyAlphaApproachesOls) {
+  Matrix x = Matrix::FromRows({{0}, {1}, {2}, {3}});
+  std::vector<double> y = {1, 3, 5, 7};  // y = 1 + 2x.
+  Lasso lasso(Lasso::Options{.alpha = 1e-8, .max_iter = 5000});
+  ASSERT_TRUE(lasso.Fit(x, y).ok());
+  EXPECT_NEAR(lasso.coefficients()[0], 2.0, 1e-3);
+  EXPECT_NEAR(lasso.intercept(), 1.0, 1e-3);
+}
+
+TEST(LassoTest, ConstantColumnGetsZeroWeight) {
+  Matrix x = Matrix::FromRows({{1, 5}, {2, 5}, {3, 5}, {4, 5}});
+  std::vector<double> y = {2, 4, 6, 8};
+  Lasso lasso(Lasso::Options{.alpha = 0.01});
+  ASSERT_TRUE(lasso.Fit(x, y).ok());
+  EXPECT_DOUBLE_EQ(lasso.coefficients()[1], 0.0);
+  EXPECT_GT(lasso.coefficients()[0], 1.5);
+}
+
+TEST(LassoTest, ConvergesBeforeMaxIter) {
+  Matrix x;
+  std::vector<double> y;
+  MakeSparseProblem(&x, &y, 5);
+  Lasso lasso(Lasso::Options{.alpha = 0.1, .max_iter = 1000});
+  ASSERT_TRUE(lasso.Fit(x, y).ok());
+  EXPECT_LT(lasso.iterations_run(), 1000u);
+}
+
+TEST(LassoTest, PredictUsesInterceptAndCoefs) {
+  Matrix x = Matrix::FromRows({{0}, {2}});
+  std::vector<double> y = {1, 5};
+  Lasso lasso(Lasso::Options{.alpha = 1e-6});
+  ASSERT_TRUE(lasso.Fit(x, y).ok());
+  EXPECT_NEAR(lasso.PredictOne(std::vector<double>{1}).value(), 3.0, 1e-2);
+}
+
+TEST(LassoTest, ErrorHandling) {
+  Lasso lasso;
+  EXPECT_TRUE(lasso.Fit(Matrix(), {}).IsInvalidArgument());
+  Matrix x(2, 1);
+  EXPECT_TRUE(lasso.Fit(x, std::vector<double>{1}).IsInvalidArgument());
+  EXPECT_TRUE(Lasso(Lasso::Options{.alpha = -1})
+                  .Fit(x, std::vector<double>{1, 2})
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      lasso.PredictOne(std::vector<double>{1}).status().IsFailedPrecondition());
+}
+
+TEST(LassoTest, CloneKeepsOptions) {
+  Lasso lasso(Lasso::Options{.alpha = 0.7});
+  auto clone = lasso.Clone();
+  EXPECT_FALSE(clone->fitted());
+  EXPECT_EQ(clone->name(), "Lasso");
+}
+
+}  // namespace
+}  // namespace vup

@@ -1,0 +1,139 @@
+#include "ml/linear_regression.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace vup {
+namespace {
+
+TEST(LinearRegressionTest, RecoversExactLine) {
+  // y = 3 + 2x.
+  Matrix x = Matrix::FromRows({{0}, {1}, {2}, {3}});
+  std::vector<double> y = {3, 5, 7, 9};
+  LinearRegression lr;
+  ASSERT_TRUE(lr.Fit(x, y).ok());
+  EXPECT_NEAR(lr.intercept(), 3.0, 1e-10);
+  EXPECT_NEAR(lr.coefficients()[0], 2.0, 1e-10);
+  EXPECT_NEAR(lr.PredictOne(std::vector<double>{10}).value(), 23.0, 1e-9);
+  EXPECT_TRUE(lr.fitted());
+  EXPECT_EQ(lr.name(), "LR");
+}
+
+TEST(LinearRegressionTest, MultivariateWithNoise) {
+  Rng rng(3);
+  Matrix x(200, 3);
+  std::vector<double> y(200);
+  for (size_t r = 0; r < 200; ++r) {
+    for (size_t c = 0; c < 3; ++c) x(r, c) = rng.Normal();
+    y[r] = 1.0 + 2.0 * x(r, 0) - 1.5 * x(r, 1) + 0.5 * x(r, 2) +
+           0.01 * rng.Normal();
+  }
+  LinearRegression lr;
+  ASSERT_TRUE(lr.Fit(x, y).ok());
+  EXPECT_NEAR(lr.intercept(), 1.0, 0.01);
+  EXPECT_NEAR(lr.coefficients()[0], 2.0, 0.01);
+  EXPECT_NEAR(lr.coefficients()[1], -1.5, 0.01);
+  EXPECT_NEAR(lr.coefficients()[2], 0.5, 0.01);
+}
+
+TEST(LinearRegressionTest, NoInterceptOption) {
+  LinearRegression::Options opts;
+  opts.fit_intercept = false;
+  LinearRegression lr(opts);
+  Matrix x = Matrix::FromRows({{1}, {2}});
+  std::vector<double> y = {2, 4};
+  ASSERT_TRUE(lr.Fit(x, y).ok());
+  EXPECT_DOUBLE_EQ(lr.intercept(), 0.0);
+  EXPECT_NEAR(lr.coefficients()[0], 2.0, 1e-10);
+}
+
+TEST(LinearRegressionTest, RidgeShrinksAndStabilizes) {
+  // Wide design: 4 rows, 8 columns. Plain OLS interpolates; ridge shrinks.
+  Rng rng(5);
+  Matrix x(4, 8);
+  std::vector<double> y(4);
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t c = 0; c < 8; ++c) x(r, c) = rng.Normal();
+    y[r] = rng.Normal() * 5;
+  }
+  LinearRegression::Options ridge_opts;
+  ridge_opts.ridge = 10.0;
+  LinearRegression ridge(ridge_opts);
+  ASSERT_TRUE(ridge.Fit(x, y).ok());
+  LinearRegression plain;
+  ASSERT_TRUE(plain.Fit(x, y).ok());
+  double norm_ridge = 0, norm_plain = 0;
+  for (double w : ridge.coefficients()) norm_ridge += w * w;
+  for (double w : plain.coefficients()) norm_plain += w * w;
+  EXPECT_LT(norm_ridge, norm_plain);
+}
+
+TEST(LinearRegressionTest, RidgeStillRecoversStrongSignal) {
+  Rng rng(9);
+  Matrix x(300, 2);
+  std::vector<double> y(300);
+  for (size_t r = 0; r < 300; ++r) {
+    x(r, 0) = rng.Normal();
+    x(r, 1) = rng.Normal();
+    y[r] = 4.0 * x(r, 0) + 0.05 * rng.Normal();
+  }
+  LinearRegression::Options opts;
+  opts.ridge = 1.0;
+  LinearRegression lr(opts);
+  ASSERT_TRUE(lr.Fit(x, y).ok());
+  EXPECT_NEAR(lr.coefficients()[0], 4.0, 0.1);
+  EXPECT_NEAR(lr.coefficients()[1], 0.0, 0.1);
+}
+
+TEST(LinearRegressionTest, RefitResets) {
+  LinearRegression lr;
+  Matrix x1 = Matrix::FromRows({{1}, {2}});
+  ASSERT_TRUE(lr.Fit(x1, std::vector<double>{1, 2}).ok());
+  Matrix x2 = Matrix::FromRows({{1, 1}, {2, 1}, {3, 2}});
+  ASSERT_TRUE(lr.Fit(x2, std::vector<double>{5, 6, 9}).ok());
+  EXPECT_EQ(lr.coefficients().size(), 2u);
+}
+
+TEST(LinearRegressionTest, ErrorHandling) {
+  LinearRegression lr;
+  EXPECT_TRUE(lr.Fit(Matrix(), {}).IsInvalidArgument());
+  Matrix x(2, 1);
+  EXPECT_TRUE(lr.Fit(x, std::vector<double>{1}).IsInvalidArgument());
+  EXPECT_TRUE(lr.PredictOne(std::vector<double>{1})
+                  .status()
+                  .IsFailedPrecondition());
+  ASSERT_TRUE(lr.Fit(x, std::vector<double>{1, 2}).ok());
+  EXPECT_TRUE(lr.PredictOne(std::vector<double>{1, 2})
+                  .status()
+                  .IsInvalidArgument());
+  LinearRegression::Options bad;
+  bad.ridge = -1;
+  EXPECT_TRUE(LinearRegression(bad).Fit(x, std::vector<double>{1, 2})
+                  .IsInvalidArgument());
+}
+
+TEST(LinearRegressionTest, CloneIsUnfittedWithSameOptions) {
+  LinearRegression::Options opts;
+  opts.ridge = 2.5;
+  LinearRegression lr(opts);
+  Matrix x = Matrix::FromRows({{1}, {2}});
+  ASSERT_TRUE(lr.Fit(x, std::vector<double>{1, 2}).ok());
+  auto clone = lr.Clone();
+  EXPECT_FALSE(clone->fitted());
+  EXPECT_EQ(clone->name(), "LR");
+}
+
+TEST(LinearRegressionTest, BatchPredictMatchesSingle) {
+  Matrix x = Matrix::FromRows({{0}, {1}, {2}});
+  std::vector<double> y = {1, 3, 5};
+  LinearRegression lr;
+  ASSERT_TRUE(lr.Fit(x, y).ok());
+  auto batch = lr.Predict(x).value();
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_DOUBLE_EQ(batch[r], lr.PredictOne(x.Row(r)).value());
+  }
+}
+
+}  // namespace
+}  // namespace vup

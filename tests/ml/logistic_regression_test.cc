@@ -1,0 +1,154 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace vup {
+namespace {
+
+TEST(SigmoidTest, KnownValuesAndStability) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(2.0), 1.0 / (1.0 + std::exp(-2.0)), 1e-15);
+  EXPECT_NEAR(Sigmoid(-2.0), 1.0 - Sigmoid(2.0), 1e-15);
+  // No overflow at extreme inputs.
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+}
+
+void MakeSeparableData(Matrix* x, std::vector<int>* y, size_t n,
+                       uint64_t seed, double margin) {
+  Rng rng(seed);
+  *x = Matrix(n, 2);
+  y->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    (*x)(i, 0) = rng.Normal();
+    (*x)(i, 1) = rng.Normal();
+    double score = 2.0 * (*x)(i, 0) - (*x)(i, 1) + margin * rng.Normal();
+    (*y)[i] = score > 0 ? 1 : 0;
+  }
+}
+
+TEST(LogisticRegressionTest, LearnsLinearBoundary) {
+  Matrix x;
+  std::vector<int> y;
+  MakeSeparableData(&x, &y, 400, 1, 0.1);
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(x, y).ok());
+  EXPECT_TRUE(lr.fitted());
+  int correct = 0;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    if (lr.PredictClass(x.Row(i)).value() == y[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(x.rows()),
+            0.95);
+  // Coefficient direction matches the generator.
+  EXPECT_GT(lr.coefficients()[0], 0.0);
+  EXPECT_LT(lr.coefficients()[1], 0.0);
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesCalibratedOnNoisyData) {
+  Matrix x;
+  std::vector<int> y;
+  MakeSeparableData(&x, &y, 4000, 2, 2.0);  // Noisy labels.
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(x, y).ok());
+  // Probabilities near the boundary should be near 0.5; far from it near
+  // 0 or 1.
+  double p_far = lr.PredictProbability(std::vector<double>{3.0, -3.0}).value();
+  double p_boundary =
+      lr.PredictProbability(std::vector<double>{0.0, 0.0}).value();
+  EXPECT_GT(p_far, 0.9);
+  EXPECT_NEAR(p_boundary, 0.5, 0.1);
+  for (double p : {p_far, p_boundary}) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(LogisticRegressionTest, SeparableDataDoesNotDiverge) {
+  // Perfectly separable data: unregularized logistic diverges; the L2
+  // penalty must keep coefficients finite.
+  Matrix x = Matrix::FromRows({{-2}, {-1}, {1}, {2}});
+  std::vector<int> y = {0, 0, 1, 1};
+  LogisticRegression lr(LogisticRegression::Options{.l2 = 0.1});
+  ASSERT_TRUE(lr.Fit(x, y).ok());
+  EXPECT_TRUE(std::isfinite(lr.coefficients()[0]));
+  EXPECT_EQ(lr.PredictClass(std::vector<double>{-3}).value(), 0);
+  EXPECT_EQ(lr.PredictClass(std::vector<double>{3}).value(), 1);
+}
+
+TEST(LogisticRegressionTest, InterceptCapturesBaseRate) {
+  // Uninformative feature, 80% positives: P(1) ~ 0.8 everywhere.
+  Rng rng(3);
+  Matrix x(500, 1);
+  std::vector<int> y(500);
+  for (size_t i = 0; i < 500; ++i) {
+    x(i, 0) = rng.Normal();
+    y[i] = rng.Bernoulli(0.8) ? 1 : 0;
+  }
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(x, y).ok());
+  EXPECT_NEAR(lr.PredictProbability(std::vector<double>{0.0}).value(), 0.8,
+              0.05);
+}
+
+TEST(LogisticRegressionTest, StrongerL2ShrinksCoefficients) {
+  Matrix x;
+  std::vector<int> y;
+  MakeSeparableData(&x, &y, 300, 5, 0.5);
+  LogisticRegression weak(LogisticRegression::Options{.l2 = 1e-4});
+  LogisticRegression strong(LogisticRegression::Options{.l2 = 100.0});
+  ASSERT_TRUE(weak.Fit(x, y).ok());
+  ASSERT_TRUE(strong.Fit(x, y).ok());
+  EXPECT_LT(std::abs(strong.coefficients()[0]),
+            std::abs(weak.coefficients()[0]));
+}
+
+TEST(LogisticRegressionTest, RejectsDegenerateInput) {
+  LogisticRegression lr;
+  EXPECT_TRUE(lr.Fit(Matrix(), {}).IsInvalidArgument());
+  Matrix x(3, 1);
+  std::vector<int> short_y = {0, 1};
+  EXPECT_TRUE(lr.Fit(x, short_y).IsInvalidArgument());
+  std::vector<int> bad_labels = {0, 1, 2};
+  EXPECT_TRUE(lr.Fit(x, bad_labels).IsInvalidArgument());
+  std::vector<int> single_class = {1, 1, 1};
+  EXPECT_TRUE(lr.Fit(x, single_class).IsInvalidArgument());
+  EXPECT_TRUE(LogisticRegression(LogisticRegression::Options{.l2 = -1})
+                  .Fit(x, std::vector<int>{0, 1, 0})
+                  .IsInvalidArgument());
+}
+
+TEST(LogisticRegressionTest, PredictBeforeFitFails) {
+  LogisticRegression lr;
+  EXPECT_TRUE(lr.PredictProbability(std::vector<double>{1.0})
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(LogisticRegressionTest, FeatureCountValidated) {
+  Matrix x = Matrix::FromRows({{-1, 0}, {1, 0}, {-2, 1}, {2, 1}});
+  std::vector<int> y = {0, 1, 0, 1};
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(x, y).ok());
+  EXPECT_TRUE(lr.PredictProbability(std::vector<double>{1.0})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(LogisticRegressionTest, ThresholdShiftsDecision) {
+  Matrix x = Matrix::FromRows({{-2}, {-1}, {1}, {2}});
+  std::vector<int> y = {0, 0, 1, 1};
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(x, y).ok());
+  std::vector<double> probe = {0.4};
+  double p = lr.PredictProbability(probe).value();
+  EXPECT_EQ(lr.PredictClass(probe, p - 0.01).value(), 1);
+  EXPECT_EQ(lr.PredictClass(probe, p + 0.01).value(), 0);
+}
+
+}  // namespace
+}  // namespace vup

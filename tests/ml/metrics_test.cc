@@ -1,0 +1,81 @@
+#include "ml/metrics.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+TEST(PercentageErrorTest, PaperFormula) {
+  std::vector<double> pred = {5, 0, 10};
+  std::vector<double> actual = {4, 2, 10};
+  // PE = 100 * (1 + 2 + 0) / (4 + 2 + 10) = 18.75.
+  EXPECT_NEAR(PercentageError(pred, actual), 18.75, 1e-12);
+}
+
+TEST(PercentageErrorTest, PerfectPredictionIsZero) {
+  std::vector<double> v = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(PercentageError(v, v), 0.0);
+}
+
+TEST(PercentageErrorTest, ZeroDenominator) {
+  std::vector<double> zeros = {0, 0};
+  std::vector<double> pred = {1, 1};
+  EXPECT_TRUE(std::isinf(PercentageError(pred, zeros)));
+  EXPECT_DOUBLE_EQ(PercentageError(zeros, zeros), 0.0);
+}
+
+TEST(PercentageErrorTest, AbsoluteValuesUsed) {
+  std::vector<double> pred = {-1};
+  std::vector<double> actual = {-2};
+  EXPECT_NEAR(PercentageError(pred, actual), 50.0, 1e-12);
+}
+
+TEST(MaeTest, Basics) {
+  std::vector<double> pred = {1, 2, 3};
+  std::vector<double> actual = {2, 2, 5};
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(pred, actual), 1.0);
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({}, {}), 0.0);
+}
+
+TEST(RmseTest, Basics) {
+  std::vector<double> pred = {0, 0};
+  std::vector<double> actual = {3, 4};
+  EXPECT_NEAR(RootMeanSquaredError(pred, actual), std::sqrt(12.5), 1e-12);
+  EXPECT_DOUBLE_EQ(RootMeanSquaredError({}, {}), 0.0);
+}
+
+TEST(RmseTest, DominatedByLargeErrors) {
+  std::vector<double> actual = {0, 0, 0, 0};
+  std::vector<double> small = {1, 1, 1, 1};
+  std::vector<double> spiky = {0, 0, 0, 2};
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(small, actual),
+                   MeanAbsoluteError(spiky, actual) * 2);
+  EXPECT_GT(RootMeanSquaredError(small, actual),
+            RootMeanSquaredError(spiky, actual) * 0.99);
+}
+
+TEST(RSquaredTest, PerfectAndMeanPredictor) {
+  std::vector<double> actual = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(RSquared(actual, actual), 1.0);
+  std::vector<double> mean_pred(4, 2.5);
+  EXPECT_NEAR(RSquared(mean_pred, actual), 0.0, 1e-12);
+}
+
+TEST(RSquaredTest, ConstantActuals) {
+  std::vector<double> actual = {2, 2, 2};
+  EXPECT_DOUBLE_EQ(RSquared(actual, actual), 1.0);
+  std::vector<double> off = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(RSquared(off, actual), 0.0);
+}
+
+TEST(MetricsDeathTest, SizeMismatchChecks) {
+  std::vector<double> a = {1, 2};
+  std::vector<double> b = {1};
+  EXPECT_DEATH({ PercentageError(a, b); }, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace vup

@@ -1,0 +1,185 @@
+#include "ml/serialize.h"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ml/gradient_boosting.h"
+#include "ml/lasso.h"
+#include "ml/linear_regression.h"
+#include "ml/svr.h"
+#include "ml/tree.h"
+
+namespace vup {
+namespace {
+
+void MakeProblem(Matrix* x, std::vector<double>* y, size_t n,
+                 uint64_t seed) {
+  Rng rng(seed);
+  *x = Matrix(n, 3);
+  y->resize(n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < 3; ++c) (*x)(r, c) = rng.Normal();
+    (*y)[r] = 1.0 + 2.0 * (*x)(r, 0) - (*x)(r, 1) +
+              std::sin(3.0 * (*x)(r, 2)) + 0.01 * rng.Normal();
+  }
+}
+
+/// Fits, saves, loads, and demands bit-identical predictions.
+void RoundTrip(std::unique_ptr<Regressor> model) {
+  Matrix x;
+  std::vector<double> y;
+  MakeProblem(&x, &y, 80, 7);
+  ASSERT_TRUE(model->Fit(x, y).ok());
+
+  std::ostringstream os;
+  ASSERT_TRUE(SaveRegressor(*model, os).ok()) << model->name();
+  std::istringstream is(os.str());
+  StatusOr<std::unique_ptr<Regressor>> loaded_or = LoadRegressor(is);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  const Regressor& loaded = *loaded_or.value();
+  EXPECT_EQ(loaded.name(), model->name());
+  EXPECT_TRUE(loaded.fitted());
+  for (size_t r = 0; r < x.rows(); r += 5) {
+    EXPECT_DOUBLE_EQ(loaded.PredictOne(x.Row(r)).value(),
+                     model->PredictOne(x.Row(r)).value())
+        << model->name() << " row " << r;
+  }
+}
+
+TEST(SerializeTest, LinearRegressionRoundTrips) {
+  LinearRegression::Options o;
+  o.ridge = 0.5;
+  RoundTrip(std::make_unique<LinearRegression>(o));
+}
+
+TEST(SerializeTest, LassoRoundTrips) {
+  RoundTrip(std::make_unique<Lasso>(Lasso::Options{.alpha = 0.05}));
+}
+
+TEST(SerializeTest, SvrRoundTrips) {
+  Svr::Options o;
+  o.c = 20.0;
+  o.epsilon = 0.05;
+  RoundTrip(std::make_unique<Svr>(o));
+}
+
+TEST(SerializeTest, TreeRoundTrips) {
+  RegressionTree::Options o;
+  o.max_depth = 5;
+  RoundTrip(std::make_unique<RegressionTree>(o));
+}
+
+TEST(SerializeTest, GradientBoostingRoundTrips) {
+  GradientBoosting::Options o;
+  o.n_estimators = 40;
+  o.max_depth = 2;
+  RoundTrip(std::make_unique<GradientBoosting>(o));
+}
+
+TEST(SerializeTest, UnfittedModelRejected) {
+  LinearRegression lr;
+  std::ostringstream os;
+  EXPECT_TRUE(SaveRegressor(lr, os).IsFailedPrecondition());
+}
+
+TEST(SerializeTest, GarbageInputRejectedCleanly) {
+  for (const char* garbage :
+       {"", "hello", "vupred-model v1\ntype Alien\nend\n",
+        "vupred-model v1\ntype LR\nfit_intercept 1\n",
+        "vupred-model v2\ntype LR\n"}) {
+    std::istringstream is(garbage);
+    StatusOr<std::unique_ptr<Regressor>> loaded = LoadRegressor(is);
+    EXPECT_FALSE(loaded.ok()) << "input: " << garbage;
+  }
+}
+
+TEST(SerializeTest, TruncatedSvRejected) {
+  // Valid header claiming 2 support vectors but providing 1.
+  std::istringstream is(
+      "vupred-model v1\ntype SVR\nc 10\nepsilon 0.1\n"
+      "kernel rbf 0.5 0 3\nnum_features 2\nbias 0\nnum_sv 2\n"
+      "sv 1.0 0.5 0.5\nend\n");
+  EXPECT_FALSE(LoadRegressor(is).ok());
+}
+
+TEST(SerializeTest, CorruptTreeChildIndexRejected) {
+  std::istringstream is(
+      "vupred-model v1\ntype Tree\nmax_depth 1\nmin_samples_split 2\n"
+      "min_samples_leaf 1\nnum_features 1\nnum_nodes 1\n"
+      "node 0 0.5 5 6 0\nend\n");  // Children 5,6 out of range.
+  EXPECT_FALSE(LoadRegressor(is).ok());
+}
+
+TEST(SerializeTest, ScalerRoundTrips) {
+  Matrix x;
+  std::vector<double> y;
+  MakeProblem(&x, &y, 50, 9);
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(x).ok());
+  std::ostringstream os;
+  ASSERT_TRUE(SaveScaler(scaler, os).ok());
+  std::istringstream is(os.str());
+  StandardScaler loaded = LoadScaler(is).value();
+  std::vector<double> a = scaler.TransformRow(x.Row(3)).value();
+  std::vector<double> b = loaded.TransformRow(x.Row(3)).value();
+  for (size_t c = 0; c < a.size(); ++c) {
+    EXPECT_DOUBLE_EQ(a[c], b[c]);
+  }
+  StandardScaler unfitted;
+  std::ostringstream os2;
+  EXPECT_TRUE(SaveScaler(unfitted, os2).IsFailedPrecondition());
+}
+
+TEST(SerializeTest, LogisticRoundTrips) {
+  Rng rng(3);
+  Matrix x(100, 2);
+  std::vector<int> labels(100);
+  for (size_t i = 0; i < 100; ++i) {
+    x(i, 0) = rng.Normal();
+    x(i, 1) = rng.Normal();
+    labels[i] = x(i, 0) - x(i, 1) + 0.3 * rng.Normal() > 0 ? 1 : 0;
+  }
+  LogisticRegression model(LogisticRegression::Options{.l2 = 0.5});
+  ASSERT_TRUE(model.Fit(x, labels).ok());
+  std::ostringstream os;
+  ASSERT_TRUE(SaveLogistic(model, os).ok());
+  std::istringstream is(os.str());
+  LogisticRegression loaded = LoadLogistic(is).value();
+  for (size_t r = 0; r < 20; ++r) {
+    EXPECT_DOUBLE_EQ(loaded.PredictProbability(x.Row(r)).value(),
+                     model.PredictProbability(x.Row(r)).value());
+  }
+  EXPECT_DOUBLE_EQ(loaded.options().l2, 0.5);
+}
+
+TEST(SerializeTest, WrongTypeForDedicatedLoaders) {
+  // A regressor stream fed to the scaler/logistic loaders fails cleanly.
+  LinearRegression lr;
+  Matrix x = Matrix::FromRows({{0.}, {1.}});
+  ASSERT_TRUE(lr.Fit(x, std::vector<double>{0, 1}).ok());
+  std::ostringstream os;
+  ASSERT_TRUE(SaveRegressor(lr, os).ok());
+  std::istringstream is1(os.str());
+  EXPECT_FALSE(LoadScaler(is1).ok());
+  std::istringstream is2(os.str());
+  EXPECT_FALSE(LoadLogistic(is2).ok());
+}
+
+TEST(SerializeTest, OutputIsHumanReadable) {
+  Lasso lasso(Lasso::Options{.alpha = 0.1});
+  Matrix x = Matrix::FromRows({{0.}, {1.}, {2.}, {3.}});
+  ASSERT_TRUE(lasso.Fit(x, std::vector<double>{0, 1, 2, 3}).ok());
+  std::ostringstream os;
+  ASSERT_TRUE(SaveRegressor(lasso, os).ok());
+  std::string text = os.str();
+  EXPECT_NE(text.find("vupred-model v1"), std::string::npos);
+  EXPECT_NE(text.find("type Lasso"), std::string::npos);
+  EXPECT_NE(text.find("alpha 0.1"), std::string::npos);
+  EXPECT_NE(text.find("end"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vup

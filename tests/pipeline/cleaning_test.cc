@@ -1,0 +1,139 @@
+#include "pipeline/cleaning.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+Date D(int day) { return Date::FromYmd(2017, 1, 1).value().AddDays(day); }
+
+DailyUsageRecord Rec(int day, double hours) {
+  DailyUsageRecord r;
+  r.date = D(day);
+  r.hours = hours;
+  r.fuel_level_end_pct = 50.0;
+  return r;
+}
+
+TEST(CleaningTest, PassThroughOnCleanInput) {
+  std::vector<DailyUsageRecord> in = {Rec(0, 5), Rec(1, 0), Rec(2, 7)};
+  CleaningReport rep;
+  auto out = CleanDailyRecords(in, D(0), D(2), CleaningOptions(), &rep).value();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(rep.missing_days_filled, 0u);
+  EXPECT_EQ(rep.duplicates_dropped, 0u);
+  EXPECT_EQ(rep.values_clamped, 0u);
+  EXPECT_DOUBLE_EQ(out[2].hours, 7.0);
+}
+
+TEST(CleaningTest, FillsMissingDaysWithZeroUsage) {
+  std::vector<DailyUsageRecord> in = {Rec(0, 5), Rec(3, 7)};
+  CleaningReport rep;
+  auto out = CleanDailyRecords(in, D(0), D(3), CleaningOptions(), &rep).value();
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(rep.missing_days_filled, 2u);
+  EXPECT_DOUBLE_EQ(out[1].hours, 0.0);
+  EXPECT_DOUBLE_EQ(out[2].hours, 0.0);
+  EXPECT_EQ(out[1].date, D(1));
+  // The tank state carries through the gap.
+  EXPECT_DOUBLE_EQ(out[1].fuel_level_end_pct, 50.0);
+}
+
+TEST(CleaningTest, NoFillWhenDisabled) {
+  std::vector<DailyUsageRecord> in = {Rec(0, 5), Rec(3, 7)};
+  CleaningOptions opts;
+  opts.fill_missing_days = false;
+  auto out = CleanDailyRecords(in, D(0), D(3), opts, nullptr).value();
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(CleaningTest, DropsDuplicatesKeepingLast) {
+  std::vector<DailyUsageRecord> in = {Rec(0, 5), Rec(0, 9), Rec(1, 2)};
+  CleaningReport rep;
+  auto out = CleanDailyRecords(in, D(0), D(1), CleaningOptions(), &rep).value();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(rep.duplicates_dropped, 1u);
+  EXPECT_DOUBLE_EQ(out[0].hours, 9.0);
+}
+
+TEST(CleaningTest, SortsOutOfOrderInput) {
+  std::vector<DailyUsageRecord> in = {Rec(2, 3), Rec(0, 1), Rec(1, 2)};
+  auto out = CleanDailyRecords(in, D(0), D(2), CleaningOptions(), nullptr)
+                 .value();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0].hours, 1.0);
+  EXPECT_DOUBLE_EQ(out[2].hours, 3.0);
+}
+
+TEST(CleaningTest, ClampsPhysicalRanges) {
+  DailyUsageRecord bad = Rec(0, 30.0);  // > 24h.
+  bad.avg_engine_load_pct = 150.0;
+  bad.fuel_level_end_pct = -5.0;
+  bad.idle_hours = 40.0;
+  bad.dtc_count = -3;
+  CleaningReport rep;
+  auto out =
+      CleanDailyRecords({bad}, D(0), D(0), CleaningOptions(), &rep).value();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].hours, 24.0);
+  EXPECT_DOUBLE_EQ(out[0].avg_engine_load_pct, 100.0);
+  EXPECT_DOUBLE_EQ(out[0].fuel_level_end_pct, 0.0);
+  EXPECT_LE(out[0].idle_hours, out[0].hours);
+  EXPECT_EQ(out[0].dtc_count, 0);
+  EXPECT_GE(rep.values_clamped, 4u);
+}
+
+TEST(CleaningTest, FixesNonFiniteValues) {
+  DailyUsageRecord bad = Rec(0, std::numeric_limits<double>::quiet_NaN());
+  bad.fuel_used_l = std::numeric_limits<double>::infinity();
+  CleaningReport rep;
+  auto out =
+      CleanDailyRecords({bad}, D(0), D(0), CleaningOptions(), &rep).value();
+  EXPECT_DOUBLE_EQ(out[0].hours, 0.0);
+  EXPECT_DOUBLE_EQ(out[0].fuel_used_l, 0.0);
+  EXPECT_EQ(rep.non_finite_fixed, 2u);
+}
+
+TEST(CleaningTest, DropsRecordsOutsideWindow) {
+  std::vector<DailyUsageRecord> in = {Rec(-5, 1), Rec(0, 2), Rec(10, 3)};
+  auto out =
+      CleanDailyRecords(in, D(0), D(1), CleaningOptions(), nullptr).value();
+  ASSERT_EQ(out.size(), 2u);  // Day 0 real, day 1 filled.
+  EXPECT_DOUBLE_EQ(out[0].hours, 2.0);
+  EXPECT_DOUBLE_EQ(out[1].hours, 0.0);
+}
+
+TEST(CleaningTest, IdempotentOnItsOwnOutput) {
+  std::vector<DailyUsageRecord> in = {Rec(0, 30), Rec(0, 5), Rec(4, 2)};
+  CleaningReport rep1, rep2;
+  auto once =
+      CleanDailyRecords(in, D(0), D(4), CleaningOptions(), &rep1).value();
+  auto twice =
+      CleanDailyRecords(once, D(0), D(4), CleaningOptions(), &rep2).value();
+  ASSERT_EQ(once.size(), twice.size());
+  for (size_t i = 0; i < once.size(); ++i) {
+    EXPECT_DOUBLE_EQ(once[i].hours, twice[i].hours);
+  }
+  EXPECT_EQ(rep2.missing_days_filled, 0u);
+  EXPECT_EQ(rep2.duplicates_dropped, 0u);
+  EXPECT_EQ(rep2.values_clamped, 0u);
+}
+
+TEST(CleaningTest, RejectsInvertedWindow) {
+  EXPECT_FALSE(
+      CleanDailyRecords({}, D(3), D(0), CleaningOptions(), nullptr).ok());
+}
+
+TEST(CleaningTest, EmptyInputFillsWholeWindow) {
+  CleaningReport rep;
+  auto out =
+      CleanDailyRecords({}, D(0), D(6), CleaningOptions(), &rep).value();
+  EXPECT_EQ(out.size(), 7u);
+  EXPECT_EQ(rep.missing_days_filled, 7u);
+}
+
+}  // namespace
+}  // namespace vup

@@ -1,0 +1,161 @@
+#include "pipeline/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "pipeline/enrich.h"
+
+namespace vup {
+namespace {
+
+const Country& Italy() {
+  return *CountryRegistry::Global().Find("IT").value();
+}
+
+Date D(int day) { return Date::FromYmd(2017, 5, 1).value().AddDays(day); }
+
+std::vector<DailyUsageRecord> MakeRecords(int n) {
+  std::vector<DailyUsageRecord> recs;
+  for (int i = 0; i < n; ++i) {
+    DailyUsageRecord r;
+    r.date = D(i);
+    r.hours = (i % 7 < 5) ? 6.0 + 0.1 * i : 0.0;
+    r.fuel_used_l = r.hours * 10;
+    r.avg_engine_load_pct = r.hours > 0 ? 55 : 0;
+    r.dtc_count = i % 3;
+    recs.push_back(r);
+  }
+  return recs;
+}
+
+VehicleInfo Info() {
+  VehicleInfo info;
+  info.vehicle_id = 9;
+  info.model_id = "RC-001";
+  info.country_code = "IT";
+  return info;
+}
+
+TEST(VehicleDatasetTest, BuildBasics) {
+  auto ds = VehicleDataset::Build(Info(), MakeRecords(20), Italy()).value();
+  EXPECT_EQ(ds.num_days(), 20u);
+  EXPECT_EQ(ds.dates().size(), 20u);
+  EXPECT_EQ(ds.hours().size(), 20u);
+  EXPECT_EQ(ds.num_features(),
+            VehicleDataset::kNumEngineFeatures + kNumContextFeatures);
+  EXPECT_EQ(ds.info().vehicle_id, 9);
+}
+
+TEST(VehicleDatasetTest, FeatureValuesMatchRecords) {
+  auto recs = MakeRecords(10);
+  auto ds = VehicleDataset::Build(Info(), recs, Italy()).value();
+  // Feature 0 is day_hours, feature 1 fuel_used_l.
+  EXPECT_DOUBLE_EQ(ds.feature(3, 0), recs[3].hours);
+  EXPECT_DOUBLE_EQ(ds.feature(3, 1), recs[3].fuel_used_l);
+  // Context features appended after the engine block.
+  size_t dow_col = VehicleDataset::kNumEngineFeatures;
+  EXPECT_DOUBLE_EQ(ds.feature(0, dow_col),
+                   static_cast<double>(recs[0].date.weekday()));
+  // FeatureRow view agrees with feature().
+  auto row = ds.FeatureRow(3);
+  EXPECT_DOUBLE_EQ(row[0], recs[3].hours);
+}
+
+TEST(VehicleDatasetTest, FeatureNamesStable) {
+  const auto& names = VehicleDataset::FeatureNames();
+  EXPECT_EQ(names.size(),
+            VehicleDataset::kNumEngineFeatures + kNumContextFeatures);
+  EXPECT_EQ(names[0], "day_hours");
+  EXPECT_EQ(names[VehicleDataset::kNumEngineFeatures], "ctx_day_of_week");
+}
+
+TEST(VehicleDatasetTest, RejectsEmptyAndGappedInput) {
+  EXPECT_FALSE(VehicleDataset::Build(Info(), {}, Italy()).ok());
+  auto recs = MakeRecords(5);
+  recs.erase(recs.begin() + 2);  // Gap.
+  Status s = VehicleDataset::Build(Info(), recs, Italy()).status();
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("consecutive"), std::string::npos);
+}
+
+TEST(VehicleDatasetTest, CompressToWorkingDays) {
+  auto ds = VehicleDataset::Build(Info(), MakeRecords(21), Italy()).value();
+  VehicleDataset working = ds.CompressToWorkingDays(1.0);
+  // 15 of 21 days have >= 1h (5 per week).
+  EXPECT_EQ(working.num_days(), 15u);
+  for (double h : working.hours()) {
+    EXPECT_GE(h, 1.0);
+  }
+  // Dates preserved (non-consecutive allowed in the compressed view).
+  EXPECT_EQ(working.dates()[0], D(0));
+  EXPECT_EQ(working.dates()[5], D(7));
+  // Features preserved per-row.
+  EXPECT_DOUBLE_EQ(working.feature(5, 0), working.hours()[5]);
+}
+
+TEST(VehicleDatasetTest, CompressThresholdRespected) {
+  auto ds = VehicleDataset::Build(Info(), MakeRecords(21), Italy()).value();
+  EXPECT_EQ(ds.CompressToWorkingDays(100.0).num_days(), 0u);
+  EXPECT_EQ(ds.CompressToWorkingDays(0.0).num_days(), 21u);
+}
+
+TEST(VehicleDatasetTest, FromTableRoundTripsToTable) {
+  auto original = VehicleDataset::Build(Info(), MakeRecords(15), Italy())
+                      .value();
+  Table table = original.ToTable().value();
+  auto rebuilt =
+      VehicleDataset::FromTable(Info(), table, Italy()).value();
+  ASSERT_EQ(rebuilt.num_days(), original.num_days());
+  for (size_t d = 0; d < original.num_days(); ++d) {
+    EXPECT_EQ(rebuilt.dates()[d], original.dates()[d]);
+    EXPECT_DOUBLE_EQ(rebuilt.hours()[d], original.hours()[d]);
+    for (size_t f = 0; f < original.num_features(); ++f) {
+      EXPECT_DOUBLE_EQ(rebuilt.feature(d, f), original.feature(d, f))
+          << "day " << d << " feature " << f;
+    }
+  }
+}
+
+TEST(VehicleDatasetTest, FromTableRejectsBadInput) {
+  Schema schema = Schema::Make({{"date", DataType::kDate, false},
+                                {"utilization_hours", DataType::kDouble,
+                                 false}})
+                      .value();
+  Table empty(schema);
+  // Zero rows.
+  EXPECT_FALSE(VehicleDataset::FromTable(Info(), empty, Italy()).ok());
+  // Missing engine columns.
+  ASSERT_TRUE(empty
+                  .AppendRow({Value::Day(D(0)), Value::Real(5.0)})
+                  .ok());
+  EXPECT_TRUE(VehicleDataset::FromTable(Info(), empty, Italy())
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(VehicleDatasetTest, FromTableRecomputesContext) {
+  // Context columns in the table are ignored; the rebuilt context derives
+  // from dates + country, so tampered context cannot survive a round trip.
+  auto original = VehicleDataset::Build(Info(), MakeRecords(10), Italy())
+                      .value();
+  Table table = original.ToTable().value();
+  auto rebuilt = VehicleDataset::FromTable(Info(), table, Italy()).value();
+  size_t dow_col = VehicleDataset::kNumEngineFeatures;
+  for (size_t d = 0; d < rebuilt.num_days(); ++d) {
+    EXPECT_DOUBLE_EQ(rebuilt.feature(d, dow_col),
+                     static_cast<double>(rebuilt.dates()[d].weekday()));
+  }
+}
+
+TEST(VehicleDatasetTest, ToTableRelationalShape) {
+  auto ds = VehicleDataset::Build(Info(), MakeRecords(8), Italy()).value();
+  Table t = ds.ToTable().value();
+  EXPECT_EQ(t.num_rows(), 8u);
+  EXPECT_EQ(t.num_columns(), 2 + ds.num_features());
+  EXPECT_EQ(t.schema().field(0).name, "date");
+  EXPECT_EQ(t.schema().field(1).name, "utilization_hours");
+  EXPECT_DOUBLE_EQ(t.At(0, 1).AsDouble().value(), ds.hours()[0]);
+  EXPECT_EQ(t.At(0, 0).AsDate().value(), D(0));
+}
+
+}  // namespace
+}  // namespace vup

@@ -1,0 +1,74 @@
+#include "pipeline/enrich.h"
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+const Country& Italy() {
+  return *CountryRegistry::Global().Find("IT").value();
+}
+
+const Country& Uae() {
+  return *CountryRegistry::Global().Find("AE").value();
+}
+
+const Country& Australia() {
+  return *CountryRegistry::Global().Find("AU").value();
+}
+
+TEST(EnrichTest, RegularWeekdayContext) {
+  // Wednesday 2017-03-15 in Italy.
+  ContextFeatures c =
+      ComputeContext(Date::FromYmd(2017, 3, 15).value(), Italy());
+  EXPECT_DOUBLE_EQ(c.day_of_week, 2.0);
+  EXPECT_DOUBLE_EQ(c.is_weekend, 0.0);
+  EXPECT_DOUBLE_EQ(c.is_holiday, 0.0);
+  EXPECT_DOUBLE_EQ(c.is_working_day, 1.0);
+  EXPECT_DOUBLE_EQ(c.month, 3.0);
+  EXPECT_DOUBLE_EQ(c.year, 2017.0);
+  EXPECT_DOUBLE_EQ(c.week_of_year, 11.0);
+  EXPECT_DOUBLE_EQ(c.season, static_cast<double>(Season::kSpring));
+  EXPECT_DOUBLE_EQ(c.region, static_cast<double>(Region::kEurope));
+}
+
+TEST(EnrichTest, HolidayDetected) {
+  // Ferragosto 2017 (Tuesday).
+  ContextFeatures c =
+      ComputeContext(Date::FromYmd(2017, 8, 15).value(), Italy());
+  EXPECT_DOUBLE_EQ(c.is_holiday, 1.0);
+  EXPECT_DOUBLE_EQ(c.is_weekend, 0.0);
+  EXPECT_DOUBLE_EQ(c.is_working_day, 0.0);
+}
+
+TEST(EnrichTest, WeekendFollowsCountryConvention) {
+  Date friday = Date::FromYmd(2017, 3, 17).value();
+  EXPECT_DOUBLE_EQ(ComputeContext(friday, Italy()).is_weekend, 0.0);
+  EXPECT_DOUBLE_EQ(ComputeContext(friday, Uae()).is_weekend, 1.0);
+}
+
+TEST(EnrichTest, SeasonFlipsWithHemisphere) {
+  Date july = Date::FromYmd(2017, 7, 10).value();
+  EXPECT_DOUBLE_EQ(ComputeContext(july, Italy()).season,
+                   static_cast<double>(Season::kSummer));
+  EXPECT_DOUBLE_EQ(ComputeContext(july, Australia()).season,
+                   static_cast<double>(Season::kWinter));
+}
+
+TEST(EnrichTest, VectorMatchesNamesOrder) {
+  ContextFeatures c =
+      ComputeContext(Date::FromYmd(2017, 3, 15).value(), Italy());
+  std::vector<double> v = ContextToVector(c);
+  const std::vector<std::string>& names = ContextFeatureNames();
+  ASSERT_EQ(v.size(), names.size());
+  ASSERT_EQ(v.size(), kNumContextFeatures);
+  EXPECT_EQ(names[0], "ctx_day_of_week");
+  EXPECT_DOUBLE_EQ(v[0], c.day_of_week);
+  EXPECT_EQ(names[4], "ctx_week_of_year");
+  EXPECT_DOUBLE_EQ(v[4], c.week_of_year);
+  EXPECT_EQ(names[8], "ctx_region");
+  EXPECT_DOUBLE_EQ(v[8], c.region);
+}
+
+}  // namespace
+}  // namespace vup

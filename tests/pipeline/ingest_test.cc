@@ -1,0 +1,130 @@
+#include "pipeline/ingest.h"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/device.h"
+#include "telemetry/fleet.h"
+
+namespace vup {
+namespace {
+
+Date D0() { return Date::FromYmd(2017, 3, 6).value(); }
+
+AggregatedReport Report(int64_t vehicle, Date date, int slot,
+                        double on_fraction = 1.0) {
+  AggregatedReport r;
+  r.vehicle_id = vehicle;
+  r.date = date;
+  r.slot = slot;
+  r.engine_on_fraction = on_fraction;
+  r.avg_fuel_rate_lph = 12.0;
+  r.sample_count = on_fraction > 0 ? 5 : 0;
+  return r;
+}
+
+TEST(IngestionStoreTest, BasicIngestionAndCounts) {
+  IngestionStore store;
+  ASSERT_TRUE(store.Ingest(Report(1, D0(), 10)).ok());
+  ASSERT_TRUE(store.Ingest(Report(1, D0(), 11)).ok());
+  ASSERT_TRUE(store.Ingest(Report(2, D0(), 10)).ok());
+  EXPECT_EQ(store.num_vehicles(), 2u);
+  EXPECT_EQ(store.ReportCount(1), 2u);
+  EXPECT_EQ(store.ReportCount(2), 1u);
+  EXPECT_EQ(store.ReportCount(3), 0u);
+  EXPECT_TRUE(store.HasVehicle(1));
+  EXPECT_FALSE(store.HasVehicle(3));
+  EXPECT_EQ(store.VehicleIds(), (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(store.stats().reports_ingested, 3u);
+}
+
+TEST(IngestionStoreTest, RedeliveryOverwritesAndCounts) {
+  IngestionStore store;
+  ASSERT_TRUE(store.Ingest(Report(1, D0(), 10, 0.5)).ok());
+  ASSERT_TRUE(store.Ingest(Report(1, D0(), 10, 1.0)).ok());  // Re-delivery.
+  EXPECT_EQ(store.ReportCount(1), 1u);
+  EXPECT_EQ(store.stats().duplicates, 1u);
+  // Last write wins: the day now has a full slot.
+  auto daily = store.DailyRecords(1).value();
+  ASSERT_EQ(daily.size(), 1u);
+  EXPECT_NEAR(daily[0].hours, 1.0 / 6.0, 1e-9);
+}
+
+TEST(IngestionStoreTest, RejectsInvalidReports) {
+  IngestionStore store;
+  EXPECT_TRUE(store.Ingest(Report(1, D0(), -1)).IsInvalidArgument());
+  EXPECT_TRUE(store.Ingest(Report(1, D0(), kSlotsPerDay))
+                  .IsInvalidArgument());
+  EXPECT_TRUE(store.Ingest(Report(0, D0(), 5)).IsInvalidArgument());
+  EXPECT_EQ(store.stats().rejected, 3u);
+  EXPECT_EQ(store.num_vehicles(), 0u);
+}
+
+TEST(IngestionStoreTest, OutOfOrderArrivalSorted) {
+  IngestionStore store;
+  ASSERT_TRUE(store.Ingest(Report(1, D0().AddDays(2), 5)).ok());
+  ASSERT_TRUE(store.Ingest(Report(1, D0(), 7)).ok());
+  ASSERT_TRUE(store.Ingest(Report(1, D0().AddDays(1), 3)).ok());
+  auto coverage = store.CoverageOf(1).value();
+  EXPECT_EQ(coverage.first, D0());
+  EXPECT_EQ(coverage.second, D0().AddDays(2));
+  auto daily = store.DailyRecords(1).value();
+  ASSERT_EQ(daily.size(), 3u);
+  EXPECT_EQ(daily[0].date, D0());
+  EXPECT_EQ(daily[2].date, D0().AddDays(2));
+}
+
+TEST(IngestionStoreTest, UnknownVehicleIsNotFound) {
+  IngestionStore store;
+  EXPECT_TRUE(store.DailyRecords(9).status().IsNotFound());
+  EXPECT_TRUE(store.CoverageOf(9).status().IsNotFound());
+}
+
+TEST(IngestionStoreTest, BuildDatasetEndToEnd) {
+  // Device-simulated days through the lossy uplink into the store, then a
+  // model-ready dataset out.
+  Fleet fleet = Fleet::Generate(FleetConfig::Small(10, 31));
+  VehicleDailySeries series = fleet.GenerateDailySeries(1);
+  EngineSimulator sim = fleet.MakeEngineSimulator(1);
+  ConnectivityConfig conn;
+  conn.offline_start_prob = 0.02;
+  OnboardDevice device(conn, 5);
+  IngestionStore store;
+
+  bool engine_on = false;
+  size_t day0 = 60, n_days = 25;
+  for (size_t d = day0; d < day0 + n_days; ++d) {
+    auto messages =
+        sim.SimulateDay(series.days[d].date, series.days[d].hours);
+    auto reports = AggregateDay(messages, series.info.vehicle_id,
+                                series.days[d].date, &engine_on);
+    ASSERT_TRUE(store.IngestBatch(device.Deliver(reports)).ok());
+  }
+
+  Date start = series.days[day0].date;
+  Date end = series.days[day0 + n_days - 1].date;
+  VehicleDataset ds =
+      store
+          .BuildDataset(series.info, fleet.CountryOf(series.info), start,
+                        end)
+          .value();
+  EXPECT_EQ(ds.num_days(), n_days);
+  EXPECT_EQ(ds.dates().front(), start);
+  EXPECT_EQ(ds.dates().back(), end);
+  for (double h : ds.hours()) {
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, 24.0);
+  }
+}
+
+TEST(IngestionStoreTest, VehiclesIsolated) {
+  IngestionStore store;
+  ASSERT_TRUE(store.Ingest(Report(1, D0(), 10, 1.0)).ok());
+  ASSERT_TRUE(store.Ingest(Report(2, D0(), 10, 0.0)).ok());
+  auto daily1 = store.DailyRecords(1).value();
+  auto daily2 = store.DailyRecords(2).value();
+  EXPECT_GT(daily1[0].hours, 0.0);
+  EXPECT_DOUBLE_EQ(daily2[0].hours, 0.0);
+}
+
+}  // namespace
+}  // namespace vup

@@ -1,0 +1,93 @@
+#include "pipeline/normalize.h"
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+TEST(MinMaxTest, MapsToUnitInterval) {
+  MinMaxNormalizer n;
+  std::vector<double> v = {2, 4, 6, 10};
+  ASSERT_TRUE(n.Fit(v).ok());
+  EXPECT_DOUBLE_EQ(n.min(), 2);
+  EXPECT_DOUBLE_EQ(n.max(), 10);
+  auto t = n.Transform(v).value();
+  EXPECT_DOUBLE_EQ(t[0], 0.0);
+  EXPECT_DOUBLE_EQ(t[3], 1.0);
+  EXPECT_DOUBLE_EQ(t[1], 0.25);
+}
+
+TEST(MinMaxTest, InverseRoundTrips) {
+  MinMaxNormalizer n;
+  std::vector<double> v = {1, 5, 9};
+  ASSERT_TRUE(n.Fit(v).ok());
+  auto t = n.Transform(v).value();
+  auto back = n.InverseTransform(t).value();
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(back[i], v[i], 1e-12);
+  }
+}
+
+TEST(MinMaxTest, ConstantInputMapsToZero) {
+  MinMaxNormalizer n;
+  std::vector<double> v = {3, 3, 3};
+  ASSERT_TRUE(n.Fit(v).ok());
+  std::vector<double> transformed = n.Transform(v).value();
+  for (double t : transformed) {
+    EXPECT_DOUBLE_EQ(t, 0.0);
+  }
+}
+
+TEST(MinMaxTest, ErrorsOnMisuse) {
+  MinMaxNormalizer n;
+  EXPECT_TRUE(n.Fit(std::vector<double>{}).IsInvalidArgument());
+  EXPECT_TRUE(n.Transform(std::vector<double>{1.0}).status()
+                  .IsFailedPrecondition());
+  EXPECT_FALSE(n.fitted());
+}
+
+TEST(MinMaxTest, TransformOneExtrapolatesBeyondRange) {
+  MinMaxNormalizer n;
+  ASSERT_TRUE(n.Fit(std::vector<double>{0, 10}).ok());
+  EXPECT_DOUBLE_EQ(n.TransformOne(20).value(), 2.0);
+  EXPECT_DOUBLE_EQ(n.TransformOne(-10).value(), -1.0);
+}
+
+TEST(ZScoreTest, StandardizesMoments) {
+  ZScoreNormalizer n;
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(n.Fit(v).ok());
+  EXPECT_DOUBLE_EQ(n.mean(), 3.0);
+  auto t = n.Transform(v).value();
+  double sum = 0;
+  for (double x : t) sum += x;
+  EXPECT_NEAR(sum, 0.0, 1e-12);
+  EXPECT_NEAR(t[4], (5.0 - 3.0) / n.stddev(), 1e-12);
+}
+
+TEST(ZScoreTest, InverseRoundTrips) {
+  ZScoreNormalizer n;
+  std::vector<double> v = {-3, 0, 2, 8};
+  ASSERT_TRUE(n.Fit(v).ok());
+  auto back = n.InverseTransform(n.Transform(v).value()).value();
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(back[i], v[i], 1e-12);
+  }
+}
+
+TEST(ZScoreTest, ConstantInputMapsToZero) {
+  ZScoreNormalizer n;
+  ASSERT_TRUE(n.Fit(std::vector<double>{7, 7, 7, 7}).ok());
+  EXPECT_DOUBLE_EQ(n.TransformOne(7).value(), 0.0);
+  EXPECT_DOUBLE_EQ(n.TransformOne(100).value(), 0.0);
+}
+
+TEST(ZScoreTest, ErrorsOnMisuse) {
+  ZScoreNormalizer n;
+  EXPECT_TRUE(n.Fit(std::vector<double>{}).IsInvalidArgument());
+  EXPECT_TRUE(
+      n.TransformOne(1.0).status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace vup

@@ -1,0 +1,119 @@
+#include "stats/acf.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace vup {
+namespace {
+
+TEST(AcfTest, LagZeroIsOne) {
+  std::vector<double> series = {1, 3, 2, 5, 4, 6, 2, 8};
+  auto acf = Autocorrelation(series, 3).value();
+  ASSERT_EQ(acf.size(), 4u);
+  EXPECT_DOUBLE_EQ(acf[0], 1.0);
+}
+
+TEST(AcfTest, PeriodicSeriesPeaksAtPeriod) {
+  // Period-7 sine: ACF must peak near lags 7 and 14.
+  std::vector<double> series;
+  for (int t = 0; t < 200; ++t) {
+    series.push_back(std::sin(2.0 * M_PI * t / 7.0));
+  }
+  auto acf = Autocorrelation(series, 21).value();
+  EXPECT_GT(acf[7], 0.9);
+  EXPECT_GT(acf[14], 0.85);
+  // Anti-phase around half period.
+  EXPECT_LT(acf[3], 0.0);
+  EXPECT_LT(acf[4], 0.0);
+}
+
+TEST(AcfTest, WhiteNoiseIsSmallAtAllLags) {
+  Rng rng(3);
+  std::vector<double> series;
+  for (int t = 0; t < 2000; ++t) series.push_back(rng.Normal());
+  auto acf = Autocorrelation(series, 20).value();
+  double bound = AcfSignificanceBound(series.size());
+  int exceed = 0;
+  for (size_t l = 1; l < acf.size(); ++l) {
+    if (std::abs(acf[l]) > bound) ++exceed;
+  }
+  // 95% bound: expect ~1 of 20 lags above it, allow slack.
+  EXPECT_LE(exceed, 4);
+}
+
+TEST(AcfTest, BoundedByOneProperty) {
+  Rng rng(17);
+  for (int rep = 0; rep < 10; ++rep) {
+    std::vector<double> series;
+    for (int t = 0; t < 100; ++t) {
+      series.push_back(rng.LogNormal(0, 1) + std::sin(t * 0.3));
+    }
+    auto acf = Autocorrelation(series, 30).value();
+    for (double v : acf) {
+      EXPECT_LE(std::abs(v), 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(AcfTest, ConstantSeriesIsError) {
+  std::vector<double> series(50, 3.0);
+  EXPECT_FALSE(Autocorrelation(series, 10).ok());
+}
+
+TEST(AcfTest, TooShortSeriesIsError) {
+  std::vector<double> series = {1, 2, 3};
+  EXPECT_FALSE(Autocorrelation(series, 5).ok());
+  EXPECT_FALSE(Autocorrelation(std::vector<double>{1.0}, 0).ok());
+}
+
+TEST(AcfTest, Ar1SeriesDecaysGeometrically) {
+  Rng rng(5);
+  double phi = 0.8;
+  std::vector<double> series = {0.0};
+  for (int t = 1; t < 5000; ++t) {
+    series.push_back(phi * series.back() + rng.Normal());
+  }
+  auto acf = Autocorrelation(series, 5).value();
+  EXPECT_NEAR(acf[1], phi, 0.05);
+  EXPECT_NEAR(acf[2], phi * phi, 0.07);
+}
+
+TEST(SignificanceBoundTest, ScalesWithSampleSize) {
+  EXPECT_NEAR(AcfSignificanceBound(400), 1.96 / 20.0, 1e-12);
+  EXPECT_DOUBLE_EQ(AcfSignificanceBound(0), 0.0);
+}
+
+TEST(TopKLagsTest, PicksLargestAcfLags) {
+  // acf[0]=1 ignored; largest are lags 7 (0.9) then 1 (0.5) then 3 (0.2).
+  std::vector<double> acf = {1.0, 0.5, 0.1, 0.2, 0.05, 0.0, -0.3, 0.9};
+  auto top = TopKLagsByAcf(acf, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 7u);
+  EXPECT_EQ(top[1], 1u);
+  EXPECT_EQ(top[2], 3u);
+}
+
+TEST(TopKLagsTest, KLargerThanLagsReturnsAll) {
+  std::vector<double> acf = {1.0, 0.2, 0.3};
+  auto top = TopKLagsByAcf(acf, 10);
+  EXPECT_EQ(top.size(), 2u);
+}
+
+TEST(TopKLagsTest, TieBreaksTowardSmallerLag) {
+  std::vector<double> acf = {1.0, 0.5, 0.5, 0.5};
+  auto top = TopKLagsByAcf(acf, 2);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 2u);
+}
+
+TEST(TopKLagsTest, EmptyForDegenerateInput) {
+  EXPECT_TRUE(TopKLagsByAcf(std::vector<double>{1.0}, 3).empty());
+  EXPECT_TRUE(TopKLagsByAcf(std::vector<double>{}, 3).empty());
+}
+
+}  // namespace
+}  // namespace vup

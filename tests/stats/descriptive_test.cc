@@ -1,0 +1,150 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+TEST(MeanTest, BasicAndEmpty) {
+  std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{7.0}), 7.0);
+}
+
+TEST(VarianceTest, SampleVariance) {
+  std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  // Sum of squared deviations = 32, n-1 = 7.
+  EXPECT_NEAR(Variance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Variance(std::vector<double>{5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev(std::vector<double>{1.0, 1.0, 1.0}), 0.0);
+}
+
+TEST(MinMaxTest, Works) {
+  std::vector<double> v = {3, -1, 4, 1, 5};
+  EXPECT_DOUBLE_EQ(Min(v), -1);
+  EXPECT_DOUBLE_EQ(Max(v), 5);
+}
+
+TEST(QuantileTest, KnownValues) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.0);
+  // Linear interpolation (type-7): 0.1 -> 1 + 0.4*(2-1).
+  EXPECT_NEAR(Quantile(v, 0.1), 1.4, 1e-12);
+}
+
+TEST(QuantileTest, UnsortedInputHandled) {
+  std::vector<double> v = {5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(Median(v), 3.0);
+}
+
+TEST(QuantileTest, EvenSizeMedianInterpolates) {
+  std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Median(v), 2.5);
+}
+
+class QuantileMonotoneTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(QuantileMonotoneTest, MonotoneInP) {
+  // Property: quantiles are non-decreasing in p for any sample size.
+  std::vector<double> v;
+  for (size_t i = 0; i < GetParam(); ++i) {
+    v.push_back(static_cast<double>((i * 7919) % 101));
+  }
+  double prev = Quantile(v, 0.0);
+  for (double p = 0.05; p <= 1.0; p += 0.05) {
+    double q = Quantile(v, p);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QuantileMonotoneTest,
+                         ::testing::Values(1, 2, 3, 10, 101, 1000));
+
+TEST(BoxplotTest, QuartilesAndWhiskers) {
+  // 1..11 plus an outlier at 100.
+  std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 100};
+  BoxplotStats b = Boxplot(v);
+  EXPECT_EQ(b.count, 12u);
+  EXPECT_DOUBLE_EQ(b.min, 1);
+  EXPECT_DOUBLE_EQ(b.max, 100);
+  EXPECT_NEAR(b.q1, 3.75, 1e-12);
+  EXPECT_NEAR(b.median, 6.5, 1e-12);
+  EXPECT_NEAR(b.q3, 9.25, 1e-12);
+  // Fence: q3 + 1.5*iqr = 9.25 + 8.25 = 17.5 -> 100 is an outlier.
+  ASSERT_EQ(b.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.outliers[0], 100);
+  EXPECT_DOUBLE_EQ(b.whisker_high, 11);
+  EXPECT_DOUBLE_EQ(b.whisker_low, 1);
+}
+
+TEST(BoxplotTest, NoOutliersWhenTight) {
+  // q1 = 5, q3 = 6, IQR = 1 -> fences [3.5, 7.5] contain everything.
+  std::vector<double> v = {4, 5, 5, 6, 6, 7};
+  BoxplotStats b = Boxplot(v);
+  EXPECT_TRUE(b.outliers.empty());
+  EXPECT_DOUBLE_EQ(b.whisker_low, 4);
+  EXPECT_DOUBLE_EQ(b.whisker_high, 7);
+}
+
+TEST(BoxplotTest, ZeroIqrFlagsEverythingOffMedian) {
+  // Degenerate IQR == 0: the Tukey rule marks any deviation an outlier.
+  std::vector<double> v = {4, 5, 5, 5, 6};
+  BoxplotStats b = Boxplot(v);
+  EXPECT_EQ(b.outliers.size(), 2u);
+  EXPECT_DOUBLE_EQ(b.whisker_low, 5);
+  EXPECT_DOUBLE_EQ(b.whisker_high, 5);
+}
+
+TEST(BoxplotTest, WhiskersAreObservations) {
+  // Whiskers must be actual data points, not the fences themselves.
+  std::vector<double> v = {0, 10, 10.5, 11, 11.5, 12, 30};
+  BoxplotStats b = Boxplot(v);
+  for (double w : {b.whisker_low, b.whisker_high}) {
+    EXPECT_NE(std::find(v.begin(), v.end(), w), v.end());
+  }
+}
+
+TEST(BoxplotTest, SingleValue) {
+  std::vector<double> v = {3.5};
+  BoxplotStats b = Boxplot(v);
+  EXPECT_DOUBLE_EQ(b.median, 3.5);
+  EXPECT_DOUBLE_EQ(b.q1, 3.5);
+  EXPECT_DOUBLE_EQ(b.q3, 3.5);
+  EXPECT_TRUE(b.outliers.empty());
+}
+
+TEST(SummarizeTest, AllFieldsFilled) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  SummaryStats s = Summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(SummarizeTest, EmptyIsZeroed) {
+  SummaryStats s = Summarize(std::vector<double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(BoxplotToStringTest, ContainsKeyNumbers) {
+  std::vector<double> v = {1, 2, 3};
+  std::string s = BoxplotToString(Boxplot(v));
+  EXPECT_NE(s.find("med=2.00"), std::string::npos);
+  EXPECT_NE(s.find("n=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vup

@@ -1,0 +1,78 @@
+#include "stats/ecdf.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+TEST(EcdfTest, StepValues) {
+  std::vector<double> sample = {1.0, 2.0, 3.0, 4.0};
+  Ecdf f(sample);
+  EXPECT_DOUBLE_EQ(f(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(f(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(f(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(f(100.0), 1.0);
+}
+
+TEST(EcdfTest, HandlesDuplicates) {
+  std::vector<double> sample = {2, 2, 2, 5};
+  Ecdf f(sample);
+  EXPECT_DOUBLE_EQ(f(1.9), 0.0);
+  EXPECT_DOUBLE_EQ(f(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(f(5.0), 1.0);
+}
+
+TEST(EcdfTest, MonotoneProperty) {
+  std::vector<double> sample;
+  for (int i = 0; i < 500; ++i) {
+    sample.push_back(static_cast<double>((i * 31) % 97));
+  }
+  Ecdf f(sample);
+  double prev = -1.0;
+  for (double x = -5.0; x <= 100.0; x += 0.5) {
+    double v = f(x);
+    EXPECT_GE(v, prev);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    prev = v;
+  }
+}
+
+TEST(EcdfTest, InverseAtQuantiles) {
+  std::vector<double> sample = {10, 20, 30, 40, 50};
+  Ecdf f(sample);
+  EXPECT_DOUBLE_EQ(f.InverseAt(0.2), 10);
+  EXPECT_DOUBLE_EQ(f.InverseAt(0.5), 30);
+  EXPECT_DOUBLE_EQ(f.InverseAt(1.0), 50);
+  // Inverse is a generalized inverse: F(InverseAt(p)) >= p.
+  for (double p : {0.1, 0.35, 0.72, 0.99}) {
+    EXPECT_GE(f(f.InverseAt(p)), p);
+  }
+}
+
+TEST(EcdfTest, CurveSpansRange) {
+  std::vector<double> sample = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  Ecdf f(sample);
+  auto curve = f.Curve(11);
+  ASSERT_EQ(curve.size(), 11u);
+  EXPECT_DOUBLE_EQ(curve.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().first, 9.0);
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+}
+
+TEST(EcdfTest, MinMaxAccessors) {
+  std::vector<double> sample = {3, 1, 2};
+  Ecdf f(sample);
+  EXPECT_DOUBLE_EQ(f.min(), 1);
+  EXPECT_DOUBLE_EQ(f.max(), 3);
+  EXPECT_EQ(f.sample_size(), 3u);
+}
+
+}  // namespace
+}  // namespace vup

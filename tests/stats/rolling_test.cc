@@ -1,0 +1,70 @@
+#include "stats/rolling.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+TEST(RollingSumTest, TrailingWindow) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  auto out = RollingSum(v, 3);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_DOUBLE_EQ(out[0], 1);
+  EXPECT_DOUBLE_EQ(out[1], 3);
+  EXPECT_DOUBLE_EQ(out[2], 6);
+  EXPECT_DOUBLE_EQ(out[3], 9);
+  EXPECT_DOUBLE_EQ(out[4], 12);
+}
+
+TEST(RollingMeanTest, PartialPrefixAveragesAvailable) {
+  std::vector<double> v = {2, 4, 6, 8};
+  auto out = RollingMean(v, 2);
+  EXPECT_DOUBLE_EQ(out[0], 2);
+  EXPECT_DOUBLE_EQ(out[1], 3);
+  EXPECT_DOUBLE_EQ(out[2], 5);
+  EXPECT_DOUBLE_EQ(out[3], 7);
+}
+
+TEST(RollingMeanTest, WindowOneIsIdentity) {
+  std::vector<double> v = {3, 1, 4};
+  EXPECT_EQ(RollingMean(v, 1), v);
+}
+
+TEST(RollingMeanTest, WindowLargerThanSeries) {
+  std::vector<double> v = {1, 2, 3};
+  auto out = RollingMean(v, 100);
+  EXPECT_DOUBLE_EQ(out[2], 2.0);
+}
+
+TEST(DiffTest, FirstDifferences) {
+  std::vector<double> v = {1, 4, 9, 16};
+  auto out = Diff(v);
+  EXPECT_EQ(out, (std::vector<double>{3, 5, 7}));
+  EXPECT_TRUE(Diff(std::vector<double>{1}).empty());
+  EXPECT_TRUE(Diff(std::vector<double>{}).empty());
+}
+
+TEST(WeeklyTotalsTest, GroupsBySeven) {
+  std::vector<double> v(14, 1.0);
+  auto out = WeeklyTotals(v);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 7.0);
+  EXPECT_DOUBLE_EQ(out[1], 7.0);
+}
+
+TEST(WeeklyTotalsTest, PartialTrailingWeek) {
+  std::vector<double> v(10, 2.0);
+  auto out = WeeklyTotals(v);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 14.0);
+  EXPECT_DOUBLE_EQ(out[1], 6.0);
+}
+
+TEST(WeeklyTotalsTest, EmptyInput) {
+  EXPECT_TRUE(WeeklyTotals(std::vector<double>{}).empty());
+}
+
+}  // namespace
+}  // namespace vup

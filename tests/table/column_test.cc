@@ -1,0 +1,94 @@
+#include "table/column.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+TEST(ColumnTest, TypedAppendsAndReads) {
+  Column c(DataType::kDouble);
+  c.AppendDouble(1.5);
+  c.AppendDouble(2.5);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.null_count(), 0u);
+  EXPECT_DOUBLE_EQ(c.DoubleAt(0), 1.5);
+  EXPECT_FALSE(c.IsNull(1));
+}
+
+TEST(ColumnTest, NullTracking) {
+  Column c(DataType::kInt64);
+  c.AppendInt(1);
+  c.AppendNull();
+  c.AppendInt(3);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.null_count(), 1u);
+  EXPECT_TRUE(c.IsNull(1));
+  EXPECT_TRUE(c.GetValue(1).is_null());
+  EXPECT_EQ(c.GetValue(2).AsInt().value(), 3);
+}
+
+TEST(ColumnTest, DynamicAppendValidatesType) {
+  Column c(DataType::kString);
+  EXPECT_TRUE(c.Append(Value::Str("a")).ok());
+  EXPECT_FALSE(c.Append(Value::Int(1)).ok());
+  EXPECT_TRUE(c.Append(Value::Null()).ok());
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(ColumnTest, IntWidensIntoDoubleColumn) {
+  Column c(DataType::kDouble);
+  EXPECT_TRUE(c.Append(Value::Int(4)).ok());
+  EXPECT_DOUBLE_EQ(c.DoubleAt(0), 4.0);
+}
+
+TEST(ColumnTest, ToDoublesWithNullsAsNan) {
+  Column c(DataType::kDouble);
+  c.AppendDouble(1.0);
+  c.AppendNull();
+  c.AppendDouble(3.0);
+  std::vector<double> v = c.ToDoubles().value();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_TRUE(std::isnan(v[1]));
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+
+  std::vector<double> dropped = c.ToDoublesDropNull().value();
+  EXPECT_EQ(dropped, (std::vector<double>{1.0, 3.0}));
+}
+
+TEST(ColumnTest, ToDoublesOnIntColumn) {
+  Column c(DataType::kInt64);
+  c.AppendInt(7);
+  EXPECT_EQ(c.ToDoubles().value(), (std::vector<double>{7.0}));
+}
+
+TEST(ColumnTest, ToDoublesRejectsStrings) {
+  Column c(DataType::kString);
+  c.AppendString("x");
+  EXPECT_FALSE(c.ToDoubles().ok());
+}
+
+TEST(ColumnTest, TakeReordersAndPreservesNulls) {
+  Column c(DataType::kDate);
+  c.AppendDate(Date::FromYmd(2015, 1, 1).value());
+  c.AppendNull();
+  c.AppendDate(Date::FromYmd(2015, 1, 3).value());
+  Column taken = c.Take({2, 1, 0, 0});
+  EXPECT_EQ(taken.size(), 4u);
+  EXPECT_EQ(taken.DateAt(0).ToString(), "2015-01-03");
+  EXPECT_TRUE(taken.IsNull(1));
+  EXPECT_EQ(taken.DateAt(2).ToString(), "2015-01-01");
+  EXPECT_EQ(taken.null_count(), 1u);
+}
+
+TEST(ColumnTest, StringStorage) {
+  Column c(DataType::kString);
+  c.AppendString("refuse compactor");
+  EXPECT_EQ(c.StringAt(0), "refuse compactor");
+  EXPECT_EQ(c.GetValue(0).ToString(), "refuse compactor");
+}
+
+}  // namespace
+}  // namespace vup

@@ -1,0 +1,113 @@
+#include "table/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+Schema CsvSchema() {
+  return Schema::Make({{"id", DataType::kInt64, false},
+                       {"name", DataType::kString, true},
+                       {"hours", DataType::kDouble, true},
+                       {"day", DataType::kDate, true}})
+      .value();
+}
+
+Table MakeTable() {
+  Table t(CsvSchema());
+  EXPECT_TRUE(t.AppendRow({Value::Int(1), Value::Str("plain"),
+                           Value::Real(1.5),
+                           Value::Day(Date::FromYmd(2016, 1, 2).value())})
+                  .ok());
+  EXPECT_TRUE(t.AppendRow({Value::Int(2), Value::Str("with,comma"),
+                           Value::Null(), Value::Null()})
+                  .ok());
+  EXPECT_TRUE(t.AppendRow({Value::Int(3), Value::Str("with \"quote\""),
+                           Value::Real(-2.25),
+                           Value::Day(Date::FromYmd(2018, 9, 30).value())})
+                  .ok());
+  return t;
+}
+
+TEST(CsvTest, WriteProducesHeaderAndRows) {
+  std::ostringstream os;
+  ASSERT_TRUE(WriteCsv(MakeTable(), os).ok());
+  std::string out = os.str();
+  EXPECT_NE(out.find("id,name,hours,day"), std::string::npos);
+  EXPECT_NE(out.find("1,plain,1.5,2016-01-02"), std::string::npos);
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"with \"\"quote\"\"\""), std::string::npos);
+}
+
+TEST(CsvTest, RoundTripPreservesEverything) {
+  Table original = MakeTable();
+  std::ostringstream os;
+  ASSERT_TRUE(WriteCsv(original, os).ok());
+  std::istringstream is(os.str());
+  Table loaded = ReadCsv(is, CsvSchema()).value();
+  ASSERT_EQ(loaded.num_rows(), original.num_rows());
+  for (size_t r = 0; r < original.num_rows(); ++r) {
+    for (size_t c = 0; c < original.num_columns(); ++c) {
+      EXPECT_EQ(loaded.At(r, c), original.At(r, c))
+          << "cell (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(CsvTest, ReadRejectsHeaderMismatch) {
+  std::istringstream is("id,wrong,hours,day\n");
+  EXPECT_FALSE(ReadCsv(is, CsvSchema()).ok());
+}
+
+TEST(CsvTest, ReadRejectsFieldCountMismatch) {
+  std::istringstream is("id,name,hours,day\n1,x\n");
+  EXPECT_FALSE(ReadCsv(is, CsvSchema()).ok());
+}
+
+TEST(CsvTest, ReadRejectsBadCellType) {
+  std::istringstream is("id,name,hours,day\nnotanint,x,1.0,2016-01-01\n");
+  Status s = ReadCsv(is, CsvSchema()).status();
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvTest, ReadHandlesCrlfAndBlankLines) {
+  std::istringstream is("id,name,hours,day\r\n1,x,2.0,2017-05-05\r\n\r\n");
+  Table t = ReadCsv(is, CsvSchema()).value();
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.At(0, 1).AsString().value(), "x");
+}
+
+TEST(CsvTest, EmptyInputIsError) {
+  std::istringstream is("");
+  EXPECT_FALSE(ReadCsv(is, CsvSchema()).ok());
+}
+
+TEST(CsvTest, MalformedQuotingIsError) {
+  std::istringstream is("id,name,hours,day\n1,\"unclosed,2.0,2017-01-01\n");
+  EXPECT_FALSE(ReadCsv(is, CsvSchema()).ok());
+}
+
+TEST(CsvTest, NullLiteralConfigurable) {
+  CsvOptions opts;
+  opts.null_literal = "NA";
+  std::ostringstream os;
+  ASSERT_TRUE(WriteCsv(MakeTable(), os, opts).ok());
+  EXPECT_NE(os.str().find("2,\"with,comma\",NA,NA"), std::string::npos);
+  std::istringstream is(os.str());
+  Table t = ReadCsv(is, CsvSchema(), opts).value();
+  EXPECT_TRUE(t.At(1, 2).is_null());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/vup_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(MakeTable(), path).ok());
+  Table t = ReadCsvFile(path, CsvSchema()).value();
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/path.csv", CsvSchema()).ok());
+}
+
+}  // namespace
+}  // namespace vup

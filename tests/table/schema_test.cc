@@ -1,0 +1,50 @@
+#include "table/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+TEST(SchemaTest, MakeAndLookup) {
+  Schema s = Schema::Make({{"date", DataType::kDate, false},
+                           {"hours", DataType::kDouble, true}})
+                 .value();
+  EXPECT_EQ(s.num_fields(), 2u);
+  EXPECT_EQ(s.field(0).name, "date");
+  EXPECT_EQ(s.FieldIndex("hours").value(), 1u);
+  EXPECT_TRUE(s.HasField("date"));
+  EXPECT_FALSE(s.HasField("fuel"));
+  EXPECT_TRUE(s.FieldIndex("fuel").status().IsNotFound());
+}
+
+TEST(SchemaTest, RejectsDuplicates) {
+  EXPECT_FALSE(Schema::Make({{"a", DataType::kInt64, true},
+                             {"a", DataType::kDouble, true}})
+                   .ok());
+}
+
+TEST(SchemaTest, RejectsEmptyNames) {
+  EXPECT_FALSE(Schema::Make({{"", DataType::kInt64, true}}).ok());
+}
+
+TEST(SchemaTest, EmptySchemaAllowed) {
+  Schema s = Schema::Make({}).value();
+  EXPECT_EQ(s.num_fields(), 0u);
+}
+
+TEST(SchemaTest, ToStringMentionsFields) {
+  Schema s = Schema::Make({{"x", DataType::kDouble, false}}).value();
+  std::string str = s.ToString();
+  EXPECT_NE(str.find("x:double!"), std::string::npos);
+}
+
+TEST(SchemaTest, Equality) {
+  Schema a = Schema::Make({{"x", DataType::kDouble, true}}).value();
+  Schema b = Schema::Make({{"x", DataType::kDouble, true}}).value();
+  Schema c = Schema::Make({{"x", DataType::kInt64, true}}).value();
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace vup

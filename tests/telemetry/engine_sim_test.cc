@@ -1,0 +1,146 @@
+#include "telemetry/engine_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+VehicleInfo TestVehicle() {
+  VehicleInfo info;
+  info.vehicle_id = 55;
+  info.type = VehicleType::kRefuseCompactor;
+  info.model_id = "RC-001";
+  info.country_code = "IT";
+  info.install_date = Date::FromYmd(2015, 1, 1).value();
+  return info;
+}
+
+const ModelSpec& TestModel() {
+  return *ModelRegistry::Global().Find("RC-001").value();
+}
+
+TEST(EngineSimTest, IdleDayProducesNoMessages) {
+  EngineSimulator sim(TestVehicle(), TestModel(), 1);
+  auto messages = sim.SimulateDay(Date::FromYmd(2016, 5, 10).value(), 0.0);
+  EXPECT_TRUE(messages.empty());
+}
+
+TEST(EngineSimTest, MessagesAreTimestampOrderedAndOwned) {
+  EngineSimulator sim(TestVehicle(), TestModel(), 2);
+  auto messages = sim.SimulateDay(Date::FromYmd(2016, 5, 10).value(), 6.0);
+  ASSERT_FALSE(messages.empty());
+  for (size_t i = 1; i < messages.size(); ++i) {
+    EXPECT_LE(messages[i - 1].timestamp_s, messages[i].timestamp_s);
+  }
+  for (const TelemetryMessage& m : messages) {
+    EXPECT_EQ(m.vehicle_id, 55);
+  }
+  EXPECT_EQ(messages.front().kind, MessageKind::kEngineOn);
+}
+
+TEST(EngineSimTest, OnOffEventsBalance) {
+  EngineSimulator sim(TestVehicle(), TestModel(), 3);
+  auto messages = sim.SimulateDay(Date::FromYmd(2016, 5, 11).value(), 7.5);
+  int on = 0, off = 0;
+  for (const TelemetryMessage& m : messages) {
+    if (m.kind == MessageKind::kEngineOn) ++on;
+    if (m.kind == MessageKind::kEngineOff) ++off;
+  }
+  EXPECT_EQ(on, off);
+  EXPECT_GE(on, 1);
+  EXPECT_LE(on, 3);
+}
+
+TEST(EngineSimTest, RealizedHoursMatchTarget) {
+  // Aggregating the raw messages reproduces the requested utilization
+  // hours: the consistency contract between the fast and full paths.
+  for (double target : {1.0, 4.0, 8.0, 14.0}) {
+    EngineSimulator sim(TestVehicle(), TestModel(), 7);
+    auto messages =
+        sim.SimulateDay(Date::FromYmd(2016, 6, 1).value(), target);
+    bool engine_on = false;
+    auto reports = AggregateDay(messages, 55,
+                                Date::FromYmd(2016, 6, 1).value(), &engine_on);
+    double realized = DailyUtilizationHours(reports);
+    EXPECT_NEAR(realized, target, 0.25) << "target " << target;
+    EXPECT_FALSE(engine_on);  // Engine off at end of day.
+  }
+}
+
+TEST(EngineSimTest, ReportsCarrySaneSignals) {
+  EngineSimulator sim(TestVehicle(), TestModel(), 11);
+  Date d = Date::FromYmd(2016, 6, 2).value();
+  auto messages = sim.SimulateDay(d, 6.0);
+  bool engine_on = false;
+  auto reports = AggregateDay(messages, 55, d, &engine_on);
+  ASSERT_FALSE(reports.empty());
+  bool saw_active_slot = false;
+  for (const AggregatedReport& r : reports) {
+    if (r.sample_count == 0) continue;
+    saw_active_slot = true;
+    EXPECT_GT(r.avg_engine_rpm, 500.0);
+    EXPECT_LT(r.avg_engine_rpm, 2600.0);
+    EXPECT_GE(r.avg_engine_load_pct, 0.0);
+    EXPECT_LE(r.avg_engine_load_pct, 100.0);
+    EXPECT_GT(r.avg_fuel_rate_lph, 0.0);
+    EXPECT_GE(r.fuel_level_pct, 0.0);
+    EXPECT_LE(r.fuel_level_pct, 100.0);
+  }
+  EXPECT_TRUE(saw_active_slot);
+}
+
+TEST(EngineSimTest, EngineHoursMonotone) {
+  EngineSimulator sim(TestVehicle(), TestModel(), 13);
+  double prev = sim.engine_hours_total();
+  Date d = Date::FromYmd(2016, 6, 1).value();
+  for (int i = 0; i < 5; ++i) {
+    sim.SimulateDay(d.AddDays(i), 5.0);
+    EXPECT_GT(sim.engine_hours_total(), prev);
+    prev = sim.engine_hours_total();
+  }
+}
+
+TEST(EngineSimTest, CoolantWarmsUpWithinDay) {
+  EngineSimulator sim(TestVehicle(), TestModel(), 17);
+  Date d = Date::FromYmd(2016, 6, 3).value();
+  auto messages = sim.SimulateDay(d, 8.0);
+  // Decode coolant from first and last parametric frames.
+  const SignalSpec* coolant =
+      SignalCatalog::Global().Find(SignalId::kCoolantTemp).value();
+  double first = -1000, last = -1000;
+  for (const TelemetryMessage& m : messages) {
+    if (m.kind != MessageKind::kParametric) continue;
+    for (const CanFrame& f : m.frames) {
+      StatusOr<double> v = FrameCodec::DecodeSignal(*coolant, f);
+      if (v.ok()) {
+        if (first < -999) first = v.value();
+        last = v.value();
+      }
+    }
+  }
+  ASSERT_GT(first, -999);
+  EXPECT_GT(last, first);   // Warmed up.
+  EXPECT_GT(last, 70.0);    // Near operating temperature.
+}
+
+TEST(AggregateDayTest, SkipsEmptySlots) {
+  EngineSimulator sim(TestVehicle(), TestModel(), 19);
+  Date d = Date::FromYmd(2016, 6, 4).value();
+  auto messages = sim.SimulateDay(d, 2.0);
+  bool engine_on = false;
+  auto reports = AggregateDay(messages, 55, d, &engine_on);
+  // A 2-hour day touches ~12-14 slots, far fewer than 144.
+  EXPECT_LT(reports.size(), 30u);
+  EXPECT_GT(reports.size(), 5u);
+}
+
+TEST(DailyUtilizationHoursTest, SumsEngineOnFractions) {
+  std::vector<AggregatedReport> reports(3);
+  reports[0].engine_on_fraction = 1.0;
+  reports[1].engine_on_fraction = 0.5;
+  reports[2].engine_on_fraction = 0.0;
+  EXPECT_NEAR(DailyUtilizationHours(reports), 0.25, 1e-9);
+}
+
+}  // namespace
+}  // namespace vup

@@ -1,0 +1,164 @@
+// Statistical regression tests: lock in the generator calibration that the
+// paper's data characterization (Figure 1) and methodology (Figure 2)
+// depend on. If a future change to the usage model breaks these, the bench
+// reproductions drift too.
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "stats/acf.h"
+#include "stats/descriptive.h"
+#include "telemetry/fleet.h"
+
+namespace vup {
+namespace {
+
+class FleetStatisticsTest : public ::testing::Test {
+ protected:
+  static const Fleet& SharedFleet() {
+    static const Fleet& fleet =
+        *new Fleet(Fleet::Generate(FleetConfig::Small(250, 42)));
+    return fleet;
+  }
+
+  /// Active-day hours pooled per type (capped units per type for speed).
+  static const std::map<VehicleType, std::vector<double>>& ActiveHours() {
+    static const auto& cache = *new std::map<VehicleType,
+                                             std::vector<double>>([] {
+      std::map<VehicleType, std::vector<double>> out;
+      std::map<VehicleType, int> sampled;
+      const Fleet& fleet = SharedFleet();
+      for (size_t i = 0; i < fleet.size(); ++i) {
+        VehicleType t = fleet.vehicle(i).type;
+        if (sampled[t] >= 12) continue;
+        ++sampled[t];
+        for (const DailyUsageRecord& d :
+             fleet.GenerateDailySeries(i).days) {
+          if (d.hours > 0.0) out[t].push_back(d.hours);
+        }
+      }
+      return out;
+    }());
+    return cache;
+  }
+};
+
+TEST_F(FleetStatisticsTest, Figure1aTypeOrdering) {
+  const auto& hours = ActiveHours();
+  double grader = Median(hours.at(VehicleType::kGrader));
+  double compactor = Median(hours.at(VehicleType::kRefuseCompactor));
+  double coring = Median(hours.at(VehicleType::kCoringMachine));
+  // Heavy types clearly above 5 h, coring machines at/below ~1 h.
+  EXPECT_GT(grader, 5.0);
+  EXPECT_GT(compactor, 5.0);
+  EXPECT_LT(coring, 1.5);
+  // Every other type sits between the extremes.
+  for (const auto& [type, sample] : hours) {
+    double med = Median(sample);
+    EXPECT_GE(med, coring * 0.8) << VehicleTypeToString(type);
+    EXPECT_LE(med, std::max(grader, compactor) * 1.2)
+        << VehicleTypeToString(type);
+  }
+}
+
+TEST_F(FleetStatisticsTest, Figure1aLongTails) {
+  const auto& hours = ActiveHours();
+  // The heavy types occasionally work around-the-clock shifts.
+  EXPECT_GT(Max(hours.at(VehicleType::kRefuseCompactor)), 20.0);
+  EXPECT_GT(Max(hours.at(VehicleType::kGrader)), 20.0);
+  // Coring machines never do.
+  EXPECT_LT(Max(hours.at(VehicleType::kCoringMachine)), 16.0);
+}
+
+TEST_F(FleetStatisticsTest, HoursAlwaysPhysical) {
+  for (const auto& [type, sample] : ActiveHours()) {
+    for (double h : sample) {
+      EXPECT_GT(h, 0.0);
+      EXPECT_LE(h, 24.0);
+    }
+  }
+}
+
+TEST_F(FleetStatisticsTest, Figure2WeeklyAcfPeaks) {
+  // Averaged over units, the ACF of daily hours peaks at lag 7 relative to
+  // the neighboring non-weekly lags.
+  const Fleet& fleet = SharedFleet();
+  double acf7 = 0.0, acf_mid = 0.0;
+  int counted = 0;
+  for (size_t i : fleet.IndicesOfType(VehicleType::kRefuseCompactor)) {
+    if (counted >= 10) break;
+    std::vector<double> hours = fleet.GenerateDailySeries(i).Hours();
+    StatusOr<std::vector<double>> acf = Autocorrelation(hours, 10);
+    if (!acf.ok()) continue;
+    ++counted;
+    acf7 += acf.value()[7];
+    acf_mid += 0.5 * (acf.value()[3] + acf.value()[4]);
+  }
+  ASSERT_GT(counted, 5);
+  EXPECT_GT(acf7 / counted, acf_mid / counted + 0.05);
+  EXPECT_GT(acf7 / counted, 0.05);
+}
+
+TEST_F(FleetStatisticsTest, WeekendsMuchQuieterThanWeekdays) {
+  const Fleet& fleet = SharedFleet();
+  double weekday_hours = 0.0, weekend_hours = 0.0;
+  int weekdays = 0, weekends = 0;
+  for (size_t i = 0; i < 30 && i < fleet.size(); ++i) {
+    for (const DailyUsageRecord& d : fleet.GenerateDailySeries(i).days) {
+      if (static_cast<int>(d.date.weekday()) < 5) {
+        weekday_hours += d.hours;
+        ++weekdays;
+      } else {
+        weekend_hours += d.hours;
+        ++weekends;
+      }
+    }
+  }
+  ASSERT_GT(weekdays, 0);
+  ASSERT_GT(weekends, 0);
+  EXPECT_GT(weekday_hours / weekdays, 5.0 * (weekend_hours / weekends));
+}
+
+TEST_F(FleetStatisticsTest, DecemberQuieterThanJuneInTheNorth) {
+  const Fleet& fleet = SharedFleet();
+  double dec = 0.0, jun = 0.0;
+  int dec_n = 0, jun_n = 0;
+  for (size_t i = 0; i < 60 && i < fleet.size(); ++i) {
+    const VehicleInfo& info = fleet.vehicle(i);
+    if (fleet.CountryOf(info).hemisphere != Hemisphere::kNorthern) continue;
+    for (const DailyUsageRecord& d : fleet.GenerateDailySeries(i).days) {
+      if (d.date.month() == 12) {
+        dec += d.hours;
+        ++dec_n;
+      } else if (d.date.month() == 6) {
+        jun += d.hours;
+        ++jun_n;
+      }
+    }
+  }
+  ASSERT_GT(dec_n, 100);
+  ASSERT_GT(jun_n, 100);
+  EXPECT_LT(dec / dec_n, 0.9 * (jun / jun_n));
+}
+
+TEST_F(FleetStatisticsTest, ModelMediansSpreadWithinType) {
+  // Figure 1(b): models of one type differ by several x in median usage.
+  const Fleet& fleet = SharedFleet();
+  std::map<std::string, std::vector<double>> by_model;
+  for (size_t i : fleet.IndicesOfType(VehicleType::kRefuseCompactor)) {
+    auto series = fleet.GenerateDailySeries(i);
+    for (const DailyUsageRecord& d : series.days) {
+      if (d.hours > 0) by_model[series.info.model_id].push_back(d.hours);
+    }
+  }
+  std::vector<double> medians;
+  for (const auto& [model, sample] : by_model) {
+    if (sample.size() >= 100) medians.push_back(Median(sample));
+  }
+  ASSERT_GE(medians.size(), 5u);
+  EXPECT_GT(Max(medians) / Min(medians), 2.0);
+}
+
+}  // namespace
+}  // namespace vup

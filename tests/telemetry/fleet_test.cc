@@ -1,0 +1,149 @@
+#include "telemetry/fleet.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+TEST(FleetConfigTest, DefaultMatchesPaper) {
+  FleetConfig c = FleetConfig::Default();
+  EXPECT_EQ(c.num_vehicles, 2239u);
+  EXPECT_EQ(c.start_date.ToString(), "2015-01-01");
+  EXPECT_EQ(c.end_date.ToString(), "2018-09-30");
+}
+
+TEST(FleetTest, GeneratesRequestedSize) {
+  Fleet fleet = Fleet::Generate(FleetConfig::Small(100));
+  EXPECT_EQ(fleet.size(), 100u);
+  EXPECT_EQ(fleet.vehicles().size(), 100u);
+}
+
+TEST(FleetTest, VehicleIdsUniqueAndResolvable) {
+  Fleet fleet = Fleet::Generate(FleetConfig::Small(200));
+  std::set<int64_t> ids;
+  for (const VehicleInfo& v : fleet.vehicles()) {
+    EXPECT_TRUE(ids.insert(v.vehicle_id).second);
+    EXPECT_NO_FATAL_FAILURE(fleet.CountryOf(v));
+    EXPECT_EQ(fleet.ModelOf(v).type, v.type);
+  }
+}
+
+TEST(FleetTest, InstallDatesWithinPeriod) {
+  Fleet fleet = Fleet::Generate(FleetConfig::Small(300));
+  for (const VehicleInfo& v : fleet.vehicles()) {
+    EXPECT_GE(v.install_date, fleet.config().start_date);
+    EXPECT_LT(v.install_date, fleet.config().end_date);
+  }
+}
+
+TEST(FleetTest, AllTypesRepresentedAtScale) {
+  Fleet fleet = Fleet::Generate(FleetConfig::Small(500));
+  std::map<VehicleType, int> counts;
+  for (const VehicleInfo& v : fleet.vehicles()) counts[v.type]++;
+  EXPECT_EQ(counts.size(), static_cast<size_t>(kNumVehicleTypes));
+  // Refuse compactors are the most numerous type (paper Section 2).
+  int max_count = 0;
+  VehicleType max_type = VehicleType::kRefuseCompactor;
+  for (auto& [t, n] : counts) {
+    if (n > max_count) {
+      max_count = n;
+      max_type = t;
+    }
+  }
+  EXPECT_EQ(max_type, VehicleType::kRefuseCompactor);
+}
+
+TEST(FleetTest, ManyCountriesRepresented) {
+  Fleet fleet = Fleet::Generate(FleetConfig::Small(1000));
+  std::set<std::string> countries;
+  for (const VehicleInfo& v : fleet.vehicles()) {
+    countries.insert(v.country_code);
+  }
+  EXPECT_GT(countries.size(), 50u);
+}
+
+TEST(FleetTest, GenerationIsReproducible) {
+  Fleet a = Fleet::Generate(FleetConfig::Small(50, 7));
+  Fleet b = Fleet::Generate(FleetConfig::Small(50, 7));
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.vehicle(i).model_id, b.vehicle(i).model_id);
+    EXPECT_EQ(a.vehicle(i).country_code, b.vehicle(i).country_code);
+  }
+  auto sa = a.GenerateDailySeries(3);
+  auto sb = b.GenerateDailySeries(3);
+  ASSERT_EQ(sa.days.size(), sb.days.size());
+  for (size_t i = 0; i < sa.days.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sa.days[i].hours, sb.days[i].hours);
+  }
+}
+
+TEST(FleetTest, DifferentSeedsDiffer) {
+  Fleet a = Fleet::Generate(FleetConfig::Small(50, 1));
+  Fleet b = Fleet::Generate(FleetConfig::Small(50, 2));
+  int same = 0;
+  for (size_t i = 0; i < 50; ++i) {
+    if (a.vehicle(i).model_id == b.vehicle(i).model_id) ++same;
+  }
+  EXPECT_LT(same, 25);
+}
+
+TEST(FleetTest, DailySeriesCoversInstallToEnd) {
+  Fleet fleet = Fleet::Generate(FleetConfig::Small(20));
+  VehicleDailySeries s = fleet.GenerateDailySeries(5);
+  ASSERT_FALSE(s.days.empty());
+  EXPECT_EQ(s.days.front().date, s.info.install_date);
+  EXPECT_EQ(s.days.back().date, fleet.config().end_date);
+  // Consecutive dates.
+  for (size_t i = 1; i < s.days.size(); ++i) {
+    EXPECT_EQ(s.days[i].date - s.days[i - 1].date, 1);
+  }
+  EXPECT_EQ(s.Hours().size(), s.days.size());
+  EXPECT_EQ(s.Dates().size(), s.days.size());
+}
+
+TEST(FleetTest, SeriesGenerationIsIndexIndependent) {
+  // Materializing vehicle 7 alone equals materializing it after others:
+  // per-vehicle generators are independent.
+  Fleet fleet = Fleet::Generate(FleetConfig::Small(20));
+  auto direct = fleet.GenerateDailySeries(7);
+  fleet.GenerateDailySeries(3);
+  fleet.GenerateDailySeries(12);
+  auto again = fleet.GenerateDailySeries(7);
+  ASSERT_EQ(direct.days.size(), again.days.size());
+  for (size_t i = 0; i < direct.days.size(); ++i) {
+    EXPECT_DOUBLE_EQ(direct.days[i].hours, again.days[i].hours);
+  }
+}
+
+TEST(FleetTest, IndicesOfTypeAndModel) {
+  Fleet fleet = Fleet::Generate(FleetConfig::Small(300));
+  auto rc = fleet.IndicesOfType(VehicleType::kRefuseCompactor);
+  EXPECT_FALSE(rc.empty());
+  for (size_t i : rc) {
+    EXPECT_EQ(fleet.vehicle(i).type, VehicleType::kRefuseCompactor);
+  }
+  auto of_model = fleet.IndicesOfModel(fleet.vehicle(rc[0]).model_id);
+  EXPECT_FALSE(of_model.empty());
+  for (size_t i : of_model) {
+    EXPECT_EQ(fleet.vehicle(i).model_id, fleet.vehicle(rc[0]).model_id);
+  }
+}
+
+TEST(FleetTest, MakeEngineSimulatorBoundToVehicle) {
+  Fleet fleet = Fleet::Generate(FleetConfig::Small(10));
+  EngineSimulator sim = fleet.MakeEngineSimulator(4);
+  EXPECT_EQ(sim.info().vehicle_id, fleet.vehicle(4).vehicle_id);
+}
+
+TEST(VehicleInfoTest, ToStringMentionsTypeAndModel) {
+  Fleet fleet = Fleet::Generate(FleetConfig::Small(5));
+  std::string s = fleet.vehicle(0).ToString();
+  EXPECT_NE(s.find("model="), std::string::npos);
+  EXPECT_NE(s.find("country="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vup

@@ -1,0 +1,107 @@
+#include "telemetry/taxonomy.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+TEST(TaxonomyTest, TenTypes) {
+  EXPECT_EQ(AllTypeTraits().size(), static_cast<size_t>(kNumVehicleTypes));
+  EXPECT_EQ(kNumVehicleTypes, 10);
+}
+
+TEST(TaxonomyTest, TypeNamesRoundTrip) {
+  for (int i = 0; i < kNumVehicleTypes; ++i) {
+    VehicleType t = static_cast<VehicleType>(i);
+    EXPECT_EQ(VehicleTypeFromString(VehicleTypeToString(t)).value(), t);
+  }
+  EXPECT_FALSE(VehicleTypeFromString("Submarine").ok());
+}
+
+TEST(TaxonomyTest, PaperModelCounts) {
+  // Counts named in the paper: 44 refuse-compactor models, 65 single-drum
+  // rollers, 10 recyclers.
+  EXPECT_EQ(TraitsFor(VehicleType::kRefuseCompactor).model_count, 44);
+  EXPECT_EQ(TraitsFor(VehicleType::kSingleDrumRoller).model_count, 65);
+  EXPECT_EQ(TraitsFor(VehicleType::kRecycler).model_count, 10);
+}
+
+TEST(TaxonomyTest, Figure1aOrderingEncoded) {
+  // Graders and refuse compactors are the heaviest-used types; coring
+  // machines the lightest (Figure 1a).
+  double grader = TraitsFor(VehicleType::kGrader).median_active_hours;
+  double compactor =
+      TraitsFor(VehicleType::kRefuseCompactor).median_active_hours;
+  double coring = TraitsFor(VehicleType::kCoringMachine).median_active_hours;
+  EXPECT_GT(grader, 6.0);
+  EXPECT_GT(compactor, 6.0);
+  EXPECT_LT(coring, 1.0);
+  for (const VehicleTypeTraits& t : AllTypeTraits()) {
+    EXPECT_GE(t.median_active_hours, coring);
+  }
+}
+
+TEST(TaxonomyTest, FleetSharesSumToOne) {
+  double total = 0.0;
+  for (const VehicleTypeTraits& t : AllTypeTraits()) {
+    EXPECT_GT(t.fleet_share, 0.0);
+    total += t.fleet_share;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ModelRegistryTest, CountsMatchTraits) {
+  const ModelRegistry& reg = ModelRegistry::Global();
+  size_t total = 0;
+  for (int i = 0; i < kNumVehicleTypes; ++i) {
+    VehicleType t = static_cast<VehicleType>(i);
+    EXPECT_EQ(reg.ModelsOf(t).size(),
+              static_cast<size_t>(TraitsFor(t).model_count));
+    total += reg.ModelsOf(t).size();
+  }
+  EXPECT_EQ(reg.total_model_count(), total);
+}
+
+TEST(ModelRegistryTest, IdsUniqueAndTyped) {
+  const ModelRegistry& reg = ModelRegistry::Global();
+  std::set<std::string> ids;
+  for (int i = 0; i < kNumVehicleTypes; ++i) {
+    for (const ModelSpec& m : reg.ModelsOf(static_cast<VehicleType>(i))) {
+      EXPECT_TRUE(ids.insert(m.id).second) << "duplicate id " << m.id;
+      EXPECT_EQ(static_cast<int>(m.type), i);
+      EXPECT_GT(m.hours_scale, 0.0);
+      EXPECT_GT(m.engine_power_kw, 0.0);
+      EXPECT_GT(m.fuel_tank_l, 0.0);
+    }
+  }
+}
+
+TEST(ModelRegistryTest, FindById) {
+  const ModelRegistry& reg = ModelRegistry::Global();
+  const ModelSpec& first = reg.ModelsOf(VehicleType::kRefuseCompactor)[0];
+  EXPECT_EQ(reg.Find(first.id).value()->id, first.id);
+  EXPECT_FALSE(reg.Find("NOPE-999").ok());
+}
+
+TEST(ModelRegistryTest, ModelsOfOneTypeAreHeterogeneous) {
+  // Figure 1b requires substantial model-level spread within a type.
+  const auto& models = ModelRegistry::Global().ModelsOf(
+      VehicleType::kRefuseCompactor);
+  double lo = models[0].hours_scale, hi = models[0].hours_scale;
+  for (const ModelSpec& m : models) {
+    lo = std::min(lo, m.hours_scale);
+    hi = std::max(hi, m.hours_scale);
+  }
+  EXPECT_GT(hi / lo, 2.0);
+}
+
+TEST(ModelRegistryTest, DeterministicSingleton) {
+  const ModelRegistry& a = ModelRegistry::Global();
+  const ModelRegistry& b = ModelRegistry::Global();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace vup

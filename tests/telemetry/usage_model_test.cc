@@ -1,0 +1,196 @@
+#include "telemetry/usage_model.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+
+namespace vup {
+namespace {
+
+const Country& Italy() {
+  return *CountryRegistry::Global().Find("IT").value();
+}
+
+UsageProfile TestProfile(uint64_t seed = 5) {
+  Rng rng(seed);
+  const VehicleTypeTraits& traits = TraitsFor(VehicleType::kRefuseCompactor);
+  const ModelSpec& model =
+      ModelRegistry::Global().ModelsOf(VehicleType::kRefuseCompactor)[0];
+  return UsageProfile::ForUnit(traits, model, &rng);
+}
+
+TEST(WinternessTest, PeaksInJanuaryNorth) {
+  Date jan = Date::FromYmd(2016, 1, 15).value();
+  Date jul = Date::FromYmd(2016, 7, 15).value();
+  EXPECT_GT(Winterness(jan, Hemisphere::kNorthern), 0.99);
+  EXPECT_LT(Winterness(jul, Hemisphere::kNorthern), 0.01);
+  // Flipped in the south.
+  EXPECT_LT(Winterness(jan, Hemisphere::kSouthern), 0.01);
+  EXPECT_GT(Winterness(jul, Hemisphere::kSouthern), 0.99);
+}
+
+TEST(WinternessTest, AlwaysInUnitInterval) {
+  Date d = Date::FromYmd(2015, 1, 1).value();
+  for (int i = 0; i < 1500; ++i) {
+    double w = Winterness(d.AddDays(i), Hemisphere::kNorthern);
+    EXPECT_GE(w, 0.0);
+    EXPECT_LE(w, 1.0);
+  }
+}
+
+TEST(UsageProfileTest, ForUnitProducesSaneRanges) {
+  UsageProfile p = TestProfile();
+  EXPECT_GT(p.base_hours, 0.0);
+  EXPECT_LE(p.base_hours, 16.0);
+  for (double prob : p.dow_work_prob) {
+    EXPECT_GE(prob, 0.0);
+    EXPECT_LE(prob, 1.0);
+  }
+  // Weekend work is much rarer than weekday work.
+  EXPECT_LT(p.dow_work_prob[6], p.dow_work_prob[1] * 0.2);
+  EXPECT_GT(p.noise_ar, 0.0);
+  EXPECT_LT(p.noise_ar, 1.0);
+}
+
+TEST(UsageModelTest, DeterministicForSeed) {
+  UsageModel a(TestProfile(), &Italy(), 11);
+  UsageModel b(TestProfile(), &Italy(), 11);
+  Date d = Date::FromYmd(2015, 1, 1).value();
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_DOUBLE_EQ(a.NextDailyHours(d.AddDays(i)),
+                     b.NextDailyHours(d.AddDays(i)));
+  }
+}
+
+TEST(UsageModelTest, HoursWithinPhysicalBounds) {
+  UsageModel m(TestProfile(), &Italy(), 13);
+  Date d = Date::FromYmd(2015, 1, 1).value();
+  for (int i = 0; i < 1400; ++i) {
+    double h = m.NextDailyHours(d.AddDays(i));
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, 24.0);
+  }
+}
+
+TEST(UsageModelTest, SundaysMostlyIdle) {
+  UsageModel m(TestProfile(), &Italy(), 17);
+  Date d = Date::FromYmd(2015, 1, 1).value();
+  int sundays = 0, sunday_work = 0, weekdays = 0, weekday_work = 0;
+  for (int i = 0; i < 1400; ++i) {
+    Date day = d.AddDays(i);
+    double h = m.NextDailyHours(day);
+    if (day.weekday() == Weekday::kSunday) {
+      ++sundays;
+      if (h > 0) ++sunday_work;
+    } else if (static_cast<int>(day.weekday()) < 5) {
+      ++weekdays;
+      if (h > 0) ++weekday_work;
+    }
+  }
+  double sunday_rate = static_cast<double>(sunday_work) / sundays;
+  double weekday_rate = static_cast<double>(weekday_work) / weekdays;
+  EXPECT_LT(sunday_rate, 0.2);
+  EXPECT_GT(weekday_rate, 0.5);
+  EXPECT_GT(weekday_rate, sunday_rate * 3);
+}
+
+TEST(UsageModelTest, ChristmasSuppressed) {
+  // Christmas week must be mostly idle across many units (Section 2: usage
+  // minimal in December/January).
+  int work_days = 0, total = 0;
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    UsageModel m(TestProfile(seed), &Italy(), seed * 7 + 1);
+    Date d = Date::FromYmd(2016, 11, 1).value();
+    for (int i = 0; i < 90; ++i) {
+      Date day = d.AddDays(i);
+      double h = m.NextDailyHours(day);
+      if (day.month() == 12 && day.day() >= 25 && day.day() <= 31) {
+        ++total;
+        if (h > 0) ++work_days;
+      }
+    }
+  }
+  EXPECT_LT(static_cast<double>(work_days) / total, 0.25);
+}
+
+TEST(UsageModelTest, WinterLowersUsageInTheRightHemisphere) {
+  // Average winter usage < average summer usage for a northern country.
+  double north_jan = 0, north_jul = 0;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    UsageModel m(TestProfile(seed), &Italy(), seed + 100);
+    Date d = Date::FromYmd(2016, 1, 1).value();
+    for (int i = 0; i < 366; ++i) {
+      Date day = d.AddDays(i);
+      double h = m.NextDailyHours(day);
+      if (day.month() == 1) north_jan += h;
+      if (day.month() == 7) north_jul += h;
+    }
+  }
+  EXPECT_LT(north_jan, north_jul);
+}
+
+TEST(UsageModelTest, NextDailyRecordConsistency) {
+  const ModelSpec& model =
+      ModelRegistry::Global().ModelsOf(VehicleType::kRefuseCompactor)[0];
+  UsageModel m(TestProfile(), &Italy(), 23);
+  Date d = Date::FromYmd(2015, 3, 2).value();
+  for (int i = 0; i < 400; ++i) {
+    DailyUsageRecord r = m.NextDailyRecord(d.AddDays(i), model);
+    EXPECT_EQ(r.date, d.AddDays(i));
+    if (r.hours == 0.0) {
+      EXPECT_DOUBLE_EQ(r.fuel_used_l, 0.0);
+      EXPECT_DOUBLE_EQ(r.avg_engine_rpm, 0.0);
+    } else {
+      EXPECT_GT(r.fuel_used_l, 0.0);
+      EXPECT_GE(r.avg_engine_load_pct, 15.0);
+      EXPECT_LE(r.avg_engine_load_pct, 95.0);
+      EXPECT_GE(r.avg_engine_rpm, 700.0);
+      EXPECT_LE(r.avg_engine_rpm, 2400.0);
+      EXPECT_LE(r.idle_hours, r.hours);
+      EXPECT_GE(r.distance_km, 0.0);
+    }
+    EXPECT_GE(r.fuel_level_end_pct, 0.0);
+    EXPECT_LE(r.fuel_level_end_pct, 100.0);
+    EXPECT_GE(r.dtc_count, 0);
+  }
+}
+
+TEST(UsageModelTest, FuelLevelDropsWithUseAndRefills) {
+  const ModelSpec& model =
+      ModelRegistry::Global().ModelsOf(VehicleType::kRefuseCompactor)[0];
+  UsageModel m(TestProfile(), &Italy(), 29);
+  Date d = Date::FromYmd(2015, 3, 2).value();
+  double prev_level = -1.0;
+  bool saw_drop = false, saw_refill = false;
+  for (int i = 0; i < 500; ++i) {
+    DailyUsageRecord r = m.NextDailyRecord(d.AddDays(i), model);
+    if (prev_level >= 0.0 && r.hours > 0.0) {
+      if (r.fuel_level_end_pct < prev_level) saw_drop = true;
+      if (r.fuel_level_end_pct > prev_level) saw_refill = true;
+    }
+    prev_level = r.fuel_level_end_pct;
+  }
+  EXPECT_TRUE(saw_drop);
+  EXPECT_TRUE(saw_refill);
+}
+
+TEST(UsageModelTest, HeterogeneityAcrossUnits) {
+  // Two units of the same model must have clearly different usage levels
+  // (Figure 1c).
+  std::vector<double> medians;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    UsageModel m(TestProfile(seed), &Italy(), seed);
+    Date d = Date::FromYmd(2015, 1, 1).value();
+    std::vector<double> active;
+    for (int i = 0; i < 1000; ++i) {
+      double h = m.NextDailyHours(d.AddDays(i));
+      if (h > 0) active.push_back(h);
+    }
+    if (!active.empty()) medians.push_back(Median(active));
+  }
+  ASSERT_GE(medians.size(), 6u);
+  EXPECT_GT(Max(medians) / Min(medians), 1.3);
+}
+
+}  // namespace
+}  // namespace vup

@@ -1,0 +1,106 @@
+// End-to-end test of the vupred CLI binary: generate -> train -> predict
+// -> evaluate through real process invocations, the way a user drives it.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#ifndef VUP_CLI_PATH
+#error "VUP_CLI_PATH must be defined by the build"
+#endif
+
+namespace vup {
+namespace {
+
+std::string TempDir() {
+  std::string dir = ::testing::TempDir() + "/vup_cli_test";
+  std::string cmd = "mkdir -p " + dir;
+  EXPECT_EQ(std::system(cmd.c_str()), 0);
+  return dir;
+}
+
+int RunCli(const std::string& args, const std::string& stdout_file = "") {
+  std::string cmd = std::string(VUP_CLI_PATH) + " " + args;
+  if (!stdout_file.empty()) cmd += " > " + stdout_file;
+  return std::system(cmd.c_str());
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Reads the country of the first manifest vehicle.
+std::string FirstCountry(const std::string& manifest) {
+  std::ifstream in(manifest);
+  std::string line;
+  std::getline(in, line);  // Header.
+  std::getline(in, line);
+  size_t commas = 0, start = 0;
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == ',') {
+      ++commas;
+      if (commas == 3) start = i + 1;
+      if (commas == 4) return line.substr(start, i - start);
+    }
+  }
+  return "IT";
+}
+
+TEST(CliTest, FullWorkflow) {
+  std::string dir = TempDir();
+
+  // generate
+  ASSERT_EQ(RunCli("generate --out=" + dir + " --vehicles=2 --seed=7"), 0);
+  std::string manifest = dir + "/manifest.csv";
+  std::string data = dir + "/vehicle_100000.csv";
+  ASSERT_FALSE(ReadFile(manifest).empty());
+  ASSERT_FALSE(ReadFile(data).empty());
+  std::string country = FirstCountry(manifest);
+
+  // train
+  std::string model = dir + "/model.txt";
+  ASSERT_EQ(RunCli("train --data=" + data + " --out=" + model +
+                   " --algorithm=Lasso --country=" + country),
+            0);
+  std::string model_text = ReadFile(model);
+  EXPECT_NE(model_text.find("vupred-forecaster v1"), std::string::npos);
+  EXPECT_NE(model_text.find("type Lasso"), std::string::npos);
+
+  // predict
+  std::string pred_file = dir + "/pred.txt";
+  ASSERT_EQ(RunCli("predict --data=" + data + " --model=" + model +
+                       " --country=" + country,
+                   pred_file),
+            0);
+  std::string pred = ReadFile(pred_file);
+  EXPECT_NE(pred.find("2018-10-01"), std::string::npos);
+
+  // evaluate
+  std::string eval_file = dir + "/eval.txt";
+  ASSERT_EQ(RunCli("evaluate --data=" + data + " --algorithm=Lasso" +
+                       " --country=" + country +
+                       " --scenario=next-working-day --eval-days=30",
+                   eval_file),
+            0);
+  std::string eval = ReadFile(eval_file);
+  EXPECT_NE(eval.find("PE="), std::string::npos);
+  EXPECT_NE(eval.find("NextWorkingDay"), std::string::npos);
+}
+
+TEST(CliTest, BadUsageFailsCleanly) {
+  EXPECT_NE(RunCli(""), 0);
+  EXPECT_NE(RunCli("frobnicate"), 0);
+  EXPECT_NE(RunCli("train"), 0);          // Missing flags.
+  EXPECT_NE(RunCli("predict --data=/nonexistent.csv --model=/none.txt"),
+            0);
+}
+
+}  // namespace
+}  // namespace vup

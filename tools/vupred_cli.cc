@@ -1,0 +1,264 @@
+// vupred command-line tool: the library's workflows without writing C++.
+//
+//   vupred generate --out=DIR [--vehicles=N] [--seed=S]
+//       Generate a synthetic fleet and write one dataset CSV per vehicle
+//       plus a manifest.csv describing the units.
+//
+//   vupred train --data=FILE.csv --out=MODEL.txt [--algorithm=GB]
+//       [--country=IT] [--lookback=60] [--topk=15] [--train-days=200]
+//       Train a per-vehicle forecaster on a dataset CSV and persist it.
+//
+//   vupred predict --data=FILE.csv --model=MODEL.txt [--country=IT]
+//       Load a persisted forecaster and forecast the day after the series.
+//
+//   vupred evaluate --data=FILE.csv [--algorithm=GB] [--country=IT]
+//       [--scenario=next-day|next-working-day] [--eval-days=60]
+//       Walk-forward hold-out evaluation (Section 4.1 protocol).
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/evaluation.h"
+#include "core/experiment.h"
+#include "core/forecaster.h"
+#include "table/csv.h"
+#include "telemetry/fleet.h"
+
+namespace vup {
+namespace {
+
+/// Minimal --key=value flag parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        extra_.push_back(arg);
+        continue;
+      }
+      size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "1";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  long long GetInt(const std::string& key, long long fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    StatusOr<long long> v = ParseInt(it->second);
+    return v.ok() ? v.value() : fallback;
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> extra_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+StatusOr<VehicleDataset> LoadDatasetCsv(const std::string& path,
+                                        const std::string& country_code) {
+  VUP_ASSIGN_OR_RETURN(const Country* country,
+                       CountryRegistry::Global().Find(country_code));
+  // Schema: date, utilization_hours, then every canonical feature column.
+  std::vector<Field> fields;
+  fields.push_back({"date", DataType::kDate, false});
+  fields.push_back({"utilization_hours", DataType::kDouble, false});
+  for (const std::string& name : VehicleDataset::FeatureNames()) {
+    fields.push_back({name, DataType::kDouble, false});
+  }
+  VUP_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+  VUP_ASSIGN_OR_RETURN(Table table, ReadCsvFile(path, schema));
+  VehicleInfo info;
+  info.vehicle_id = 1;
+  info.country_code = country_code;
+  return VehicleDataset::FromTable(info, table, *country);
+}
+
+ForecasterConfig MakeForecasterConfig(const Flags& flags) {
+  ForecasterConfig cfg;
+  std::string alg = flags.Get("algorithm", "GB");
+  for (int a = 0; a < kNumAlgorithms; ++a) {
+    if (AlgorithmToString(static_cast<Algorithm>(a)) == alg) {
+      cfg.algorithm = static_cast<Algorithm>(a);
+    }
+  }
+  cfg.windowing.lookback_w =
+      static_cast<size_t>(flags.GetInt("lookback", 60));
+  cfg.selection.top_k = static_cast<size_t>(flags.GetInt("topk", 15));
+  return cfg;
+}
+
+int RunGenerate(const Flags& flags) {
+  if (!flags.Has("out")) {
+    std::fprintf(stderr, "usage: vupred generate --out=DIR [--vehicles=N] "
+                         "[--seed=S]\n");
+    return 2;
+  }
+  std::string out_dir = flags.Get("out", ".");
+  size_t vehicles = static_cast<size_t>(flags.GetInt("vehicles", 20));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  Fleet fleet = Fleet::Generate(FleetConfig::Small(vehicles, seed));
+
+  // Manifest.
+  Schema manifest_schema =
+      Schema::Make({{"vehicle_id", DataType::kInt64, false},
+                    {"type", DataType::kString, false},
+                    {"model", DataType::kString, false},
+                    {"country", DataType::kString, false},
+                    {"install_date", DataType::kDate, false},
+                    {"file", DataType::kString, false}})
+          .value();
+  Table manifest(manifest_schema);
+
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    StatusOr<VehicleDataset> ds = PrepareVehicleDataset(fleet, i);
+    if (!ds.ok()) return Fail(ds.status());
+    StatusOr<Table> table = ds.value().ToTable();
+    if (!table.ok()) return Fail(table.status());
+    const VehicleInfo& info = fleet.vehicle(i);
+    std::string file = StrFormat("vehicle_%lld.csv",
+                                 static_cast<long long>(info.vehicle_id));
+    Status written = WriteCsvFile(table.value(), out_dir + "/" + file);
+    if (!written.ok()) return Fail(written);
+    Status appended = manifest.AppendRow(
+        {Value::Int(info.vehicle_id),
+         Value::Str(std::string(VehicleTypeToString(info.type))),
+         Value::Str(info.model_id), Value::Str(info.country_code),
+         Value::Day(info.install_date), Value::Str(file)});
+    if (!appended.ok()) return Fail(appended);
+  }
+  Status written = WriteCsvFile(manifest, out_dir + "/manifest.csv");
+  if (!written.ok()) return Fail(written);
+  std::printf("wrote %zu vehicle datasets + manifest.csv to %s\n",
+              fleet.size(), out_dir.c_str());
+  return 0;
+}
+
+int RunTrain(const Flags& flags) {
+  if (!flags.Has("data") || !flags.Has("out")) {
+    std::fprintf(stderr, "usage: vupred train --data=FILE.csv "
+                         "--out=MODEL.txt [--algorithm=GB] [--country=IT] "
+                         "[--lookback=60] [--topk=15] [--train-days=200]\n");
+    return 2;
+  }
+  StatusOr<VehicleDataset> ds =
+      LoadDatasetCsv(flags.Get("data", ""), flags.Get("country", "IT"));
+  if (!ds.ok()) return Fail(ds.status());
+
+  ForecasterConfig cfg = MakeForecasterConfig(flags);
+  size_t n = ds.value().num_days();
+  size_t train_days = static_cast<size_t>(flags.GetInt("train-days", 200));
+  size_t begin = n > train_days ? n - train_days : cfg.windowing.lookback_w;
+  VehicleForecaster forecaster(cfg);
+  Status trained = forecaster.Train(ds.value(), begin, n);
+  if (!trained.ok()) return Fail(trained);
+
+  std::ofstream out(flags.Get("out", ""));
+  if (!out) {
+    return Fail(Status::NotFound("cannot open " + flags.Get("out", "")));
+  }
+  Status saved = forecaster.Save(out);
+  if (!saved.ok()) return Fail(saved);
+  std::printf("trained %s on %zu records (%zu ACF-selected lags), saved to "
+              "%s\n",
+              std::string(AlgorithmToString(cfg.algorithm)).c_str(),
+              n - begin, forecaster.selected_lags().size(),
+              flags.Get("out", "").c_str());
+  return 0;
+}
+
+int RunPredict(const Flags& flags) {
+  if (!flags.Has("data") || !flags.Has("model")) {
+    std::fprintf(stderr, "usage: vupred predict --data=FILE.csv "
+                         "--model=MODEL.txt [--country=IT]\n");
+    return 2;
+  }
+  StatusOr<VehicleDataset> ds =
+      LoadDatasetCsv(flags.Get("data", ""), flags.Get("country", "IT"));
+  if (!ds.ok()) return Fail(ds.status());
+  std::ifstream in(flags.Get("model", ""));
+  if (!in) {
+    return Fail(Status::NotFound("cannot open " + flags.Get("model", "")));
+  }
+  StatusOr<VehicleForecaster> forecaster = VehicleForecaster::Load(in);
+  if (!forecaster.ok()) return Fail(forecaster.status());
+  StatusOr<double> pred =
+      forecaster.value().PredictTarget(ds.value(), ds.value().num_days());
+  if (!pred.ok()) return Fail(pred.status());
+  Date tomorrow = ds.value().dates().back().AddDays(1);
+  std::printf("%s %.2f\n", tomorrow.ToString().c_str(), pred.value());
+  return 0;
+}
+
+int RunEvaluate(const Flags& flags) {
+  if (!flags.Has("data")) {
+    std::fprintf(stderr, "usage: vupred evaluate --data=FILE.csv "
+                         "[--algorithm=GB] [--country=IT] "
+                         "[--scenario=next-day|next-working-day] "
+                         "[--eval-days=60]\n");
+    return 2;
+  }
+  StatusOr<VehicleDataset> ds =
+      LoadDatasetCsv(flags.Get("data", ""), flags.Get("country", "IT"));
+  if (!ds.ok()) return Fail(ds.status());
+
+  EvaluationConfig cfg;
+  cfg.forecaster = MakeForecasterConfig(flags);
+  cfg.eval_days = static_cast<size_t>(flags.GetInt("eval-days", 60));
+  cfg.retrain_every = static_cast<size_t>(flags.GetInt("retrain-every", 7));
+  cfg.train_window = static_cast<size_t>(flags.GetInt("train-window", 140));
+  cfg.scenario = flags.Get("scenario", "next-day") == "next-working-day"
+                     ? Scenario::kNextWorkingDay
+                     : Scenario::kNextDay;
+  StatusOr<VehicleEvaluation> ev = EvaluateVehicle(ds.value(), cfg);
+  if (!ev.ok()) return Fail(ev.status());
+  std::printf("algorithm=%s scenario=%s predictions=%zu PE=%.2f%% "
+              "MAE=%.3fh\n",
+              std::string(AlgorithmToString(cfg.forecaster.algorithm))
+                  .c_str(),
+              std::string(ScenarioToString(cfg.scenario)).c_str(),
+              ev.value().num_predictions, ev.value().pe, ev.value().mae);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "vupred -- industrial vehicle usage prediction\n"
+                 "commands: generate, train, predict, evaluate\n");
+    return 2;
+  }
+  std::string command = argv[1];
+  Flags flags(argc, argv, 2);
+  if (command == "generate") return RunGenerate(flags);
+  if (command == "train") return RunTrain(flags);
+  if (command == "predict") return RunPredict(flags);
+  if (command == "evaluate") return RunEvaluate(flags);
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return 2;
+}
+
+}  // namespace
+}  // namespace vup
+
+int main(int argc, char** argv) { return vup::Main(argc, argv); }
