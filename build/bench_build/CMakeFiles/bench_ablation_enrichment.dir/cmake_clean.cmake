@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_enrichment"
+  "../bench/bench_ablation_enrichment.pdb"
+  "CMakeFiles/bench_ablation_enrichment.dir/bench_ablation_enrichment.cc.o"
+  "CMakeFiles/bench_ablation_enrichment.dir/bench_ablation_enrichment.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_enrichment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

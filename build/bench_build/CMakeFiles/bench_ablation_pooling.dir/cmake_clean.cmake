@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_pooling"
+  "../bench/bench_ablation_pooling.pdb"
+  "CMakeFiles/bench_ablation_pooling.dir/bench_ablation_pooling.cc.o"
+  "CMakeFiles/bench_ablation_pooling.dir/bench_ablation_pooling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

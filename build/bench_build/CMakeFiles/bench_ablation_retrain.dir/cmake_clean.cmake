@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_retrain"
+  "../bench/bench_ablation_retrain.pdb"
+  "CMakeFiles/bench_ablation_retrain.dir/bench_ablation_retrain.cc.o"
+  "CMakeFiles/bench_ablation_retrain.dir/bench_ablation_retrain.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_retrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

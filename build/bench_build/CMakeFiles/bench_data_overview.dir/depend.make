@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_data_overview.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_two_stage"
+  "../bench/bench_ext_two_stage.pdb"
+  "CMakeFiles/bench_ext_two_stage.dir/bench_ext_two_stage.cc.o"
+  "CMakeFiles/bench_ext_two_stage.dir/bench_ext_two_stage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_two_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

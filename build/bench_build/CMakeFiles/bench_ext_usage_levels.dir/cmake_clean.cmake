@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_usage_levels"
+  "../bench/bench_ext_usage_levels.pdb"
+  "CMakeFiles/bench_ext_usage_levels.dir/bench_ext_usage_levels.cc.o"
+  "CMakeFiles/bench_ext_usage_levels.dir/bench_ext_usage_levels.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_usage_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

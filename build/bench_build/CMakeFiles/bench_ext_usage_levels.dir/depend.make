@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ext_usage_levels.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1a_usage_cdf"
+  "../bench/bench_fig1a_usage_cdf.pdb"
+  "CMakeFiles/bench_fig1a_usage_cdf.dir/bench_fig1a_usage_cdf.cc.o"
+  "CMakeFiles/bench_fig1a_usage_cdf.dir/bench_fig1a_usage_cdf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1a_usage_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

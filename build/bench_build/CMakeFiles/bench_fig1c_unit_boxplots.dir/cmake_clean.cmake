@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1c_unit_boxplots"
+  "../bench/bench_fig1c_unit_boxplots.pdb"
+  "CMakeFiles/bench_fig1c_unit_boxplots.dir/bench_fig1c_unit_boxplots.cc.o"
+  "CMakeFiles/bench_fig1c_unit_boxplots.dir/bench_fig1c_unit_boxplots.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1c_unit_boxplots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig1c_unit_boxplots.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1d_weekly_series"
+  "../bench/bench_fig1d_weekly_series.pdb"
+  "CMakeFiles/bench_fig1d_weekly_series.dir/bench_fig1d_weekly_series.cc.o"
+  "CMakeFiles/bench_fig1d_weekly_series.dir/bench_fig1d_weekly_series.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1d_weekly_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig1d_weekly_series.
+# This may be replaced when dependencies are built.

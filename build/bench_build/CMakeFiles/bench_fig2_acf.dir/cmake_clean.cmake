@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_acf"
+  "../bench/bench_fig2_acf.pdb"
+  "CMakeFiles/bench_fig2_acf.dir/bench_fig2_acf.cc.o"
+  "CMakeFiles/bench_fig2_acf.dir/bench_fig2_acf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_acf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_strategies"
+  "../bench/bench_fig3_strategies.pdb"
+  "CMakeFiles/bench_fig3_strategies.dir/bench_fig3_strategies.cc.o"
+  "CMakeFiles/bench_fig3_strategies.dir/bench_fig3_strategies.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_feature_selection"
+  "../bench/bench_fig4_feature_selection.pdb"
+  "CMakeFiles/bench_fig4_feature_selection.dir/bench_fig4_feature_selection.cc.o"
+  "CMakeFiles/bench_fig4_feature_selection.dir/bench_fig4_feature_selection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_feature_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_predicted_vs_actual"
+  "../bench/bench_fig6_predicted_vs_actual.pdb"
+  "CMakeFiles/bench_fig6_predicted_vs_actual.dir/bench_fig6_predicted_vs_actual.cc.o"
+  "CMakeFiles/bench_fig6_predicted_vs_actual.dir/bench_fig6_predicted_vs_actual.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_predicted_vs_actual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec42_grid_search"
+  "../bench/bench_sec42_grid_search.pdb"
+  "CMakeFiles/bench_sec42_grid_search.dir/bench_sec42_grid_search.cc.o"
+  "CMakeFiles/bench_sec42_grid_search.dir/bench_sec42_grid_search.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec42_grid_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

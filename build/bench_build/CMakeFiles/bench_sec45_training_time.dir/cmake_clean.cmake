@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec45_training_time"
+  "../bench/bench_sec45_training_time.pdb"
+  "CMakeFiles/bench_sec45_training_time.dir/bench_sec45_training_time.cc.o"
+  "CMakeFiles/bench_sec45_training_time.dir/bench_sec45_training_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec45_training_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

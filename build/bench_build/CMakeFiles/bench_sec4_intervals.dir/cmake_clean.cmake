@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec4_intervals"
+  "../bench/bench_sec4_intervals.pdb"
+  "CMakeFiles/bench_sec4_intervals.dir/bench_sec4_intervals.cc.o"
+  "CMakeFiles/bench_sec4_intervals.dir/bench_sec4_intervals.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_intervals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec4_per_type"
+  "../bench/bench_sec4_per_type.pdb"
+  "CMakeFiles/bench_sec4_per_type.dir/bench_sec4_per_type.cc.o"
+  "CMakeFiles/bench_sec4_per_type.dir/bench_sec4_per_type.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_per_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vup_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/vup_bench_util.dir/bench_util.cc.o.d"
+  "libvup_bench_util.a"
+  "libvup_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vup_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fleet_dashboard.dir/fleet_dashboard.cpp.o"
+  "CMakeFiles/example_fleet_dashboard.dir/fleet_dashboard.cpp.o.d"
+  "example_fleet_dashboard"
+  "example_fleet_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fleet_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

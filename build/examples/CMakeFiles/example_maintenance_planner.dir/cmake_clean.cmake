@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_maintenance_planner.dir/maintenance_planner.cpp.o"
+  "CMakeFiles/example_maintenance_planner.dir/maintenance_planner.cpp.o.d"
+  "example_maintenance_planner"
+  "example_maintenance_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_maintenance_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

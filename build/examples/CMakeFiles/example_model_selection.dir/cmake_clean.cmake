@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_model_selection.dir/model_selection.cpp.o"
+  "CMakeFiles/example_model_selection.dir/model_selection.cpp.o.d"
+  "example_model_selection"
+  "example_model_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_model_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_online_pipeline.dir/online_pipeline.cpp.o"
+  "CMakeFiles/example_online_pipeline.dir/online_pipeline.cpp.o.d"
+  "example_online_pipeline"
+  "example_online_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_online_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

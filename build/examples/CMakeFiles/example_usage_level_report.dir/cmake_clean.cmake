@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_usage_level_report.dir/usage_level_report.cpp.o"
+  "CMakeFiles/example_usage_level_report.dir/usage_level_report.cpp.o.d"
+  "example_usage_level_report"
+  "example_usage_level_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_usage_level_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_usage_level_report.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/calendar/country.cc" "src/CMakeFiles/vup_calendar.dir/calendar/country.cc.o" "gcc" "src/CMakeFiles/vup_calendar.dir/calendar/country.cc.o.d"
+  "/root/repo/src/calendar/date.cc" "src/CMakeFiles/vup_calendar.dir/calendar/date.cc.o" "gcc" "src/CMakeFiles/vup_calendar.dir/calendar/date.cc.o.d"
+  "/root/repo/src/calendar/holiday.cc" "src/CMakeFiles/vup_calendar.dir/calendar/holiday.cc.o" "gcc" "src/CMakeFiles/vup_calendar.dir/calendar/holiday.cc.o.d"
+  "/root/repo/src/calendar/season.cc" "src/CMakeFiles/vup_calendar.dir/calendar/season.cc.o" "gcc" "src/CMakeFiles/vup_calendar.dir/calendar/season.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vup_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vup_calendar.dir/calendar/country.cc.o"
+  "CMakeFiles/vup_calendar.dir/calendar/country.cc.o.d"
+  "CMakeFiles/vup_calendar.dir/calendar/date.cc.o"
+  "CMakeFiles/vup_calendar.dir/calendar/date.cc.o.d"
+  "CMakeFiles/vup_calendar.dir/calendar/holiday.cc.o"
+  "CMakeFiles/vup_calendar.dir/calendar/holiday.cc.o.d"
+  "CMakeFiles/vup_calendar.dir/calendar/season.cc.o"
+  "CMakeFiles/vup_calendar.dir/calendar/season.cc.o.d"
+  "libvup_calendar.a"
+  "libvup_calendar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vup_calendar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vup_common.dir/common/logging.cc.o"
+  "CMakeFiles/vup_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/vup_common.dir/common/random.cc.o"
+  "CMakeFiles/vup_common.dir/common/random.cc.o.d"
+  "CMakeFiles/vup_common.dir/common/status.cc.o"
+  "CMakeFiles/vup_common.dir/common/status.cc.o.d"
+  "CMakeFiles/vup_common.dir/common/string_util.cc.o"
+  "CMakeFiles/vup_common.dir/common/string_util.cc.o.d"
+  "libvup_common.a"
+  "libvup_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vup_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

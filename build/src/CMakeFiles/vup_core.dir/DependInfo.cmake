@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/evaluation.cc" "src/CMakeFiles/vup_core.dir/core/evaluation.cc.o" "gcc" "src/CMakeFiles/vup_core.dir/core/evaluation.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/vup_core.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/vup_core.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/feature_selection.cc" "src/CMakeFiles/vup_core.dir/core/feature_selection.cc.o" "gcc" "src/CMakeFiles/vup_core.dir/core/feature_selection.cc.o.d"
+  "/root/repo/src/core/forecaster.cc" "src/CMakeFiles/vup_core.dir/core/forecaster.cc.o" "gcc" "src/CMakeFiles/vup_core.dir/core/forecaster.cc.o.d"
+  "/root/repo/src/core/intervals.cc" "src/CMakeFiles/vup_core.dir/core/intervals.cc.o" "gcc" "src/CMakeFiles/vup_core.dir/core/intervals.cc.o.d"
+  "/root/repo/src/core/two_stage.cc" "src/CMakeFiles/vup_core.dir/core/two_stage.cc.o" "gcc" "src/CMakeFiles/vup_core.dir/core/two_stage.cc.o.d"
+  "/root/repo/src/core/usage_levels.cc" "src/CMakeFiles/vup_core.dir/core/usage_levels.cc.o" "gcc" "src/CMakeFiles/vup_core.dir/core/usage_levels.cc.o.d"
+  "/root/repo/src/core/windowing.cc" "src/CMakeFiles/vup_core.dir/core/windowing.cc.o" "gcc" "src/CMakeFiles/vup_core.dir/core/windowing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vup_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vup_calendar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vup_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vup_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vup_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vup_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vup_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vup_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

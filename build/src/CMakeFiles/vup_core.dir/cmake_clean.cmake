@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vup_core.dir/core/evaluation.cc.o"
+  "CMakeFiles/vup_core.dir/core/evaluation.cc.o.d"
+  "CMakeFiles/vup_core.dir/core/experiment.cc.o"
+  "CMakeFiles/vup_core.dir/core/experiment.cc.o.d"
+  "CMakeFiles/vup_core.dir/core/feature_selection.cc.o"
+  "CMakeFiles/vup_core.dir/core/feature_selection.cc.o.d"
+  "CMakeFiles/vup_core.dir/core/forecaster.cc.o"
+  "CMakeFiles/vup_core.dir/core/forecaster.cc.o.d"
+  "CMakeFiles/vup_core.dir/core/intervals.cc.o"
+  "CMakeFiles/vup_core.dir/core/intervals.cc.o.d"
+  "CMakeFiles/vup_core.dir/core/two_stage.cc.o"
+  "CMakeFiles/vup_core.dir/core/two_stage.cc.o.d"
+  "CMakeFiles/vup_core.dir/core/usage_levels.cc.o"
+  "CMakeFiles/vup_core.dir/core/usage_levels.cc.o.d"
+  "CMakeFiles/vup_core.dir/core/windowing.cc.o"
+  "CMakeFiles/vup_core.dir/core/windowing.cc.o.d"
+  "libvup_core.a"
+  "libvup_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vup_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

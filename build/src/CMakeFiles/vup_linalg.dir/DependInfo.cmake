@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/cholesky.cc" "src/CMakeFiles/vup_linalg.dir/linalg/cholesky.cc.o" "gcc" "src/CMakeFiles/vup_linalg.dir/linalg/cholesky.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/vup_linalg.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/vup_linalg.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/qr.cc" "src/CMakeFiles/vup_linalg.dir/linalg/qr.cc.o" "gcc" "src/CMakeFiles/vup_linalg.dir/linalg/qr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vup_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

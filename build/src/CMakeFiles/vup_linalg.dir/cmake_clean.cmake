@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vup_linalg.dir/linalg/cholesky.cc.o"
+  "CMakeFiles/vup_linalg.dir/linalg/cholesky.cc.o.d"
+  "CMakeFiles/vup_linalg.dir/linalg/matrix.cc.o"
+  "CMakeFiles/vup_linalg.dir/linalg/matrix.cc.o.d"
+  "CMakeFiles/vup_linalg.dir/linalg/qr.cc.o"
+  "CMakeFiles/vup_linalg.dir/linalg/qr.cc.o.d"
+  "libvup_linalg.a"
+  "libvup_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vup_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/baselines.cc" "src/CMakeFiles/vup_ml.dir/ml/baselines.cc.o" "gcc" "src/CMakeFiles/vup_ml.dir/ml/baselines.cc.o.d"
+  "/root/repo/src/ml/gradient_boosting.cc" "src/CMakeFiles/vup_ml.dir/ml/gradient_boosting.cc.o" "gcc" "src/CMakeFiles/vup_ml.dir/ml/gradient_boosting.cc.o.d"
+  "/root/repo/src/ml/grid_search.cc" "src/CMakeFiles/vup_ml.dir/ml/grid_search.cc.o" "gcc" "src/CMakeFiles/vup_ml.dir/ml/grid_search.cc.o.d"
+  "/root/repo/src/ml/kernel.cc" "src/CMakeFiles/vup_ml.dir/ml/kernel.cc.o" "gcc" "src/CMakeFiles/vup_ml.dir/ml/kernel.cc.o.d"
+  "/root/repo/src/ml/lasso.cc" "src/CMakeFiles/vup_ml.dir/ml/lasso.cc.o" "gcc" "src/CMakeFiles/vup_ml.dir/ml/lasso.cc.o.d"
+  "/root/repo/src/ml/linear_regression.cc" "src/CMakeFiles/vup_ml.dir/ml/linear_regression.cc.o" "gcc" "src/CMakeFiles/vup_ml.dir/ml/linear_regression.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "src/CMakeFiles/vup_ml.dir/ml/logistic_regression.cc.o" "gcc" "src/CMakeFiles/vup_ml.dir/ml/logistic_regression.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/CMakeFiles/vup_ml.dir/ml/metrics.cc.o" "gcc" "src/CMakeFiles/vup_ml.dir/ml/metrics.cc.o.d"
+  "/root/repo/src/ml/scaler.cc" "src/CMakeFiles/vup_ml.dir/ml/scaler.cc.o" "gcc" "src/CMakeFiles/vup_ml.dir/ml/scaler.cc.o.d"
+  "/root/repo/src/ml/serialize.cc" "src/CMakeFiles/vup_ml.dir/ml/serialize.cc.o" "gcc" "src/CMakeFiles/vup_ml.dir/ml/serialize.cc.o.d"
+  "/root/repo/src/ml/svr.cc" "src/CMakeFiles/vup_ml.dir/ml/svr.cc.o" "gcc" "src/CMakeFiles/vup_ml.dir/ml/svr.cc.o.d"
+  "/root/repo/src/ml/tree.cc" "src/CMakeFiles/vup_ml.dir/ml/tree.cc.o" "gcc" "src/CMakeFiles/vup_ml.dir/ml/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vup_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vup_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vup_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

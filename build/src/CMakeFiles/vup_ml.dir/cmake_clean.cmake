@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vup_ml.dir/ml/baselines.cc.o"
+  "CMakeFiles/vup_ml.dir/ml/baselines.cc.o.d"
+  "CMakeFiles/vup_ml.dir/ml/gradient_boosting.cc.o"
+  "CMakeFiles/vup_ml.dir/ml/gradient_boosting.cc.o.d"
+  "CMakeFiles/vup_ml.dir/ml/grid_search.cc.o"
+  "CMakeFiles/vup_ml.dir/ml/grid_search.cc.o.d"
+  "CMakeFiles/vup_ml.dir/ml/kernel.cc.o"
+  "CMakeFiles/vup_ml.dir/ml/kernel.cc.o.d"
+  "CMakeFiles/vup_ml.dir/ml/lasso.cc.o"
+  "CMakeFiles/vup_ml.dir/ml/lasso.cc.o.d"
+  "CMakeFiles/vup_ml.dir/ml/linear_regression.cc.o"
+  "CMakeFiles/vup_ml.dir/ml/linear_regression.cc.o.d"
+  "CMakeFiles/vup_ml.dir/ml/logistic_regression.cc.o"
+  "CMakeFiles/vup_ml.dir/ml/logistic_regression.cc.o.d"
+  "CMakeFiles/vup_ml.dir/ml/metrics.cc.o"
+  "CMakeFiles/vup_ml.dir/ml/metrics.cc.o.d"
+  "CMakeFiles/vup_ml.dir/ml/scaler.cc.o"
+  "CMakeFiles/vup_ml.dir/ml/scaler.cc.o.d"
+  "CMakeFiles/vup_ml.dir/ml/serialize.cc.o"
+  "CMakeFiles/vup_ml.dir/ml/serialize.cc.o.d"
+  "CMakeFiles/vup_ml.dir/ml/svr.cc.o"
+  "CMakeFiles/vup_ml.dir/ml/svr.cc.o.d"
+  "CMakeFiles/vup_ml.dir/ml/tree.cc.o"
+  "CMakeFiles/vup_ml.dir/ml/tree.cc.o.d"
+  "libvup_ml.a"
+  "libvup_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vup_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

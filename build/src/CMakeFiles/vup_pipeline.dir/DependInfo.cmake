@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/aggregate.cc" "src/CMakeFiles/vup_pipeline.dir/pipeline/aggregate.cc.o" "gcc" "src/CMakeFiles/vup_pipeline.dir/pipeline/aggregate.cc.o.d"
+  "/root/repo/src/pipeline/cleaning.cc" "src/CMakeFiles/vup_pipeline.dir/pipeline/cleaning.cc.o" "gcc" "src/CMakeFiles/vup_pipeline.dir/pipeline/cleaning.cc.o.d"
+  "/root/repo/src/pipeline/dataset.cc" "src/CMakeFiles/vup_pipeline.dir/pipeline/dataset.cc.o" "gcc" "src/CMakeFiles/vup_pipeline.dir/pipeline/dataset.cc.o.d"
+  "/root/repo/src/pipeline/enrich.cc" "src/CMakeFiles/vup_pipeline.dir/pipeline/enrich.cc.o" "gcc" "src/CMakeFiles/vup_pipeline.dir/pipeline/enrich.cc.o.d"
+  "/root/repo/src/pipeline/ingest.cc" "src/CMakeFiles/vup_pipeline.dir/pipeline/ingest.cc.o" "gcc" "src/CMakeFiles/vup_pipeline.dir/pipeline/ingest.cc.o.d"
+  "/root/repo/src/pipeline/normalize.cc" "src/CMakeFiles/vup_pipeline.dir/pipeline/normalize.cc.o" "gcc" "src/CMakeFiles/vup_pipeline.dir/pipeline/normalize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vup_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vup_calendar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vup_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vup_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vup_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vup_pipeline.dir/pipeline/aggregate.cc.o"
+  "CMakeFiles/vup_pipeline.dir/pipeline/aggregate.cc.o.d"
+  "CMakeFiles/vup_pipeline.dir/pipeline/cleaning.cc.o"
+  "CMakeFiles/vup_pipeline.dir/pipeline/cleaning.cc.o.d"
+  "CMakeFiles/vup_pipeline.dir/pipeline/dataset.cc.o"
+  "CMakeFiles/vup_pipeline.dir/pipeline/dataset.cc.o.d"
+  "CMakeFiles/vup_pipeline.dir/pipeline/enrich.cc.o"
+  "CMakeFiles/vup_pipeline.dir/pipeline/enrich.cc.o.d"
+  "CMakeFiles/vup_pipeline.dir/pipeline/ingest.cc.o"
+  "CMakeFiles/vup_pipeline.dir/pipeline/ingest.cc.o.d"
+  "CMakeFiles/vup_pipeline.dir/pipeline/normalize.cc.o"
+  "CMakeFiles/vup_pipeline.dir/pipeline/normalize.cc.o.d"
+  "libvup_pipeline.a"
+  "libvup_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vup_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

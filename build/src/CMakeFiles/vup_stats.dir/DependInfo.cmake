@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/acf.cc" "src/CMakeFiles/vup_stats.dir/stats/acf.cc.o" "gcc" "src/CMakeFiles/vup_stats.dir/stats/acf.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/CMakeFiles/vup_stats.dir/stats/descriptive.cc.o" "gcc" "src/CMakeFiles/vup_stats.dir/stats/descriptive.cc.o.d"
+  "/root/repo/src/stats/ecdf.cc" "src/CMakeFiles/vup_stats.dir/stats/ecdf.cc.o" "gcc" "src/CMakeFiles/vup_stats.dir/stats/ecdf.cc.o.d"
+  "/root/repo/src/stats/rolling.cc" "src/CMakeFiles/vup_stats.dir/stats/rolling.cc.o" "gcc" "src/CMakeFiles/vup_stats.dir/stats/rolling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vup_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vup_stats.dir/stats/acf.cc.o"
+  "CMakeFiles/vup_stats.dir/stats/acf.cc.o.d"
+  "CMakeFiles/vup_stats.dir/stats/descriptive.cc.o"
+  "CMakeFiles/vup_stats.dir/stats/descriptive.cc.o.d"
+  "CMakeFiles/vup_stats.dir/stats/ecdf.cc.o"
+  "CMakeFiles/vup_stats.dir/stats/ecdf.cc.o.d"
+  "CMakeFiles/vup_stats.dir/stats/rolling.cc.o"
+  "CMakeFiles/vup_stats.dir/stats/rolling.cc.o.d"
+  "libvup_stats.a"
+  "libvup_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vup_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/table/column.cc" "src/CMakeFiles/vup_table.dir/table/column.cc.o" "gcc" "src/CMakeFiles/vup_table.dir/table/column.cc.o.d"
+  "/root/repo/src/table/csv.cc" "src/CMakeFiles/vup_table.dir/table/csv.cc.o" "gcc" "src/CMakeFiles/vup_table.dir/table/csv.cc.o.d"
+  "/root/repo/src/table/schema.cc" "src/CMakeFiles/vup_table.dir/table/schema.cc.o" "gcc" "src/CMakeFiles/vup_table.dir/table/schema.cc.o.d"
+  "/root/repo/src/table/table.cc" "src/CMakeFiles/vup_table.dir/table/table.cc.o" "gcc" "src/CMakeFiles/vup_table.dir/table/table.cc.o.d"
+  "/root/repo/src/table/value.cc" "src/CMakeFiles/vup_table.dir/table/value.cc.o" "gcc" "src/CMakeFiles/vup_table.dir/table/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vup_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vup_calendar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vup_table.dir/table/column.cc.o"
+  "CMakeFiles/vup_table.dir/table/column.cc.o.d"
+  "CMakeFiles/vup_table.dir/table/csv.cc.o"
+  "CMakeFiles/vup_table.dir/table/csv.cc.o.d"
+  "CMakeFiles/vup_table.dir/table/schema.cc.o"
+  "CMakeFiles/vup_table.dir/table/schema.cc.o.d"
+  "CMakeFiles/vup_table.dir/table/table.cc.o"
+  "CMakeFiles/vup_table.dir/table/table.cc.o.d"
+  "CMakeFiles/vup_table.dir/table/value.cc.o"
+  "CMakeFiles/vup_table.dir/table/value.cc.o.d"
+  "libvup_table.a"
+  "libvup_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vup_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/can_frame.cc" "src/CMakeFiles/vup_telemetry.dir/telemetry/can_frame.cc.o" "gcc" "src/CMakeFiles/vup_telemetry.dir/telemetry/can_frame.cc.o.d"
+  "/root/repo/src/telemetry/device.cc" "src/CMakeFiles/vup_telemetry.dir/telemetry/device.cc.o" "gcc" "src/CMakeFiles/vup_telemetry.dir/telemetry/device.cc.o.d"
+  "/root/repo/src/telemetry/engine_sim.cc" "src/CMakeFiles/vup_telemetry.dir/telemetry/engine_sim.cc.o" "gcc" "src/CMakeFiles/vup_telemetry.dir/telemetry/engine_sim.cc.o.d"
+  "/root/repo/src/telemetry/fleet.cc" "src/CMakeFiles/vup_telemetry.dir/telemetry/fleet.cc.o" "gcc" "src/CMakeFiles/vup_telemetry.dir/telemetry/fleet.cc.o.d"
+  "/root/repo/src/telemetry/message.cc" "src/CMakeFiles/vup_telemetry.dir/telemetry/message.cc.o" "gcc" "src/CMakeFiles/vup_telemetry.dir/telemetry/message.cc.o.d"
+  "/root/repo/src/telemetry/report.cc" "src/CMakeFiles/vup_telemetry.dir/telemetry/report.cc.o" "gcc" "src/CMakeFiles/vup_telemetry.dir/telemetry/report.cc.o.d"
+  "/root/repo/src/telemetry/signal.cc" "src/CMakeFiles/vup_telemetry.dir/telemetry/signal.cc.o" "gcc" "src/CMakeFiles/vup_telemetry.dir/telemetry/signal.cc.o.d"
+  "/root/repo/src/telemetry/taxonomy.cc" "src/CMakeFiles/vup_telemetry.dir/telemetry/taxonomy.cc.o" "gcc" "src/CMakeFiles/vup_telemetry.dir/telemetry/taxonomy.cc.o.d"
+  "/root/repo/src/telemetry/usage_model.cc" "src/CMakeFiles/vup_telemetry.dir/telemetry/usage_model.cc.o" "gcc" "src/CMakeFiles/vup_telemetry.dir/telemetry/usage_model.cc.o.d"
+  "/root/repo/src/telemetry/vehicle.cc" "src/CMakeFiles/vup_telemetry.dir/telemetry/vehicle.cc.o" "gcc" "src/CMakeFiles/vup_telemetry.dir/telemetry/vehicle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vup_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vup_calendar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vup_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vup_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vup_telemetry.dir/telemetry/can_frame.cc.o"
+  "CMakeFiles/vup_telemetry.dir/telemetry/can_frame.cc.o.d"
+  "CMakeFiles/vup_telemetry.dir/telemetry/device.cc.o"
+  "CMakeFiles/vup_telemetry.dir/telemetry/device.cc.o.d"
+  "CMakeFiles/vup_telemetry.dir/telemetry/engine_sim.cc.o"
+  "CMakeFiles/vup_telemetry.dir/telemetry/engine_sim.cc.o.d"
+  "CMakeFiles/vup_telemetry.dir/telemetry/fleet.cc.o"
+  "CMakeFiles/vup_telemetry.dir/telemetry/fleet.cc.o.d"
+  "CMakeFiles/vup_telemetry.dir/telemetry/message.cc.o"
+  "CMakeFiles/vup_telemetry.dir/telemetry/message.cc.o.d"
+  "CMakeFiles/vup_telemetry.dir/telemetry/report.cc.o"
+  "CMakeFiles/vup_telemetry.dir/telemetry/report.cc.o.d"
+  "CMakeFiles/vup_telemetry.dir/telemetry/signal.cc.o"
+  "CMakeFiles/vup_telemetry.dir/telemetry/signal.cc.o.d"
+  "CMakeFiles/vup_telemetry.dir/telemetry/taxonomy.cc.o"
+  "CMakeFiles/vup_telemetry.dir/telemetry/taxonomy.cc.o.d"
+  "CMakeFiles/vup_telemetry.dir/telemetry/usage_model.cc.o"
+  "CMakeFiles/vup_telemetry.dir/telemetry/usage_model.cc.o.d"
+  "CMakeFiles/vup_telemetry.dir/telemetry/vehicle.cc.o"
+  "CMakeFiles/vup_telemetry.dir/telemetry/vehicle.cc.o.d"
+  "libvup_telemetry.a"
+  "libvup_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vup_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvup_telemetry.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calendar_country_test.dir/calendar/country_test.cc.o"
+  "CMakeFiles/calendar_country_test.dir/calendar/country_test.cc.o.d"
+  "calendar_country_test"
+  "calendar_country_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calendar_country_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

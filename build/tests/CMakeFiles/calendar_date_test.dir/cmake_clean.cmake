@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calendar_date_test.dir/calendar/date_test.cc.o"
+  "CMakeFiles/calendar_date_test.dir/calendar/date_test.cc.o.d"
+  "calendar_date_test"
+  "calendar_date_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calendar_date_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

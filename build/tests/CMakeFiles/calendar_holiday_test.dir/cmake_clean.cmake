@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calendar_holiday_test.dir/calendar/holiday_test.cc.o"
+  "CMakeFiles/calendar_holiday_test.dir/calendar/holiday_test.cc.o.d"
+  "calendar_holiday_test"
+  "calendar_holiday_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calendar_holiday_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calendar_season_test.dir/calendar/season_test.cc.o"
+  "CMakeFiles/calendar_season_test.dir/calendar/season_test.cc.o.d"
+  "calendar_season_test"
+  "calendar_season_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calendar_season_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

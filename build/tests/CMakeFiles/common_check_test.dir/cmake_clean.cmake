@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_check_test.dir/common/check_test.cc.o"
+  "CMakeFiles/common_check_test.dir/common/check_test.cc.o.d"
+  "common_check_test"
+  "common_check_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_statusor_test.dir/common/statusor_test.cc.o"
+  "CMakeFiles/common_statusor_test.dir/common/statusor_test.cc.o.d"
+  "common_statusor_test"
+  "common_statusor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_statusor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_evaluation_test.dir/core/evaluation_test.cc.o"
+  "CMakeFiles/core_evaluation_test.dir/core/evaluation_test.cc.o.d"
+  "core_evaluation_test"
+  "core_evaluation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_evaluation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

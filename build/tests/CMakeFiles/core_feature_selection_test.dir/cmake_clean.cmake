@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_feature_selection_test.dir/core/feature_selection_test.cc.o"
+  "CMakeFiles/core_feature_selection_test.dir/core/feature_selection_test.cc.o.d"
+  "core_feature_selection_test"
+  "core_feature_selection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_feature_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

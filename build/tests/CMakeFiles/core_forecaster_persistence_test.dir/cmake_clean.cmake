@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_forecaster_persistence_test.dir/core/forecaster_persistence_test.cc.o"
+  "CMakeFiles/core_forecaster_persistence_test.dir/core/forecaster_persistence_test.cc.o.d"
+  "core_forecaster_persistence_test"
+  "core_forecaster_persistence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_forecaster_persistence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

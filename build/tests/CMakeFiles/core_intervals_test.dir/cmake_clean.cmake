@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_intervals_test.dir/core/intervals_test.cc.o"
+  "CMakeFiles/core_intervals_test.dir/core/intervals_test.cc.o.d"
+  "core_intervals_test"
+  "core_intervals_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_intervals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_two_stage_test.dir/core/two_stage_test.cc.o"
+  "CMakeFiles/core_two_stage_test.dir/core/two_stage_test.cc.o.d"
+  "core_two_stage_test"
+  "core_two_stage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_two_stage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

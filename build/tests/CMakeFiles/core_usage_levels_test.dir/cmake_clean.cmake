@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_usage_levels_test.dir/core/usage_levels_test.cc.o"
+  "CMakeFiles/core_usage_levels_test.dir/core/usage_levels_test.cc.o.d"
+  "core_usage_levels_test"
+  "core_usage_levels_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_usage_levels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_windowing_test.dir/core/windowing_test.cc.o"
+  "CMakeFiles/core_windowing_test.dir/core/windowing_test.cc.o.d"
+  "core_windowing_test"
+  "core_windowing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_windowing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_cholesky_test.dir/linalg/cholesky_test.cc.o"
+  "CMakeFiles/linalg_cholesky_test.dir/linalg/cholesky_test.cc.o.d"
+  "linalg_cholesky_test"
+  "linalg_cholesky_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_cholesky_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

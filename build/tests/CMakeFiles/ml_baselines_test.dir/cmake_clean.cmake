@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_baselines_test.dir/ml/baselines_test.cc.o"
+  "CMakeFiles/ml_baselines_test.dir/ml/baselines_test.cc.o.d"
+  "ml_baselines_test"
+  "ml_baselines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

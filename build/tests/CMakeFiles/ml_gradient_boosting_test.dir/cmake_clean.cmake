@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_gradient_boosting_test.dir/ml/gradient_boosting_test.cc.o"
+  "CMakeFiles/ml_gradient_boosting_test.dir/ml/gradient_boosting_test.cc.o.d"
+  "ml_gradient_boosting_test"
+  "ml_gradient_boosting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_gradient_boosting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_grid_search_test.dir/ml/grid_search_test.cc.o"
+  "CMakeFiles/ml_grid_search_test.dir/ml/grid_search_test.cc.o.d"
+  "ml_grid_search_test"
+  "ml_grid_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_grid_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_lasso_test.dir/ml/lasso_test.cc.o"
+  "CMakeFiles/ml_lasso_test.dir/ml/lasso_test.cc.o.d"
+  "ml_lasso_test"
+  "ml_lasso_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_lasso_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_linear_regression_test.dir/ml/linear_regression_test.cc.o"
+  "CMakeFiles/ml_linear_regression_test.dir/ml/linear_regression_test.cc.o.d"
+  "ml_linear_regression_test"
+  "ml_linear_regression_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_linear_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_metrics_test.dir/ml/metrics_test.cc.o"
+  "CMakeFiles/ml_metrics_test.dir/ml/metrics_test.cc.o.d"
+  "ml_metrics_test"
+  "ml_metrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

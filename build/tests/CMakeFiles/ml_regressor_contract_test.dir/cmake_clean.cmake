@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_regressor_contract_test.dir/ml/regressor_contract_test.cc.o"
+  "CMakeFiles/ml_regressor_contract_test.dir/ml/regressor_contract_test.cc.o.d"
+  "ml_regressor_contract_test"
+  "ml_regressor_contract_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_regressor_contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

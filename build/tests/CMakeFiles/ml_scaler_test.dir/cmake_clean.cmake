@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_scaler_test.dir/ml/scaler_test.cc.o"
+  "CMakeFiles/ml_scaler_test.dir/ml/scaler_test.cc.o.d"
+  "ml_scaler_test"
+  "ml_scaler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_scaler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

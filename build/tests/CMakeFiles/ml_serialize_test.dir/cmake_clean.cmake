@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_serialize_test.dir/ml/serialize_test.cc.o"
+  "CMakeFiles/ml_serialize_test.dir/ml/serialize_test.cc.o.d"
+  "ml_serialize_test"
+  "ml_serialize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_svr_test.dir/ml/svr_test.cc.o"
+  "CMakeFiles/ml_svr_test.dir/ml/svr_test.cc.o.d"
+  "ml_svr_test"
+  "ml_svr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_svr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

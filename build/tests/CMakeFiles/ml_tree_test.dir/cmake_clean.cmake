@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_tree_test.dir/ml/tree_test.cc.o"
+  "CMakeFiles/ml_tree_test.dir/ml/tree_test.cc.o.d"
+  "ml_tree_test"
+  "ml_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

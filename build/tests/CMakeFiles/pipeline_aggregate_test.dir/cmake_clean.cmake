@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_aggregate_test.dir/pipeline/aggregate_test.cc.o"
+  "CMakeFiles/pipeline_aggregate_test.dir/pipeline/aggregate_test.cc.o.d"
+  "pipeline_aggregate_test"
+  "pipeline_aggregate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

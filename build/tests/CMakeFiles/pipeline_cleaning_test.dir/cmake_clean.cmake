@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_cleaning_test.dir/pipeline/cleaning_test.cc.o"
+  "CMakeFiles/pipeline_cleaning_test.dir/pipeline/cleaning_test.cc.o.d"
+  "pipeline_cleaning_test"
+  "pipeline_cleaning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_cleaning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_dataset_test.dir/pipeline/dataset_test.cc.o"
+  "CMakeFiles/pipeline_dataset_test.dir/pipeline/dataset_test.cc.o.d"
+  "pipeline_dataset_test"
+  "pipeline_dataset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

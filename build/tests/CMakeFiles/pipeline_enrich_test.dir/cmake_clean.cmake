@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_enrich_test.dir/pipeline/enrich_test.cc.o"
+  "CMakeFiles/pipeline_enrich_test.dir/pipeline/enrich_test.cc.o.d"
+  "pipeline_enrich_test"
+  "pipeline_enrich_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_enrich_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

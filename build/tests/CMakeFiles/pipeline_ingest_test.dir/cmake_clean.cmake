@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_ingest_test.dir/pipeline/ingest_test.cc.o"
+  "CMakeFiles/pipeline_ingest_test.dir/pipeline/ingest_test.cc.o.d"
+  "pipeline_ingest_test"
+  "pipeline_ingest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_ingest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_normalize_test.dir/pipeline/normalize_test.cc.o"
+  "CMakeFiles/pipeline_normalize_test.dir/pipeline/normalize_test.cc.o.d"
+  "pipeline_normalize_test"
+  "pipeline_normalize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_normalize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_acf_test.dir/stats/acf_test.cc.o"
+  "CMakeFiles/stats_acf_test.dir/stats/acf_test.cc.o.d"
+  "stats_acf_test"
+  "stats_acf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_acf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_ecdf_test.dir/stats/ecdf_test.cc.o"
+  "CMakeFiles/stats_ecdf_test.dir/stats/ecdf_test.cc.o.d"
+  "stats_ecdf_test"
+  "stats_ecdf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_ecdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_rolling_test.dir/stats/rolling_test.cc.o"
+  "CMakeFiles/stats_rolling_test.dir/stats/rolling_test.cc.o.d"
+  "stats_rolling_test"
+  "stats_rolling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_rolling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_column_test.dir/table/column_test.cc.o"
+  "CMakeFiles/table_column_test.dir/table/column_test.cc.o.d"
+  "table_column_test"
+  "table_column_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_column_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

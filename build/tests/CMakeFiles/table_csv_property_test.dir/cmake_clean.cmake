@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_csv_property_test.dir/table/csv_property_test.cc.o"
+  "CMakeFiles/table_csv_property_test.dir/table/csv_property_test.cc.o.d"
+  "table_csv_property_test"
+  "table_csv_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_csv_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_schema_test.dir/table/schema_test.cc.o"
+  "CMakeFiles/table_schema_test.dir/table/schema_test.cc.o.d"
+  "table_schema_test"
+  "table_schema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

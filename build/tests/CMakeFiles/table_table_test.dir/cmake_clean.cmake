@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_table_test.dir/table/table_test.cc.o"
+  "CMakeFiles/table_table_test.dir/table/table_test.cc.o.d"
+  "table_table_test"
+  "table_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

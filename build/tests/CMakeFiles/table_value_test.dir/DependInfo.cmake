@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/table/value_test.cc" "tests/CMakeFiles/table_value_test.dir/table/value_test.cc.o" "gcc" "tests/CMakeFiles/table_value_test.dir/table/value_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vup_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vup_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vup_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vup_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vup_calendar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vup_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vup_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vup_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vup_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_value_test.dir/table/value_test.cc.o"
+  "CMakeFiles/table_value_test.dir/table/value_test.cc.o.d"
+  "table_value_test"
+  "table_value_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

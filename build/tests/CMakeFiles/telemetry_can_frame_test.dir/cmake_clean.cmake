@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_can_frame_test.dir/telemetry/can_frame_test.cc.o"
+  "CMakeFiles/telemetry_can_frame_test.dir/telemetry/can_frame_test.cc.o.d"
+  "telemetry_can_frame_test"
+  "telemetry_can_frame_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_can_frame_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

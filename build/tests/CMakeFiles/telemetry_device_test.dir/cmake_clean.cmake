@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_device_test.dir/telemetry/device_test.cc.o"
+  "CMakeFiles/telemetry_device_test.dir/telemetry/device_test.cc.o.d"
+  "telemetry_device_test"
+  "telemetry_device_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

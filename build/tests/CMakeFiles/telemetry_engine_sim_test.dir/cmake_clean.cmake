@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_engine_sim_test.dir/telemetry/engine_sim_test.cc.o"
+  "CMakeFiles/telemetry_engine_sim_test.dir/telemetry/engine_sim_test.cc.o.d"
+  "telemetry_engine_sim_test"
+  "telemetry_engine_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_engine_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

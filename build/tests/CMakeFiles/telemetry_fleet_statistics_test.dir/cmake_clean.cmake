@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_fleet_statistics_test.dir/telemetry/fleet_statistics_test.cc.o"
+  "CMakeFiles/telemetry_fleet_statistics_test.dir/telemetry/fleet_statistics_test.cc.o.d"
+  "telemetry_fleet_statistics_test"
+  "telemetry_fleet_statistics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_fleet_statistics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

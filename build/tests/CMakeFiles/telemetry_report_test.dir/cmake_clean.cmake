@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_report_test.dir/telemetry/report_test.cc.o"
+  "CMakeFiles/telemetry_report_test.dir/telemetry/report_test.cc.o.d"
+  "telemetry_report_test"
+  "telemetry_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_taxonomy_test.dir/telemetry/taxonomy_test.cc.o"
+  "CMakeFiles/telemetry_taxonomy_test.dir/telemetry/taxonomy_test.cc.o.d"
+  "telemetry_taxonomy_test"
+  "telemetry_taxonomy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_taxonomy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_usage_model_test.dir/telemetry/usage_model_test.cc.o"
+  "CMakeFiles/telemetry_usage_model_test.dir/telemetry/usage_model_test.cc.o.d"
+  "telemetry_usage_model_test"
+  "telemetry_usage_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_usage_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vupred_cli.dir/vupred_cli.cc.o"
+  "CMakeFiles/vupred_cli.dir/vupred_cli.cc.o.d"
+  "vupred"
+  "vupred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vupred_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
