@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# CI sanitizer gate: build and run the tier-1 test suite under
+# ASan + UBSan (the `sanitize` preset in CMakePresets.json), so the
+# fault-injection and degradation paths are memory- and UB-checked.
+#
+# Usage: scripts/ci_sanitize.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake --preset sanitize
+cmake --build --preset sanitize -j"${JOBS}"
+ctest --preset sanitize -j"${JOBS}" "$@"

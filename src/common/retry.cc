@@ -1,0 +1,52 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+namespace vup {
+
+RetryPolicy::RetryPolicy(RetryOptions options, SleepFn sleep)
+    : options_(std::move(options)), sleep_(std::move(sleep)) {
+  options_.max_attempts = std::max(options_.max_attempts, 1);
+}
+
+int64_t RetryPolicy::BackoffMs(int attempt) const {
+  if (attempt <= 0 || options_.initial_backoff_ms <= 0) return 0;
+  double ms = static_cast<double>(options_.initial_backoff_ms) *
+              std::pow(options_.backoff_multiplier, attempt - 1);
+  double cap = static_cast<double>(options_.max_backoff_ms);
+  return static_cast<int64_t>(std::min(ms, cap));
+}
+
+bool RetryPolicy::IsRetryable(const Status& status) const {
+  if (status.ok()) return false;
+  for (StatusCode code : options_.retryable) {
+    if (status.code() == code) return true;
+  }
+  return false;
+}
+
+Status RetryPolicy::Run(const std::function<Status(int)>& fn,
+                        size_t* retries) const {
+  Status last;
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      if (retries != nullptr) ++*retries;
+      if (sleep_) sleep_(BackoffMs(attempt));
+    }
+    last = fn(attempt);
+    if (last.ok() || !IsRetryable(last)) return last;
+  }
+  return last;
+}
+
+RetryPolicy::SleepFn RetryPolicy::RealSleep() {
+  return [](int64_t ms) {
+    if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  };
+}
+
+}  // namespace vup

@@ -1,0 +1,67 @@
+#ifndef VUPRED_COMMON_RETRY_H_
+#define VUPRED_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vup {
+
+/// Bounded-attempt retry configuration. The backoff schedule is fully
+/// deterministic (no jitter): attempt k >= 1 waits
+/// min(initial_backoff_ms * multiplier^(k-1), max_backoff_ms) before
+/// re-running, so tests can assert the exact schedule.
+struct RetryOptions {
+  /// Total attempts, including the first (>= 1; smaller values are
+  /// treated as 1).
+  int max_attempts = 3;
+  int64_t initial_backoff_ms = 0;
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_ms = 60'000;
+  /// Error codes considered transient. Anything else fails immediately
+  /// without consuming further attempts.
+  std::vector<StatusCode> retryable = {StatusCode::kDataLoss,
+                                       StatusCode::kInternal};
+};
+
+/// Generic retry executor for Status-returning operations: ingestion
+/// fetches, per-vehicle training, any fallible stage of the pipeline.
+///
+/// The sleep function is injected so callers decide whether backoff
+/// wall-blocks: pass RetryPolicy::RealSleep() in a service loop, leave it
+/// empty (the default) for in-process orchestration and tests, where the
+/// schedule is still computed and observable but never blocks.
+class RetryPolicy {
+ public:
+  using SleepFn = std::function<void(int64_t ms)>;
+
+  explicit RetryPolicy(RetryOptions options, SleepFn sleep = SleepFn());
+
+  /// Backoff before retry attempt `attempt` (1-based; attempt 0 is the
+  /// initial try and never waits).
+  int64_t BackoffMs(int attempt) const;
+
+  bool IsRetryable(const Status& status) const;
+
+  /// Runs `fn(attempt)` with attempt = 0, 1, ... until it returns OK, a
+  /// non-retryable error, or attempts are exhausted; returns the final
+  /// status. When `retries` is non-null, the number of re-runs (attempts
+  /// beyond the first) is added to it.
+  Status Run(const std::function<Status(int attempt)>& fn,
+             size_t* retries = nullptr) const;
+
+  const RetryOptions& options() const { return options_; }
+
+  /// A SleepFn that actually blocks the calling thread.
+  static SleepFn RealSleep();
+
+ private:
+  RetryOptions options_;
+  SleepFn sleep_;
+};
+
+}  // namespace vup
+
+#endif  // VUPRED_COMMON_RETRY_H_

@@ -73,6 +73,11 @@ struct FleetEvaluation {
   double mean_mae = 0.0;
   size_t vehicles_evaluated = 0;
   size_t vehicles_skipped = 0;  // Too little data / degenerate PE.
+  /// Vehicles excluded from aggregation entirely because every recovery
+  /// path failed (set by ExperimentRunner; see DegradationReport for the
+  /// per-vehicle reasons). Explicitly surfaced so fleet metrics are never
+  /// silently computed over a shrunken denominator.
+  size_t vehicles_quarantined = 0;
   std::vector<double> per_vehicle_pe;
 };
 

@@ -1,37 +1,100 @@
 #include "core/experiment.h"
 
+#include <algorithm>
 #include <chrono>
+#include <utility>
 
 #include "common/check.h"
 #include "common/random.h"
+#include "common/string_util.h"
 #include "pipeline/cleaning.h"
 
 namespace vup {
 
 StatusOr<VehicleDataset> PrepareVehicleDataset(const Fleet& fleet,
-                                               size_t index) {
+                                               size_t index,
+                                               const FaultInjector* injector) {
   VehicleDailySeries series = fleet.GenerateDailySeries(index);
   if (series.days.empty()) {
     return Status::InvalidArgument("vehicle has no generated history");
   }
+  // The cleaning window is anchored on the clean series' coverage: faults
+  // may drop or skew edge days, but the vehicle's reporting period is
+  // known to the server independently of any one delivery.
+  const Date start = series.days.front().date;
+  const Date end = series.days.back().date;
+  if (injector != nullptr && injector->profile().AnyStreamFaults()) {
+    series.days = injector->CorruptDaily(
+        std::move(series.days),
+        static_cast<uint64_t>(series.info.vehicle_id));
+    if (series.days.empty()) {
+      return Status::DataLoss("fault injection dropped the entire stream");
+    }
+  }
   CleaningReport report;
   VUP_ASSIGN_OR_RETURN(
       std::vector<DailyUsageRecord> cleaned,
-      CleanDailyRecords(series.days, series.days.front().date,
-                        series.days.back().date, CleaningOptions(), &report));
+      CleanDailyRecords(std::move(series.days), start, end, CleaningOptions(),
+                        &report));
   return VehicleDataset::Build(series.info, cleaned,
                                fleet.CountryOf(series.info));
+}
+
+std::string_view VehicleOutcomeToString(VehicleOutcome outcome) {
+  switch (outcome) {
+    case VehicleOutcome::kEvaluated:
+      return "Evaluated";
+    case VehicleOutcome::kDegraded:
+      return "Degraded";
+    case VehicleOutcome::kQuarantined:
+      return "Quarantined";
+  }
+  return "?";
+}
+
+std::string DegradationReport::ToString() const {
+  std::string out = StrFormat(
+      "evaluated=%zu degraded=%zu quarantined=%zu retries=%zu",
+      vehicles_evaluated, vehicles_degraded, vehicles_quarantined,
+      total_retries);
+  for (const VehicleDegradation& v : vehicles) {
+    if (v.outcome == VehicleOutcome::kEvaluated) continue;
+    out += StrFormat(
+        "\n  vehicle %lld: %s (%zu retries): %s",
+        static_cast<long long>(v.vehicle_id),
+        std::string(VehicleOutcomeToString(v.outcome)).c_str(), v.retries,
+        v.reason.ToString().c_str());
+  }
+  return out;
 }
 
 ExperimentRunner::ExperimentRunner(const Fleet* fleet) : fleet_(fleet) {
   VUP_CHECK(fleet_ != nullptr);
 }
 
+void ExperimentRunner::ConfigureFaults(const ExperimentOptions& options) {
+  uint64_t sig =
+      options.faults.AnyFaults()
+          ? SplitMix64(options.faults.Fingerprint() ^
+                       SplitMix64(options.fault_seed))
+          : 0;
+  if (sig == fault_sig_ && (injector_.has_value() == (sig != 0))) return;
+  fault_sig_ = sig;
+  cache_.clear();
+  if (sig != 0) {
+    injector_.emplace(options.faults, options.fault_seed);
+  } else {
+    injector_.reset();
+  }
+}
+
 StatusOr<const VehicleDataset*> ExperimentRunner::Dataset(size_t index) {
   auto it = cache_.find(index);
   if (it == cache_.end()) {
+    const FaultInjector* injector =
+        injector_.has_value() ? &*injector_ : nullptr;
     VUP_ASSIGN_OR_RETURN(VehicleDataset ds,
-                         PrepareVehicleDataset(*fleet_, index));
+                         PrepareVehicleDataset(*fleet_, index, injector));
     it = cache_.emplace(index, std::move(ds)).first;
   }
   return &it->second;
@@ -39,6 +102,7 @@ StatusOr<const VehicleDataset*> ExperimentRunner::Dataset(size_t index) {
 
 std::vector<size_t> ExperimentRunner::SelectVehicles(
     const ExperimentOptions& options) {
+  ConfigureFaults(options);
   // Deterministic shuffle of all indices, then keep the first eligible
   // max_vehicles. Eligibility needs the dataset, so test lazily.
   std::vector<size_t> order(fleet_->size());
@@ -66,19 +130,110 @@ std::vector<size_t> ExperimentRunner::SelectVehicles(
 StatusOr<ExperimentResult> ExperimentRunner::Run(
     const EvaluationConfig& config, const ExperimentOptions& options) {
   auto start = std::chrono::steady_clock::now();
+  ConfigureFaults(options);
   ExperimentResult result;
   result.vehicle_indices = SelectVehicles(options);
   if (result.vehicle_indices.empty()) {
     return Status::FailedPrecondition(
         "no eligible vehicles under the experiment options");
   }
+
+  // No sleep function: fleet orchestration retries in-process and must
+  // never wall-block; the attempt budget alone bounds the work.
+  const RetryPolicy policy(options.retry);
+  const FaultInjector* injector =
+      injector_.has_value() ? &*injector_ : nullptr;
+
   std::vector<StatusOr<VehicleEvaluation>> evaluations;
   evaluations.reserve(result.vehicle_indices.size());
+  DegradationReport& report = result.degradation;
   for (size_t index : result.vehicle_indices) {
-    VUP_ASSIGN_OR_RETURN(const VehicleDataset* ds, Dataset(index));
-    evaluations.push_back(EvaluateVehicle(*ds, config));
+    VehicleDegradation entry;
+    entry.vehicle_index = index;
+    entry.vehicle_id = fleet_->vehicle(index).vehicle_id;
+    const uint64_t tag = static_cast<uint64_t>(entry.vehicle_id);
+
+    // Stage 1: fetch/prepare the dataset (retryable; the injector models a
+    // flaky or hard-down report source).
+    const int source_down =
+        injector != nullptr ? injector->SourceFailuresFor(tag) : 0;
+    const VehicleDataset* ds = nullptr;
+    Status fetched = policy.Run(
+        [&](int attempt) -> Status {
+          if (attempt < source_down) {
+            return Status::DataLoss(StrFormat(
+                "injected source outage (attempt %d of %d down)", attempt + 1,
+                source_down));
+          }
+          StatusOr<const VehicleDataset*> d = Dataset(index);
+          if (!d.ok()) return d.status();
+          ds = d.value();
+          return Status::OK();
+        },
+        &entry.retries);
+    if (!fetched.ok()) {
+      entry.outcome = VehicleOutcome::kQuarantined;
+      entry.reason = fetched;
+      ++report.vehicles_quarantined;
+      report.total_retries += entry.retries;
+      report.vehicles.push_back(std::move(entry));
+      continue;
+    }
+
+    // Stage 2: primary training/evaluation (retryable; the injector models
+    // a crashing training backend).
+    const int training_down =
+        injector != nullptr ? injector->TrainingFailuresFor(tag) : 0;
+    StatusOr<VehicleEvaluation> evaluation =
+        Status::Internal("evaluation not attempted");
+    Status trained = policy.Run(
+        [&](int attempt) -> Status {
+          if (attempt < training_down) {
+            return Status::Internal(StrFormat(
+                "injected training failure (attempt %d of %d down)",
+                attempt + 1, training_down));
+          }
+          evaluation = EvaluateVehicle(*ds, config);
+          return evaluation.status();
+        },
+        &entry.retries);
+
+    if (trained.ok()) {
+      entry.outcome = VehicleOutcome::kEvaluated;
+      ++report.vehicles_evaluated;
+      evaluations.push_back(std::move(evaluation));
+    } else if (options.degrade_to_baseline) {
+      // Stage 3: graceful degradation to a naive baseline. Baselines carry
+      // no trained state, so the injected training channel does not apply.
+      EvaluationConfig fallback = config;
+      fallback.forecaster.algorithm = options.fallback_algorithm;
+      fallback.forecaster.use_feature_selection = false;
+      fallback.forecaster.windowing.lookback_w =
+          std::min<size_t>(fallback.forecaster.windowing.lookback_w, 7);
+      StatusOr<VehicleEvaluation> degraded = EvaluateVehicle(*ds, fallback);
+      if (degraded.ok()) {
+        entry.outcome = VehicleOutcome::kDegraded;
+        entry.reason = trained;
+        ++report.vehicles_degraded;
+        evaluations.push_back(std::move(degraded));
+      } else {
+        entry.outcome = VehicleOutcome::kQuarantined;
+        entry.reason = degraded.status();
+        ++report.vehicles_quarantined;
+      }
+    } else {
+      entry.outcome = VehicleOutcome::kQuarantined;
+      entry.reason = trained;
+      ++report.vehicles_quarantined;
+    }
+    report.total_retries += entry.retries;
+    report.vehicles.push_back(std::move(entry));
   }
+
+  // Quarantined vehicles are excluded here on purpose, and visibly so:
+  // the fleet aggregate carries the exclusion count alongside the means.
   result.fleet = AggregateFleet(evaluations);
+  result.fleet.vehicles_quarantined = report.vehicles_quarantined;
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -2,19 +2,27 @@
 #define VUPRED_CORE_EXPERIMENT_H_
 
 #include <map>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/statusor.h"
 #include "core/evaluation.h"
+#include "telemetry/fault_injector.h"
 #include "telemetry/fleet.h"
 
 namespace vup {
 
 /// Generates, cleans and assembles the model-ready dataset of one fleet
 /// vehicle: the full preparation pipeline of Section 2 on the fast
-/// generation path.
-StatusOr<VehicleDataset> PrepareVehicleDataset(const Fleet& fleet,
-                                               size_t index);
+/// generation path. When `injector` is non-null, the generated daily
+/// stream is routed through it (tagged by vehicle id) before cleaning, so
+/// the pipeline is exercised on realistically corrupted telemetry.
+StatusOr<VehicleDataset> PrepareVehicleDataset(
+    const Fleet& fleet, size_t index,
+    const FaultInjector* injector = nullptr);
 
 /// Fleet-experiment options.
 struct ExperimentOptions {
@@ -27,18 +35,73 @@ struct ExperimentOptions {
   /// (degenerate, mostly-parked units).
   size_t min_working_days = 60;
   uint64_t subsample_seed = 7;
+
+  /// Telemetry fault injection applied to every vehicle's stream before
+  /// cleaning, plus control-plane outage channels consulted during the
+  /// run. The default (all-zero) profile disables injection entirely.
+  FaultProfile faults;
+  uint64_t fault_seed = 99;
+
+  /// Bounded-attempt retry for the per-vehicle fetch/prepare and training
+  /// stages. Backoff never wall-blocks inside the runner (no sleep is
+  /// installed); the schedule still bounds the attempt count.
+  RetryOptions retry;
+
+  /// When a vehicle's primary training/evaluation fails after retries,
+  /// fall back to this naive baseline instead of quarantining outright.
+  bool degrade_to_baseline = true;
+  Algorithm fallback_algorithm = Algorithm::kMovingAverage;
+};
+
+/// Terminal state of one vehicle within a fleet run.
+enum class VehicleOutcome : int {
+  kEvaluated = 0,    // Primary configuration succeeded.
+  kDegraded = 1,     // Fell back to the naive baseline.
+  kQuarantined = 2,  // Every recovery path failed; excluded from metrics.
+};
+
+std::string_view VehicleOutcomeToString(VehicleOutcome outcome);
+
+/// Per-vehicle robustness record.
+struct VehicleDegradation {
+  size_t vehicle_index = 0;
+  int64_t vehicle_id = 0;
+  VehicleOutcome outcome = VehicleOutcome::kEvaluated;
+  size_t retries = 0;  // Re-attempts consumed across all stages.
+  Status reason;       // OK for kEvaluated; the terminal error otherwise.
+};
+
+/// Fleet-level robustness observability: what failed, what recovered, what
+/// was excluded. Counts always reconcile:
+/// vehicles_evaluated + vehicles_degraded + vehicles_quarantined ==
+/// vehicles.size() == the number of attempted vehicles.
+struct DegradationReport {
+  size_t vehicles_evaluated = 0;
+  size_t vehicles_degraded = 0;
+  size_t vehicles_quarantined = 0;
+  size_t total_retries = 0;
+  std::vector<VehicleDegradation> vehicles;  // One entry per attempt.
+
+  std::string ToString() const;
 };
 
 /// One experiment's outcome.
 struct ExperimentResult {
   FleetEvaluation fleet;
   std::vector<size_t> vehicle_indices;  // Vehicles evaluated (or attempted).
+  DegradationReport degradation;
   double wall_seconds = 0.0;
 };
 
 /// Orchestrates per-vehicle evaluations across a fleet with dataset
 /// caching, so comparing several algorithms/configurations on the same
 /// vehicles only pays preparation once.
+///
+/// Fault tolerance: a vehicle whose preparation or training fails is
+/// retried per ExperimentOptions::retry, then degraded to the configured
+/// baseline, and only quarantined (with a Status-carrying reason) when
+/// every path fails. A single failing vehicle therefore never aborts the
+/// fleet run; Run only errors when *no* vehicle is eligible at all.
 class ExperimentRunner {
  public:
   /// `fleet` must outlive the runner.
@@ -47,22 +110,32 @@ class ExperimentRunner {
   ExperimentRunner(const ExperimentRunner&) = delete;
   ExperimentRunner& operator=(const ExperimentRunner&) = delete;
 
-  /// The cached dataset of one vehicle (prepared on first use).
+  /// The cached dataset of one vehicle (prepared on first use). Reflects
+  /// the fault configuration of the most recent SelectVehicles/Run call;
+  /// the cache is invalidated whenever that configuration changes.
   StatusOr<const VehicleDataset*> Dataset(size_t index);
 
   /// Deterministic subsample of vehicles eligible under `options`.
   std::vector<size_t> SelectVehicles(const ExperimentOptions& options);
 
-  /// Trains and evaluates every selected vehicle per Section 4.1 and
-  /// aggregates to the fleet level.
+  /// Trains and evaluates every selected vehicle per Section 4.1 with
+  /// per-vehicle error isolation, and aggregates to the fleet level.
+  /// Quarantined vehicles are excluded from FleetEvaluation explicitly
+  /// (fleet.vehicles_quarantined) and itemized in result.degradation.
   StatusOr<ExperimentResult> Run(const EvaluationConfig& config,
                                  const ExperimentOptions& options);
 
   const Fleet& fleet() const { return *fleet_; }
 
  private:
+  /// Installs the fault injector implied by `options`, dropping cached
+  /// datasets when the fault configuration changed.
+  void ConfigureFaults(const ExperimentOptions& options);
+
   const Fleet* fleet_;
   std::map<size_t, VehicleDataset> cache_;
+  std::optional<FaultInjector> injector_;
+  uint64_t fault_sig_ = 0;
 };
 
 }  // namespace vup

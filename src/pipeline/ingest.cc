@@ -29,10 +29,19 @@ Status IngestionStore::Ingest(const AggregatedReport& report) {
 
 Status IngestionStore::IngestBatch(
     const std::vector<AggregatedReport>& reports) {
+  size_t rejected = 0;
+  Status first_error;
   for (const AggregatedReport& r : reports) {
-    VUP_RETURN_IF_ERROR(Ingest(r));
+    Status s = Ingest(r);
+    if (!s.ok()) {
+      if (rejected == 0) first_error = s;
+      ++rejected;
+    }
   }
-  return Status::OK();
+  if (rejected == 0) return Status::OK();
+  return Status::InvalidArgument(
+      StrFormat("%zu of %zu reports rejected; first: %s", rejected,
+                reports.size(), first_error.ToString().c_str()));
 }
 
 std::vector<int64_t> IngestionStore::VehicleIds() const {

@@ -36,7 +36,13 @@ class IngestionStore {
   /// [0, kSlotsPerDay) or a non-positive vehicle id.
   Status Ingest(const AggregatedReport& report);
 
-  /// Batch convenience; stops at the first rejection.
+  /// Best-effort batch ingestion: every valid report in the batch is
+  /// ingested regardless of invalid ones (a corrupt report must never
+  /// block the rest of an upload). Returns OK when all reports were
+  /// accepted; otherwise an InvalidArgument summarizing how many were
+  /// rejected, with the first rejection's message. Rejects are counted in
+  /// stats().rejected either way, so callers can treat the summary status
+  /// as advisory.
   Status IngestBatch(const std::vector<AggregatedReport>& reports);
 
   size_t num_vehicles() const { return by_vehicle_.size(); }

@@ -1,5 +1,7 @@
 #include "core/experiment.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 namespace vup {
@@ -92,6 +94,88 @@ TEST(ExperimentRunnerTest, ImpossibleOptionsFailCleanly) {
   opts.max_vehicles = 3;
   opts.min_days = 100000;
   EXPECT_TRUE(runner.Run(FastEval(), opts).status().IsFailedPrecondition());
+}
+
+TEST(ExperimentRunnerTest, CleanRunReportsNoDegradation) {
+  Fleet fleet = SmallFleet();
+  ExperimentRunner runner(&fleet);
+  ExperimentOptions opts;
+  opts.max_vehicles = 4;
+  ExperimentResult result = runner.Run(FastEval(), opts).value();
+  const DegradationReport& rep = result.degradation;
+  EXPECT_EQ(rep.vehicles.size(), result.vehicle_indices.size());
+  EXPECT_EQ(rep.vehicles_evaluated, result.vehicle_indices.size());
+  EXPECT_EQ(rep.vehicles_degraded, 0u);
+  EXPECT_EQ(rep.vehicles_quarantined, 0u);
+  EXPECT_EQ(rep.total_retries, 0u);
+  EXPECT_EQ(result.fleet.vehicles_quarantined, 0u);
+  for (const VehicleDegradation& v : rep.vehicles) {
+    EXPECT_EQ(v.outcome, VehicleOutcome::kEvaluated);
+    EXPECT_TRUE(v.reason.ok());
+  }
+}
+
+TEST(ExperimentRunnerTest, HardDownSourceQuarantinesInsteadOfAborting) {
+  Fleet fleet = SmallFleet();
+  ExperimentRunner runner(&fleet);
+  ExperimentOptions opts;
+  opts.max_vehicles = 3;
+  opts.faults.source_failure_prob = 1.0;
+  opts.faults.max_source_failures = 10;  // Beyond any retry budget.
+  opts.retry.max_attempts = 3;
+  ExperimentResult result = runner.Run(FastEval(), opts).value();
+  const DegradationReport& rep = result.degradation;
+  EXPECT_EQ(rep.vehicles_quarantined, result.vehicle_indices.size());
+  EXPECT_EQ(result.fleet.vehicles_evaluated, 0u);
+  EXPECT_EQ(result.fleet.vehicles_quarantined, rep.vehicles_quarantined);
+  // Each vehicle burned its whole fetch retry budget.
+  EXPECT_EQ(rep.total_retries, 2 * result.vehicle_indices.size());
+  for (const VehicleDegradation& v : rep.vehicles) {
+    EXPECT_EQ(v.outcome, VehicleOutcome::kQuarantined);
+    EXPECT_TRUE(v.reason.IsDataLoss());
+  }
+}
+
+TEST(ExperimentRunnerTest, TrainingFailureDegradesToBaseline) {
+  Fleet fleet = SmallFleet();
+  ExperimentRunner runner(&fleet);
+  ExperimentOptions opts;
+  opts.max_vehicles = 3;
+  opts.faults.training_failure_prob = 1.0;
+  opts.faults.max_training_failures = 10;
+  opts.retry.max_attempts = 2;
+  ExperimentResult result = runner.Run(FastEval(), opts).value();
+  const DegradationReport& rep = result.degradation;
+  EXPECT_EQ(rep.vehicles_degraded, result.vehicle_indices.size());
+  EXPECT_EQ(rep.vehicles_quarantined, 0u);
+  EXPECT_GT(result.fleet.vehicles_evaluated, 0u);
+  EXPECT_TRUE(std::isfinite(result.fleet.mean_pe));
+  for (const VehicleDegradation& v : rep.vehicles) {
+    EXPECT_EQ(v.outcome, VehicleOutcome::kDegraded);
+    EXPECT_TRUE(v.reason.IsInternal());
+  }
+  // Without degradation the same faults quarantine instead.
+  ExperimentRunner no_fallback(&fleet);
+  opts.degrade_to_baseline = false;
+  ExperimentResult strict = no_fallback.Run(FastEval(), opts).value();
+  EXPECT_EQ(strict.degradation.vehicles_quarantined,
+            strict.vehicle_indices.size());
+}
+
+TEST(ExperimentRunnerTest, TransientFailuresRecoverWithinRetryBudget) {
+  Fleet fleet = SmallFleet();
+  ExperimentRunner runner(&fleet);
+  ExperimentOptions opts;
+  opts.max_vehicles = 4;
+  opts.faults.source_failure_prob = 1.0;
+  opts.faults.max_source_failures = 1;  // Always one flake, then healthy.
+  opts.retry.max_attempts = 3;
+  ExperimentResult result = runner.Run(FastEval(), opts).value();
+  const DegradationReport& rep = result.degradation;
+  EXPECT_EQ(rep.vehicles_evaluated, result.vehicle_indices.size());
+  EXPECT_EQ(rep.vehicles_quarantined, 0u);
+  // Exactly one retry per vehicle recovered the fetch.
+  EXPECT_EQ(rep.total_retries, result.vehicle_indices.size());
 }
 
 TEST(ExperimentRunnerTest, BaselineVsMlOrdering) {

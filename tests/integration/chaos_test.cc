@@ -1,0 +1,193 @@
+// Chaos integration test: a full fleet experiment under every telemetry
+// fault class at once. The run must complete (no fault aborts the fleet),
+// the degradation report must reconcile exactly with the injected fault
+// seed, and the fleet error must stay within a bounded factor of the
+// clean run.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace vup {
+namespace {
+
+Fleet ChaosFleet() { return Fleet::Generate(FleetConfig::Small(60, 3)); }
+
+EvaluationConfig FastEval() {
+  EvaluationConfig cfg;
+  cfg.eval_days = 15;
+  cfg.retrain_every = 10;
+  cfg.forecaster.algorithm = Algorithm::kLasso;
+  cfg.forecaster.windowing.lookback_w = 21;
+  cfg.forecaster.selection.top_k = 7;
+  cfg.train_window = 60;
+  return cfg;
+}
+
+/// Every fault class enabled at once, with control-plane outages sized so
+/// that some vehicles recover within the retry budget, some degrade, and
+/// some quarantine.
+ExperimentOptions ChaosOptions() {
+  ExperimentOptions opts;
+  opts.max_vehicles = 8;
+  FaultProfile& f = opts.faults;
+  f.slot_drop_prob = 0.05;
+  f.day_gap_prob = 0.03;
+  f.duplicate_prob = 0.05;
+  f.reorder_prob = 0.05;
+  f.clock_skew_prob = 0.02;
+  f.field_corrupt_prob = 0.05;
+  f.source_failure_prob = 0.45;
+  f.max_source_failures = 5;
+  f.training_failure_prob = 0.45;
+  f.max_training_failures = 5;
+  opts.fault_seed = 1234;
+  opts.retry.max_attempts = 2;
+  return opts;
+}
+
+TEST(ChaosTest, FleetRunSurvivesEveryFaultClassSimultaneously) {
+  Fleet fleet = ChaosFleet();
+  ExperimentRunner runner(&fleet);
+  EvaluationConfig cfg = FastEval();
+
+  // Clean reference run (separate runner so caches never mix).
+  ExperimentRunner clean_runner(&fleet);
+  ExperimentOptions clean_opts;
+  clean_opts.max_vehicles = 8;
+  ExperimentResult clean = clean_runner.Run(cfg, clean_opts).value();
+  ASSERT_GT(clean.fleet.vehicles_evaluated, 0u);
+
+  ExperimentOptions opts = ChaosOptions();
+  StatusOr<ExperimentResult> chaos_or = runner.Run(cfg, opts);
+  ASSERT_TRUE(chaos_or.ok()) << chaos_or.status().ToString();
+  const ExperimentResult& chaos = chaos_or.value();
+  const DegradationReport& report = chaos.degradation;
+
+  // The run attempted every selected vehicle and accounted for each one.
+  EXPECT_EQ(report.vehicles.size(), chaos.vehicle_indices.size());
+  EXPECT_EQ(report.vehicles_evaluated + report.vehicles_degraded +
+                report.vehicles_quarantined,
+            chaos.vehicle_indices.size());
+
+  // Robustness is observable: the chaos profile must exercise every path.
+  EXPECT_GT(report.vehicles_quarantined, 0u);
+  EXPECT_GT(report.vehicles_degraded, 0u);
+  EXPECT_GT(report.total_retries, 0u);
+  EXPECT_GT(chaos.fleet.vehicles_evaluated, 0u);
+
+  // Quarantine is explicit in the fleet aggregate, not silent.
+  EXPECT_EQ(chaos.fleet.vehicles_quarantined, report.vehicles_quarantined);
+
+  // The report reconciles with the injected fault seed: replaying the
+  // injector's control-plane channels predicts every outcome.
+  FaultInjector oracle(opts.faults, opts.fault_seed);
+  const int budget = opts.retry.max_attempts;
+  for (const VehicleDegradation& v : report.vehicles) {
+    const uint64_t tag = static_cast<uint64_t>(v.vehicle_id);
+    const int source_down = oracle.SourceFailuresFor(tag);
+    const int training_down = oracle.TrainingFailuresFor(tag);
+    if (source_down >= budget) {
+      EXPECT_EQ(v.outcome, VehicleOutcome::kQuarantined)
+          << "vehicle " << v.vehicle_id;
+      EXPECT_TRUE(v.reason.IsDataLoss()) << v.reason.ToString();
+    } else if (training_down >= budget) {
+      EXPECT_EQ(v.outcome, VehicleOutcome::kDegraded)
+          << "vehicle " << v.vehicle_id;
+      EXPECT_TRUE(v.reason.IsInternal()) << v.reason.ToString();
+    } else {
+      EXPECT_EQ(v.outcome, VehicleOutcome::kEvaluated)
+          << "vehicle " << v.vehicle_id;
+      EXPECT_TRUE(v.reason.ok());
+    }
+    // Retries never exceed what the budget allows across the two stages.
+    EXPECT_LE(v.retries, static_cast<size_t>(2 * (budget - 1)));
+  }
+
+  // Graceful degradation, not graceful collapse: fleet MAE stays within a
+  // bounded factor of the clean run despite every fault class firing.
+  EXPECT_TRUE(std::isfinite(chaos.fleet.mean_mae));
+  EXPECT_LE(chaos.fleet.mean_mae, clean.fleet.mean_mae * 4.0 + 1.0);
+}
+
+TEST(ChaosTest, ChaosRunIsExactlyReproducible) {
+  Fleet fleet = ChaosFleet();
+  EvaluationConfig cfg = FastEval();
+  ExperimentOptions opts = ChaosOptions();
+
+  ExperimentRunner r1(&fleet);
+  ExperimentRunner r2(&fleet);
+  ExperimentResult a = r1.Run(cfg, opts).value();
+  ExperimentResult b = r2.Run(cfg, opts).value();
+  EXPECT_DOUBLE_EQ(a.fleet.mean_pe, b.fleet.mean_pe);
+  EXPECT_DOUBLE_EQ(a.fleet.mean_mae, b.fleet.mean_mae);
+  EXPECT_EQ(a.degradation.vehicles_evaluated,
+            b.degradation.vehicles_evaluated);
+  EXPECT_EQ(a.degradation.vehicles_degraded, b.degradation.vehicles_degraded);
+  EXPECT_EQ(a.degradation.vehicles_quarantined,
+            b.degradation.vehicles_quarantined);
+  EXPECT_EQ(a.degradation.total_retries, b.degradation.total_retries);
+}
+
+TEST(ChaosTest, NoSingleFaultClassAbortsTheFleet) {
+  Fleet fleet = ChaosFleet();
+  EvaluationConfig cfg = FastEval();
+
+  std::vector<FaultProfile> classes(8);
+  classes[0].slot_drop_prob = 0.3;
+  classes[1].day_gap_prob = 0.15;
+  classes[2].duplicate_prob = 0.3;
+  classes[3].reorder_prob = 0.3;
+  classes[4].clock_skew_prob = 0.1;
+  classes[5].field_corrupt_prob = 0.2;
+  classes[6].source_failure_prob = 1.0;
+  classes[6].max_source_failures = 10;
+  classes[7].training_failure_prob = 1.0;
+  classes[7].max_training_failures = 10;
+
+  for (size_t i = 0; i < classes.size(); ++i) {
+    ExperimentRunner runner(&fleet);
+    ExperimentOptions opts;
+    opts.max_vehicles = 4;
+    opts.faults = classes[i];
+    opts.retry.max_attempts = 2;
+    StatusOr<ExperimentResult> run = runner.Run(cfg, opts);
+    ASSERT_TRUE(run.ok()) << "fault class " << i << ": "
+                          << run.status().ToString();
+    const DegradationReport& rep = run.value().degradation;
+    EXPECT_EQ(rep.vehicles.size(), run.value().vehicle_indices.size())
+        << "fault class " << i;
+    if (i == 6) {
+      // A hard-down source quarantines everything -- but never errors.
+      EXPECT_EQ(rep.vehicles_quarantined, rep.vehicles.size());
+    }
+    if (i == 7) {
+      // A hard-down trainer degrades everything to the baseline.
+      EXPECT_EQ(rep.vehicles_degraded, rep.vehicles.size());
+      EXPECT_GT(run.value().fleet.vehicles_evaluated, 0u);
+    }
+  }
+}
+
+TEST(ChaosTest, CacheSeparatesFaultedFromCleanDatasets) {
+  Fleet fleet = ChaosFleet();
+  EvaluationConfig cfg = FastEval();
+  ExperimentRunner runner(&fleet);
+
+  ExperimentOptions clean_opts;
+  clean_opts.max_vehicles = 4;
+  double clean_pe1 = runner.Run(cfg, clean_opts).value().fleet.mean_pe;
+
+  ExperimentOptions chaos_opts = ChaosOptions();
+  chaos_opts.max_vehicles = 4;
+  ASSERT_TRUE(runner.Run(cfg, chaos_opts).ok());
+
+  // Back to clean options: the faulted cache must not leak into clean runs.
+  double clean_pe2 = runner.Run(cfg, clean_opts).value().fleet.mean_pe;
+  EXPECT_DOUBLE_EQ(clean_pe1, clean_pe2);
+}
+
+}  // namespace
+}  // namespace vup

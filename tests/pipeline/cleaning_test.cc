@@ -122,6 +122,63 @@ TEST(CleaningTest, IdempotentOnItsOwnOutput) {
   EXPECT_EQ(rep2.values_clamped, 0u);
 }
 
+TEST(CleaningTest, InputOutputRecordCountersTrackWindowAndFills) {
+  // input_records counts everything handed in (even out-of-window rows);
+  // output_records counts the full repaired calendar.
+  std::vector<DailyUsageRecord> in = {Rec(-2, 1), Rec(0, 5), Rec(3, 7),
+                                      Rec(9, 2)};
+  CleaningReport rep;
+  auto out = CleanDailyRecords(in, D(0), D(4), CleaningOptions(), &rep).value();
+  EXPECT_EQ(rep.input_records, 4u);
+  EXPECT_EQ(rep.output_records, 5u);
+  EXPECT_EQ(out.size(), rep.output_records);
+  EXPECT_EQ(rep.missing_days_filled, 3u);  // Days 1, 2, 4.
+}
+
+TEST(CleaningTest, CountersReconcileOnCombinedDirtyInput) {
+  // Every fault class at once -- the observability surface the chaos
+  // harness reconciles against must count each class independently.
+  std::vector<DailyUsageRecord> in;
+  in.push_back(Rec(0, 5));                                       // Clean.
+  in.push_back(Rec(0, 9));                                       // Duplicate.
+  DailyUsageRecord nan_rec =
+      Rec(2, std::numeric_limits<double>::quiet_NaN());          // NaN hours.
+  in.push_back(nan_rec);
+  in.push_back(Rec(3, 30.0));                                    // > 24 h.
+  in.push_back(Rec(9, 4));                                       // Outside.
+
+  CleaningReport rep;
+  auto out = CleanDailyRecords(in, D(0), D(5), CleaningOptions(), &rep).value();
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_EQ(rep.input_records, 5u);
+  EXPECT_EQ(rep.output_records, 6u);
+  EXPECT_EQ(rep.duplicates_dropped, 1u);
+  EXPECT_EQ(rep.non_finite_fixed, 1u);
+  EXPECT_EQ(rep.values_clamped, 1u);
+  EXPECT_EQ(rep.missing_days_filled, 3u);  // Days 1, 4, 5.
+  // The fixes themselves.
+  EXPECT_DOUBLE_EQ(out[0].hours, 9.0);   // Last duplicate won.
+  EXPECT_DOUBLE_EQ(out[2].hours, 0.0);   // NaN -> 0.
+  EXPECT_DOUBLE_EQ(out[3].hours, 24.0);  // Clamped.
+}
+
+TEST(CleaningTest, ReportResetBetweenRuns) {
+  // Passing the same report object twice must not accumulate counts.
+  CleaningReport rep;
+  ASSERT_TRUE(
+      CleanDailyRecords({Rec(0, 30)}, D(0), D(1), CleaningOptions(), &rep)
+          .ok());
+  EXPECT_EQ(rep.values_clamped, 1u);
+  EXPECT_EQ(rep.missing_days_filled, 1u);
+  ASSERT_TRUE(
+      CleanDailyRecords({Rec(0, 5), Rec(1, 6)}, D(0), D(1), CleaningOptions(),
+                        &rep)
+          .ok());
+  EXPECT_EQ(rep.values_clamped, 0u);
+  EXPECT_EQ(rep.missing_days_filled, 0u);
+  EXPECT_EQ(rep.input_records, 2u);
+}
+
 TEST(CleaningTest, RejectsInvertedWindow) {
   EXPECT_FALSE(
       CleanDailyRecords({}, D(3), D(0), CleaningOptions(), nullptr).ok());

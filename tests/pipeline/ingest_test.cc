@@ -116,6 +116,34 @@ TEST(IngestionStoreTest, BuildDatasetEndToEnd) {
   }
 }
 
+TEST(IngestionStoreTest, BatchIsBestEffortOnMixedValidity) {
+  // Regression: IngestBatch used to stop at the first rejection, leaving
+  // the store half-mutated with no record of what was skipped. It must
+  // ingest every valid report and summarize the rejects.
+  IngestionStore store;
+  std::vector<AggregatedReport> batch = {
+      Report(1, D0(), 10),
+      Report(1, D0(), -1),            // Invalid slot.
+      Report(1, D0(), 11),            // Valid, after the first reject.
+      Report(0, D0(), 5),             // Invalid vehicle id.
+      Report(2, D0().AddDays(1), 3),  // Valid, different vehicle.
+  };
+  Status s = store.IngestBatch(batch);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("2 of 5"), std::string::npos) << s.ToString();
+  EXPECT_EQ(store.ReportCount(1), 2u);
+  EXPECT_EQ(store.ReportCount(2), 1u);
+  EXPECT_EQ(store.stats().reports_ingested, 3u);
+  EXPECT_EQ(store.stats().rejected, 2u);
+}
+
+TEST(IngestionStoreTest, AllValidBatchReturnsOk) {
+  IngestionStore store;
+  EXPECT_TRUE(
+      store.IngestBatch({Report(1, D0(), 1), Report(1, D0(), 2)}).ok());
+  EXPECT_EQ(store.stats().rejected, 0u);
+}
+
 TEST(IngestionStoreTest, VehiclesIsolated) {
   IngestionStore store;
   ASSERT_TRUE(store.Ingest(Report(1, D0(), 10, 1.0)).ok());

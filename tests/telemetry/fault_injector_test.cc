@@ -1,0 +1,307 @@
+#include "telemetry/fault_injector.h"
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pipeline/cleaning.h"
+
+namespace vup {
+namespace {
+
+constexpr int kSlotsPerTestDay = 6;
+
+Date D0() { return Date::FromYmd(2017, 5, 1).value(); }
+
+/// A clean, regular stream: `days` days x kSlotsPerTestDay slots.
+std::vector<AggregatedReport> CleanReports(int days) {
+  std::vector<AggregatedReport> reports;
+  for (int d = 0; d < days; ++d) {
+    for (int s = 0; s < kSlotsPerTestDay; ++s) {
+      AggregatedReport r;
+      r.vehicle_id = 7;
+      r.date = D0().AddDays(d);
+      r.slot = s * 20;
+      r.engine_on_fraction = 0.5;
+      r.avg_engine_rpm = 1500.0;
+      r.avg_coolant_temp_c = 80.0;
+      r.fuel_level_pct = 60.0;
+      r.avg_speed_kmh = 12.0;
+      r.sample_count = 10;
+      reports.push_back(r);
+    }
+  }
+  return reports;
+}
+
+std::vector<DailyUsageRecord> CleanDaily(int days) {
+  std::vector<DailyUsageRecord> out;
+  for (int d = 0; d < days; ++d) {
+    DailyUsageRecord r;
+    r.date = D0().AddDays(d);
+    r.hours = 5.0 + (d % 3);
+    r.fuel_used_l = 40.0;
+    r.avg_engine_load_pct = 55.0;
+    r.avg_engine_rpm = 1400.0;
+    r.fuel_level_end_pct = 70.0;
+    r.distance_km = 30.0;
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::string Render(const std::vector<AggregatedReport>& reports) {
+  std::string out;
+  for (const AggregatedReport& r : reports) out += r.ToString() + "\n";
+  return out;
+}
+
+bool SameDaily(const DailyUsageRecord& a, const DailyUsageRecord& b) {
+  auto eq = [](double x, double y) {
+    return (std::isnan(x) && std::isnan(y)) || x == y;
+  };
+  return a.date == b.date && eq(a.hours, b.hours) &&
+         eq(a.fuel_used_l, b.fuel_used_l) &&
+         eq(a.avg_engine_load_pct, b.avg_engine_load_pct) &&
+         eq(a.avg_engine_rpm, b.avg_engine_rpm) &&
+         eq(a.fuel_level_end_pct, b.fuel_level_end_pct) &&
+         eq(a.distance_km, b.distance_km);
+}
+
+TEST(FaultProfileTest, FlagsAndFingerprint) {
+  EXPECT_FALSE(FaultProfile::None().AnyFaults());
+  EXPECT_TRUE(FaultProfile::Mild().AnyStreamFaults());
+  EXPECT_TRUE(FaultProfile::Severe().AnyFaults());
+  EXPECT_EQ(FaultProfile::Mild().Fingerprint(),
+            FaultProfile::Mild().Fingerprint());
+  EXPECT_NE(FaultProfile::Mild().Fingerprint(),
+            FaultProfile::Severe().Fingerprint());
+  EXPECT_NE(FaultProfile::None().Fingerprint(),
+            FaultProfile::Mild().Fingerprint());
+}
+
+TEST(FaultInjectorTest, NoFaultsIsIdentity) {
+  FaultInjector injector(FaultProfile::None(), 1);
+  std::vector<AggregatedReport> in = CleanReports(5);
+  FaultInjectionStats stats;
+  std::vector<AggregatedReport> out = injector.CorruptReports(in, 7, &stats);
+  EXPECT_EQ(Render(out), Render(in));
+  EXPECT_EQ(stats.records_in, in.size());
+  EXPECT_EQ(stats.records_out, in.size());
+  EXPECT_EQ(stats.days_dropped + stats.slots_dropped +
+                stats.duplicates_injected + stats.reports_reordered +
+                stats.dates_skewed + stats.fields_corrupted,
+            0u);
+}
+
+TEST(FaultInjectorTest, SameSeedProducesByteIdenticalStream) {
+  FaultInjector a(FaultProfile::Severe(), 123);
+  FaultInjector b(FaultProfile::Severe(), 123);
+  std::vector<AggregatedReport> in = CleanReports(20);
+  FaultInjectionStats sa, sb;
+  std::string ra = Render(a.CorruptReports(in, 7, &sa));
+  std::string rb = Render(b.CorruptReports(in, 7, &sb));
+  EXPECT_EQ(ra, rb);
+  EXPECT_EQ(sa.ToString(), sb.ToString());
+  // And the injector itself is reusable: a second pass is identical too.
+  EXPECT_EQ(Render(a.CorruptReports(in, 7)), ra);
+}
+
+TEST(FaultInjectorTest, DifferentSeedOrTagDiverges) {
+  std::vector<AggregatedReport> in = CleanReports(20);
+  FaultInjector a(FaultProfile::Severe(), 123);
+  FaultInjector c(FaultProfile::Severe(), 124);
+  EXPECT_NE(Render(a.CorruptReports(in, 7)),
+            Render(c.CorruptReports(in, 7)));
+  EXPECT_NE(Render(a.CorruptReports(in, 7)),
+            Render(a.CorruptReports(in, 8)));
+}
+
+TEST(FaultInjectorTest, FullSlotDropEmptiesStream) {
+  FaultProfile p;
+  p.slot_drop_prob = 1.0;
+  FaultInjector injector(p, 5);
+  std::vector<AggregatedReport> in = CleanReports(4);
+  FaultInjectionStats stats;
+  std::vector<AggregatedReport> out = injector.CorruptReports(in, 1, &stats);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.slots_dropped, in.size());
+  EXPECT_EQ(stats.records_out, 0u);
+}
+
+TEST(FaultInjectorTest, DuplicateStormDoublesStream) {
+  FaultProfile p;
+  p.duplicate_prob = 1.0;
+  p.max_duplicates = 1;
+  FaultInjector injector(p, 5);
+  std::vector<AggregatedReport> in = CleanReports(4);
+  FaultInjectionStats stats;
+  std::vector<AggregatedReport> out = injector.CorruptReports(in, 1, &stats);
+  EXPECT_EQ(out.size(), 2 * in.size());
+  EXPECT_EQ(stats.duplicates_injected, in.size());
+  // Copies are adjacent to their originals (a re-delivery storm).
+  for (size_t i = 0; i < out.size(); i += 2) {
+    EXPECT_EQ(out[i].ToString(), out[i + 1].ToString());
+  }
+}
+
+TEST(FaultInjectorTest, StatsReconcileWithStreamSize) {
+  FaultProfile p;
+  p.slot_drop_prob = 0.1;
+  p.day_gap_prob = 0.15;
+  p.duplicate_prob = 0.2;
+  FaultInjector injector(p, 77);
+  std::vector<AggregatedReport> in = CleanReports(30);
+  FaultInjectionStats stats;
+  std::vector<AggregatedReport> out = injector.CorruptReports(in, 3, &stats);
+  // Every input day has exactly kSlotsPerTestDay reports, so the counters
+  // fully explain the output size.
+  EXPECT_EQ(stats.records_out,
+            stats.records_in - stats.days_dropped * kSlotsPerTestDay -
+                stats.slots_dropped + stats.duplicates_injected);
+  EXPECT_EQ(out.size(), stats.records_out);
+  EXPECT_GT(stats.days_dropped, 0u);
+  EXPECT_GT(stats.slots_dropped, 0u);
+  EXPECT_GT(stats.duplicates_injected, 0u);
+}
+
+TEST(FaultInjectorTest, ClockSkewMovesCountedDates) {
+  FaultProfile p;
+  p.clock_skew_prob = 0.3;
+  p.max_skew_days = 2;
+  FaultInjector injector(p, 9);
+  std::vector<AggregatedReport> in = CleanReports(20);
+  FaultInjectionStats stats;
+  std::vector<AggregatedReport> out = injector.CorruptReports(in, 2, &stats);
+  ASSERT_EQ(out.size(), in.size());  // Skew never drops reports.
+  size_t moved = 0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (!(out[i].date == in[i].date)) {
+      ++moved;
+      EXPECT_LE(std::abs(out[i].date - in[i].date), 2);
+    }
+  }
+  EXPECT_EQ(moved, stats.dates_skewed);
+  EXPECT_GT(moved, 0u);
+}
+
+TEST(FaultInjectorTest, FieldCorruptionProducesInvalidValues) {
+  FaultProfile p;
+  p.field_corrupt_prob = 1.0;
+  FaultInjector injector(p, 11);
+  std::vector<AggregatedReport> in = CleanReports(10);
+  FaultInjectionStats stats;
+  std::vector<AggregatedReport> out = injector.CorruptReports(in, 4, &stats);
+  EXPECT_EQ(stats.fields_corrupted, in.size());
+  for (const AggregatedReport& r : out) {
+    bool invalid =
+        !std::isfinite(r.engine_on_fraction) ||
+        !std::isfinite(r.avg_engine_rpm) || r.engine_on_fraction > 1.0 ||
+        r.avg_coolant_temp_c < -100.0 || r.fuel_level_pct > 100.0 ||
+        r.avg_speed_kmh < 0.0;
+    EXPECT_TRUE(invalid) << r.ToString();
+  }
+}
+
+TEST(FaultInjectorTest, ReorderPermutesWithoutLoss) {
+  FaultProfile p;
+  p.reorder_prob = 0.5;
+  p.max_reorder_distance = 6;
+  FaultInjector injector(p, 13);
+  std::vector<AggregatedReport> in = CleanReports(10);
+  FaultInjectionStats stats;
+  std::vector<AggregatedReport> out = injector.CorruptReports(in, 6, &stats);
+  ASSERT_EQ(out.size(), in.size());
+  EXPECT_GT(stats.reports_reordered, 0u);
+  std::multiset<std::pair<int32_t, int>> before, after;
+  for (const AggregatedReport& r : in) {
+    before.insert({r.date.day_number(), r.slot});
+  }
+  for (const AggregatedReport& r : out) {
+    after.insert({r.date.day_number(), r.slot});
+  }
+  EXPECT_EQ(before, after);
+  EXPECT_NE(Render(out), Render(in));
+}
+
+TEST(FaultInjectorTest, CorruptDailyDeterministicAndCleanable) {
+  FaultInjector injector(FaultProfile::Severe(), 21);
+  std::vector<DailyUsageRecord> in = CleanDaily(60);
+  FaultInjectionStats s1, s2;
+  std::vector<DailyUsageRecord> a = injector.CorruptDaily(in, 5, &s1);
+  std::vector<DailyUsageRecord> b = injector.CorruptDaily(in, 5, &s2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(SameDaily(a[i], b[i])) << "record " << i;
+  }
+  EXPECT_EQ(s1.ToString(), s2.ToString());
+  EXPECT_GT(s1.days_dropped + s1.partial_days + s1.duplicates_injected +
+                s1.dates_skewed + s1.fields_corrupted,
+            0u);
+
+  // The cleaning stage repairs the corrupted stream back to full calendar
+  // coverage with physical values -- the contract the chaos runs rely on.
+  CleaningReport rep;
+  auto cleaned = CleanDailyRecords(a, in.front().date, in.back().date,
+                                   CleaningOptions(), &rep)
+                     .value();
+  ASSERT_EQ(cleaned.size(), in.size());
+  for (const DailyUsageRecord& r : cleaned) {
+    EXPECT_TRUE(std::isfinite(r.hours));
+    EXPECT_GE(r.hours, 0.0);
+    EXPECT_LE(r.hours, 24.0);
+  }
+}
+
+TEST(FaultInjectorTest, PartialDaysUndercountHours) {
+  FaultProfile p;
+  p.slot_drop_prob = 1.0;  // Daily image: every day keeps only a fraction.
+  FaultInjector injector(p, 31);
+  std::vector<DailyUsageRecord> in = CleanDaily(20);
+  FaultInjectionStats stats;
+  std::vector<DailyUsageRecord> out = injector.CorruptDaily(in, 9, &stats);
+  ASSERT_EQ(out.size(), in.size());
+  EXPECT_EQ(stats.partial_days, in.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_LT(out[i].hours, in[i].hours);
+    EXPECT_GT(out[i].hours, 0.0);
+  }
+}
+
+TEST(FaultInjectorTest, ControlPlaneChannelsDeterministicAndBounded) {
+  FaultProfile p;
+  p.source_failure_prob = 0.5;
+  p.max_source_failures = 4;
+  p.training_failure_prob = 0.5;
+  p.max_training_failures = 2;
+  FaultInjector injector(p, 55);
+  size_t flaky_sources = 0, flaky_trainers = 0;
+  for (uint64_t tag = 1; tag <= 200; ++tag) {
+    int s = injector.SourceFailuresFor(tag);
+    int t = injector.TrainingFailuresFor(tag);
+    EXPECT_EQ(s, injector.SourceFailuresFor(tag));
+    EXPECT_EQ(t, injector.TrainingFailuresFor(tag));
+    EXPECT_GE(s, 0);
+    EXPECT_LE(s, 4);
+    EXPECT_GE(t, 0);
+    EXPECT_LE(t, 2);
+    if (s > 0) ++flaky_sources;
+    if (t > 0) ++flaky_trainers;
+  }
+  // Roughly half of 200 tags on each independent channel.
+  EXPECT_GT(flaky_sources, 60u);
+  EXPECT_LT(flaky_sources, 140u);
+  EXPECT_GT(flaky_trainers, 60u);
+  EXPECT_LT(flaky_trainers, 140u);
+
+  FaultInjector healthy(FaultProfile::None(), 55);
+  EXPECT_EQ(healthy.SourceFailuresFor(1), 0);
+  EXPECT_EQ(healthy.TrainingFailuresFor(1), 0);
+}
+
+}  // namespace
+}  // namespace vup

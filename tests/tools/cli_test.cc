@@ -94,6 +94,42 @@ TEST(CliTest, FullWorkflow) {
   EXPECT_NE(eval.find("NextWorkingDay"), std::string::npos);
 }
 
+TEST(CliTest, FleetCommandCleanRun) {
+  std::string dir = TempDir();
+  std::string out = dir + "/fleet.txt";
+  ASSERT_EQ(RunCli("fleet --vehicles=30 --max-vehicles=2 --eval-days=10 "
+                   "--fault-profile=none --strict",
+                   out),
+            0);
+  std::string text = ReadFile(out);
+  EXPECT_NE(text.find("PE="), std::string::npos);
+  EXPECT_NE(text.find("quarantined=0"), std::string::npos);
+  EXPECT_NE(text.find("fault-profile=none"), std::string::npos);
+}
+
+TEST(CliTest, FleetStrictFailsOnQuarantine) {
+  std::string dir = TempDir();
+  std::string out = dir + "/fleet_severe.txt";
+  // A hard-down source quarantines every vehicle; --strict must turn that
+  // into a non-zero exit while the run itself still completes.
+  std::string args =
+      "fleet --vehicles=30 --max-vehicles=2 --eval-days=10 "
+      "--fault-profile=severe --fault-seed=2";
+  ASSERT_EQ(RunCli(args, out), 0);  // Degradation alone is not an error.
+  std::string text = ReadFile(out);
+  EXPECT_NE(text.find("degradation:"), std::string::npos);
+  EXPECT_NE(RunCli(args + " --strict", out), 0);
+}
+
+TEST(CliTest, FleetRejectsUnknownFaultProfile) {
+  EXPECT_NE(RunCli("fleet --fault-profile=catastrophic"), 0);
+}
+
+TEST(CliTest, FleetRejectsNonPositiveVehicleCount) {
+  EXPECT_NE(RunCli("fleet --vehicles=0"), 0);
+  EXPECT_NE(RunCli("fleet --vehicles=-3"), 0);
+}
+
 TEST(CliTest, BadUsageFailsCleanly) {
   EXPECT_NE(RunCli(""), 0);
   EXPECT_NE(RunCli("frobnicate"), 0);

@@ -14,6 +14,14 @@
 //   vupred evaluate --data=FILE.csv [--algorithm=GB] [--country=IT]
 //       [--scenario=next-day|next-working-day] [--eval-days=60]
 //       Walk-forward hold-out evaluation (Section 4.1 protocol).
+//
+//   vupred fleet [--vehicles=N] [--seed=S] [--max-vehicles=M]
+//       [--algorithm=Lasso] [--eval-days=20]
+//       [--fault-profile=none|mild|severe] [--strict]
+//       Fleet experiment on a demo fleet, optionally routed through the
+//       telemetry fault injector. Prints the fleet evaluation plus the
+//       degradation report; with --strict, exits non-zero when any
+//       vehicle was quarantined.
 
 #include <cstdio>
 #include <fstream>
@@ -241,11 +249,76 @@ int RunEvaluate(const Flags& flags) {
   return 0;
 }
 
+int RunFleet(const Flags& flags) {
+  std::string profile_name = flags.Get("fault-profile", "none");
+  FaultProfile profile;
+  if (profile_name == "none") {
+    profile = FaultProfile::None();
+  } else if (profile_name == "mild") {
+    profile = FaultProfile::Mild();
+  } else if (profile_name == "severe") {
+    profile = FaultProfile::Severe();
+  } else {
+    std::fprintf(stderr,
+                 "unknown --fault-profile=%s (none|mild|severe)\n",
+                 profile_name.c_str());
+    return 2;
+  }
+
+  int64_t vehicles = flags.GetInt("vehicles", 40);
+  if (vehicles <= 0) {
+    std::fprintf(stderr, "error: --vehicles must be positive, got %lld\n",
+                 static_cast<long long>(vehicles));
+    return 2;
+  }
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  Fleet fleet =
+      Fleet::Generate(FleetConfig::Small(static_cast<size_t>(vehicles), seed));
+  ExperimentRunner runner(&fleet);
+
+  ExperimentOptions opts;
+  opts.max_vehicles = static_cast<size_t>(flags.GetInt("max-vehicles", 6));
+  opts.faults = profile;
+  opts.fault_seed = static_cast<uint64_t>(flags.GetInt("fault-seed", 99));
+
+  EvaluationConfig cfg;
+  cfg.forecaster = MakeForecasterConfig(flags);
+  if (!flags.Has("algorithm")) cfg.forecaster.algorithm = Algorithm::kLasso;
+  if (!flags.Has("lookback")) cfg.forecaster.windowing.lookback_w = 21;
+  if (!flags.Has("topk")) cfg.forecaster.selection.top_k = 7;
+  cfg.eval_days = static_cast<size_t>(flags.GetInt("eval-days", 20));
+  cfg.retrain_every = static_cast<size_t>(flags.GetInt("retrain-every", 10));
+  cfg.train_window = static_cast<size_t>(flags.GetInt("train-window", 60));
+
+  StatusOr<ExperimentResult> run = runner.Run(cfg, opts);
+  if (!run.ok()) return Fail(run.status());
+  const ExperimentResult& result = run.value();
+  std::printf("fleet=%zu selected=%zu algorithm=%s fault-profile=%s\n",
+              fleet.size(), result.vehicle_indices.size(),
+              std::string(AlgorithmToString(cfg.forecaster.algorithm))
+                  .c_str(),
+              profile_name.c_str());
+  std::printf("PE=%.2f%% medianPE=%.2f%% MAE=%.3fh evaluated=%zu "
+              "skipped=%zu quarantined=%zu\n",
+              result.fleet.mean_pe, result.fleet.median_pe,
+              result.fleet.mean_mae, result.fleet.vehicles_evaluated,
+              result.fleet.vehicles_skipped,
+              result.fleet.vehicles_quarantined);
+  std::printf("degradation: %s\n", result.degradation.ToString().c_str());
+  if (flags.Has("strict") && result.degradation.vehicles_quarantined > 0) {
+    std::fprintf(stderr,
+                 "error: %zu vehicles quarantined under --strict\n",
+                 result.degradation.vehicles_quarantined);
+    return 1;
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "vupred -- industrial vehicle usage prediction\n"
-                 "commands: generate, train, predict, evaluate\n");
+                 "commands: generate, train, predict, evaluate, fleet\n");
     return 2;
   }
   std::string command = argv[1];
@@ -254,6 +327,7 @@ int Main(int argc, char** argv) {
   if (command == "train") return RunTrain(flags);
   if (command == "predict") return RunPredict(flags);
   if (command == "evaluate") return RunEvaluate(flags);
+  if (command == "fleet") return RunFleet(flags);
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return 2;
 }
