@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full CI gate: tier-1 release build + tests, then the ASan/UBSan suite.
+#
+#   scripts/ci_check.sh            # both gates
+#   scripts/ci_check.sh --fast     # tier-1 only (skip sanitizers)
+#
+# Exits non-zero on the first failing gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FAST=0
+for arg in "$@"; do
+  [[ "$arg" == "--fast" ]] && FAST=1
+done
+
+echo "== tier-1: release build + ctest =="
+cmake -B build -S .
+cmake --build build -j"${JOBS}"
+(cd build && ctest --output-on-failure -j"${JOBS}")
+
+if [[ "${FAST}" == 1 ]]; then
+  echo "== skipping sanitizer gate (--fast) =="
+  exit 0
+fi
+
+echo "== tier-2: ASan + UBSan suite =="
+scripts/ci_sanitize.sh
+
+echo "== CI gates passed =="

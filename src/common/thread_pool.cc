@@ -1,0 +1,121 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <string>
+#include <utility>
+
+namespace vup {
+
+namespace {
+
+/// Runs a task, converting a thrown exception into a Status so a misbehaving
+/// task can never terminate the worker thread (the library's no-exceptions
+/// contract at public boundaries).
+Status RunGuarded(const std::function<Status()>& task) {
+  try {
+    return task();
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("task threw: ") + e.what());
+  } catch (...) {
+    return Status::Internal("task threw a non-std exception");
+  }
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(Options options) : options_(options) {
+  options_.num_workers = std::max<size_t>(options_.num_workers, 1);
+  options_.queue_capacity = std::max<size_t>(options_.queue_capacity, 1);
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+Status ThreadPool::Submit(std::function<Status()> task) {
+  if (task == nullptr) {
+    return Status::InvalidArgument("cannot submit a null task");
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] {
+      return shutdown_ || queue_.size() < options_.queue_capacity;
+    });
+    if (shutdown_) {
+      return Status::FailedPrecondition("thread pool is shut down");
+    }
+    queue_.push_back(std::move(task));
+  }
+  not_empty_.notify_one();
+  return Status::OK();
+}
+
+Status ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  return first_error_;
+}
+
+Status ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  // Wake everyone: workers drain the remaining queue, blocked producers
+  // observe the shutdown and bail out.
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_error_;
+}
+
+size_t ThreadPool::tasks_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+size_t ThreadPool::tasks_failed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<Status()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // Shutdown with a drained queue: this worker is done.
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    not_full_.notify_one();
+
+    Status status = RunGuarded(task);
+
+    bool became_idle = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      ++completed_;
+      if (!status.ok()) {
+        ++failed_;
+        if (first_error_.ok()) first_error_ = status;
+      }
+      became_idle = queue_.empty() && in_flight_ == 0;
+    }
+    if (became_idle) idle_.notify_all();
+  }
+}
+
+}  // namespace vup

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/random.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "pipeline/cleaning.h"
 
 namespace vup {
@@ -89,14 +90,19 @@ void ExperimentRunner::ConfigureFaults(const ExperimentOptions& options) {
 }
 
 StatusOr<const VehicleDataset*> ExperimentRunner::Dataset(size_t index) {
-  auto it = cache_.find(index);
-  if (it == cache_.end()) {
-    const FaultInjector* injector =
-        injector_.has_value() ? &*injector_ : nullptr;
-    VUP_ASSIGN_OR_RETURN(VehicleDataset ds,
-                         PrepareVehicleDataset(*fleet_, index, injector));
-    it = cache_.emplace(index, std::move(ds)).first;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = cache_.find(index);
+    if (it != cache_.end()) return &it->second;
   }
+  // Prepare outside the lock (the expensive part); std::map pointers are
+  // stable across inserts, so handing out &it->second is safe.
+  const FaultInjector* injector =
+      injector_.has_value() ? &*injector_ : nullptr;
+  VUP_ASSIGN_OR_RETURN(VehicleDataset ds,
+                       PrepareVehicleDataset(*fleet_, index, injector));
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = cache_.emplace(index, std::move(ds)).first;
   return &it->second;
 }
 
@@ -127,6 +133,85 @@ std::vector<size_t> ExperimentRunner::SelectVehicles(
   return selected;
 }
 
+ExperimentRunner::VehicleRunOutcome ExperimentRunner::RunOneVehicle(
+    size_t index, const EvaluationConfig& config,
+    const ExperimentOptions& options, const RetryPolicy& policy,
+    const FaultInjector* injector) {
+  VehicleRunOutcome outcome;
+  VehicleDegradation& entry = outcome.entry;
+  entry.vehicle_index = index;
+  entry.vehicle_id = fleet_->vehicle(index).vehicle_id;
+  const uint64_t tag = static_cast<uint64_t>(entry.vehicle_id);
+
+  // Stage 1: fetch/prepare the dataset (retryable; the injector models a
+  // flaky or hard-down report source).
+  const int source_down =
+      injector != nullptr ? injector->SourceFailuresFor(tag) : 0;
+  const VehicleDataset* ds = nullptr;
+  Status fetched = policy.Run(
+      [&](int attempt) -> Status {
+        if (attempt < source_down) {
+          return Status::DataLoss(StrFormat(
+              "injected source outage (attempt %d of %d down)", attempt + 1,
+              source_down));
+        }
+        StatusOr<const VehicleDataset*> d = Dataset(index);
+        if (!d.ok()) return d.status();
+        ds = d.value();
+        return Status::OK();
+      },
+      &entry.retries);
+  if (!fetched.ok()) {
+    entry.outcome = VehicleOutcome::kQuarantined;
+    entry.reason = fetched;
+    return outcome;
+  }
+
+  // Stage 2: primary training/evaluation (retryable; the injector models
+  // a crashing training backend).
+  const int training_down =
+      injector != nullptr ? injector->TrainingFailuresFor(tag) : 0;
+  StatusOr<VehicleEvaluation> evaluation =
+      Status::Internal("evaluation not attempted");
+  Status trained = policy.Run(
+      [&](int attempt) -> Status {
+        if (attempt < training_down) {
+          return Status::Internal(StrFormat(
+              "injected training failure (attempt %d of %d down)",
+              attempt + 1, training_down));
+        }
+        evaluation = EvaluateVehicle(*ds, config);
+        return evaluation.status();
+      },
+      &entry.retries);
+
+  if (trained.ok()) {
+    entry.outcome = VehicleOutcome::kEvaluated;
+    outcome.evaluation = std::move(evaluation).value();
+  } else if (options.degrade_to_baseline) {
+    // Stage 3: graceful degradation to a naive baseline. Baselines carry
+    // no trained state, so the injected training channel does not apply.
+    EvaluationConfig fallback = config;
+    fallback.forecaster.algorithm = options.fallback_algorithm;
+    fallback.forecaster.use_feature_selection = false;
+    fallback.forecaster.windowing.lookback_w =
+        std::min<size_t>(fallback.forecaster.windowing.lookback_w, 7);
+    StatusOr<VehicleEvaluation> degraded = EvaluateVehicle(*ds, fallback);
+    if (degraded.ok()) {
+      entry.outcome = VehicleOutcome::kDegraded;
+      entry.reason = trained;
+      outcome.evaluation = std::move(degraded).value();
+    } else {
+      entry.outcome = VehicleOutcome::kQuarantined;
+      entry.reason = degraded.status();
+    }
+  } else {
+    entry.outcome = VehicleOutcome::kQuarantined;
+    entry.reason = trained;
+  }
+  return outcome;
+}
+
 StatusOr<ExperimentResult> ExperimentRunner::Run(
     const EvaluationConfig& config, const ExperimentOptions& options) {
   auto start = std::chrono::steady_clock::now();
@@ -144,90 +229,53 @@ StatusOr<ExperimentResult> ExperimentRunner::Run(
   const FaultInjector* injector =
       injector_.has_value() ? &*injector_ : nullptr;
 
-  std::vector<StatusOr<VehicleEvaluation>> evaluations;
-  evaluations.reserve(result.vehicle_indices.size());
-  DegradationReport& report = result.degradation;
-  for (size_t index : result.vehicle_indices) {
-    VehicleDegradation entry;
-    entry.vehicle_index = index;
-    entry.vehicle_id = fleet_->vehicle(index).vehicle_id;
-    const uint64_t tag = static_cast<uint64_t>(entry.vehicle_id);
-
-    // Stage 1: fetch/prepare the dataset (retryable; the injector models a
-    // flaky or hard-down report source).
-    const int source_down =
-        injector != nullptr ? injector->SourceFailuresFor(tag) : 0;
-    const VehicleDataset* ds = nullptr;
-    Status fetched = policy.Run(
-        [&](int attempt) -> Status {
-          if (attempt < source_down) {
-            return Status::DataLoss(StrFormat(
-                "injected source outage (attempt %d of %d down)", attempt + 1,
-                source_down));
-          }
-          StatusOr<const VehicleDataset*> d = Dataset(index);
-          if (!d.ok()) return d.status();
-          ds = d.value();
-          return Status::OK();
-        },
-        &entry.retries);
-    if (!fetched.ok()) {
-      entry.outcome = VehicleOutcome::kQuarantined;
-      entry.reason = fetched;
-      ++report.vehicles_quarantined;
-      report.total_retries += entry.retries;
-      report.vehicles.push_back(std::move(entry));
-      continue;
+  // Per-vehicle pipelines are independent and deterministic, so they can
+  // run serially or on a pool; the fold below always consumes the slots in
+  // selection order, which makes --jobs=N byte-identical to --jobs=1.
+  const size_t n = result.vehicle_indices.size();
+  std::vector<VehicleRunOutcome> slots(n);
+  if (options.jobs <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      slots[i] = RunOneVehicle(result.vehicle_indices[i], config, options,
+                               policy, injector);
     }
-
-    // Stage 2: primary training/evaluation (retryable; the injector models
-    // a crashing training backend).
-    const int training_down =
-        injector != nullptr ? injector->TrainingFailuresFor(tag) : 0;
-    StatusOr<VehicleEvaluation> evaluation =
-        Status::Internal("evaluation not attempted");
-    Status trained = policy.Run(
-        [&](int attempt) -> Status {
-          if (attempt < training_down) {
-            return Status::Internal(StrFormat(
-                "injected training failure (attempt %d of %d down)",
-                attempt + 1, training_down));
-          }
-          evaluation = EvaluateVehicle(*ds, config);
-          return evaluation.status();
-        },
-        &entry.retries);
-
-    if (trained.ok()) {
-      entry.outcome = VehicleOutcome::kEvaluated;
-      ++report.vehicles_evaluated;
-      evaluations.push_back(std::move(evaluation));
-    } else if (options.degrade_to_baseline) {
-      // Stage 3: graceful degradation to a naive baseline. Baselines carry
-      // no trained state, so the injected training channel does not apply.
-      EvaluationConfig fallback = config;
-      fallback.forecaster.algorithm = options.fallback_algorithm;
-      fallback.forecaster.use_feature_selection = false;
-      fallback.forecaster.windowing.lookback_w =
-          std::min<size_t>(fallback.forecaster.windowing.lookback_w, 7);
-      StatusOr<VehicleEvaluation> degraded = EvaluateVehicle(*ds, fallback);
-      if (degraded.ok()) {
-        entry.outcome = VehicleOutcome::kDegraded;
-        entry.reason = trained;
-        ++report.vehicles_degraded;
-        evaluations.push_back(std::move(degraded));
-      } else {
-        entry.outcome = VehicleOutcome::kQuarantined;
-        entry.reason = degraded.status();
-        ++report.vehicles_quarantined;
+  } else {
+    ThreadPool pool({options.jobs, n + 1});
+    for (size_t i = 0; i < n; ++i) {
+      const size_t index = result.vehicle_indices[i];
+      Status submitted = pool.Submit([&, i, index]() -> Status {
+        slots[i] =
+            RunOneVehicle(index, config, options, policy, injector);
+        return Status::OK();
+      });
+      if (!submitted.ok()) {
+        // Cannot happen before Shutdown; fall back to inline just in case.
+        slots[i] = RunOneVehicle(index, config, options, policy, injector);
       }
-    } else {
-      entry.outcome = VehicleOutcome::kQuarantined;
-      entry.reason = trained;
-      ++report.vehicles_quarantined;
     }
-    report.total_retries += entry.retries;
-    report.vehicles.push_back(std::move(entry));
+    VUP_RETURN_IF_ERROR(pool.Shutdown());
+  }
+
+  std::vector<StatusOr<VehicleEvaluation>> evaluations;
+  evaluations.reserve(n);
+  DegradationReport& report = result.degradation;
+  for (VehicleRunOutcome& outcome : slots) {
+    switch (outcome.entry.outcome) {
+      case VehicleOutcome::kEvaluated:
+        ++report.vehicles_evaluated;
+        break;
+      case VehicleOutcome::kDegraded:
+        ++report.vehicles_degraded;
+        break;
+      case VehicleOutcome::kQuarantined:
+        ++report.vehicles_quarantined;
+        break;
+    }
+    if (outcome.evaluation.has_value()) {
+      evaluations.push_back(std::move(*outcome.evaluation));
+    }
+    report.total_retries += outcome.entry.retries;
+    report.vehicles.push_back(std::move(outcome.entry));
   }
 
   // Quarantined vehicles are excluded here on purpose, and visibly so:

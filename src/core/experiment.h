@@ -2,6 +2,7 @@
 #define VUPRED_CORE_EXPERIMENT_H_
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -51,6 +52,13 @@ struct ExperimentOptions {
   /// fall back to this naive baseline instead of quarantining outright.
   bool degrade_to_baseline = true;
   Algorithm fallback_algorithm = Algorithm::kMovingAverage;
+
+  /// Worker threads for the per-vehicle train/evaluate loop. 1 (default)
+  /// runs the reference serial path; N > 1 scores vehicles concurrently on
+  /// a ThreadPool and folds results in selection order, so every output --
+  /// metrics, degradation report, retry counts -- is byte-identical to the
+  /// serial run.
+  size_t jobs = 1;
 };
 
 /// Terminal state of one vehicle within a fleet run.
@@ -128,11 +136,29 @@ class ExperimentRunner {
   const Fleet& fleet() const { return *fleet_; }
 
  private:
+  /// Everything Run decides about one vehicle, produced independently per
+  /// vehicle so the loop can run serial or on a pool and fold results in
+  /// selection order either way.
+  struct VehicleRunOutcome {
+    VehicleDegradation entry;
+    std::optional<VehicleEvaluation> evaluation;  // Set unless quarantined.
+  };
+
   /// Installs the fault injector implied by `options`, dropping cached
   /// datasets when the fault configuration changed.
   void ConfigureFaults(const ExperimentOptions& options);
 
+  /// The fetch -> train/evaluate -> degrade pipeline of one vehicle.
+  /// Deterministic per vehicle and safe to call concurrently once the
+  /// vehicle's dataset is cached (SelectVehicles warms the cache).
+  VehicleRunOutcome RunOneVehicle(size_t index,
+                                  const EvaluationConfig& config,
+                                  const ExperimentOptions& options,
+                                  const RetryPolicy& policy,
+                                  const FaultInjector* injector);
+
   const Fleet* fleet_;
+  std::mutex cache_mu_;  // Guards cache_ (Dataset may run on pool workers).
   std::map<size_t, VehicleDataset> cache_;
   std::optional<FaultInjector> injector_;
   uint64_t fault_sig_ = 0;

@@ -277,7 +277,13 @@ StatusOr<VehicleForecaster> VehicleForecaster::Load(std::istream& is) {
     return Status::InvalidArgument("unknown algorithm: " + alg[0]);
   }
 
+  // Untrusted stream: bound the structural sizes before they drive any
+  // allocation (MakeWindowColumns reserves lookback_w * feature columns).
+  constexpr long long kMaxStructural = 1 << 16;
   VUP_ASSIGN_OR_RETURN(long long lookback, ExpectIntLine(is, "lookback_w"));
+  if (lookback < 1 || lookback > kMaxStructural) {
+    return Status::InvalidArgument("lookback_w out of range");
+  }
   config.windowing.lookback_w = static_cast<size_t>(lookback);
   VUP_ASSIGN_OR_RETURN(long long tdc,
                        ExpectIntLine(is, "include_target_day_context"));
@@ -287,8 +293,14 @@ StatusOr<VehicleForecaster> VehicleForecaster::Load(std::istream& is) {
   config.windowing.include_lag_context = lc != 0;
   VUP_ASSIGN_OR_RETURN(long long lef,
                        ExpectIntLine(is, "lag_engine_features"));
+  if (lef < 0 || lef > kMaxStructural) {
+    return Status::InvalidArgument("lag_engine_features out of range");
+  }
   config.windowing.lag_engine_features = static_cast<size_t>(lef);
   VUP_ASSIGN_OR_RETURN(long long top_k, ExpectIntLine(is, "top_k"));
+  if (top_k < 0 || top_k > kMaxStructural) {
+    return Status::InvalidArgument("top_k out of range");
+  }
   config.selection.top_k = static_cast<size_t>(top_k);
   VUP_ASSIGN_OR_RETURN(long long ufs,
                        ExpectIntLine(is, "use_feature_selection"));

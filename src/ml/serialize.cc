@@ -1,5 +1,6 @@
 #include "ml/serialize.h"
 
+#include <cmath>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -16,6 +17,22 @@ namespace vup {
 namespace {
 
 constexpr const char* kMagic = "vupred-model v1";
+
+/// Upper bounds on deserialized structure sizes. Streams are untrusted
+/// (truncated files, bit rot, hostile input): a corrupt count must produce
+/// an InvalidArgument, never a multi-gigabyte allocation that turns into
+/// std::bad_alloc. The caps sit far above anything the training side
+/// produces (thousands of support vectors / nodes at most).
+constexpr long long kMaxCount = 1 << 20;         // Rows, nodes, trees.
+constexpr long long kMaxMatrixCells = 1 << 26;   // num_sv * num_features.
+
+Status CheckCount(const char* what, long long value, long long max) {
+  if (value < 0 || value > max) {
+    return Status::InvalidArgument(
+        StrFormat("%s out of range: %lld", what, value));
+  }
+  return Status::OK();
+}
 
 void WriteDouble(std::ostream& os, double v) {
   os << StrFormat("%.17g", v);
@@ -246,6 +263,11 @@ StatusOr<std::unique_ptr<Regressor>> LoadSvrBody(Reader& r) {
   if (num_features <= 0 || num_sv < 0) {
     return Status::InvalidArgument("invalid SVR dimensions");
   }
+  VUP_RETURN_IF_ERROR(CheckCount("num_features", num_features, kMaxCount));
+  VUP_RETURN_IF_ERROR(CheckCount("num_sv", num_sv, kMaxCount));
+  if (num_sv * num_features > kMaxMatrixCells) {
+    return Status::InvalidArgument("support-vector matrix too large");
+  }
   Matrix support(static_cast<size_t>(num_sv),
                  static_cast<size_t>(num_features));
   std::vector<double> beta;
@@ -281,6 +303,8 @@ StatusOr<RegressionTree> LoadTreeFromBody(Reader& r) {
   if (num_features < 0 || num_nodes < 0) {
     return Status::InvalidArgument("invalid tree dimensions");
   }
+  VUP_RETURN_IF_ERROR(CheckCount("num_features", num_features, kMaxCount));
+  VUP_RETURN_IF_ERROR(CheckCount("num_nodes", num_nodes, kMaxCount));
   std::vector<RegressionTree::NodeState> nodes;
   nodes.reserve(static_cast<size_t>(num_nodes));
   for (long long i = 0; i < num_nodes; ++i) {
@@ -297,11 +321,19 @@ StatusOr<RegressionTree> LoadTreeFromBody(Reader& r) {
     VUP_ASSIGN_OR_RETURN(long long right, ParseInt(n[3]));
     node.right = static_cast<int>(right);
     VUP_ASSIGN_OR_RETURN(node.value, ParseDouble(n[4]));
-    // Structural validation: children must stay inside the node array.
-    if (node.feature >= 0 &&
-        (node.left < 0 || node.right < 0 || node.left >= num_nodes ||
-         node.right >= num_nodes)) {
-      return Status::InvalidArgument("node child index out of range");
+    // Structural validation on internal nodes: the split feature must be
+    // a real column (PredictOne indexes the feature row unchecked) and
+    // children must point strictly forward inside the node array -- the
+    // layout Grow emits -- so a corrupt stream can neither read out of
+    // bounds nor send traversal into a cycle.
+    if (node.feature >= 0) {
+      if (feature >= num_features) {
+        return Status::InvalidArgument("node split feature out of range");
+      }
+      if (node.left <= i || node.right <= i || node.left >= num_nodes ||
+          node.right >= num_nodes) {
+        return Status::InvalidArgument("node child index out of range");
+      }
     }
     nodes.push_back(node);
   }
@@ -329,6 +361,8 @@ StatusOr<std::unique_ptr<Regressor>> LoadGbBody(Reader& r) {
   if (num_features <= 0 || num_trees < 0) {
     return Status::InvalidArgument("invalid ensemble dimensions");
   }
+  VUP_RETURN_IF_ERROR(CheckCount("num_features", num_features, kMaxCount));
+  VUP_RETURN_IF_ERROR(CheckCount("num_trees", num_trees, kMaxCount));
   o.n_estimators = static_cast<size_t>(num_trees);
   std::vector<RegressionTree> trees;
   trees.reserve(static_cast<size_t>(num_trees));
@@ -425,6 +459,14 @@ StatusOr<StandardScaler> LoadScaler(std::istream& is) {
                        r.ExpectVector("scales"));
   if (means.size() != scales.size()) {
     return Status::InvalidArgument("means/scales size mismatch");
+  }
+  for (double s : scales) {
+    // Fit never produces a non-positive or non-finite scale (constant
+    // columns get scale 1); such a value can only come from corruption and
+    // would poison every standardized feature downstream.
+    if (!(s > 0.0) || !std::isfinite(s)) {
+      return Status::InvalidArgument("scaler scale must be finite and > 0");
+    }
   }
   VUP_ASSIGN_OR_RETURN(std::vector<std::string> end, r.NextLine());
   if (end.size() != 1 || end[0] != "end") {

@@ -1,0 +1,167 @@
+#include "serve/model_registry.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "common/string_util.h"
+
+namespace vup::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kBundleSuffix = ".fcst";
+constexpr const char* kBundlePrefix = "vehicle_";
+
+}  // namespace
+
+std::string ModelRegistry::BundleFileName(int64_t vehicle_id) {
+  return StrFormat("%s%lld%s", kBundlePrefix,
+                   static_cast<long long>(vehicle_id), kBundleSuffix);
+}
+
+std::string ModelRegistry::BundlePath(int64_t vehicle_id) const {
+  return options_.directory + "/" + BundleFileName(vehicle_id);
+}
+
+StatusOr<ModelRegistry> ModelRegistry::Open(Options options) {
+  if (options.directory.empty()) {
+    return Status::InvalidArgument("registry directory must not be empty");
+  }
+  std::error_code ec;
+  fs::create_directories(options.directory, ec);
+  if (ec) {
+    return Status::Internal("cannot create registry directory '" +
+                            options.directory + "': " + ec.message());
+  }
+  if (!fs::is_directory(options.directory, ec) || ec) {
+    return Status::InvalidArgument("registry path is not a directory: " +
+                                   options.directory);
+  }
+  return ModelRegistry(std::move(options));
+}
+
+Status ModelRegistry::Publish(int64_t vehicle_id,
+                              const VehicleForecaster& forecaster) {
+  const std::string path = BundlePath(vehicle_id);
+  // Write to a temp name then rename, so a crashed publish never leaves a
+  // half-written bundle under the serving name.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open bundle for writing: " + tmp);
+    }
+    VUP_RETURN_IF_ERROR(forecaster.Save(out));
+    out.flush();
+    if (!out) {
+      return Status::DataLoss("bundle write failed: " + tmp);
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Status::Internal("cannot install bundle " + path + ": " +
+                            ec.message());
+  }
+  // Drop any stale resident copy so the next Get sees the new bundle.
+  std::lock_guard<std::mutex> lock(*mu_);
+  auto it = index_.find(vehicle_id);
+  if (it != index_.end()) {
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::shared_ptr<const VehicleForecaster>>
+ModelRegistry::LoadFromDisk(int64_t vehicle_id) const {
+  const std::string path = BundlePath(vehicle_id);
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(
+        StrFormat("no model bundle for vehicle %lld in %s",
+                  static_cast<long long>(vehicle_id),
+                  options_.directory.c_str()));
+  }
+  VUP_ASSIGN_OR_RETURN(VehicleForecaster forecaster,
+                       VehicleForecaster::Load(in));
+  return std::make_shared<const VehicleForecaster>(std::move(forecaster));
+}
+
+StatusOr<std::shared_ptr<const VehicleForecaster>> ModelRegistry::Get(
+    int64_t vehicle_id) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  auto it = index_.find(vehicle_id);
+  if (it != index_.end()) {
+    ++stats_.hits;
+    // Move to the front (most recently used).
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+
+  ++stats_.misses;
+  StatusOr<std::shared_ptr<const VehicleForecaster>> loaded =
+      LoadFromDisk(vehicle_id);
+  if (!loaded.ok()) {
+    if (!loaded.status().IsNotFound()) ++stats_.load_failures;
+    return loaded.status();
+  }
+  std::shared_ptr<const VehicleForecaster> model =
+      std::move(loaded).value();
+
+  if (options_.cache_capacity > 0) {
+    while (lru_.size() >= options_.cache_capacity) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+    lru_.emplace_front(vehicle_id, model);
+    index_[vehicle_id] = lru_.begin();
+  }
+  return model;
+}
+
+bool ModelRegistry::Contains(int64_t vehicle_id) const {
+  std::error_code ec;
+  return fs::exists(BundlePath(vehicle_id), ec) && !ec;
+}
+
+std::vector<int64_t> ModelRegistry::ListVehicleIds() const {
+  std::vector<int64_t> ids;
+  std::error_code ec;
+  fs::directory_iterator it(options_.directory, ec);
+  if (ec) return ids;
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kBundlePrefix, 0) != 0) continue;
+    const size_t suffix_at = name.size() - std::string(kBundleSuffix).size();
+    if (name.size() <= std::string(kBundlePrefix).size() ||
+        name.substr(suffix_at) != kBundleSuffix) {
+      continue;
+    }
+    std::string_view digits(name);
+    digits.remove_prefix(std::string(kBundlePrefix).size());
+    digits.remove_suffix(std::string(kBundleSuffix).size());
+    StatusOr<long long> id = ParseInt(digits);
+    if (id.ok()) ids.push_back(id.value());
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+size_t ModelRegistry::resident_models() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return lru_.size();
+}
+
+ModelRegistryStats ModelRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return stats_;
+}
+
+}  // namespace vup::serve

@@ -1,0 +1,97 @@
+#ifndef VUPRED_SERVE_MODEL_REGISTRY_H_
+#define VUPRED_SERVE_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/forecaster.h"
+
+namespace vup::serve {
+
+/// Cache/IO counters of a ModelRegistry. Counts are cumulative since Open.
+struct ModelRegistryStats {
+  size_t hits = 0;         // Get served from the resident cache.
+  size_t misses = 0;       // Get had to load the bundle from disk.
+  size_t evictions = 0;    // Resident models displaced by the LRU policy.
+  size_t load_failures = 0;  // Disk loads that returned an error.
+};
+
+/// Directory-backed store of per-vehicle model bundles with a bounded LRU
+/// cache of resident (deserialized) models.
+///
+/// On-disk layout: one `vehicle_<id>.fcst` file per vehicle under the
+/// registry directory, each holding a `vupred-forecaster v1` bundle
+/// (config + selected-lag metadata + scaler + regressor, the ml/serialize
+/// round-trip via VehicleForecaster::Save/Load).
+///
+/// Publish is offline (training side); Get is the online path. Get returns
+/// a shared_ptr so a model stays valid for in-flight scoring even when the
+/// LRU policy evicts it concurrently. `cache_capacity` bounds resident
+/// models: 0 disables caching entirely (every Get is a disk load).
+///
+/// All methods are thread-safe.
+class ModelRegistry {
+ public:
+  struct Options {
+    std::string directory;
+    size_t cache_capacity = 64;
+  };
+
+  /// Opens (and creates, if missing) the registry directory.
+  static StatusOr<ModelRegistry> Open(Options options);
+
+  ModelRegistry(ModelRegistry&&) noexcept = default;
+  ModelRegistry& operator=(ModelRegistry&&) noexcept = default;
+
+  /// Writes the bundle of `vehicle_id` (must be trained). Replaces an
+  /// existing bundle and drops any stale resident copy.
+  Status Publish(int64_t vehicle_id, const VehicleForecaster& forecaster);
+
+  /// The model of `vehicle_id`, from cache or disk. NotFound when no
+  /// bundle exists; InvalidArgument when the bundle is corrupt.
+  StatusOr<std::shared_ptr<const VehicleForecaster>> Get(int64_t vehicle_id);
+
+  /// True when a bundle file exists (does not touch the cache).
+  bool Contains(int64_t vehicle_id) const;
+
+  /// Vehicle ids with a bundle on disk, ascending.
+  std::vector<int64_t> ListVehicleIds() const;
+
+  /// Number of models currently resident in the cache.
+  size_t resident_models() const;
+
+  ModelRegistryStats stats() const;
+
+  const std::string& directory() const { return options_.directory; }
+
+  static std::string BundleFileName(int64_t vehicle_id);
+  std::string BundlePath(int64_t vehicle_id) const;
+
+ private:
+  explicit ModelRegistry(Options options) : options_(std::move(options)) {}
+
+  /// Loads a bundle from disk (no cache interaction).
+  StatusOr<std::shared_ptr<const VehicleForecaster>> LoadFromDisk(
+      int64_t vehicle_id) const;
+
+  Options options_;
+
+  // LRU cache: most-recently-used at the front. unique_ptr so the registry
+  // stays movable (mutex members are not).
+  using LruEntry = std::pair<int64_t, std::shared_ptr<const VehicleForecaster>>;
+  std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
+  std::list<LruEntry> lru_;
+  std::unordered_map<int64_t, std::list<LruEntry>::iterator> index_;
+  ModelRegistryStats stats_;
+};
+
+}  // namespace vup::serve
+
+#endif  // VUPRED_SERVE_MODEL_REGISTRY_H_

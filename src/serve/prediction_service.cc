@@ -1,0 +1,161 @@
+#include "serve/prediction_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+
+#include "common/check.h"
+#include "ml/baselines.h"
+
+namespace vup::serve {
+
+namespace {
+
+double Elapsed(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       since)
+      .count();
+}
+
+}  // namespace
+
+PredictionService::PredictionService(ModelRegistry* registry,
+                                     ThreadPool* pool)
+    : PredictionService(registry, pool, Options()) {}
+
+PredictionService::PredictionService(ModelRegistry* registry,
+                                     ThreadPool* pool, Options options)
+    : registry_(registry), pool_(pool), options_(options) {
+  VUP_CHECK(registry_ != nullptr);
+}
+
+PredictionResponse PredictionService::ScoreOne(
+    const VehicleForecaster* model, const Status& model_status,
+    const PredictionRequest& request) {
+  ServingStats::InFlight gauge(&stats_);
+  const auto start = std::chrono::steady_clock::now();
+
+  PredictionResponse response;
+  response.vehicle_id = request.vehicle_id;
+  if (request.dataset == nullptr) {
+    response.status =
+        Status::InvalidArgument("request carries no dataset window");
+  } else if (model != nullptr) {
+    StatusOr<double> prediction =
+        model->PredictTarget(*request.dataset, request.target_index);
+    if (prediction.ok()) {
+      response.prediction = prediction.value();
+    } else {
+      response.status = prediction.status();
+    }
+  } else if (model_status.IsNotFound() && options_.degrade_to_baseline) {
+    // No registered model: serve the Last-Value baseline over the history
+    // preceding the target, the same naive fallback the fleet runner
+    // degrades to before quarantining.
+    const VehicleDataset& ds = *request.dataset;
+    if (request.target_index == 0 ||
+        request.target_index > ds.num_days()) {
+      response.status = Status::InvalidArgument(
+          "baseline fallback needs at least one past day");
+    } else {
+      std::span<const double> history(ds.hours().data(),
+                                      request.target_index);
+      StatusOr<double> prediction = LastValueBaseline().Predict(history);
+      if (prediction.ok()) {
+        response.prediction = prediction.value();
+        response.degraded = true;
+      } else {
+        response.status = prediction.status();
+      }
+    }
+  } else {
+    response.status = model_status;
+  }
+
+  if (response.status.ok() && options_.clamp_predictions) {
+    response.prediction = std::clamp(response.prediction, 0.0, 24.0);
+  }
+  response.latency_seconds = Elapsed(start);
+  stats_.RecordRequest(response.latency_seconds, response.status.ok(),
+                       response.degraded);
+  return response;
+}
+
+void PredictionService::ScoreGroup(
+    std::span<const PredictionRequest> requests,
+    const std::vector<size_t>& positions,
+    std::vector<PredictionResponse>* responses) {
+  if (positions.empty()) return;
+  // One model fetch per vehicle group; the shared_ptr keeps the model
+  // alive across the group even if the LRU evicts it meanwhile.
+  StatusOr<std::shared_ptr<const VehicleForecaster>> model =
+      registry_->Get(requests[positions.front()].vehicle_id);
+  const VehicleForecaster* model_ptr =
+      model.ok() ? model.value().get() : nullptr;
+  const Status model_status = model.ok() ? Status::OK() : model.status();
+  for (size_t position : positions) {
+    (*responses)[position] =
+        ScoreOne(model_ptr, model_status, requests[position]);
+  }
+}
+
+PredictionResponse PredictionService::Predict(
+    const PredictionRequest& request) {
+  std::vector<PredictionResponse> responses(1);
+  ScoreGroup(std::span<const PredictionRequest>(&request, 1), {0},
+             &responses);
+  return responses[0];
+}
+
+std::vector<PredictionResponse> PredictionService::PredictBatch(
+    std::span<const PredictionRequest> requests) {
+  std::vector<PredictionResponse> responses(requests.size());
+  if (requests.empty()) return responses;
+
+  // Group request positions per vehicle (ordered map: deterministic group
+  // submission order).
+  std::map<int64_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    groups[requests[i].vehicle_id].push_back(i);
+  }
+
+  if (pool_ == nullptr) {
+    for (const auto& [id, positions] : groups) {
+      ScoreGroup(requests, positions, &responses);
+    }
+    return responses;
+  }
+
+  // Per-batch completion latch: a shared pool may carry other callers'
+  // tasks, so ThreadPool::Wait() would over-wait here.
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t remaining = groups.size();
+  auto mark_done = [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    if (--remaining == 0) done_cv.notify_all();
+  };
+
+  for (const auto& [id, positions] : groups) {
+    const std::vector<size_t>* group = &positions;
+    Status submitted = pool_->Submit([this, requests, group, &responses,
+                                      &mark_done]() -> Status {
+      ScoreGroup(requests, *group, &responses);
+      mark_done();
+      return Status::OK();
+    });
+    if (!submitted.ok()) {
+      // Pool shut down: score inline rather than dropping the group.
+      ScoreGroup(requests, positions, &responses);
+      mark_done();
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(mu);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+  return responses;
+}
+
+}  // namespace vup::serve

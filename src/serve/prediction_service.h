@@ -1,0 +1,99 @@
+#ifndef VUPRED_SERVE_PREDICTION_SERVICE_H_
+#define VUPRED_SERVE_PREDICTION_SERVICE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "pipeline/dataset.h"
+#include "serve/model_registry.h"
+#include "serve/serving_stats.h"
+
+namespace vup::serve {
+
+/// One scoring request: predict the utilization hours of `dataset` row
+/// `target_index` (which may equal dataset->num_days() for the one-step-
+/// ahead forecast) using the model registered for `vehicle_id`.
+///
+/// The dataset is the vehicle's recent feature window; it must outlive the
+/// call and is not modified.
+struct PredictionRequest {
+  int64_t vehicle_id = 0;
+  const VehicleDataset* dataset = nullptr;
+  size_t target_index = 0;
+};
+
+/// Outcome of one request. `status` is OK when `prediction` is usable;
+/// `degraded` marks predictions served by the Last-Value fallback because
+/// the vehicle has no registered model.
+struct PredictionResponse {
+  int64_t vehicle_id = 0;
+  Status status;
+  double prediction = 0.0;
+  bool degraded = false;
+  double latency_seconds = 0.0;
+};
+
+/// The online scoring path: stateless request/response layer over a
+/// ModelRegistry and a shared ThreadPool.
+///
+/// Batched requests are grouped per vehicle so each group fetches its model
+/// once, then the groups are scored concurrently on the pool (inline when
+/// no pool is supplied or the pool is shut down). Responses come back in
+/// request order regardless of scheduling.
+///
+/// Degradation: when the registry has no bundle for a vehicle and
+/// `degrade_to_baseline` is set, the request is served by the Last-Value
+/// baseline over the dataset's history (mirroring the fleet runner's
+/// degrade-before-quarantine policy) and flagged `degraded`.
+class PredictionService {
+ public:
+  struct Options {
+    bool degrade_to_baseline = true;
+    /// Clamp predictions to the physical range [0, 24] hours (matches the
+    /// offline forecaster default).
+    bool clamp_predictions = true;
+  };
+
+  /// `registry` must outlive the service; `pool` may be null (inline
+  /// scoring).
+  PredictionService(ModelRegistry* registry, ThreadPool* pool);
+  PredictionService(ModelRegistry* registry, ThreadPool* pool,
+                    Options options);
+
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  /// Scores one request inline.
+  PredictionResponse Predict(const PredictionRequest& request);
+
+  /// Scores a batch: groups per vehicle, one pool task per group.
+  std::vector<PredictionResponse> PredictBatch(
+      std::span<const PredictionRequest> requests);
+
+  ServingStatsSnapshot stats() const { return stats_.Snapshot(); }
+  std::string LatencyHistogramToString() const {
+    return stats_.HistogramToString();
+  }
+
+ private:
+  /// Scores requests[i] for each i in `positions` (all the same vehicle),
+  /// writing responses[i]. Fetches the model once per call.
+  void ScoreGroup(std::span<const PredictionRequest> requests,
+                  const std::vector<size_t>& positions,
+                  std::vector<PredictionResponse>* responses);
+
+  PredictionResponse ScoreOne(const VehicleForecaster* model,
+                              const Status& model_status,
+                              const PredictionRequest& request);
+
+  ModelRegistry* registry_;
+  ThreadPool* pool_;
+  Options options_;
+  ServingStats stats_;
+};
+
+}  // namespace vup::serve
+
+#endif  // VUPRED_SERVE_PREDICTION_SERVICE_H_

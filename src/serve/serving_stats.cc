@@ -1,0 +1,102 @@
+#include "serve/serving_stats.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace vup::serve {
+
+namespace {
+
+// 1-2-5 ladder from 10 us to 5 s; requests above the last bound fall into
+// the overflow bucket.
+constexpr std::array<double, 18> kBoundsSeconds = {
+    10e-6, 20e-6, 50e-6, 100e-6, 200e-6, 500e-6,
+    1e-3,  2e-3,  5e-3,  10e-3,  20e-3,  50e-3,
+    100e-3, 200e-3, 500e-3, 1.0,   2.0,   5.0};
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram()
+    : counts_(kBoundsSeconds.size() + 1, 0) {}
+
+std::span<const double> LatencyHistogram::BucketBoundsSeconds() {
+  return kBoundsSeconds;
+}
+
+void LatencyHistogram::Record(double seconds) {
+  if (!std::isfinite(seconds) || seconds < 0) seconds = 0;
+  size_t bucket = kBoundsSeconds.size();  // Overflow by default.
+  for (size_t i = 0; i < kBoundsSeconds.size(); ++i) {
+    if (seconds <= kBoundsSeconds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts_[bucket];
+  ++count_;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile, 1-based (nearest-rank definition).
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  rank = std::max<size_t>(rank, 1);
+  size_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      return i < kBoundsSeconds.size() ? kBoundsSeconds[i]
+                                       : kBoundsSeconds.back();
+    }
+  }
+  return kBoundsSeconds.back();
+}
+
+std::string LatencyHistogram::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (i < kBoundsSeconds.size()) {
+      out += StrFormat("  <=%.3fms %zu\n", kBoundsSeconds[i] * 1e3,
+                       counts_[i]);
+    } else {
+      out += StrFormat("  >%.3fms %zu\n", kBoundsSeconds.back() * 1e3,
+                       counts_[i]);
+    }
+  }
+  return out;
+}
+
+void ServingStats::RecordRequest(double latency_seconds, bool ok,
+                                 bool degraded) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histogram_.Record(latency_seconds);
+  ++requests_;
+  if (!ok) ++failures_;
+  if (degraded) ++degraded_;
+}
+
+ServingStatsSnapshot ServingStats::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServingStatsSnapshot snap;
+  snap.requests = requests_;
+  snap.failures = failures_;
+  snap.degraded = degraded_;
+  snap.in_flight = in_flight_.load(std::memory_order_relaxed);
+  snap.p50_seconds = histogram_.Quantile(0.50);
+  snap.p95_seconds = histogram_.Quantile(0.95);
+  snap.p99_seconds = histogram_.Quantile(0.99);
+  return snap;
+}
+
+std::string ServingStats::HistogramToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histogram_.ToString();
+}
+
+}  // namespace vup::serve

@@ -1,0 +1,95 @@
+#ifndef VUPRED_SERVE_SERVING_STATS_H_
+#define VUPRED_SERVE_SERVING_STATS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vup::serve {
+
+/// Fixed-bucket latency histogram for online scoring.
+///
+/// Buckets are exponential-ish upper bounds from 10 microseconds to
+/// 5 seconds plus a +inf overflow bucket, chosen so that sub-millisecond
+/// model scoring and multi-second cold loads both land in informative
+/// buckets. Quantile() returns the upper bound of the bucket holding the
+/// requested rank -- a conservative (never under-reporting) estimate.
+///
+/// Not internally synchronized; ServingStats guards it.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  /// Bucket upper bounds in seconds (the last, +inf, is not included).
+  static std::span<const double> BucketBoundsSeconds();
+
+  void Record(double seconds);
+
+  size_t count() const { return count_; }
+
+  /// Upper bound (seconds) of the bucket containing quantile `q` in
+  /// [0, 1]. Returns 0 when empty; the last finite bound for overflow.
+  double Quantile(double q) const;
+
+  /// One line per non-empty bucket: "<=bound_ms count".
+  std::string ToString() const;
+
+ private:
+  std::vector<size_t> counts_;  // One per bound, plus the overflow bucket.
+  size_t count_ = 0;
+};
+
+/// Snapshot of the service counters, taken atomically.
+struct ServingStatsSnapshot {
+  size_t requests = 0;   // Finished requests (any outcome).
+  size_t failures = 0;   // Finished with a non-OK status.
+  size_t degraded = 0;   // Served by the baseline fallback.
+  size_t in_flight = 0;  // Currently being scored.
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+};
+
+/// Thread-safe request metrics: latency histogram, outcome counters and an
+/// in-flight gauge.
+class ServingStats {
+ public:
+  /// RAII in-flight gauge: construction increments, destruction decrements.
+  class InFlight {
+   public:
+    explicit InFlight(ServingStats* stats) : stats_(stats) {
+      stats_->in_flight_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~InFlight() {
+      stats_->in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    InFlight(const InFlight&) = delete;
+    InFlight& operator=(const InFlight&) = delete;
+
+   private:
+    ServingStats* stats_;
+  };
+
+  /// Records one finished request.
+  void RecordRequest(double latency_seconds, bool ok, bool degraded);
+
+  ServingStatsSnapshot Snapshot() const;
+
+  /// The histogram rendered as text (for reports).
+  std::string HistogramToString() const;
+
+ private:
+  mutable std::mutex mu_;
+  LatencyHistogram histogram_;
+  size_t requests_ = 0;
+  size_t failures_ = 0;
+  size_t degraded_ = 0;
+  std::atomic<size_t> in_flight_{0};
+};
+
+}  // namespace vup::serve
+
+#endif  // VUPRED_SERVE_SERVING_STATS_H_

@@ -1,0 +1,176 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool({/*num_workers=*/4, /*queue_capacity=*/16});
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.Submit([&count]() -> Status {
+                      count.fetch_add(1);
+                      return Status::OK();
+                    })
+                    .ok());
+  }
+  EXPECT_TRUE(pool.Wait().ok());
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(pool.tasks_completed(), 100u);
+  EXPECT_EQ(pool.tasks_failed(), 0u);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedWork) {
+  // One slow worker and a deep queue: Shutdown must run everything already
+  // accepted, not drop it.
+  ThreadPool pool({/*num_workers=*/1, /*queue_capacity=*/64});
+  std::atomic<int> count{0};
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(pool.Submit([&count]() -> Status {
+                      std::this_thread::sleep_for(
+                          std::chrono::milliseconds(1));
+                      count.fetch_add(1);
+                      return Status::OK();
+                    })
+                    .ok());
+  }
+  EXPECT_TRUE(pool.Shutdown().ok());
+  EXPECT_EQ(count.load(), 32);
+  EXPECT_EQ(pool.tasks_completed(), 32u);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
+  ThreadPool pool({2, 8});
+  EXPECT_TRUE(pool.Shutdown().ok());
+  std::atomic<bool> ran{false};
+  Status submitted = pool.Submit([&ran]() -> Status {
+    ran.store(true);
+    return Status::OK();
+  });
+  EXPECT_TRUE(submitted.IsFailedPrecondition());
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(ThreadPoolTest, TaskExceptionBecomesStatus) {
+  ThreadPool pool({2, 8});
+  ASSERT_TRUE(pool.Submit([]() -> Status {
+                    throw std::runtime_error("boom in task");
+                  })
+                  .ok());
+  Status status = pool.Wait();
+  EXPECT_TRUE(status.IsInternal()) << status.ToString();
+  EXPECT_NE(status.ToString().find("boom in task"), std::string::npos);
+  EXPECT_EQ(pool.tasks_failed(), 1u);
+  // The pool survives the throw and keeps executing.
+  std::atomic<bool> ran{false};
+  ASSERT_TRUE(pool.Submit([&ran]() -> Status {
+                    ran.store(true);
+                    return Status::OK();
+                  })
+                  .ok());
+  pool.Shutdown();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, NonStandardExceptionAlsoCaught) {
+  ThreadPool pool({1, 4});
+  ASSERT_TRUE(pool.Submit([]() -> Status { throw 42; }).ok());
+  EXPECT_TRUE(pool.Shutdown().IsInternal());
+  EXPECT_EQ(pool.tasks_failed(), 1u);
+}
+
+TEST(ThreadPoolTest, FirstErrorStatusIsRetained) {
+  ThreadPool pool({1, 8});
+  ASSERT_TRUE(
+      pool.Submit([]() -> Status { return Status::NotFound("first"); })
+          .ok());
+  ASSERT_TRUE(
+      pool.Submit([]() -> Status { return Status::Internal("second"); })
+          .ok());
+  Status status = pool.Shutdown();
+  // Single worker: completion order is submission order.
+  EXPECT_TRUE(status.IsNotFound()) << status.ToString();
+  EXPECT_EQ(pool.tasks_failed(), 2u);
+  EXPECT_EQ(pool.tasks_completed(), 2u);
+}
+
+TEST(ThreadPoolTest, NoLostTasksUnderContention) {
+  // Many producers hammering a tiny queue: back-pressure blocks Submit but
+  // every accepted task must run exactly once.
+  ThreadPool pool({/*num_workers=*/4, /*queue_capacity=*/2});
+  std::atomic<int> count{0};
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 200;
+  std::vector<std::thread> producers;
+  std::atomic<int> submit_failures{0};
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        Status submitted = pool.Submit([&count]() -> Status {
+          count.fetch_add(1);
+          return Status::OK();
+        });
+        if (!submitted.ok()) submit_failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_TRUE(pool.Shutdown().ok());
+  EXPECT_EQ(submit_failures.load(), 0);
+  EXPECT_EQ(count.load(), kProducers * kPerProducer);
+  EXPECT_EQ(pool.tasks_completed(),
+            static_cast<size_t>(kProducers * kPerProducer));
+}
+
+TEST(ThreadPoolTest, WaitKeepsPoolUsable) {
+  ThreadPool pool({2, 8});
+  std::atomic<int> count{0};
+  auto bump = [&count]() -> Status {
+    count.fetch_add(1);
+    return Status::OK();
+  };
+  ASSERT_TRUE(pool.Submit(bump).ok());
+  EXPECT_TRUE(pool.Wait().ok());
+  EXPECT_EQ(count.load(), 1);
+  ASSERT_TRUE(pool.Submit(bump).ok());
+  EXPECT_TRUE(pool.Wait().ok());
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, DestructorShutsDownGracefully) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool({2, 32});
+    for (int i = 0; i < 16; ++i) {
+      ASSERT_TRUE(pool.Submit([&count]() -> Status {
+                        count.fetch_add(1);
+                        return Status::OK();
+                      })
+                      .ok());
+    }
+  }  // Destructor drains.
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPoolTest, ClampsDegenerateOptions) {
+  ThreadPool pool({/*num_workers=*/0, /*queue_capacity=*/0});
+  EXPECT_GE(pool.num_workers(), 1u);
+  std::atomic<bool> ran{false};
+  ASSERT_TRUE(pool.Submit([&ran]() -> Status {
+                    ran.store(true);
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_TRUE(pool.Shutdown().ok());
+  EXPECT_TRUE(ran.load());
+}
+
+}  // namespace
+}  // namespace vup

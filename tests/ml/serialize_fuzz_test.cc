@@ -1,0 +1,292 @@
+// Robustness fuzzing for the model (de)serialization layer: loaders must
+// return a Status on any malformed stream -- truncated, mutated, or
+// hostile -- and never crash, hang, or allocate absurd amounts of memory.
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "core/forecaster.h"
+#include "ml/gradient_boosting.h"
+#include "ml/lasso.h"
+#include "ml/serialize.h"
+#include "ml/svr.h"
+
+namespace vup {
+namespace {
+
+void MakeProblem(Matrix* x, std::vector<double>* y, size_t n,
+                 uint64_t seed) {
+  Rng rng(seed);
+  *x = Matrix(n, 3);
+  y->resize(n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < 3; ++c) (*x)(r, c) = rng.Normal();
+    (*y)[r] = 1.0 + 2.0 * (*x)(r, 0) - (*x)(r, 1) +
+              std::sin(3.0 * (*x)(r, 2)) + 0.01 * rng.Normal();
+  }
+}
+
+std::string SavedRegressorText(Regressor* model) {
+  Matrix x;
+  std::vector<double> y;
+  MakeProblem(&x, &y, 80, 7);
+  EXPECT_TRUE(model->Fit(x, y).ok());
+  std::ostringstream os;
+  EXPECT_TRUE(SaveRegressor(*model, os).ok());
+  return os.str();
+}
+
+/// Truncates `text` at every byte offset and feeds it to `load`. A strict
+/// prefix must either fail with a Status or -- only when the cut removes
+/// nothing semantically (e.g. the final newline) -- load a model identical
+/// to the original. Crashing, hanging, or aborting fails the test by
+/// construction.
+template <typename LoadFn>
+void FuzzTruncations(const std::string& text, const LoadFn& load) {
+  for (size_t cut = 0; cut < text.size(); ++cut) {
+    std::istringstream is(text.substr(0, cut));
+    bool loaded_ok = load(is, cut);
+    if (loaded_ok) {
+      // Only a cut inside the trailing "end\n" can still parse.
+      EXPECT_GE(cut + 2, text.size()) << "prefix of " << cut
+                                      << " bytes unexpectedly loaded";
+    }
+  }
+}
+
+class SerializeFuzzTest : public ::testing::Test {
+ protected:
+  /// Fuzz-loads regressor text; returns per-offset success and checks any
+  /// accepted load predicts identically to `original`.
+  void FuzzRegressor(const std::string& text, const Regressor& original) {
+    Matrix x;
+    std::vector<double> y;
+    MakeProblem(&x, &y, 10, 11);
+    FuzzTruncations(text, [&](std::istream& is, size_t cut) {
+      StatusOr<std::unique_ptr<Regressor>> loaded = LoadRegressor(is);
+      if (!loaded.ok()) return false;
+      EXPECT_DOUBLE_EQ(loaded.value()->PredictOne(x.Row(0)).value(),
+                       original.PredictOne(x.Row(0)).value())
+          << "cut " << cut;
+      return true;
+    });
+  }
+};
+
+TEST_F(SerializeFuzzTest, LassoTruncatedAtEveryOffset) {
+  Lasso model(Lasso::Options{.alpha = 0.05});
+  std::string text = SavedRegressorText(&model);
+  FuzzRegressor(text, model);
+}
+
+TEST_F(SerializeFuzzTest, SvrTruncatedAtEveryOffset) {
+  Svr::Options o;
+  o.c = 20.0;
+  o.epsilon = 0.05;
+  Svr model(o);
+  std::string text = SavedRegressorText(&model);
+  FuzzRegressor(text, model);
+}
+
+TEST_F(SerializeFuzzTest, GradientBoostingTruncatedAtEveryOffset) {
+  GradientBoosting::Options o;
+  o.n_estimators = 10;
+  o.max_depth = 2;
+  GradientBoosting model(o);
+  std::string text = SavedRegressorText(&model);
+  FuzzRegressor(text, model);
+}
+
+TEST_F(SerializeFuzzTest, ScalerTruncatedAtEveryOffset) {
+  Matrix x;
+  std::vector<double> y;
+  MakeProblem(&x, &y, 50, 9);
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(x).ok());
+  std::ostringstream os;
+  ASSERT_TRUE(SaveScaler(scaler, os).ok());
+  std::vector<double> expected = scaler.TransformRow(x.Row(3)).value();
+  FuzzTruncations(os.str(), [&](std::istream& is, size_t cut) {
+    StatusOr<StandardScaler> loaded = LoadScaler(is);
+    if (!loaded.ok()) return false;
+    std::vector<double> got = loaded.value().TransformRow(x.Row(3)).value();
+    for (size_t c = 0; c < expected.size(); ++c) {
+      EXPECT_DOUBLE_EQ(got[c], expected[c]) << "cut " << cut;
+    }
+    return true;
+  });
+}
+
+TEST_F(SerializeFuzzTest, ForecasterBundleTruncatedAtEveryOffset) {
+  // Full serving bundle (config + lag metadata + scaler + regressor), the
+  // exact stream the model registry reads from disk.
+  const Country& italy = *CountryRegistry::Global().Find("IT").value();
+  std::vector<DailyUsageRecord> recs;
+  Date d0 = Date::FromYmd(2016, 2, 1).value();
+  for (int i = 0; i < 220; ++i) {
+    DailyUsageRecord r;
+    r.date = d0.AddDays(i);
+    int wd = static_cast<int>(r.date.weekday());
+    r.hours = wd < 5 ? 4.0 + wd + 0.05 * (i % 3) : 0.0;
+    r.avg_engine_load_pct = r.hours > 0 ? 50 : 0;
+    r.fuel_used_l = r.hours * 12;
+    recs.push_back(r);
+  }
+  VehicleInfo info;
+  info.vehicle_id = 30;
+  VehicleDataset ds = VehicleDataset::Build(info, recs, italy).value();
+  ForecasterConfig cfg;
+  cfg.algorithm = Algorithm::kLasso;
+  cfg.windowing.lookback_w = 14;
+  cfg.selection.top_k = 7;
+  VehicleForecaster original(cfg);
+  ASSERT_TRUE(original.Train(ds, 20, 200).ok());
+  std::ostringstream os;
+  ASSERT_TRUE(original.Save(os).ok());
+  double expected = original.PredictTarget(ds, ds.num_days()).value();
+
+  FuzzTruncations(os.str(), [&](std::istream& is, size_t cut) {
+    StatusOr<VehicleForecaster> loaded = VehicleForecaster::Load(is);
+    if (!loaded.ok()) return false;
+    EXPECT_DOUBLE_EQ(loaded.value().PredictTarget(ds, ds.num_days()).value(),
+                     expected)
+        << "cut " << cut;
+    return true;
+  });
+}
+
+TEST_F(SerializeFuzzTest, RandomGarbageNeverCrashesLoaders) {
+  Rng rng(1234);
+  for (int round = 0; round < 200; ++round) {
+    size_t len = static_cast<size_t>(rng.UniformInt(0, 512));
+    std::string garbage(len, '\0');
+    for (char& c : garbage) {
+      // Mix of raw bytes and printable text so both tokenizer and numeric
+      // parsing see hostile input.
+      c = rng.Bernoulli(0.5)
+              ? static_cast<char>(rng.UniformInt(0, 255))
+              : static_cast<char>(rng.UniformInt(' ', '~'));
+    }
+    if (rng.Bernoulli(0.3)) garbage = "vupred-model v1\n" + garbage;
+    std::istringstream is1(garbage);
+    EXPECT_FALSE(LoadRegressor(is1).ok());
+    std::istringstream is2(garbage);
+    EXPECT_FALSE(LoadScaler(is2).ok());
+  }
+}
+
+TEST_F(SerializeFuzzTest, MutatedBundleNeverCrashes) {
+  GradientBoosting::Options o;
+  o.n_estimators = 5;
+  o.max_depth = 2;
+  GradientBoosting model(o);
+  std::string text = SavedRegressorText(&model);
+  Rng rng(77);
+  for (size_t pos = 0; pos < text.size(); pos += 3) {
+    std::string mutated = text;
+    mutated[pos] = static_cast<char>(rng.UniformInt(0, 255));
+    std::istringstream is(mutated);
+    // Must return (ok or not) without crashing; a mutation inside a digit
+    // can still yield a loadable model, which is fine.
+    LoadRegressor(is).ok();
+  }
+}
+
+TEST_F(SerializeFuzzTest, AbsurdCountsRejectedWithoutAllocation) {
+  Svr::Options so;
+  so.c = 20.0;
+  Svr svr(so);
+  std::string svr_text = SavedRegressorText(&svr);
+  size_t pos = svr_text.find("num_sv ");
+  ASSERT_NE(pos, std::string::npos);
+  size_t line_end = svr_text.find('\n', pos);
+  for (const char* count :
+       {"99999999999", "2147483647", "-1", "1048577"}) {
+    std::string tampered = svr_text.substr(0, pos) +
+                           "num_sv " + count +
+                           svr_text.substr(line_end);
+    std::istringstream is(tampered);
+    EXPECT_FALSE(LoadRegressor(is).ok()) << "num_sv " << count;
+  }
+
+  GradientBoosting::Options go;
+  go.n_estimators = 3;
+  go.max_depth = 2;
+  GradientBoosting gb(go);
+  std::string gb_text = SavedRegressorText(&gb);
+  pos = gb_text.find("num_trees ");
+  ASSERT_NE(pos, std::string::npos);
+  line_end = gb_text.find('\n', pos);
+  std::string tampered = gb_text.substr(0, pos) + "num_trees 99999999" +
+                         gb_text.substr(line_end);
+  std::istringstream is(tampered);
+  EXPECT_FALSE(LoadRegressor(is).ok());
+}
+
+TEST_F(SerializeFuzzTest, BackwardTreeChildrenRejected) {
+  // Rewrite every internal node's children to point at node 0. Before the
+  // child-index validation this was an infinite traversal loop; now it
+  // must fail fast with a Status.
+  GradientBoosting::Options o;
+  o.n_estimators = 3;
+  o.max_depth = 2;
+  GradientBoosting model(o);
+  std::string text = SavedRegressorText(&model);
+
+  std::vector<std::string> lines = Split(text, '\n');
+  bool rewrote = false;
+  for (std::string& line : lines) {
+    if (!StartsWith(line, "node ")) continue;
+    std::vector<std::string> tok = Split(line, ' ');
+    ASSERT_EQ(tok.size(), 6u) << line;
+    if (tok[1] == "-1") continue;  // Leaf.
+    tok[3] = "0";
+    tok[4] = "0";
+    line = Join(tok, " ");
+    rewrote = true;
+  }
+  ASSERT_TRUE(rewrote) << "expected at least one internal node";
+  std::istringstream is(Join(lines, "\n"));
+  EXPECT_FALSE(LoadRegressor(is).ok());
+}
+
+TEST_F(SerializeFuzzTest, SplitFeatureOutOfRangeRejected) {
+  // Internal node claims feature 5 of a 1-feature tree: accepted before
+  // the bound check, this would read out of bounds at predict time.
+  std::istringstream is(
+      "vupred-model v1\ntype Tree\nmax_depth 1\nmin_samples_split 2\n"
+      "min_samples_leaf 1\nnum_features 1\nnum_nodes 3\n"
+      "node 5 0.5 1 2 0\nnode -1 0 0 0 1\nnode -1 0 0 0 2\nend\n");
+  EXPECT_FALSE(LoadRegressor(is).ok());
+}
+
+TEST_F(SerializeFuzzTest, NonPositiveScalerScaleRejected) {
+  Matrix x;
+  std::vector<double> y;
+  MakeProblem(&x, &y, 30, 5);
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(x).ok());
+  std::ostringstream os;
+  ASSERT_TRUE(SaveScaler(scaler, os).ok());
+  std::string text = os.str();
+  size_t pos = text.find("scales ");
+  ASSERT_NE(pos, std::string::npos);
+  size_t line_end = text.find('\n', pos);
+  for (const char* scales : {"scales 3 0 1 1", "scales 3 -1 1 1",
+                             "scales 3 nan 1 1", "scales 3 inf 1 1"}) {
+    std::string tampered =
+        text.substr(0, pos) + scales + text.substr(line_end);
+    std::istringstream is(tampered);
+    EXPECT_FALSE(LoadScaler(is).ok()) << scales;
+  }
+}
+
+}  // namespace
+}  // namespace vup

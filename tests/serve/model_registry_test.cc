@@ -1,0 +1,224 @@
+#include "serve/model_registry.h"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/forecaster.h"
+
+namespace vup::serve {
+namespace {
+
+const Country& Italy() {
+  return *CountryRegistry::Global().Find("IT").value();
+}
+
+Date D(int day) { return Date::FromYmd(2016, 2, 1).value().AddDays(day); }
+
+/// Weekly-pattern dataset whose level depends on `vehicle_id`, so different
+/// vehicles train to observably different models.
+VehicleDataset MakeDataset(int64_t vehicle_id, int n = 220) {
+  std::vector<DailyUsageRecord> recs;
+  for (int i = 0; i < n; ++i) {
+    DailyUsageRecord r;
+    r.date = D(i);
+    int wd = static_cast<int>(r.date.weekday());
+    double level = 2.0 + static_cast<double>(vehicle_id % 7);
+    r.hours = wd < 5 ? level + wd + 0.05 * (i % 3) : 0.0;
+    r.avg_engine_load_pct = r.hours > 0 ? 50 : 0;
+    r.fuel_used_l = r.hours * 12;
+    recs.push_back(r);
+  }
+  VehicleInfo info;
+  info.vehicle_id = vehicle_id;
+  return VehicleDataset::Build(info, recs, Italy()).value();
+}
+
+VehicleForecaster TrainForecaster(const VehicleDataset& ds) {
+  ForecasterConfig cfg;
+  cfg.algorithm = Algorithm::kLasso;
+  cfg.windowing.lookback_w = 14;
+  cfg.selection.top_k = 7;
+  VehicleForecaster forecaster(cfg);
+  EXPECT_TRUE(forecaster.Train(ds, 20, 200).ok());
+  return forecaster;
+}
+
+class ModelRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/vup_registry_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  ModelRegistry OpenRegistry(size_t capacity) {
+    StatusOr<ModelRegistry> registry =
+        ModelRegistry::Open({dir_, capacity});
+    EXPECT_TRUE(registry.ok()) << registry.status().ToString();
+    return std::move(registry.value());
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ModelRegistryTest, PublishGetRoundtripsPredictions) {
+  ModelRegistry registry = OpenRegistry(4);
+  VehicleDataset ds = MakeDataset(11);
+  VehicleForecaster original = TrainForecaster(ds);
+  ASSERT_TRUE(registry.Publish(11, original).ok());
+
+  StatusOr<std::shared_ptr<const VehicleForecaster>> loaded =
+      registry.Get(11);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (size_t t = 205; t <= ds.num_days(); t += 4) {
+    EXPECT_DOUBLE_EQ(loaded.value()->PredictTarget(ds, t).value(),
+                     original.PredictTarget(ds, t).value())
+        << "target " << t;
+  }
+}
+
+TEST_F(ModelRegistryTest, GetUnknownVehicleIsNotFound) {
+  ModelRegistry registry = OpenRegistry(4);
+  EXPECT_TRUE(registry.Get(404).status().IsNotFound());
+  EXPECT_FALSE(registry.Contains(404));
+}
+
+TEST_F(ModelRegistryTest, LruEvictsLeastRecentlyUsed) {
+  ModelRegistry registry = OpenRegistry(/*capacity=*/2);
+  for (int64_t id : {1, 2, 3}) {
+    ASSERT_TRUE(
+        registry.Publish(id, TrainForecaster(MakeDataset(id))).ok());
+  }
+  ASSERT_TRUE(registry.Get(1).ok());  // miss, resident {1}
+  ASSERT_TRUE(registry.Get(2).ok());  // miss, resident {2, 1}
+  ASSERT_TRUE(registry.Get(1).ok());  // hit, resident {1, 2}
+  ASSERT_TRUE(registry.Get(3).ok());  // miss, evicts 2 -> {3, 1}
+  ModelRegistryStats stats = registry.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(registry.resident_models(), 2u);
+
+  // 2 was the least recently used: touching it again is a fresh miss,
+  // while 1 and 3 stayed resident... until 2 displaces one of them.
+  ASSERT_TRUE(registry.Get(2).ok());
+  stats = registry.stats();
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.evictions, 2u);
+}
+
+TEST_F(ModelRegistryTest, CapacityZeroDisablesCaching) {
+  ModelRegistry registry = OpenRegistry(/*capacity=*/0);
+  ASSERT_TRUE(registry.Publish(5, TrainForecaster(MakeDataset(5))).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(registry.Get(5).ok());
+  }
+  ModelRegistryStats stats = registry.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(registry.resident_models(), 0u);
+}
+
+TEST_F(ModelRegistryTest, CapacityOneKeepsOnlyNewest) {
+  ModelRegistry registry = OpenRegistry(/*capacity=*/1);
+  ASSERT_TRUE(registry.Publish(1, TrainForecaster(MakeDataset(1))).ok());
+  ASSERT_TRUE(registry.Publish(2, TrainForecaster(MakeDataset(2))).ok());
+  ASSERT_TRUE(registry.Get(1).ok());
+  ASSERT_TRUE(registry.Get(2).ok());
+  ASSERT_TRUE(registry.Get(2).ok());
+  ModelRegistryStats stats = registry.stats();
+  EXPECT_EQ(registry.resident_models(), 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+}
+
+TEST_F(ModelRegistryTest, ReloadAfterEvictionPredictsIdentically) {
+  ModelRegistry registry = OpenRegistry(/*capacity=*/1);
+  VehicleDataset ds = MakeDataset(7);
+  VehicleForecaster original = TrainForecaster(ds);
+  ASSERT_TRUE(registry.Publish(7, original).ok());
+  ASSERT_TRUE(registry.Publish(8, TrainForecaster(MakeDataset(8))).ok());
+
+  ASSERT_TRUE(registry.Get(7).ok());
+  ASSERT_TRUE(registry.Get(8).ok());  // Evicts 7.
+  StatusOr<std::shared_ptr<const VehicleForecaster>> reloaded =
+      registry.Get(7);  // Back from disk.
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_GE(registry.stats().evictions, 2u);
+  for (size_t t = 205; t <= ds.num_days(); t += 4) {
+    EXPECT_DOUBLE_EQ(reloaded.value()->PredictTarget(ds, t).value(),
+                     original.PredictTarget(ds, t).value())
+        << "target " << t;
+  }
+}
+
+TEST_F(ModelRegistryTest, EvictedModelStaysUsableWhileHeld) {
+  ModelRegistry registry = OpenRegistry(/*capacity=*/1);
+  VehicleDataset ds = MakeDataset(1);
+  ASSERT_TRUE(registry.Publish(1, TrainForecaster(MakeDataset(1))).ok());
+  ASSERT_TRUE(registry.Publish(2, TrainForecaster(MakeDataset(2))).ok());
+  StatusOr<std::shared_ptr<const VehicleForecaster>> held =
+      registry.Get(1);
+  ASSERT_TRUE(held.ok());
+  ASSERT_TRUE(registry.Get(2).ok());  // Evicts 1 from the cache.
+  // The shared_ptr keeps the evicted model alive for in-flight scoring.
+  EXPECT_TRUE(held.value()->PredictTarget(ds, ds.num_days()).ok());
+}
+
+TEST_F(ModelRegistryTest, RepublishReplacesBundleAndStaleCacheEntry) {
+  ModelRegistry registry = OpenRegistry(4);
+  VehicleDataset ds_a = MakeDataset(1);
+  VehicleDataset ds_b = MakeDataset(6);  // Different usage level.
+  VehicleForecaster second = TrainForecaster(ds_b);
+  ASSERT_TRUE(registry.Publish(1, TrainForecaster(ds_a)).ok());
+  ASSERT_TRUE(registry.Get(1).ok());  // Now resident.
+  ASSERT_TRUE(registry.Publish(1, second).ok());
+
+  StatusOr<std::shared_ptr<const VehicleForecaster>> loaded =
+      registry.Get(1);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(
+      loaded.value()->PredictTarget(ds_b, ds_b.num_days()).value(),
+      second.PredictTarget(ds_b, ds_b.num_days()).value());
+}
+
+TEST_F(ModelRegistryTest, ListVehicleIdsAscending) {
+  ModelRegistry registry = OpenRegistry(4);
+  for (int64_t id : {42, 7, 100019}) {
+    ASSERT_TRUE(
+        registry.Publish(id, TrainForecaster(MakeDataset(id))).ok());
+  }
+  EXPECT_EQ(registry.ListVehicleIds(),
+            (std::vector<int64_t>{7, 42, 100019}));
+  EXPECT_TRUE(registry.Contains(42));
+}
+
+TEST_F(ModelRegistryTest, CorruptBundleIsAnErrorNotACrash) {
+  ModelRegistry registry = OpenRegistry(4);
+  ASSERT_TRUE(registry.Publish(9, TrainForecaster(MakeDataset(9))).ok());
+  {
+    std::ofstream out(registry.BundlePath(9), std::ios::trunc);
+    out << "vupred-forecaster v1\nalgorithm Alien\n";
+  }
+  Status status = registry.Get(9).status();
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(status.IsNotFound());
+  EXPECT_EQ(registry.stats().load_failures, 1u);
+}
+
+TEST_F(ModelRegistryTest, OpenCreatesDirectory) {
+  std::string nested = dir_ + "/a/b/c";
+  StatusOr<ModelRegistry> registry = ModelRegistry::Open({nested, 2});
+  ASSERT_TRUE(registry.ok()) << registry.status().ToString();
+  EXPECT_TRUE(std::filesystem::is_directory(nested));
+  EXPECT_TRUE(registry.value().ListVehicleIds().empty());
+}
+
+}  // namespace
+}  // namespace vup::serve

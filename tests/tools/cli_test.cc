@@ -1,6 +1,8 @@
 // End-to-end test of the vupred CLI binary: generate -> train -> predict
 // -> evaluate through real process invocations, the way a user drives it.
 
+#include <sys/wait.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -136,6 +138,76 @@ TEST(CliTest, BadUsageFailsCleanly) {
   EXPECT_NE(RunCli("train"), 0);          // Missing flags.
   EXPECT_NE(RunCli("predict --data=/nonexistent.csv --model=/none.txt"),
             0);
+}
+
+/// Exit code of the CLI process (std::system wraps it in a wait status).
+int CliExitCode(const std::string& args) {
+  int raw = RunCli(args + " 2> /dev/null");
+  return WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+}
+
+TEST(CliTest, HelpExitsZeroForEveryCommand) {
+  std::string dir = TempDir();
+  for (const char* cmd : {"generate", "train", "predict", "evaluate",
+                          "fleet", "publish", "serve-bench"}) {
+    std::string out = dir + "/help.txt";
+    EXPECT_EQ(RunCli(std::string(cmd) + " --help", out), 0) << cmd;
+    EXPECT_NE(ReadFile(out).find("usage: vupred "), std::string::npos)
+        << cmd;
+  }
+  EXPECT_EQ(CliExitCode("--help"), 0);
+}
+
+TEST(CliTest, UnknownFlagsExitWithCodeTwo) {
+  EXPECT_EQ(CliExitCode("fleet --no-such-flag=1"), 2);
+  EXPECT_EQ(CliExitCode("generate --out=/tmp --frobnicate"), 2);
+  EXPECT_EQ(CliExitCode("serve-bench --registry=/tmp --wrokers=4"), 2);
+  EXPECT_EQ(CliExitCode("evaluate --data=x.csv stray-positional"), 2);
+  EXPECT_EQ(CliExitCode("train"), 2);  // Missing required flags.
+  EXPECT_EQ(CliExitCode("nosuchcommand"), 2);
+}
+
+TEST(CliTest, FleetJobsOutputByteIdentical) {
+  std::string dir = TempDir();
+  std::string base =
+      "fleet --vehicles=20 --max-vehicles=3 --eval-days=10 ";
+  std::string serial = dir + "/fleet_j1.txt";
+  std::string parallel = dir + "/fleet_j4.txt";
+  ASSERT_EQ(RunCli(base + "--jobs=1", serial), 0);
+  ASSERT_EQ(RunCli(base + "--jobs=4", parallel), 0);
+  std::string serial_text = ReadFile(serial);
+  ASSERT_FALSE(serial_text.empty());
+  EXPECT_EQ(serial_text, ReadFile(parallel));
+  EXPECT_EQ(CliExitCode("fleet --jobs=0"), 2);
+}
+
+TEST(CliTest, PublishThenServeBench) {
+  std::string dir = TempDir();
+  std::string registry = dir + "/registry";
+  ASSERT_EQ(RunCli("publish --out=" + registry +
+                   " --vehicles=10 --max-vehicles=2 --train-days=120"),
+            0);
+  ASSERT_FALSE(ReadFile(registry + "/registry_meta.txt").empty());
+
+  std::string report = dir + "/serve_bench.txt";
+  std::string json = dir + "/BENCH_serve.json";
+  ASSERT_EQ(RunCli("serve-bench --registry=" + registry +
+                       " --workers=4 --batch=32 --requests=128 --json=" +
+                       json,
+                   report),
+            0);
+  std::string text = ReadFile(report);
+  EXPECT_NE(text.find("p50="), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+  EXPECT_NE(text.find("req/s"), std::string::npos);
+  EXPECT_NE(text.find("serving == offline forecaster"), std::string::npos);
+  std::string json_text = ReadFile(json);
+  EXPECT_NE(json_text.find("\"requests_per_second\""), std::string::npos);
+  EXPECT_NE(json_text.find("\"verify\": \"exact-match\""),
+            std::string::npos);
+
+  // Against a directory that is not a registry, fail cleanly.
+  EXPECT_EQ(CliExitCode("serve-bench --registry=" + dir), 1);
 }
 
 }  // namespace

@@ -1,45 +1,44 @@
 // vupred command-line tool: the library's workflows without writing C++.
 //
-//   vupred generate --out=DIR [--vehicles=N] [--seed=S]
-//       Generate a synthetic fleet and write one dataset CSV per vehicle
-//       plus a manifest.csv describing the units.
+//   vupred generate     Write synthetic per-vehicle dataset CSVs.
+//   vupred train        Train one per-vehicle forecaster and persist it.
+//   vupred predict      Score a persisted forecaster on a dataset.
+//   vupred evaluate     Walk-forward hold-out evaluation (Section 4.1).
+//   vupred fleet        Fleet experiment, optionally fault-injected and
+//                       parallelized (--jobs=N).
+//   vupred publish      Train the fleet and publish model bundles into a
+//                       serving registry directory.
+//   vupred serve-bench  Replay a request stream against the prediction
+//                       service; prints latency/throughput and writes
+//                       BENCH_serve.json.
 //
-//   vupred train --data=FILE.csv --out=MODEL.txt [--algorithm=GB]
-//       [--country=IT] [--lookback=60] [--topk=15] [--train-days=200]
-//       Train a per-vehicle forecaster on a dataset CSV and persist it.
-//
-//   vupred predict --data=FILE.csv --model=MODEL.txt [--country=IT]
-//       Load a persisted forecaster and forecast the day after the series.
-//
-//   vupred evaluate --data=FILE.csv [--algorithm=GB] [--country=IT]
-//       [--scenario=next-day|next-working-day] [--eval-days=60]
-//       Walk-forward hold-out evaluation (Section 4.1 protocol).
-//
-//   vupred fleet [--vehicles=N] [--seed=S] [--max-vehicles=M]
-//       [--algorithm=Lasso] [--eval-days=20]
-//       [--fault-profile=none|mild|severe] [--strict]
-//       Fleet experiment on a demo fleet, optionally routed through the
-//       telemetry fault injector. Prints the fleet evaluation plus the
-//       degradation report; with --strict, exits non-zero when any
-//       vehicle was quarantined.
+// `vupred <command> --help` prints the command's usage. Unknown flags are
+// rejected with exit code 2.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/random.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/evaluation.h"
 #include "core/experiment.h"
 #include "core/forecaster.h"
+#include "serve/model_registry.h"
+#include "serve/prediction_service.h"
 #include "table/csv.h"
 #include "telemetry/fleet.h"
 
 namespace vup {
 namespace {
 
-/// Minimal --key=value flag parser.
+/// Minimal --key=value flag parser with an allowlist check.
 class Flags {
  public:
   Flags(int argc, char** argv, int first) {
@@ -71,6 +70,26 @@ class Flags {
   }
 
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  const std::vector<std::string>& extra() const { return extra_; }
+
+  /// Flags not in `allowed` (--help is always allowed).
+  std::vector<std::string> UnknownKeys(
+      const std::vector<std::string>& allowed) const {
+    std::vector<std::string> unknown;
+    for (const auto& [key, value] : values_) {
+      if (key == "help") continue;
+      bool found = false;
+      for (const std::string& a : allowed) {
+        if (key == a) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) unknown.push_back(key);
+    }
+    return unknown;
+  }
 
  private:
   std::map<std::string, std::string> values_;
@@ -115,12 +134,64 @@ ForecasterConfig MakeForecasterConfig(const Flags& flags) {
   return cfg;
 }
 
-int RunGenerate(const Flags& flags) {
-  if (!flags.Has("out")) {
-    std::fprintf(stderr, "usage: vupred generate --out=DIR [--vehicles=N] "
-                         "[--seed=S]\n");
-    return 2;
+// ---- Serving registry metadata ---------------------------------------
+//
+// `publish` records how its fleet was generated so `serve-bench` can
+// rebuild byte-identical datasets from the registry directory alone.
+
+constexpr const char* kRegistryMetaFile = "registry_meta.txt";
+constexpr const char* kRegistryMetaMagic = "vupred-registry v1";
+
+struct RegistryMeta {
+  uint64_t fleet_seed = 42;
+  size_t fleet_vehicles = 40;
+  std::string algorithm = "Lasso";
+};
+
+Status WriteRegistryMeta(const std::string& dir, const RegistryMeta& meta) {
+  std::ofstream out(dir + "/" + kRegistryMetaFile, std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot write registry meta in " + dir);
   }
+  out << kRegistryMetaMagic << "\n";
+  out << "fleet_seed " << meta.fleet_seed << "\n";
+  out << "fleet_vehicles " << meta.fleet_vehicles << "\n";
+  out << "algorithm " << meta.algorithm << "\n";
+  if (!out) return Status::DataLoss("registry meta write failed");
+  return Status::OK();
+}
+
+StatusOr<RegistryMeta> ReadRegistryMeta(const std::string& dir) {
+  std::ifstream in(dir + "/" + kRegistryMetaFile);
+  if (!in) {
+    return Status::NotFound("no " + std::string(kRegistryMetaFile) +
+                            " in " + dir + " (did `vupred publish` run?)");
+  }
+  std::string line;
+  if (!std::getline(in, line) || Trim(line) != kRegistryMetaMagic) {
+    return Status::InvalidArgument("not a vupred-registry v1 meta file");
+  }
+  RegistryMeta meta;
+  while (std::getline(in, line)) {
+    std::vector<std::string> tokens = Split(std::string(Trim(line)), ' ');
+    if (tokens.size() != 2) continue;
+    if (tokens[0] == "fleet_seed") {
+      VUP_ASSIGN_OR_RETURN(long long v, ParseInt(tokens[1]));
+      meta.fleet_seed = static_cast<uint64_t>(v);
+    } else if (tokens[0] == "fleet_vehicles") {
+      VUP_ASSIGN_OR_RETURN(long long v, ParseInt(tokens[1]));
+      if (v <= 0) return Status::InvalidArgument("fleet_vehicles <= 0");
+      meta.fleet_vehicles = static_cast<size_t>(v);
+    } else if (tokens[0] == "algorithm") {
+      meta.algorithm = tokens[1];
+    }
+  }
+  return meta;
+}
+
+// ---- Commands ---------------------------------------------------------
+
+int RunGenerate(const Flags& flags) {
   std::string out_dir = flags.Get("out", ".");
   size_t vehicles = static_cast<size_t>(flags.GetInt("vehicles", 20));
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
@@ -163,12 +234,6 @@ int RunGenerate(const Flags& flags) {
 }
 
 int RunTrain(const Flags& flags) {
-  if (!flags.Has("data") || !flags.Has("out")) {
-    std::fprintf(stderr, "usage: vupred train --data=FILE.csv "
-                         "--out=MODEL.txt [--algorithm=GB] [--country=IT] "
-                         "[--lookback=60] [--topk=15] [--train-days=200]\n");
-    return 2;
-  }
   StatusOr<VehicleDataset> ds =
       LoadDatasetCsv(flags.Get("data", ""), flags.Get("country", "IT"));
   if (!ds.ok()) return Fail(ds.status());
@@ -196,11 +261,6 @@ int RunTrain(const Flags& flags) {
 }
 
 int RunPredict(const Flags& flags) {
-  if (!flags.Has("data") || !flags.Has("model")) {
-    std::fprintf(stderr, "usage: vupred predict --data=FILE.csv "
-                         "--model=MODEL.txt [--country=IT]\n");
-    return 2;
-  }
   StatusOr<VehicleDataset> ds =
       LoadDatasetCsv(flags.Get("data", ""), flags.Get("country", "IT"));
   if (!ds.ok()) return Fail(ds.status());
@@ -219,13 +279,6 @@ int RunPredict(const Flags& flags) {
 }
 
 int RunEvaluate(const Flags& flags) {
-  if (!flags.Has("data")) {
-    std::fprintf(stderr, "usage: vupred evaluate --data=FILE.csv "
-                         "[--algorithm=GB] [--country=IT] "
-                         "[--scenario=next-day|next-working-day] "
-                         "[--eval-days=60]\n");
-    return 2;
-  }
   StatusOr<VehicleDataset> ds =
       LoadDatasetCsv(flags.Get("data", ""), flags.Get("country", "IT"));
   if (!ds.ok()) return Fail(ds.status());
@@ -271,6 +324,12 @@ int RunFleet(const Flags& flags) {
                  static_cast<long long>(vehicles));
     return 2;
   }
+  int64_t jobs = flags.GetInt("jobs", 1);
+  if (jobs <= 0) {
+    std::fprintf(stderr, "error: --jobs must be positive, got %lld\n",
+                 static_cast<long long>(jobs));
+    return 2;
+  }
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   Fleet fleet =
       Fleet::Generate(FleetConfig::Small(static_cast<size_t>(vehicles), seed));
@@ -280,6 +339,7 @@ int RunFleet(const Flags& flags) {
   opts.max_vehicles = static_cast<size_t>(flags.GetInt("max-vehicles", 6));
   opts.faults = profile;
   opts.fault_seed = static_cast<uint64_t>(flags.GetInt("fault-seed", 99));
+  opts.jobs = static_cast<size_t>(jobs);
 
   EvaluationConfig cfg;
   cfg.forecaster = MakeForecasterConfig(flags);
@@ -314,21 +374,379 @@ int RunFleet(const Flags& flags) {
   return 0;
 }
 
+int RunPublish(const Flags& flags) {
+  const std::string out_dir = flags.Get("out", "");
+  RegistryMeta meta;
+  meta.fleet_seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  meta.fleet_vehicles =
+      static_cast<size_t>(flags.GetInt("vehicles", 40));
+  meta.algorithm = flags.Get("algorithm", "Lasso");
+  const size_t max_vehicles =
+      static_cast<size_t>(flags.GetInt("max-vehicles", 6));
+  const size_t train_days =
+      static_cast<size_t>(flags.GetInt("train-days", 200));
+
+  Fleet fleet = Fleet::Generate(
+      FleetConfig::Small(meta.fleet_vehicles, meta.fleet_seed));
+  ExperimentRunner runner(&fleet);
+  ExperimentOptions opts;
+  opts.max_vehicles = max_vehicles;
+  std::vector<size_t> selected = runner.SelectVehicles(opts);
+  if (selected.empty()) {
+    return Fail(Status::FailedPrecondition(
+        "no eligible vehicles to publish models for"));
+  }
+
+  ForecasterConfig cfg;
+  cfg.algorithm = Algorithm::kLasso;
+  for (int a = 0; a < kNumAlgorithms; ++a) {
+    if (AlgorithmToString(static_cast<Algorithm>(a)) == meta.algorithm) {
+      cfg.algorithm = static_cast<Algorithm>(a);
+    }
+  }
+  cfg.windowing.lookback_w =
+      static_cast<size_t>(flags.GetInt("lookback", 21));
+  cfg.selection.top_k = static_cast<size_t>(flags.GetInt("topk", 7));
+
+  StatusOr<serve::ModelRegistry> registry =
+      serve::ModelRegistry::Open({out_dir, /*cache_capacity=*/0});
+  if (!registry.ok()) return Fail(registry.status());
+
+  size_t published = 0;
+  for (size_t index : selected) {
+    StatusOr<const VehicleDataset*> ds = runner.Dataset(index);
+    if (!ds.ok()) return Fail(ds.status());
+    const VehicleDataset& d = *ds.value();
+    const size_t n = d.num_days();
+    const size_t begin =
+        n > train_days
+            ? std::max(n - train_days, cfg.windowing.lookback_w)
+            : cfg.windowing.lookback_w;
+    VehicleForecaster forecaster(cfg);
+    Status trained = forecaster.Train(d, begin, n);
+    const int64_t id = fleet.vehicle(index).vehicle_id;
+    if (!trained.ok()) {
+      std::fprintf(stderr, "warning: vehicle %lld not published: %s\n",
+                   static_cast<long long>(id),
+                   trained.ToString().c_str());
+      continue;
+    }
+    Status stored = registry.value().Publish(id, forecaster);
+    if (!stored.ok()) return Fail(stored);
+    ++published;
+  }
+  if (published == 0) {
+    return Fail(Status::Internal("no vehicle model could be trained"));
+  }
+  Status meta_written = WriteRegistryMeta(out_dir, meta);
+  if (!meta_written.ok()) return Fail(meta_written);
+  std::printf("published %zu/%zu model bundles (%s) to %s\n", published,
+              selected.size(),
+              std::string(AlgorithmToString(cfg.algorithm)).c_str(),
+              out_dir.c_str());
+  return 0;
+}
+
+int RunServeBench(const Flags& flags) {
+  const std::string dir = flags.Get("registry", "");
+  const size_t workers =
+      static_cast<size_t>(std::max<long long>(flags.GetInt("workers", 4), 1));
+  const size_t batch =
+      static_cast<size_t>(std::max<long long>(flags.GetInt("batch", 64), 1));
+  const size_t num_requests = static_cast<size_t>(
+      std::max<long long>(flags.GetInt("requests", 512), 1));
+  const size_t cache =
+      static_cast<size_t>(std::max<long long>(flags.GetInt("cache", 32), 0));
+  const uint64_t stream_seed =
+      static_cast<uint64_t>(flags.GetInt("stream-seed", 7));
+  const std::string json_path = flags.Get("json", "BENCH_serve.json");
+
+  StatusOr<RegistryMeta> meta = ReadRegistryMeta(dir);
+  if (!meta.ok()) return Fail(meta.status());
+
+  StatusOr<serve::ModelRegistry> registry =
+      serve::ModelRegistry::Open({dir, cache});
+  if (!registry.ok()) return Fail(registry.status());
+  std::vector<int64_t> ids = registry.value().ListVehicleIds();
+  if (ids.empty()) {
+    return Fail(Status::NotFound("registry holds no model bundles: " + dir));
+  }
+
+  // Rebuild the datasets the bundles were trained from.
+  Fleet fleet = Fleet::Generate(
+      FleetConfig::Small(meta.value().fleet_vehicles,
+                         meta.value().fleet_seed));
+  std::map<int64_t, size_t> index_of;
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    index_of[fleet.vehicle(i).vehicle_id] = i;
+  }
+  ExperimentRunner runner(&fleet);
+  std::map<int64_t, const VehicleDataset*> dataset_of;
+  for (int64_t id : ids) {
+    auto it = index_of.find(id);
+    if (it == index_of.end()) {
+      return Fail(Status::InvalidArgument(StrFormat(
+          "registry vehicle %lld is not in the meta-described fleet",
+          static_cast<long long>(id))));
+    }
+    StatusOr<const VehicleDataset*> ds = runner.Dataset(it->second);
+    if (!ds.ok()) return Fail(ds.status());
+    dataset_of[id] = ds.value();
+  }
+
+  // Deterministic request stream: random vehicle, target in the trailing
+  // month (one-step-ahead included).
+  Rng rng(stream_seed);
+  std::vector<serve::PredictionRequest> stream;
+  stream.reserve(num_requests);
+  for (size_t r = 0; r < num_requests; ++r) {
+    serve::PredictionRequest req;
+    req.vehicle_id = ids[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(ids.size()) - 1))];
+    const VehicleDataset* ds = dataset_of[req.vehicle_id];
+    req.dataset = ds;
+    req.target_index =
+        ds->num_days() - static_cast<size_t>(rng.UniformInt(0, 29));
+    stream.push_back(req);
+  }
+
+  ThreadPool pool({workers, /*queue_capacity=*/4096});
+  serve::PredictionService service(&registry.value(), &pool);
+
+  size_t ok = 0, degraded = 0, failed = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t at = 0; at < stream.size(); at += batch) {
+    const size_t take = std::min(batch, stream.size() - at);
+    std::vector<serve::PredictionResponse> responses = service.PredictBatch(
+        std::span<const serve::PredictionRequest>(&stream[at], take));
+    for (const serve::PredictionResponse& resp : responses) {
+      if (!resp.status.ok()) {
+        ++failed;
+      } else if (resp.degraded) {
+        ++degraded;
+      } else {
+        ++ok;
+      }
+    }
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const double rps =
+      wall > 0 ? static_cast<double>(num_requests) / wall : 0.0;
+
+  // Consistency gate: serving a sampled vehicle must reproduce the offline
+  // forecaster bit-for-bit (same bundle, same feature window).
+  const int64_t sample_id = ids.front();
+  const VehicleDataset* sample_ds = dataset_of[sample_id];
+  const size_t sample_target = sample_ds->num_days();
+  std::ifstream bundle(registry.value().BundlePath(sample_id));
+  StatusOr<VehicleForecaster> offline = VehicleForecaster::Load(bundle);
+  if (!offline.ok()) return Fail(offline.status());
+  StatusOr<double> offline_pred =
+      offline.value().PredictTarget(*sample_ds, sample_target);
+  if (!offline_pred.ok()) return Fail(offline_pred.status());
+  serve::PredictionResponse served = service.Predict(
+      {sample_id, sample_ds, sample_target});
+  if (!served.status.ok()) return Fail(served.status);
+  if (served.prediction != offline_pred.value()) {
+    return Fail(Status::Internal(StrFormat(
+        "serving/offline mismatch for vehicle %lld: %.17g vs %.17g",
+        static_cast<long long>(sample_id), served.prediction,
+        offline_pred.value())));
+  }
+
+  const serve::ServingStatsSnapshot stats = service.stats();
+  const serve::ModelRegistryStats reg_stats = registry.value().stats();
+  std::printf("serve-bench: registry=%s models=%zu workers=%zu batch=%zu "
+              "requests=%zu\n",
+              dir.c_str(), ids.size(), workers, batch, num_requests);
+  std::printf("throughput=%.0f req/s wall=%.3fs\n", rps, wall);
+  std::printf("latency: p50=%.3fms p95=%.3fms p99=%.3fms\n",
+              stats.p50_seconds * 1e3, stats.p95_seconds * 1e3,
+              stats.p99_seconds * 1e3);
+  std::printf("outcomes: ok=%zu degraded=%zu failed=%zu in-flight=%zu\n",
+              ok, degraded, failed, stats.in_flight);
+  std::printf("cache: hits=%zu misses=%zu evictions=%zu resident=%zu\n",
+              reg_stats.hits, reg_stats.misses, reg_stats.evictions,
+              registry.value().resident_models());
+  std::printf("verify: vehicle %lld serving == offline forecaster "
+              "(exact)\n",
+              static_cast<long long>(sample_id));
+
+  std::ofstream json(json_path, std::ios::trunc);
+  if (!json) {
+    return Fail(Status::Internal("cannot write " + json_path));
+  }
+  json << StrFormat(
+      "{\n"
+      "  \"bench\": \"serve\",\n"
+      "  \"models\": %zu,\n"
+      "  \"workers\": %zu,\n"
+      "  \"batch\": %zu,\n"
+      "  \"requests\": %zu,\n"
+      "  \"wall_seconds\": %.6f,\n"
+      "  \"requests_per_second\": %.1f,\n"
+      "  \"p50_ms\": %.4f,\n"
+      "  \"p95_ms\": %.4f,\n"
+      "  \"p99_ms\": %.4f,\n"
+      "  \"ok\": %zu,\n"
+      "  \"degraded\": %zu,\n"
+      "  \"failed\": %zu,\n"
+      "  \"cache_hits\": %zu,\n"
+      "  \"cache_misses\": %zu,\n"
+      "  \"cache_evictions\": %zu,\n"
+      "  \"verify\": \"exact-match\"\n"
+      "}\n",
+      ids.size(), workers, batch, num_requests, wall, rps,
+      stats.p50_seconds * 1e3, stats.p95_seconds * 1e3,
+      stats.p99_seconds * 1e3, ok, degraded, failed, reg_stats.hits,
+      reg_stats.misses, reg_stats.evictions);
+  if (!json) return Fail(Status::DataLoss("write failed: " + json_path));
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}
+
+// ---- Command registry -------------------------------------------------
+
+struct Command {
+  const char* name;
+  const char* summary;
+  const char* usage;
+  std::vector<std::string> flags;      // Allowed flag keys.
+  std::vector<std::string> required;   // Required flag keys.
+  int (*run)(const Flags&);
+};
+
+const std::vector<Command>& Commands() {
+  static const std::vector<Command>& commands = *new std::vector<Command>{
+      {"generate", "write synthetic per-vehicle dataset CSVs",
+       "usage: vupred generate --out=DIR [--vehicles=N] [--seed=S]\n"
+       "  Generate a synthetic fleet and write one dataset CSV per vehicle\n"
+       "  plus a manifest.csv describing the units.\n",
+       {"out", "vehicles", "seed"},
+       {"out"},
+       RunGenerate},
+      {"train", "train one per-vehicle forecaster and persist it",
+       "usage: vupred train --data=FILE.csv --out=MODEL.txt\n"
+       "  [--algorithm=GB] [--country=IT] [--lookback=60] [--topk=15]\n"
+       "  [--train-days=200]\n"
+       "  Train a per-vehicle forecaster on a dataset CSV and persist it.\n",
+       {"data", "out", "algorithm", "country", "lookback", "topk",
+        "train-days"},
+       {"data", "out"},
+       RunTrain},
+      {"predict", "score a persisted forecaster on a dataset",
+       "usage: vupred predict --data=FILE.csv --model=MODEL.txt\n"
+       "  [--country=IT]\n"
+       "  Load a persisted forecaster and forecast the day after the\n"
+       "  series.\n",
+       {"data", "model", "country"},
+       {"data", "model"},
+       RunPredict},
+      {"evaluate", "walk-forward hold-out evaluation (Section 4.1)",
+       "usage: vupred evaluate --data=FILE.csv [--algorithm=GB]\n"
+       "  [--country=IT] [--scenario=next-day|next-working-day]\n"
+       "  [--eval-days=60] [--retrain-every=7] [--train-window=140]\n"
+       "  [--lookback=60] [--topk=15]\n"
+       "  Walk-forward hold-out evaluation on one dataset.\n",
+       {"data", "algorithm", "country", "scenario", "eval-days",
+        "retrain-every", "train-window", "lookback", "topk"},
+       {"data"},
+       RunEvaluate},
+      {"fleet", "fleet experiment with faults and --jobs parallelism",
+       "usage: vupred fleet [--vehicles=N] [--seed=S] [--max-vehicles=M]\n"
+       "  [--algorithm=Lasso] [--eval-days=20] [--retrain-every=10]\n"
+       "  [--train-window=60] [--lookback=21] [--topk=7] [--jobs=N]\n"
+       "  [--fault-profile=none|mild|severe] [--fault-seed=S] [--strict]\n"
+       "  Fleet experiment on a demo fleet, optionally routed through the\n"
+       "  telemetry fault injector. --jobs=N evaluates vehicles on N\n"
+       "  worker threads with byte-identical output. With --strict, exits\n"
+       "  non-zero when any vehicle was quarantined.\n",
+       {"vehicles", "seed", "max-vehicles", "algorithm", "eval-days",
+        "retrain-every", "train-window", "lookback", "topk", "jobs",
+        "fault-profile", "fault-seed", "strict"},
+       {},
+       RunFleet},
+      {"publish", "train the fleet and publish bundles into a registry",
+       "usage: vupred publish --out=DIR [--vehicles=N] [--seed=S]\n"
+       "  [--max-vehicles=M] [--algorithm=Lasso] [--lookback=21]\n"
+       "  [--topk=7] [--train-days=200]\n"
+       "  Train one forecaster per eligible fleet vehicle and write the\n"
+       "  model bundles plus registry metadata into DIR, ready for\n"
+       "  serve-bench (or any ModelRegistry consumer).\n",
+       {"out", "vehicles", "seed", "max-vehicles", "algorithm", "lookback",
+        "topk", "train-days"},
+       {"out"},
+       RunPublish},
+      {"serve-bench", "replay a request stream against the service",
+       "usage: vupred serve-bench --registry=DIR [--workers=4]\n"
+       "  [--batch=64] [--requests=512] [--cache=32] [--stream-seed=7]\n"
+       "  [--json=BENCH_serve.json]\n"
+       "  Replay a deterministic request stream against the prediction\n"
+       "  service at the given batch size and worker count; print a\n"
+       "  latency/throughput report, verify serving == offline on a\n"
+       "  sampled vehicle, and write the JSON report.\n",
+       {"registry", "workers", "batch", "requests", "cache", "stream-seed",
+        "json"},
+       {"registry"},
+       RunServeBench},
+  };
+  return commands;
+}
+
+void PrintGlobalUsage(std::FILE* to) {
+  std::fprintf(to, "vupred -- industrial vehicle usage prediction\n");
+  std::fprintf(to, "commands:\n");
+  for (const Command& cmd : Commands()) {
+    std::fprintf(to, "  %-12s %s\n", cmd.name, cmd.summary);
+  }
+  std::fprintf(to, "run `vupred <command> --help` for per-command flags\n");
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "vupred -- industrial vehicle usage prediction\n"
-                 "commands: generate, train, predict, evaluate, fleet\n");
+    PrintGlobalUsage(stderr);
     return 2;
   }
-  std::string command = argv[1];
-  Flags flags(argc, argv, 2);
-  if (command == "generate") return RunGenerate(flags);
-  if (command == "train") return RunTrain(flags);
-  if (command == "predict") return RunPredict(flags);
-  if (command == "evaluate") return RunEvaluate(flags);
-  if (command == "fleet") return RunFleet(flags);
-  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  std::string name = argv[1];
+  if (name == "--help" || name == "help") {
+    PrintGlobalUsage(stdout);
+    return 0;
+  }
+  for (const Command& cmd : Commands()) {
+    if (name != cmd.name) continue;
+    Flags flags(argc, argv, 2);
+    if (flags.Has("help")) {
+      std::fprintf(stdout, "%s", cmd.usage);
+      return 0;
+    }
+    std::vector<std::string> unknown = flags.UnknownKeys(cmd.flags);
+    if (!unknown.empty()) {
+      for (const std::string& key : unknown) {
+        std::fprintf(stderr, "error: unknown flag --%s\n", key.c_str());
+      }
+      std::fprintf(stderr, "%s", cmd.usage);
+      return 2;
+    }
+    if (!flags.extra().empty()) {
+      std::fprintf(stderr, "error: unexpected argument '%s'\n",
+                   flags.extra().front().c_str());
+      std::fprintf(stderr, "%s", cmd.usage);
+      return 2;
+    }
+    for (const std::string& key : cmd.required) {
+      if (!flags.Has(key)) {
+        std::fprintf(stderr, "error: missing required flag --%s\n",
+                     key.c_str());
+        std::fprintf(stderr, "%s", cmd.usage);
+        return 2;
+      }
+    }
+    return cmd.run(flags);
+  }
+  std::fprintf(stderr, "unknown command: %s\n", name.c_str());
+  PrintGlobalUsage(stderr);
   return 2;
 }
 
