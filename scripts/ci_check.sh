@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Full CI gate: tier-1 release build + tests, then the ASan/UBSan suite.
+# Full CI gate: tier-1 release build + tests, then the ASan/UBSan suite,
+# then the TSan concurrency suite.
 #
-#   scripts/ci_check.sh            # both gates
+#   scripts/ci_check.sh            # all gates
 #   scripts/ci_check.sh --fast     # tier-1 only (skip sanitizers)
 #
 # Exits non-zero on the first failing gate.
@@ -26,5 +27,8 @@ fi
 
 echo "== tier-2: ASan + UBSan suite =="
 scripts/ci_sanitize.sh
+
+echo "== tier-3: TSan concurrency suite =="
+scripts/ci_tsan.sh
 
 echo "== CI gates passed =="

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI thread-sanitizer gate: build the `tsan` preset and run the suites
+# that exercise real concurrency -- the thread pool, the prediction
+# service (admission control, load shedding, deadline fan-out), the model
+# registry (circuit breakers, generation hot-swap) and both chaos suites.
+# Races found here are overload/reload bugs the release build may only
+# hit in production.
+#
+# Usage: scripts/ci_tsan.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+# Only the concurrent targets need to exist in the TSan tree.
+TARGETS=(
+  common_thread_pool_test
+  common_clock_test
+  serve_prediction_service_test
+  serve_model_registry_test
+  integration_chaos_test
+  integration_registry_chaos_test
+)
+
+cmake --preset tsan
+cmake --build --preset tsan -j"${JOBS}" --target "${TARGETS[@]}"
+ctest --preset tsan -j"${JOBS}" \
+  -R '^(common_thread_pool_test|common_clock_test|serve_prediction_service_test|serve_model_registry_test|integration_chaos_test|integration_registry_chaos_test)$' \
+  "$@"

@@ -1,0 +1,19 @@
+#include "common/clock.h"
+
+namespace vup {
+
+namespace {
+
+class RealClock final : public Clock {
+ public:
+  TimePoint Now() const override { return std::chrono::steady_clock::now(); }
+};
+
+}  // namespace
+
+const Clock& Clock::Real() {
+  static const RealClock* clock = new RealClock();
+  return *clock;
+}
+
+}  // namespace vup

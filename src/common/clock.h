@@ -1,0 +1,102 @@
+#ifndef VUPRED_COMMON_CLOCK_H_
+#define VUPRED_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace vup {
+
+/// Monotonic time source. Production code reads `Clock::Real()`; tests
+/// inject a `FakeClock` so deadline and circuit-breaker transitions are
+/// driven explicitly instead of by wall-clock sleeps.
+class Clock {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  virtual ~Clock() = default;
+
+  virtual TimePoint Now() const = 0;
+
+  /// The process-wide monotonic clock (steady_clock).
+  static const Clock& Real();
+};
+
+/// Manually advanced clock for tests. Thread-safe: concurrent readers see
+/// a monotonic sequence of the explicitly set instants.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(int64_t start_ns = 0) : now_ns_(start_ns) {}
+
+  TimePoint Now() const override {
+    return TimePoint(std::chrono::nanoseconds(
+        now_ns_.load(std::memory_order_acquire)));
+  }
+
+  void AdvanceMs(int64_t ms) { Advance(std::chrono::milliseconds(ms)); }
+
+  void Advance(std::chrono::nanoseconds d) {
+    now_ns_.fetch_add(d.count(), std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<int64_t> now_ns_;
+};
+
+/// An absolute instant after which work is no longer worth doing. The
+/// default-constructed deadline is infinite (never expires), so adding a
+/// `Deadline` field to a request struct changes nothing for callers that
+/// ignore it.
+class Deadline {
+ public:
+  /// No deadline: never expires.
+  Deadline() : ns_(kInfiniteNs) {}
+
+  static Deadline Infinite() { return Deadline(); }
+
+  static Deadline At(Clock::TimePoint tp) {
+    return Deadline(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        tp.time_since_epoch())
+                        .count());
+  }
+
+  /// Expires `ms` milliseconds after `clock`'s current instant. A
+  /// non-positive `ms` yields an already-expired deadline.
+  static Deadline AfterMs(const Clock& clock, int64_t ms) {
+    return At(clock.Now() + std::chrono::milliseconds(ms));
+  }
+
+  bool infinite() const { return ns_ == kInfiniteNs; }
+
+  bool Expired(const Clock& clock) const {
+    return !infinite() && NowNs(clock) >= ns_;
+  }
+
+  /// Milliseconds until expiry: negative when already expired, a very
+  /// large value when infinite.
+  int64_t RemainingMs(const Clock& clock) const {
+    if (infinite()) return kInfiniteNs / 1'000'000;
+    return (ns_ - NowNs(clock)) / 1'000'000;
+  }
+
+  friend bool operator==(const Deadline& a, const Deadline& b) {
+    return a.ns_ == b.ns_;
+  }
+
+ private:
+  static constexpr int64_t kInfiniteNs = INT64_MAX;
+
+  explicit Deadline(int64_t ns) : ns_(ns) {}
+
+  static int64_t NowNs(const Clock& clock) {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               clock.Now().time_since_epoch())
+        .count();
+  }
+
+  int64_t ns_;  // Steady-clock-epoch nanoseconds; kInfiniteNs = none.
+};
+
+}  // namespace vup
+
+#endif  // VUPRED_COMMON_CLOCK_H_

@@ -22,6 +22,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "DataLoss";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -85,6 +85,11 @@ size_t ThreadPool::tasks_failed() const {
   return failed_;
 }
 
+bool ThreadPool::accepting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !shutdown_;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<Status()> task;

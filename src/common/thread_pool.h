@@ -58,6 +58,10 @@ class ThreadPool {
 
   size_t num_workers() const { return workers_.size(); }
 
+  /// True until Shutdown is entered; afterwards Submit is guaranteed to
+  /// fail. Callers use this to route work inline instead of dropping it.
+  bool accepting() const;
+
   /// Tasks that finished (successfully or not) since construction.
   size_t tasks_completed() const;
   /// Tasks that finished with a non-OK status (including thrown

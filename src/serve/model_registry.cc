@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <istream>
+#include <sstream>
 #include <system_error>
 
+#include "common/random.h"
 #include "common/string_util.h"
 
 namespace vup::serve {
@@ -15,21 +18,279 @@ namespace {
 
 constexpr const char* kBundleSuffix = ".fcst";
 constexpr const char* kBundlePrefix = "vehicle_";
+constexpr const char* kCurrentFile = "CURRENT";
+constexpr const char* kGenerationPrefix = "gen_";
+constexpr const char* kMetaFile = "registry_meta.txt";
+constexpr const char* kMetaMagic = "vupred-registry v1";
+// Sanity caps for the hand-editable meta file: a fleet size or token far
+// beyond these is garbage, not configuration.
+constexpr long long kMaxMetaVehicles = 100'000'000;
+constexpr size_t kMaxMetaTokenLength = 128;
+constexpr size_t kMaxMetaLines = 64;
+constexpr size_t kMaxMetaBytes = 64 * 1024;
+
+/// Atomic small-file write: temp name, then rename over the target.
+Status WriteFileAtomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open for writing: " + tmp);
+    }
+    out << content;
+    out.flush();
+    if (!out) return Status::DataLoss("write failed: " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Status::Internal("cannot install " + path + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+/// Vehicle ids with a bundle file directly under `dir`, ascending.
+std::vector<int64_t> ListBundleIds(const std::string& dir) {
+  std::vector<int64_t> ids;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return ids;
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kBundlePrefix, 0) != 0) continue;
+    const size_t suffix_at = name.size() - std::string(kBundleSuffix).size();
+    if (name.size() <= std::string(kBundlePrefix).size() ||
+        name.substr(suffix_at) != kBundleSuffix) {
+      continue;
+    }
+    std::string_view digits(name);
+    digits.remove_prefix(std::string(kBundlePrefix).size());
+    digits.remove_suffix(std::string(kBundleSuffix).size());
+    StatusOr<long long> id = ParseInt(digits);
+    if (id.ok()) ids.push_back(id.value());
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+/// Parses "gen_NNNNNN" into its number; error on anything else.
+StatusOr<uint64_t> ParseGenerationName(std::string_view name) {
+  if (!StartsWith(name, kGenerationPrefix)) {
+    return Status::InvalidArgument("not a generation name: " +
+                                   std::string(name));
+  }
+  std::string_view digits = name.substr(std::string(kGenerationPrefix).size());
+  if (digits.empty() || digits.size() > 18) {
+    return Status::InvalidArgument("bad generation name: " +
+                                   std::string(name));
+  }
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad generation name: " +
+                                     std::string(name));
+    }
+  }
+  VUP_ASSIGN_OR_RETURN(long long number, ParseInt(digits));
+  if (number <= 0) {
+    return Status::InvalidArgument("generation number must be positive");
+  }
+  return static_cast<uint64_t>(number);
+}
+
+/// Largest generation number present under `root` (committed or staging),
+/// 0 when none.
+uint64_t MaxGenerationNumber(const std::string& root) {
+  uint64_t max_number = 0;
+  std::error_code ec;
+  fs::directory_iterator it(root, ec);
+  if (ec) return 0;
+  for (const fs::directory_entry& entry : it) {
+    std::string name = entry.path().filename().string();
+    // Strip a ".staging" suffix so abandoned stagings still reserve their
+    // number.
+    const std::string staging_suffix = ".staging";
+    if (name.size() > staging_suffix.size() &&
+        name.substr(name.size() - staging_suffix.size()) == staging_suffix) {
+      name = name.substr(0, name.size() - staging_suffix.size());
+    }
+    StatusOr<uint64_t> number = ParseGenerationName(name);
+    if (number.ok()) max_number = std::max(max_number, number.value());
+  }
+  return max_number;
+}
 
 }  // namespace
+
+// ---- RegistryMeta ------------------------------------------------------
+
+StatusOr<RegistryMeta> RegistryMeta::Parse(std::istream& in) {
+  // Slurp and demand a trailing newline: a writer killed mid-line must
+  // yield a parse error, not a shorter-but-plausible value (e.g.
+  // "algorithm La" from a truncated "algorithm Lasso\n").
+  std::string content;
+  {
+    char buf[4096];
+    while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+      content.append(buf, static_cast<size_t>(in.gcount()));
+      if (content.size() > kMaxMetaBytes) {
+        return Status::InvalidArgument("meta file is implausibly large");
+      }
+    }
+  }
+  if (content.empty() || content.back() != '\n') {
+    return Status::InvalidArgument(
+        "meta file is not newline-terminated (truncated?)");
+  }
+  std::istringstream stream(content);
+  std::string line;
+  if (!std::getline(stream, line) || Trim(line) != kMetaMagic) {
+    return Status::InvalidArgument(
+        std::string("not a ") + kMetaMagic + " meta file");
+  }
+  RegistryMeta meta;
+  bool saw_seed = false, saw_vehicles = false, saw_algorithm = false;
+  size_t lines = 0;
+  while (std::getline(stream, line)) {
+    if (++lines > kMaxMetaLines) {
+      return Status::InvalidArgument("meta file has too many lines");
+    }
+    std::string trimmed(Trim(line));
+    if (trimmed.empty()) continue;
+    std::vector<std::string> tokens = Split(trimmed, ' ');
+    if (tokens.size() != 2) {
+      return Status::InvalidArgument("malformed meta line: " + trimmed);
+    }
+    if (tokens[0].size() > kMaxMetaTokenLength ||
+        tokens[1].size() > kMaxMetaTokenLength) {
+      return Status::InvalidArgument("over-long meta token");
+    }
+    if (tokens[0] == "fleet_seed") {
+      if (saw_seed) return Status::InvalidArgument("duplicate fleet_seed");
+      VUP_ASSIGN_OR_RETURN(long long v, ParseInt(tokens[1]));
+      meta.fleet_seed = static_cast<uint64_t>(v);
+      saw_seed = true;
+    } else if (tokens[0] == "fleet_vehicles") {
+      if (saw_vehicles) {
+        return Status::InvalidArgument("duplicate fleet_vehicles");
+      }
+      VUP_ASSIGN_OR_RETURN(long long v, ParseInt(tokens[1]));
+      if (v <= 0 || v > kMaxMetaVehicles) {
+        return Status::InvalidArgument("fleet_vehicles out of range: " +
+                                       tokens[1]);
+      }
+      meta.fleet_vehicles = static_cast<size_t>(v);
+      saw_vehicles = true;
+    } else if (tokens[0] == "algorithm") {
+      if (saw_algorithm) return Status::InvalidArgument("duplicate algorithm");
+      for (char c : tokens[1]) {
+        const bool word = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '_' || c == '-';
+        if (!word) {
+          return Status::InvalidArgument("algorithm is not a word: " +
+                                         tokens[1]);
+        }
+      }
+      meta.algorithm = tokens[1];
+      saw_algorithm = true;
+    } else {
+      return Status::InvalidArgument("unknown meta key: " + tokens[0]);
+    }
+  }
+  if (!saw_seed || !saw_vehicles || !saw_algorithm) {
+    return Status::InvalidArgument(
+        "meta file is missing a required key (truncated?)");
+  }
+  return meta;
+}
+
+std::string RegistryMeta::Serialize() const {
+  std::ostringstream os;
+  os << kMetaMagic << "\n";
+  os << "fleet_seed " << fleet_seed << "\n";
+  os << "fleet_vehicles " << fleet_vehicles << "\n";
+  os << "algorithm " << algorithm << "\n";
+  return os.str();
+}
+
+Status WriteRegistryMetaFile(const std::string& directory,
+                             const RegistryMeta& meta) {
+  return WriteFileAtomic(directory + "/" + kMetaFile, meta.Serialize());
+}
+
+StatusOr<RegistryMeta> ReadRegistryMetaFile(const std::string& directory) {
+  std::ifstream in(directory + "/" + kMetaFile);
+  if (!in) {
+    return Status::NotFound("no " + std::string(kMetaFile) + " in " +
+                            directory + " (did `vupred publish` run?)");
+  }
+  return RegistryMeta::Parse(in);
+}
+
+std::string_view BreakerStateToString(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+// ---- ModelRegistry -----------------------------------------------------
 
 std::string ModelRegistry::BundleFileName(int64_t vehicle_id) {
   return StrFormat("%s%lld%s", kBundlePrefix,
                    static_cast<long long>(vehicle_id), kBundleSuffix);
 }
 
+std::string ModelRegistry::GenerationDirName(uint64_t number) {
+  return StrFormat("%s%06llu", kGenerationPrefix,
+                   static_cast<unsigned long long>(number));
+}
+
 std::string ModelRegistry::BundlePath(int64_t vehicle_id) const {
-  return options_.directory + "/" + BundleFileName(vehicle_id);
+  std::lock_guard<std::mutex> lock(*mu_);
+  return active_.dir + "/" + BundleFileName(vehicle_id);
+}
+
+StatusOr<ModelRegistry::ActiveGeneration> ModelRegistry::ResolveActive(
+    const std::string& root) {
+  const std::string current_path = root + "/" + kCurrentFile;
+  std::error_code ec;
+  if (!fs::exists(current_path, ec) || ec) {
+    // Legacy flat layout: the root itself is the (only) generation.
+    return ActiveGeneration{root, 0};
+  }
+  std::ifstream in(current_path);
+  std::string name;
+  if (!in || !std::getline(in, name)) {
+    return Status::DataLoss("cannot read " + current_path);
+  }
+  name = std::string(Trim(name));
+  VUP_ASSIGN_OR_RETURN(uint64_t number, ParseGenerationName(name));
+  const std::string dir = root + "/" + name;
+  if (!fs::is_directory(dir, ec) || ec) {
+    return Status::DataLoss("CURRENT points at missing generation: " + name);
+  }
+  // The meta is written right before the generation is committed; an
+  // unparseable meta means the generation is torn or incomplete.
+  StatusOr<RegistryMeta> meta = ReadRegistryMetaFile(dir);
+  if (!meta.ok()) {
+    return Status::DataLoss("generation " + name + " is incomplete: " +
+                            meta.status().ToString());
+  }
+  return ActiveGeneration{dir, number};
 }
 
 StatusOr<ModelRegistry> ModelRegistry::Open(Options options) {
   if (options.directory.empty()) {
     return Status::InvalidArgument("registry directory must not be empty");
+  }
+  if (options.breaker.failure_threshold < 1) {
+    return Status::InvalidArgument("breaker failure_threshold must be >= 1");
   }
   std::error_code ec;
   fs::create_directories(options.directory, ec);
@@ -41,7 +302,77 @@ StatusOr<ModelRegistry> ModelRegistry::Open(Options options) {
     return Status::InvalidArgument("registry path is not a directory: " +
                                    options.directory);
   }
-  return ModelRegistry(std::move(options));
+  VUP_ASSIGN_OR_RETURN(ActiveGeneration active,
+                       ResolveActive(options.directory));
+  ModelRegistry registry(std::move(options), std::move(active));
+  registry.stats_.generation = registry.active_.number;
+  return registry;
+}
+
+Status ModelRegistry::Reload() {
+  VUP_ASSIGN_OR_RETURN(ActiveGeneration resolved,
+                       ResolveActive(options_.directory));
+  std::lock_guard<std::mutex> lock(*mu_);
+  if (resolved.dir == active_.dir) return Status::OK();
+  // Swap the active generation: resident models and breaker states belong
+  // to the outgoing fleet. In-flight shared_ptr models stay valid until
+  // their holders drop them.
+  active_ = std::move(resolved);
+  lru_.clear();
+  index_.clear();
+  breakers_.clear();
+  ++stats_.reloads;
+  stats_.generation = active_.number;
+  return Status::OK();
+}
+
+StatusOr<GenerationPublisher> ModelRegistry::NewGeneration() {
+  const uint64_t number = MaxGenerationNumber(options_.directory) + 1;
+  const std::string staging =
+      options_.directory + "/" + GenerationDirName(number) + ".staging";
+  std::error_code ec;
+  fs::remove_all(staging, ec);  // A stale staging of the same number.
+  fs::create_directories(staging, ec);
+  if (ec) {
+    return Status::Internal("cannot create staging directory " + staging +
+                            ": " + ec.message());
+  }
+  return GenerationPublisher(options_.directory, number, staging);
+}
+
+Status ModelRegistry::PruneGenerations(size_t keep) {
+  std::string active_dir;
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    active_dir = active_.dir;
+  }
+  std::vector<std::pair<uint64_t, std::string>> generations;
+  std::error_code ec;
+  fs::directory_iterator it(options_.directory, ec);
+  if (ec) {
+    return Status::Internal("cannot list " + options_.directory + ": " +
+                            ec.message());
+  }
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_directory(ec) || ec) continue;
+    StatusOr<uint64_t> number =
+        ParseGenerationName(entry.path().filename().string());
+    if (!number.ok()) continue;
+    const std::string dir = entry.path().string();
+    if (dir == active_dir) continue;
+    generations.emplace_back(number.value(), dir);
+  }
+  std::sort(generations.begin(), generations.end());
+  const size_t remove_count =
+      generations.size() > keep ? generations.size() - keep : 0;
+  for (size_t i = 0; i < remove_count; ++i) {
+    fs::remove_all(generations[i].second, ec);
+    if (ec) {
+      return Status::Internal("cannot prune " + generations[i].second +
+                              ": " + ec.message());
+    }
+  }
+  return Status::OK();
 }
 
 Status ModelRegistry::Publish(int64_t vehicle_id,
@@ -67,29 +398,70 @@ Status ModelRegistry::Publish(int64_t vehicle_id,
     return Status::Internal("cannot install bundle " + path + ": " +
                             ec.message());
   }
-  // Drop any stale resident copy so the next Get sees the new bundle.
+  // Drop any stale resident copy so the next Get sees the new bundle, and
+  // give the fresh bundle a fresh breaker.
   std::lock_guard<std::mutex> lock(*mu_);
   auto it = index_.find(vehicle_id);
   if (it != index_.end()) {
     lru_.erase(it->second);
     index_.erase(it);
   }
+  breakers_.erase(vehicle_id);
   return Status::OK();
 }
 
 StatusOr<std::shared_ptr<const VehicleForecaster>>
-ModelRegistry::LoadFromDisk(int64_t vehicle_id) const {
-  const std::string path = BundlePath(vehicle_id);
+ModelRegistry::LoadFromDir(const std::string& dir,
+                           int64_t vehicle_id) const {
+  const std::string path = dir + "/" + BundleFileName(vehicle_id);
   std::ifstream in(path);
   if (!in) {
     return Status::NotFound(
         StrFormat("no model bundle for vehicle %lld in %s",
-                  static_cast<long long>(vehicle_id),
-                  options_.directory.c_str()));
+                  static_cast<long long>(vehicle_id), dir.c_str()));
   }
   VUP_ASSIGN_OR_RETURN(VehicleForecaster forecaster,
                        VehicleForecaster::Load(in));
   return std::make_shared<const VehicleForecaster>(std::move(forecaster));
+}
+
+int64_t ModelRegistry::BreakerBackoffMs(int64_t vehicle_id,
+                                        int open_count) const {
+  const BreakerOptions& breaker = options_.breaker;
+  // Reuse the retry schedule: open period k follows the same
+  // min(initial * multiplier^(k-1), max) curve a retrying client would.
+  const RetryPolicy policy(breaker.backoff);
+  const int64_t base = policy.BackoffMs(open_count);
+  if (base <= 0 || breaker.jitter_fraction <= 0) return base;
+  // Deterministic jitter: same (seed, vehicle, open count) -> same period,
+  // regardless of thread interleaving, so seeded runs reproduce exactly.
+  Rng rng(SplitMix64(breaker.jitter_seed ^
+                     SplitMix64(static_cast<uint64_t>(vehicle_id))) +
+          static_cast<uint64_t>(open_count));
+  const double fraction = std::clamp(breaker.jitter_fraction, 0.0, 1.0);
+  const double factor = 1.0 + fraction * (2.0 * rng.Uniform() - 1.0);
+  return std::max<int64_t>(1, static_cast<int64_t>(
+                                  static_cast<double>(base) * factor));
+}
+
+void ModelRegistry::RecordLoadFailureLocked(int64_t vehicle_id) {
+  ++stats_.load_failures;
+  Breaker& breaker = breakers_[vehicle_id];
+  ++breaker.consecutive_failures;
+  const bool reopen = breaker.state == BreakerState::kHalfOpen;
+  if (!reopen &&
+      breaker.consecutive_failures < options_.breaker.failure_threshold) {
+    return;
+  }
+  // Trip (or re-trip after a failed half-open probe): fail fast until the
+  // jittered backoff elapses.
+  if (breaker.state == BreakerState::kClosed) ++stats_.breaker_open_vehicles;
+  breaker.state = BreakerState::kOpen;
+  ++breaker.open_count;
+  ++stats_.breaker_opens;
+  breaker.open_until =
+      clock().Now() + std::chrono::milliseconds(
+                          BreakerBackoffMs(vehicle_id, breaker.open_count));
 }
 
 StatusOr<std::shared_ptr<const VehicleForecaster>> ModelRegistry::Get(
@@ -103,15 +475,42 @@ StatusOr<std::shared_ptr<const VehicleForecaster>> ModelRegistry::Get(
     return it->second->second;
   }
 
+  auto breaker_it = breakers_.find(vehicle_id);
+  if (breaker_it != breakers_.end() &&
+      breaker_it->second.state == BreakerState::kOpen) {
+    Breaker& breaker = breaker_it->second;
+    if (clock().Now() < breaker.open_until) {
+      ++stats_.breaker_short_circuits;
+      return Status::Unavailable(StrFormat(
+          "circuit breaker open for vehicle %lld (retry in %lld ms)",
+          static_cast<long long>(vehicle_id),
+          static_cast<long long>(
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  breaker.open_until - clock().Now())
+                  .count())));
+    }
+    // Backoff elapsed: half-open, admit this Get as the single probe (the
+    // registry mutex serializes probes).
+    breaker.state = BreakerState::kHalfOpen;
+  }
+
   ++stats_.misses;
   StatusOr<std::shared_ptr<const VehicleForecaster>> loaded =
-      LoadFromDisk(vehicle_id);
+      LoadFromDir(active_.dir, vehicle_id);
   if (!loaded.ok()) {
-    if (!loaded.status().IsNotFound()) ++stats_.load_failures;
+    // A missing bundle is the degradation path, not a fault; only real
+    // load failures (corrupt bundle, IO error) count against the breaker.
+    if (!loaded.status().IsNotFound()) RecordLoadFailureLocked(vehicle_id);
     return loaded.status();
   }
-  std::shared_ptr<const VehicleForecaster> model =
-      std::move(loaded).value();
+  if (breaker_it != breakers_.end()) {
+    // Successful load (including a half-open probe): close the breaker.
+    if (breaker_it->second.state != BreakerState::kClosed) {
+      --stats_.breaker_open_vehicles;
+    }
+    breakers_.erase(vehicle_id);
+  }
+  std::shared_ptr<const VehicleForecaster> model = std::move(loaded).value();
 
   if (options_.cache_capacity > 0) {
     while (lru_.size() >= options_.cache_capacity) {
@@ -125,33 +524,27 @@ StatusOr<std::shared_ptr<const VehicleForecaster>> ModelRegistry::Get(
   return model;
 }
 
+StatusOr<RegistryMeta> ModelRegistry::ReadMeta() const {
+  std::string dir;
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    dir = active_.dir;
+  }
+  return ReadRegistryMetaFile(dir);
+}
+
 bool ModelRegistry::Contains(int64_t vehicle_id) const {
   std::error_code ec;
   return fs::exists(BundlePath(vehicle_id), ec) && !ec;
 }
 
 std::vector<int64_t> ModelRegistry::ListVehicleIds() const {
-  std::vector<int64_t> ids;
-  std::error_code ec;
-  fs::directory_iterator it(options_.directory, ec);
-  if (ec) return ids;
-  for (const fs::directory_entry& entry : it) {
-    if (!entry.is_regular_file(ec) || ec) continue;
-    const std::string name = entry.path().filename().string();
-    if (name.rfind(kBundlePrefix, 0) != 0) continue;
-    const size_t suffix_at = name.size() - std::string(kBundleSuffix).size();
-    if (name.size() <= std::string(kBundlePrefix).size() ||
-        name.substr(suffix_at) != kBundleSuffix) {
-      continue;
-    }
-    std::string_view digits(name);
-    digits.remove_prefix(std::string(kBundlePrefix).size());
-    digits.remove_suffix(std::string(kBundleSuffix).size());
-    StatusOr<long long> id = ParseInt(digits);
-    if (id.ok()) ids.push_back(id.value());
+  std::string dir;
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    dir = active_.dir;
   }
-  std::sort(ids.begin(), ids.end());
-  return ids;
+  return ListBundleIds(dir);
 }
 
 size_t ModelRegistry::resident_models() const {
@@ -159,9 +552,100 @@ size_t ModelRegistry::resident_models() const {
   return lru_.size();
 }
 
+BreakerState ModelRegistry::breaker_state(int64_t vehicle_id) const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  auto it = breakers_.find(vehicle_id);
+  return it == breakers_.end() ? BreakerState::kClosed : it->second.state;
+}
+
 ModelRegistryStats ModelRegistry::stats() const {
   std::lock_guard<std::mutex> lock(*mu_);
   return stats_;
+}
+
+uint64_t ModelRegistry::active_generation() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return active_.number;
+}
+
+// ---- GenerationPublisher -----------------------------------------------
+
+GenerationPublisher::GenerationPublisher(GenerationPublisher&& other) noexcept
+    : root_(std::move(other.root_)),
+      number_(other.number_),
+      staging_dir_(std::move(other.staging_dir_)),
+      committed_(other.committed_) {
+  other.moved_from_ = true;
+}
+
+GenerationPublisher& GenerationPublisher::operator=(
+    GenerationPublisher&& other) noexcept {
+  if (this != &other) {
+    root_ = std::move(other.root_);
+    number_ = other.number_;
+    staging_dir_ = std::move(other.staging_dir_);
+    committed_ = other.committed_;
+    moved_from_ = false;
+    other.moved_from_ = true;
+  }
+  return *this;
+}
+
+GenerationPublisher::~GenerationPublisher() {
+  if (moved_from_ || committed_) return;
+  // Abandoned without Commit: the staging directory was never visible to
+  // readers, remove it.
+  std::error_code ec;
+  fs::remove_all(staging_dir_, ec);
+}
+
+Status GenerationPublisher::Add(int64_t vehicle_id,
+                                const VehicleForecaster& forecaster) {
+  if (committed_) {
+    return Status::FailedPrecondition("generation already committed");
+  }
+  const std::string path =
+      staging_dir_ + "/" + ModelRegistry::BundleFileName(vehicle_id);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot open bundle for writing: " + path);
+  }
+  VUP_RETURN_IF_ERROR(forecaster.Save(out));
+  out.flush();
+  if (!out) return Status::DataLoss("bundle write failed: " + path);
+  return Status::OK();
+}
+
+Status GenerationPublisher::Commit(const RegistryMeta& meta) {
+  if (committed_) {
+    return Status::FailedPrecondition("generation already committed");
+  }
+  // Order matters for crash-consistency: (1) meta completes the staging
+  // directory, (2) the directory rename makes the complete generation
+  // appear under its final name, (3) the CURRENT flip -- itself a
+  // temp+rename -- atomically retargets readers. A crash between any two
+  // steps leaves CURRENT pointing at the old complete generation.
+  VUP_RETURN_IF_ERROR(WriteRegistryMetaFile(staging_dir_, meta));
+  std::string final_dir =
+      root_ + "/" + ModelRegistry::GenerationDirName(number_);
+  std::error_code ec;
+  // A concurrent publisher may have claimed our number; slide forward.
+  for (int attempt = 0; fs::exists(final_dir, ec) && attempt < 1024;
+       ++attempt) {
+    ++number_;
+    final_dir = root_ + "/" + ModelRegistry::GenerationDirName(number_);
+  }
+  fs::rename(staging_dir_, final_dir, ec);
+  if (ec) {
+    return Status::Internal("cannot finalize generation " + final_dir +
+                            ": " + ec.message());
+  }
+  staging_dir_ = final_dir;
+  VUP_RETURN_IF_ERROR(
+      WriteFileAtomic(root_ + "/" + kCurrentFile,
+                      ModelRegistry::GenerationDirName(number_) + "\n"));
+  committed_ = true;
+  return Status::OK();
 }
 
 }  // namespace vup::serve

@@ -2,86 +2,243 @@
 #define VUPRED_SERVE_MODEL_REGISTRY_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/clock.h"
+#include "common/retry.h"
 #include "common/statusor.h"
 #include "core/forecaster.h"
 
 namespace vup::serve {
 
-/// Cache/IO counters of a ModelRegistry. Counts are cumulative since Open.
-struct ModelRegistryStats {
-  size_t hits = 0;         // Get served from the resident cache.
-  size_t misses = 0;       // Get had to load the bundle from disk.
-  size_t evictions = 0;    // Resident models displaced by the LRU policy.
-  size_t load_failures = 0;  // Disk loads that returned an error.
+/// How the training fleet behind a registry was generated, so any consumer
+/// can rebuild byte-identical feature windows from the registry directory
+/// alone. Persisted as `registry_meta.txt` (`vupred-registry v1`).
+struct RegistryMeta {
+  uint64_t fleet_seed = 42;
+  size_t fleet_vehicles = 40;
+  std::string algorithm = "Lasso";
+
+  /// Strict parse of a meta stream: magic line, then exactly the three
+  /// `key value` lines (any order, duplicates rejected), every line
+  /// newline-terminated so a writer killed mid-line is detectable.
+  /// Garbage, truncation, absurd counts and over-long tokens are Status
+  /// errors, never crashes -- this file is hand-editable and must be
+  /// fuzz-safe.
+  static StatusOr<RegistryMeta> Parse(std::istream& in);
+
+  /// Serializes in the format Parse accepts.
+  std::string Serialize() const;
+
+  friend bool operator==(const RegistryMeta& a, const RegistryMeta& b) {
+    return a.fleet_seed == b.fleet_seed &&
+           a.fleet_vehicles == b.fleet_vehicles &&
+           a.algorithm == b.algorithm;
+  }
 };
 
+/// Writes `meta` into `directory` as registry_meta.txt (temp + rename).
+Status WriteRegistryMetaFile(const std::string& directory,
+                             const RegistryMeta& meta);
+
+/// Reads and parses `directory`/registry_meta.txt.
+StatusOr<RegistryMeta> ReadRegistryMetaFile(const std::string& directory);
+
+/// Per-vehicle circuit-breaker state exposed in registry stats.
+enum class BreakerState { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+std::string_view BreakerStateToString(BreakerState state);
+
+/// Cache/IO/breaker counters of a ModelRegistry. Counts are cumulative
+/// since Open.
+struct ModelRegistryStats {
+  size_t hits = 0;           // Get served from the resident cache.
+  size_t misses = 0;         // Get had to load the bundle from disk.
+  size_t evictions = 0;      // Resident models displaced by the LRU policy.
+  size_t load_failures = 0;  // Disk loads that returned an error.
+  size_t breaker_opens = 0;  // closed/half-open -> open transitions.
+  size_t breaker_short_circuits = 0;  // Gets rejected while a breaker was
+                                      // open (no disk touched).
+  size_t breaker_open_vehicles = 0;   // Breakers currently open/half-open.
+  size_t reloads = 0;        // Generation swaps performed by Reload().
+  uint64_t generation = 0;   // Active generation number (0 = flat layout).
+};
+
+class GenerationPublisher;
+
 /// Directory-backed store of per-vehicle model bundles with a bounded LRU
-/// cache of resident (deserialized) models.
+/// cache of resident (deserialized) models, per-vehicle circuit breakers
+/// around the disk-load path, and atomically swappable generations.
 ///
-/// On-disk layout: one `vehicle_<id>.fcst` file per vehicle under the
-/// registry directory, each holding a `vupred-forecaster v1` bundle
-/// (config + selected-lag metadata + scaler + regressor, the ml/serialize
-/// round-trip via VehicleForecaster::Save/Load).
+/// On-disk layout, generation mode:
 ///
-/// Publish is offline (training side); Get is the online path. Get returns
-/// a shared_ptr so a model stays valid for in-flight scoring even when the
-/// LRU policy evicts it concurrently. `cache_capacity` bounds resident
-/// models: 0 disables caching entirely (every Get is a disk load).
+///   <registry>/
+///     CURRENT               # name of the active generation ("gen_000003")
+///     gen_000002/           # a complete, immutable published fleet
+///       registry_meta.txt
+///       vehicle_<id>.fcst
+///     gen_000003/ ...
 ///
-/// All methods are thread-safe.
+/// `CURRENT` is written temp+rename and flipped only after the generation
+/// directory (bundles + meta) is fully on disk, so a publisher killed
+/// mid-write can never expose a torn fleet: readers either keep the old
+/// complete generation or see the new complete one. A registry without a
+/// `CURRENT` file is a legacy flat layout (bundles directly under the
+/// root, generation number 0) -- single-bundle Publish keeps working
+/// there.
+///
+/// Circuit breaker: consecutive load *failures* (corrupt bundle, IO error
+/// -- NotFound is not a failure) trip a per-vehicle breaker after
+/// `failure_threshold`; while open, Get fails fast with `Unavailable`
+/// instead of re-reading a bundle known to be bad. After a seeded,
+/// jittered exponential backoff (schedule from common/retry.h) the
+/// breaker half-opens and admits one probe load: success closes it,
+/// failure re-opens it with the next backoff step.
+///
+/// All methods are thread-safe. Get returns a shared_ptr so a model stays
+/// valid for in-flight scoring even when the LRU policy evicts it or a
+/// Reload swaps the whole generation concurrently.
 class ModelRegistry {
  public:
-  struct Options {
-    std::string directory;
-    size_t cache_capacity = 64;
+  struct BreakerOptions {
+    /// Consecutive load failures before the breaker opens (>= 1).
+    int failure_threshold = 3;
+    /// Backoff schedule for the open state, reusing the retry vocabulary:
+    /// open period k is min(initial * multiplier^(k-1), max), jittered.
+    RetryOptions backoff = {.max_attempts = 1,
+                            .initial_backoff_ms = 1000,
+                            .backoff_multiplier = 2.0,
+                            .max_backoff_ms = 60'000,
+                            .retryable = {}};
+    /// Each open period is scaled by a factor uniform in
+    /// [1 - jitter_fraction, 1 + jitter_fraction], derived
+    /// deterministically from (jitter_seed, vehicle_id, open count) so
+    /// same-seed runs reproduce the exact schedule.
+    double jitter_fraction = 0.1;
+    uint64_t jitter_seed = 42;
   };
 
-  /// Opens (and creates, if missing) the registry directory.
+  struct Options {
+    Options() = default;
+    Options(std::string directory_in, size_t cache_capacity_in)
+        : directory(std::move(directory_in)),
+          cache_capacity(cache_capacity_in) {}
+
+    std::string directory;
+    size_t cache_capacity = 64;
+    /// Time source for breaker transitions; null means Clock::Real().
+    const Clock* clock = nullptr;
+    BreakerOptions breaker;
+  };
+
+  /// Opens (and creates, if missing) the registry directory, resolving
+  /// `CURRENT` to the active generation (flat layout when absent).
   static StatusOr<ModelRegistry> Open(Options options);
 
   ModelRegistry(ModelRegistry&&) noexcept = default;
   ModelRegistry& operator=(ModelRegistry&&) noexcept = default;
 
-  /// Writes the bundle of `vehicle_id` (must be trained). Replaces an
-  /// existing bundle and drops any stale resident copy.
+  /// Writes the bundle of `vehicle_id` (must be trained) into the active
+  /// generation. Replaces an existing bundle, drops any stale resident
+  /// copy and resets the vehicle's breaker (a fresh bundle deserves fresh
+  /// chances).
   Status Publish(int64_t vehicle_id, const VehicleForecaster& forecaster);
 
+  /// Starts a new generation staged invisibly next to the active one;
+  /// `Commit` makes it the fleet `CURRENT` points at. Concurrent readers
+  /// of this registry are unaffected until Reload().
+  StatusOr<GenerationPublisher> NewGeneration();
+
+  /// Re-resolves `CURRENT` and atomically swaps the active generation if
+  /// it changed: the cache and breakers reset, in-flight shared_ptr
+  /// models stay valid. On any error (missing/garbage CURRENT, torn or
+  /// incomplete generation) the old generation stays active.
+  Status Reload();
+
+  /// Deletes non-active generation directories, keeping the newest
+  /// `keep` of them (0 keeps none but the active one).
+  Status PruneGenerations(size_t keep);
+
   /// The model of `vehicle_id`, from cache or disk. NotFound when no
-  /// bundle exists; InvalidArgument when the bundle is corrupt.
+  /// bundle exists; InvalidArgument/DataLoss when the bundle is corrupt;
+  /// Unavailable (fast, no disk IO) while the vehicle's breaker is open.
   StatusOr<std::shared_ptr<const VehicleForecaster>> Get(int64_t vehicle_id);
+
+  /// Meta of the active generation (root meta in flat layout).
+  StatusOr<RegistryMeta> ReadMeta() const;
 
   /// True when a bundle file exists (does not touch the cache).
   bool Contains(int64_t vehicle_id) const;
 
-  /// Vehicle ids with a bundle on disk, ascending.
+  /// Vehicle ids with a bundle in the active generation, ascending.
   std::vector<int64_t> ListVehicleIds() const;
 
   /// Number of models currently resident in the cache.
   size_t resident_models() const;
 
+  /// Breaker state of one vehicle (kClosed when never tripped).
+  BreakerState breaker_state(int64_t vehicle_id) const;
+
+  /// The jittered open period before half-open probe `open_count` (1-based)
+  /// of `vehicle_id` -- deterministic in (jitter_seed, vehicle, count).
+  int64_t BreakerBackoffMs(int64_t vehicle_id, int open_count) const;
+
   ModelRegistryStats stats() const;
+
+  uint64_t active_generation() const;
 
   const std::string& directory() const { return options_.directory; }
 
   static std::string BundleFileName(int64_t vehicle_id);
+  /// Bundle path inside the active generation.
   std::string BundlePath(int64_t vehicle_id) const;
 
- private:
-  explicit ModelRegistry(Options options) : options_(std::move(options)) {}
+  static std::string GenerationDirName(uint64_t number);
 
-  /// Loads a bundle from disk (no cache interaction).
-  StatusOr<std::shared_ptr<const VehicleForecaster>> LoadFromDisk(
-      int64_t vehicle_id) const;
+ private:
+  friend class GenerationPublisher;
+
+  struct Breaker {
+    int consecutive_failures = 0;
+    BreakerState state = BreakerState::kClosed;
+    int open_count = 0;             // Times this breaker has opened.
+    Clock::TimePoint open_until{};  // End of the current open period.
+  };
+
+  struct ActiveGeneration {
+    std::string dir;
+    uint64_t number = 0;
+  };
+
+  explicit ModelRegistry(Options options, ActiveGeneration active)
+      : options_(std::move(options)), active_(std::move(active)) {}
+
+  const Clock& clock() const {
+    return options_.clock != nullptr ? *options_.clock : Clock::Real();
+  }
+
+  /// Resolves CURRENT under `root` (flat layout when absent); validates
+  /// that the generation directory exists and holds a parseable meta.
+  static StatusOr<ActiveGeneration> ResolveActive(const std::string& root);
+
+  /// Loads a bundle from `dir` (no cache interaction).
+  StatusOr<std::shared_ptr<const VehicleForecaster>> LoadFromDir(
+      const std::string& dir, int64_t vehicle_id) const;
+
+  /// Breaker bookkeeping after a failed (non-NotFound) load. Caller holds
+  /// the mutex.
+  void RecordLoadFailureLocked(int64_t vehicle_id);
 
   Options options_;
+  ActiveGeneration active_;
 
   // LRU cache: most-recently-used at the front. unique_ptr so the registry
   // stays movable (mutex members are not).
@@ -89,7 +246,47 @@ class ModelRegistry {
   std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
   std::list<LruEntry> lru_;
   std::unordered_map<int64_t, std::list<LruEntry>::iterator> index_;
+  std::unordered_map<int64_t, Breaker> breakers_;
   ModelRegistryStats stats_;
+};
+
+/// Stages one new generation: bundles are added into a hidden staging
+/// directory, then Commit writes the meta, renames the staging directory
+/// to its final `gen_NNNNNN` name and atomically flips `CURRENT`. A
+/// publisher destroyed without Commit removes its staging directory; a
+/// publisher *killed* without Commit leaves only an ignored staging
+/// directory behind -- never a torn active fleet.
+class GenerationPublisher {
+ public:
+  GenerationPublisher(GenerationPublisher&& other) noexcept;
+  GenerationPublisher& operator=(GenerationPublisher&& other) noexcept;
+  ~GenerationPublisher();
+
+  Status Add(int64_t vehicle_id, const VehicleForecaster& forecaster);
+
+  /// Finalizes the generation and flips CURRENT. The publisher is spent
+  /// afterwards. Readers pick the new fleet up via ModelRegistry::Reload.
+  Status Commit(const RegistryMeta& meta);
+
+  /// Number this generation will publish as.
+  uint64_t number() const { return number_; }
+
+  const std::string& staging_dir() const { return staging_dir_; }
+
+ private:
+  friend class ModelRegistry;
+
+  GenerationPublisher(std::string root, uint64_t number,
+                      std::string staging_dir)
+      : root_(std::move(root)),
+        number_(number),
+        staging_dir_(std::move(staging_dir)) {}
+
+  std::string root_;
+  uint64_t number_ = 0;
+  std::string staging_dir_;
+  bool committed_ = false;
+  bool moved_from_ = false;
 };
 
 }  // namespace vup::serve

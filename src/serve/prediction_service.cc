@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <map>
-#include <mutex>
 
 #include "common/check.h"
+#include "common/string_util.h"
 #include "ml/baselines.h"
 
 namespace vup::serve {
@@ -88,14 +87,35 @@ void PredictionService::ScoreGroup(
     const std::vector<size_t>& positions,
     std::vector<PredictionResponse>* responses) {
   if (positions.empty()) return;
+
+  // Expired requests fail fast, before any model IO; the model is fetched
+  // only when at least one request in the group is still live.
+  std::vector<size_t> live;
+  live.reserve(positions.size());
+  for (size_t position : positions) {
+    const PredictionRequest& request = requests[position];
+    if (request.deadline.Expired(clock())) {
+      PredictionResponse& response = (*responses)[position];
+      response.vehicle_id = request.vehicle_id;
+      response.status = Status::DeadlineExceeded(StrFormat(
+          "deadline expired before scoring vehicle %lld",
+          static_cast<long long>(request.vehicle_id)));
+      stats_.RecordDeadlineExceeded();
+    } else {
+      live.push_back(position);
+    }
+  }
+  if (live.empty()) return;
+
   // One model fetch per vehicle group; the shared_ptr keeps the model
-  // alive across the group even if the LRU evicts it meanwhile.
+  // alive across the group even if the LRU evicts it or a Reload swaps
+  // the generation meanwhile.
   StatusOr<std::shared_ptr<const VehicleForecaster>> model =
-      registry_->Get(requests[positions.front()].vehicle_id);
+      registry_->Get(requests[live.front()].vehicle_id);
   const VehicleForecaster* model_ptr =
       model.ok() ? model.value().get() : nullptr;
   const Status model_status = model.ok() ? Status::OK() : model.status();
-  for (size_t position : positions) {
+  for (size_t position : live) {
     (*responses)[position] =
         ScoreOne(model_ptr, model_status, requests[position]);
   }
@@ -109,24 +129,90 @@ PredictionResponse PredictionService::Predict(
   return responses[0];
 }
 
+void PredictionService::AdmitBlocking(size_t count) {
+  std::unique_lock<std::mutex> lock(admission_mu_);
+  // A group larger than the whole capacity is admitted once the queue is
+  // empty -- oversize work makes progress instead of deadlocking.
+  admission_cv_.wait(lock, [&] {
+    return queued_ == 0 ||
+           queued_ + count <= options_.admission_capacity;
+  });
+  queued_ += count;
+}
+
+void PredictionService::ReleaseAdmission(size_t count) {
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    queued_ -= std::min(count, queued_);
+  }
+  admission_cv_.notify_all();
+}
+
 std::vector<PredictionResponse> PredictionService::PredictBatch(
     std::span<const PredictionRequest> requests) {
   std::vector<PredictionResponse> responses(requests.size());
   if (requests.empty()) return responses;
 
-  // Group request positions per vehicle (ordered map: deterministic group
-  // submission order).
-  std::map<int64_t, std::vector<size_t>> groups;
+  // Inline path: no pool, or the pool is already shut down. Admission is
+  // bypassed -- the caller is the only producer and provides its own
+  // back-pressure, so nothing may be dropped here.
+  const bool pooled = pool_ != nullptr && pool_->accepting();
+
+  // Shed policies decide up front which requests get the available slots.
+  // This happens before any group is submitted, so for a synchronous
+  // caller the shed set is a pure function of batch layout and capacity:
+  // same batch, same seed, same counters.
+  std::vector<char> shed(requests.size(), 0);
+  const bool shedding =
+      pooled && options_.admission_capacity > 0 &&
+      options_.overload_policy != OverloadPolicy::kBlock;
+  size_t admitted = requests.size();
+  if (shedding) {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    const size_t available =
+        options_.admission_capacity > queued_
+            ? options_.admission_capacity - queued_
+            : 0;
+    if (requests.size() > available) {
+      admitted = available;
+      const size_t excess = requests.size() - available;
+      if (options_.overload_policy == OverloadPolicy::kShedNewest) {
+        for (size_t i = available; i < requests.size(); ++i) shed[i] = 1;
+      } else {  // kShedOldest: drop the head, keep the freshest work.
+        for (size_t i = 0; i < excess; ++i) shed[i] = 1;
+      }
+    }
+    queued_ += admitted;
+  }
   for (size_t i = 0; i < requests.size(); ++i) {
-    groups[requests[i].vehicle_id].push_back(i);
+    if (!shed[i]) continue;
+    responses[i].vehicle_id = requests[i].vehicle_id;
+    responses[i].status = Status::Unavailable(StrFormat(
+        "request shed by admission control (capacity %zu, policy %s)",
+        options_.admission_capacity,
+        options_.overload_policy == OverloadPolicy::kShedNewest
+            ? "shed-newest"
+            : "shed-oldest"));
+    stats_.RecordShed();
   }
 
-  if (pool_ == nullptr) {
+  // Group the admitted request positions per vehicle (ordered map:
+  // deterministic group submission order).
+  std::map<int64_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (!shed[i]) groups[requests[i].vehicle_id].push_back(i);
+  }
+
+  if (!pooled) {
     for (const auto& [id, positions] : groups) {
       ScoreGroup(requests, positions, &responses);
     }
     return responses;
   }
+
+  const bool blocking =
+      options_.admission_capacity > 0 &&
+      options_.overload_policy == OverloadPolicy::kBlock;
 
   // Per-batch completion latch: a shared pool may carry other callers'
   // tasks, so ThreadPool::Wait() would over-wait here.
@@ -139,16 +225,23 @@ std::vector<PredictionResponse> PredictionService::PredictBatch(
   };
 
   for (const auto& [id, positions] : groups) {
+    if (blocking) AdmitBlocking(positions.size());
     const std::vector<size_t>* group = &positions;
-    Status submitted = pool_->Submit([this, requests, group, &responses,
+    const size_t group_size = positions.size();
+    const bool release = blocking || shedding;
+    Status submitted = pool_->Submit([this, requests, group, group_size,
+                                      release, &responses,
                                       &mark_done]() -> Status {
       ScoreGroup(requests, *group, &responses);
+      if (release) ReleaseAdmission(group_size);
       mark_done();
       return Status::OK();
     });
     if (!submitted.ok()) {
-      // Pool shut down: score inline rather than dropping the group.
+      // Pool shut down under us: score inline rather than dropping the
+      // group.
       ScoreGroup(requests, positions, &responses);
+      if (blocking || shedding) ReleaseAdmission(group_size);
       mark_done();
     }
   }

@@ -1,10 +1,13 @@
 #ifndef VUPRED_SERVE_PREDICTION_SERVICE_H_
 #define VUPRED_SERVE_PREDICTION_SERVICE_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/thread_pool.h"
 #include "pipeline/dataset.h"
 #include "serve/model_registry.h"
@@ -19,20 +22,41 @@ namespace vup::serve {
 /// The dataset is the vehicle's recent feature window; it must outlive the
 /// call and is not modified.
 struct PredictionRequest {
+  PredictionRequest() = default;
+  PredictionRequest(int64_t vehicle_id_in, const VehicleDataset* dataset_in,
+                    size_t target_index_in,
+                    Deadline deadline_in = Deadline())
+      : vehicle_id(vehicle_id_in),
+        dataset(dataset_in),
+        target_index(target_index_in),
+        deadline(deadline_in) {}
+
   int64_t vehicle_id = 0;
   const VehicleDataset* dataset = nullptr;
   size_t target_index = 0;
+  /// Scoring must start before this deadline; expired requests return
+  /// DeadlineExceeded without fetching a model or occupying a pool
+  /// worker. Defaults to no deadline.
+  Deadline deadline;
 };
 
 /// Outcome of one request. `status` is OK when `prediction` is usable;
 /// `degraded` marks predictions served by the Last-Value fallback because
-/// the vehicle has no registered model.
+/// the vehicle has no registered model. Shed requests carry Unavailable,
+/// expired ones DeadlineExceeded.
 struct PredictionResponse {
   int64_t vehicle_id = 0;
   Status status;
   double prediction = 0.0;
   bool degraded = false;
   double latency_seconds = 0.0;
+};
+
+/// What to do with a batch that does not fit the admission queue.
+enum class OverloadPolicy {
+  kBlock = 0,       // Back-pressure: wait for in-flight work to drain.
+  kShedNewest = 1,  // Reject the newest (latest-arriving) excess requests.
+  kShedOldest = 2,  // Reject the oldest requests, prefer fresh work.
 };
 
 /// The online scoring path: stateless request/response layer over a
@@ -42,6 +66,17 @@ struct PredictionResponse {
 /// once, then the groups are scored concurrently on the pool (inline when
 /// no pool is supplied or the pool is shut down). Responses come back in
 /// request order regardless of scheduling.
+///
+/// Overload: with `admission_capacity` > 0 at most that many admitted
+/// requests are queued-or-scoring at once. A batch that does not fit is
+/// handled per `overload_policy`: kBlock applies back-pressure (admission
+/// waits, group by group, for in-flight work to drain; a group larger than
+/// the whole capacity waits for an empty queue, so it always makes
+/// progress); the shed policies decide up front -- deterministically, in
+/// request order -- which requests get the available slots and reject the
+/// rest with Unavailable (counted in ServingStats::shed). The inline path
+/// (no pool, or pool shut down) bypasses admission entirely: inline callers
+/// provide their own back-pressure and nothing is ever dropped there.
 ///
 /// Degradation: when the registry has no bundle for a vehicle and
 /// `degrade_to_baseline` is set, the request is served by the Last-Value
@@ -54,6 +89,11 @@ class PredictionService {
     /// Clamp predictions to the physical range [0, 24] hours (matches the
     /// offline forecaster default).
     bool clamp_predictions = true;
+    /// Maximum admitted (queued or scoring) requests; 0 = unbounded.
+    size_t admission_capacity = 0;
+    OverloadPolicy overload_policy = OverloadPolicy::kBlock;
+    /// Time source for deadline checks; null means Clock::Real().
+    const Clock* clock = nullptr;
   };
 
   /// `registry` must outlive the service; `pool` may be null (inline
@@ -65,10 +105,11 @@ class PredictionService {
   PredictionService(const PredictionService&) = delete;
   PredictionService& operator=(const PredictionService&) = delete;
 
-  /// Scores one request inline.
+  /// Scores one request inline (deadline honored, admission bypassed).
   PredictionResponse Predict(const PredictionRequest& request);
 
-  /// Scores a batch: groups per vehicle, one pool task per group.
+  /// Scores a batch: admission control, then grouping per vehicle and one
+  /// pool task per group.
   std::vector<PredictionResponse> PredictBatch(
       std::span<const PredictionRequest> requests);
 
@@ -79,7 +120,8 @@ class PredictionService {
 
  private:
   /// Scores requests[i] for each i in `positions` (all the same vehicle),
-  /// writing responses[i]. Fetches the model once per call.
+  /// writing responses[i]. Requests whose deadline has expired fail fast;
+  /// the model is fetched once and only if some request is still live.
   void ScoreGroup(std::span<const PredictionRequest> requests,
                   const std::vector<size_t>& positions,
                   std::vector<PredictionResponse>* responses);
@@ -88,10 +130,25 @@ class PredictionService {
                               const Status& model_status,
                               const PredictionRequest& request);
 
+  const Clock& clock() const {
+    return options_.clock != nullptr ? *options_.clock : Clock::Real();
+  }
+
+  /// Blocks until `count` more requests fit the admission queue (kBlock
+  /// policy). Oversized groups are admitted as soon as the queue is empty.
+  void AdmitBlocking(size_t count);
+
+  /// Returns `count` admission slots and wakes blocked admitters.
+  void ReleaseAdmission(size_t count);
+
   ModelRegistry* registry_;
   ThreadPool* pool_;
   Options options_;
   ServingStats stats_;
+
+  std::mutex admission_mu_;
+  std::condition_variable admission_cv_;
+  size_t queued_ = 0;  // Admitted requests not yet finished.
 };
 
 }  // namespace vup::serve

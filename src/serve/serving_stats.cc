@@ -81,12 +81,26 @@ void ServingStats::RecordRequest(double latency_seconds, bool ok,
   if (degraded) ++degraded_;
 }
 
+void ServingStats::RecordShed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++requests_;
+  ++shed_;
+}
+
+void ServingStats::RecordDeadlineExceeded() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++requests_;
+  ++deadline_exceeded_;
+}
+
 ServingStatsSnapshot ServingStats::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   ServingStatsSnapshot snap;
   snap.requests = requests_;
   snap.failures = failures_;
   snap.degraded = degraded_;
+  snap.shed = shed_;
+  snap.deadline_exceeded = deadline_exceeded_;
   snap.in_flight = in_flight_.load(std::memory_order_relaxed);
   snap.p50_seconds = histogram_.Quantile(0.50);
   snap.p95_seconds = histogram_.Quantile(0.95);

@@ -47,6 +47,8 @@ struct ServingStatsSnapshot {
   size_t requests = 0;   // Finished requests (any outcome).
   size_t failures = 0;   // Finished with a non-OK status.
   size_t degraded = 0;   // Served by the baseline fallback.
+  size_t shed = 0;       // Rejected by admission control (Unavailable).
+  size_t deadline_exceeded = 0;  // Expired before scoring started.
   size_t in_flight = 0;  // Currently being scored.
   double p50_seconds = 0.0;
   double p95_seconds = 0.0;
@@ -73,8 +75,16 @@ class ServingStats {
     ServingStats* stats_;
   };
 
-  /// Records one finished request.
+  /// Records one finished (scored) request.
   void RecordRequest(double latency_seconds, bool ok, bool degraded);
+
+  /// Records a request rejected by admission control. Shed requests are
+  /// counted as finished but do not enter the latency histogram: they
+  /// never occupied a scoring slot.
+  void RecordShed();
+
+  /// Records a request whose deadline expired before scoring started.
+  void RecordDeadlineExceeded();
 
   ServingStatsSnapshot Snapshot() const;
 
@@ -87,6 +97,8 @@ class ServingStats {
   size_t requests_ = 0;
   size_t failures_ = 0;
   size_t degraded_ = 0;
+  size_t shed_ = 0;
+  size_t deadline_exceeded_ = 0;
   std::atomic<size_t> in_flight_{0};
 };
 

@@ -1,0 +1,93 @@
+#include "common/clock.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vup {
+namespace {
+
+TEST(ClockTest, RealClockIsMonotonic) {
+  const Clock& clock = Clock::Real();
+  Clock::TimePoint a = clock.Now();
+  Clock::TimePoint b = clock.Now();
+  EXPECT_LE(a, b);
+}
+
+TEST(FakeClockTest, StartsAtGivenInstantAndAdvances) {
+  FakeClock clock(1'000'000);  // 1ms past the steady epoch.
+  EXPECT_EQ(clock.Now().time_since_epoch().count(), 1'000'000);
+  clock.AdvanceMs(5);
+  EXPECT_EQ(clock.Now().time_since_epoch().count(), 6'000'000);
+  clock.Advance(std::chrono::nanoseconds(10));
+  EXPECT_EQ(clock.Now().time_since_epoch().count(), 6'000'010);
+}
+
+TEST(FakeClockTest, ConcurrentReadersSeeMonotonicTime) {
+  FakeClock clock;
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&clock] {
+      int64_t last = 0;
+      for (int i = 0; i < 1000; ++i) {
+        int64_t now = clock.Now().time_since_epoch().count();
+        EXPECT_GE(now, last);
+        last = now;
+      }
+    });
+  }
+  for (int i = 0; i < 1000; ++i) clock.AdvanceMs(1);
+  for (std::thread& t : readers) t.join();
+}
+
+TEST(DeadlineTest, DefaultIsInfiniteAndNeverExpires) {
+  FakeClock clock;
+  Deadline deadline;
+  EXPECT_TRUE(deadline.infinite());
+  clock.AdvanceMs(1'000'000'000);
+  EXPECT_FALSE(deadline.Expired(clock));
+  EXPECT_EQ(deadline, Deadline::Infinite());
+}
+
+TEST(DeadlineTest, ExpiresExactlyAtTheInstant) {
+  FakeClock clock;
+  Deadline deadline = Deadline::AfterMs(clock, 10);
+  EXPECT_FALSE(deadline.Expired(clock));
+  EXPECT_EQ(deadline.RemainingMs(clock), 10);
+  clock.AdvanceMs(9);
+  EXPECT_FALSE(deadline.Expired(clock));
+  clock.AdvanceMs(1);
+  EXPECT_TRUE(deadline.Expired(clock));
+  clock.AdvanceMs(5);
+  EXPECT_TRUE(deadline.Expired(clock));
+  EXPECT_LT(deadline.RemainingMs(clock), 0);
+}
+
+TEST(DeadlineTest, NonPositiveAfterMsIsAlreadyExpired) {
+  FakeClock clock(1'000'000);
+  EXPECT_TRUE(Deadline::AfterMs(clock, 0).Expired(clock));
+  EXPECT_TRUE(Deadline::AfterMs(clock, -5).Expired(clock));
+}
+
+TEST(DeadlineTest, AtEpochZeroIsExpiredForAnyLaterClock) {
+  FakeClock clock(1);
+  EXPECT_TRUE(Deadline::At(Clock::TimePoint{}).Expired(clock));
+}
+
+TEST(DeadlineTest, AggregateRequestStructsStayValid) {
+  // The whole point of the default: a struct gaining a Deadline member
+  // keeps compiling (and means "no deadline") for aggregate initializers
+  // that do not mention it.
+  struct Req {
+    int id = 0;
+    Deadline deadline;
+  };
+  Req req;
+  req.id = 7;
+  EXPECT_TRUE(req.deadline.infinite());
+  EXPECT_EQ(req.deadline, Deadline::Infinite());
+}
+
+}  // namespace
+}  // namespace vup

@@ -24,6 +24,8 @@ TEST(StatusTest, FactoryHelpersSetCodeAndMessage) {
   EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
   EXPECT_TRUE(Status::DataLoss("x").IsDataLoss());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
 
   Status s = Status::InvalidArgument("bad window");
   EXPECT_FALSE(s.ok());
@@ -48,6 +50,21 @@ TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
   EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "DeadlineExceeded");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+}
+
+TEST(StatusTest, OverloadCodesAreDistinct) {
+  // The serving path tells "too late" (deadline) apart from "too busy"
+  // (shed / breaker open); the codes must never alias.
+  Status late = Status::DeadlineExceeded("late");
+  Status busy = Status::Unavailable("busy");
+  EXPECT_FALSE(late == busy);
+  EXPECT_FALSE(late.IsUnavailable());
+  EXPECT_FALSE(busy.IsDeadlineExceeded());
+  EXPECT_EQ(late.ToString(), "DeadlineExceeded: late");
+  EXPECT_EQ(busy.ToString(), "Unavailable: busy");
 }
 
 Status FailIfNegative(int v) {

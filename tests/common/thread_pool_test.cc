@@ -56,6 +56,21 @@ TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
   });
   EXPECT_TRUE(submitted.IsFailedPrecondition());
   EXPECT_FALSE(ran.load());
+  // Repeated rejection is stable: the pool never becomes accepting again.
+  EXPECT_TRUE(pool.Submit([]() -> Status { return Status::OK(); })
+                  .IsFailedPrecondition());
+}
+
+TEST(ThreadPoolTest, AcceptingFlipsExactlyAtShutdown) {
+  ThreadPool pool({2, 8});
+  EXPECT_TRUE(pool.accepting());
+  ASSERT_TRUE(pool.Submit([]() -> Status { return Status::OK(); }).ok());
+  EXPECT_TRUE(pool.Wait().ok());
+  EXPECT_TRUE(pool.accepting());  // Wait does not close the pool.
+  EXPECT_TRUE(pool.Shutdown().ok());
+  EXPECT_FALSE(pool.accepting());
+  EXPECT_TRUE(pool.Shutdown().ok());  // Idempotent.
+  EXPECT_FALSE(pool.accepting());
 }
 
 TEST(ThreadPoolTest, TaskExceptionBecomesStatus) {

@@ -220,5 +220,360 @@ TEST_F(ModelRegistryTest, OpenCreatesDirectory) {
   EXPECT_TRUE(registry.value().ListVehicleIds().empty());
 }
 
+// ---- Circuit breaker ---------------------------------------------------
+
+class ModelRegistryBreakerTest : public ModelRegistryTest {
+ protected:
+  ModelRegistry OpenWithClock(const Clock* clock,
+                              int failure_threshold = 3,
+                              uint64_t jitter_seed = 42) {
+    ModelRegistry::Options opts;
+    opts.directory = dir_;
+    opts.cache_capacity = 4;
+    opts.clock = clock;
+    opts.breaker.failure_threshold = failure_threshold;
+    opts.breaker.jitter_seed = jitter_seed;
+    StatusOr<ModelRegistry> registry = ModelRegistry::Open(std::move(opts));
+    EXPECT_TRUE(registry.ok()) << registry.status().ToString();
+    return std::move(registry.value());
+  }
+
+  void CorruptBundle(const ModelRegistry& registry, int64_t id) {
+    std::ofstream out(registry.BundlePath(id), std::ios::trunc);
+    out << "vupred-forecaster v1\nalgorithm Alien\n";
+  }
+};
+
+TEST_F(ModelRegistryBreakerTest, OpensAfterThresholdAndFailsFast) {
+  FakeClock clock;
+  ModelRegistry registry = OpenWithClock(&clock);
+  ASSERT_TRUE(registry.Publish(9, TrainForecaster(MakeDataset(9))).ok());
+  CorruptBundle(registry, 9);
+
+  for (int i = 0; i < 3; ++i) {
+    Status status = registry.Get(9).status();
+    EXPECT_FALSE(status.ok());
+    EXPECT_FALSE(status.IsUnavailable()) << "attempt " << i;
+  }
+  EXPECT_EQ(registry.breaker_state(9), BreakerState::kOpen);
+  ModelRegistryStats stats = registry.stats();
+  EXPECT_EQ(stats.load_failures, 3u);
+  EXPECT_EQ(stats.breaker_opens, 1u);
+  EXPECT_EQ(stats.breaker_open_vehicles, 1u);
+
+  // While open: fast-fail with Unavailable, no further disk loads.
+  Status fast = registry.Get(9).status();
+  EXPECT_TRUE(fast.IsUnavailable()) << fast.ToString();
+  stats = registry.stats();
+  EXPECT_EQ(stats.load_failures, 3u);
+  EXPECT_EQ(stats.breaker_short_circuits, 1u);
+}
+
+TEST_F(ModelRegistryBreakerTest, HalfOpenProbeReopensOnFailure) {
+  FakeClock clock;
+  ModelRegistry registry = OpenWithClock(&clock);
+  ASSERT_TRUE(registry.Publish(9, TrainForecaster(MakeDataset(9))).ok());
+  CorruptBundle(registry, 9);
+  for (int i = 0; i < 3; ++i) ASSERT_FALSE(registry.Get(9).ok());
+  ASSERT_EQ(registry.breaker_state(9), BreakerState::kOpen);
+
+  // Backoff elapses: the next Get is admitted as the half-open probe, the
+  // bundle is still corrupt, so the breaker re-opens with period 2.
+  clock.AdvanceMs(registry.BreakerBackoffMs(9, 1) + 1);
+  Status probe = registry.Get(9).status();
+  EXPECT_FALSE(probe.ok());
+  EXPECT_FALSE(probe.IsUnavailable());  // The probe really hit the disk.
+  EXPECT_EQ(registry.breaker_state(9), BreakerState::kOpen);
+  ModelRegistryStats stats = registry.stats();
+  EXPECT_EQ(stats.load_failures, 4u);
+  EXPECT_EQ(stats.breaker_opens, 2u);
+
+  // The second open period is longer (exponential schedule): the first
+  // period's advance is not enough to half-open again.
+  EXPECT_TRUE(registry.Get(9).status().IsUnavailable());
+}
+
+TEST_F(ModelRegistryBreakerTest, SuccessfulProbeClosesBreaker) {
+  FakeClock clock;
+  ModelRegistry registry = OpenWithClock(&clock);
+  VehicleDataset ds = MakeDataset(9);
+  VehicleForecaster good = TrainForecaster(ds);
+  ASSERT_TRUE(registry.Publish(9, good).ok());
+  CorruptBundle(registry, 9);
+  for (int i = 0; i < 3; ++i) ASSERT_FALSE(registry.Get(9).ok());
+  ASSERT_EQ(registry.breaker_state(9), BreakerState::kOpen);
+
+  // Repair the bundle behind the registry's back (no Publish, which would
+  // reset the breaker anyway), let the backoff elapse, probe.
+  {
+    std::ofstream out(registry.BundlePath(9), std::ios::trunc);
+    ASSERT_TRUE(good.Save(out).ok());
+  }
+  clock.AdvanceMs(registry.BreakerBackoffMs(9, 1) + 1);
+  StatusOr<std::shared_ptr<const VehicleForecaster>> loaded =
+      registry.Get(9);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(registry.breaker_state(9), BreakerState::kClosed);
+  EXPECT_EQ(registry.stats().breaker_open_vehicles, 0u);
+  EXPECT_DOUBLE_EQ(loaded.value()->PredictTarget(ds, ds.num_days()).value(),
+                   good.PredictTarget(ds, ds.num_days()).value());
+}
+
+TEST_F(ModelRegistryBreakerTest, NotFoundNeverTripsTheBreaker) {
+  FakeClock clock;
+  ModelRegistry registry = OpenWithClock(&clock);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(registry.Get(404).status().IsNotFound());
+  }
+  EXPECT_EQ(registry.breaker_state(404), BreakerState::kClosed);
+  ModelRegistryStats stats = registry.stats();
+  EXPECT_EQ(stats.load_failures, 0u);
+  EXPECT_EQ(stats.breaker_opens, 0u);
+}
+
+TEST_F(ModelRegistryBreakerTest, PublishResetsTheBreaker) {
+  FakeClock clock;
+  ModelRegistry registry = OpenWithClock(&clock);
+  ASSERT_TRUE(registry.Publish(9, TrainForecaster(MakeDataset(9))).ok());
+  CorruptBundle(registry, 9);
+  for (int i = 0; i < 3; ++i) ASSERT_FALSE(registry.Get(9).ok());
+  ASSERT_EQ(registry.breaker_state(9), BreakerState::kOpen);
+
+  // A fresh bundle deserves fresh chances: no clock advance needed.
+  ASSERT_TRUE(registry.Publish(9, TrainForecaster(MakeDataset(9))).ok());
+  EXPECT_EQ(registry.breaker_state(9), BreakerState::kClosed);
+  EXPECT_TRUE(registry.Get(9).ok());
+}
+
+TEST_F(ModelRegistryBreakerTest, BackoffScheduleIsSeededAndJittered) {
+  FakeClock clock;
+  ModelRegistry a = OpenWithClock(&clock, 3, /*jitter_seed=*/7);
+  // Same seed reproduces the exact schedule; the schedule follows the
+  // min(initial * 2^(k-1), max) retry curve within +/-10% jitter.
+  for (int64_t vehicle : {1, 9, 12345}) {
+    int64_t expected_base = 1000;
+    for (int count = 1; count <= 4; ++count) {
+      const int64_t ms = a.BreakerBackoffMs(vehicle, count);
+      EXPECT_EQ(ms, a.BreakerBackoffMs(vehicle, count));
+      EXPECT_GE(ms, expected_base * 9 / 10) << vehicle << "/" << count;
+      EXPECT_LE(ms, expected_base * 11 / 10) << vehicle << "/" << count;
+      expected_base *= 2;
+    }
+  }
+  ModelRegistry b = OpenWithClock(&clock, 3, /*jitter_seed=*/7);
+  ModelRegistry c = OpenWithClock(&clock, 3, /*jitter_seed=*/8);
+  bool any_differs = false;
+  for (int count = 1; count <= 4; ++count) {
+    EXPECT_EQ(a.BreakerBackoffMs(9, count), b.BreakerBackoffMs(9, count));
+    any_differs |=
+        a.BreakerBackoffMs(9, count) != c.BreakerBackoffMs(9, count);
+  }
+  EXPECT_TRUE(any_differs) << "different seeds produced the same schedule";
+}
+
+// ---- Generations -------------------------------------------------------
+
+class ModelRegistryGenerationTest : public ModelRegistryTest {
+ protected:
+  RegistryMeta TestMeta(uint64_t seed = 42) {
+    RegistryMeta meta;
+    meta.fleet_seed = seed;
+    meta.fleet_vehicles = 40;
+    meta.algorithm = "Lasso";
+    return meta;
+  }
+
+  /// Stages, commits and activates one generation holding `vehicle_id`.
+  void CommitGeneration(ModelRegistry& registry, int64_t vehicle_id,
+                        const VehicleForecaster& forecaster,
+                        uint64_t meta_seed = 42) {
+    StatusOr<GenerationPublisher> pub = registry.NewGeneration();
+    ASSERT_TRUE(pub.ok()) << pub.status().ToString();
+    ASSERT_TRUE(pub.value().Add(vehicle_id, forecaster).ok());
+    ASSERT_TRUE(pub.value().Commit(TestMeta(meta_seed)).ok());
+    ASSERT_TRUE(registry.Reload().ok());
+  }
+};
+
+TEST_F(ModelRegistryGenerationTest, CommitFlipsCurrentOnlyOnReload) {
+  ModelRegistry registry = OpenRegistry(4);
+  EXPECT_EQ(registry.active_generation(), 0u);  // Legacy flat layout.
+
+  StatusOr<GenerationPublisher> pub = registry.NewGeneration();
+  ASSERT_TRUE(pub.ok()) << pub.status().ToString();
+  VehicleDataset ds = MakeDataset(1);
+  VehicleForecaster forecaster = TrainForecaster(ds);
+  ASSERT_TRUE(pub.value().Add(1, forecaster).ok());
+
+  // Staged but not committed: invisible to the registry.
+  EXPECT_TRUE(registry.Get(1).status().IsNotFound());
+  ASSERT_TRUE(pub.value().Commit(TestMeta()).ok());
+
+  // Committed but not reloaded: this handle still serves the old fleet.
+  EXPECT_EQ(registry.active_generation(), 0u);
+  EXPECT_TRUE(registry.Get(1).status().IsNotFound());
+
+  ASSERT_TRUE(registry.Reload().ok());
+  EXPECT_EQ(registry.active_generation(), 1u);
+  EXPECT_EQ(registry.ListVehicleIds(), (std::vector<int64_t>{1}));
+  StatusOr<std::shared_ptr<const VehicleForecaster>> loaded =
+      registry.Get(1);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_DOUBLE_EQ(loaded.value()->PredictTarget(ds, ds.num_days()).value(),
+                   forecaster.PredictTarget(ds, ds.num_days()).value());
+  StatusOr<RegistryMeta> meta = registry.ReadMeta();
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta.value(), TestMeta());
+  ModelRegistryStats stats = registry.stats();
+  EXPECT_EQ(stats.reloads, 1u);
+  EXPECT_EQ(stats.generation, 1u);
+}
+
+TEST_F(ModelRegistryGenerationTest, ReloadSwapsFleetButHeldModelsSurvive) {
+  ModelRegistry registry = OpenRegistry(4);
+  VehicleDataset ds_old = MakeDataset(1);
+  VehicleDataset ds_new = MakeDataset(6);  // Different usage level.
+  VehicleForecaster old_model = TrainForecaster(ds_old);
+  VehicleForecaster new_model = TrainForecaster(ds_new);
+  CommitGeneration(registry, 1, old_model, /*meta_seed=*/1);
+
+  StatusOr<std::shared_ptr<const VehicleForecaster>> held =
+      registry.Get(1);
+  ASSERT_TRUE(held.ok());
+
+  CommitGeneration(registry, 1, new_model, /*meta_seed=*/2);
+  EXPECT_EQ(registry.active_generation(), 2u);
+  EXPECT_EQ(registry.stats().reloads, 2u);
+  EXPECT_EQ(registry.ReadMeta().value().fleet_seed, 2u);
+
+  StatusOr<std::shared_ptr<const VehicleForecaster>> swapped =
+      registry.Get(1);
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_DOUBLE_EQ(
+      swapped.value()->PredictTarget(ds_new, ds_new.num_days()).value(),
+      new_model.PredictTarget(ds_new, ds_new.num_days()).value());
+  // The shared_ptr from the outgoing generation keeps scoring.
+  EXPECT_DOUBLE_EQ(
+      held.value()->PredictTarget(ds_old, ds_old.num_days()).value(),
+      old_model.PredictTarget(ds_old, ds_old.num_days()).value());
+}
+
+TEST_F(ModelRegistryGenerationTest, ReloadIsANoOpWhenCurrentUnchanged) {
+  ModelRegistry registry = OpenRegistry(4);
+  CommitGeneration(registry, 1, TrainForecaster(MakeDataset(1)));
+  ASSERT_TRUE(registry.Get(1).ok());  // Now resident.
+  ASSERT_TRUE(registry.Reload().ok());
+  EXPECT_EQ(registry.stats().reloads, 1u);        // Only the first swap.
+  EXPECT_EQ(registry.resident_models(), 1u);       // Cache kept.
+}
+
+TEST_F(ModelRegistryGenerationTest, AbandonedPublisherLeavesNoTrace) {
+  ModelRegistry registry = OpenRegistry(4);
+  CommitGeneration(registry, 1, TrainForecaster(MakeDataset(1)));
+  {
+    StatusOr<GenerationPublisher> pub = registry.NewGeneration();
+    ASSERT_TRUE(pub.ok());
+    ASSERT_TRUE(
+        pub.value().Add(2, TrainForecaster(MakeDataset(2))).ok());
+    EXPECT_TRUE(std::filesystem::is_directory(pub.value().staging_dir()));
+    // Destroyed without Commit.
+  }
+  ASSERT_TRUE(registry.Reload().ok());
+  EXPECT_EQ(registry.active_generation(), 1u);
+  EXPECT_EQ(registry.ListVehicleIds(), (std::vector<int64_t>{1}));
+  // No staging directory survives.
+  for (const auto& entry :
+       std::filesystem::directory_iterator(registry.directory())) {
+    EXPECT_EQ(entry.path().filename().string().find(".staging"),
+              std::string::npos)
+        << entry.path();
+  }
+}
+
+TEST_F(ModelRegistryGenerationTest, ReloadRejectsGarbageCurrent) {
+  ModelRegistry registry = OpenRegistry(4);
+  VehicleDataset ds = MakeDataset(1);
+  CommitGeneration(registry, 1, TrainForecaster(ds));
+
+  // CURRENT pointing at a missing generation: Reload fails, the old
+  // generation keeps serving.
+  {
+    std::ofstream out(registry.directory() + "/CURRENT", std::ios::trunc);
+    out << "gen_009999\n";
+  }
+  EXPECT_FALSE(registry.Reload().ok());
+  EXPECT_EQ(registry.active_generation(), 1u);
+  EXPECT_TRUE(registry.Get(1).ok());
+
+  // CURRENT holding garbage text: same story.
+  {
+    std::ofstream out(registry.directory() + "/CURRENT", std::ios::trunc);
+    out << "../../../etc/passwd\n";
+  }
+  EXPECT_FALSE(registry.Reload().ok());
+  EXPECT_EQ(registry.active_generation(), 1u);
+}
+
+TEST_F(ModelRegistryGenerationTest, ReloadRejectsTornGeneration) {
+  ModelRegistry registry = OpenRegistry(4);
+  CommitGeneration(registry, 1, TrainForecaster(MakeDataset(1)));
+
+  // Simulate a publisher killed after creating the directory but before
+  // the meta (the completeness marker) was written -- then a corrupted
+  // CURRENT pointing at it.
+  const std::string torn = registry.directory() + "/gen_000007";
+  std::filesystem::create_directories(torn);
+  {
+    std::ofstream out(torn + "/vehicle_2.fcst");
+    out << "half a bundle";
+  }
+  {
+    std::ofstream out(registry.directory() + "/CURRENT", std::ios::trunc);
+    out << "gen_000007\n";
+  }
+  Status reloaded = registry.Reload();
+  EXPECT_FALSE(reloaded.ok());
+  EXPECT_EQ(registry.active_generation(), 1u);
+  EXPECT_EQ(registry.ListVehicleIds(), (std::vector<int64_t>{1}));
+}
+
+TEST_F(ModelRegistryGenerationTest, PruneKeepsActiveAndNewest) {
+  ModelRegistry registry = OpenRegistry(4);
+  for (uint64_t g = 1; g <= 3; ++g) {
+    CommitGeneration(registry, static_cast<int64_t>(g),
+                     TrainForecaster(MakeDataset(static_cast<int64_t>(g))),
+                     /*meta_seed=*/g);
+  }
+  ASSERT_EQ(registry.active_generation(), 3u);
+
+  ASSERT_TRUE(registry.PruneGenerations(1).ok());
+  EXPECT_FALSE(
+      std::filesystem::exists(registry.directory() + "/gen_000001"));
+  EXPECT_TRUE(
+      std::filesystem::exists(registry.directory() + "/gen_000002"));
+  EXPECT_TRUE(
+      std::filesystem::exists(registry.directory() + "/gen_000003"));
+
+  ASSERT_TRUE(registry.PruneGenerations(0).ok());
+  EXPECT_FALSE(
+      std::filesystem::exists(registry.directory() + "/gen_000002"));
+  // The active generation is never pruned.
+  EXPECT_TRUE(
+      std::filesystem::exists(registry.directory() + "/gen_000003"));
+  EXPECT_TRUE(registry.Get(3).ok());
+}
+
+TEST_F(ModelRegistryGenerationTest, OpenResolvesCurrentGeneration) {
+  {
+    ModelRegistry registry = OpenRegistry(4);
+    CommitGeneration(registry, 1, TrainForecaster(MakeDataset(1)));
+  }
+  // A fresh handle on the same directory starts on the committed
+  // generation, not the flat root.
+  ModelRegistry reopened = OpenRegistry(4);
+  EXPECT_EQ(reopened.active_generation(), 1u);
+  EXPECT_EQ(reopened.ListVehicleIds(), (std::vector<int64_t>{1}));
+}
+
 }  // namespace
 }  // namespace vup::serve

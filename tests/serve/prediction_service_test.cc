@@ -199,5 +199,201 @@ TEST_F(PredictionServiceTest, ShutDownPoolFallsBackToInlineScoring) {
             originals_.at(2).PredictTarget(ds, ds.num_days()).value());
 }
 
+TEST_F(PredictionServiceTest,
+       ShutDownPoolScoresWholeMultiVehicleBatchInline) {
+  // Even with admission control configured tighter than the batch, a
+  // service over a dead pool must score everything inline: inline callers
+  // provide their own back-pressure, nothing may be shed or dropped.
+  ThreadPool pool({2, 8});
+  ASSERT_TRUE(pool.Shutdown().ok());
+  PredictionService::Options options;
+  options.admission_capacity = 2;
+  options.overload_policy = OverloadPolicy::kShedNewest;
+  PredictionService service(registry_.get(), &pool, options);
+
+  std::vector<PredictionRequest> requests;
+  for (int round = 0; round < 4; ++round) {
+    for (int64_t id : {1, 2, 3}) {
+      const VehicleDataset& ds = datasets_.at(id);
+      requests.push_back({id, &ds, ds.num_days()});
+    }
+  }
+  std::vector<PredictionResponse> responses =
+      service.PredictBatch(requests);
+  ASSERT_EQ(responses.size(), requests.size());
+  for (size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_TRUE(responses[i].status.ok())
+        << i << ": " << responses[i].status.ToString();
+    EXPECT_EQ(responses[i].prediction,
+              originals_.at(requests[i].vehicle_id)
+                  .PredictTarget(*requests[i].dataset,
+                                 requests[i].target_index)
+                  .value());
+  }
+  ServingStatsSnapshot stats = service.stats();
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.requests, requests.size());
+}
+
+TEST_F(PredictionServiceTest, ExpiredDeadlineFailsFastWithoutScoring) {
+  FakeClock clock(1'000'000);
+  PredictionService::Options options;
+  options.clock = &clock;
+  PredictionService service(registry_.get(), nullptr, options);
+  const VehicleDataset& ds = datasets_.at(1);
+
+  PredictionRequest live{1, &ds, ds.num_days()};
+  live.deadline = Deadline::AfterMs(clock, 50);
+  PredictionResponse resp = service.Predict(live);
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+
+  clock.AdvanceMs(50);  // The same deadline is now expired.
+  resp = service.Predict(live);
+  EXPECT_TRUE(resp.status.IsDeadlineExceeded()) << resp.status.ToString();
+  ServingStatsSnapshot stats = service.stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.requests, 2u);
+}
+
+TEST_F(PredictionServiceTest, ExpiredRequestsSkipModelFetchInBatch) {
+  FakeClock clock(1'000'000);
+  ThreadPool pool({2, 32});
+  PredictionService::Options options;
+  options.clock = &clock;
+  PredictionService service(registry_.get(), &pool, options);
+
+  const VehicleDataset& ds = datasets_.at(1);
+  std::vector<PredictionRequest> requests;
+  for (int i = 0; i < 6; ++i) {
+    PredictionRequest req{1, &ds, ds.num_days()};
+    if (i % 2 == 0) req.deadline = Deadline::At(Clock::TimePoint{});
+    requests.push_back(req);
+  }
+  std::vector<PredictionResponse> responses =
+      service.PredictBatch(requests);
+  ASSERT_EQ(responses.size(), 6u);
+  for (size_t i = 0; i < responses.size(); ++i) {
+    if (i % 2 == 0) {
+      EXPECT_TRUE(responses[i].status.IsDeadlineExceeded()) << i;
+    } else {
+      EXPECT_TRUE(responses[i].status.ok())
+          << i << ": " << responses[i].status.ToString();
+    }
+    EXPECT_EQ(responses[i].vehicle_id, 1);
+  }
+  EXPECT_EQ(service.stats().deadline_exceeded, 3u);
+  EXPECT_TRUE(pool.Shutdown().ok());
+}
+
+TEST_F(PredictionServiceTest, ShedNewestDropsTheTailDeterministically) {
+  ThreadPool pool({2, 32});
+  PredictionService::Options options;
+  options.admission_capacity = 4;
+  options.overload_policy = OverloadPolicy::kShedNewest;
+  PredictionService service(registry_.get(), &pool, options);
+
+  std::vector<PredictionRequest> requests;
+  for (int64_t id : {1, 2, 3, 1, 2, 3, 1}) {  // 7 requests, capacity 4.
+    const VehicleDataset& ds = datasets_.at(id);
+    requests.push_back({id, &ds, ds.num_days()});
+  }
+  for (int run = 0; run < 2; ++run) {  // Identical shed set both runs.
+    std::vector<PredictionResponse> responses =
+        service.PredictBatch(requests);
+    ASSERT_EQ(responses.size(), 7u);
+    for (size_t i = 0; i < 4; ++i) {
+      EXPECT_TRUE(responses[i].status.ok())
+          << i << ": " << responses[i].status.ToString();
+    }
+    for (size_t i = 4; i < 7; ++i) {
+      EXPECT_TRUE(responses[i].status.IsUnavailable()) << i;
+      EXPECT_EQ(responses[i].vehicle_id, requests[i].vehicle_id);
+    }
+  }
+  EXPECT_EQ(service.stats().shed, 6u);
+  EXPECT_TRUE(pool.Shutdown().ok());
+}
+
+TEST_F(PredictionServiceTest, ShedOldestDropsTheHeadDeterministically) {
+  ThreadPool pool({2, 32});
+  PredictionService::Options options;
+  options.admission_capacity = 4;
+  options.overload_policy = OverloadPolicy::kShedOldest;
+  PredictionService service(registry_.get(), &pool, options);
+
+  std::vector<PredictionRequest> requests;
+  for (int64_t id : {1, 2, 3, 1, 2, 3, 1}) {
+    const VehicleDataset& ds = datasets_.at(id);
+    requests.push_back({id, &ds, ds.num_days()});
+  }
+  std::vector<PredictionResponse> responses =
+      service.PredictBatch(requests);
+  ASSERT_EQ(responses.size(), 7u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(responses[i].status.IsUnavailable()) << i;
+  }
+  for (size_t i = 3; i < 7; ++i) {
+    EXPECT_TRUE(responses[i].status.ok())
+        << i << ": " << responses[i].status.ToString();
+  }
+  EXPECT_EQ(service.stats().shed, 3u);
+  EXPECT_TRUE(pool.Shutdown().ok());
+}
+
+TEST_F(PredictionServiceTest, BlockPolicyFinishesBatchesLargerThanCapacity) {
+  // kBlock applies back-pressure instead of shedding: every request of a
+  // batch several times the admission capacity is eventually scored --
+  // including single groups larger than the whole capacity.
+  ThreadPool pool({2, 32});
+  PredictionService::Options options;
+  options.admission_capacity = 3;
+  options.overload_policy = OverloadPolicy::kBlock;
+  PredictionService service(registry_.get(), &pool, options);
+
+  std::vector<PredictionRequest> requests;
+  for (int i = 0; i < 8; ++i) {  // One group of 8 > capacity 3.
+    const VehicleDataset& ds = datasets_.at(1);
+    requests.push_back({1, &ds, ds.num_days()});
+  }
+  for (int64_t id : {2, 3, 2, 3, 2, 3}) {  // Plus smaller groups.
+    const VehicleDataset& ds = datasets_.at(id);
+    requests.push_back({id, &ds, ds.num_days()});
+  }
+  std::vector<PredictionResponse> responses =
+      service.PredictBatch(requests);
+  ASSERT_EQ(responses.size(), requests.size());
+  for (size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_TRUE(responses[i].status.ok())
+        << i << ": " << responses[i].status.ToString();
+  }
+  ServingStatsSnapshot stats = service.stats();
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.requests, requests.size());
+  EXPECT_TRUE(pool.Shutdown().ok());
+}
+
+TEST_F(PredictionServiceTest, ShedRespondsWithoutTouchingTheRegistry) {
+  ThreadPool pool({2, 32});
+  PredictionService::Options options;
+  options.admission_capacity = 1;
+  options.overload_policy = OverloadPolicy::kShedNewest;
+  PredictionService service(registry_.get(), &pool, options);
+
+  const size_t misses_before = registry_->stats().misses;
+  std::vector<PredictionRequest> requests;
+  for (int64_t id : {1, 2, 3}) {  // Only the first fits.
+    const VehicleDataset& ds = datasets_.at(id);
+    requests.push_back({id, &ds, ds.num_days()});
+  }
+  std::vector<PredictionResponse> responses =
+      service.PredictBatch(requests);
+  EXPECT_TRUE(responses[0].status.ok());
+  EXPECT_TRUE(responses[1].status.IsUnavailable());
+  EXPECT_TRUE(responses[2].status.IsUnavailable());
+  // Shed requests never reached the registry: exactly one model load.
+  EXPECT_EQ(registry_->stats().misses, misses_before + 1);
+  EXPECT_TRUE(pool.Shutdown().ok());
+}
+
 }  // namespace
 }  // namespace vup::serve

@@ -173,12 +173,18 @@ TEST(CliTest, FleetJobsOutputByteIdentical) {
       "fleet --vehicles=20 --max-vehicles=3 --eval-days=10 ";
   std::string serial = dir + "/fleet_j1.txt";
   std::string parallel = dir + "/fleet_j4.txt";
+  std::string auto_jobs = dir + "/fleet_j0.txt";
   ASSERT_EQ(RunCli(base + "--jobs=1", serial), 0);
   ASSERT_EQ(RunCli(base + "--jobs=4", parallel), 0);
   std::string serial_text = ReadFile(serial);
   ASSERT_FALSE(serial_text.empty());
   EXPECT_EQ(serial_text, ReadFile(parallel));
-  EXPECT_EQ(CliExitCode("fleet --jobs=0"), 2);
+  // --jobs=0 means auto-size to the hardware; the report must stay
+  // byte-identical whatever width auto picks.
+  ASSERT_EQ(RunCli(base + "--jobs=0", auto_jobs), 0);
+  EXPECT_EQ(serial_text, ReadFile(auto_jobs));
+  // Negative widths are still a usage error.
+  EXPECT_EQ(CliExitCode("fleet --jobs=-1"), 2);
 }
 
 TEST(CliTest, PublishThenServeBench) {
@@ -187,7 +193,13 @@ TEST(CliTest, PublishThenServeBench) {
   ASSERT_EQ(RunCli("publish --out=" + registry +
                    " --vehicles=10 --max-vehicles=2 --train-days=120"),
             0);
-  ASSERT_FALSE(ReadFile(registry + "/registry_meta.txt").empty());
+  // Publish commits an immutable generation and flips CURRENT at it; the
+  // meta lives inside the generation directory, not the registry root.
+  std::string current = ReadFile(registry + "/CURRENT");
+  ASSERT_NE(current.find("gen_"), std::string::npos);
+  std::string gen_dir =
+      registry + "/" + current.substr(0, current.find('\n'));
+  EXPECT_FALSE(ReadFile(gen_dir + "/registry_meta.txt").empty());
 
   std::string report = dir + "/serve_bench.txt";
   std::string json = dir + "/BENCH_serve.json";
@@ -208,6 +220,53 @@ TEST(CliTest, PublishThenServeBench) {
 
   // Against a directory that is not a registry, fail cleanly.
   EXPECT_EQ(CliExitCode("serve-bench --registry=" + dir), 1);
+}
+
+/// Value of a `"name": <number>` field in a flat JSON report.
+std::string JsonField(const std::string& json, const std::string& name) {
+  std::string needle = "\"" + name + "\":";
+  size_t at = json.find(needle);
+  if (at == std::string::npos) return "<missing:" + name + ">";
+  size_t start = at + needle.size();
+  size_t end = json.find_first_of(",\n", start);
+  return json.substr(start, end - start);
+}
+
+TEST(CliTest, ServeBenchOverloadIsSeededAndDeterministic) {
+  std::string dir = TempDir();
+  std::string registry = dir + "/overload_registry";
+  ASSERT_EQ(RunCli("publish --out=" + registry +
+                   " --vehicles=10 --max-vehicles=3 --train-days=120"),
+            0);
+
+  // Offered load far above pool capacity with a tight admission queue:
+  // the bench must report nonzero shed and deadline-exceeded counts, and
+  // two same-seed runs must agree on every outcome counter (latencies are
+  // real time and may differ).
+  std::string args = "serve-bench --registry=" + registry +
+                     " --workers=2 --batch=64 --requests=512 --overload" +
+                     " --overload-seed=7 --deadline-ms=50 --admission=8" +
+                     " --shed-policy=shed-newest";
+  std::string json_a = dir + "/overload_a.json";
+  std::string json_b = dir + "/overload_b.json";
+  ASSERT_EQ(RunCli(args + " --json=" + json_a, dir + "/overload_a.txt"), 0);
+  ASSERT_EQ(RunCli(args + " --json=" + json_b, dir + "/overload_b.txt"), 0);
+
+  std::string a = ReadFile(json_a);
+  std::string b = ReadFile(json_b);
+  EXPECT_NE(JsonField(a, "shed"), " 0");
+  EXPECT_NE(JsonField(a, "deadline_exceeded"), " 0");
+  EXPECT_EQ(JsonField(a, "overload"), " true");
+  for (const char* field :
+       {"requests", "ok", "degraded", "failed", "shed",
+        "deadline_exceeded", "generation", "reloads"}) {
+    EXPECT_EQ(JsonField(a, field), JsonField(b, field)) << field;
+  }
+
+  // An unknown shed policy is a usage error.
+  EXPECT_EQ(CliExitCode("serve-bench --registry=" + registry +
+                        " --overload --shed-policy=coin-flip"),
+            2);
 }
 
 }  // namespace

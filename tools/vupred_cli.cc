@@ -22,8 +22,10 @@
 #include <map>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -132,61 +134,6 @@ ForecasterConfig MakeForecasterConfig(const Flags& flags) {
       static_cast<size_t>(flags.GetInt("lookback", 60));
   cfg.selection.top_k = static_cast<size_t>(flags.GetInt("topk", 15));
   return cfg;
-}
-
-// ---- Serving registry metadata ---------------------------------------
-//
-// `publish` records how its fleet was generated so `serve-bench` can
-// rebuild byte-identical datasets from the registry directory alone.
-
-constexpr const char* kRegistryMetaFile = "registry_meta.txt";
-constexpr const char* kRegistryMetaMagic = "vupred-registry v1";
-
-struct RegistryMeta {
-  uint64_t fleet_seed = 42;
-  size_t fleet_vehicles = 40;
-  std::string algorithm = "Lasso";
-};
-
-Status WriteRegistryMeta(const std::string& dir, const RegistryMeta& meta) {
-  std::ofstream out(dir + "/" + kRegistryMetaFile, std::ios::trunc);
-  if (!out) {
-    return Status::Internal("cannot write registry meta in " + dir);
-  }
-  out << kRegistryMetaMagic << "\n";
-  out << "fleet_seed " << meta.fleet_seed << "\n";
-  out << "fleet_vehicles " << meta.fleet_vehicles << "\n";
-  out << "algorithm " << meta.algorithm << "\n";
-  if (!out) return Status::DataLoss("registry meta write failed");
-  return Status::OK();
-}
-
-StatusOr<RegistryMeta> ReadRegistryMeta(const std::string& dir) {
-  std::ifstream in(dir + "/" + kRegistryMetaFile);
-  if (!in) {
-    return Status::NotFound("no " + std::string(kRegistryMetaFile) +
-                            " in " + dir + " (did `vupred publish` run?)");
-  }
-  std::string line;
-  if (!std::getline(in, line) || Trim(line) != kRegistryMetaMagic) {
-    return Status::InvalidArgument("not a vupred-registry v1 meta file");
-  }
-  RegistryMeta meta;
-  while (std::getline(in, line)) {
-    std::vector<std::string> tokens = Split(std::string(Trim(line)), ' ');
-    if (tokens.size() != 2) continue;
-    if (tokens[0] == "fleet_seed") {
-      VUP_ASSIGN_OR_RETURN(long long v, ParseInt(tokens[1]));
-      meta.fleet_seed = static_cast<uint64_t>(v);
-    } else if (tokens[0] == "fleet_vehicles") {
-      VUP_ASSIGN_OR_RETURN(long long v, ParseInt(tokens[1]));
-      if (v <= 0) return Status::InvalidArgument("fleet_vehicles <= 0");
-      meta.fleet_vehicles = static_cast<size_t>(v);
-    } else if (tokens[0] == "algorithm") {
-      meta.algorithm = tokens[1];
-    }
-  }
-  return meta;
 }
 
 // ---- Commands ---------------------------------------------------------
@@ -325,10 +272,18 @@ int RunFleet(const Flags& flags) {
     return 2;
   }
   int64_t jobs = flags.GetInt("jobs", 1);
-  if (jobs <= 0) {
-    std::fprintf(stderr, "error: --jobs must be positive, got %lld\n",
+  if (jobs < 0) {
+    std::fprintf(stderr,
+                 "error: --jobs must be >= 0 (0 = auto), got %lld\n",
                  static_cast<long long>(jobs));
     return 2;
+  }
+  if (jobs == 0) {
+    // Auto: one job per hardware thread, capped so a many-core box does
+    // not oversubscribe the small demo fleets this command runs on.
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs = std::clamp<int64_t>(hw == 0 ? 1 : static_cast<int64_t>(hw), 1,
+                               16);
   }
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   Fleet fleet =
@@ -376,7 +331,7 @@ int RunFleet(const Flags& flags) {
 
 int RunPublish(const Flags& flags) {
   const std::string out_dir = flags.Get("out", "");
-  RegistryMeta meta;
+  serve::RegistryMeta meta;
   meta.fleet_seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   meta.fleet_vehicles =
       static_cast<size_t>(flags.GetInt("vehicles", 40));
@@ -408,9 +363,19 @@ int RunPublish(const Flags& flags) {
       static_cast<size_t>(flags.GetInt("lookback", 21));
   cfg.selection.top_k = static_cast<size_t>(flags.GetInt("topk", 7));
 
+  serve::ModelRegistry::Options reg_opts;
+  reg_opts.directory = out_dir;
+  reg_opts.cache_capacity = 0;
   StatusOr<serve::ModelRegistry> registry =
-      serve::ModelRegistry::Open({out_dir, /*cache_capacity=*/0});
+      serve::ModelRegistry::Open(std::move(reg_opts));
   if (!registry.ok()) return Fail(registry.status());
+
+  // Bundles are staged into a fresh generation, made live by a single
+  // atomic CURRENT flip: a publish killed mid-run leaves any previously
+  // published fleet untouched.
+  StatusOr<serve::GenerationPublisher> publisher =
+      registry.value().NewGeneration();
+  if (!publisher.ok()) return Fail(publisher.status());
 
   size_t published = 0;
   for (size_t index : selected) {
@@ -431,19 +396,32 @@ int RunPublish(const Flags& flags) {
                    trained.ToString().c_str());
       continue;
     }
-    Status stored = registry.value().Publish(id, forecaster);
+    Status stored = publisher.value().Add(id, forecaster);
     if (!stored.ok()) return Fail(stored);
     ++published;
   }
   if (published == 0) {
     return Fail(Status::Internal("no vehicle model could be trained"));
   }
-  Status meta_written = WriteRegistryMeta(out_dir, meta);
-  if (!meta_written.ok()) return Fail(meta_written);
-  std::printf("published %zu/%zu model bundles (%s) to %s\n", published,
-              selected.size(),
+  Status committed = publisher.value().Commit(meta);
+  if (!committed.ok()) return Fail(committed);
+  // Pick the committed generation up before pruning, so the prune keeps
+  // the fleet that was just made live.
+  Status reloaded = registry.value().Reload();
+  if (!reloaded.ok()) return Fail(reloaded);
+  const long long keep = flags.GetInt("keep-generations", 2);
+  if (keep >= 0) {
+    Status pruned = registry.value().PruneGenerations(
+        static_cast<size_t>(keep));
+    if (!pruned.ok()) return Fail(pruned);
+  }
+  std::printf("published %zu/%zu model bundles (%s) to %s as %s\n",
+              published, selected.size(),
               std::string(AlgorithmToString(cfg.algorithm)).c_str(),
-              out_dir.c_str());
+              out_dir.c_str(),
+              serve::ModelRegistry::GenerationDirName(
+                  publisher.value().number())
+                  .c_str());
   return 0;
 }
 
@@ -461,12 +439,52 @@ int RunServeBench(const Flags& flags) {
       static_cast<uint64_t>(flags.GetInt("stream-seed", 7));
   const std::string json_path = flags.Get("json", "BENCH_serve.json");
 
-  StatusOr<RegistryMeta> meta = ReadRegistryMeta(dir);
+  // Overload mode: offered load exceeds the admission capacity, a seeded
+  // slice of the stream arrives with already-expired deadlines, and the
+  // registry is Reload()ed mid-run. Time is a FakeClock, so shed and
+  // deadline-exceeded counts are a pure function of the seeds: two runs
+  // with the same flags produce identical counters.
+  const bool overload = flags.Has("overload");
+  const uint64_t overload_seed =
+      static_cast<uint64_t>(flags.GetInt("overload-seed", 7));
+  const long long deadline_ms = flags.GetInt("deadline-ms", 50);
+  const size_t default_admission =
+      overload ? std::max<size_t>(batch / 4, 1) : 0;
+  const size_t admission = static_cast<size_t>(std::max<long long>(
+      flags.GetInt("admission",
+                   static_cast<long long>(default_admission)),
+      0));
+  const std::string policy_name =
+      flags.Get("shed-policy", overload ? "shed-newest" : "block");
+  serve::OverloadPolicy policy;
+  if (policy_name == "block") {
+    policy = serve::OverloadPolicy::kBlock;
+  } else if (policy_name == "shed-newest") {
+    policy = serve::OverloadPolicy::kShedNewest;
+  } else if (policy_name == "shed-oldest") {
+    policy = serve::OverloadPolicy::kShedOldest;
+  } else {
+    std::fprintf(stderr,
+                 "unknown --shed-policy=%s "
+                 "(block|shed-newest|shed-oldest)\n",
+                 policy_name.c_str());
+    return 2;
+  }
+
+  // Starts at 1ms so an epoch-zero deadline is already expired.
+  FakeClock fake_clock(1'000'000);
+
+  serve::ModelRegistry::Options reg_opts;
+  reg_opts.directory = dir;
+  reg_opts.cache_capacity = cache;
+  if (overload) reg_opts.clock = &fake_clock;
+  StatusOr<serve::ModelRegistry> registry =
+      serve::ModelRegistry::Open(std::move(reg_opts));
+  if (!registry.ok()) return Fail(registry.status());
+
+  StatusOr<serve::RegistryMeta> meta = registry.value().ReadMeta();
   if (!meta.ok()) return Fail(meta.status());
 
-  StatusOr<serve::ModelRegistry> registry =
-      serve::ModelRegistry::Open({dir, cache});
-  if (!registry.ok()) return Fail(registry.status());
   std::vector<int64_t> ids = registry.value().ListVehicleIds();
   if (ids.empty()) {
     return Fail(Status::NotFound("registry holds no model bundles: " + dir));
@@ -495,8 +513,11 @@ int RunServeBench(const Flags& flags) {
   }
 
   // Deterministic request stream: random vehicle, target in the trailing
-  // month (one-step-ahead included).
+  // month (one-step-ahead included). In overload mode a seeded ~10% slice
+  // arrives already expired (deadline in the past), the rest carry
+  // --deadline-ms against the fake clock.
   Rng rng(stream_seed);
+  Rng overload_rng(overload_seed);
   std::vector<serve::PredictionRequest> stream;
   stream.reserve(num_requests);
   for (size_t r = 0; r < num_requests; ++r) {
@@ -507,15 +528,35 @@ int RunServeBench(const Flags& flags) {
     req.dataset = ds;
     req.target_index =
         ds->num_days() - static_cast<size_t>(rng.UniformInt(0, 29));
+    if (overload) {
+      req.deadline =
+          overload_rng.UniformInt(0, 9) == 0
+              ? Deadline::At(Clock::TimePoint{})  // Expired on arrival.
+              : Deadline::AfterMs(fake_clock, deadline_ms);
+    }
     stream.push_back(req);
   }
 
   ThreadPool pool({workers, /*queue_capacity=*/4096});
-  serve::PredictionService service(&registry.value(), &pool);
+  serve::PredictionService::Options service_opts;
+  service_opts.admission_capacity = admission;
+  service_opts.overload_policy = policy;
+  if (overload) service_opts.clock = &fake_clock;
+  serve::PredictionService service(&registry.value(), &pool,
+                                   service_opts);
 
   size_t ok = 0, degraded = 0, failed = 0;
+  size_t reload_errors = 0;
+  const size_t num_batches = (stream.size() + batch - 1) / batch;
+  size_t batch_index = 0;
   const auto start = std::chrono::steady_clock::now();
-  for (size_t at = 0; at < stream.size(); at += batch) {
+  for (size_t at = 0; at < stream.size(); at += batch, ++batch_index) {
+    if (overload && batch_index == num_batches / 2) {
+      // Hot-swap while traffic is in flight: a no-op when CURRENT did not
+      // move, but proves Reload never disturbs concurrent scoring.
+      Status reloaded = registry.value().Reload();
+      if (!reloaded.ok()) ++reload_errors;
+    }
     const size_t take = std::min(batch, stream.size() - at);
     std::vector<serve::PredictionResponse> responses = service.PredictBatch(
         std::span<const serve::PredictionRequest>(&stream[at], take));
@@ -546,8 +587,11 @@ int RunServeBench(const Flags& flags) {
   StatusOr<double> offline_pred =
       offline.value().PredictTarget(*sample_ds, sample_target);
   if (!offline_pred.ok()) return Fail(offline_pred.status());
-  serve::PredictionResponse served = service.Predict(
-      {sample_id, sample_ds, sample_target});
+  serve::PredictionRequest sample_request;
+  sample_request.vehicle_id = sample_id;
+  sample_request.dataset = sample_ds;
+  sample_request.target_index = sample_target;
+  serve::PredictionResponse served = service.Predict(sample_request);
   if (!served.status.ok()) return Fail(served.status);
   if (served.prediction != offline_pred.value()) {
     return Fail(Status::Internal(StrFormat(
@@ -559,14 +603,25 @@ int RunServeBench(const Flags& flags) {
   const serve::ServingStatsSnapshot stats = service.stats();
   const serve::ModelRegistryStats reg_stats = registry.value().stats();
   std::printf("serve-bench: registry=%s models=%zu workers=%zu batch=%zu "
-              "requests=%zu\n",
-              dir.c_str(), ids.size(), workers, batch, num_requests);
+              "requests=%zu generation=%llu\n",
+              dir.c_str(), ids.size(), workers, batch, num_requests,
+              static_cast<unsigned long long>(reg_stats.generation));
   std::printf("throughput=%.0f req/s wall=%.3fs\n", rps, wall);
   std::printf("latency: p50=%.3fms p95=%.3fms p99=%.3fms\n",
               stats.p50_seconds * 1e3, stats.p95_seconds * 1e3,
               stats.p99_seconds * 1e3);
   std::printf("outcomes: ok=%zu degraded=%zu failed=%zu in-flight=%zu\n",
               ok, degraded, failed, stats.in_flight);
+  if (overload) {
+    std::printf("overload: admission=%zu policy=%s shed=%zu "
+                "deadline-exceeded=%zu reloads=%zu reload-errors=%zu\n",
+                admission, policy_name.c_str(), stats.shed,
+                stats.deadline_exceeded, reg_stats.reloads,
+                reload_errors);
+    std::printf("breaker: opens=%zu short-circuits=%zu open-vehicles=%zu\n",
+                reg_stats.breaker_opens, reg_stats.breaker_short_circuits,
+                reg_stats.breaker_open_vehicles);
+  }
   std::printf("cache: hits=%zu misses=%zu evictions=%zu resident=%zu\n",
               reg_stats.hits, reg_stats.misses, reg_stats.evictions,
               registry.value().resident_models());
@@ -593,6 +648,15 @@ int RunServeBench(const Flags& flags) {
       "  \"ok\": %zu,\n"
       "  \"degraded\": %zu,\n"
       "  \"failed\": %zu,\n"
+      "  \"overload\": %s,\n"
+      "  \"admission_capacity\": %zu,\n"
+      "  \"shed_policy\": \"%s\",\n"
+      "  \"shed\": %zu,\n"
+      "  \"deadline_exceeded\": %zu,\n"
+      "  \"breaker_opens\": %zu,\n"
+      "  \"breaker_short_circuits\": %zu,\n"
+      "  \"generation\": %llu,\n"
+      "  \"reloads\": %zu,\n"
       "  \"cache_hits\": %zu,\n"
       "  \"cache_misses\": %zu,\n"
       "  \"cache_evictions\": %zu,\n"
@@ -600,8 +664,13 @@ int RunServeBench(const Flags& flags) {
       "}\n",
       ids.size(), workers, batch, num_requests, wall, rps,
       stats.p50_seconds * 1e3, stats.p95_seconds * 1e3,
-      stats.p99_seconds * 1e3, ok, degraded, failed, reg_stats.hits,
-      reg_stats.misses, reg_stats.evictions);
+      stats.p99_seconds * 1e3, ok, degraded, failed,
+      overload ? "true" : "false", admission, policy_name.c_str(),
+      stats.shed, stats.deadline_exceeded, reg_stats.breaker_opens,
+      reg_stats.breaker_short_circuits,
+      static_cast<unsigned long long>(reg_stats.generation),
+      reg_stats.reloads, reg_stats.hits, reg_stats.misses,
+      reg_stats.evictions);
   if (!json) return Fail(Status::DataLoss("write failed: " + json_path));
   std::printf("wrote %s\n", json_path.c_str());
   return 0;
@@ -661,7 +730,8 @@ const std::vector<Command>& Commands() {
        "  [--fault-profile=none|mild|severe] [--fault-seed=S] [--strict]\n"
        "  Fleet experiment on a demo fleet, optionally routed through the\n"
        "  telemetry fault injector. --jobs=N evaluates vehicles on N\n"
-       "  worker threads with byte-identical output. With --strict, exits\n"
+       "  worker threads with byte-identical output; --jobs=0 picks one\n"
+       "  job per hardware thread (capped at 16). With --strict, exits\n"
        "  non-zero when any vehicle was quarantined.\n",
        {"vehicles", "seed", "max-vehicles", "algorithm", "eval-days",
         "retrain-every", "train-window", "lookback", "topk", "jobs",
@@ -671,24 +741,33 @@ const std::vector<Command>& Commands() {
       {"publish", "train the fleet and publish bundles into a registry",
        "usage: vupred publish --out=DIR [--vehicles=N] [--seed=S]\n"
        "  [--max-vehicles=M] [--algorithm=Lasso] [--lookback=21]\n"
-       "  [--topk=7] [--train-days=200]\n"
+       "  [--topk=7] [--train-days=200] [--keep-generations=2]\n"
        "  Train one forecaster per eligible fleet vehicle and write the\n"
-       "  model bundles plus registry metadata into DIR, ready for\n"
-       "  serve-bench (or any ModelRegistry consumer).\n",
+       "  bundles plus registry metadata into DIR as a new generation,\n"
+       "  made live by an atomic CURRENT flip, ready for serve-bench (or\n"
+       "  any ModelRegistry consumer). Old generations beyond\n"
+       "  --keep-generations are pruned.\n",
        {"out", "vehicles", "seed", "max-vehicles", "algorithm", "lookback",
-        "topk", "train-days"},
+        "topk", "train-days", "keep-generations"},
        {"out"},
        RunPublish},
       {"serve-bench", "replay a request stream against the service",
        "usage: vupred serve-bench --registry=DIR [--workers=4]\n"
        "  [--batch=64] [--requests=512] [--cache=32] [--stream-seed=7]\n"
-       "  [--json=BENCH_serve.json]\n"
+       "  [--json=BENCH_serve.json] [--overload] [--overload-seed=7]\n"
+       "  [--admission=N] [--shed-policy=block|shed-newest|shed-oldest]\n"
+       "  [--deadline-ms=50]\n"
        "  Replay a deterministic request stream against the prediction\n"
        "  service at the given batch size and worker count; print a\n"
        "  latency/throughput report, verify serving == offline on a\n"
-       "  sampled vehicle, and write the JSON report.\n",
+       "  sampled vehicle, and write the JSON report. --overload drives\n"
+       "  offered load past the admission capacity under a fake clock\n"
+       "  (seeded expired deadlines, mid-run registry Reload) and reports\n"
+       "  shed / deadline-exceeded / breaker counters -- deterministic\n"
+       "  per seed.\n",
        {"registry", "workers", "batch", "requests", "cache", "stream-seed",
-        "json"},
+        "json", "overload", "overload-seed", "admission", "shed-policy",
+        "deadline-ms"},
        {"registry"},
        RunServeBench},
   };
