@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI thread-sanitizer gate: build the `tsan` preset and run the suites
-# that exercise real concurrency -- the thread pool, the prediction
-# service (admission control, load shedding, deadline fan-out), the model
+# that exercise real concurrency -- the thread pool, the metrics registry
+# and tracer (concurrent instruments + export), the prediction service
+# (admission control, load shedding, deadline fan-out), the model
 # registry (circuit breakers, generation hot-swap) and both chaos suites.
 # Races found here are overload/reload bugs the release build may only
 # hit in production.
@@ -16,6 +17,8 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 TARGETS=(
   common_thread_pool_test
   common_clock_test
+  obs_metrics_registry_concurrency_test
+  obs_trace_test
   serve_prediction_service_test
   serve_model_registry_test
   integration_chaos_test
@@ -25,5 +28,5 @@ TARGETS=(
 cmake --preset tsan
 cmake --build --preset tsan -j"${JOBS}" --target "${TARGETS[@]}"
 ctest --preset tsan -j"${JOBS}" \
-  -R '^(common_thread_pool_test|common_clock_test|serve_prediction_service_test|serve_model_registry_test|integration_chaos_test|integration_registry_chaos_test)$' \
+  -R '^(common_thread_pool_test|common_clock_test|obs_metrics_registry_concurrency_test|obs_trace_test|serve_prediction_service_test|serve_model_registry_test|integration_chaos_test|integration_registry_chaos_test)$' \
   "$@"

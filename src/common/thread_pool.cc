@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <string>
 #include <utility>
@@ -24,9 +25,26 @@ Status RunGuarded(const std::function<Status()>& task) {
 
 }  // namespace
 
-ThreadPool::ThreadPool(Options options) : options_(options) {
+ThreadPool::ThreadPool(Options options) : options_(std::move(options)) {
   options_.num_workers = std::max<size_t>(options_.num_workers, 1);
   options_.queue_capacity = std::max<size_t>(options_.queue_capacity, 1);
+  if (!options_.metrics_label.empty()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    const obs::LabelSet labels = {{"pool", options_.metrics_label}};
+    tasks_total_ = registry.GetCounter(
+        "vupred_threadpool_tasks_total",
+        "Tasks finished by the pool (any outcome).", labels);
+    task_failures_ = registry.GetCounter(
+        "vupred_threadpool_task_failures_total",
+        "Tasks finished with a non-OK status (exceptions included).",
+        labels);
+    queue_depth_ = registry.GetGauge(
+        "vupred_threadpool_queue_depth",
+        "Tasks queued and not yet picked up by a worker.", labels);
+    task_seconds_ = registry.GetHistogram(
+        "vupred_threadpool_task_seconds", "Wall-clock runtime of one task.",
+        obs::Histogram::LatencyBoundsSeconds(), labels);
+  }
   workers_.reserve(options_.num_workers);
   for (size_t i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -48,6 +66,9 @@ Status ThreadPool::Submit(std::function<Status()> task) {
       return Status::FailedPrecondition("thread pool is shut down");
     }
     queue_.push_back(std::move(task));
+    if (queue_depth_ != nullptr) {
+      queue_depth_->Set(static_cast<double>(queue_.size()));
+    }
   }
   not_empty_.notify_one();
   return Status::OK();
@@ -102,11 +123,24 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (queue_depth_ != nullptr) {
+        queue_depth_->Set(static_cast<double>(queue_.size()));
+      }
       ++in_flight_;
     }
     not_full_.notify_one();
 
+    const auto start = std::chrono::steady_clock::now();
     Status status = RunGuarded(task);
+    if (task_seconds_ != nullptr) {
+      task_seconds_->Record(std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start)
+                                .count());
+    }
+    if (tasks_total_ != nullptr) tasks_total_->Increment();
+    if (task_failures_ != nullptr && !status.ok()) {
+      task_failures_->Increment();
+    }
 
     bool became_idle = false;
     {

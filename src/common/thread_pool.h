@@ -6,10 +6,13 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace vup {
 
@@ -31,10 +34,21 @@ namespace vup {
 class ThreadPool {
  public:
   struct Options {
+    Options() = default;
+    Options(size_t workers, size_t capacity, std::string label = {})
+        : num_workers(workers),
+          queue_capacity(capacity),
+          metrics_label(std::move(label)) {}
+
     /// Worker thread count; clamped to >= 1.
     size_t num_workers = 4;
     /// Maximum queued (not yet running) tasks; clamped to >= 1.
     size_t queue_capacity = 1024;
+    /// When non-empty, the pool reports to the global metrics registry as
+    /// vupred_threadpool_* with label pool="<metrics_label>": tasks run,
+    /// task failures, current queue depth and per-task latency. Empty
+    /// (the default) disables metrics entirely.
+    std::string metrics_label;
   };
 
   explicit ThreadPool(Options options);
@@ -84,6 +98,12 @@ class ThreadPool {
   Status first_error_;
   size_t completed_ = 0;
   size_t failed_ = 0;
+
+  // Global-registry instruments (all null when metrics are disabled).
+  obs::Counter* tasks_total_ = nullptr;
+  obs::Counter* task_failures_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Histogram* task_seconds_ = nullptr;
 };
 
 }  // namespace vup

@@ -8,14 +8,57 @@
 #include "common/random.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pipeline/cleaning.h"
 
 namespace vup {
 
+namespace {
+
+/// Global cleaning counters, resolved once. Totals are deterministic for a
+/// given fleet seed; only timings (spans) vary run to run.
+struct CleaningCounters {
+  obs::Counter* records;
+  obs::Counter* missing_filled;
+  obs::Counter* duplicates_dropped;
+  obs::Counter* values_clamped;
+  obs::Counter* non_finite_fixed;
+};
+
+void CountCleaning(const CleaningReport& report) {
+  static const CleaningCounters c = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    return CleaningCounters{
+        registry.GetCounter("vupred_clean_records_total",
+                            "Daily records emitted by the cleaning stage."),
+        registry.GetCounter("vupred_clean_missing_days_filled_total",
+                            "Calendar gaps filled with zero-usage records."),
+        registry.GetCounter("vupred_clean_duplicates_dropped_total",
+                            "Duplicate same-day records dropped."),
+        registry.GetCounter("vupred_clean_values_clamped_total",
+                            "Out-of-physical-range values clamped."),
+        registry.GetCounter("vupred_clean_non_finite_fixed_total",
+                            "NaN/inf values replaced with zero."),
+    };
+  }();
+  c.records->Increment(report.output_records);
+  c.missing_filled->Increment(report.missing_days_filled);
+  c.duplicates_dropped->Increment(report.duplicates_dropped);
+  c.values_clamped->Increment(report.values_clamped);
+  c.non_finite_fixed->Increment(report.non_finite_fixed);
+}
+
+}  // namespace
+
 StatusOr<VehicleDataset> PrepareVehicleDataset(const Fleet& fleet,
                                                size_t index,
                                                const FaultInjector* injector) {
-  VehicleDailySeries series = fleet.GenerateDailySeries(index);
+  obs::TraceSpan prepare_span("prepare");
+  VehicleDailySeries series = [&] {
+    obs::TraceSpan span("ingest");
+    return fleet.GenerateDailySeries(index);
+  }();
   if (series.days.empty()) {
     return Status::InvalidArgument("vehicle has no generated history");
   }
@@ -33,11 +76,15 @@ StatusOr<VehicleDataset> PrepareVehicleDataset(const Fleet& fleet,
     }
   }
   CleaningReport report;
-  VUP_ASSIGN_OR_RETURN(
-      std::vector<DailyUsageRecord> cleaned,
-      CleanDailyRecords(std::move(series.days), start, end, CleaningOptions(),
-                        &report));
-  return VehicleDataset::Build(series.info, cleaned,
+  StatusOr<std::vector<DailyUsageRecord>> cleaned = [&] {
+    obs::TraceSpan span("clean");
+    return CleanDailyRecords(std::move(series.days), start, end,
+                             CleaningOptions(), &report);
+  }();
+  VUP_RETURN_IF_ERROR(cleaned.status());
+  CountCleaning(report);
+  obs::TraceSpan enrich_span("enrich");
+  return VehicleDataset::Build(series.info, cleaned.value(),
                                fleet.CountryOf(series.info));
 }
 
@@ -240,7 +287,7 @@ StatusOr<ExperimentResult> ExperimentRunner::Run(
                                policy, injector);
     }
   } else {
-    ThreadPool pool({options.jobs, n + 1});
+    ThreadPool pool({options.jobs, n + 1, "fleet"});
     for (size_t i = 0; i < n; ++i) {
       const size_t index = result.vehicle_indices[i];
       Status submitted = pool.Submit([&, i, index]() -> Status {
@@ -277,6 +324,24 @@ StatusOr<ExperimentResult> ExperimentRunner::Run(
     report.total_retries += outcome.entry.retries;
     report.vehicles.push_back(std::move(outcome.entry));
   }
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry
+      .GetCounter("vupred_fleet_vehicles_evaluated_total",
+                  "Vehicles evaluated on the primary algorithm.")
+      ->Increment(report.vehicles_evaluated);
+  registry
+      .GetCounter("vupred_fleet_vehicles_degraded_total",
+                  "Vehicles degraded to the fallback baseline.")
+      ->Increment(report.vehicles_degraded);
+  registry
+      .GetCounter("vupred_fleet_vehicles_quarantined_total",
+                  "Vehicles excluded after exhausting retries.")
+      ->Increment(report.vehicles_quarantined);
+  registry
+      .GetCounter("vupred_fleet_retries_total",
+                  "Per-vehicle pipeline retries across all stages.")
+      ->Increment(report.total_retries);
 
   // Quarantined vehicles are excluded here on purpose, and visibly so:
   // the fleet aggregate carries the exclusion count alongside the means.

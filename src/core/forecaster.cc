@@ -7,6 +7,7 @@
 #include "common/string_util.h"
 #include "ml/linear_regression.h"
 #include "ml/serialize.h"
+#include "obs/trace.h"
 
 namespace vup {
 
@@ -55,6 +56,7 @@ VehicleForecaster::VehicleForecaster(ForecasterConfig config)
 
 Status VehicleForecaster::Train(const VehicleDataset& ds, size_t train_begin,
                                 size_t train_end) {
+  obs::TraceSpan fit_span("fit");
   trained_ = false;
   if (train_begin >= train_end) {
     return Status::InvalidArgument("empty training span");
@@ -77,10 +79,13 @@ Status VehicleForecaster::Train(const VehicleDataset& ds, size_t train_begin,
     return Status::InvalidArgument("need at least 2 training records");
   }
 
-  VUP_ASSIGN_OR_RETURN(
-      WindowedDataset windowed,
-      BuildWindowedDataset(ds, config_.windowing, train_begin,
-                           train_end - 1));
+  StatusOr<WindowedDataset> windowed_or = [&] {
+    obs::TraceSpan span("window");
+    return BuildWindowedDataset(ds, config_.windowing, train_begin,
+                                train_end - 1);
+  }();
+  VUP_RETURN_IF_ERROR(windowed_or.status());
+  WindowedDataset& windowed = windowed_or.value();
   all_columns_ = windowed.columns;
 
   // Statistics-based feature selection on the training span of the hours
@@ -89,6 +94,7 @@ Status VehicleForecaster::Train(const VehicleDataset& ds, size_t train_begin,
   selected_columns_.clear();
   Matrix x = std::move(windowed.x);
   if (config_.use_feature_selection) {
+    obs::TraceSpan span("select");
     std::span<const double> hours(ds.hours());
     std::span<const double> train_hours =
         hours.subspan(train_begin - config_.windowing.lookback_w,
@@ -100,11 +106,15 @@ Status VehicleForecaster::Train(const VehicleDataset& ds, size_t train_begin,
   }
 
   if (config_.standardize) {
+    obs::TraceSpan span("scale");
     VUP_ASSIGN_OR_RETURN(x, scaler_.FitTransform(x));
   }
 
   VUP_ASSIGN_OR_RETURN(model_, MakeRegressor(config_));
-  VUP_RETURN_IF_ERROR(model_->Fit(x, windowed.y));
+  {
+    obs::TraceSpan span("train");
+    VUP_RETURN_IF_ERROR(model_->Fit(x, windowed.y));
+  }
   trained_ = true;
   return Status::OK();
 }

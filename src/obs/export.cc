@@ -1,0 +1,397 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+namespace vup::obs {
+
+namespace {
+
+/// Deterministic value rendering: integral values (every counter and
+/// bucket count) print without a decimal point; everything else prints
+/// with enough digits to round-trip through strtod.
+std::string FormatValue(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  if (value == std::floor(value) && std::abs(value) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+/// HELP text escaping: backslash and newline only (the format's rule).
+std::string EscapeHelp(std::string_view help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void AppendLabels(std::string* out, const LabelSet& labels,
+                  const std::string& extra_name = "",
+                  const std::string& extra_value = "") {
+  if (labels.empty() && extra_name.empty()) return;
+  *out += '{';
+  bool first = true;
+  for (const auto& [name, value] : labels) {
+    if (!first) *out += ',';
+    first = false;
+    *out += name;
+    *out += "=\"";
+    *out += EscapeLabelValue(value);
+    *out += '"';
+  }
+  if (!extra_name.empty()) {
+    if (!first) *out += ',';
+    *out += extra_name;
+    *out += "=\"";
+    *out += extra_value;  // Always a number or +Inf; nothing to escape.
+    *out += '"';
+  }
+  *out += '}';
+}
+
+void AppendSampleLine(std::string* out, const std::string& name,
+                      const LabelSet& labels, double value,
+                      const std::string& extra_name = "",
+                      const std::string& extra_value = "") {
+  *out += name;
+  AppendLabels(out, labels, extra_name, extra_value);
+  *out += ' ';
+  *out += FormatValue(value);
+  *out += '\n';
+}
+
+/// JSON string escaping for exporter keys (metric names may embed label
+/// values, which can hold anything).
+std::string EscapeJson(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// `name{k="v",...}` key for the flat JSON shape; plain name when
+/// unlabeled.
+std::string JsonKey(const std::string& name, const LabelSet& labels,
+                    const char* suffix = "") {
+  std::string key = name;
+  key += suffix;
+  if (!labels.empty()) {
+    key += '{';
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+      if (!first) key += ',';
+      first = false;
+      key += k;
+      key += "=\"";
+      key += EscapeLabelValue(v);
+      key += '"';
+    }
+    key += '}';
+  }
+  return key;
+}
+
+}  // namespace
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (size_t i = 0; i < value.size(); ++i) {
+    if (value[i] != '\\' || i + 1 >= value.size()) {
+      out += value[i];
+      continue;
+    }
+    ++i;
+    switch (value[i]) {
+      case '\\':
+        out += '\\';
+        break;
+      case '"':
+        out += '"';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      default:  // Unknown escape: keep verbatim.
+        out += '\\';
+        out += value[i];
+    }
+  }
+  return out;
+}
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const MetricFamily& family : snapshot.families) {
+    if (!IsValidMetricName(family.name)) continue;
+    if (!family.help.empty()) {
+      out += "# HELP " + family.name + " " + EscapeHelp(family.help) + "\n";
+    }
+    out += "# TYPE " + family.name + " ";
+    out += MetricTypeToString(family.type);
+    out += '\n';
+    for (const MetricSample& sample : family.samples) {
+      if (family.type != MetricType::kHistogram) {
+        AppendSampleLine(&out, family.name, sample.labels, sample.value);
+        continue;
+      }
+      const HistogramData& h = sample.histogram;
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < h.counts.size(); ++i) {
+        cumulative += h.counts[i];
+        const std::string le = i < h.bounds.size()
+                                   ? FormatValue(h.bounds[i])
+                                   : std::string("+Inf");
+        AppendSampleLine(&out, family.name + "_bucket", sample.labels,
+                         static_cast<double>(cumulative), "le", le);
+      }
+      AppendSampleLine(&out, family.name + "_sum", sample.labels, h.sum);
+      AppendSampleLine(&out, family.name + "_count", sample.labels,
+                       static_cast<double>(cumulative));
+    }
+  }
+  return out;
+}
+
+std::string ToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n";
+  bool first = true;
+  auto emit = [&](const std::string& key, double value) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  \"" + EscapeJson(key) + "\": " + FormatValue(value);
+  };
+  for (const MetricFamily& family : snapshot.families) {
+    for (const MetricSample& sample : family.samples) {
+      if (family.type != MetricType::kHistogram) {
+        emit(JsonKey(family.name, sample.labels), sample.value);
+        continue;
+      }
+      const HistogramData& h = sample.histogram;
+      emit(JsonKey(family.name, sample.labels, "_count"),
+           static_cast<double>(h.count));
+      emit(JsonKey(family.name, sample.labels, "_sum"), h.sum);
+      emit(JsonKey(family.name, sample.labels, "_p50"), h.Quantile(0.50));
+      emit(JsonKey(family.name, sample.labels, "_p95"), h.Quantile(0.95));
+      emit(JsonKey(family.name, sample.labels, "_p99"), h.Quantile(0.99));
+    }
+  }
+  out += "\n}\n";
+  return out;
+}
+
+// ---- Parser -----------------------------------------------------------
+
+namespace {
+
+bool Fail(std::string* error, const std::string& message, size_t line_no) {
+  if (error != nullptr) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "line %zu: ", line_no);
+    *error = buf + message;
+  }
+  return false;
+}
+
+}  // namespace
+
+const ParsedSample* ParsedMetrics::Find(std::string_view name,
+                                        const LabelSet& labels) const {
+  LabelSet sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  for (const ParsedSample& sample : samples) {
+    if (sample.name != name) continue;
+    LabelSet sample_labels = sample.labels;
+    std::sort(sample_labels.begin(), sample_labels.end());
+    if (sample_labels == sorted) return &sample;
+  }
+  return nullptr;
+}
+
+double ParsedMetrics::Value(std::string_view name, const LabelSet& labels,
+                            double fallback) const {
+  const ParsedSample* sample = Find(name, labels);
+  return sample != nullptr ? sample->value : fallback;
+}
+
+bool ParsePrometheusText(std::string_view text, ParsedMetrics* out,
+                         std::string* error) {
+  ParsedMetrics parsed;
+  size_t line_no = 0;
+  size_t at = 0;
+  while (at <= text.size()) {
+    size_t end = text.find('\n', at);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(at, end - at);
+    at = end + 1;
+    ++line_no;
+    if (line.empty()) {
+      if (at > text.size()) break;
+      continue;
+    }
+    if (line[0] == '#') {
+      // Only "# TYPE <name> <type>" is retained; HELP and other comments
+      // are skipped.
+      const std::string_view type_prefix = "# TYPE ";
+      if (line.substr(0, type_prefix.size()) == type_prefix) {
+        std::string_view rest = line.substr(type_prefix.size());
+        size_t space = rest.find(' ');
+        if (space == std::string_view::npos) {
+          return Fail(error, "malformed TYPE line", line_no);
+        }
+        parsed.types.emplace_back(std::string(rest.substr(0, space)),
+                                  std::string(rest.substr(space + 1)));
+      }
+      continue;
+    }
+
+    ParsedSample sample;
+    size_t pos = 0;
+    while (pos < line.size() && line[pos] != '{' && line[pos] != ' ') ++pos;
+    sample.name = std::string(line.substr(0, pos));
+    if (!IsValidMetricName(sample.name)) {
+      return Fail(error, "invalid metric name '" + sample.name + "'",
+                  line_no);
+    }
+
+    if (pos < line.size() && line[pos] == '{') {
+      ++pos;
+      while (pos < line.size() && line[pos] != '}') {
+        size_t eq = line.find('=', pos);
+        if (eq == std::string_view::npos) {
+          return Fail(error, "label without '='", line_no);
+        }
+        std::string label(line.substr(pos, eq - pos));
+        if (!IsValidLabelName(label)) {
+          return Fail(error, "invalid label name '" + label + "'", line_no);
+        }
+        pos = eq + 1;
+        if (pos >= line.size() || line[pos] != '"') {
+          return Fail(error, "label value is not quoted", line_no);
+        }
+        ++pos;
+        std::string raw;
+        bool closed = false;
+        while (pos < line.size()) {
+          char c = line[pos];
+          if (c == '\\') {
+            if (pos + 1 >= line.size()) {
+              return Fail(error, "dangling escape in label value", line_no);
+            }
+            raw += c;
+            raw += line[pos + 1];
+            pos += 2;
+            continue;
+          }
+          if (c == '"') {
+            closed = true;
+            ++pos;
+            break;
+          }
+          raw += c;
+          ++pos;
+        }
+        if (!closed) {
+          return Fail(error, "unterminated label value", line_no);
+        }
+        sample.labels.emplace_back(std::move(label),
+                                   UnescapeLabelValue(raw));
+        if (pos < line.size() && line[pos] == ',') ++pos;
+      }
+      if (pos >= line.size() || line[pos] != '}') {
+        return Fail(error, "unterminated label set", line_no);
+      }
+      ++pos;
+    }
+
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    if (pos >= line.size()) {
+      return Fail(error, "missing sample value", line_no);
+    }
+    std::string value_text(line.substr(pos));
+    // Trim a timestamp if present (we never emit one, but accept it).
+    size_t value_end = value_text.find(' ');
+    if (value_end != std::string::npos) value_text.resize(value_end);
+    if (value_text == "+Inf") {
+      sample.value = std::numeric_limits<double>::infinity();
+    } else if (value_text == "-Inf") {
+      sample.value = -std::numeric_limits<double>::infinity();
+    } else if (value_text == "NaN") {
+      sample.value = std::numeric_limits<double>::quiet_NaN();
+    } else {
+      char* parse_end = nullptr;
+      sample.value = std::strtod(value_text.c_str(), &parse_end);
+      if (parse_end == value_text.c_str() || *parse_end != '\0') {
+        return Fail(error, "non-numeric value '" + value_text + "'",
+                    line_no);
+      }
+    }
+    parsed.samples.push_back(std::move(sample));
+  }
+  if (out != nullptr) *out = std::move(parsed);
+  return true;
+}
+
+}  // namespace vup::obs

@@ -1,0 +1,145 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+namespace vup::obs {
+
+namespace {
+
+std::atomic<Tracer*> g_active_tracer{nullptr};
+
+/// Innermost open span on this thread. Spans are strictly scoped (RAII),
+/// so a plain stack per thread is enough; entries from different tracers
+/// can interleave and are told apart by the tracer pointer.
+thread_local std::vector<TraceSpan*> t_span_stack;
+
+void AppendNode(const Tracer::Node& node, int depth, std::string* out) {
+  char buf[160];
+  const double total_ms = node.total_seconds * 1e3;
+  const double mean_ms =
+      node.count > 0 ? total_ms / static_cast<double>(node.count) : 0.0;
+  std::snprintf(buf, sizeof(buf), "%*s%-*s %8llu %12.3fms %10.3fms\n",
+                depth * 2, "", std::max(1, 28 - depth * 2),
+                node.name.c_str(),
+                static_cast<unsigned long long>(node.count), total_ms,
+                mean_ms);
+  *out += buf;
+  for (const std::unique_ptr<Tracer::Node>& child : node.children) {
+    AppendNode(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+Tracer::~Tracer() {
+  // Never leave a dangling active tracer behind.
+  Tracer* self = this;
+  g_active_tracer.compare_exchange_strong(self, nullptr,
+                                          std::memory_order_acq_rel);
+}
+
+Tracer* Tracer::SetActive(Tracer* tracer) {
+  return g_active_tracer.exchange(tracer, std::memory_order_acq_rel);
+}
+
+Tracer* Tracer::Active() {
+  return g_active_tracer.load(std::memory_order_acquire);
+}
+
+void Tracer::Merge(Node* into, const SpanRecord& record) {
+  // Children are kept sorted by name; runs are deterministic in shape, so
+  // the tree layout is stable across runs even when timings differ.
+  auto it = std::lower_bound(
+      into->children.begin(), into->children.end(), record.name,
+      [](const std::unique_ptr<Node>& node, const std::string& name) {
+        return node->name < name;
+      });
+  if (it == into->children.end() || (*it)->name != record.name) {
+    auto node = std::make_unique<Node>();
+    node->name = record.name;
+    it = into->children.insert(it, std::move(node));
+  }
+  Node* child = it->get();
+  child->count += 1;
+  child->total_seconds += record.seconds;
+  for (const SpanRecord& grandchild : record.children) {
+    Merge(child, grandchild);
+  }
+}
+
+void Tracer::RecordRoot(SpanRecord&& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Merge(&root_, record);
+  ++num_roots_;
+}
+
+uint64_t Tracer::num_roots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_roots_;
+}
+
+std::unique_ptr<Tracer::Node> Tracer::CloneNode(const Node& node) {
+  auto copy = std::make_unique<Node>();
+  copy->name = node.name;
+  copy->count = node.count;
+  copy->total_seconds = node.total_seconds;
+  copy->children.reserve(node.children.size());
+  for (const std::unique_ptr<Node>& child : node.children) {
+    copy->children.push_back(CloneNode(*child));
+  }
+  return copy;
+}
+
+void Tracer::VisitTree(const std::function<void(const Node&)>& visit) const {
+  std::unique_ptr<Node> copy;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    copy = CloneNode(root_);
+  }
+  visit(*copy);
+}
+
+std::string Tracer::ToString() const {
+  std::string out =
+      "span                            count        total       mean\n";
+  VisitTree([&](const Node& root) {
+    for (const std::unique_ptr<Node>& child : root.children) {
+      AppendNode(*child, 0, &out);
+    }
+  });
+  return out;
+}
+
+TraceSpan::TraceSpan(std::string_view name)
+    : tracer_(Tracer::Active()) {
+  if (tracer_ == nullptr) return;
+  name_ = std::string(name);
+  start_ = std::chrono::steady_clock::now();
+  t_span_stack.push_back(this);
+}
+
+TraceSpan::~TraceSpan() {
+  if (tracer_ == nullptr) return;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_)
+          .count();
+  if (!t_span_stack.empty() && t_span_stack.back() == this) {
+    t_span_stack.pop_back();
+  }
+  Tracer::SpanRecord record;
+  record.name = std::move(name_);
+  record.seconds = seconds;
+  record.children = std::move(children_);
+  // Attach to the innermost open span of the *same* tracer; anything else
+  // (other tracer, empty stack) makes this span a root.
+  if (!t_span_stack.empty() && t_span_stack.back()->tracer_ == tracer_) {
+    t_span_stack.back()->children_.push_back(std::move(record));
+  } else {
+    tracer_->RecordRoot(std::move(record));
+  }
+}
+
+}  // namespace vup::obs

@@ -1,0 +1,100 @@
+#ifndef VUPRED_OBS_TRACE_H_
+#define VUPRED_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vup::obs {
+
+/// Aggregated timing tree of one traced run.
+///
+/// Spans record into the process-wide *active* tracer (atomic pointer; no
+/// tracer means every span is a disabled no-op costing one atomic load).
+/// Each thread keeps its own span stack, so pipeline stages running on
+/// pool workers nest correctly under whatever span is open on that worker
+/// thread; a span opened on a thread with no enclosing span becomes a
+/// root. Finished spans are merged by name path into an aggregate tree --
+/// (count, total seconds) per node -- which keeps the report compact no
+/// matter how many vehicles or requests a run traces.
+///
+/// The tracer must stay alive (and is normally kept active) until every
+/// span that observed it has destructed.
+class Tracer {
+ public:
+  struct Node {
+    std::string name;
+    uint64_t count = 0;
+    double total_seconds = 0.0;
+    std::vector<std::unique_ptr<Node>> children;  // Sorted by name.
+  };
+
+  Tracer() = default;
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Installs `tracer` as the process-wide active tracer (null disables
+  /// tracing). Returns the previous one.
+  static Tracer* SetActive(Tracer* tracer);
+  static Tracer* Active();
+
+  /// Number of root spans recorded so far.
+  uint64_t num_roots() const;
+
+  /// The aggregate tree rendered as an indented text report:
+  ///   name  count  total_ms  mean_ms
+  std::string ToString() const;
+
+  /// Runs `visit` on a consistent copy of the aggregate tree root (its
+  /// children are the recorded root spans).
+  void VisitTree(const std::function<void(const Node&)>& visit) const;
+
+ private:
+  friend class TraceSpan;
+
+  struct SpanRecord {
+    std::string name;
+    double seconds = 0.0;
+    std::vector<SpanRecord> children;
+  };
+
+  void RecordRoot(SpanRecord&& record);
+  static void Merge(Node* into, const SpanRecord& record);
+  static std::unique_ptr<Node> CloneNode(const Node& node);
+
+  mutable std::mutex mu_;
+  Node root_;  // Synthetic; children are the recorded roots.
+  uint64_t num_roots_ = 0;
+};
+
+/// RAII span: measures the wall time between construction and destruction
+/// and attaches itself to the innermost open span on this thread (or to
+/// the tracer as a root). `name` should be a stable stage identifier like
+/// "pipeline.clean" or "serve.score".
+///
+/// Cheap when tracing is off: one relaxed atomic load, no clock read.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool enabled() const { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<Tracer::SpanRecord> children_;
+};
+
+}  // namespace vup::obs
+
+#endif  // VUPRED_OBS_TRACE_H_

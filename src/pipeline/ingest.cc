@@ -1,18 +1,48 @@
 #include "pipeline/ingest.h"
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 #include "pipeline/aggregate.h"
 
 namespace vup {
 
+namespace {
+
+/// Process-wide ingestion counters, shared across all stores (each store
+/// still keeps its own IngestStats for per-store reporting).
+struct IngestCounters {
+  obs::Counter* ingested;
+  obs::Counter* rejected;
+  obs::Counter* duplicates;
+};
+
+const IngestCounters& GlobalIngestCounters() {
+  static const IngestCounters counters = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    return IngestCounters{
+        registry.GetCounter("vupred_ingest_reports_total",
+                            "Aggregated reports accepted by ingestion."),
+        registry.GetCounter("vupred_ingest_rejected_total",
+                            "Reports rejected by ingestion validation."),
+        registry.GetCounter("vupred_ingest_duplicates_total",
+                            "Reports that overwrote an existing slot."),
+    };
+  }();
+  return counters;
+}
+
+}  // namespace
+
 Status IngestionStore::Ingest(const AggregatedReport& report) {
   if (report.slot < 0 || report.slot >= kSlotsPerDay) {
     ++stats_.rejected;
+    GlobalIngestCounters().rejected->Increment();
     return Status::InvalidArgument(
         StrFormat("slot %d outside [0, %d)", report.slot, kSlotsPerDay));
   }
   if (report.vehicle_id <= 0) {
     ++stats_.rejected;
+    GlobalIngestCounters().rejected->Increment();
     return Status::InvalidArgument("non-positive vehicle id");
   }
   SlotKey key{report.date.day_number(), report.slot};
@@ -21,8 +51,10 @@ Status IngestionStore::Ingest(const AggregatedReport& report) {
   (void)it;
   if (inserted) {
     ++stats_.reports_ingested;
+    GlobalIngestCounters().ingested->Increment();
   } else {
     ++stats_.duplicates;
+    GlobalIngestCounters().duplicates->Increment();
   }
   return Status::OK();
 }

@@ -304,9 +304,7 @@ StatusOr<ModelRegistry> ModelRegistry::Open(Options options) {
   }
   VUP_ASSIGN_OR_RETURN(ActiveGeneration active,
                        ResolveActive(options.directory));
-  ModelRegistry registry(std::move(options), std::move(active));
-  registry.stats_.generation = registry.active_.number;
-  return registry;
+  return ModelRegistry(std::move(options), std::move(active));
 }
 
 Status ModelRegistry::Reload() {
@@ -321,8 +319,7 @@ Status ModelRegistry::Reload() {
   lru_.clear();
   index_.clear();
   breakers_.clear();
-  ++stats_.reloads;
-  stats_.generation = active_.number;
+  counters_->reloads.Increment();
   return Status::OK();
 }
 
@@ -445,7 +442,7 @@ int64_t ModelRegistry::BreakerBackoffMs(int64_t vehicle_id,
 }
 
 void ModelRegistry::RecordLoadFailureLocked(int64_t vehicle_id) {
-  ++stats_.load_failures;
+  counters_->load_failures.Increment();
   Breaker& breaker = breakers_[vehicle_id];
   ++breaker.consecutive_failures;
   const bool reopen = breaker.state == BreakerState::kHalfOpen;
@@ -455,10 +452,9 @@ void ModelRegistry::RecordLoadFailureLocked(int64_t vehicle_id) {
   }
   // Trip (or re-trip after a failed half-open probe): fail fast until the
   // jittered backoff elapses.
-  if (breaker.state == BreakerState::kClosed) ++stats_.breaker_open_vehicles;
   breaker.state = BreakerState::kOpen;
   ++breaker.open_count;
-  ++stats_.breaker_opens;
+  counters_->breaker_opens.Increment();
   breaker.open_until =
       clock().Now() + std::chrono::milliseconds(
                           BreakerBackoffMs(vehicle_id, breaker.open_count));
@@ -469,7 +465,7 @@ StatusOr<std::shared_ptr<const VehicleForecaster>> ModelRegistry::Get(
   std::lock_guard<std::mutex> lock(*mu_);
   auto it = index_.find(vehicle_id);
   if (it != index_.end()) {
-    ++stats_.hits;
+    counters_->hits.Increment();
     // Move to the front (most recently used).
     lru_.splice(lru_.begin(), lru_, it->second);
     return it->second->second;
@@ -480,7 +476,7 @@ StatusOr<std::shared_ptr<const VehicleForecaster>> ModelRegistry::Get(
       breaker_it->second.state == BreakerState::kOpen) {
     Breaker& breaker = breaker_it->second;
     if (clock().Now() < breaker.open_until) {
-      ++stats_.breaker_short_circuits;
+      counters_->breaker_short_circuits.Increment();
       return Status::Unavailable(StrFormat(
           "circuit breaker open for vehicle %lld (retry in %lld ms)",
           static_cast<long long>(vehicle_id),
@@ -494,7 +490,7 @@ StatusOr<std::shared_ptr<const VehicleForecaster>> ModelRegistry::Get(
     breaker.state = BreakerState::kHalfOpen;
   }
 
-  ++stats_.misses;
+  counters_->misses.Increment();
   StatusOr<std::shared_ptr<const VehicleForecaster>> loaded =
       LoadFromDir(active_.dir, vehicle_id);
   if (!loaded.ok()) {
@@ -505,9 +501,6 @@ StatusOr<std::shared_ptr<const VehicleForecaster>> ModelRegistry::Get(
   }
   if (breaker_it != breakers_.end()) {
     // Successful load (including a half-open probe): close the breaker.
-    if (breaker_it->second.state != BreakerState::kClosed) {
-      --stats_.breaker_open_vehicles;
-    }
     breakers_.erase(vehicle_id);
   }
   std::shared_ptr<const VehicleForecaster> model = std::move(loaded).value();
@@ -516,7 +509,7 @@ StatusOr<std::shared_ptr<const VehicleForecaster>> ModelRegistry::Get(
     while (lru_.size() >= options_.cache_capacity) {
       index_.erase(lru_.back().first);
       lru_.pop_back();
-      ++stats_.evictions;
+      counters_->evictions.Increment();
     }
     lru_.emplace_front(vehicle_id, model);
     index_[vehicle_id] = lru_.begin();
@@ -558,9 +551,88 @@ BreakerState ModelRegistry::breaker_state(int64_t vehicle_id) const {
   return it == breakers_.end() ? BreakerState::kClosed : it->second.state;
 }
 
+size_t ModelRegistry::OpenBreakersLocked() const {
+  size_t open = 0;
+  for (const auto& [vehicle_id, breaker] : breakers_) {
+    if (breaker.state != BreakerState::kClosed) ++open;
+  }
+  return open;
+}
+
+ModelRegistryStats ModelRegistry::StatsLocked() const {
+  ModelRegistryStats stats;
+  stats.hits = static_cast<size_t>(counters_->hits.value());
+  stats.misses = static_cast<size_t>(counters_->misses.value());
+  stats.evictions = static_cast<size_t>(counters_->evictions.value());
+  stats.load_failures =
+      static_cast<size_t>(counters_->load_failures.value());
+  stats.breaker_opens =
+      static_cast<size_t>(counters_->breaker_opens.value());
+  stats.breaker_short_circuits =
+      static_cast<size_t>(counters_->breaker_short_circuits.value());
+  // Derived from live state, so a generation swap that clears breakers_
+  // can never leave a stale open-vehicle count behind.
+  stats.breaker_open_vehicles = OpenBreakersLocked();
+  stats.reloads = static_cast<size_t>(counters_->reloads.value());
+  stats.generation = active_.number;
+  return stats;
+}
+
 ModelRegistryStats ModelRegistry::stats() const {
   std::lock_guard<std::mutex> lock(*mu_);
-  return stats_;
+  return StatsLocked();
+}
+
+void ModelRegistry::CollectMetrics(obs::MetricsSnapshot* out,
+                                   const obs::LabelSet& labels) const {
+  ModelRegistryStats stats;
+  size_t resident;
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    stats = StatsLocked();
+    resident = lru_.size();
+  }
+  auto add = [&](const char* name, const char* help, obs::MetricType type,
+                 double value) {
+    obs::MetricFamily family;
+    family.name = name;
+    family.help = help;
+    family.type = type;
+    obs::MetricSample sample;
+    sample.labels = labels;
+    sample.value = value;
+    family.samples.push_back(std::move(sample));
+    out->families.push_back(std::move(family));
+  };
+  using obs::MetricType;
+  add("vupred_registry_hits_total", "Gets served from the resident cache.",
+      MetricType::kCounter, static_cast<double>(stats.hits));
+  add("vupred_registry_misses_total",
+      "Gets that loaded the bundle from disk.", MetricType::kCounter,
+      static_cast<double>(stats.misses));
+  add("vupred_registry_evictions_total",
+      "Resident models displaced by the LRU policy.", MetricType::kCounter,
+      static_cast<double>(stats.evictions));
+  add("vupred_registry_load_failures_total",
+      "Disk loads that returned an error.", MetricType::kCounter,
+      static_cast<double>(stats.load_failures));
+  add("vupred_registry_breaker_opens_total",
+      "Circuit breaker closed/half-open to open transitions.",
+      MetricType::kCounter, static_cast<double>(stats.breaker_opens));
+  add("vupred_registry_breaker_short_circuits_total",
+      "Gets rejected while a breaker was open.", MetricType::kCounter,
+      static_cast<double>(stats.breaker_short_circuits));
+  add("vupred_registry_reloads_total",
+      "Generation swaps performed by Reload().", MetricType::kCounter,
+      static_cast<double>(stats.reloads));
+  add("vupred_registry_breaker_open_vehicles",
+      "Breakers currently open or half-open.", MetricType::kGauge,
+      static_cast<double>(stats.breaker_open_vehicles));
+  add("vupred_registry_resident_models",
+      "Models resident in the LRU cache.", MetricType::kGauge,
+      static_cast<double>(resident));
+  add("vupred_registry_generation", "Active generation number.",
+      MetricType::kGauge, static_cast<double>(stats.generation));
 }
 
 uint64_t ModelRegistry::active_generation() const {

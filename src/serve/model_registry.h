@@ -16,6 +16,7 @@
 #include "common/retry.h"
 #include "common/statusor.h"
 #include "core/forecaster.h"
+#include "obs/metrics.h"
 
 namespace vup::serve {
 
@@ -193,6 +194,12 @@ class ModelRegistry {
 
   ModelRegistryStats stats() const;
 
+  /// Appends the registry metric families (vupred_registry_*) to `out`,
+  /// every sample tagged with `labels`. One locked read, so the export is
+  /// as consistent as stats().
+  void CollectMetrics(obs::MetricsSnapshot* out,
+                      const obs::LabelSet& labels = {}) const;
+
   uint64_t active_generation() const;
 
   const std::string& directory() const { return options_.directory; }
@@ -237,6 +244,12 @@ class ModelRegistry {
   /// the mutex.
   void RecordLoadFailureLocked(int64_t vehicle_id);
 
+  /// Breakers currently open or half-open. Caller holds the mutex.
+  size_t OpenBreakersLocked() const;
+
+  /// Assembles the stats struct. Caller holds the mutex.
+  ModelRegistryStats StatsLocked() const;
+
   Options options_;
   ActiveGeneration active_;
 
@@ -247,7 +260,20 @@ class ModelRegistry {
   std::list<LruEntry> lru_;
   std::unordered_map<int64_t, std::list<LruEntry>::iterator> index_;
   std::unordered_map<int64_t, Breaker> breakers_;
-  ModelRegistryStats stats_;
+
+  /// Cumulative counters on the shared obs instruments (unique_ptr so the
+  /// registry stays movable; atomics are not). `breaker_open_vehicles` and
+  /// `generation` are derived from live state when stats are read.
+  struct Counters {
+    obs::Counter hits;
+    obs::Counter misses;
+    obs::Counter evictions;
+    obs::Counter load_failures;
+    obs::Counter breaker_opens;
+    obs::Counter breaker_short_circuits;
+    obs::Counter reloads;
+  };
+  std::unique_ptr<Counters> counters_ = std::make_unique<Counters>();
 };
 
 /// Stages one new generation: bundles are added into a hidden staging

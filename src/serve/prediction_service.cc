@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/string_util.h"
 #include "ml/baselines.h"
+#include "obs/trace.h"
 
 namespace vup::serve {
 
@@ -33,6 +34,7 @@ PredictionService::PredictionService(ModelRegistry* registry,
 PredictionResponse PredictionService::ScoreOne(
     const VehicleForecaster* model, const Status& model_status,
     const PredictionRequest& request) {
+  obs::TraceSpan score_span("serve.score");
   ServingStats::InFlight gauge(&stats_);
   const auto start = std::chrono::steady_clock::now();
 
@@ -110,8 +112,10 @@ void PredictionService::ScoreGroup(
   // One model fetch per vehicle group; the shared_ptr keeps the model
   // alive across the group even if the LRU evicts it or a Reload swaps
   // the generation meanwhile.
-  StatusOr<std::shared_ptr<const VehicleForecaster>> model =
-      registry_->Get(requests[live.front()].vehicle_id);
+  StatusOr<std::shared_ptr<const VehicleForecaster>> model = [&] {
+    obs::TraceSpan span("serve.fetch");
+    return registry_->Get(requests[live.front()].vehicle_id);
+  }();
   const VehicleForecaster* model_ptr =
       model.ok() ? model.value().get() : nullptr;
   const Status model_status = model.ok() ? Status::OK() : model.status();
@@ -167,33 +171,36 @@ std::vector<PredictionResponse> PredictionService::PredictBatch(
       pooled && options_.admission_capacity > 0 &&
       options_.overload_policy != OverloadPolicy::kBlock;
   size_t admitted = requests.size();
-  if (shedding) {
-    std::lock_guard<std::mutex> lock(admission_mu_);
-    const size_t available =
-        options_.admission_capacity > queued_
-            ? options_.admission_capacity - queued_
-            : 0;
-    if (requests.size() > available) {
-      admitted = available;
-      const size_t excess = requests.size() - available;
-      if (options_.overload_policy == OverloadPolicy::kShedNewest) {
-        for (size_t i = available; i < requests.size(); ++i) shed[i] = 1;
-      } else {  // kShedOldest: drop the head, keep the freshest work.
-        for (size_t i = 0; i < excess; ++i) shed[i] = 1;
+  {
+    obs::TraceSpan admission_span("serve.admission");
+    if (shedding) {
+      std::lock_guard<std::mutex> lock(admission_mu_);
+      const size_t available =
+          options_.admission_capacity > queued_
+              ? options_.admission_capacity - queued_
+              : 0;
+      if (requests.size() > available) {
+        admitted = available;
+        const size_t excess = requests.size() - available;
+        if (options_.overload_policy == OverloadPolicy::kShedNewest) {
+          for (size_t i = available; i < requests.size(); ++i) shed[i] = 1;
+        } else {  // kShedOldest: drop the head, keep the freshest work.
+          for (size_t i = 0; i < excess; ++i) shed[i] = 1;
+        }
       }
+      queued_ += admitted;
     }
-    queued_ += admitted;
-  }
-  for (size_t i = 0; i < requests.size(); ++i) {
-    if (!shed[i]) continue;
-    responses[i].vehicle_id = requests[i].vehicle_id;
-    responses[i].status = Status::Unavailable(StrFormat(
-        "request shed by admission control (capacity %zu, policy %s)",
-        options_.admission_capacity,
-        options_.overload_policy == OverloadPolicy::kShedNewest
-            ? "shed-newest"
-            : "shed-oldest"));
-    stats_.RecordShed();
+    for (size_t i = 0; i < requests.size(); ++i) {
+      if (!shed[i]) continue;
+      responses[i].vehicle_id = requests[i].vehicle_id;
+      responses[i].status = Status::Unavailable(StrFormat(
+          "request shed by admission control (capacity %zu, policy %s)",
+          options_.admission_capacity,
+          options_.overload_policy == OverloadPolicy::kShedNewest
+              ? "shed-newest"
+              : "shed-oldest"));
+      stats_.RecordShed();
+    }
   }
 
   // Group the admitted request positions per vehicle (ordered map:

@@ -118,6 +118,12 @@ class PredictionService {
     return stats_.HistogramToString();
   }
 
+  /// Appends the vupred_serve_* metric families to `out`.
+  void CollectMetrics(obs::MetricsSnapshot* out,
+                      const obs::LabelSet& labels = {}) const {
+    stats_.Collect(out, labels);
+  }
+
  private:
   /// Scores requests[i] for each i in `positions` (all the same vehicle),
   /// writing responses[i]. Requests whose deadline has expired fail fast;

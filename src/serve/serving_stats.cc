@@ -1,8 +1,6 @@
 #include "serve/serving_stats.h"
 
 #include <algorithm>
-#include <array>
-#include <cmath>
 
 #include "common/string_util.h"
 
@@ -10,63 +8,32 @@ namespace vup::serve {
 
 namespace {
 
-// 1-2-5 ladder from 10 us to 5 s; requests above the last bound fall into
-// the overflow bucket.
-constexpr std::array<double, 18> kBoundsSeconds = {
-    10e-6, 20e-6, 50e-6, 100e-6, 200e-6, 500e-6,
-    1e-3,  2e-3,  5e-3,  10e-3,  20e-3,  50e-3,
-    100e-3, 200e-3, 500e-3, 1.0,   2.0,   5.0};
+/// Shared latency ladder instance backing BucketBoundsSeconds.
+const std::vector<double>& ServeBounds() {
+  static const std::vector<double>& bounds =
+      *new std::vector<double>(obs::Histogram::LatencyBoundsSeconds());
+  return bounds;
+}
 
 }  // namespace
 
-LatencyHistogram::LatencyHistogram()
-    : counts_(kBoundsSeconds.size() + 1, 0) {}
+LatencyHistogram::LatencyHistogram() : histogram_(ServeBounds()) {}
 
 std::span<const double> LatencyHistogram::BucketBoundsSeconds() {
-  return kBoundsSeconds;
-}
-
-void LatencyHistogram::Record(double seconds) {
-  if (!std::isfinite(seconds) || seconds < 0) seconds = 0;
-  size_t bucket = kBoundsSeconds.size();  // Overflow by default.
-  for (size_t i = 0; i < kBoundsSeconds.size(); ++i) {
-    if (seconds <= kBoundsSeconds[i]) {
-      bucket = i;
-      break;
-    }
-  }
-  ++counts_[bucket];
-  ++count_;
-}
-
-double LatencyHistogram::Quantile(double q) const {
-  if (count_ == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
-  // Rank of the requested quantile, 1-based (nearest-rank definition).
-  size_t rank = static_cast<size_t>(
-      std::ceil(q * static_cast<double>(count_)));
-  rank = std::max<size_t>(rank, 1);
-  size_t seen = 0;
-  for (size_t i = 0; i < counts_.size(); ++i) {
-    seen += counts_[i];
-    if (seen >= rank) {
-      return i < kBoundsSeconds.size() ? kBoundsSeconds[i]
-                                       : kBoundsSeconds.back();
-    }
-  }
-  return kBoundsSeconds.back();
+  return ServeBounds();
 }
 
 std::string LatencyHistogram::ToString() const {
+  const obs::HistogramData data = histogram_.Snapshot();
   std::string out;
-  for (size_t i = 0; i < counts_.size(); ++i) {
-    if (counts_[i] == 0) continue;
-    if (i < kBoundsSeconds.size()) {
-      out += StrFormat("  <=%.3fms %zu\n", kBoundsSeconds[i] * 1e3,
-                       counts_[i]);
+  for (size_t i = 0; i < data.counts.size(); ++i) {
+    if (data.counts[i] == 0) continue;
+    if (i < data.bounds.size()) {
+      out += StrFormat("  <=%.3fms %zu\n", data.bounds[i] * 1e3,
+                       static_cast<size_t>(data.counts[i]));
     } else {
-      out += StrFormat("  >%.3fms %zu\n", kBoundsSeconds.back() * 1e3,
-                       counts_[i]);
+      out += StrFormat("  >%.3fms %zu\n", data.bounds.back() * 1e3,
+                       static_cast<size_t>(data.counts[i]));
     }
   }
   return out;
@@ -76,36 +43,94 @@ void ServingStats::RecordRequest(double latency_seconds, bool ok,
                                  bool degraded) {
   std::lock_guard<std::mutex> lock(mu_);
   histogram_.Record(latency_seconds);
-  ++requests_;
-  if (!ok) ++failures_;
-  if (degraded) ++degraded_;
+  requests_.Increment();
+  if (!ok) failures_.Increment();
+  if (degraded) degraded_.Increment();
 }
 
 void ServingStats::RecordShed() {
   std::lock_guard<std::mutex> lock(mu_);
-  ++requests_;
-  ++shed_;
+  requests_.Increment();
+  shed_.Increment();
 }
 
 void ServingStats::RecordDeadlineExceeded() {
   std::lock_guard<std::mutex> lock(mu_);
-  ++requests_;
-  ++deadline_exceeded_;
+  requests_.Increment();
+  deadline_exceeded_.Increment();
 }
 
 ServingStatsSnapshot ServingStats::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   ServingStatsSnapshot snap;
-  snap.requests = requests_;
-  snap.failures = failures_;
-  snap.degraded = degraded_;
-  snap.shed = shed_;
-  snap.deadline_exceeded = deadline_exceeded_;
-  snap.in_flight = in_flight_.load(std::memory_order_relaxed);
+  snap.requests = static_cast<size_t>(requests_.value());
+  snap.failures = static_cast<size_t>(failures_.value());
+  snap.degraded = static_cast<size_t>(degraded_.value());
+  snap.shed = static_cast<size_t>(shed_.value());
+  snap.deadline_exceeded = static_cast<size_t>(deadline_exceeded_.value());
+  snap.in_flight = static_cast<size_t>(in_flight_.value());
   snap.p50_seconds = histogram_.Quantile(0.50);
   snap.p95_seconds = histogram_.Quantile(0.95);
   snap.p99_seconds = histogram_.Quantile(0.99);
   return snap;
+}
+
+void ServingStats::Collect(obs::MetricsSnapshot* out,
+                           const obs::LabelSet& labels) const {
+  obs::HistogramData latency;
+  uint64_t requests, failures, degraded, shed, deadline_exceeded;
+  double in_flight;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    latency = histogram_.histogram().Snapshot();
+    requests = requests_.value();
+    failures = failures_.value();
+    degraded = degraded_.value();
+    shed = shed_.value();
+    deadline_exceeded = deadline_exceeded_.value();
+    in_flight = in_flight_.value();
+  }
+  auto counter = [&](const char* name, const char* help, uint64_t value) {
+    obs::MetricFamily family;
+    family.name = name;
+    family.help = help;
+    family.type = obs::MetricType::kCounter;
+    obs::MetricSample sample;
+    sample.labels = labels;
+    sample.value = static_cast<double>(value);
+    family.samples.push_back(std::move(sample));
+    out->families.push_back(std::move(family));
+  };
+  counter("vupred_serve_requests_total",
+          "Finished prediction requests (any outcome).", requests);
+  counter("vupred_serve_failures_total",
+          "Requests finished with a non-OK status.", failures);
+  counter("vupred_serve_degraded_total",
+          "Requests served by the Last-Value fallback.", degraded);
+  counter("vupred_serve_shed_total",
+          "Requests rejected by admission control.", shed);
+  counter("vupred_serve_deadline_exceeded_total",
+          "Requests expired before scoring started.", deadline_exceeded);
+
+  obs::MetricFamily gauge;
+  gauge.name = "vupred_serve_in_flight";
+  gauge.help = "Requests currently being scored.";
+  gauge.type = obs::MetricType::kGauge;
+  obs::MetricSample gauge_sample;
+  gauge_sample.labels = labels;
+  gauge_sample.value = in_flight;
+  gauge.samples.push_back(std::move(gauge_sample));
+  out->families.push_back(std::move(gauge));
+
+  obs::MetricFamily histogram;
+  histogram.name = "vupred_serve_request_seconds";
+  histogram.help = "Scoring latency of finished requests.";
+  histogram.type = obs::MetricType::kHistogram;
+  obs::MetricSample histogram_sample;
+  histogram_sample.labels = labels;
+  histogram_sample.histogram = std::move(latency);
+  histogram.samples.push_back(std::move(histogram_sample));
+  out->families.push_back(std::move(histogram));
 }
 
 std::string ServingStats::HistogramToString() const {

@@ -1,16 +1,18 @@
 #ifndef VUPRED_SERVE_SERVING_STATS_H_
 #define VUPRED_SERVE_SERVING_STATS_H_
 
-#include <atomic>
 #include <cstddef>
 #include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace vup::serve {
 
-/// Fixed-bucket latency histogram for online scoring.
+/// Fixed-bucket latency histogram for online scoring: a thin façade over
+/// the shared obs::Histogram, pinned to the serving latency ladder.
 ///
 /// Buckets are exponential-ish upper bounds from 10 microseconds to
 /// 5 seconds plus a +inf overflow bucket, chosen so that sub-millisecond
@@ -18,7 +20,7 @@ namespace vup::serve {
 /// buckets. Quantile() returns the upper bound of the bucket holding the
 /// requested rank -- a conservative (never under-reporting) estimate.
 ///
-/// Not internally synchronized; ServingStats guards it.
+/// Internally synchronized (atomic buckets); safe to share.
 class LatencyHistogram {
  public:
   LatencyHistogram();
@@ -26,20 +28,22 @@ class LatencyHistogram {
   /// Bucket upper bounds in seconds (the last, +inf, is not included).
   static std::span<const double> BucketBoundsSeconds();
 
-  void Record(double seconds);
+  void Record(double seconds) { histogram_.Record(seconds); }
 
-  size_t count() const { return count_; }
+  size_t count() const { return static_cast<size_t>(histogram_.count()); }
 
   /// Upper bound (seconds) of the bucket containing quantile `q` in
   /// [0, 1]. Returns 0 when empty; the last finite bound for overflow.
-  double Quantile(double q) const;
+  double Quantile(double q) const { return histogram_.Quantile(q); }
 
   /// One line per non-empty bucket: "<=bound_ms count".
   std::string ToString() const;
 
+  const obs::Histogram& histogram() const { return histogram_; }
+  obs::Histogram* mutable_histogram() { return &histogram_; }
+
  private:
-  std::vector<size_t> counts_;  // One per bound, plus the overflow bucket.
-  size_t count_ = 0;
+  obs::Histogram histogram_;
 };
 
 /// Snapshot of the service counters, taken atomically.
@@ -56,18 +60,18 @@ struct ServingStatsSnapshot {
 };
 
 /// Thread-safe request metrics: latency histogram, outcome counters and an
-/// in-flight gauge.
+/// in-flight gauge, carried on the shared obs instruments so the same
+/// state snapshots atomically (mutex) *and* exports through the metrics
+/// layer (Collect) without double bookkeeping.
 class ServingStats {
  public:
   /// RAII in-flight gauge: construction increments, destruction decrements.
   class InFlight {
    public:
     explicit InFlight(ServingStats* stats) : stats_(stats) {
-      stats_->in_flight_.fetch_add(1, std::memory_order_relaxed);
+      stats_->in_flight_.Add(1);
     }
-    ~InFlight() {
-      stats_->in_flight_.fetch_sub(1, std::memory_order_relaxed);
-    }
+    ~InFlight() { stats_->in_flight_.Add(-1); }
     InFlight(const InFlight&) = delete;
     InFlight& operator=(const InFlight&) = delete;
 
@@ -88,18 +92,25 @@ class ServingStats {
 
   ServingStatsSnapshot Snapshot() const;
 
+  /// Appends the serving metric families (vupred_serve_*) to `out`, every
+  /// sample tagged with `labels`. Safe to call concurrently with
+  /// recording; counters and histogram come from one locked read, so the
+  /// export is as consistent as Snapshot().
+  void Collect(obs::MetricsSnapshot* out,
+               const obs::LabelSet& labels = {}) const;
+
   /// The histogram rendered as text (for reports).
   std::string HistogramToString() const;
 
  private:
   mutable std::mutex mu_;
   LatencyHistogram histogram_;
-  size_t requests_ = 0;
-  size_t failures_ = 0;
-  size_t degraded_ = 0;
-  size_t shed_ = 0;
-  size_t deadline_exceeded_ = 0;
-  std::atomic<size_t> in_flight_{0};
+  obs::Counter requests_;
+  obs::Counter failures_;
+  obs::Counter degraded_;
+  obs::Counter shed_;
+  obs::Counter deadline_exceeded_;
+  obs::Gauge in_flight_;
 };
 
 }  // namespace vup::serve

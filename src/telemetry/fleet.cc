@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/random.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace vup {
 
@@ -152,6 +153,14 @@ VehicleDailySeries Fleet::GenerateDailySeries(size_t index) const {
   for (Date d = info.install_date; d <= config_.end_date; d = d.AddDays(1)) {
     series.days.push_back(usage.NextDailyRecord(d, model));
   }
+  static obs::Counter* series_total = obs::MetricsRegistry::Global().GetCounter(
+      "vupred_fleet_series_generated_total",
+      "Per-vehicle daily series generated from the usage model.");
+  static obs::Counter* days_total = obs::MetricsRegistry::Global().GetCounter(
+      "vupred_fleet_days_generated_total",
+      "Daily usage records generated across all vehicles.");
+  series_total->Increment();
+  days_total->Increment(series.days.size());
   return series;
 }
 

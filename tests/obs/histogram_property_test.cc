@@ -1,0 +1,114 @@
+// Property-style check for bucketed histogram quantiles: against seeded
+// random samples, Quantile(q) must be conservative (never below the exact
+// nearest-rank sample quantile) and must equal the upper bound of the
+// bucket that contains that exact quantile.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "obs/metrics.h"
+#include "serve/serving_stats.h"
+
+namespace vup::obs {
+namespace {
+
+// Exact nearest-rank quantile over the raw samples.
+double ExactQuantile(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(samples.size())));
+  if (rank < 1) rank = 1;
+  if (rank > samples.size()) rank = samples.size();
+  return samples[rank - 1];
+}
+
+// Upper bound of the bucket that `value` falls into; values past the last
+// finite bound report the last finite bound (the histogram cannot resolve
+// beyond it).
+double BucketCeil(const std::vector<double>& bounds, double value) {
+  for (double b : bounds) {
+    if (value <= b) return b;
+  }
+  return bounds.back();
+}
+
+void CheckQuantilesAgainstExact(const std::vector<double>& bounds,
+                                const std::vector<double>& samples) {
+  Histogram hist(bounds);
+  for (double s : samples) hist.Record(s);
+  ASSERT_EQ(hist.count(), samples.size());
+
+  const double quantiles[] = {0.01, 0.1, 0.25, 0.5,  0.75,
+                              0.9,  0.95, 0.99, 0.999, 1.0};
+  for (double q : quantiles) {
+    double exact = ExactQuantile(samples, q);
+    double bucketed = hist.Quantile(q);
+    // Conservative: the bucket answer never understates the exact one.
+    EXPECT_GE(bucketed, exact) << "q=" << q;
+    // And it is exactly the containing bucket's upper bound.
+    EXPECT_DOUBLE_EQ(bucketed, BucketCeil(bounds, exact)) << "q=" << q;
+  }
+}
+
+TEST(HistogramPropertyTest, LatencyLadderUniformSamples) {
+  const std::vector<double> bounds = Histogram::LatencyBoundsSeconds();
+  for (uint64_t seed : {1ull, 42ull, 20260807ull}) {
+    Rng rng(seed);
+    std::vector<double> samples;
+    for (int i = 0; i < 5000; ++i) {
+      // Log-uniform over [10us, ~3s]: exercises every rung of the ladder.
+      samples.push_back(1e-5 * std::pow(10.0, 5.5 * rng.Uniform()));
+    }
+    CheckQuantilesAgainstExact(bounds, samples);
+  }
+}
+
+TEST(HistogramPropertyTest, CoarseBoundsHeavyTies) {
+  // Few buckets and many tied samples: rank arithmetic must still pick the
+  // correct containing bucket.
+  const std::vector<double> bounds = {0.5, 1.0, 2.0, 4.0};
+  Rng rng(7);
+  std::vector<double> samples;
+  for (int i = 0; i < 2000; ++i) {
+    samples.push_back(0.25 * static_cast<double>(rng.UniformInt(0, 16)));
+  }
+  // Samples above 4.0 exist, so high quantiles saturate at the last bound.
+  CheckQuantilesAgainstExact(bounds, samples);
+}
+
+TEST(HistogramPropertyTest, OverflowSaturatesAtLastFiniteBound) {
+  Histogram hist({1.0, 2.0});
+  for (int i = 0; i < 100; ++i) hist.Record(50.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(1.0), 2.0);
+}
+
+TEST(HistogramPropertyTest, EmptyHistogramQuantileIsZero) {
+  Histogram hist(Histogram::LatencyBoundsSeconds());
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramPropertyTest, ServingLatencyFacadeMatchesObsHistogram) {
+  // serve::LatencyHistogram is a thin facade over obs::Histogram and must
+  // agree with it sample for sample.
+  serve::LatencyHistogram facade;
+  Histogram direct(Histogram::LatencyBoundsSeconds());
+  Rng rng(99);
+  for (int i = 0; i < 3000; ++i) {
+    double s = rng.Uniform() * 0.2;
+    facade.Record(s);
+    direct.Record(s);
+  }
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(facade.Quantile(q), direct.Quantile(q)) << "q=" << q;
+  }
+  EXPECT_EQ(facade.count(), direct.count());
+}
+
+}  // namespace
+}  // namespace vup::obs

@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/export.h"
+
 #ifndef VUP_CLI_PATH
 #error "VUP_CLI_PATH must be defined by the build"
 #endif
@@ -267,6 +269,176 @@ TEST(CliTest, ServeBenchOverloadIsSeededAndDeterministic) {
   EXPECT_EQ(CliExitCode("serve-bench --registry=" + registry +
                         " --overload --shed-policy=coin-flip"),
             2);
+}
+
+TEST(CliTest, MetricsFlagsValidation) {
+  // Misspelled --metrics-* flags hit the unknown-flag allowlist.
+  EXPECT_EQ(CliExitCode("fleet --metrics-outt=/tmp/x.prom"), 2);
+  EXPECT_EQ(CliExitCode("fleet --metrics-fromat=json"), 2);
+  EXPECT_EQ(CliExitCode("serve-bench --registry=/tmp --metrics-bogus=1"),
+            2);
+  // A bad format value is rejected before any work happens.
+  EXPECT_EQ(CliExitCode("fleet --metrics-out=/tmp/x --metrics-format=xml"),
+            2);
+  EXPECT_EQ(CliExitCode("serve-bench --registry=/tmp --metrics-format=xml"),
+            2);
+}
+
+TEST(CliTest, ServeBenchOverloadMetricsRoundTripAndLegacyJsonStable) {
+  std::string dir = TempDir();
+  std::string registry = dir + "/metrics_registry";
+  ASSERT_EQ(RunCli("publish --out=" + registry +
+                   " --vehicles=10 --max-vehicles=3 --train-days=120"),
+            0);
+
+  std::string args = "serve-bench --registry=" + registry +
+                     " --workers=2 --batch=64 --requests=512 --overload" +
+                     " --overload-seed=7 --deadline-ms=50 --admission=8" +
+                     " --shed-policy=shed-newest";
+  std::string json_with = dir + "/metrics_bench.json";
+  std::string json_without = dir + "/metrics_bench_plain.json";
+  std::string prom_path = dir + "/metrics.prom";
+  std::string stdout_file = dir + "/metrics_bench.txt";
+  ASSERT_EQ(RunCli(args + " --json=" + json_with +
+                       " --metrics-out=" + prom_path,
+                   stdout_file),
+            0);
+  EXPECT_NE(ReadFile(stdout_file).find("wrote metrics (prom) to"),
+            std::string::npos);
+
+  // Round trip: the emitted exposition text must parse back, and its
+  // values must agree with the legacy BENCH_serve.json counters (both are
+  // read from the same stats after the run).
+  std::string prom_text = ReadFile(prom_path);
+  ASSERT_FALSE(prom_text.empty());
+  obs::ParsedMetrics parsed;
+  std::string error;
+  ASSERT_TRUE(obs::ParsePrometheusText(prom_text, &parsed, &error))
+      << error;
+  std::string json_text = ReadFile(json_with);
+  auto json_number = [&](const std::string& field) {
+    return std::stod(JsonField(json_text, field));
+  };
+  EXPECT_EQ(parsed.Value("vupred_serve_shed_total", {}, -1.0),
+            json_number("shed"));
+  EXPECT_EQ(parsed.Value("vupred_serve_deadline_exceeded_total", {}, -1.0),
+            json_number("deadline_exceeded"));
+  EXPECT_GE(parsed.Value("vupred_serve_requests_total"),
+            json_number("requests"));
+  EXPECT_EQ(parsed.Value("vupred_registry_generation", {}, -1.0),
+            json_number("generation"));
+  EXPECT_EQ(parsed.Value("vupred_registry_reloads_total", {}, -1.0),
+            json_number("reloads"));
+  EXPECT_EQ(parsed.Value("vupred_registry_hits_total", {}, -1.0),
+            json_number("cache_hits"));
+  EXPECT_EQ(parsed.Value("vupred_serve_in_flight", {}, -1.0), 0.0);
+  EXPECT_GT(parsed.Value("vupred_threadpool_tasks_total",
+                         {{"pool", "serve"}}),
+            0.0);
+  // The latency histogram exports cumulative buckets ending in +Inf, and
+  // the +Inf bucket equals the _count series.
+  const obs::ParsedSample* inf_bucket = parsed.Find(
+      "vupred_serve_request_seconds_bucket", {{"le", "+Inf"}});
+  ASSERT_NE(inf_bucket, nullptr);
+  EXPECT_EQ(inf_bucket->value,
+            parsed.Value("vupred_serve_request_seconds_count"));
+  bool saw_counter_type = false;
+  for (const auto& [name, type] : parsed.types) {
+    if (name == "vupred_serve_requests_total") {
+      saw_counter_type = type == "counter";
+    }
+  }
+  EXPECT_TRUE(saw_counter_type);
+
+  // The metrics flag must not perturb the legacy report: every
+  // deterministic BENCH_serve.json field matches a run without it.
+  ASSERT_EQ(RunCli(args + " --json=" + json_without,
+                   dir + "/metrics_bench_plain.txt"),
+            0);
+  std::string plain_text = ReadFile(json_without);
+  for (const char* field :
+       {"requests", "ok", "degraded", "failed", "shed",
+        "deadline_exceeded", "breaker_opens", "breaker_short_circuits",
+        "generation", "reloads", "cache_hits", "cache_misses",
+        "cache_evictions"}) {
+    EXPECT_EQ(JsonField(json_text, field), JsonField(plain_text, field))
+        << field;
+  }
+}
+
+TEST(CliTest, FleetMetricsDeterministicAcrossRuns) {
+  std::string dir = TempDir();
+  std::string base =
+      "fleet --vehicles=20 --max-vehicles=3 --eval-days=10 --jobs=4 ";
+  std::string prom_a = dir + "/fleet_metrics_a.prom";
+  std::string prom_b = dir + "/fleet_metrics_b.prom";
+  ASSERT_EQ(RunCli(base + "--metrics-out=" + prom_a,
+                   dir + "/fleet_metrics_a.txt"),
+            0);
+  ASSERT_EQ(RunCli(base + "--metrics-out=" + prom_b,
+                   dir + "/fleet_metrics_b.txt"),
+            0);
+
+  obs::ParsedMetrics a, b;
+  std::string error;
+  ASSERT_TRUE(obs::ParsePrometheusText(ReadFile(prom_a), &a, &error))
+      << error;
+  ASSERT_TRUE(obs::ParsePrometheusText(ReadFile(prom_b), &b, &error))
+      << error;
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+
+  // Same seed, same work: every metric value matches across the two runs
+  // except wall-time measurements, which are all namespaced *_seconds.
+  for (const obs::ParsedSample& sample : a.samples) {
+    const obs::ParsedSample* other = b.Find(sample.name, sample.labels);
+    ASSERT_NE(other, nullptr) << sample.name;
+    if (sample.value != other->value) {
+      EXPECT_EQ(sample.name.rfind("vupred_", 0), 0u) << sample.name;
+      EXPECT_NE(sample.name.find("_seconds"), std::string::npos)
+          << sample.name << " differs but is not a timing metric";
+    }
+  }
+
+  // Spot-check the pipeline counters are real (nonzero and exact).
+  EXPECT_EQ(a.Value("vupred_fleet_vehicles_evaluated_total", {}, -1.0),
+            3.0);
+  EXPECT_GT(a.Value("vupred_fleet_series_generated_total"), 0.0);
+  EXPECT_GT(a.Value("vupred_clean_records_total"), 0.0);
+  EXPECT_GT(a.Value("vupred_threadpool_tasks_total", {{"pool", "fleet"}}),
+            0.0);
+  EXPECT_EQ(a.Value("vupred_threadpool_queue_depth", {{"pool", "fleet"}},
+                    -1.0),
+            0.0);
+}
+
+TEST(CliTest, FleetMetricsJsonFormatAndTrace) {
+  std::string dir = TempDir();
+  std::string json_path = dir + "/fleet_metrics.json";
+  std::string out = dir + "/fleet_metrics_json.txt";
+  // A .json extension selects the JSON exporter without --metrics-format.
+  ASSERT_EQ(RunCli("fleet --vehicles=10 --max-vehicles=2 --eval-days=10 "
+                   "--metrics-out=" +
+                       json_path,
+                   out),
+            0);
+  EXPECT_NE(ReadFile(out).find("wrote metrics (json) to"),
+            std::string::npos);
+  std::string json_text = ReadFile(json_path);
+  EXPECT_NE(
+      json_text.find("\"vupred_fleet_vehicles_evaluated_total\": 2"),
+      std::string::npos);
+
+  // --trace prints the aggregated span tree for the training pipeline.
+  std::string trace_out = dir + "/fleet_trace.txt";
+  ASSERT_EQ(RunCli("fleet --vehicles=10 --max-vehicles=2 --eval-days=10 "
+                   "--trace",
+                   trace_out),
+            0);
+  std::string trace_text = ReadFile(trace_out);
+  EXPECT_NE(trace_text.find("trace ("), std::string::npos);
+  EXPECT_NE(trace_text.find("prepare"), std::string::npos);
+  EXPECT_NE(trace_text.find("ingest"), std::string::npos);
+  EXPECT_NE(trace_text.find("fit"), std::string::npos);
 }
 
 }  // namespace

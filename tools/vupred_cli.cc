@@ -32,6 +32,9 @@
 #include "core/evaluation.h"
 #include "core/experiment.h"
 #include "core/forecaster.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/model_registry.h"
 #include "serve/prediction_service.h"
 #include "table/csv.h"
@@ -102,6 +105,68 @@ int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
 }
+
+// ---- Observability plumbing (shared by fleet and serve-bench) ----------
+
+/// Resolves --metrics-format, defaulting by --metrics-out extension:
+/// *.json -> json, anything else -> prom. Empty string on a bad value
+/// (reported to stderr); call before doing any work so a typo exits fast.
+std::string ResolveMetricsFormat(const Flags& flags) {
+  const std::string path = flags.Get("metrics-out", "");
+  std::string format = flags.Get("metrics-format", "");
+  if (format.empty()) {
+    const std::string json_ext = ".json";
+    const bool json = path.size() >= json_ext.size() &&
+                      path.compare(path.size() - json_ext.size(),
+                                   json_ext.size(), json_ext) == 0;
+    format = json ? "json" : "prom";
+  }
+  if (format != "prom" && format != "json") {
+    std::fprintf(stderr, "unknown --metrics-format=%s (prom|json)\n",
+                 format.c_str());
+    return "";
+  }
+  return format;
+}
+
+/// Writes the snapshot to --metrics-out (no-op when the flag is absent).
+int WriteMetricsOutput(const Flags& flags, const std::string& format,
+                       obs::MetricsSnapshot snapshot) {
+  const std::string path = flags.Get("metrics-out", "");
+  if (path.empty()) return 0;
+  snapshot.Normalize();
+  const std::string text = format == "json" ? obs::ToJson(snapshot)
+                                            : obs::ToPrometheusText(snapshot);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Fail(Status::Internal("cannot write " + path));
+  out << text;
+  out.flush();
+  if (!out) return Fail(Status::DataLoss("write failed: " + path));
+  std::printf("wrote metrics (%s) to %s\n", format.c_str(), path.c_str());
+  return 0;
+}
+
+/// RAII --trace handling: activates a tracer for the scope and prints the
+/// aggregated span tree on destruction when tracing was requested.
+class ScopedCliTracer {
+ public:
+  explicit ScopedCliTracer(bool enabled) : enabled_(enabled) {
+    if (enabled_) obs::Tracer::SetActive(&tracer_);
+  }
+  ~ScopedCliTracer() {
+    if (!enabled_) return;
+    obs::Tracer::SetActive(nullptr);
+    std::printf("trace (%llu root spans):\n%s",
+                static_cast<unsigned long long>(tracer_.num_roots()),
+                tracer_.ToString().c_str());
+  }
+  ScopedCliTracer(const ScopedCliTracer&) = delete;
+  ScopedCliTracer& operator=(const ScopedCliTracer&) = delete;
+
+ private:
+  bool enabled_;
+  obs::Tracer tracer_;
+};
 
 StatusOr<VehicleDataset> LoadDatasetCsv(const std::string& path,
                                         const std::string& country_code) {
@@ -285,6 +350,10 @@ int RunFleet(const Flags& flags) {
     jobs = std::clamp<int64_t>(hw == 0 ? 1 : static_cast<int64_t>(hw), 1,
                                16);
   }
+  const std::string metrics_format = ResolveMetricsFormat(flags);
+  if (metrics_format.empty()) return 2;
+  ScopedCliTracer tracer(flags.Has("trace"));
+
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   Fleet fleet =
       Fleet::Generate(FleetConfig::Small(static_cast<size_t>(vehicles), seed));
@@ -320,6 +389,9 @@ int RunFleet(const Flags& flags) {
               result.fleet.vehicles_skipped,
               result.fleet.vehicles_quarantined);
   std::printf("degradation: %s\n", result.degradation.ToString().c_str());
+  const int metrics_rc = WriteMetricsOutput(
+      flags, metrics_format, obs::MetricsRegistry::Global().Snapshot());
+  if (metrics_rc != 0) return metrics_rc;
   if (flags.Has("strict") && result.degradation.vehicles_quarantined > 0) {
     std::fprintf(stderr,
                  "error: %zu vehicles quarantined under --strict\n",
@@ -471,6 +543,10 @@ int RunServeBench(const Flags& flags) {
     return 2;
   }
 
+  const std::string metrics_format = ResolveMetricsFormat(flags);
+  if (metrics_format.empty()) return 2;
+  ScopedCliTracer tracer(flags.Has("trace"));
+
   // Starts at 1ms so an epoch-zero deadline is already expired.
   FakeClock fake_clock(1'000'000);
 
@@ -537,7 +613,7 @@ int RunServeBench(const Flags& flags) {
     stream.push_back(req);
   }
 
-  ThreadPool pool({workers, /*queue_capacity=*/4096});
+  ThreadPool pool({workers, /*queue_capacity=*/4096, "serve"});
   serve::PredictionService::Options service_opts;
   service_opts.admission_capacity = admission;
   service_opts.overload_policy = policy;
@@ -673,7 +749,13 @@ int RunServeBench(const Flags& flags) {
       reg_stats.evictions);
   if (!json) return Fail(Status::DataLoss("write failed: " + json_path));
   std::printf("wrote %s\n", json_path.c_str());
-  return 0;
+
+  // Unified metrics export: global instruments (thread pool, pipeline)
+  // plus the serving components' collected families.
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  service.CollectMetrics(&snapshot);
+  registry.value().CollectMetrics(&snapshot);
+  return WriteMetricsOutput(flags, metrics_format, std::move(snapshot));
 }
 
 // ---- Command registry -------------------------------------------------
@@ -728,14 +810,19 @@ const std::vector<Command>& Commands() {
        "  [--algorithm=Lasso] [--eval-days=20] [--retrain-every=10]\n"
        "  [--train-window=60] [--lookback=21] [--topk=7] [--jobs=N]\n"
        "  [--fault-profile=none|mild|severe] [--fault-seed=S] [--strict]\n"
+       "  [--metrics-out=FILE] [--metrics-format=prom|json] [--trace]\n"
        "  Fleet experiment on a demo fleet, optionally routed through the\n"
        "  telemetry fault injector. --jobs=N evaluates vehicles on N\n"
        "  worker threads with byte-identical output; --jobs=0 picks one\n"
        "  job per hardware thread (capped at 16). With --strict, exits\n"
-       "  non-zero when any vehicle was quarantined.\n",
+       "  non-zero when any vehicle was quarantined. --metrics-out writes\n"
+       "  the metrics snapshot (Prometheus text, or JSON when the path\n"
+       "  ends in .json or --metrics-format=json); --trace prints the\n"
+       "  aggregated pipeline span tree.\n",
        {"vehicles", "seed", "max-vehicles", "algorithm", "eval-days",
         "retrain-every", "train-window", "lookback", "topk", "jobs",
-        "fault-profile", "fault-seed", "strict"},
+        "fault-profile", "fault-seed", "strict", "metrics-out",
+        "metrics-format", "trace"},
        {},
        RunFleet},
       {"publish", "train the fleet and publish bundles into a registry",
@@ -756,7 +843,8 @@ const std::vector<Command>& Commands() {
        "  [--batch=64] [--requests=512] [--cache=32] [--stream-seed=7]\n"
        "  [--json=BENCH_serve.json] [--overload] [--overload-seed=7]\n"
        "  [--admission=N] [--shed-policy=block|shed-newest|shed-oldest]\n"
-       "  [--deadline-ms=50]\n"
+       "  [--deadline-ms=50] [--metrics-out=FILE]\n"
+       "  [--metrics-format=prom|json] [--trace]\n"
        "  Replay a deterministic request stream against the prediction\n"
        "  service at the given batch size and worker count; print a\n"
        "  latency/throughput report, verify serving == offline on a\n"
@@ -764,10 +852,12 @@ const std::vector<Command>& Commands() {
        "  offered load past the admission capacity under a fake clock\n"
        "  (seeded expired deadlines, mid-run registry Reload) and reports\n"
        "  shed / deadline-exceeded / breaker counters -- deterministic\n"
-       "  per seed.\n",
+       "  per seed. --metrics-out writes the unified metrics snapshot\n"
+       "  (Prometheus text, or JSON when the path ends in .json or\n"
+       "  --metrics-format=json); --trace prints the serving span tree.\n",
        {"registry", "workers", "batch", "requests", "cache", "stream-seed",
         "json", "overload", "overload-seed", "admission", "shed-policy",
-        "deadline-ms"},
+        "deadline-ms", "metrics-out", "metrics-format", "trace"},
        {"registry"},
        RunServeBench},
   };
