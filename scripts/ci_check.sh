@@ -20,6 +20,18 @@ cmake -B build -S .
 cmake --build build -j"${JOBS}"
 (cd build && ctest --output-on-failure -j"${JOBS}")
 
+echo "== tier-1b: core-bench smoke (equivalence only, no timing gates) =="
+# Seeded naive-vs-incremental run; the command exits non-zero if any
+# prediction or error metric diverges bitwise. Timings are machine-local
+# noise in CI, so no thresholds are asserted here (see DESIGN.md section
+# 10 for the benchmark methodology).
+./build/tools/vupred core-bench --vehicles=8 --max-vehicles=1 \
+  --eval-days=8 --lookback=30 --train-window=40 --topk=10 \
+  --json=build/BENCH_core_smoke.json
+grep -q '"bench": "core"' build/BENCH_core_smoke.json
+grep -q '"window_stage_speedup"' build/BENCH_core_smoke.json
+grep -q '"verify": "exact-match"' build/BENCH_core_smoke.json
+
 if [[ "${FAST}" == 1 ]]; then
   echo "== skipping sanitizer gate (--fast) =="
   exit 0

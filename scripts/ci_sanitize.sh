@@ -11,4 +11,12 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 
 cmake --preset sanitize
 cmake --build --preset sanitize -j"${JOBS}"
+
+# Focused first pass over the incremental-windowing surface: the ring
+# buffer, sliding ACF, and the lag-selection comparator are the paths where
+# index arithmetic or ordering UB would hide, so fail fast on them before
+# the full suite.
+ctest --preset sanitize -j"${JOBS}" -R \
+  'core_windowing_test|stats_acf_test|core_feature_selection_test|core_incremental_training_test|ml_grid_search_test'
+
 ctest --preset sanitize -j"${JOBS}" "$@"

@@ -5,6 +5,7 @@
 
 #include "common/string_util.h"
 #include "ml/metrics.h"
+#include "obs/trace.h"
 #include "stats/descriptive.h"
 
 namespace vup {
@@ -74,7 +75,12 @@ StatusOr<VehicleEvaluation> EvaluateVehicle(const VehicleDataset& ds,
     }
     ++since_retrain;
 
-    VUP_ASSIGN_OR_RETURN(double pred, forecaster.PredictTarget(working, t));
+    StatusOr<double> pred_or = [&] {
+      obs::TraceSpan span("predict");
+      return forecaster.PredictTarget(working, t);
+    }();
+    VUP_RETURN_IF_ERROR(pred_or.status());
+    const double pred = pred_or.value();
     out.dates.push_back(working.dates()[t]);
     out.actuals.push_back(working.hours()[t]);
     out.predictions.push_back(pred);

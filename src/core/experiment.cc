@@ -184,6 +184,10 @@ ExperimentRunner::VehicleRunOutcome ExperimentRunner::RunOneVehicle(
     size_t index, const EvaluationConfig& config,
     const ExperimentOptions& options, const RetryPolicy& policy,
     const FaultInjector* injector) {
+  // On pool workers this span becomes a root of its own thread-local tree;
+  // the aggregate tracer merges all "vehicle" trees by name, so per-vehicle
+  // spans survive --jobs=N unchanged.
+  obs::TraceSpan vehicle_span("vehicle");
   VehicleRunOutcome outcome;
   VehicleDegradation& entry = outcome.entry;
   entry.vehicle_index = index;

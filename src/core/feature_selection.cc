@@ -6,21 +6,38 @@
 
 namespace vup {
 
-std::vector<size_t> SelectLagsByAcf(std::span<const double> hours,
-                                    size_t lookback_w, size_t top_k) {
-  std::vector<size_t> lags;
-  if (lookback_w == 0 || top_k == 0) return lags;
-  const size_t k = std::min(top_k, lookback_w);
+namespace {
 
-  StatusOr<std::vector<double>> acf = Autocorrelation(hours, lookback_w);
+/// Shared tail of both overloads: rank lags from an ACF estimate, or fall
+/// back to the most recent K days when the estimate is unavailable
+/// (constant or too-short series).
+std::vector<size_t> LagsFromAcfOrFallback(
+    const StatusOr<std::vector<double>>& acf, size_t k) {
+  std::vector<size_t> lags;
   if (acf.ok()) {
     lags = TopKLagsByAcf(acf.value(), k);
   } else {
-    // Constant or too-short series: fall back to the most recent K days.
     for (size_t l = 1; l <= k; ++l) lags.push_back(l);
   }
   std::sort(lags.begin(), lags.end());
   return lags;
+}
+
+}  // namespace
+
+std::vector<size_t> SelectLagsByAcf(std::span<const double> hours,
+                                    size_t lookback_w, size_t top_k) {
+  if (lookback_w == 0 || top_k == 0) return {};
+  const size_t k = std::min(top_k, lookback_w);
+  return LagsFromAcfOrFallback(Autocorrelation(hours, lookback_w), k);
+}
+
+std::vector<size_t> SelectLagsByAcf(const SlidingAcf& acf, size_t begin,
+                                    size_t end, size_t top_k) {
+  const size_t lookback_w = acf.max_lag();
+  if (lookback_w == 0 || top_k == 0) return {};
+  const size_t k = std::min(top_k, lookback_w);
+  return LagsFromAcfOrFallback(acf.Window(begin, end), k);
 }
 
 std::vector<size_t> ColumnsForLags(std::span<const WindowColumn> columns,

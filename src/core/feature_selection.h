@@ -7,6 +7,7 @@
 
 #include "common/statusor.h"
 #include "core/windowing.h"
+#include "stats/acf.h"
 
 namespace vup {
 
@@ -23,11 +24,19 @@ struct FeatureSelectionConfig {
 /// Picks the top-K lags in [1, lookback_w] by ACF of `hours` (typically the
 /// training span of the series). Returned ascending.
 ///
-/// Degenerate series (constant, or shorter than lookback_w + 1) make the
-/// ACF undefined; the fallback keeps the K most recent lags (1..K), the
-/// natural uninformed prior.
+/// Degenerate series (constant, or shorter than lookback_w + 2 so the top
+/// lag lacks 2 overlapping points) make the ACF undefined; the fallback
+/// keeps the K most recent lags (1..K), the natural uninformed prior.
 std::vector<size_t> SelectLagsByAcf(std::span<const double> hours,
                                     size_t lookback_w, size_t top_k);
+
+/// Same selection, evaluated from a SlidingAcf cache over the full hours
+/// series: the window [begin, end) plays the role of the training span.
+/// acf.max_lag() plays the role of lookback_w, and the fallback semantics
+/// (constant or too-short window -> most recent K lags) are identical to
+/// the span overload.
+std::vector<size_t> SelectLagsByAcf(const SlidingAcf& acf, size_t begin,
+                                    size_t end, size_t top_k);
 
 /// Maps selected lags to the column indices of a windowed design matrix:
 /// keeps every kLagFeature column whose lag is selected plus every

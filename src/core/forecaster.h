@@ -3,6 +3,7 @@
 
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string_view>
 
 #include "common/statusor.h"
@@ -45,6 +46,16 @@ struct ForecasterConfig {
   bool standardize = true;
   /// Clamp predictions to the physical range [0, 24] hours.
   bool clamp_predictions = true;
+  /// Reuse windowing/ACF state across consecutive Train calls on the same
+  /// dataset: a sliding training span advances a ring-buffer design matrix
+  /// (SlidingWindowBuilder) and reads the training-span ACF from
+  /// precomputed running sums (SlidingAcf) instead of rebuilding both from
+  /// scratch each step. The windowed matrix is bit-identical to the naive
+  /// build; the ACF agrees up to floating-point rounding (see SlidingAcf).
+  /// Disable to force the naive full-rebuild path (the reference baseline
+  /// that `vupred core-bench` compares against). Not serialized by Save:
+  /// it changes how training runs, not what a trained pipeline is.
+  bool incremental_training = true;
 
   size_t ma_period = 30;  // Moving-average baseline period.
   /// LR on wide windowed designs needs Tikhonov stabilization (see
@@ -105,6 +116,11 @@ class VehicleForecaster {
            config_.algorithm == Algorithm::kMovingAverage;
   }
 
+  /// Advances (or rebuilds) the cached sliding-window builder so it covers
+  /// targets train_begin..train_end-1 of `ds`.
+  Status PrepareIncrementalWindow(const VehicleDataset& ds, size_t train_begin,
+                                  size_t train_end);
+
   ForecasterConfig config_;
   bool trained_ = false;
 
@@ -114,6 +130,17 @@ class VehicleForecaster {
   std::vector<WindowColumn> all_columns_;
   std::vector<size_t> selected_lags_;
   std::vector<size_t> selected_columns_;
+
+  // Incremental-training caches (config_.incremental_training). Valid only
+  // for the dataset identified by incremental_ds_/incremental_days_; Train
+  // resets them when it sees a different dataset. The identity key is the
+  // dataset's address plus its day count, so a caller mutating a dataset
+  // in place between Train calls must not reuse its address -- the
+  // evaluation pipeline never does (datasets are immutable once built).
+  std::optional<SlidingWindowBuilder> window_builder_;
+  std::optional<SlidingAcf> acf_cache_;
+  const void* incremental_ds_ = nullptr;
+  size_t incremental_days_ = 0;
 };
 
 }  // namespace vup

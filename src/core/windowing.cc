@@ -57,6 +57,11 @@ Status ValidateWindowing(const VehicleDataset& ds,
   if (config.lookback_w < 1) {
     return Status::InvalidArgument("lookback_w must be >= 1");
   }
+  if (ds.num_days() == 0) {
+    // Guard before the subtraction below: num_days() - 1 on an empty
+    // dataset wraps to SIZE_MAX and would accept any target index.
+    return Status::InvalidArgument("cannot window an empty dataset");
+  }
   size_t max_target = ds.num_days() - (allow_one_past_end ? 0 : 1);
   if (target_index > max_target) {
     return Status::OutOfRange(
@@ -130,6 +135,138 @@ StatusOr<std::vector<double>> BuildFeatureRowForTarget(
   std::vector<double> row;
   FillFeatureRow(ds, config, target_index, &row);
   return row;
+}
+
+void SlidingWindowBuilder::FillPhysicalRow(const VehicleDataset& ds,
+                                           size_t physical,
+                                           size_t target_index) {
+  scratch_.clear();
+  FillFeatureRow(ds, config_, target_index, &scratch_);
+  VUP_CHECK(scratch_.size() == columns_.size());
+  std::span<double> dst = rows_.MutableRow(physical);
+  for (size_t c = 0; c < scratch_.size(); ++c) dst[c] = scratch_[c];
+  y_[physical] = ds.hours()[target_index];
+  targets_[physical] = target_index;
+}
+
+StatusOr<SlidingWindowBuilder> SlidingWindowBuilder::Create(
+    const VehicleDataset& ds, const WindowingConfig& config,
+    size_t first_target, size_t last_target) {
+  if (first_target > last_target) {
+    return Status::InvalidArgument("first_target > last_target");
+  }
+  VUP_RETURN_IF_ERROR(ValidateWindowing(ds, config, first_target, false));
+  VUP_RETURN_IF_ERROR(ValidateWindowing(ds, config, last_target, false));
+
+  SlidingWindowBuilder b;
+  b.config_ = config;
+  b.columns_ = MakeWindowColumns(config);
+  b.num_records_ = last_target - first_target + 1;
+  b.first_target_ = first_target;
+  b.head_ = 0;
+  b.rows_ = Matrix(b.num_records_, b.columns_.size());
+  b.y_.assign(b.num_records_, 0.0);
+  b.targets_.assign(b.num_records_, 0);
+  b.scratch_.reserve(b.columns_.size());
+  for (size_t i = 0; i < b.num_records_; ++i) {
+    b.FillPhysicalRow(ds, i, first_target + i);
+  }
+  return b;
+}
+
+Status SlidingWindowBuilder::AdvanceTo(const VehicleDataset& ds,
+                                       size_t first_target,
+                                       size_t last_target) {
+  if (first_target > last_target) {
+    return Status::InvalidArgument("first_target > last_target");
+  }
+  if (last_target - first_target + 1 != num_records_) {
+    return Status::InvalidArgument(StrFormat(
+        "advance would change record count from %zu to %zu; rebuild instead",
+        num_records_, last_target - first_target + 1));
+  }
+  if (first_target < first_target_) {
+    return Status::InvalidArgument(StrFormat(
+        "window can only advance forward (at %zu, requested %zu)",
+        first_target_, first_target));
+  }
+  // Validate the whole requested span up front so a failure leaves the
+  // builder untouched at its current window.
+  VUP_RETURN_IF_ERROR(ValidateWindowing(ds, config_, last_target, false));
+  const size_t step = first_target - first_target_;
+  if (step == 0) return Status::OK();
+  if (step >= num_records_) {
+    // Disjoint jump: every row is stale; refill in place.
+    head_ = 0;
+    for (size_t i = 0; i < num_records_; ++i) {
+      FillPhysicalRow(ds, i, first_target + i);
+    }
+  } else {
+    // Evict the `step` oldest records, appending the newly exposed targets
+    // last_target - step + 1 .. last_target in their place.
+    for (size_t s = 0; s < step; ++s) {
+      FillPhysicalRow(ds, head_, this->last_target() + 1 + s);
+      head_ = (head_ + 1) % num_records_;
+    }
+  }
+  first_target_ = first_target;
+  return Status::OK();
+}
+
+std::span<const double> SlidingWindowBuilder::Row(size_t i) const {
+  VUP_CHECK(i < num_records_);
+  return rows_.Row(Physical(i));
+}
+
+double SlidingWindowBuilder::target(size_t i) const {
+  VUP_CHECK(i < num_records_);
+  return y_[Physical(i)];
+}
+
+size_t SlidingWindowBuilder::target_row(size_t i) const {
+  VUP_CHECK(i < num_records_);
+  return targets_[Physical(i)];
+}
+
+WindowedDataset SlidingWindowBuilder::Materialize() const {
+  WindowedDataset out;
+  out.columns = columns_;
+  out.x = MaterializeMatrix();
+  out.y = Targets();
+  out.target_rows.reserve(num_records_);
+  for (size_t i = 0; i < num_records_; ++i) {
+    out.target_rows.push_back(targets_[Physical(i)]);
+  }
+  return out;
+}
+
+Matrix SlidingWindowBuilder::MaterializeMatrix() const {
+  Matrix x(num_records_, columns_.size());
+  for (size_t i = 0; i < num_records_; ++i) {
+    std::span<const double> src = rows_.Row(Physical(i));
+    std::span<double> dst = x.MutableRow(i);
+    for (size_t c = 0; c < src.size(); ++c) dst[c] = src[c];
+  }
+  return x;
+}
+
+Matrix SlidingWindowBuilder::MaterializeColumns(
+    std::span<const size_t> cols) const {
+  for (size_t c : cols) VUP_CHECK(c < columns_.size());
+  Matrix x(num_records_, cols.size());
+  for (size_t i = 0; i < num_records_; ++i) {
+    std::span<const double> src = rows_.Row(Physical(i));
+    std::span<double> dst = x.MutableRow(i);
+    for (size_t j = 0; j < cols.size(); ++j) dst[j] = src[cols[j]];
+  }
+  return x;
+}
+
+std::vector<double> SlidingWindowBuilder::Targets() const {
+  std::vector<double> y;
+  y.reserve(num_records_);
+  for (size_t i = 0; i < num_records_; ++i) y.push_back(y_[Physical(i)]);
+  return y;
 }
 
 }  // namespace vup

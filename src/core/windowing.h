@@ -2,6 +2,7 @@
 #define VUPRED_CORE_WINDOWING_H_
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -79,6 +80,83 @@ StatusOr<WindowedDataset> BuildWindowedDataset(const VehicleDataset& ds,
 StatusOr<std::vector<double>> BuildFeatureRowForTarget(
     const VehicleDataset& ds, const WindowingConfig& config,
     size_t target_index);
+
+/// Incrementally maintained sliding-window design matrix.
+///
+/// The walk-forward evaluation (Section 3, sliding-window strategy) refits
+/// at spans [t-TW, t), then [t-TW+s, t+s), ...: consecutive spans share all
+/// but `s` records, yet BuildWindowedDataset recopies all |TW| * w * nf
+/// doubles each step. This builder keeps the record rows in a ring buffer
+/// and advances by overwriting the evicted oldest row(s) with the newly
+/// exposed target(s) -- O(s * w * nf) per step instead of O(|TW| * w * nf).
+///
+/// Invariants:
+///  - Physical row order rotates as the window slides; every accessor and
+///    materialization exposes the stable *logical* (chronological) view,
+///    logical record i == target first_target() + i.
+///  - Each row is written by the same code that BuildWindowedDataset uses,
+///    so Materialize()/MaterializeColumns() are bit-identical to a fresh
+///    build over the same span (feature values are pure functions of the
+///    dataset, config and target index).
+///  - The builder holds no reference to the dataset; callers pass the same
+///    dataset (unchanged) to Create and every AdvanceTo.
+class SlidingWindowBuilder {
+ public:
+  /// Builds the initial window over targets `first_target..last_target`
+  /// (inclusive). Same requirements/errors as BuildWindowedDataset.
+  static StatusOr<SlidingWindowBuilder> Create(const VehicleDataset& ds,
+                                               const WindowingConfig& config,
+                                               size_t first_target,
+                                               size_t last_target);
+
+  /// Slides the window forward so it covers `first_target..last_target`.
+  /// The span must keep the same record count and must not move backwards
+  /// (InvalidArgument otherwise; callers rebuild via Create instead).
+  /// Advancing by >= num_records() refills every row but is still valid.
+  Status AdvanceTo(const VehicleDataset& ds, size_t first_target,
+                   size_t last_target);
+
+  size_t num_records() const { return num_records_; }
+  size_t first_target() const { return first_target_; }
+  size_t last_target() const { return first_target_ + num_records_ - 1; }
+  const std::vector<WindowColumn>& columns() const { return columns_; }
+
+  /// Feature row of logical record i (0 == oldest target in the window).
+  std::span<const double> Row(size_t i) const;
+  /// Target value / source-dataset row of logical record i.
+  double target(size_t i) const;
+  size_t target_row(size_t i) const;
+
+  /// Full logical view; bit-identical to
+  /// BuildWindowedDataset(ds, config, first_target(), last_target()).
+  WindowedDataset Materialize() const;
+  /// Design matrix alone, logical row order.
+  Matrix MaterializeMatrix() const;
+  /// Design matrix restricted to `cols`, logical row order; bit-identical
+  /// to Materialize().x.SelectColumns(cols).
+  Matrix MaterializeColumns(std::span<const size_t> cols) const;
+  /// Targets in logical order.
+  std::vector<double> Targets() const;
+
+ private:
+  SlidingWindowBuilder() = default;
+
+  size_t Physical(size_t logical) const {
+    return (head_ + logical) % num_records_;
+  }
+  void FillPhysicalRow(const VehicleDataset& ds, size_t physical,
+                       size_t target_index);
+
+  WindowingConfig config_;
+  std::vector<WindowColumn> columns_;
+  size_t num_records_ = 0;
+  size_t first_target_ = 0;
+  size_t head_ = 0;  // Physical row index of logical record 0.
+  Matrix rows_;      // num_records_ x columns_.size(), ring order.
+  std::vector<double> y_;         // Ring order, parallel to rows_.
+  std::vector<size_t> targets_;   // Ring order, parallel to rows_.
+  std::vector<double> scratch_;   // Row assembly buffer.
+};
 
 }  // namespace vup
 

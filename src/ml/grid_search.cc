@@ -2,7 +2,9 @@
 
 #include <limits>
 #include <numeric>
+#include <utility>
 
+#include "common/thread_pool.h"
 #include "ml/metrics.h"
 
 namespace vup {
@@ -52,40 +54,71 @@ StatusOr<GridSearchResult> GridSearch(const RegressorFactory& factory,
   std::vector<double> y_train(y.begin(), y.begin() + static_cast<long>(n_train));
   std::vector<double> y_valid(y.begin() + static_cast<long>(n_train), y.end());
 
-  GridSearchResult result;
-  result.best_score = std::numeric_limits<double>::infinity();
-  Status last_failure = Status::OK();
-  for (const ParamMap& params : grid.Combinations()) {
+  // Models are built serially up front (the factory runs on this thread and
+  // keeps the serial path's abort-on-null behavior); fitting and scoring of
+  // independent combinations then runs serially or on a pool.
+  const std::vector<ParamMap> combinations = grid.Combinations();
+  std::vector<std::unique_ptr<Regressor>> models;
+  models.reserve(combinations.size());
+  for (const ParamMap& params : combinations) {
     std::unique_ptr<Regressor> model = factory(params);
     if (model == nullptr) {
       return Status::InvalidArgument("factory returned null model");
     }
-    Status fit = model->Fit(x_train, y_train);
-    if (!fit.ok()) {
-      last_failure = fit;
-      continue;
-    }
-    StatusOr<std::vector<double>> pred = model->Predict(x_valid);
-    if (!pred.ok()) {
-      last_failure = pred.status();
-      continue;
-    }
-    double score = 0.0;
+    models.push_back(std::move(model));
+  }
+
+  auto evaluate = [&](Regressor& model) -> StatusOr<double> {
+    VUP_RETURN_IF_ERROR(model.Fit(x_train, y_train));
+    VUP_ASSIGN_OR_RETURN(std::vector<double> pred, model.Predict(x_valid));
     switch (options.metric) {
       case GridMetric::kMae:
-        score = MeanAbsoluteError(pred.value(), y_valid);
-        break;
+        return MeanAbsoluteError(pred, y_valid);
       case GridMetric::kRmse:
-        score = RootMeanSquaredError(pred.value(), y_valid);
-        break;
+        return RootMeanSquaredError(pred, y_valid);
       case GridMetric::kPercentageError:
-        score = PercentageError(pred.value(), y_valid);
-        break;
+        return PercentageError(pred, y_valid);
     }
-    result.scores.emplace_back(params, score);
+    return Status::Internal("unreachable grid metric");
+  };
+
+  std::vector<StatusOr<double>> slots(
+      combinations.size(), StatusOr<double>(Status::Internal("unevaluated")));
+  if (options.jobs <= 1) {
+    for (size_t i = 0; i < combinations.size(); ++i) {
+      slots[i] = evaluate(*models[i]);
+    }
+  } else {
+    ThreadPool pool({options.jobs, combinations.size() + 1, "grid"});
+    for (size_t i = 0; i < combinations.size(); ++i) {
+      Status submitted = pool.Submit([&, i]() -> Status {
+        slots[i] = evaluate(*models[i]);
+        return Status::OK();
+      });
+      if (!submitted.ok()) {
+        // Cannot happen before Shutdown; fall back to inline just in case.
+        slots[i] = evaluate(*models[i]);
+      }
+    }
+    VUP_RETURN_IF_ERROR(pool.Shutdown());
+  }
+
+  // Fold in combination order: scores keep grid order, ties on best_score
+  // keep the earliest combination, and the all-failed status is the last
+  // failure in grid order -- all byte-identical to the serial fold.
+  GridSearchResult result;
+  result.best_score = std::numeric_limits<double>::infinity();
+  Status last_failure = Status::OK();
+  for (size_t i = 0; i < combinations.size(); ++i) {
+    if (!slots[i].ok()) {
+      last_failure = slots[i].status();
+      continue;
+    }
+    const double score = slots[i].value();
+    result.scores.emplace_back(combinations[i], score);
     if (score < result.best_score) {
       result.best_score = score;
-      result.best_params = params;
+      result.best_params = combinations[i];
     }
   }
   if (result.scores.empty()) {

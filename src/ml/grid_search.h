@@ -39,6 +39,15 @@ struct GridSearchOptions {
   /// time-ordered (no shuffling): these are forecasting problems.
   double validation_fraction = 0.25;
   GridMetric metric = GridMetric::kMae;
+  /// Worker threads for combination evaluation. 1 evaluates serially; N > 1
+  /// fits combinations concurrently on a ThreadPool. Results are folded in
+  /// combination order either way, so scores, best_params (earliest
+  /// strictly-lowest score wins) and the all-failed error status are
+  /// identical to the serial run. Models are constructed by the factory on
+  /// the calling thread; only Fit/Predict run on workers, so the factory
+  /// itself need not be thread-safe (the models it returns must not share
+  /// mutable state).
+  size_t jobs = 1;
 };
 
 struct GridSearchResult {

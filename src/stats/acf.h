@@ -15,8 +15,10 @@ namespace vup {
 /// the estimator behind the paper's Figure 2 and its statistics-based feature
 /// selection (Section 3). r(0) == 1 by construction; |r(l)| <= 1.
 ///
-/// Errors: InvalidArgument if the series is shorter than max_lag + 1 or has
-/// zero variance (autocorrelation undefined for a constant series).
+/// Errors: InvalidArgument if the series is shorter than max_lag + 2 (so the
+/// top lag keeps at least 2 overlapping points; a single-term numerator is
+/// not an autocorrelation estimate) or has zero variance (autocorrelation
+/// undefined for a constant series).
 StatusOr<std::vector<double>> Autocorrelation(std::span<const double> series,
                                               size_t max_lag);
 
@@ -28,7 +30,52 @@ double AcfSignificanceBound(size_t n);
 /// sorted by descending ACF value (ties broken by smaller lag).
 /// `acf` is the output of Autocorrelation (index == lag).
 /// Returns fewer than k lags when max_lag < k.
+/// Non-finite ACF entries (NaN/inf from degenerate numeric input) are
+/// ranked as minus-infinity, so selection is deterministic and the sort
+/// comparator stays a strict weak ordering.
 std::vector<size_t> TopKLagsByAcf(std::span<const double> acf, size_t k);
+
+/// Sliding-window autocorrelation from precomputed running sums.
+///
+/// The walk-forward evaluation recomputes the training-span ACF at every
+/// slide of the window; done directly, each step costs
+/// O(window * max_lag). This cache precomputes prefix sums of the series
+/// and of the lagged cross products x_t * x_{t-l} once (O(n * max_lag)),
+/// after which the ACF of *any* window [begin, end) is assembled in
+/// O(window + max_lag):
+///   num(l) = C_l - mean * (T1_l + T2_l) + (m - l) * mean^2,
+/// with C_l, T1_l, T2_l read off the prefix tables. The window mean and
+/// the variance denominator are computed directly over the window with the
+/// same operations as Autocorrelation, so the zero-variance
+/// (constant-series) and too-short error conditions match it exactly.
+///
+/// Determinism: for a given (series, max_lag, window) the result is a pure
+/// function of the inputs -- there is no accumulated add/subtract drift,
+/// because sums are differences of fixed prefix tables. Values agree with
+/// Autocorrelation up to floating-point rounding (the numerator is the
+/// algebraically expanded form); r(0) is pinned to exactly 1.
+class SlidingAcf {
+ public:
+  /// Copies `series` and builds the prefix tables. O(n * max_lag) time,
+  /// O(n * max_lag) memory.
+  SlidingAcf(std::span<const double> series, size_t max_lag);
+
+  /// ACF of series[begin, end) for lags 0..max_lag. Same error conditions
+  /// as Autocorrelation over that window, plus OutOfRange when the window
+  /// exceeds the series.
+  StatusOr<std::vector<double>> Window(size_t begin, size_t end) const;
+
+  size_t max_lag() const { return max_lag_; }
+  size_t size() const { return series_.size(); }
+
+ private:
+  std::vector<double> series_;
+  size_t max_lag_;
+  std::vector<double> prefix_;  // prefix_[i] = sum of series_[0..i).
+  /// Flattened (max_lag x (n+1)) cross-product prefixes: row l-1 holds
+  /// Q_l[i] = sum_{t=l}^{i-1} series_[t] * series_[t-l] (zero for i <= l).
+  std::vector<double> cross_;
+};
 
 }  // namespace vup
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include <gtest/gtest.h>
 
@@ -65,6 +66,49 @@ TEST(SelectLagsTest, DegenerateParamsEmpty) {
   std::vector<double> hours(50, 1.0);
   EXPECT_TRUE(SelectLagsByAcf(hours, 0, 5).empty());
   EXPECT_TRUE(SelectLagsByAcf(hours, 5, 0).empty());
+}
+
+TEST(SelectLagsTest, SingleOverlapSeriesFallsBackToRecent) {
+  // n == lookback_w + 1: the top lag would have a single-term numerator,
+  // which the tightened ACF precondition rejects -> recent-lags fallback.
+  std::vector<double> hours = {1, 5, 2, 4, 3, 6};
+  std::vector<size_t> lags = SelectLagsByAcf(hours, 5, 3);
+  EXPECT_EQ(lags, (std::vector<size_t>{1, 2, 3}));
+}
+
+TEST(SelectLagsCachedTest, MatchesSpanOverloadAcrossSlidingWindows) {
+  // The cached (SlidingAcf) overload must select exactly the lags the span
+  // overload selects for every training window the evaluation slides over.
+  Rng rng(29);
+  std::vector<double> hours;
+  for (int t = 0; t < 300; ++t) {
+    hours.push_back(4.0 + (t % 7 < 5 ? 2.0 : -2.0) + 0.3 * rng.Normal());
+  }
+  const size_t w = 21;
+  const size_t span_len = 80;
+  SlidingAcf cache(hours, w);
+  for (size_t begin = 0; begin + span_len <= hours.size(); begin += 9) {
+    std::vector<size_t> direct = SelectLagsByAcf(
+        std::span<const double>(hours.data() + begin, span_len), w, 6);
+    std::vector<size_t> cached =
+        SelectLagsByAcf(cache, begin, begin + span_len, 6);
+    EXPECT_EQ(cached, direct) << "window at " << begin;
+  }
+}
+
+TEST(SelectLagsCachedTest, FallbacksMatchSpanOverload) {
+  // Constant window -> recent-K fallback, identical to the span overload.
+  std::vector<double> hours(60, 7.5);
+  SlidingAcf cache(hours, 10);
+  EXPECT_EQ(SelectLagsByAcf(cache, 0, 40, 4),
+            (std::vector<size_t>{1, 2, 3, 4}));
+  // Too-short window -> same fallback.
+  EXPECT_EQ(SelectLagsByAcf(cache, 0, 11, 4),
+            (std::vector<size_t>{1, 2, 3, 4}));
+  // Degenerate parameters -> empty, as in the span overload.
+  EXPECT_TRUE(SelectLagsByAcf(cache, 0, 40, 0).empty());
+  SlidingAcf no_lags(hours, 0);
+  EXPECT_TRUE(SelectLagsByAcf(no_lags, 0, 40, 4).empty());
 }
 
 TEST(ColumnsForLagsTest, KeepsSelectedLagAndContextColumns) {

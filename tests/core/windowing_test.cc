@@ -1,5 +1,7 @@
 #include "core/windowing.h"
 
+#include <cstdint>
+
 #include <gtest/gtest.h>
 
 #include "pipeline/enrich.h"
@@ -169,6 +171,139 @@ TEST(WindowColumnTest, ToStringReadable) {
   EXPECT_EQ(lag.ToString(), "day_hours@t-7");
   WindowColumn ctx{WindowColumn::Kind::kTargetContext, 0, 0};
   EXPECT_EQ(ctx.ToString(), "ctx_day_of_week@target");
+}
+
+TEST(WindowingTest, EmptyDatasetIsRejectedNotUnderflowed) {
+  // Compressing a series whose every day is below the working-hours
+  // threshold yields a zero-day dataset. num_days() - 1 would wrap to
+  // SIZE_MAX, waving any target index through the range check and into
+  // out-of-bounds feature reads.
+  VehicleDataset ds = MakeDataset(10);  // hours are 0..9.
+  VehicleDataset empty = ds.CompressToWorkingDays(25.0);
+  ASSERT_EQ(empty.num_days(), 0u);
+  WindowingConfig cfg;
+  cfg.lookback_w = 3;
+  EXPECT_FALSE(BuildWindowedDataset(empty, cfg, 0, 0).ok());
+  EXPECT_FALSE(BuildWindowedDataset(empty, cfg, 7, 8).ok());
+  EXPECT_FALSE(BuildWindowedDataset(empty, cfg, SIZE_MAX - 1, SIZE_MAX).ok());
+  EXPECT_FALSE(BuildFeatureRowForTarget(empty, cfg, 0).ok());
+  EXPECT_FALSE(BuildFeatureRowForTarget(empty, cfg, 5).ok());
+  EXPECT_FALSE(SlidingWindowBuilder::Create(empty, cfg, 3, 5).ok());
+}
+
+TEST(WindowingTest, LookbackOfAllButOneDay) {
+  // w == num_days - 1 leaves exactly one valid target: the last day.
+  const int n = 12;
+  VehicleDataset ds = MakeDataset(n);
+  WindowingConfig cfg;
+  cfg.lookback_w = n - 1;
+  WindowedDataset w = BuildWindowedDataset(ds, cfg, n - 1, n - 1).value();
+  ASSERT_EQ(w.num_records(), 1u);
+  EXPECT_DOUBLE_EQ(w.y[0], ds.hours()[n - 1]);
+  // Lag-1 hours of the sole record is day n-2.
+  EXPECT_DOUBLE_EQ(w.x(0, 0), ds.hours()[n - 2]);
+  // Any earlier target lacks a full lookback; w == num_days has none.
+  EXPECT_FALSE(BuildWindowedDataset(ds, cfg, n - 2, n - 2).ok());
+  cfg.lookback_w = n;
+  EXPECT_FALSE(BuildWindowedDataset(ds, cfg, n - 1, n - 1).ok());
+}
+
+void ExpectBitIdentical(const WindowedDataset& a, const WindowedDataset& b) {
+  ASSERT_EQ(a.num_records(), b.num_records());
+  ASSERT_EQ(a.x.rows(), b.x.rows());
+  ASSERT_EQ(a.x.cols(), b.x.cols());
+  EXPECT_EQ(a.target_rows, b.target_rows);
+  for (size_t r = 0; r < a.num_records(); ++r) {
+    EXPECT_EQ(a.y[r], b.y[r]) << "y row " << r;
+    for (size_t c = 0; c < a.x.cols(); ++c) {
+      EXPECT_EQ(a.x(r, c), b.x(r, c)) << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(SlidingWindowBuilderTest, MaterializeMatchesFreshBuildAcrossAdvances) {
+  VehicleDataset ds = MakeDataset(60);
+  WindowingConfig cfg;
+  cfg.lookback_w = 8;
+  const size_t count = 20;
+  SlidingWindowBuilder builder =
+      SlidingWindowBuilder::Create(ds, cfg, 8, 8 + count - 1).value();
+  for (size_t first = 8; first + count - 1 < ds.num_days(); ++first) {
+    ASSERT_TRUE(builder.AdvanceTo(ds, first, first + count - 1).ok());
+    EXPECT_EQ(builder.first_target(), first);
+    EXPECT_EQ(builder.last_target(), first + count - 1);
+    WindowedDataset fresh =
+        BuildWindowedDataset(ds, cfg, first, first + count - 1).value();
+    ExpectBitIdentical(builder.Materialize(), fresh);
+  }
+}
+
+TEST(SlidingWindowBuilderTest, MultiStepAndDisjointJumps) {
+  VehicleDataset ds = MakeDataset(80);
+  WindowingConfig cfg;
+  cfg.lookback_w = 6;
+  const size_t count = 10;
+  SlidingWindowBuilder builder =
+      SlidingWindowBuilder::Create(ds, cfg, 6, 6 + count - 1).value();
+  // Multi-record step (retrain_every > 1), then a jump past the whole
+  // window (every row refilled), then a no-op advance.
+  for (size_t first : {9u, 15u, 40u, 40u}) {
+    ASSERT_TRUE(builder.AdvanceTo(ds, first, first + count - 1).ok());
+    WindowedDataset fresh =
+        BuildWindowedDataset(ds, cfg, first, first + count - 1).value();
+    ExpectBitIdentical(builder.Materialize(), fresh);
+  }
+}
+
+TEST(SlidingWindowBuilderTest, LogicalAccessorsFollowTheWindow) {
+  VehicleDataset ds = MakeDataset(40);
+  WindowingConfig cfg;
+  cfg.lookback_w = 5;
+  SlidingWindowBuilder builder =
+      SlidingWindowBuilder::Create(ds, cfg, 5, 14).value();
+  ASSERT_TRUE(builder.AdvanceTo(ds, 8, 17).ok());
+  ASSERT_EQ(builder.num_records(), 10u);
+  for (size_t i = 0; i < builder.num_records(); ++i) {
+    EXPECT_EQ(builder.target_row(i), 8 + i);
+    EXPECT_DOUBLE_EQ(builder.target(i), ds.hours()[8 + i]);
+    // Lag-1 hours of logical record i targets day 8+i-1.
+    EXPECT_DOUBLE_EQ(builder.Row(i)[0], ds.hours()[8 + i - 1]);
+  }
+}
+
+TEST(SlidingWindowBuilderTest, MaterializeColumnsMatchesSelectColumns) {
+  VehicleDataset ds = MakeDataset(50);
+  WindowingConfig cfg;
+  cfg.lookback_w = 7;
+  SlidingWindowBuilder builder =
+      SlidingWindowBuilder::Create(ds, cfg, 7, 20).value();
+  ASSERT_TRUE(builder.AdvanceTo(ds, 12, 25).ok());
+  std::vector<size_t> cols = {0, 3, 9, builder.columns().size() - 1};
+  Matrix direct = builder.Materialize().x.SelectColumns(cols);
+  Matrix incremental = builder.MaterializeColumns(cols);
+  ASSERT_EQ(incremental.rows(), direct.rows());
+  ASSERT_EQ(incremental.cols(), direct.cols());
+  for (size_t r = 0; r < direct.rows(); ++r) {
+    for (size_t c = 0; c < direct.cols(); ++c) {
+      EXPECT_EQ(incremental(r, c), direct(r, c));
+    }
+  }
+}
+
+TEST(SlidingWindowBuilderTest, RejectsBackwardAndResizingAdvances) {
+  VehicleDataset ds = MakeDataset(40);
+  WindowingConfig cfg;
+  cfg.lookback_w = 5;
+  SlidingWindowBuilder builder =
+      SlidingWindowBuilder::Create(ds, cfg, 10, 19).value();
+  EXPECT_FALSE(builder.AdvanceTo(ds, 9, 18).ok());    // Backward.
+  EXPECT_FALSE(builder.AdvanceTo(ds, 12, 23).ok());   // Grows.
+  EXPECT_FALSE(builder.AdvanceTo(ds, 12, 15).ok());   // Shrinks.
+  EXPECT_FALSE(builder.AdvanceTo(ds, 35, 44).ok());   // Past the end.
+  // A failed advance leaves the window untouched and usable.
+  EXPECT_EQ(builder.first_target(), 10u);
+  WindowedDataset fresh = BuildWindowedDataset(ds, cfg, 10, 19).value();
+  ExpectBitIdentical(builder.Materialize(), fresh);
 }
 
 }  // namespace

@@ -117,6 +117,61 @@ TEST(GridSearchTest, AllFailingReturnsError) {
   EXPECT_FALSE(GridSearch(factory, grid, x, y, GridSearchOptions()).ok());
 }
 
+TEST(GridSearchTest, ParallelMatchesSerial) {
+  // jobs > 1 must be an implementation detail: identical scores (bitwise),
+  // identical combination order, identical winner.
+  Rng rng(9);
+  Matrix x(150, 8);
+  std::vector<double> y(150);
+  for (size_t r = 0; r < 150; ++r) {
+    for (size_t c = 0; c < 8; ++c) x(r, c) = rng.Normal();
+    y[r] = 1.5 * x(r, 1) - 0.7 * x(r, 4) + 0.2 * rng.Normal();
+  }
+  ParamGrid grid;
+  grid.axes["alpha"] = {0.01, 0.1, 1.0, 10.0, 100.0};
+  grid.axes["max_iter"] = {200, 400};
+  RegressorFactory factory = [](const ParamMap& p) {
+    Lasso::Options opts;
+    opts.alpha = p.at("alpha");
+    opts.max_iter = static_cast<size_t>(p.at("max_iter"));
+    return std::unique_ptr<Regressor>(new Lasso(opts));
+  };
+  GridSearchOptions serial;
+  serial.jobs = 1;
+  GridSearchOptions parallel = serial;
+  parallel.jobs = 4;
+  GridSearchResult a = GridSearch(factory, grid, x, y, serial).value();
+  GridSearchResult b = GridSearch(factory, grid, x, y, parallel).value();
+  ASSERT_EQ(a.scores.size(), b.scores.size());
+  for (size_t i = 0; i < a.scores.size(); ++i) {
+    EXPECT_EQ(a.scores[i].second, b.scores[i].second) << "combination " << i;
+    EXPECT_EQ(a.scores[i].first, b.scores[i].first);
+  }
+  EXPECT_EQ(a.best_params, b.best_params);
+  EXPECT_EQ(a.best_score, b.best_score);
+}
+
+TEST(GridSearchTest, ParallelSkipsFailuresLikeSerial) {
+  Matrix x = Matrix::FromRows({{0.}, {1.}, {2.}, {3.}, {4.}, {5.}});
+  std::vector<double> y = {0, 1, 2, 3, 4, 5};
+  ParamGrid grid;
+  grid.axes["alpha"] = {-2.0, -1.0, 0.1, 0.5};
+  RegressorFactory factory = [](const ParamMap& p) {
+    Lasso::Options opts;
+    opts.alpha = p.at("alpha");
+    return std::unique_ptr<Regressor>(new Lasso(opts));
+  };
+  GridSearchOptions opts;
+  opts.jobs = 3;
+  GridSearchResult r = GridSearch(factory, grid, x, y, opts).value();
+  EXPECT_EQ(r.scores.size(), 2u);  // The two negative alphas fail Fit.
+
+  // All combinations failing surfaces an error from parallel runs too.
+  ParamGrid bad;
+  bad.axes["alpha"] = {-1.0, -2.0};
+  EXPECT_FALSE(GridSearch(factory, bad, x, y, opts).ok());
+}
+
 TEST(GridSearchTest, ValidatesOptions) {
   Matrix x = Matrix::FromRows({{0.}, {1.}});
   std::vector<double> y = {0, 1};

@@ -1,6 +1,8 @@
 #include "stats/acf.h"
 
 #include <cmath>
+#include <limits>
+#include <span>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -70,6 +72,17 @@ TEST(AcfTest, TooShortSeriesIsError) {
   EXPECT_FALSE(Autocorrelation(std::vector<double>{1.0}, 0).ok());
 }
 
+TEST(AcfTest, SingleOverlapAtMaxLagIsError) {
+  // n == max_lag + 1 leaves a single-term numerator at the top lag: not an
+  // autocorrelation estimate. The precondition requires n >= max_lag + 2.
+  std::vector<double> series = {1, 2, 4, 3};
+  EXPECT_FALSE(Autocorrelation(series, 3).ok());
+  EXPECT_TRUE(Autocorrelation(series, 2).ok());
+  // max_lag = 0 still needs two points for a variance.
+  EXPECT_FALSE(Autocorrelation(std::vector<double>{1.0}, 0).ok());
+  EXPECT_TRUE(Autocorrelation(std::vector<double>{1.0, 2.0}, 0).ok());
+}
+
 TEST(AcfTest, Ar1SeriesDecaysGeometrically) {
   Rng rng(5);
   double phi = 0.8;
@@ -113,6 +126,83 @@ TEST(TopKLagsTest, TieBreaksTowardSmallerLag) {
 TEST(TopKLagsTest, EmptyForDegenerateInput) {
   EXPECT_TRUE(TopKLagsByAcf(std::vector<double>{1.0}, 3).empty());
   EXPECT_TRUE(TopKLagsByAcf(std::vector<double>{}, 3).empty());
+}
+
+TEST(TopKLagsTest, NonFiniteEntriesRankLastDeterministically) {
+  // Regression: NaN compares false against everything, so the plain
+  // comparator violated std::sort's strict-weak-ordering contract (UB).
+  // Non-finite values now rank as -inf, below every finite ACF value, and
+  // tie-break among themselves by smaller lag.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> acf = {1.0, nan, 0.5, inf, 0.2, nan, -0.7};
+  auto top = TopKLagsByAcf(acf, 6);
+  ASSERT_EQ(top.size(), 6u);
+  // Finite first, descending: lags 2 (0.5), 4 (0.2), 6 (-0.7); then the
+  // non-finite lags 1, 3, 5 in lag order.
+  EXPECT_EQ(top, (std::vector<size_t>{2, 4, 6, 1, 3, 5}));
+  // All-NaN input is still a valid deterministic (lag-ordered) ranking.
+  std::vector<double> all_nan = {1.0, nan, nan, nan};
+  EXPECT_EQ(TopKLagsByAcf(all_nan, 2), (std::vector<size_t>{1, 2}));
+}
+
+TEST(SlidingAcfTest, MatchesDirectEstimatorAcrossWindows) {
+  Rng rng(11);
+  std::vector<double> series;
+  for (int t = 0; t < 400; ++t) {
+    series.push_back(3.0 + std::sin(2.0 * M_PI * t / 7.0) + rng.Normal());
+  }
+  const size_t max_lag = 21;
+  SlidingAcf cache(series, max_lag);
+  for (size_t begin = 0; begin + 60 <= series.size(); begin += 13) {
+    const size_t end = begin + 60;
+    auto direct = Autocorrelation(
+        std::span<const double>(series.data() + begin, end - begin), max_lag);
+    auto cached = cache.Window(begin, end);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(cached.ok());
+    ASSERT_EQ(cached.value().size(), direct.value().size());
+    EXPECT_DOUBLE_EQ(cached.value()[0], 1.0);
+    for (size_t l = 0; l <= max_lag; ++l) {
+      EXPECT_NEAR(cached.value()[l], direct.value()[l], 1e-10)
+          << "window [" << begin << ", " << end << ") lag " << l;
+    }
+  }
+}
+
+TEST(SlidingAcfTest, DegenerateWindowsMatchDirectErrors) {
+  // Constant stretch inside an otherwise varying series: the cached
+  // estimator must report the same errors the direct one does.
+  std::vector<double> series(100, 5.0);
+  for (int t = 60; t < 100; ++t) series[t] = static_cast<double>(t);
+  SlidingAcf cache(series, 10);
+  // Constant window.
+  EXPECT_FALSE(cache.Window(0, 50).ok());
+  EXPECT_FALSE(Autocorrelation(
+                   std::span<const double>(series.data(), 50), 10)
+                   .ok());
+  // Too short: m == max_lag + 1.
+  EXPECT_FALSE(cache.Window(60, 71).ok());
+  // Minimal valid length: m == max_lag + 2.
+  EXPECT_TRUE(cache.Window(60, 72).ok());
+  // Out of range.
+  EXPECT_FALSE(cache.Window(50, 120).ok());
+  EXPECT_FALSE(cache.Window(30, 20).ok());
+}
+
+TEST(SlidingAcfTest, FullSeriesWindowAgreesWithDirect) {
+  std::vector<double> series;
+  for (int t = 0; t < 150; ++t) {
+    series.push_back(std::cos(t * 0.41) * (1.0 + 0.01 * t));
+  }
+  SlidingAcf cache(series, 30);
+  EXPECT_EQ(cache.size(), series.size());
+  EXPECT_EQ(cache.max_lag(), 30u);
+  auto cached = cache.Window(0, series.size()).value();
+  auto direct = Autocorrelation(series, 30).value();
+  for (size_t l = 0; l <= 30; ++l) {
+    EXPECT_NEAR(cached[l], direct[l], 1e-12) << "lag " << l;
+  }
 }
 
 }  // namespace

@@ -151,7 +151,7 @@ int CliExitCode(const std::string& args) {
 TEST(CliTest, HelpExitsZeroForEveryCommand) {
   std::string dir = TempDir();
   for (const char* cmd : {"generate", "train", "predict", "evaluate",
-                          "fleet", "publish", "serve-bench"}) {
+                          "fleet", "publish", "serve-bench", "core-bench"}) {
     std::string out = dir + "/help.txt";
     EXPECT_EQ(RunCli(std::string(cmd) + " --help", out), 0) << cmd;
     EXPECT_NE(ReadFile(out).find("usage: vupred "), std::string::npos)
@@ -439,6 +439,90 @@ TEST(CliTest, FleetMetricsJsonFormatAndTrace) {
   EXPECT_NE(trace_text.find("prepare"), std::string::npos);
   EXPECT_NE(trace_text.find("ingest"), std::string::npos);
   EXPECT_NE(trace_text.find("fit"), std::string::npos);
+}
+
+TEST(CliTest, CoreBenchVerifiesEquivalenceAndWritesJson) {
+  std::string dir = TempDir();
+  std::string json_path = dir + "/BENCH_core.json";
+  std::string out = dir + "/core_bench.txt";
+  std::string base =
+      "core-bench --vehicles=8 --max-vehicles=2 --eval-days=12 "
+      "--lookback=30 --train-window=40 --topk=10 ";
+  ASSERT_EQ(RunCli(base + "--json=" + json_path, out), 0);
+
+  // The run itself asserts bitwise equivalence; a zero exit plus the
+  // verify line is the proof it ran and passed.
+  std::string text = ReadFile(out);
+  EXPECT_NE(text.find("core-bench: fleet=8 benched=2"), std::string::npos);
+  EXPECT_NE(text.find("byte-identical"), std::string::npos);
+  EXPECT_NE(text.find("window"), std::string::npos);
+
+  std::string json = ReadFile(json_path);
+  EXPECT_NE(json.find("\"bench\": \"core\""), std::string::npos);
+  EXPECT_NE(json.find("\"verify\": \"exact-match\""), std::string::npos);
+  for (const char* field :
+       {"benched_vehicles", "predictions", "algorithm",
+        "naive_window_seconds", "incremental_window_seconds",
+        "window_stage_speedup", "select_stage_speedup", "total_speedup"}) {
+    EXPECT_NE(json.find("\"" + std::string(field) + "\""),
+              std::string::npos)
+        << field;
+  }
+
+  // --jobs is an implementation detail: the counted (non-timing) fields
+  // must match a parallel run of the same seeded benchmark.
+  std::string json_j4 = dir + "/BENCH_core_j4.json";
+  ASSERT_EQ(RunCli(base + "--jobs=4 --json=" + json_j4,
+                   dir + "/core_bench_j4.txt"),
+            0);
+  std::string parallel = ReadFile(json_j4);
+  for (const char* field :
+       {"fleet_vehicles", "benched_vehicles", "predictions", "eval_days",
+        "lookback_w", "top_k", "train_window", "retrain_every"}) {
+    EXPECT_EQ(JsonField(json, field), JsonField(parallel, field)) << field;
+  }
+}
+
+TEST(CliTest, CoreBenchMetricsExposeIncrementalCounters) {
+  std::string dir = TempDir();
+  std::string prom_path = dir + "/core_bench.prom";
+  ASSERT_EQ(RunCli("core-bench --vehicles=8 --max-vehicles=1 --eval-days=10 "
+                   "--lookback=25 --train-window=30 --topk=8 --json=" +
+                       dir + "/BENCH_core_m.json --metrics-out=" + prom_path,
+                   dir + "/core_bench_m.txt"),
+            0);
+  obs::ParsedMetrics parsed;
+  std::string error;
+  ASSERT_TRUE(obs::ParsePrometheusText(ReadFile(prom_path), &parsed, &error))
+      << error;
+  // The incremental path advanced the ring buffer; the naive reference run
+  // never touches these counters, so advances dominate rebuilds.
+  double advances =
+      parsed.Value("vupred_window_incremental_advances_total", {}, -1.0);
+  double rebuilds =
+      parsed.Value("vupred_window_incremental_rebuilds_total", {}, -1.0);
+  EXPECT_GT(advances, 0.0);
+  EXPECT_GE(rebuilds, 1.0);  // One full build per benched vehicle.
+  EXPECT_GT(advances, rebuilds);
+}
+
+TEST(CliTest, CoreBenchRejectsBadArguments) {
+  // Baselines have no windowing pipeline to benchmark.
+  EXPECT_EQ(CliExitCode("core-bench --algorithm=LV"), 2);
+  EXPECT_EQ(CliExitCode("core-bench --algorithm=MA"), 2);
+  EXPECT_EQ(CliExitCode("core-bench --algorithm=Perceptron"), 2);
+  EXPECT_EQ(CliExitCode("core-bench --no-such-flag=1"), 2);
+}
+
+TEST(CliTest, CoreBenchSpeedupGateFailsWhenUnmeetable) {
+  std::string dir = TempDir();
+  // An absurd required speedup turns the gate into a deterministic failure
+  // while the equivalence check still passes (exit 1, not 2).
+  EXPECT_EQ(CliExitCode("core-bench --vehicles=8 --max-vehicles=1 "
+                        "--eval-days=8 --lookback=25 --train-window=30 "
+                        "--topk=8 --min-window-speedup=1000000 --json=" +
+                        dir + "/BENCH_core_gate.json"),
+            1);
 }
 
 }  // namespace

@@ -11,11 +11,16 @@
 //   vupred serve-bench  Replay a request stream against the prediction
 //                       service; prints latency/throughput and writes
 //                       BENCH_serve.json.
+//   vupred core-bench   Time the windowing/selection/fit/predict stages of
+//                       the walk-forward evaluation, naive rebuild vs
+//                       incremental sliding window; verifies byte-identical
+//                       results and writes BENCH_core.json.
 //
 // `vupred <command> --help` prints the command's usage. Unknown flags are
 // rejected with exit code 2.
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -758,6 +763,289 @@ int RunServeBench(const Flags& flags) {
   return WriteMetricsOutput(flags, metrics_format, std::move(snapshot));
 }
 
+// ---- core-bench -------------------------------------------------------
+
+/// Wall time attributed to each pipeline stage, summed over every span of
+/// that name anywhere in a tracer's aggregate tree (spans opened on pool
+/// workers surface as roots of their own subtree).
+struct CoreStageSeconds {
+  double window = 0.0;
+  double select = 0.0;
+  double scale = 0.0;
+  double train = 0.0;
+  double predict = 0.0;
+};
+
+void AccumulateStages(const obs::Tracer::Node& node, CoreStageSeconds* out) {
+  if (node.name == "window") out->window += node.total_seconds;
+  if (node.name == "select") out->select += node.total_seconds;
+  if (node.name == "scale") out->scale += node.total_seconds;
+  if (node.name == "train") out->train += node.total_seconds;
+  if (node.name == "predict") out->predict += node.total_seconds;
+  for (const auto& child : node.children) AccumulateStages(*child, out);
+}
+
+struct CorePathResult {
+  std::vector<VehicleEvaluation> evals;  // One per benched vehicle.
+  double wall_seconds = 0.0;
+  CoreStageSeconds stages;
+};
+
+/// Runs the walk-forward evaluation over every dataset under a dedicated
+/// tracer (so stage timings are attributable to this path alone) and folds
+/// results in dataset order.
+StatusOr<CorePathResult> RunCorePath(
+    const std::vector<const VehicleDataset*>& datasets,
+    const EvaluationConfig& cfg, size_t jobs) {
+  CorePathResult out;
+  const size_t n = datasets.size();
+  std::vector<StatusOr<VehicleEvaluation>> slots(
+      n, StatusOr<VehicleEvaluation>(Status::Internal("unevaluated")));
+
+  obs::Tracer tracer;
+  obs::Tracer* previous = obs::Tracer::SetActive(&tracer);
+  const auto start = std::chrono::steady_clock::now();
+  if (jobs <= 1) {
+    for (size_t i = 0; i < n; ++i) slots[i] = EvaluateVehicle(*datasets[i], cfg);
+  } else {
+    ThreadPool pool({jobs, n + 1, "core-bench"});
+    for (size_t i = 0; i < n; ++i) {
+      Status submitted = pool.Submit([&, i]() -> Status {
+        slots[i] = EvaluateVehicle(*datasets[i], cfg);
+        return Status::OK();
+      });
+      if (!submitted.ok()) slots[i] = EvaluateVehicle(*datasets[i], cfg);
+    }
+    Status drained = pool.Shutdown();
+    if (!drained.ok()) {
+      obs::Tracer::SetActive(previous);
+      return drained;
+    }
+  }
+  out.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  obs::Tracer::SetActive(previous);
+
+  for (StatusOr<VehicleEvaluation>& slot : slots) {
+    if (!slot.ok()) return slot.status();
+    out.evals.push_back(std::move(slot.value()));
+  }
+  tracer.VisitTree(
+      [&out](const obs::Tracer::Node& root) { AccumulateStages(root, &out.stages); });
+  return out;
+}
+
+bool SameBits(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+/// naive/incremental ratio; a zero incremental denominator (stage faster
+/// than the clock resolution) reports the naive time against one tick.
+double StageSpeedup(double naive_seconds, double incremental_seconds) {
+  if (incremental_seconds > 0.0) return naive_seconds / incremental_seconds;
+  return naive_seconds > 0.0 ? naive_seconds / 1e-9 : 1.0;
+}
+
+int RunCoreBench(const Flags& flags) {
+  const size_t vehicles = static_cast<size_t>(
+      std::max<long long>(flags.GetInt("vehicles", 12), 1));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const size_t max_vehicles = static_cast<size_t>(
+      std::max<long long>(flags.GetInt("max-vehicles", 3), 1));
+  const size_t eval_days = static_cast<size_t>(
+      std::max<long long>(flags.GetInt("eval-days", 100), 1));
+  const size_t lookback = static_cast<size_t>(
+      std::max<long long>(flags.GetInt("lookback", 120), 1));
+  const size_t topk =
+      static_cast<size_t>(std::max<long long>(flags.GetInt("topk", 20), 1));
+  const size_t train_window = static_cast<size_t>(
+      std::max<long long>(flags.GetInt("train-window", 140), 2));
+  const size_t retrain_every = static_cast<size_t>(
+      std::max<long long>(flags.GetInt("retrain-every", 1), 1));
+  const size_t jobs =
+      static_cast<size_t>(std::max<long long>(flags.GetInt("jobs", 1), 1));
+  const std::string json_path = flags.Get("json", "BENCH_core.json");
+  // Optional gate on the windowing-stage speedup (integer factor; 0 = off).
+  // CI smoke runs leave it off: timings are not asserted there by design.
+  const long long min_window_speedup =
+      std::max<long long>(flags.GetInt("min-window-speedup", 0), 0);
+
+  EvaluationConfig cfg;
+  const std::string alg = flags.Get("algorithm", "LR");
+  bool alg_found = false;
+  for (int a = 0; a < kNumAlgorithms; ++a) {
+    if (AlgorithmToString(static_cast<Algorithm>(a)) == alg) {
+      cfg.forecaster.algorithm = static_cast<Algorithm>(a);
+      alg_found = true;
+    }
+  }
+  if (!alg_found) {
+    std::fprintf(stderr, "unknown --algorithm=%s\n", alg.c_str());
+    return 2;
+  }
+  if (cfg.forecaster.algorithm == Algorithm::kLastValue ||
+      cfg.forecaster.algorithm == Algorithm::kMovingAverage) {
+    std::fprintf(stderr,
+                 "core-bench needs an ML algorithm (baselines skip the "
+                 "windowing pipeline), got --algorithm=%s\n",
+                 alg.c_str());
+    return 2;
+  }
+  cfg.forecaster.windowing.lookback_w = lookback;
+  cfg.forecaster.selection.top_k = topk;
+  cfg.eval_days = eval_days;
+  cfg.retrain_every = retrain_every;
+  cfg.train_window = train_window;
+
+  const std::string metrics_format = ResolveMetricsFormat(flags);
+  if (metrics_format.empty()) return 2;
+  ScopedCliTracer cli_tracer(flags.Has("trace"));
+
+  // Seeded fleet; datasets are prepared once (outside the timed region)
+  // and shared by both paths.
+  Fleet fleet = Fleet::Generate(FleetConfig::Small(vehicles, seed));
+  ExperimentRunner runner(&fleet);
+  ExperimentOptions opts;
+  opts.max_vehicles = max_vehicles;
+  std::vector<size_t> selected = runner.SelectVehicles(opts);
+  if (selected.empty()) {
+    return Fail(Status::FailedPrecondition(
+        "no eligible vehicles in the benchmark fleet"));
+  }
+  std::vector<const VehicleDataset*> datasets;
+  for (size_t index : selected) {
+    StatusOr<const VehicleDataset*> ds = runner.Dataset(index);
+    if (!ds.ok()) return Fail(ds.status());
+    datasets.push_back(ds.value());
+  }
+
+  // Reference path: full rebuild of the windowed matrix and training-span
+  // ACF at every retrain step.
+  EvaluationConfig naive_cfg = cfg;
+  naive_cfg.forecaster.incremental_training = false;
+  StatusOr<CorePathResult> naive = RunCorePath(datasets, naive_cfg, jobs);
+  if (!naive.ok()) return Fail(naive.status());
+
+  EvaluationConfig incremental_cfg = cfg;
+  incremental_cfg.forecaster.incremental_training = true;
+  StatusOr<CorePathResult> incremental =
+      RunCorePath(datasets, incremental_cfg, jobs);
+  if (!incremental.ok()) return Fail(incremental.status());
+
+  // Equivalence assertion: every prediction and both error metrics must
+  // match the naive rebuild bit for bit, per vehicle.
+  size_t predictions = 0;
+  for (size_t v = 0; v < datasets.size(); ++v) {
+    const VehicleEvaluation& a = naive.value().evals[v];
+    const VehicleEvaluation& b = incremental.value().evals[v];
+    if (a.predictions.size() != b.predictions.size()) {
+      return Fail(Status::Internal(StrFormat(
+          "vehicle #%zu: prediction counts differ (%zu vs %zu)", v,
+          a.predictions.size(), b.predictions.size())));
+    }
+    for (size_t i = 0; i < a.predictions.size(); ++i) {
+      if (!SameBits(a.predictions[i], b.predictions[i])) {
+        return Fail(Status::Internal(StrFormat(
+            "vehicle #%zu prediction %zu: incremental %.17g != naive %.17g",
+            v, i, b.predictions[i], a.predictions[i])));
+      }
+    }
+    if (!SameBits(a.pe, b.pe) || !SameBits(a.mae, b.mae)) {
+      return Fail(Status::Internal(StrFormat(
+          "vehicle #%zu error metrics diverge: PE %.17g vs %.17g, MAE %.17g "
+          "vs %.17g",
+          v, b.pe, a.pe, b.mae, a.mae)));
+    }
+    predictions += a.predictions.size();
+  }
+
+  const CoreStageSeconds& ns = naive.value().stages;
+  const CoreStageSeconds& is = incremental.value().stages;
+  const double window_speedup = StageSpeedup(ns.window, is.window);
+  const double select_speedup = StageSpeedup(ns.select, is.select);
+  const double total_speedup =
+      StageSpeedup(naive.value().wall_seconds,
+                   incremental.value().wall_seconds);
+
+  std::printf("core-bench: fleet=%zu benched=%zu predictions=%zu "
+              "algorithm=%s lookback=%zu topk=%zu train-window=%zu "
+              "eval-days=%zu retrain-every=%zu jobs=%zu\n",
+              vehicles, datasets.size(), predictions, alg.c_str(), lookback,
+              topk, train_window, eval_days, retrain_every, jobs);
+  std::printf("stage          naive        incremental  speedup\n");
+  std::printf("window     %9.3fms  %11.3fms  %6.1fx\n", ns.window * 1e3,
+              is.window * 1e3, window_speedup);
+  std::printf("select     %9.3fms  %11.3fms  %6.1fx\n", ns.select * 1e3,
+              is.select * 1e3, select_speedup);
+  std::printf("scale      %9.3fms  %11.3fms\n", ns.scale * 1e3,
+              is.scale * 1e3);
+  std::printf("train      %9.3fms  %11.3fms\n", ns.train * 1e3,
+              is.train * 1e3);
+  std::printf("predict    %9.3fms  %11.3fms\n", ns.predict * 1e3,
+              is.predict * 1e3);
+  std::printf("wall       %9.3fms  %11.3fms  %6.2fx\n",
+              naive.value().wall_seconds * 1e3,
+              incremental.value().wall_seconds * 1e3, total_speedup);
+  std::printf("verify: %zu predictions + error metrics byte-identical "
+              "across %zu vehicles (exact)\n",
+              predictions, datasets.size());
+
+  std::ofstream json(json_path, std::ios::trunc);
+  if (!json) return Fail(Status::Internal("cannot write " + json_path));
+  json << StrFormat(
+      "{\n"
+      "  \"bench\": \"core\",\n"
+      "  \"fleet_vehicles\": %zu,\n"
+      "  \"benched_vehicles\": %zu,\n"
+      "  \"predictions\": %zu,\n"
+      "  \"algorithm\": \"%s\",\n"
+      "  \"lookback_w\": %zu,\n"
+      "  \"top_k\": %zu,\n"
+      "  \"train_window\": %zu,\n"
+      "  \"eval_days\": %zu,\n"
+      "  \"retrain_every\": %zu,\n"
+      "  \"jobs\": %zu,\n"
+      "  \"naive_wall_seconds\": %.6f,\n"
+      "  \"incremental_wall_seconds\": %.6f,\n"
+      "  \"naive_window_seconds\": %.6f,\n"
+      "  \"incremental_window_seconds\": %.6f,\n"
+      "  \"naive_select_seconds\": %.6f,\n"
+      "  \"incremental_select_seconds\": %.6f,\n"
+      "  \"naive_scale_seconds\": %.6f,\n"
+      "  \"incremental_scale_seconds\": %.6f,\n"
+      "  \"naive_train_seconds\": %.6f,\n"
+      "  \"incremental_train_seconds\": %.6f,\n"
+      "  \"naive_predict_seconds\": %.6f,\n"
+      "  \"incremental_predict_seconds\": %.6f,\n"
+      "  \"window_stage_speedup\": %.2f,\n"
+      "  \"select_stage_speedup\": %.2f,\n"
+      "  \"total_speedup\": %.3f,\n"
+      "  \"verify\": \"exact-match\"\n"
+      "}\n",
+      vehicles, datasets.size(), predictions, alg.c_str(), lookback, topk,
+      train_window, eval_days, retrain_every, jobs,
+      naive.value().wall_seconds, incremental.value().wall_seconds,
+      ns.window, is.window, ns.select, is.select, ns.scale, is.scale,
+      ns.train, is.train, ns.predict, is.predict, window_speedup,
+      select_speedup, total_speedup);
+  if (!json) return Fail(Status::DataLoss("write failed: " + json_path));
+  std::printf("wrote %s\n", json_path.c_str());
+
+  const int metrics_rc = WriteMetricsOutput(
+      flags, metrics_format, obs::MetricsRegistry::Global().Snapshot());
+  if (metrics_rc != 0) return metrics_rc;
+
+  if (min_window_speedup > 0 &&
+      window_speedup < static_cast<double>(min_window_speedup)) {
+    std::fprintf(stderr,
+                 "error: window-stage speedup %.1fx below required %lldx\n",
+                 window_speedup, min_window_speedup);
+    return 1;
+  }
+  return 0;
+}
+
 // ---- Command registry -------------------------------------------------
 
 struct Command {
@@ -860,6 +1148,30 @@ const std::vector<Command>& Commands() {
         "deadline-ms", "metrics-out", "metrics-format", "trace"},
        {"registry"},
        RunServeBench},
+      {"core-bench", "time the evaluation pipeline, naive vs incremental",
+       "usage: vupred core-bench [--vehicles=12] [--seed=42]\n"
+       "  [--max-vehicles=3] [--algorithm=LR] [--eval-days=100]\n"
+       "  [--lookback=120] [--topk=20] [--train-window=140]\n"
+       "  [--retrain-every=1] [--jobs=1] [--json=BENCH_core.json]\n"
+       "  [--min-window-speedup=0] [--metrics-out=FILE]\n"
+       "  [--metrics-format=prom|json] [--trace]\n"
+       "  Run the walk-forward per-vehicle evaluation twice on a seeded\n"
+       "  synthetic fleet -- once rebuilding the windowed matrix and\n"
+       "  training-span ACF from scratch at every step (the naive\n"
+       "  reference), once advancing them incrementally -- and report\n"
+       "  per-stage (window/select/scale/train/predict) timings plus\n"
+       "  speedups. Always asserts that the two paths produce\n"
+       "  byte-identical predictions and error metrics; exits non-zero on\n"
+       "  any divergence. --min-window-speedup=N additionally fails the\n"
+       "  run when the windowing-stage speedup is below N (off by\n"
+       "  default; CI smoke checks the report schema only). Writes the\n"
+       "  JSON report to --json; --metrics-out exports the metrics\n"
+       "  snapshot (incremental advance/rebuild counters included).\n",
+       {"vehicles", "seed", "max-vehicles", "algorithm", "eval-days",
+        "lookback", "topk", "train-window", "retrain-every", "jobs", "json",
+        "min-window-speedup", "metrics-out", "metrics-format", "trace"},
+       {},
+       RunCoreBench},
   };
   return commands;
 }
