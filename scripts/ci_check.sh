@@ -32,6 +32,18 @@ grep -q '"bench": "core"' build/BENCH_core_smoke.json
 grep -q '"window_stage_speedup"' build/BENCH_core_smoke.json
 grep -q '"verify": "exact-match"' build/BENCH_core_smoke.json
 
+echo "== tier-1c: ingest-bench smoke (WAL recovery equivalence, no timing gates) =="
+# Encode -> decode -> WAL+ingest -> recover over a seeded stream; the
+# command exits non-zero unless the recovered store is digest-identical
+# to the live one. Throughput numbers are reported but not gated (see
+# DESIGN.md section 11 for the wire format and recovery invariants).
+./build/tools/vupred ingest-bench --vehicles=4 --days=10 \
+  --json=build/BENCH_ingest_smoke.json --wal-dir=build/ingest_smoke_wal
+grep -q '"bench": "ingest"' build/BENCH_ingest_smoke.json
+grep -q '"wal_ingest_reports_per_s"' build/BENCH_ingest_smoke.json
+grep -q '"verify": "recovery-digest-match"' build/BENCH_ingest_smoke.json
+rm -rf build/ingest_smoke_wal
+
 if [[ "${FAST}" == 1 ]]; then
   echo "== skipping sanitizer gate (--fast) =="
   exit 0

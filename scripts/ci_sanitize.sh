@@ -19,4 +19,15 @@ cmake --build --preset sanitize -j"${JOBS}"
 ctest --preset sanitize -j"${JOBS}" -R \
   'core_windowing_test|stats_acf_test|core_feature_selection_test|core_incremental_training_test|ml_grid_search_test'
 
+# Deep seeded fuzz of the wire decoder under the sanitizers: 50k mutated
+# streams (vs. 5k in the tier-1 run). The decoder parses every byte as
+# hostile, so this is the pass where an out-of-bounds read or an
+# allocation proportional to a corrupt length field would surface.
+VUP_WIRE_FUZZ_ITERS=50000 ctest --preset sanitize -R \
+  'wire_frame_fuzz_test' --output-on-failure
+
+# Wire framing, WAL replay, and crash-recovery equivalence, byte-exact.
+ctest --preset sanitize -j"${JOBS}" -R \
+  'wire_frame_test|wire_wal_test|wire_stream_ingestor_test|integration_wire_chaos_test'
+
 ctest --preset sanitize -j"${JOBS}" "$@"

@@ -1,5 +1,7 @@
 #include "pipeline/ingest.h"
 
+#include <cstring>
+
 #include "common/string_util.h"
 #include "obs/metrics.h"
 #include "pipeline/aggregate.h"
@@ -14,7 +16,18 @@ struct IngestCounters {
   obs::Counter* ingested;
   obs::Counter* rejected;
   obs::Counter* duplicates;
+  // Labeled per-cause family: {cause=bad_slot|bad_id|non_finite|
+  // out_of_range}; the StreamIngestor adds {cause=decode} for frames that
+  // never reached payload validation.
+  obs::Counter* rejected_bad_slot;
+  obs::Counter* rejected_bad_id;
+  obs::Counter* rejected_non_finite;
+  obs::Counter* rejected_out_of_range;
 };
+
+constexpr char kRejectsByCause[] = "vupred_ingest_rejects_total";
+constexpr char kRejectsByCauseHelp[] =
+    "Reports rejected by ingestion, labeled by rejection cause.";
 
 const IngestCounters& GlobalIngestCounters() {
   static const IngestCounters counters = [] {
@@ -26,24 +39,75 @@ const IngestCounters& GlobalIngestCounters() {
                             "Reports rejected by ingestion validation."),
         registry.GetCounter("vupred_ingest_duplicates_total",
                             "Reports that overwrote an existing slot."),
+        registry.GetCounter(kRejectsByCause, kRejectsByCauseHelp,
+                            {{"cause", "bad_slot"}}),
+        registry.GetCounter(kRejectsByCause, kRejectsByCauseHelp,
+                            {{"cause", "bad_id"}}),
+        registry.GetCounter(kRejectsByCause, kRejectsByCauseHelp,
+                            {{"cause", "non_finite"}}),
+        registry.GetCounter(kRejectsByCause, kRejectsByCauseHelp,
+                            {{"cause", "out_of_range"}}),
     };
   }();
   return counters;
 }
 
+/// FNV-1a 64-bit fold of raw bytes, the digest primitive.
+uint64_t FnvMix(uint64_t h, const void* data, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t FnvMixU64(uint64_t h, uint64_t v) { return FnvMix(h, &v, 8); }
+
+uint64_t FnvMixDouble(uint64_t h, double v) {
+  // Bit pattern, not value: -0.0 vs 0.0 and NaN payloads all count.
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return FnvMixU64(h, bits);
+}
+
 }  // namespace
 
 Status IngestionStore::Ingest(const AggregatedReport& report) {
+  const IngestCounters& counters = GlobalIngestCounters();
   if (report.slot < 0 || report.slot >= kSlotsPerDay) {
     ++stats_.rejected;
-    GlobalIngestCounters().rejected->Increment();
+    ++stats_.rejected_bad_slot;
+    counters.rejected->Increment();
+    counters.rejected_bad_slot->Increment();
     return Status::InvalidArgument(
         StrFormat("slot %d outside [0, %d)", report.slot, kSlotsPerDay));
   }
   if (report.vehicle_id <= 0) {
     ++stats_.rejected;
-    GlobalIngestCounters().rejected->Increment();
+    ++stats_.rejected_bad_id;
+    counters.rejected->Increment();
+    counters.rejected_bad_id->Increment();
     return Status::InvalidArgument("non-positive vehicle id");
+  }
+  switch (ValidateReportPayload(report)) {
+    case ReportPayloadIssue::kNone:
+      break;
+    case ReportPayloadIssue::kNonFinite:
+      ++stats_.rejected;
+      ++stats_.rejected_non_finite;
+      counters.rejected->Increment();
+      counters.rejected_non_finite->Increment();
+      return Status::InvalidArgument(StrFormat(
+          "non-finite payload field in %s", report.ToString().c_str()));
+    case ReportPayloadIssue::kOutOfRange:
+      ++stats_.rejected;
+      ++stats_.rejected_out_of_range;
+      counters.rejected->Increment();
+      counters.rejected_out_of_range->Increment();
+      return Status::InvalidArgument(StrFormat(
+          "out-of-range payload field in %s", report.ToString().c_str()));
   }
   SlotKey key{report.date.day_number(), report.slot};
   auto& slots = by_vehicle_[report.vehicle_id];
@@ -61,6 +125,7 @@ Status IngestionStore::Ingest(const AggregatedReport& report) {
 
 Status IngestionStore::IngestBatch(
     const std::vector<AggregatedReport>& reports) {
+  const Stats before = stats_;
   size_t rejected = 0;
   Status first_error;
   for (const AggregatedReport& r : reports) {
@@ -71,9 +136,15 @@ Status IngestionStore::IngestBatch(
     }
   }
   if (rejected == 0) return Status::OK();
-  return Status::InvalidArgument(
-      StrFormat("%zu of %zu reports rejected; first: %s", rejected,
-                reports.size(), first_error.ToString().c_str()));
+  return Status::InvalidArgument(StrFormat(
+      "%zu of %zu reports rejected (bad_slot=%zu bad_id=%zu "
+      "non_finite=%zu out_of_range=%zu); first: %s",
+      rejected, reports.size(),
+      stats_.rejected_bad_slot - before.rejected_bad_slot,
+      stats_.rejected_bad_id - before.rejected_bad_id,
+      stats_.rejected_non_finite - before.rejected_non_finite,
+      stats_.rejected_out_of_range - before.rejected_out_of_range,
+      first_error.ToString().c_str()));
 }
 
 std::vector<int64_t> IngestionStore::VehicleIds() const {
@@ -90,6 +161,48 @@ bool IngestionStore::HasVehicle(int64_t vehicle_id) const {
 size_t IngestionStore::ReportCount(int64_t vehicle_id) const {
   auto it = by_vehicle_.find(vehicle_id);
   return it == by_vehicle_.end() ? 0 : it->second.size();
+}
+
+std::vector<AggregatedReport> IngestionStore::ReportsOf(
+    int64_t vehicle_id) const {
+  std::vector<AggregatedReport> reports;
+  auto it = by_vehicle_.find(vehicle_id);
+  if (it == by_vehicle_.end()) return reports;
+  reports.reserve(it->second.size());
+  for (const auto& [key, report] : it->second) reports.push_back(report);
+  return reports;
+}
+
+uint64_t IngestionStore::ContentDigest() const {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis.
+  for (const auto& [vehicle_id, slots] : by_vehicle_) {
+    h = FnvMixU64(h, static_cast<uint64_t>(vehicle_id));
+    h = FnvMixU64(h, slots.size());
+    for (const auto& [key, r] : slots) {
+      h = FnvMixU64(h, static_cast<uint64_t>(
+                           static_cast<uint32_t>(key.first)));
+      h = FnvMixU64(h, static_cast<uint64_t>(key.second));
+      h = FnvMixU64(h, static_cast<uint64_t>(r.vehicle_id));
+      h = FnvMixU64(h, static_cast<uint64_t>(
+                           static_cast<uint32_t>(r.date.day_number())));
+      h = FnvMixU64(h, static_cast<uint64_t>(r.slot));
+      h = FnvMixDouble(h, r.engine_on_fraction);
+      h = FnvMixDouble(h, r.avg_engine_rpm);
+      h = FnvMixDouble(h, r.avg_engine_load_pct);
+      h = FnvMixDouble(h, r.avg_fuel_rate_lph);
+      h = FnvMixDouble(h, r.avg_oil_pressure_kpa);
+      h = FnvMixDouble(h, r.avg_coolant_temp_c);
+      h = FnvMixDouble(h, r.avg_speed_kmh);
+      h = FnvMixDouble(h, r.avg_hydraulic_temp_c);
+      h = FnvMixDouble(h, r.fuel_level_pct);
+      h = FnvMixDouble(h, r.engine_hours_total);
+      h = FnvMixU64(h, static_cast<uint64_t>(
+                           static_cast<uint32_t>(r.dtc_count)));
+      h = FnvMixU64(h, static_cast<uint64_t>(
+                           static_cast<uint32_t>(r.sample_count)));
+    }
+  }
+  return h;
 }
 
 StatusOr<std::pair<Date, Date>> IngestionStore::CoverageOf(

@@ -27,13 +27,23 @@ class IngestionStore {
   struct Stats {
     size_t reports_ingested = 0;   // Distinct (vehicle, date, slot) kept.
     size_t duplicates = 0;         // Re-deliveries that overwrote.
-    size_t rejected = 0;           // Failed validation.
+    size_t rejected = 0;           // Failed validation (sum of the causes).
+    // Per-cause rejection counters, so fleet operators can tell sensor
+    // corruption (non-finite / out-of-range fields) apart from
+    // misconfiguration (bad slot grid, bad vehicle id).
+    size_t rejected_bad_slot = 0;
+    size_t rejected_bad_id = 0;
+    size_t rejected_non_finite = 0;
+    size_t rejected_out_of_range = 0;
   };
 
   IngestionStore() = default;
 
   /// Validates and stores one report. InvalidArgument on a slot outside
-  /// [0, kSlotsPerDay) or a non-positive vehicle id.
+  /// [0, kSlotsPerDay), a non-positive vehicle id, or a payload that
+  /// fails ValidateReportPayload (NaN/inf channels, negative counts,
+  /// out-of-physical-range values) -- accepting those would silently
+  /// poison daily aggregation.
   Status Ingest(const AggregatedReport& report);
 
   /// Best-effort batch ingestion: every valid report in the batch is
@@ -51,6 +61,17 @@ class IngestionStore {
 
   /// Number of stored reports for one vehicle.
   size_t ReportCount(int64_t vehicle_id) const;
+
+  /// The vehicle's stored reports in (date, slot) order; empty for an
+  /// unknown vehicle. Used by checkpointing and recovery-equivalence
+  /// checks.
+  std::vector<AggregatedReport> ReportsOf(int64_t vehicle_id) const;
+
+  /// Order-independent digest of the full stored content (vehicle ids,
+  /// grid keys, and the exact bit patterns of every field). Two stores
+  /// with the same digest hold bit-identical reports -- the equivalence
+  /// the crash-recovery tests assert.
+  uint64_t ContentDigest() const;
 
   /// Date coverage [first, last] of a vehicle's stored reports; NotFound
   /// for unknown vehicles.

@@ -1,0 +1,102 @@
+#ifndef VUPRED_WIRE_STREAM_INGESTOR_H_
+#define VUPRED_WIRE_STREAM_INGESTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/statusor.h"
+#include "pipeline/ingest.h"
+#include "wire/frame.h"
+#include "wire/wal.h"
+
+namespace vup::wire {
+
+/// Crash-safe session layer between the binary wire and the
+/// IngestionStore: decodes frames from a chunked byte stream, journals
+/// every accepted frame to an append-only WAL *before* ingesting it, and
+/// rebuilds the store bit-identically from checkpoint + WAL after a crash
+/// at any byte offset.
+///
+/// Durability layout under `dir`:
+///
+///   wal.log         append-only frame journal (WriteAheadLog records)
+///   checkpoint.bin  compacted store content as plain encoded frames,
+///                   written via temp+rename (atomic replacement)
+///
+/// Recovery replays checkpoint.bin (if present) and then wal.log through
+/// the same decode+ingest path as live traffic. Checkpoint() compacts:
+/// it re-encodes the store, atomically replaces checkpoint.bin, then
+/// truncates the WAL. A crash between those two steps only re-replays
+/// frames already in the checkpoint, which idempotent slot-keyed ingestion
+/// absorbs -- content is identical either way.
+class StreamIngestor {
+ public:
+  struct Options {
+    std::string dir;  // Created if absent.
+    /// Auto-checkpoint after this many accepted frames (0 = manual only).
+    size_t checkpoint_every_frames = 0;
+  };
+
+  struct SessionStats {
+    uint64_t frames_accepted = 0;    // Journaled + ingested.
+    uint64_t reports_accepted = 0;   // Ingested (or overwrote a slot).
+    uint64_t reports_rejected = 0;   // Store-side payload/grid rejects.
+    uint64_t recovered_frames = 0;   // Frames replayed at Open.
+    uint64_t recovered_reports = 0;
+    uint64_t wal_tail_dropped_bytes = 0;  // Torn tail dropped at Open.
+    uint64_t checkpoints = 0;
+
+    std::string ToString() const;
+  };
+
+  /// Opens the session: creates `dir` if needed, recovers any existing
+  /// checkpoint + WAL into `store` (which should be empty), and readies
+  /// the WAL for appends. `store` must outlive the ingestor.
+  static StatusOr<StreamIngestor> Open(Options options,
+                                       IngestionStore* store);
+
+  StreamIngestor(StreamIngestor&&) = default;
+  StreamIngestor& operator=(StreamIngestor&&) = default;
+
+  /// Consumes a chunk of the wire byte stream. Frames may span chunks;
+  /// corrupt stretches are resynced past (counted in decoder_stats());
+  /// each decoded frame is journaled to the WAL and then ingested.
+  /// Returns the first WAL/auto-checkpoint I/O failure, after processing
+  /// the whole chunk (decode progress is never lost to an I/O error).
+  Status Feed(std::span<const uint8_t> bytes);
+  Status Feed(std::string_view bytes);
+
+  /// Compacts: atomically rewrites checkpoint.bin from the store's
+  /// current content and truncates the WAL.
+  Status Checkpoint();
+
+  const SessionStats& stats() const { return session_stats_; }
+  const WireDecoderStats& decoder_stats() const { return decoder_->stats(); }
+  const IngestionStore& store() const { return *store_; }
+
+  std::string wal_path() const;
+  std::string checkpoint_path() const;
+
+ private:
+  StreamIngestor(Options options, IngestionStore* store,
+                 WriteAheadLog wal);
+
+  /// Decode+ingest one recovered frame payload (checkpoint or WAL).
+  Status RecoverPayload(std::span<const uint8_t> payload);
+
+  Options options_;
+  IngestionStore* store_;
+  // unique_ptr keeps the decoder's address stable across moves: the Feed
+  // callback captures `this` state only through locals.
+  std::unique_ptr<WireDecoder> decoder_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  SessionStats session_stats_;
+  uint64_t frames_since_checkpoint_ = 0;
+};
+
+}  // namespace vup::wire
+
+#endif  // VUPRED_WIRE_STREAM_INGESTOR_H_

@@ -1,0 +1,78 @@
+#ifndef VUPRED_WIRE_WAL_H_
+#define VUPRED_WIRE_WAL_H_
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "common/statusor.h"
+
+namespace vup::wire {
+
+/// Append-only write-ahead log of opaque payloads (encoded wire frames in
+/// the ingest tier). Record layout, little-endian:
+///
+///   u32 magic   "VUPL" (0x56 0x55 0x50 0x4C)
+///   u32 length  payload bytes, <= kMaxWalPayloadBytes
+///   u32 crc32   IEEE CRC-32 of the payload
+///   payload
+///
+/// The log is truncation-evident: replay walks records from the front and
+/// stops at the first record that is short, mis-magicked, or fails its
+/// CRC. A torn final record -- the signature of a crash mid-append -- is
+/// dropped, never misparsed; the dropped byte count is surfaced so callers
+/// can alarm on mid-file corruption (tail_dropped_bytes much larger than
+/// one record).
+class WriteAheadLog {
+ public:
+  static constexpr uint32_t kRecordMagic = 0x4C505556u;  // "VUPL" LE.
+  static constexpr size_t kRecordHeaderBytes = 12;
+  static constexpr size_t kMaxWalPayloadBytes = 16u << 20;
+
+  /// Opens `path` for appending, creating it if absent. The file's
+  /// existing contents are preserved (recover first, then append).
+  static StatusOr<WriteAheadLog> Open(std::string path);
+
+  WriteAheadLog(WriteAheadLog&&) = default;
+  WriteAheadLog& operator=(WriteAheadLog&&) = default;
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Appends one record and flushes it to the OS. InvalidArgument on an
+  /// empty or oversized payload; DataLoss when the write failed (the tail
+  /// may be torn, which recovery tolerates).
+  Status Append(std::span<const uint8_t> payload);
+  Status Append(std::string_view payload);
+
+  /// Truncates the log to empty (after a successful checkpoint).
+  Status Reset();
+
+  const std::string& path() const { return path_; }
+  uint64_t records_appended() const { return records_appended_; }
+
+  struct ReplayStats {
+    uint64_t records = 0;
+    uint64_t payload_bytes = 0;
+    uint64_t tail_dropped_bytes = 0;  // Torn/corrupt suffix, skipped.
+  };
+
+  /// Replays every intact record of the log at `path` through `fn` in
+  /// append order. A missing file replays zero records (a fresh server
+  /// has no log yet). `fn` returning an error aborts the replay with it.
+  static StatusOr<ReplayStats> Replay(
+      const std::string& path,
+      const std::function<Status(std::span<const uint8_t>)>& fn);
+
+ private:
+  explicit WriteAheadLog(std::string path) : path_(std::move(path)) {}
+
+  std::string path_;
+  std::ofstream out_;
+  uint64_t records_appended_ = 0;
+};
+
+}  // namespace vup::wire
+
+#endif  // VUPRED_WIRE_WAL_H_

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
+#include "obs/metrics.h"
 #include "telemetry/device.h"
 #include "telemetry/fleet.h"
 
@@ -56,7 +60,104 @@ TEST(IngestionStoreTest, RejectsInvalidReports) {
                   .IsInvalidArgument());
   EXPECT_TRUE(store.Ingest(Report(0, D0(), 5)).IsInvalidArgument());
   EXPECT_EQ(store.stats().rejected, 3u);
+  EXPECT_EQ(store.stats().rejected_bad_slot, 2u);
+  EXPECT_EQ(store.stats().rejected_bad_id, 1u);
   EXPECT_EQ(store.num_vehicles(), 0u);
+}
+
+TEST(IngestionStoreTest, RejectsNonFinitePayloadFields) {
+  // Sensor corruption: a NaN engine-on fraction, an infinite fuel rate,
+  // or a negative sample count must never reach daily aggregation.
+  IngestionStore store;
+  AggregatedReport nan_on = Report(1, D0(), 5);
+  nan_on.engine_on_fraction = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(store.Ingest(nan_on).IsInvalidArgument());
+
+  AggregatedReport inf_fuel = Report(1, D0(), 6);
+  inf_fuel.avg_fuel_rate_lph = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(store.Ingest(inf_fuel).IsInvalidArgument());
+
+  AggregatedReport neg_samples = Report(1, D0(), 7);
+  neg_samples.sample_count = -3;
+  EXPECT_TRUE(store.Ingest(neg_samples).IsInvalidArgument());
+
+  EXPECT_EQ(store.stats().rejected, 3u);
+  EXPECT_EQ(store.stats().rejected_non_finite, 3u);
+  EXPECT_EQ(store.stats().rejected_out_of_range, 0u);
+  EXPECT_EQ(store.num_vehicles(), 0u);
+}
+
+TEST(IngestionStoreTest, RejectsOutOfRangePayloadFields) {
+  IngestionStore store;
+  AggregatedReport over_one = Report(1, D0(), 5);
+  over_one.engine_on_fraction = 1.5;
+  EXPECT_TRUE(store.Ingest(over_one).IsInvalidArgument());
+
+  AggregatedReport negative_on = Report(1, D0(), 6);
+  negative_on.engine_on_fraction = -0.25;
+  EXPECT_TRUE(store.Ingest(negative_on).IsInvalidArgument());
+
+  AggregatedReport frozen = Report(1, D0(), 7);
+  frozen.avg_coolant_temp_c = -999.0;
+  EXPECT_TRUE(store.Ingest(frozen).IsInvalidArgument());
+
+  EXPECT_EQ(store.stats().rejected, 3u);
+  EXPECT_EQ(store.stats().rejected_out_of_range, 3u);
+  EXPECT_EQ(store.num_vehicles(), 0u);
+
+  // Boundary values are valid: exactly 0 and exactly 1 pass.
+  EXPECT_TRUE(store.Ingest(Report(1, D0(), 8, 0.0)).ok());
+  EXPECT_TRUE(store.Ingest(Report(1, D0(), 9, 1.0)).ok());
+  EXPECT_EQ(store.stats().rejected, 3u);
+}
+
+TEST(IngestionStoreTest, PerCauseRejectsExportedAsLabeledMetrics) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter* bad_slot = registry.GetCounter(
+      "vupred_ingest_rejects_total",
+      "Reports rejected by ingestion, labeled by rejection cause.",
+      {{"cause", "bad_slot"}});
+  obs::Counter* non_finite = registry.GetCounter(
+      "vupred_ingest_rejects_total",
+      "Reports rejected by ingestion, labeled by rejection cause.",
+      {{"cause", "non_finite"}});
+  const uint64_t bad_slot_before = bad_slot->value();
+  const uint64_t non_finite_before = non_finite->value();
+
+  IngestionStore store;
+  EXPECT_FALSE(store.Ingest(Report(1, D0(), -1)).ok());
+  AggregatedReport nan_on = Report(1, D0(), 5);
+  nan_on.engine_on_fraction = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(store.Ingest(nan_on).ok());
+
+  EXPECT_EQ(bad_slot->value(), bad_slot_before + 1);
+  EXPECT_EQ(non_finite->value(), non_finite_before + 1);
+}
+
+TEST(IngestionStoreTest, ContentDigestTracksContent) {
+  IngestionStore a, b;
+  EXPECT_EQ(a.ContentDigest(), b.ContentDigest());  // Both empty.
+  ASSERT_TRUE(a.Ingest(Report(1, D0(), 10, 0.5)).ok());
+  EXPECT_NE(a.ContentDigest(), b.ContentDigest());
+  ASSERT_TRUE(b.Ingest(Report(1, D0(), 10, 0.5)).ok());
+  EXPECT_EQ(a.ContentDigest(), b.ContentDigest());
+  // A differing field value changes the digest.
+  ASSERT_TRUE(a.Ingest(Report(1, D0(), 11, 0.25)).ok());
+  ASSERT_TRUE(b.Ingest(Report(1, D0(), 11, 0.75)).ok());
+  EXPECT_NE(a.ContentDigest(), b.ContentDigest());
+}
+
+TEST(IngestionStoreTest, ReportsOfReturnsOrderedCopies) {
+  IngestionStore store;
+  ASSERT_TRUE(store.Ingest(Report(1, D0().AddDays(1), 3)).ok());
+  ASSERT_TRUE(store.Ingest(Report(1, D0(), 9)).ok());
+  ASSERT_TRUE(store.Ingest(Report(1, D0(), 2)).ok());
+  std::vector<AggregatedReport> reports = store.ReportsOf(1);
+  ASSERT_EQ(reports.size(), 3u);
+  EXPECT_EQ(reports[0].slot, 2);
+  EXPECT_EQ(reports[1].slot, 9);
+  EXPECT_EQ(reports[2].date, D0().AddDays(1));
+  EXPECT_TRUE(store.ReportsOf(99).empty());
 }
 
 TEST(IngestionStoreTest, OutOfOrderArrivalSorted) {

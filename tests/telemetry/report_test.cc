@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "telemetry/can_frame.h"
 #include "telemetry/signal.h"
 
@@ -116,6 +118,94 @@ TEST(ReportAggregatorTest, RejectsConsumeAfterFinalize) {
   int64_t start = SlotStartEpochS(TestDate(), 5);
   EXPECT_TRUE(agg.Consume(EngineEvent(MessageKind::kEngineOn, start))
                   .IsFailedPrecondition());
+}
+
+// ---- Slot boundary conditions ------------------------------------------
+// Messages land exactly on, one second inside, and one second outside the
+// slot window [SlotStartEpochS, SlotStartEpochS + kSlotSeconds). These pin
+// the half-open-interval contract the wire ingest path relies on.
+
+TEST(ReportAggregatorBoundaryTest, MessageExactlyAtSlotStartAccepted) {
+  const int64_t start = SlotStartEpochS(TestDate(), 5);
+  ReportAggregator agg(kVehicle, TestDate(), 5, false);
+  EXPECT_TRUE(
+      agg.Consume(EngineEvent(MessageKind::kEngineOn, start)).ok());
+  EXPECT_NEAR(agg.Finalize().engine_on_fraction, 1.0, 1e-9);
+}
+
+TEST(ReportAggregatorBoundaryTest, MessageOneSecondBeforeSlotRejected) {
+  const int64_t start = SlotStartEpochS(TestDate(), 5);
+  ReportAggregator agg(kVehicle, TestDate(), 5, false);
+  EXPECT_TRUE(agg.Consume(EngineEvent(MessageKind::kEngineOn, start - 1))
+                  .IsOutOfRange());
+  // The rejected message must leave no trace.
+  EXPECT_NEAR(agg.Finalize().engine_on_fraction, 0.0, 1e-9);
+}
+
+TEST(ReportAggregatorBoundaryTest, MessageAtSlotEndRejectedEndIsExclusive) {
+  const int64_t start = SlotStartEpochS(TestDate(), 5);
+  ReportAggregator agg(kVehicle, TestDate(), 5, false);
+  // The last second inside the window is accepted...
+  EXPECT_TRUE(agg.Consume(EngineEvent(MessageKind::kEngineOn,
+                                      start + kSlotSeconds - 1))
+                  .ok());
+  // ...the end instant itself belongs to the next slot.
+  EXPECT_TRUE(agg.Consume(EngineEvent(MessageKind::kEngineOff,
+                                      start + kSlotSeconds))
+                  .IsOutOfRange());
+  // The on-run is closed at the slot end: exactly 1 of 600 seconds on.
+  EXPECT_NEAR(agg.Finalize().engine_on_fraction, 1.0 / kSlotSeconds, 1e-9);
+}
+
+TEST(ReportAggregatorBoundaryTest,
+     EngineOnCarriedAcrossSlotWithZeroParametricSamples) {
+  // Engine on at slot start, no messages at all during the slot: the slot
+  // is fully "on" with sample_count 0 and unmeasured channels at their
+  // zero defaults -- a valid, ingestible report (the paper's usage signal
+  // is engine-on time, not the parametric extras).
+  ReportAggregator agg(kVehicle, TestDate(), 8, /*engine_on_at_start=*/true);
+  AggregatedReport r = agg.Finalize();
+  EXPECT_NEAR(r.engine_on_fraction, 1.0, 1e-9);
+  EXPECT_EQ(r.sample_count, 0);
+  EXPECT_DOUBLE_EQ(r.avg_engine_rpm, 0.0);
+  EXPECT_EQ(ValidateReportPayload(r), ReportPayloadIssue::kNone);
+}
+
+TEST(ReportAggregatorBoundaryTest, FinalizeOnEmptySlotYieldsValidZeroReport) {
+  ReportAggregator agg(kVehicle, TestDate(), 0, /*engine_on_at_start=*/false);
+  AggregatedReport r = agg.Finalize();
+  EXPECT_EQ(r.vehicle_id, kVehicle);
+  EXPECT_EQ(r.slot, 0);
+  EXPECT_NEAR(r.engine_on_fraction, 0.0, 1e-9);
+  EXPECT_EQ(r.sample_count, 0);
+  EXPECT_EQ(r.dtc_count, 0);
+  EXPECT_EQ(ValidateReportPayload(r), ReportPayloadIssue::kNone);
+}
+
+TEST(ReportPayloadValidationTest, FlagsEachIssueClass) {
+  ReportAggregator agg(kVehicle, TestDate(), 0, true);
+  AggregatedReport r = agg.Finalize();
+  EXPECT_EQ(ValidateReportPayload(r), ReportPayloadIssue::kNone);
+
+  AggregatedReport nan_field = r;
+  nan_field.avg_speed_kmh = std::nan("");
+  EXPECT_EQ(ValidateReportPayload(nan_field),
+            ReportPayloadIssue::kNonFinite);
+
+  AggregatedReport neg_count = r;
+  neg_count.dtc_count = -1;
+  EXPECT_EQ(ValidateReportPayload(neg_count),
+            ReportPayloadIssue::kNonFinite);
+
+  AggregatedReport hot = r;
+  hot.avg_coolant_temp_c = 151.0;
+  EXPECT_EQ(ValidateReportPayload(hot), ReportPayloadIssue::kOutOfRange);
+
+  EXPECT_EQ(ReportPayloadIssueToString(ReportPayloadIssue::kNone), "none");
+  EXPECT_EQ(ReportPayloadIssueToString(ReportPayloadIssue::kNonFinite),
+            "non_finite");
+  EXPECT_EQ(ReportPayloadIssueToString(ReportPayloadIssue::kOutOfRange),
+            "out_of_range");
 }
 
 TEST(MessageKindTest, Names) {

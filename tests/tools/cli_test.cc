@@ -151,7 +151,8 @@ int CliExitCode(const std::string& args) {
 TEST(CliTest, HelpExitsZeroForEveryCommand) {
   std::string dir = TempDir();
   for (const char* cmd : {"generate", "train", "predict", "evaluate",
-                          "fleet", "publish", "serve-bench", "core-bench"}) {
+                          "fleet", "publish", "serve-bench", "core-bench",
+                          "ingest-bench"}) {
     std::string out = dir + "/help.txt";
     EXPECT_EQ(RunCli(std::string(cmd) + " --help", out), 0) << cmd;
     EXPECT_NE(ReadFile(out).find("usage: vupred "), std::string::npos)
@@ -512,6 +513,69 @@ TEST(CliTest, CoreBenchRejectsBadArguments) {
   EXPECT_EQ(CliExitCode("core-bench --algorithm=MA"), 2);
   EXPECT_EQ(CliExitCode("core-bench --algorithm=Perceptron"), 2);
   EXPECT_EQ(CliExitCode("core-bench --no-such-flag=1"), 2);
+}
+
+TEST(CliTest, IngestBenchVerifiesRecoveryAndWritesJson) {
+  std::string dir = TempDir();
+  std::string json_path = dir + "/BENCH_ingest.json";
+  std::string out = dir + "/ingest_bench.txt";
+  ASSERT_EQ(RunCli("ingest-bench --vehicles=2 --days=3 --json=" + json_path +
+                       " --wal-dir=" + dir + "/ingest_wal",
+                   out),
+            0);
+
+  // The run itself asserts the recovered store's digest equals the live
+  // store's; a zero exit plus the verify line is the proof it ran.
+  std::string text = ReadFile(out);
+  EXPECT_NE(text.find("ingest-bench: vehicles=2 days=3"), std::string::npos);
+  EXPECT_NE(text.find("recovered store digest == live store digest"),
+            std::string::npos);
+
+  std::string json = ReadFile(json_path);
+  EXPECT_NE(json.find("\"bench\": \"ingest\""), std::string::npos);
+  EXPECT_NE(json.find("\"verify\": \"recovery-digest-match\""),
+            std::string::npos);
+  for (const char* field :
+       {"reports", "frames", "stream_bytes", "wal_bytes", "encode_seconds",
+        "encode_mb_per_s", "encode_reports_per_s", "decode_seconds",
+        "wal_ingest_seconds", "recover_seconds", "recover_reports_per_s"}) {
+    EXPECT_NE(json.find("\"" + std::string(field) + "\""),
+              std::string::npos)
+        << field;
+  }
+  // 2 vehicles x 3 days x 144 slots, every report framed and replayed.
+  EXPECT_EQ(JsonField(json, "reports"), " 864");
+
+  // An explicit --wal-dir survives the run for inspection.
+  std::ifstream wal(dir + "/ingest_wal/wal.log");
+  EXPECT_TRUE(wal.good());
+}
+
+TEST(CliTest, IngestBenchExportsWireCounters) {
+  std::string dir = TempDir();
+  std::string prom_path = dir + "/ingest_bench.prom";
+  ASSERT_EQ(RunCli("ingest-bench --vehicles=1 --days=2 --json=" + dir +
+                       "/BENCH_ingest_m.json --metrics-out=" + prom_path,
+                   dir + "/ingest_bench_m.txt"),
+            0);
+  obs::ParsedMetrics parsed;
+  std::string error;
+  ASSERT_TRUE(obs::ParsePrometheusText(ReadFile(prom_path), &parsed, &error))
+      << error;
+  // A clean synthetic stream: every frame decodes, nothing resyncs.
+  EXPECT_GT(parsed.Value("vupred_wire_frames_decoded_total", {}, -1.0), 0.0);
+  EXPECT_GT(parsed.Value("vupred_wire_reports_decoded_total", {}, -1.0),
+            0.0);
+  EXPECT_GT(parsed.Value("vupred_wire_wal_appends_total", {}, -1.0), 0.0);
+  EXPECT_EQ(parsed.Value("vupred_wire_frames_rejected_total",
+                         {{"cause", "corrupt"}}, -1.0),
+            0.0);
+}
+
+TEST(CliTest, IngestBenchRejectsBadArguments) {
+  EXPECT_EQ(CliExitCode("ingest-bench --no-such-flag=1"), 2);
+  EXPECT_EQ(CliExitCode("ingest-bench --vehicles=0"), 2);
+  EXPECT_EQ(CliExitCode("ingest-bench --days=0"), 2);
 }
 
 TEST(CliTest, CoreBenchSpeedupGateFailsWhenUnmeetable) {

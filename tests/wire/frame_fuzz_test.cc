@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "wire/frame.h"
+
+namespace vup::wire {
+namespace {
+
+/// Seeded byte-level fuzz over encoded streams: the decoder must never
+/// crash, never loop, and never surface a frame that fails its CRC. Runs
+/// under the sanitizer CI tier with VUP_WIRE_FUZZ_ITERS=50000; defaults to
+/// a quick pass for the plain suite.
+size_t FuzzIters() {
+  const char* env = std::getenv("VUP_WIRE_FUZZ_ITERS");
+  if (env != nullptr) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return 5000;
+}
+
+Date D0() { return Date::FromYmd(2017, 3, 6).value(); }
+
+std::string CleanStream(Rng* rng, size_t frames) {
+  std::string stream;
+  for (size_t f = 0; f < frames; ++f) {
+    std::vector<AggregatedReport> reports;
+    const size_t n = static_cast<size_t>(rng->UniformInt(1, 4));
+    for (size_t i = 0; i < n; ++i) {
+      AggregatedReport r;
+      r.vehicle_id = rng->UniformInt(1, 50);
+      r.date = D0().AddDays(static_cast<int>(rng->UniformInt(0, 30)));
+      r.slot = static_cast<int>(rng->UniformInt(0, kSlotsPerDay - 1));
+      r.engine_on_fraction = rng->Uniform();
+      r.avg_engine_rpm = rng->Uniform(0, 3000);
+      r.avg_fuel_rate_lph = rng->Uniform(0, 40);
+      r.fuel_level_pct = rng->Uniform(0, 100);
+      r.engine_hours_total = rng->Uniform(0, 20000);
+      r.sample_count = static_cast<int>(rng->UniformInt(0, 60));
+      reports.push_back(r);
+    }
+    EXPECT_TRUE(
+        EncodeFrame(reports[0].vehicle_id,
+                    std::span<const AggregatedReport>(reports), &stream)
+            .ok());
+  }
+  return stream;
+}
+
+void FeedAll(WireDecoder* decoder, const std::vector<uint8_t>& bytes,
+             Rng* rng) {
+  // Random chunking so torn-tail handling fuzzes too.
+  size_t at = 0;
+  while (at < bytes.size()) {
+    const size_t chunk = static_cast<size_t>(rng->UniformInt(1, 97));
+    const size_t take = std::min(chunk, bytes.size() - at);
+    decoder->Feed({bytes.data() + at, take},
+                  [](const DecodedFrame& f, std::span<const uint8_t> raw) {
+                    // Surfaced frames must be internally consistent.
+                    ASSERT_GT(f.vehicle_id, 0);
+                    ASSERT_FALSE(f.reports.empty());
+                    ASSERT_GE(raw.size(), kFrameHeaderBytes + 4);
+                  });
+    at += take;
+  }
+}
+
+TEST(WireFuzzTest, MutatedStreamsNeverCrashDecoder) {
+  Rng rng(0xF0221);
+  const size_t iters = FuzzIters();
+  uint64_t total_decoded = 0;
+  for (size_t it = 0; it < iters; ++it) {
+    Rng stream_rng(0xABC000 + it);
+    std::string clean = CleanStream(&stream_rng, 3);
+    std::vector<uint8_t> bytes(clean.begin(), clean.end());
+    // 1..8 random mutations: bit flips, byte overwrites, truncation,
+    // duplication, and garbage splices.
+    const int mutations = static_cast<int>(rng.UniformInt(1, 8));
+    for (int m = 0; m < mutations && !bytes.empty(); ++m) {
+      const size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(bytes.size()) - 1));
+      switch (rng.UniformInt(0, 4)) {
+        case 0:  // Bit flip.
+          bytes[pos] ^= static_cast<uint8_t>(1u << rng.UniformInt(0, 7));
+          break;
+        case 1:  // Byte overwrite.
+          bytes[pos] = static_cast<uint8_t>(rng.UniformInt(0, 255));
+          break;
+        case 2:  // Truncate.
+          bytes.resize(pos);
+          break;
+        case 3: {  // Duplicate a slice.
+          const size_t len = std::min<size_t>(
+              static_cast<size_t>(rng.UniformInt(1, 64)),
+              bytes.size() - pos);
+          std::vector<uint8_t> slice(bytes.begin() + pos,
+                                     bytes.begin() + pos + len);
+          bytes.insert(bytes.begin() + pos, slice.begin(), slice.end());
+          break;
+        }
+        case 4: {  // Splice garbage.
+          std::vector<uint8_t> garbage(
+              static_cast<size_t>(rng.UniformInt(1, 32)));
+          for (uint8_t& b : garbage) {
+            b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+          }
+          bytes.insert(bytes.begin() + pos, garbage.begin(), garbage.end());
+          break;
+        }
+      }
+    }
+    WireDecoder decoder;
+    FeedAll(&decoder, bytes, &rng);
+    total_decoded += decoder.stats().frames_decoded;
+    // Bounded buffering even on hostile input.
+    ASSERT_LE(decoder.pending_bytes(), kMaxFrameBytes);
+  }
+  // Sanity: mutations are local, so plenty of frames still decode.
+  EXPECT_GT(total_decoded, iters / 4);
+}
+
+TEST(WireFuzzTest, PureGarbageStreamsNeverDecode) {
+  Rng rng(0xD15EA5E);
+  const size_t iters = std::min<size_t>(FuzzIters(), 2000);
+  for (size_t it = 0; it < iters; ++it) {
+    std::vector<uint8_t> garbage(
+        static_cast<size_t>(rng.UniformInt(1, 512)));
+    for (uint8_t& b : garbage) {
+      b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    }
+    WireDecoder decoder;
+    size_t surfaced = 0;
+    decoder.Feed(garbage,
+                 [&surfaced](const DecodedFrame&, std::span<const uint8_t>) {
+                   ++surfaced;
+                 });
+    // A 4-byte magic + valid CRC appearing in <=512 random bytes is
+    // astronomically unlikely; any surfaced frame is a decoder bug.
+    ASSERT_EQ(surfaced, 0u);
+  }
+}
+
+TEST(WireFuzzTest, TruncatedValidFrameAtEveryCutThenCompletion) {
+  // Cut a valid frame at every offset, feed the cut point as a chunk
+  // boundary, and confirm the frame still decodes once completed.
+  Rng rng(42);
+  std::string clean = CleanStream(&rng, 1);
+  for (size_t cut = 0; cut < clean.size(); ++cut) {
+    WireDecoder decoder;
+    size_t surfaced = 0;
+    auto count = [&surfaced](const DecodedFrame&, std::span<const uint8_t>) {
+      ++surfaced;
+    };
+    decoder.Feed({reinterpret_cast<const uint8_t*>(clean.data()), cut},
+                 count);
+    ASSERT_EQ(surfaced, 0u) << "cut " << cut;
+    decoder.Feed({reinterpret_cast<const uint8_t*>(clean.data()) + cut,
+                  clean.size() - cut},
+                 count);
+    ASSERT_EQ(surfaced, 1u) << "cut " << cut;
+    ASSERT_EQ(decoder.pending_bytes(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace vup::wire

@@ -1,0 +1,229 @@
+#include "wire/stream_ingestor.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "wire/frame.h"
+
+namespace vup::wire {
+namespace {
+
+namespace fs = std::filesystem;
+
+Date D0() { return Date::FromYmd(2017, 3, 6).value(); }
+
+AggregatedReport Report(int64_t vehicle, Date date, int slot,
+                        double on_fraction = 0.5) {
+  AggregatedReport r;
+  r.vehicle_id = vehicle;
+  r.date = date;
+  r.slot = slot;
+  r.engine_on_fraction = on_fraction;
+  r.avg_fuel_rate_lph = 12.0;
+  r.fuel_level_pct = 80.0;
+  r.engine_hours_total = 100.0;
+  r.sample_count = 5;
+  return r;
+}
+
+class StreamIngestorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("vup_ingestor_test_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  StreamIngestor::Options Opts(size_t checkpoint_every = 0) {
+    StreamIngestor::Options o;
+    o.dir = dir_;
+    o.checkpoint_every_frames = checkpoint_every;
+    return o;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(StreamIngestorTest, FeedIngestsAndJournals) {
+  std::string stream;
+  const AggregatedReport r1 = Report(7, D0(), 10);
+  const AggregatedReport r2 = Report(7, D0(), 11);
+  ASSERT_TRUE(EncodeFrame(7, {&r1, 1}, &stream).ok());
+  ASSERT_TRUE(EncodeFrame(7, {&r2, 1}, &stream).ok());
+
+  IngestionStore store;
+  StreamIngestor ingestor = StreamIngestor::Open(Opts(), &store).value();
+  ASSERT_TRUE(ingestor.Feed(std::string_view(stream)).ok());
+
+  EXPECT_EQ(ingestor.stats().frames_accepted, 2u);
+  EXPECT_EQ(ingestor.stats().reports_accepted, 2u);
+  EXPECT_EQ(store.ReportCount(7), 2u);
+  EXPECT_TRUE(fs::exists(ingestor.wal_path()));
+  EXPECT_GT(fs::file_size(ingestor.wal_path()), 2 * kFrameHeaderBytes);
+}
+
+TEST_F(StreamIngestorTest, ChunkedFeedSpansFrameBoundaries) {
+  std::string stream;
+  for (int v = 1; v <= 4; ++v) {
+    const AggregatedReport r = Report(v, D0(), v);
+    ASSERT_TRUE(EncodeFrame(v, {&r, 1}, &stream).ok());
+  }
+  IngestionStore store;
+  StreamIngestor ingestor = StreamIngestor::Open(Opts(), &store).value();
+  // 7-byte chunks: every frame straddles several Feed calls.
+  for (size_t at = 0; at < stream.size(); at += 7) {
+    ASSERT_TRUE(
+        ingestor.Feed(std::string_view(stream).substr(at, 7)).ok());
+  }
+  EXPECT_EQ(ingestor.stats().frames_accepted, 4u);
+  EXPECT_EQ(store.num_vehicles(), 4u);
+}
+
+TEST_F(StreamIngestorTest, RecoversFromWalAfterCrash) {
+  std::string stream;
+  const AggregatedReport r1 = Report(7, D0(), 10);
+  const AggregatedReport r2 = Report(8, D0(), 11);
+  ASSERT_TRUE(EncodeFrame(7, {&r1, 1}, &stream).ok());
+  ASSERT_TRUE(EncodeFrame(8, {&r2, 1}, &stream).ok());
+
+  uint64_t digest_before;
+  {
+    IngestionStore store;
+    StreamIngestor ingestor = StreamIngestor::Open(Opts(), &store).value();
+    ASSERT_TRUE(ingestor.Feed(std::string_view(stream)).ok());
+    digest_before = store.ContentDigest();
+    // "Crash": the ingestor is dropped with no checkpoint.
+  }
+  IngestionStore recovered;
+  StreamIngestor reopened = StreamIngestor::Open(Opts(), &recovered).value();
+  EXPECT_EQ(reopened.stats().recovered_frames, 2u);
+  EXPECT_EQ(reopened.stats().recovered_reports, 2u);
+  EXPECT_EQ(recovered.ContentDigest(), digest_before);
+}
+
+TEST_F(StreamIngestorTest, CheckpointCompactsWalAndStillRecovers) {
+  std::string stream;
+  const AggregatedReport r1 = Report(7, D0(), 10);
+  const AggregatedReport r2 = Report(8, D0(), 11);
+  ASSERT_TRUE(EncodeFrame(7, {&r1, 1}, &stream).ok());
+  ASSERT_TRUE(EncodeFrame(8, {&r2, 1}, &stream).ok());
+
+  uint64_t digest_before;
+  {
+    IngestionStore store;
+    StreamIngestor ingestor = StreamIngestor::Open(Opts(), &store).value();
+    ASSERT_TRUE(ingestor.Feed(std::string_view(stream)).ok());
+    ASSERT_TRUE(ingestor.Checkpoint().ok());
+    EXPECT_EQ(ingestor.stats().checkpoints, 1u);
+    EXPECT_EQ(fs::file_size(ingestor.wal_path()), 0u);
+    EXPECT_TRUE(fs::exists(ingestor.checkpoint_path()));
+    digest_before = store.ContentDigest();
+  }
+  IngestionStore recovered;
+  StreamIngestor reopened = StreamIngestor::Open(Opts(), &recovered).value();
+  EXPECT_EQ(recovered.ContentDigest(), digest_before);
+  EXPECT_EQ(recovered.num_vehicles(), 2u);
+}
+
+TEST_F(StreamIngestorTest, AutoCheckpointFiresEveryNFrames) {
+  IngestionStore store;
+  StreamIngestor ingestor = StreamIngestor::Open(Opts(2), &store).value();
+  for (int v = 1; v <= 5; ++v) {
+    std::string stream;
+    const AggregatedReport r = Report(v, D0(), v);
+    ASSERT_TRUE(EncodeFrame(v, {&r, 1}, &stream).ok());
+    ASSERT_TRUE(ingestor.Feed(std::string_view(stream)).ok());
+  }
+  EXPECT_EQ(ingestor.stats().checkpoints, 2u);  // After frames 2 and 4.
+  // Frame 5 is in the WAL, not yet checkpointed.
+  EXPECT_GT(fs::file_size(ingestor.wal_path()), 0u);
+}
+
+TEST_F(StreamIngestorTest, CheckpointThenMoreFramesRecoversBoth) {
+  uint64_t digest_before;
+  {
+    IngestionStore store;
+    StreamIngestor ingestor = StreamIngestor::Open(Opts(), &store).value();
+    std::string s1, s2;
+    const AggregatedReport r1 = Report(7, D0(), 10);
+    const AggregatedReport r2 = Report(7, D0(), 11);
+    ASSERT_TRUE(EncodeFrame(7, {&r1, 1}, &s1).ok());
+    ASSERT_TRUE(ingestor.Feed(std::string_view(s1)).ok());
+    ASSERT_TRUE(ingestor.Checkpoint().ok());
+    ASSERT_TRUE(EncodeFrame(7, {&r2, 1}, &s2).ok());
+    ASSERT_TRUE(ingestor.Feed(std::string_view(s2)).ok());
+    digest_before = store.ContentDigest();
+  }
+  IngestionStore recovered;
+  StreamIngestor reopened = StreamIngestor::Open(Opts(), &recovered).value();
+  EXPECT_EQ(recovered.ReportCount(7), 2u);
+  EXPECT_EQ(recovered.ContentDigest(), digest_before);
+}
+
+TEST_F(StreamIngestorTest, CorruptStreamStillJournalsValidFrames) {
+  std::string f1, f2;
+  const AggregatedReport r1 = Report(7, D0(), 10);
+  const AggregatedReport r2 = Report(8, D0(), 11);
+  ASSERT_TRUE(EncodeFrame(7, {&r1, 1}, &f1).ok());
+  ASSERT_TRUE(EncodeFrame(8, {&r2, 1}, &f2).ok());
+  f1[kFrameHeaderBytes + 2] ^= 0x08;  // First frame corrupted in flight.
+
+  uint64_t digest_before;
+  {
+    IngestionStore store;
+    StreamIngestor ingestor = StreamIngestor::Open(Opts(), &store).value();
+    ASSERT_TRUE(ingestor.Feed(std::string_view(f1 + "junk" + f2)).ok());
+    EXPECT_EQ(ingestor.stats().frames_accepted, 1u);
+    EXPECT_GE(ingestor.decoder_stats().frames_rejected_corrupt, 1u);
+    EXPECT_EQ(store.num_vehicles(), 1u);
+    EXPECT_TRUE(store.HasVehicle(8));
+    digest_before = store.ContentDigest();
+  }
+  // Only the valid frame was journaled; recovery reproduces exactly it.
+  IngestionStore recovered;
+  StreamIngestor reopened = StreamIngestor::Open(Opts(), &recovered).value();
+  EXPECT_EQ(recovered.ContentDigest(), digest_before);
+}
+
+TEST_F(StreamIngestorTest, SentinelReportsAreRejectedByStoreNotCrash) {
+  // A NaN channel travels the wire as a sentinel and must be rejected at
+  // ingestion, counted, without breaking the rest of the frame's batch.
+  AggregatedReport bad = Report(7, D0(), 10);
+  bad.engine_on_fraction = std::numeric_limits<double>::quiet_NaN();
+  AggregatedReport good = Report(7, D0(), 11);
+  std::string stream;
+  std::vector<AggregatedReport> reports = {bad, good};
+  ASSERT_TRUE(EncodeFrame(7, reports, &stream).ok());
+
+  IngestionStore store;
+  StreamIngestor ingestor = StreamIngestor::Open(Opts(), &store).value();
+  ASSERT_TRUE(ingestor.Feed(std::string_view(stream)).ok());
+  EXPECT_EQ(ingestor.stats().reports_accepted, 1u);
+  EXPECT_EQ(ingestor.stats().reports_rejected, 1u);
+  EXPECT_EQ(store.stats().rejected_non_finite, 1u);
+  EXPECT_EQ(store.ReportCount(7), 1u);
+}
+
+TEST_F(StreamIngestorTest, OpenRejectsNullStore) {
+  EXPECT_TRUE(StreamIngestor::Open(Opts(), nullptr)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace vup::wire

@@ -1,0 +1,193 @@
+#include "wire/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace vup::wire {
+namespace {
+
+namespace fs = std::filesystem;
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("vup_wal_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::create_directories(dir_);
+    path_ = (dir_ / "wal.log").string();
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string ReadFile() const {
+    std::ifstream in(path_, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+
+  void WriteFile(const std::string& bytes) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  /// Replays `path_`, collecting payloads as strings.
+  WriteAheadLog::ReplayStats ReplayAll(std::vector<std::string>* payloads) {
+    auto stats = WriteAheadLog::Replay(
+        path_, [payloads](std::span<const uint8_t> p) -> Status {
+          payloads->emplace_back(reinterpret_cast<const char*>(p.data()),
+                                 p.size());
+          return Status::OK();
+        });
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    return stats.value();
+  }
+
+  fs::path dir_;
+  std::string path_;
+};
+
+TEST_F(WalTest, AppendThenReplayRoundTrips) {
+  {
+    WriteAheadLog wal = WriteAheadLog::Open(path_).value();
+    ASSERT_TRUE(wal.Append(std::string_view("alpha")).ok());
+    ASSERT_TRUE(wal.Append(std::string_view("beta payload")).ok());
+    ASSERT_TRUE(wal.Append(std::string_view("g")).ok());
+    EXPECT_EQ(wal.records_appended(), 3u);
+  }
+  std::vector<std::string> payloads;
+  WriteAheadLog::ReplayStats stats = ReplayAll(&payloads);
+  EXPECT_EQ(stats.records, 3u);
+  EXPECT_EQ(stats.payload_bytes, 5u + 12u + 1u);
+  EXPECT_EQ(stats.tail_dropped_bytes, 0u);
+  ASSERT_EQ(payloads.size(), 3u);
+  EXPECT_EQ(payloads[0], "alpha");
+  EXPECT_EQ(payloads[1], "beta payload");
+  EXPECT_EQ(payloads[2], "g");
+}
+
+TEST_F(WalTest, MissingFileReplaysEmpty) {
+  std::vector<std::string> payloads;
+  WriteAheadLog::ReplayStats stats = ReplayAll(&payloads);
+  EXPECT_EQ(stats.records, 0u);
+  EXPECT_TRUE(payloads.empty());
+}
+
+TEST_F(WalTest, ReopenPreservesExistingRecords) {
+  {
+    WriteAheadLog wal = WriteAheadLog::Open(path_).value();
+    ASSERT_TRUE(wal.Append(std::string_view("first")).ok());
+  }
+  {
+    WriteAheadLog wal = WriteAheadLog::Open(path_).value();
+    ASSERT_TRUE(wal.Append(std::string_view("second")).ok());
+  }
+  std::vector<std::string> payloads;
+  ReplayAll(&payloads);
+  ASSERT_EQ(payloads.size(), 2u);
+  EXPECT_EQ(payloads[0], "first");
+  EXPECT_EQ(payloads[1], "second");
+}
+
+TEST_F(WalTest, RejectsEmptyAndOversizedPayloads) {
+  WriteAheadLog wal = WriteAheadLog::Open(path_).value();
+  EXPECT_TRUE(wal.Append(std::string_view("")).IsInvalidArgument());
+  std::vector<uint8_t> huge(WriteAheadLog::kMaxWalPayloadBytes + 1, 0x5A);
+  EXPECT_TRUE(wal.Append(std::span<const uint8_t>(huge)).IsInvalidArgument());
+  EXPECT_EQ(wal.records_appended(), 0u);
+}
+
+TEST_F(WalTest, TruncationAtEveryOffsetNeverMisparses) {
+  // The crash signature: the process dies mid-append, leaving the file cut
+  // at an arbitrary byte. Whatever the cut point, replay must yield some
+  // prefix of the appended records, intact, and drop the torn tail --
+  // never a short read, never a mangled payload.
+  {
+    WriteAheadLog wal = WriteAheadLog::Open(path_).value();
+    ASSERT_TRUE(wal.Append(std::string_view("record-one")).ok());
+    ASSERT_TRUE(wal.Append(std::string_view("record-two!")).ok());
+    ASSERT_TRUE(wal.Append(std::string_view("record-three")).ok());
+  }
+  const std::string full = ReadFile();
+  const std::vector<std::string> expected = {"record-one", "record-two!",
+                                             "record-three"};
+  for (size_t cut = 0; cut <= full.size(); ++cut) {
+    WriteFile(full.substr(0, cut));
+    std::vector<std::string> payloads;
+    WriteAheadLog::ReplayStats stats = ReplayAll(&payloads);
+    ASSERT_LE(payloads.size(), expected.size());
+    for (size_t i = 0; i < payloads.size(); ++i) {
+      EXPECT_EQ(payloads[i], expected[i]) << "cut at " << cut;
+    }
+    // Everything not replayed was dropped as the torn tail.
+    EXPECT_EQ(stats.records, payloads.size());
+    uint64_t replayed_bytes = 0;
+    for (const std::string& p : payloads) {
+      replayed_bytes += WriteAheadLog::kRecordHeaderBytes + p.size();
+    }
+    EXPECT_EQ(stats.tail_dropped_bytes, cut - replayed_bytes)
+        << "cut at " << cut;
+  }
+}
+
+TEST_F(WalTest, MidFileCorruptionStopsReplayThere) {
+  {
+    WriteAheadLog wal = WriteAheadLog::Open(path_).value();
+    ASSERT_TRUE(wal.Append(std::string_view("good")).ok());
+    ASSERT_TRUE(wal.Append(std::string_view("evil")).ok());
+    ASSERT_TRUE(wal.Append(std::string_view("lost")).ok());
+  }
+  std::string bytes = ReadFile();
+  // Flip a payload byte of the middle record.
+  const size_t second_payload_at =
+      2 * WriteAheadLog::kRecordHeaderBytes + 4 + 1;
+  bytes[second_payload_at] ^= 0x20;
+  WriteFile(bytes);
+  std::vector<std::string> payloads;
+  WriteAheadLog::ReplayStats stats = ReplayAll(&payloads);
+  ASSERT_EQ(payloads.size(), 1u);
+  EXPECT_EQ(payloads[0], "good");
+  // The alarm signal: far more than one torn record was dropped.
+  EXPECT_EQ(stats.tail_dropped_bytes,
+            2 * (WriteAheadLog::kRecordHeaderBytes + 4));
+}
+
+TEST_F(WalTest, ResetTruncatesAndKeepsAppending) {
+  WriteAheadLog wal = WriteAheadLog::Open(path_).value();
+  ASSERT_TRUE(wal.Append(std::string_view("before")).ok());
+  ASSERT_TRUE(wal.Reset().ok());
+  ASSERT_TRUE(wal.Append(std::string_view("after")).ok());
+  std::vector<std::string> payloads;
+  ReplayAll(&payloads);
+  ASSERT_EQ(payloads.size(), 1u);
+  EXPECT_EQ(payloads[0], "after");
+}
+
+TEST_F(WalTest, ReplayCallbackErrorAborts) {
+  {
+    WriteAheadLog wal = WriteAheadLog::Open(path_).value();
+    ASSERT_TRUE(wal.Append(std::string_view("one")).ok());
+    ASSERT_TRUE(wal.Append(std::string_view("two")).ok());
+  }
+  size_t seen = 0;
+  auto stats = WriteAheadLog::Replay(
+      path_, [&seen](std::span<const uint8_t>) -> Status {
+        ++seen;
+        return Status::Internal("consumer exploded");
+      });
+  EXPECT_TRUE(stats.status().IsInternal());
+  EXPECT_EQ(seen, 1u);
+}
+
+}  // namespace
+}  // namespace vup::wire
