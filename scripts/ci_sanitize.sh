@@ -30,4 +30,10 @@ VUP_WIRE_FUZZ_ITERS=50000 ctest --preset sanitize -R \
 ctest --preset sanitize -j"${JOBS}" -R \
   'wire_frame_test|wire_wal_test|wire_stream_ingestor_test|integration_wire_chaos_test'
 
+# Cluster subsystem: profile feature indexing, k-means centroid math, the
+# strict clusters.meta parser (hostile-input path) and the pooled-training
+# span arithmetic, plus the serving fallback chain.
+ctest --preset sanitize -j"${JOBS}" -R \
+  'cluster_profile_test|cluster_kmeans_test|cluster_cluster_meta_test|cluster_pooled_test|serve_hierarchy_fallback_test'
+
 ctest --preset sanitize -j"${JOBS}" "$@"

@@ -1,0 +1,167 @@
+#include "cluster/profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/acf.h"
+#include "telemetry/taxonomy.h"
+
+namespace vup::cluster {
+
+namespace {
+
+constexpr double kQuantileLadder[ProfileConfig::kNumQuantiles] = {
+    0.1, 0.25, 0.5, 0.75, 0.9};
+
+/// Nearest-rank quantile of a sorted sample.
+double SortedQuantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  if (rank > 0) --rank;
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+size_t UsageProfile::Dimension(const ProfileConfig& config) {
+  return static_cast<size_t>(kNumVehicleTypes) + config.acf_lags +
+         ProfileConfig::kNumQuantiles + 4;
+}
+
+StatusOr<UsageProfile> ExtractProfile(const VehicleDataset& ds,
+                                      const ProfileConfig& config) {
+  if (config.acf_lags == 0) {
+    return Status::InvalidArgument("acf_lags must be >= 1");
+  }
+  if (ds.num_days() == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+
+  UsageProfile profile;
+  profile.vehicle_id = ds.info().vehicle_id;
+  profile.vehicle_type = static_cast<int>(ds.info().type);
+  profile.features.reserve(UsageProfile::Dimension(config));
+
+  // Vehicle-type one-hot.
+  for (int t = 0; t < kNumVehicleTypes; ++t) {
+    profile.features.push_back(t == profile.vehicle_type ? 1.0 : 0.0);
+  }
+
+  // ACF signature at lags 1..acf_lags, read from the same SlidingAcf
+  // prefix tables the incremental trainer uses. Degenerate series (too
+  // short or constant) make the ACF undefined; the neutral all-zero
+  // signature says "no temporal structure observed" and keeps the profile
+  // comparable.
+  const std::vector<double>& hours = ds.hours();
+  StatusOr<std::vector<double>> acf = [&]() -> StatusOr<std::vector<double>> {
+    if (hours.size() < config.acf_lags + 2) {
+      return Status::InvalidArgument("series too short for ACF signature");
+    }
+    SlidingAcf cache(hours, config.acf_lags);
+    return cache.Window(0, hours.size());
+  }();
+  for (size_t lag = 1; lag <= config.acf_lags; ++lag) {
+    profile.features.push_back(acf.ok() ? acf.value()[lag] : 0.0);
+  }
+
+  // Utilization-distribution quantiles, mean, stddev and zero share.
+  std::vector<double> sorted = hours;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : kQuantileLadder) {
+    profile.features.push_back(SortedQuantile(sorted, q));
+  }
+  double sum = 0.0;
+  size_t zero_days = 0;
+  for (double h : hours) {
+    sum += h;
+    if (h <= 0.0) ++zero_days;
+  }
+  const double mean = sum / static_cast<double>(hours.size());
+  double var = 0.0;
+  for (double h : hours) var += (h - mean) * (h - mean);
+  var /= static_cast<double>(hours.size());
+  profile.features.push_back(mean);
+  profile.features.push_back(std::sqrt(var));
+  profile.features.push_back(static_cast<double>(zero_days) /
+                             static_cast<double>(hours.size()));
+
+  // Working-day vs non-working-day usage ratio: mean hours on working days
+  // over mean hours on rest/holiday days. A vehicle never observed on a
+  // non-working day (or with an idle rest calendar) gets the neutral ratio
+  // 1; the ratio is capped so one 24/7 outlier cannot dominate a cluster
+  // distance.
+  double work_sum = 0.0, rest_sum = 0.0;
+  size_t work_days = 0, rest_days = 0;
+  for (size_t day = 0; day < ds.num_days(); ++day) {
+    if (ds.country().IsWorkingDay(ds.dates()[day])) {
+      work_sum += hours[day];
+      ++work_days;
+    } else {
+      rest_sum += hours[day];
+      ++rest_days;
+    }
+  }
+  double ratio = 1.0;
+  if (work_days > 0 && rest_days > 0) {
+    const double work_mean = work_sum / static_cast<double>(work_days);
+    const double rest_mean = rest_sum / static_cast<double>(rest_days);
+    if (rest_mean > 0.0) {
+      ratio = std::min(work_mean / rest_mean, 24.0);
+    } else {
+      ratio = work_mean > 0.0 ? 24.0 : 1.0;
+    }
+  }
+  profile.features.push_back(ratio);
+
+  return profile;
+}
+
+StatusOr<ProfileScaling> ProfileScaling::Fit(
+    const std::vector<UsageProfile>& profiles) {
+  if (profiles.empty()) {
+    return Status::InvalidArgument("cannot fit scaling on zero profiles");
+  }
+  const size_t dim = profiles.front().features.size();
+  for (const UsageProfile& p : profiles) {
+    if (p.features.size() != dim) {
+      return Status::InvalidArgument("profiles have mixed dimensions");
+    }
+  }
+
+  ProfileScaling scaling;
+  scaling.mean.assign(dim, 0.0);
+  scaling.std.assign(dim, 0.0);
+  const double n = static_cast<double>(profiles.size());
+  for (const UsageProfile& p : profiles) {
+    for (size_t d = 0; d < dim; ++d) scaling.mean[d] += p.features[d];
+  }
+  for (size_t d = 0; d < dim; ++d) scaling.mean[d] /= n;
+  for (const UsageProfile& p : profiles) {
+    for (size_t d = 0; d < dim; ++d) {
+      const double delta = p.features[d] - scaling.mean[d];
+      scaling.std[d] += delta * delta;
+    }
+  }
+  for (size_t d = 0; d < dim; ++d) {
+    scaling.std[d] = std::sqrt(scaling.std[d] / n);
+    // Constant columns pass through unscaled (their centered value is 0
+    // anyway); matches StandardScaler's convention.
+    if (scaling.std[d] <= 0.0) scaling.std[d] = 1.0;
+  }
+  return scaling;
+}
+
+StatusOr<std::vector<double>> ProfileScaling::Apply(
+    const UsageProfile& profile) const {
+  if (profile.features.size() != mean.size()) {
+    return Status::InvalidArgument("profile dimension mismatch");
+  }
+  std::vector<double> out(profile.features.size());
+  for (size_t d = 0; d < out.size(); ++d) {
+    out[d] = (profile.features[d] - mean[d]) / std[d];
+  }
+  return out;
+}
+
+}  // namespace vup::cluster

@@ -1,0 +1,75 @@
+#ifndef VUPRED_CLUSTER_PROFILE_H_
+#define VUPRED_CLUSTER_PROFILE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "pipeline/dataset.h"
+
+namespace vup::cluster {
+
+/// Parameters of profile extraction. The profile dimensionality is a pure
+/// function of this config, so every profile of a fleet extracted with the
+/// same config is comparable component by component.
+struct ProfileConfig {
+  /// ACF signature lags: the autocorrelation of the utilization-hours
+  /// series is sampled at lags 1..acf_lags (weekly structure needs at
+  /// least 7; 14 captures the fortnight echo too).
+  size_t acf_lags = 14;
+  /// Utilization-distribution quantiles sampled from the hours series.
+  /// Fixed ladder {0.1, 0.25, 0.5, 0.75, 0.9}; this is its size.
+  static constexpr size_t kNumQuantiles = 5;
+};
+
+/// One vehicle's usage signature for fleet clustering: the behavioral
+/// fingerprint the hierarchy groups on. Distinct from vup::UsageProfile
+/// (telemetry), which is the *generative* profile of the simulator; this
+/// one is estimated purely from the observed daily features the
+/// forecaster consumes, so it works on real fleets too.
+struct UsageProfile {
+  int64_t vehicle_id = 0;
+  int vehicle_type = 0;  // VehicleType as int, for the one-hot block.
+
+  /// Flattened feature vector, layout (in order):
+  ///   [0, num_types)                      vehicle-type one-hot
+  ///   [.., +acf_lags)                     ACF of hours at lags 1..L
+  ///   [.., +kNumQuantiles)                hours quantiles (10/25/50/75/90)
+  ///   [.., +1)                            mean daily hours
+  ///   [.., +1)                            stddev of daily hours
+  ///   [.., +1)                            share of zero-usage days
+  ///   [.., +1)                            working-day vs holiday usage ratio
+  std::vector<double> features;
+
+  /// Dimensionality for a config (type one-hot uses kNumVehicleTypes).
+  static size_t Dimension(const ProfileConfig& config);
+};
+
+/// Extracts the profile of one vehicle from its daily dataset.
+///
+/// Degenerate inputs degrade to neutral values instead of failing: a
+/// constant or too-short hours series gets an all-zero ACF block, and a
+/// vehicle with no holiday history gets usage ratio 1. Extraction is a
+/// pure function of (dataset, config) -- no RNG -- so profiles are
+/// byte-identical across runs and across parallel extraction orders.
+StatusOr<UsageProfile> ExtractProfile(const VehicleDataset& ds,
+                                      const ProfileConfig& config);
+
+/// Column-wise standardization state for a set of profiles (mean/std per
+/// dimension), fit before clustering so hour-scale features cannot drown
+/// the one-hot block. Constant columns keep scale 1 (like StandardScaler).
+struct ProfileScaling {
+  std::vector<double> mean;
+  std::vector<double> std;
+
+  static StatusOr<ProfileScaling> Fit(
+      const std::vector<UsageProfile>& profiles);
+
+  /// The standardized feature vector of one profile.
+  StatusOr<std::vector<double>> Apply(const UsageProfile& profile) const;
+};
+
+}  // namespace vup::cluster
+
+#endif  // VUPRED_CLUSTER_PROFILE_H_

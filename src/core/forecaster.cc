@@ -142,6 +142,116 @@ Status VehicleForecaster::Train(const VehicleDataset& ds, size_t train_begin,
   return Status::OK();
 }
 
+StatusOr<VehicleForecaster> VehicleForecaster::TrainPooled(
+    std::span<const PooledTrainingSpan> members,
+    const ForecasterConfig& config) {
+  obs::TraceSpan fit_span("fit_pooled");
+  if (members.empty()) {
+    return Status::InvalidArgument("pooled training needs >= 1 member");
+  }
+  VehicleForecaster pooled(config);
+  if (pooled.IsBaseline()) {
+    return Status::InvalidArgument(
+        "pooled training needs an ML algorithm, not a baseline");
+  }
+  const size_t w = config.windowing.lookback_w;
+
+  // Per-member windowed views, validated with Train's requirements.
+  std::vector<WindowedDataset> windowed;
+  windowed.reserve(members.size());
+  size_t total_records = 0;
+  for (size_t m = 0; m < members.size(); ++m) {
+    const PooledTrainingSpan& member = members[m];
+    if (member.dataset == nullptr) {
+      return Status::InvalidArgument(
+          StrFormat("pooled member %zu carries no dataset", m));
+    }
+    if (member.train_begin >= member.train_end) {
+      return Status::InvalidArgument(
+          StrFormat("pooled member %zu has an empty training span", m));
+    }
+    if (member.train_end > member.dataset->num_days()) {
+      return Status::OutOfRange(
+          StrFormat("pooled member %zu trains beyond its dataset", m));
+    }
+    if (member.train_begin < w) {
+      return Status::InvalidArgument(
+          StrFormat("pooled member %zu: train_begin %zu < lookback_w %zu", m,
+                    member.train_begin, w));
+    }
+    StatusOr<WindowedDataset> view = [&] {
+      obs::TraceSpan span("window");
+      return BuildWindowedDataset(*member.dataset, config.windowing,
+                                  member.train_begin, member.train_end - 1);
+    }();
+    VUP_RETURN_IF_ERROR(view.status());
+    total_records += view.value().num_records();
+    windowed.push_back(std::move(view.value()));
+  }
+  if (total_records < 2) {
+    return Status::InvalidArgument("need at least 2 pooled records");
+  }
+  pooled.all_columns_ = windowed.front().columns;
+
+  // Member-averaged ACF feature selection: every member votes with its
+  // training-span ACF; degenerate members (constant/short series) abstain.
+  // When all abstain, fall back to the most recent K lags, exactly like
+  // the per-vehicle selection.
+  pooled.selected_lags_.clear();
+  pooled.selected_columns_.clear();
+  if (config.use_feature_selection) {
+    obs::TraceSpan span("select");
+    const size_t k = std::min(config.selection.top_k, w);
+    std::vector<double> mean_acf(w + 1, 0.0);
+    size_t votes = 0;
+    for (const PooledTrainingSpan& member : members) {
+      std::span<const double> hours(member.dataset->hours());
+      std::span<const double> train_hours = hours.subspan(
+          member.train_begin - w, w + (member.train_end - member.train_begin));
+      StatusOr<std::vector<double>> acf = Autocorrelation(train_hours, w);
+      if (!acf.ok()) continue;
+      for (size_t l = 0; l <= w; ++l) mean_acf[l] += acf.value()[l];
+      ++votes;
+    }
+    if (votes > 0) {
+      for (double& v : mean_acf) v /= static_cast<double>(votes);
+      pooled.selected_lags_ = TopKLagsByAcf(mean_acf, k);
+    } else {
+      for (size_t l = 1; l <= k; ++l) pooled.selected_lags_.push_back(l);
+    }
+    std::sort(pooled.selected_lags_.begin(), pooled.selected_lags_.end());
+    pooled.selected_columns_ =
+        ColumnsForLags(pooled.all_columns_, pooled.selected_lags_);
+  }
+
+  // Stack the (selected) member designs in input order.
+  Matrix x;
+  std::vector<double> y;
+  y.reserve(total_records);
+  {
+    obs::TraceSpan span("window");
+    for (WindowedDataset& view : windowed) {
+      Matrix rows = config.use_feature_selection
+                        ? view.x.SelectColumns(pooled.selected_columns_)
+                        : std::move(view.x);
+      for (size_t r = 0; r < rows.rows(); ++r) x.AppendRow(rows.Row(r));
+      y.insert(y.end(), view.y.begin(), view.y.end());
+    }
+  }
+
+  if (config.standardize) {
+    obs::TraceSpan span("scale");
+    VUP_ASSIGN_OR_RETURN(x, pooled.scaler_.FitTransform(x));
+  }
+  VUP_ASSIGN_OR_RETURN(pooled.model_, MakeRegressor(config));
+  {
+    obs::TraceSpan span("train");
+    VUP_RETURN_IF_ERROR(pooled.model_->Fit(x, y));
+  }
+  pooled.trained_ = true;
+  return pooled;
+}
+
 Status VehicleForecaster::PrepareIncrementalWindow(const VehicleDataset& ds,
                                                    size_t train_begin,
                                                    size_t train_end) {

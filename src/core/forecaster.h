@@ -4,6 +4,7 @@
 #include <iosfwd>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string_view>
 
 #include "common/statusor.h"
@@ -74,6 +75,15 @@ struct ForecasterConfig {
 StatusOr<std::unique_ptr<Regressor>> MakeRegressor(
     const ForecasterConfig& config);
 
+/// One member of a pooled training set: a vehicle's dataset plus the
+/// half-open target span its records are drawn from (same semantics as
+/// VehicleForecaster::Train's train_begin/train_end).
+struct PooledTrainingSpan {
+  const VehicleDataset* dataset = nullptr;
+  size_t train_begin = 0;
+  size_t train_end = 0;
+};
+
 /// One vehicle's end-to-end forecasting pipeline:
 /// windowing -> ACF lag selection -> standardization -> regressor.
 /// Baselines (LV, MA) skip the pipeline and read the hours series directly.
@@ -87,6 +97,20 @@ class VehicleForecaster {
   /// records the training span end and succeeds trivially.
   Status Train(const VehicleDataset& ds, size_t train_begin,
                size_t train_end);
+
+  /// Trains one *pooled* model on the stacked windowed records of several
+  /// vehicles (the per-cluster / global models of the serving hierarchy).
+  /// Lags are selected on the member-averaged training-span ACF, the
+  /// scaler is fit on the stacked design matrix, and the result is a
+  /// regular trained forecaster: PredictTarget scores any member (or
+  /// cold-start) vehicle's dataset, Save/Load round-trips it like a
+  /// per-vehicle model. Members are stacked in input order, so the result
+  /// is deterministic in (members, config). Requirements: ML algorithm
+  /// (baselines carry no pooled state), >= 1 member, per-member spans as
+  /// in Train, >= 2 stacked records in total.
+  static StatusOr<VehicleForecaster> TrainPooled(
+      std::span<const PooledTrainingSpan> members,
+      const ForecasterConfig& config);
 
   /// Predicts utilization hours of target row `target_index`
   /// (may equal ds.num_days() for the one-step-ahead forecast).

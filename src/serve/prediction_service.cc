@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
+#include <utility>
 
 #include "common/check.h"
 #include "common/string_util.h"
@@ -21,6 +22,24 @@ double Elapsed(std::chrono::steady_clock::time_point since) {
 
 }  // namespace
 
+std::string_view ServedLevelToString(ServedLevel level) {
+  switch (level) {
+    case ServedLevel::kNone:
+      return "none";
+    case ServedLevel::kVehicle:
+      return "vehicle";
+    case ServedLevel::kCluster:
+      return "cluster";
+    case ServedLevel::kType:
+      return "type";
+    case ServedLevel::kGlobal:
+      return "global";
+    case ServedLevel::kBaseline:
+      return "baseline";
+  }
+  return "?";
+}
+
 PredictionService::PredictionService(ModelRegistry* registry,
                                      ThreadPool* pool)
     : PredictionService(registry, pool, Options()) {}
@@ -31,9 +50,67 @@ PredictionService::PredictionService(ModelRegistry* registry,
   VUP_CHECK(registry_ != nullptr);
 }
 
+PredictionService::ResolvedModel PredictionService::ResolveModel(
+    const PredictionRequest& request) {
+  ResolvedModel resolved;
+  StatusOr<std::shared_ptr<const VehicleForecaster>> own =
+      registry_->Get(request.vehicle_id);
+  if (own.ok()) {
+    resolved.model = std::move(own.value());
+    resolved.level = ServedLevel::kVehicle;
+    return resolved;
+  }
+  resolved.status = own.status();
+
+  // Hierarchy fallback applies to a missing bundle (NotFound) and to a
+  // breaker-degraded vehicle (Unavailable): an open per-vehicle breaker
+  // means *that bundle* is suspect, not the pooled models. Any other
+  // error (corrupt dataset window etc.) is reported as-is.
+  if (options_.hierarchy == nullptr ||
+      (!own.status().IsNotFound() && !own.status().IsUnavailable())) {
+    return resolved;
+  }
+  const cluster::ClustersMeta& meta = *options_.hierarchy;
+
+  StatusOr<int> cluster_id = meta.ClusterOf(request.vehicle_id);
+  if (cluster_id.ok()) {
+    StatusOr<std::shared_ptr<const VehicleForecaster>> pooled =
+        registry_->Get(cluster::ClusterModelId(cluster_id.value()));
+    if (pooled.ok()) {
+      resolved.model = std::move(pooled.value());
+      resolved.level = ServedLevel::kCluster;
+      return resolved;
+    }
+  }
+
+  StatusOr<int> type = meta.TypeOf(request.vehicle_id);
+  const int type_id = type.ok() ? type.value() : request.vehicle_type_hint;
+  if (type_id >= 0) {
+    StatusOr<std::shared_ptr<const VehicleForecaster>> pooled =
+        registry_->Get(cluster::TypeModelId(type_id));
+    if (pooled.ok()) {
+      resolved.model = std::move(pooled.value());
+      resolved.level = ServedLevel::kType;
+      return resolved;
+    }
+  }
+
+  StatusOr<std::shared_ptr<const VehicleForecaster>> global =
+      registry_->Get(cluster::kGlobalModelId);
+  if (global.ok()) {
+    resolved.model = std::move(global.value());
+    resolved.level = ServedLevel::kGlobal;
+    return resolved;
+  }
+
+  // Chain exhausted: the vehicle-level status decides what happens next
+  // (NotFound may still degrade to the baseline in ScoreOne).
+  return resolved;
+}
+
 PredictionResponse PredictionService::ScoreOne(
     const VehicleForecaster* model, const Status& model_status,
-    const PredictionRequest& request) {
+    ServedLevel level, const PredictionRequest& request) {
   obs::TraceSpan score_span("serve.score");
   ServingStats::InFlight gauge(&stats_);
   const auto start = std::chrono::steady_clock::now();
@@ -48,6 +125,20 @@ PredictionResponse PredictionService::ScoreOne(
         model->PredictTarget(*request.dataset, request.target_index);
     if (prediction.ok()) {
       response.prediction = prediction.value();
+      response.level = level;
+      switch (level) {
+        case ServedLevel::kCluster:
+          fallback_.cluster.Increment(1);
+          break;
+        case ServedLevel::kType:
+          fallback_.type.Increment(1);
+          break;
+        case ServedLevel::kGlobal:
+          fallback_.global.Increment(1);
+          break;
+        default:
+          break;
+      }
     } else {
       response.status = prediction.status();
     }
@@ -67,6 +158,8 @@ PredictionResponse PredictionService::ScoreOne(
       if (prediction.ok()) {
         response.prediction = prediction.value();
         response.degraded = true;
+        response.level = ServedLevel::kBaseline;
+        fallback_.baseline.Increment(1);
       } else {
         response.status = prediction.status();
       }
@@ -109,20 +202,52 @@ void PredictionService::ScoreGroup(
   }
   if (live.empty()) return;
 
-  // One model fetch per vehicle group; the shared_ptr keeps the model
-  // alive across the group even if the LRU evicts it or a Reload swaps
-  // the generation meanwhile.
-  StatusOr<std::shared_ptr<const VehicleForecaster>> model = [&] {
+  // One model resolution per vehicle group (own bundle, or the hierarchy
+  // chain); the shared_ptr keeps the model alive across the group even if
+  // the LRU evicts it or a Reload swaps the generation meanwhile.
+  ResolvedModel resolved = [&] {
     obs::TraceSpan span("serve.fetch");
-    return registry_->Get(requests[live.front()].vehicle_id);
+    return ResolveModel(requests[live.front()]);
   }();
-  const VehicleForecaster* model_ptr =
-      model.ok() ? model.value().get() : nullptr;
-  const Status model_status = model.ok() ? Status::OK() : model.status();
   for (size_t position : live) {
-    (*responses)[position] =
-        ScoreOne(model_ptr, model_status, requests[position]);
+    (*responses)[position] = ScoreOne(resolved.model.get(), resolved.status,
+                                      resolved.level, requests[position]);
   }
+}
+
+PredictionService::FallbackSnapshot PredictionService::fallback_counts()
+    const {
+  FallbackSnapshot snapshot;
+  snapshot.cluster = static_cast<size_t>(fallback_.cluster.value());
+  snapshot.type = static_cast<size_t>(fallback_.type.value());
+  snapshot.global = static_cast<size_t>(fallback_.global.value());
+  snapshot.baseline = static_cast<size_t>(fallback_.baseline.value());
+  return snapshot;
+}
+
+void PredictionService::CollectMetrics(obs::MetricsSnapshot* out,
+                                       const obs::LabelSet& labels) const {
+  stats_.Collect(out, labels);
+  obs::MetricFamily family;
+  family.name = "vupred_registry_fallback_total";
+  family.help =
+      "Predictions served below the vehicle level of the model hierarchy.";
+  family.type = obs::MetricType::kCounter;
+  const FallbackSnapshot counts = fallback_counts();
+  const std::pair<const char*, size_t> levels[] = {
+      {"cluster", counts.cluster},
+      {"type", counts.type},
+      {"global", counts.global},
+      {"baseline", counts.baseline},
+  };
+  for (const auto& [level, count] : levels) {
+    obs::MetricSample sample;
+    sample.labels = labels;
+    sample.labels.emplace_back("level", level);
+    sample.value = static_cast<double>(count);
+    family.samples.push_back(std::move(sample));
+  }
+  out->families.push_back(std::move(family));
 }
 
 PredictionResponse PredictionService::Predict(

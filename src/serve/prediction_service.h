@@ -5,8 +5,10 @@
 #include <cstdint>
 #include <mutex>
 #include <span>
+#include <string_view>
 #include <vector>
 
+#include "cluster/cluster_meta.h"
 #include "common/clock.h"
 #include "common/thread_pool.h"
 #include "pipeline/dataset.h"
@@ -14,6 +16,18 @@
 #include "serve/serving_stats.h"
 
 namespace vup::serve {
+
+/// Which level of the model hierarchy actually served a prediction.
+enum class ServedLevel : int {
+  kNone = 0,      // Nothing served (error response).
+  kVehicle = 1,   // The vehicle's own model.
+  kCluster = 2,   // Its cluster's pooled model.
+  kType = 3,      // Its vehicle type's pooled model.
+  kGlobal = 4,    // The fleet-wide pooled model.
+  kBaseline = 5,  // Last-Value degradation.
+};
+
+std::string_view ServedLevelToString(ServedLevel level);
 
 /// One scoring request: predict the utilization hours of `dataset` row
 /// `target_index` (which may equal dataset->num_days() for the one-step-
@@ -38,6 +52,10 @@ struct PredictionRequest {
   /// DeadlineExceeded without fetching a model or occupying a pool
   /// worker. Defaults to no deadline.
   Deadline deadline;
+  /// Vehicle type (as int) for hierarchy fallback of vehicles absent from
+  /// clusters.meta (a brand-new connection the clustering has never
+  /// seen). -1 = unknown: the type level is skipped for such vehicles.
+  int vehicle_type_hint = -1;
 };
 
 /// Outcome of one request. `status` is OK when `prediction` is usable;
@@ -50,6 +68,9 @@ struct PredictionResponse {
   double prediction = 0.0;
   bool degraded = false;
   double latency_seconds = 0.0;
+  /// Hierarchy level that produced `prediction` (kVehicle when the
+  /// vehicle's own model served; kNone on error responses).
+  ServedLevel level = ServedLevel::kNone;
 };
 
 /// What to do with a batch that does not fit the admission queue.
@@ -82,6 +103,18 @@ enum class OverloadPolicy {
 /// `degrade_to_baseline` is set, the request is served by the Last-Value
 /// baseline over the dataset's history (mirroring the fleet runner's
 /// degrade-before-quarantine policy) and flagged `degraded`.
+///
+/// Hierarchy fallback: with `hierarchy` set, a vehicle whose own model is
+/// missing (NotFound) *or* breaker-degraded (Unavailable) resolves down
+/// the chain vehicle -> cluster -> type -> global before any baseline: the
+/// vehicle's cluster comes from clusters.meta, its type from the meta row
+/// (or the request's vehicle_type_hint for vehicles the clustering has
+/// never seen), and each level's pooled bundle is fetched from the same
+/// registry under its reserved model id. Every request served below the
+/// vehicle level increments vupred_registry_fallback_total{level=...}.
+/// Only when the whole chain is exhausted does the original per-vehicle
+/// status apply (NotFound then degrades to Last-Value as before;
+/// breaker-open stays Unavailable).
 class PredictionService {
  public:
   struct Options {
@@ -94,6 +127,20 @@ class PredictionService {
     OverloadPolicy overload_policy = OverloadPolicy::kBlock;
     /// Time source for deadline checks; null means Clock::Real().
     const Clock* clock = nullptr;
+    /// The published fleet clustering (hierarchy map + centroids). Null
+    /// disables hierarchy fallback. Must outlive the service; swap it by
+    /// constructing a new service (the meta is immutable once published).
+    const cluster::ClustersMeta* hierarchy = nullptr;
+  };
+
+  /// Requests served below the vehicle level, per level, since
+  /// construction (the counters behind
+  /// vupred_registry_fallback_total{level=...}).
+  struct FallbackSnapshot {
+    size_t cluster = 0;
+    size_t type = 0;
+    size_t global = 0;
+    size_t baseline = 0;
   };
 
   /// `registry` must outlive the service; `pool` may be null (inline
@@ -114,26 +161,39 @@ class PredictionService {
       std::span<const PredictionRequest> requests);
 
   ServingStatsSnapshot stats() const { return stats_.Snapshot(); }
+  FallbackSnapshot fallback_counts() const;
   std::string LatencyHistogramToString() const {
     return stats_.HistogramToString();
   }
 
-  /// Appends the vupred_serve_* metric families to `out`.
+  /// Appends the vupred_serve_* families and the labeled
+  /// vupred_registry_fallback_total family to `out`.
   void CollectMetrics(obs::MetricsSnapshot* out,
-                      const obs::LabelSet& labels = {}) const {
-    stats_.Collect(out, labels);
-  }
+                      const obs::LabelSet& labels = {}) const;
 
  private:
   /// Scores requests[i] for each i in `positions` (all the same vehicle),
   /// writing responses[i]. Requests whose deadline has expired fail fast;
-  /// the model is fetched once and only if some request is still live.
+  /// the model (own or hierarchy fallback) is resolved once and only if
+  /// some request is still live.
   void ScoreGroup(std::span<const PredictionRequest> requests,
                   const std::vector<size_t>& positions,
                   std::vector<PredictionResponse>* responses);
 
+  /// Resolves the model serving this group: the vehicle's own bundle, or
+  /// -- when that is missing/breaker-open and a hierarchy is configured --
+  /// the first available pooled bundle down the chain. On total failure
+  /// returns the *vehicle-level* status (the chain adds options, not new
+  /// error modes).
+  struct ResolvedModel {
+    std::shared_ptr<const VehicleForecaster> model;
+    Status status;
+    ServedLevel level = ServedLevel::kNone;
+  };
+  ResolvedModel ResolveModel(const PredictionRequest& request);
+
   PredictionResponse ScoreOne(const VehicleForecaster* model,
-                              const Status& model_status,
+                              const Status& model_status, ServedLevel level,
                               const PredictionRequest& request);
 
   const Clock& clock() const {
@@ -151,6 +211,16 @@ class PredictionService {
   ThreadPool* pool_;
   Options options_;
   ServingStats stats_;
+
+  /// Per-service fallback counters (obs instruments so CollectMetrics can
+  /// export them labeled without double bookkeeping).
+  struct FallbackCounters {
+    obs::Counter cluster;
+    obs::Counter type;
+    obs::Counter global;
+    obs::Counter baseline;
+  };
+  FallbackCounters fallback_;
 
   std::mutex admission_mu_;
   std::condition_variable admission_cv_;

@@ -1,0 +1,199 @@
+#include "cluster/profile.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/taxonomy.h"
+
+namespace vup::cluster {
+namespace {
+
+const Country& Italy() {
+  return *CountryRegistry::Global().Find("IT").value();
+}
+
+Date D(int day) { return Date::FromYmd(2016, 2, 1).value().AddDays(day); }
+
+/// Weekday-worker dataset: `level` hours Mon-Fri, idle weekends.
+VehicleDataset MakeDataset(int64_t vehicle_id, int type, double level,
+                           int n = 120) {
+  std::vector<DailyUsageRecord> recs;
+  for (int i = 0; i < n; ++i) {
+    DailyUsageRecord r;
+    r.date = D(i);
+    int wd = static_cast<int>(r.date.weekday());
+    r.hours = wd < 5 ? level + 0.1 * (i % 3) : 0.0;
+    r.avg_engine_load_pct = r.hours > 0 ? 50 : 0;
+    r.fuel_used_l = r.hours * 10;
+    recs.push_back(r);
+  }
+  VehicleInfo info;
+  info.vehicle_id = vehicle_id;
+  info.type = static_cast<VehicleType>(type);
+  return VehicleDataset::Build(info, recs, Italy()).value();
+}
+
+VehicleDataset MakeConstantDataset(int64_t vehicle_id, double hours,
+                                   int n = 60) {
+  std::vector<DailyUsageRecord> recs;
+  for (int i = 0; i < n; ++i) {
+    DailyUsageRecord r;
+    r.date = D(i);
+    r.hours = hours;
+    recs.push_back(r);
+  }
+  VehicleInfo info;
+  info.vehicle_id = vehicle_id;
+  return VehicleDataset::Build(info, recs, Italy()).value();
+}
+
+TEST(ProfileTest, DimensionMatchesLayout) {
+  ProfileConfig config;
+  config.acf_lags = 14;
+  // type one-hot + ACF lags + quantiles + mean/std/zero-share/ratio.
+  EXPECT_EQ(UsageProfile::Dimension(config),
+            static_cast<size_t>(kNumVehicleTypes) + 14 +
+                ProfileConfig::kNumQuantiles + 4);
+  config.acf_lags = 7;
+  EXPECT_EQ(UsageProfile::Dimension(config),
+            static_cast<size_t>(kNumVehicleTypes) + 7 +
+                ProfileConfig::kNumQuantiles + 4);
+}
+
+TEST(ProfileTest, ExtractsIdentityAndOneHot) {
+  ProfileConfig config;
+  VehicleDataset ds = MakeDataset(42, /*type=*/3, /*level=*/6.0);
+  StatusOr<UsageProfile> profile = ExtractProfile(ds, config);
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  EXPECT_EQ(profile.value().vehicle_id, 42);
+  EXPECT_EQ(profile.value().vehicle_type, 3);
+  ASSERT_EQ(profile.value().features.size(),
+            UsageProfile::Dimension(config));
+  for (int t = 0; t < kNumVehicleTypes; ++t) {
+    EXPECT_EQ(profile.value().features[static_cast<size_t>(t)],
+              t == 3 ? 1.0 : 0.0)
+        << "one-hot slot " << t;
+  }
+}
+
+TEST(ProfileTest, WeeklyPatternShowsInAcfAndRatio) {
+  ProfileConfig config;
+  VehicleDataset ds = MakeDataset(1, 0, 8.0);
+  StatusOr<UsageProfile> profile = ExtractProfile(ds, config);
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  const std::vector<double>& f = profile.value().features;
+  const size_t acf0 = static_cast<size_t>(kNumVehicleTypes);
+  // Weekday-worker series: lag-7 autocorrelation beats lag-3.
+  EXPECT_GT(f[acf0 + 6], f[acf0 + 2]);
+  // Trailing feature: working-day vs rest-day usage ratio, high for a
+  // vehicle that only works weekdays.
+  EXPECT_GT(f.back(), 1.0);
+  // Zero-share (two weekend days out of seven, minus holidays).
+  const double zero_share = f[f.size() - 2];
+  EXPECT_GT(zero_share, 0.1);
+  EXPECT_LT(zero_share, 0.6);
+}
+
+TEST(ProfileTest, ExtractionIsDeterministic) {
+  ProfileConfig config;
+  VehicleDataset ds = MakeDataset(7, 2, 5.0);
+  StatusOr<UsageProfile> a = ExtractProfile(ds, config);
+  StatusOr<UsageProfile> b = ExtractProfile(ds, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().features, b.value().features);
+}
+
+TEST(ProfileTest, ConstantSeriesDegradesToZeroAcf) {
+  ProfileConfig config;
+  VehicleDataset ds = MakeConstantDataset(9, 4.0);
+  StatusOr<UsageProfile> profile = ExtractProfile(ds, config);
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  const std::vector<double>& f = profile.value().features;
+  const size_t acf0 = static_cast<size_t>(kNumVehicleTypes);
+  for (size_t lag = 0; lag < config.acf_lags; ++lag) {
+    EXPECT_EQ(f[acf0 + lag], 0.0) << "lag " << lag + 1;
+  }
+  // Quantiles and mean of a constant series are the constant itself.
+  EXPECT_DOUBLE_EQ(f[acf0 + config.acf_lags + 2], 4.0);  // Median.
+  EXPECT_DOUBLE_EQ(f[acf0 + config.acf_lags +
+                     ProfileConfig::kNumQuantiles],
+                   4.0);  // Mean.
+}
+
+TEST(ProfileTest, QuantilesAreMonotone) {
+  ProfileConfig config;
+  VehicleDataset ds = MakeDataset(5, 1, 7.0);
+  StatusOr<UsageProfile> profile = ExtractProfile(ds, config);
+  ASSERT_TRUE(profile.ok());
+  const std::vector<double>& f = profile.value().features;
+  const size_t q0 = static_cast<size_t>(kNumVehicleTypes) + config.acf_lags;
+  for (size_t q = 1; q < ProfileConfig::kNumQuantiles; ++q) {
+    EXPECT_LE(f[q0 + q - 1], f[q0 + q]) << "quantile " << q;
+  }
+}
+
+TEST(ProfileScalingTest, StandardizesToZeroMean) {
+  ProfileConfig config;
+  std::vector<UsageProfile> profiles;
+  for (int64_t id = 1; id <= 4; ++id) {
+    StatusOr<UsageProfile> p = ExtractProfile(
+        MakeDataset(id, static_cast<int>(id % 3),
+                    2.0 + static_cast<double>(id)),
+        config);
+    ASSERT_TRUE(p.ok());
+    profiles.push_back(std::move(p.value()));
+  }
+  StatusOr<ProfileScaling> scaling = ProfileScaling::Fit(profiles);
+  ASSERT_TRUE(scaling.ok()) << scaling.status().ToString();
+  const size_t dim = profiles[0].features.size();
+  std::vector<double> column_sum(dim, 0.0);
+  for (const UsageProfile& p : profiles) {
+    StatusOr<std::vector<double>> scaled = scaling.value().Apply(p);
+    ASSERT_TRUE(scaled.ok());
+    for (size_t d = 0; d < dim; ++d) column_sum[d] += scaled.value()[d];
+  }
+  for (size_t d = 0; d < dim; ++d) {
+    EXPECT_NEAR(column_sum[d], 0.0, 1e-9) << "column " << d;
+  }
+}
+
+TEST(ProfileScalingTest, ConstantColumnKeepsUnitScale) {
+  // All profiles share vehicle type 2: that one-hot column is constant,
+  // which must map to exactly 0 under unit scale, not NaN.
+  ProfileConfig config;
+  std::vector<UsageProfile> profiles;
+  for (int64_t id = 1; id <= 3; ++id) {
+    StatusOr<UsageProfile> p = ExtractProfile(
+        MakeDataset(id, 2, 3.0 + static_cast<double>(id)), config);
+    ASSERT_TRUE(p.ok());
+    profiles.push_back(std::move(p.value()));
+  }
+  StatusOr<ProfileScaling> scaling = ProfileScaling::Fit(profiles);
+  ASSERT_TRUE(scaling.ok());
+  EXPECT_EQ(scaling.value().std[2], 1.0);
+  StatusOr<std::vector<double>> scaled = scaling.value().Apply(profiles[0]);
+  ASSERT_TRUE(scaled.ok());
+  for (double v : scaled.value()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  EXPECT_EQ(scaled.value()[2], 0.0);
+}
+
+TEST(ProfileScalingTest, DimensionMismatchIsAnError) {
+  ProfileConfig config;
+  StatusOr<UsageProfile> p =
+      ExtractProfile(MakeDataset(1, 0, 5.0), config);
+  ASSERT_TRUE(p.ok());
+  StatusOr<ProfileScaling> scaling =
+      ProfileScaling::Fit({p.value()});
+  ASSERT_TRUE(scaling.ok());
+  UsageProfile wrong = p.value();
+  wrong.features.pop_back();
+  EXPECT_FALSE(scaling.value().Apply(wrong).ok());
+}
+
+}  // namespace
+}  // namespace vup::cluster

@@ -578,6 +578,151 @@ TEST(CliTest, IngestBenchRejectsBadArguments) {
   EXPECT_EQ(CliExitCode("ingest-bench --days=0"), 2);
 }
 
+TEST(CliTest, CoreBenchReportsTrainStagePerAlgorithm) {
+  std::string dir = TempDir();
+  // The train stage must be separately measured so SVR and GB fits are
+  // comparable: the JSON carries the stage speedup and each path's share
+  // of wall time.
+  for (const char* alg : {"SVR", "GB"}) {
+    std::string json_path =
+        dir + "/BENCH_core_" + std::string(alg) + ".json";
+    std::string out = dir + "/core_bench_" + std::string(alg) + ".txt";
+    ASSERT_EQ(RunCli("core-bench --vehicles=8 --max-vehicles=1 "
+                     "--eval-days=8 --lookback=25 --train-window=30 "
+                     "--topk=8 --algorithm=" +
+                         std::string(alg) + " --json=" + json_path,
+                     out),
+              0)
+        << alg;
+    std::string text = ReadFile(out);
+    EXPECT_NE(text.find("algorithm=" + std::string(alg)),
+              std::string::npos)
+        << alg;
+    EXPECT_NE(text.find("% of wall"), std::string::npos) << alg;
+    std::string json = ReadFile(json_path);
+    EXPECT_NE(json.find("\"algorithm\": \"" + std::string(alg) + "\""),
+              std::string::npos)
+        << alg;
+    for (const char* field :
+         {"schema_version", "train_stage_speedup", "naive_train_fraction",
+          "incremental_train_fraction"}) {
+      EXPECT_NE(json.find("\"" + std::string(field) + "\""),
+                std::string::npos)
+          << alg << " missing " << field;
+    }
+  }
+}
+
+TEST(CliTest, ClusterBenchSmokeProvesDeterminismAndColdStart) {
+  std::string dir = TempDir();
+  std::string json_path = dir + "/BENCH_cluster.json";
+  std::string out = dir + "/cluster_bench.txt";
+  ASSERT_EQ(RunCli("cluster-bench --vehicles=8 --clusters=2 --max-k=3 "
+                   "--train-window=60 --holdout-days=14 --jobs=2 --json=" +
+                       json_path,
+                   out),
+            0);
+
+  // The run itself asserts byte-identical clustering across reruns and
+  // parallel extraction, and that the cold-start vehicle is served from
+  // its cluster model; zero exit plus these lines is the proof.
+  std::string text = ReadFile(out);
+  EXPECT_NE(text.find("cluster-bench: fleet=8"), std::string::npos);
+  EXPECT_NE(text.find("elbow: k=1:"), std::string::npos);
+  EXPECT_NE(text.find("hierarchy PE: per-vehicle="), std::string::npos);
+  EXPECT_NE(text.find("served level=cluster"), std::string::npos);
+  EXPECT_NE(
+      text.find("verify: clusters.meta byte-identical across 2 serial "
+                "reruns and --jobs=2 extraction"),
+      std::string::npos);
+
+  std::string json = ReadFile(json_path);
+  EXPECT_NE(json.find("\"bench\": \"cluster\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"determinism\": \"byte-identical\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"cold_start_level\": \"cluster\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"verify\": \"cold-start-served-at-cluster-level\""),
+            std::string::npos);
+  for (const char* field :
+       {"fleet_vehicles", "profiles", "profile_dim", "clusters",
+        "extract_seconds", "kmeans_seconds", "evaluate_seconds", "inertia",
+        "per_vehicle_pe", "per_cluster_pe", "global_pe",
+        "per_cluster_vs_vehicle_ratio", "cold_start_vehicle",
+        "cold_start_fallback_cluster_total"}) {
+    EXPECT_NE(json.find("\"" + std::string(field) + "\""),
+              std::string::npos)
+        << field;
+  }
+}
+
+TEST(CliTest, ClusterBenchGateAndBadArguments) {
+  std::string dir = TempDir();
+  // An unmeetable pooled-vs-per-vehicle ratio gate is a deterministic
+  // exit 1 (the bench still runs and verifies).
+  EXPECT_EQ(CliExitCode("cluster-bench --vehicles=8 --clusters=2 "
+                        "--max-k=3 --train-window=60 --holdout-days=14 "
+                        "--max-pe-ratio-pct=1 --json=" +
+                        dir + "/BENCH_cluster_gate.json"),
+            1);
+  // Baselines carry no pooled state to cluster-train.
+  EXPECT_EQ(CliExitCode("cluster-bench --algorithm=LV"), 2);
+  EXPECT_EQ(CliExitCode("cluster-bench --algorithm=MA"), 2);
+  EXPECT_EQ(CliExitCode("cluster-bench --no-such-flag=1"), 2);
+  EXPECT_EQ(CliExitCode("cluster-bench --vehicles=1"), 2);
+}
+
+TEST(CliTest, FleetClustersReportsHierarchyComparison) {
+  std::string dir = TempDir();
+  std::string out = dir + "/fleet_clusters.txt";
+  ASSERT_EQ(RunCli("fleet --vehicles=20 --max-vehicles=6 --eval-days=10 "
+                   "--clusters=2",
+                   out),
+            0);
+  std::string text = ReadFile(out);
+  EXPECT_NE(text.find("hierarchy k=2 inertia="), std::string::npos);
+  EXPECT_NE(text.find("per-cluster PE="), std::string::npos);
+  EXPECT_NE(text.find("global PE="), std::string::npos);
+}
+
+TEST(CliTest, PublishWithClustersServesHierarchyFromServeBench) {
+  std::string dir = TempDir();
+  std::string registry = dir + "/cluster_registry";
+  std::string publish_out = dir + "/publish_clusters.txt";
+  ASSERT_EQ(RunCli("publish --out=" + registry +
+                       " --vehicles=10 --max-vehicles=4 --train-days=120 "
+                       "--clusters=2",
+                   publish_out),
+            0);
+  EXPECT_NE(ReadFile(publish_out)
+                .find("pooled hierarchy bundles + clusters.meta (k=2)"),
+            std::string::npos);
+
+  // clusters.meta landed inside the committed generation.
+  std::string current = ReadFile(registry + "/CURRENT");
+  ASSERT_NE(current.find("gen_"), std::string::npos);
+  std::string gen_dir =
+      registry + "/" + current.substr(0, current.find('\n'));
+  std::string meta_text = ReadFile(gen_dir + "/clusters.meta");
+  EXPECT_NE(meta_text.find("vupred-clusters v1"), std::string::npos);
+  EXPECT_NE(meta_text.find("end-clusters"), std::string::npos);
+
+  // serve-bench detects the hierarchy, serves only real vehicles, and
+  // reports the fallback counters.
+  std::string report = dir + "/serve_bench_clusters.txt";
+  ASSERT_EQ(RunCli("serve-bench --registry=" + registry +
+                       " --workers=2 --batch=16 --requests=64 --json=" +
+                       dir + "/BENCH_serve_clusters.json",
+                   report),
+            0);
+  std::string text = ReadFile(report);
+  EXPECT_NE(text.find("fallback: hierarchy=on"), std::string::npos);
+  std::string json = ReadFile(dir + "/BENCH_serve_clusters.json");
+  EXPECT_NE(json.find("\"hierarchy\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+}
+
 TEST(CliTest, CoreBenchSpeedupGateFailsWhenUnmeetable) {
   std::string dir = TempDir();
   // An absurd required speedup turns the gate into a deterministic failure

@@ -19,6 +19,11 @@
 //                       journal+ingest, crash recovery) on a seeded report
 //                       stream; verifies recovery is bit-identical and
 //                       writes BENCH_ingest.json.
+//   vupred cluster-bench Profile-extraction / k-means throughput, pooled
+//                       hierarchy PE (per-vehicle vs per-cluster vs
+//                       global), and a cold-start fallback proof; verifies
+//                       clustering is byte-identical across reruns and
+//                       --jobs and writes BENCH_cluster.json.
 //
 // `vupred <command> --help` prints the command's usage. Unknown flags are
 // rejected with exit code 2.
@@ -26,6 +31,7 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -35,6 +41,8 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/cluster_meta.h"
+#include "cluster/pooled.h"
 #include "common/clock.h"
 #include "common/random.h"
 #include "common/string_util.h"
@@ -42,6 +50,7 @@
 #include "core/evaluation.h"
 #include "core/experiment.h"
 #include "core/forecaster.h"
+#include "ml/metrics.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -401,6 +410,43 @@ int RunFleet(const Flags& flags) {
               result.fleet.vehicles_skipped,
               result.fleet.vehicles_quarantined);
   std::printf("degradation: %s\n", result.degradation.ToString().c_str());
+  if (flags.Has("clusters")) {
+    // Hierarchy report: cluster the evaluated vehicles' usage profiles and
+    // compare per-vehicle vs pooled per-cluster vs pooled global PE on the
+    // shared trailing-holdout protocol (holdout = --eval-days).
+    const size_t k = static_cast<size_t>(
+        std::max<long long>(flags.GetInt("clusters", 3), 1));
+    std::vector<VehicleDataset> cluster_datasets;
+    for (size_t index : result.vehicle_indices) {
+      StatusOr<const VehicleDataset*> ds = runner.Dataset(index);
+      if (!ds.ok()) return Fail(ds.status());
+      cluster_datasets.push_back(*ds.value());
+    }
+    cluster::ProfileConfig profile_config;
+    profile_config.acf_lags = static_cast<size_t>(
+        std::max<long long>(flags.GetInt("acf-lags", 14), 1));
+    cluster::KMeansConfig kmeans_config;
+    kmeans_config.k = k;
+    kmeans_config.seed = seed;
+    StatusOr<cluster::ClustersMeta> cmeta = cluster::BuildFleetClustering(
+        cluster_datasets, profile_config, kmeans_config);
+    if (!cmeta.ok()) return Fail(cmeta.status());
+    cluster::PooledTrainingOptions popts;
+    popts.forecaster = cfg.forecaster;
+    popts.train_window = cfg.train_window;
+    popts.holdout_days = cfg.eval_days;
+    StatusOr<cluster::HierarchyEvaluation> hier =
+        cluster::EvaluateHierarchy(cluster_datasets, cmeta.value(), popts);
+    if (!hier.ok()) return Fail(hier.status());
+    const cluster::HierarchyEvaluation& h = hier.value();
+    std::printf("hierarchy k=%zu inertia=%.3f: per-vehicle PE=%.2f%% "
+                "per-cluster PE=%.2f%% global PE=%.2f%% (evaluated=%zu "
+                "skipped=%zu)\n",
+                cmeta.value().k(), cmeta.value().inertia,
+                h.per_vehicle.mean_pe, h.per_cluster.mean_pe,
+                h.global.mean_pe, h.per_vehicle.vehicles,
+                h.vehicles_skipped);
+  }
   const int metrics_rc = WriteMetricsOutput(
       flags, metrics_format, obs::MetricsRegistry::Global().Snapshot());
   if (metrics_rc != 0) return metrics_rc;
@@ -487,6 +533,47 @@ int RunPublish(const Flags& flags) {
   if (published == 0) {
     return Fail(Status::Internal("no vehicle model could be trained"));
   }
+  // Optional hierarchy publish: cluster the same vehicles, stage pooled
+  // per-cluster / per-type / global bundles under their reserved ids plus
+  // clusters.meta into the generation, all made live by the same CURRENT
+  // flip as the per-vehicle bundles.
+  size_t pooled_published = 0;
+  size_t pooled_k = 0;
+  if (flags.Has("clusters")) {
+    std::vector<VehicleDataset> cluster_datasets;
+    for (size_t index : selected) {
+      StatusOr<const VehicleDataset*> ds = runner.Dataset(index);
+      if (!ds.ok()) return Fail(ds.status());
+      cluster_datasets.push_back(*ds.value());
+    }
+    cluster::ProfileConfig profile_config;
+    profile_config.acf_lags = static_cast<size_t>(
+        std::max<long long>(flags.GetInt("acf-lags", 14), 1));
+    cluster::KMeansConfig kmeans_config;
+    kmeans_config.k = static_cast<size_t>(
+        std::max<long long>(flags.GetInt("clusters", 3), 1));
+    kmeans_config.seed = meta.fleet_seed;
+    StatusOr<cluster::ClustersMeta> cmeta = cluster::BuildFleetClustering(
+        cluster_datasets, profile_config, kmeans_config);
+    if (!cmeta.ok()) return Fail(cmeta.status());
+    pooled_k = cmeta.value().k();
+    cluster::PooledTrainingOptions popts;
+    popts.forecaster = cfg;
+    popts.train_window = train_days;
+    popts.holdout_days = 0;  // Serving models train through the last day.
+    StatusOr<std::vector<cluster::PooledModel>> pooled =
+        cluster::TrainPooledHierarchy(cluster_datasets, cmeta.value(),
+                                      popts);
+    if (!pooled.ok()) return Fail(pooled.status());
+    for (const cluster::PooledModel& model : pooled.value()) {
+      Status stored = publisher.value().Add(model.model_id, model.forecaster);
+      if (!stored.ok()) return Fail(stored);
+      ++pooled_published;
+    }
+    Status meta_written = cluster::WriteClustersMetaFile(
+        publisher.value().staging_dir(), cmeta.value());
+    if (!meta_written.ok()) return Fail(meta_written);
+  }
   Status committed = publisher.value().Commit(meta);
   if (!committed.ok()) return Fail(committed);
   // Pick the committed generation up before pruning, so the prune keeps
@@ -506,6 +593,11 @@ int RunPublish(const Flags& flags) {
               serve::ModelRegistry::GenerationDirName(
                   publisher.value().number())
                   .c_str());
+  if (flags.Has("clusters")) {
+    std::printf("published %zu pooled hierarchy bundles + clusters.meta "
+                "(k=%zu)\n",
+                pooled_published, pooled_k);
+  }
   return 0;
 }
 
@@ -574,8 +666,23 @@ int RunServeBench(const Flags& flags) {
   if (!meta.ok()) return Fail(meta.status());
 
   std::vector<int64_t> ids = registry.value().ListVehicleIds();
+  // Reserved pooled hierarchy bundles (negative ids) are fallback targets,
+  // not per-vehicle request subjects.
+  std::erase_if(ids, [](int64_t id) { return id < 0; });
   if (ids.empty()) {
     return Fail(Status::NotFound("registry holds no model bundles: " + dir));
+  }
+
+  // A generation published with --clusters carries clusters.meta; serve
+  // with the hierarchy fallback chain enabled in that case.
+  const std::string generation_dir =
+      std::filesystem::path(registry.value().BundlePath(0))
+          .parent_path()
+          .string();
+  StatusOr<cluster::ClustersMeta> hierarchy =
+      cluster::ReadClustersMetaFile(generation_dir);
+  if (!hierarchy.ok() && !hierarchy.status().IsNotFound()) {
+    return Fail(hierarchy.status());
   }
 
   // Rebuild the datasets the bundles were trained from.
@@ -630,6 +737,7 @@ int RunServeBench(const Flags& flags) {
   service_opts.admission_capacity = admission;
   service_opts.overload_policy = policy;
   if (overload) service_opts.clock = &fake_clock;
+  if (hierarchy.ok()) service_opts.hierarchy = &hierarchy.value();
   serve::PredictionService service(&registry.value(), &pool,
                                    service_opts);
 
@@ -713,6 +821,12 @@ int RunServeBench(const Flags& flags) {
   std::printf("cache: hits=%zu misses=%zu evictions=%zu resident=%zu\n",
               reg_stats.hits, reg_stats.misses, reg_stats.evictions,
               registry.value().resident_models());
+  const serve::PredictionService::FallbackSnapshot fallback =
+      service.fallback_counts();
+  std::printf("fallback: hierarchy=%s cluster=%zu type=%zu global=%zu "
+              "baseline=%zu\n",
+              hierarchy.ok() ? "on" : "off", fallback.cluster, fallback.type,
+              fallback.global, fallback.baseline);
   std::printf("verify: vehicle %lld serving == offline forecaster "
               "(exact)\n",
               static_cast<long long>(sample_id));
@@ -724,6 +838,7 @@ int RunServeBench(const Flags& flags) {
   json << StrFormat(
       "{\n"
       "  \"bench\": \"serve\",\n"
+      "  \"schema_version\": 1,\n"
       "  \"models\": %zu,\n"
       "  \"workers\": %zu,\n"
       "  \"batch\": %zu,\n"
@@ -748,6 +863,11 @@ int RunServeBench(const Flags& flags) {
       "  \"cache_hits\": %zu,\n"
       "  \"cache_misses\": %zu,\n"
       "  \"cache_evictions\": %zu,\n"
+      "  \"hierarchy\": %s,\n"
+      "  \"fallback_cluster\": %zu,\n"
+      "  \"fallback_type\": %zu,\n"
+      "  \"fallback_global\": %zu,\n"
+      "  \"fallback_baseline\": %zu,\n"
       "  \"verify\": \"exact-match\"\n"
       "}\n",
       ids.size(), workers, batch, num_requests, wall, rps,
@@ -758,7 +878,8 @@ int RunServeBench(const Flags& flags) {
       reg_stats.breaker_short_circuits,
       static_cast<unsigned long long>(reg_stats.generation),
       reg_stats.reloads, reg_stats.hits, reg_stats.misses,
-      reg_stats.evictions);
+      reg_stats.evictions, hierarchy.ok() ? "true" : "false",
+      fallback.cluster, fallback.type, fallback.global, fallback.baseline);
   if (!json) return Fail(Status::DataLoss("write failed: " + json_path));
   std::printf("wrote %s\n", json_path.c_str());
 
@@ -971,6 +1092,18 @@ int RunCoreBench(const Flags& flags) {
   const CoreStageSeconds& is = incremental.value().stages;
   const double window_speedup = StageSpeedup(ns.window, is.window);
   const double select_speedup = StageSpeedup(ns.select, is.select);
+  // Train-stage share of the wall: the regressor fit dominates under SVR
+  // and GB, so the per-algorithm fraction is what makes --algorithm
+  // comparisons meaningful (windowing speedups wash out when fit is 99%).
+  const double train_speedup = StageSpeedup(ns.train, is.train);
+  const double naive_train_fraction =
+      naive.value().wall_seconds > 0.0
+          ? ns.train / naive.value().wall_seconds
+          : 0.0;
+  const double incremental_train_fraction =
+      incremental.value().wall_seconds > 0.0
+          ? is.train / incremental.value().wall_seconds
+          : 0.0;
   const double total_speedup =
       StageSpeedup(naive.value().wall_seconds,
                    incremental.value().wall_seconds);
@@ -987,8 +1120,11 @@ int RunCoreBench(const Flags& flags) {
               is.select * 1e3, select_speedup);
   std::printf("scale      %9.3fms  %11.3fms\n", ns.scale * 1e3,
               is.scale * 1e3);
-  std::printf("train      %9.3fms  %11.3fms\n", ns.train * 1e3,
-              is.train * 1e3);
+  std::printf("train      %9.3fms  %11.3fms  %6.1fx (%.0f%% / %.0f%% of "
+              "wall)\n",
+              ns.train * 1e3, is.train * 1e3, train_speedup,
+              naive_train_fraction * 100.0,
+              incremental_train_fraction * 100.0);
   std::printf("predict    %9.3fms  %11.3fms\n", ns.predict * 1e3,
               is.predict * 1e3);
   std::printf("wall       %9.3fms  %11.3fms  %6.2fx\n",
@@ -1003,6 +1139,7 @@ int RunCoreBench(const Flags& flags) {
   json << StrFormat(
       "{\n"
       "  \"bench\": \"core\",\n"
+      "  \"schema_version\": 1,\n"
       "  \"fleet_vehicles\": %zu,\n"
       "  \"benched_vehicles\": %zu,\n"
       "  \"predictions\": %zu,\n"
@@ -1027,6 +1164,9 @@ int RunCoreBench(const Flags& flags) {
       "  \"incremental_predict_seconds\": %.6f,\n"
       "  \"window_stage_speedup\": %.2f,\n"
       "  \"select_stage_speedup\": %.2f,\n"
+      "  \"train_stage_speedup\": %.2f,\n"
+      "  \"naive_train_fraction\": %.4f,\n"
+      "  \"incremental_train_fraction\": %.4f,\n"
       "  \"total_speedup\": %.3f,\n"
       "  \"verify\": \"exact-match\"\n"
       "}\n",
@@ -1035,7 +1175,8 @@ int RunCoreBench(const Flags& flags) {
       naive.value().wall_seconds, incremental.value().wall_seconds,
       ns.window, is.window, ns.select, is.select, ns.scale, is.scale,
       ns.train, is.train, ns.predict, is.predict, window_speedup,
-      select_speedup, total_speedup);
+      select_speedup, train_speedup, naive_train_fraction,
+      incremental_train_fraction, total_speedup);
   if (!json) return Fail(Status::DataLoss("write failed: " + json_path));
   std::printf("wrote %s\n", json_path.c_str());
 
@@ -1219,6 +1360,7 @@ int RunIngestBench(const Flags& flags) {
   json << StrFormat(
       "{\n"
       "  \"bench\": \"ingest\",\n"
+      "  \"schema_version\": 1,\n"
       "  \"vehicles\": %zu,\n"
       "  \"days\": %zu,\n"
       "  \"reports\": %zu,\n"
@@ -1249,6 +1391,431 @@ int RunIngestBench(const Flags& flags) {
 
   return WriteMetricsOutput(flags, metrics_format,
                             obs::MetricsRegistry::Global().Snapshot());
+}
+
+// ---- cluster-bench ----------------------------------------------------
+
+int RunClusterBench(const Flags& flags) {
+  namespace fs = std::filesystem;
+  const long long vehicles_flag = flags.GetInt("vehicles", 12);
+  if (vehicles_flag < 2) {
+    std::fprintf(stderr,
+                 "cluster-bench needs at least 2 vehicles, got "
+                 "--vehicles=%lld\n",
+                 vehicles_flag);
+    return 2;
+  }
+  const size_t vehicles = static_cast<size_t>(vehicles_flag);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const size_t clusters = static_cast<size_t>(
+      std::max<long long>(flags.GetInt("clusters", 3), 1));
+  const size_t acf_lags = static_cast<size_t>(
+      std::max<long long>(flags.GetInt("acf-lags", 14), 1));
+  const size_t max_k = static_cast<size_t>(
+      std::max<long long>(flags.GetInt("max-k", 6), 1));
+  const size_t lookback = static_cast<size_t>(
+      std::max<long long>(flags.GetInt("lookback", 21), 1));
+  const size_t topk =
+      static_cast<size_t>(std::max<long long>(flags.GetInt("topk", 7), 1));
+  const size_t train_window = static_cast<size_t>(
+      std::max<long long>(flags.GetInt("train-window", 140), 2));
+  const size_t holdout_days = static_cast<size_t>(
+      std::max<long long>(flags.GetInt("holdout-days", 28), 1));
+  const size_t jobs =
+      static_cast<size_t>(std::max<long long>(flags.GetInt("jobs", 1), 1));
+  const std::string json_path = flags.Get("json", "BENCH_cluster.json");
+  const std::string registry_dir = flags.Get(
+      "registry-dir",
+      (fs::temp_directory_path() / "vupred_cluster_bench").string());
+  // Optional deterministic gate (seeded data, so no flakiness): fail when
+  // pooled per-cluster mean PE exceeds this percentage of the per-vehicle
+  // mean PE. 0 = report only.
+  const long long max_pe_ratio_pct =
+      std::max<long long>(flags.GetInt("max-pe-ratio-pct", 0), 0);
+
+  ForecasterConfig forecaster_cfg;
+  const std::string alg = flags.Get("algorithm", "Lasso");
+  bool alg_found = false;
+  for (int a = 0; a < kNumAlgorithms; ++a) {
+    if (AlgorithmToString(static_cast<Algorithm>(a)) == alg) {
+      forecaster_cfg.algorithm = static_cast<Algorithm>(a);
+      alg_found = true;
+    }
+  }
+  if (!alg_found) {
+    std::fprintf(stderr, "unknown --algorithm=%s\n", alg.c_str());
+    return 2;
+  }
+  if (forecaster_cfg.algorithm == Algorithm::kLastValue ||
+      forecaster_cfg.algorithm == Algorithm::kMovingAverage) {
+    std::fprintf(stderr,
+                 "cluster-bench needs an ML algorithm (baselines have no "
+                 "pooled fit), got --algorithm=%s\n",
+                 alg.c_str());
+    return 2;
+  }
+  forecaster_cfg.windowing.lookback_w = lookback;
+  forecaster_cfg.selection.top_k = topk;
+
+  const std::string metrics_format = ResolveMetricsFormat(flags);
+  if (metrics_format.empty()) return 2;
+  ScopedCliTracer tracer(flags.Has("trace"));
+
+  // Seeded fleet; datasets owned here, in ascending vehicle_id order (the
+  // canonical clustering order).
+  Fleet fleet = Fleet::Generate(FleetConfig::Small(vehicles, seed));
+  std::vector<VehicleDataset> datasets;
+  datasets.reserve(fleet.size());
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    StatusOr<VehicleDataset> ds = PrepareVehicleDataset(fleet, i);
+    if (!ds.ok()) return Fail(ds.status());
+    datasets.push_back(std::move(ds.value()));
+  }
+  std::sort(datasets.begin(), datasets.end(),
+            [](const VehicleDataset& a, const VehicleDataset& b) {
+              return a.info().vehicle_id < b.info().vehicle_id;
+            });
+
+  cluster::ProfileConfig profile_config;
+  profile_config.acf_lags = acf_lags;
+  cluster::KMeansConfig kmeans_config;
+  kmeans_config.k = clusters;
+  kmeans_config.seed = seed;
+
+  // Stage 1: profile extraction on `jobs` workers, folded back in
+  // vehicle_id order (extraction is a pure per-vehicle function, so the
+  // fold order alone fixes the output bytes).
+  const size_t n_vehicles = datasets.size();
+  std::vector<StatusOr<cluster::UsageProfile>> slots(
+      n_vehicles,
+      StatusOr<cluster::UsageProfile>(Status::Internal("unextracted")));
+  const auto extract_t0 = std::chrono::steady_clock::now();
+  if (jobs <= 1) {
+    for (size_t i = 0; i < n_vehicles; ++i) {
+      slots[i] = cluster::ExtractProfile(datasets[i], profile_config);
+    }
+  } else {
+    ThreadPool pool({jobs, n_vehicles + 1, "cluster-bench"});
+    for (size_t i = 0; i < n_vehicles; ++i) {
+      Status submitted = pool.Submit([&slots, &datasets, &profile_config,
+                                      i]() -> Status {
+        slots[i] = cluster::ExtractProfile(datasets[i], profile_config);
+        return Status::OK();
+      });
+      if (!submitted.ok()) {
+        slots[i] = cluster::ExtractProfile(datasets[i], profile_config);
+      }
+    }
+    Status drained = pool.Shutdown();
+    if (!drained.ok()) return Fail(drained);
+  }
+  const double extract_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    extract_t0)
+          .count();
+  std::vector<cluster::UsageProfile> profiles;
+  profiles.reserve(n_vehicles);
+  for (StatusOr<cluster::UsageProfile>& slot : slots) {
+    if (!slot.ok()) return Fail(slot.status());
+    profiles.push_back(std::move(slot.value()));
+  }
+
+  // Stage 2: standardize + seeded k-means.
+  const auto kmeans_t0 = std::chrono::steady_clock::now();
+  StatusOr<cluster::ClustersMeta> meta_or =
+      cluster::ClusterProfiles(profiles, profile_config, kmeans_config);
+  const double kmeans_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    kmeans_t0)
+          .count();
+  if (!meta_or.ok()) return Fail(meta_or.status());
+  const cluster::ClustersMeta& meta = meta_or.value();
+
+  // Determinism: the serial library path, run twice, must serialize to the
+  // same bytes as the parallel-extraction path above.
+  const std::string meta_bytes = meta.Serialize();
+  for (int rerun = 0; rerun < 2; ++rerun) {
+    StatusOr<cluster::ClustersMeta> again = cluster::BuildFleetClustering(
+        datasets, profile_config, kmeans_config);
+    if (!again.ok()) return Fail(again.status());
+    if (again.value().Serialize() != meta_bytes) {
+      return Fail(Status::Internal(StrFormat(
+          "clustering is not deterministic: serial rerun %d diverges from "
+          "the --jobs=%zu result",
+          rerun, jobs)));
+    }
+  }
+
+  StatusOr<std::vector<cluster::ElbowPoint>> elbow =
+      cluster::FleetElbowSweep(datasets, profile_config, kmeans_config,
+                               max_k);
+  if (!elbow.ok()) return Fail(elbow.status());
+
+  // Stage 3: pooled hierarchy training + per-level PE on the shared
+  // trailing-holdout protocol.
+  cluster::PooledTrainingOptions popts;
+  popts.forecaster = forecaster_cfg;
+  popts.train_window = train_window;
+  popts.holdout_days = holdout_days;
+  const auto eval_t0 = std::chrono::steady_clock::now();
+  StatusOr<cluster::HierarchyEvaluation> eval_or =
+      cluster::EvaluateHierarchy(datasets, meta, popts);
+  const double eval_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    eval_t0)
+          .count();
+  if (!eval_or.ok()) return Fail(eval_or.status());
+  const cluster::HierarchyEvaluation& eval = eval_or.value();
+  if (eval.per_vehicle.vehicles == 0) {
+    return Fail(Status::FailedPrecondition(
+        "no vehicle was evaluable under the holdout schedule"));
+  }
+  const double pe_ratio =
+      eval.per_vehicle.mean_pe > 0.0
+          ? eval.per_cluster.mean_pe / eval.per_vehicle.mean_pe
+          : 1.0;
+
+  // Cold start: the highest-id vehicle whose cluster keeps at least one
+  // warm member. It stays in clusters.meta but gets no per-vehicle bundle
+  // and contributes nothing to the pooled fits.
+  std::vector<size_t> cluster_sizes(meta.k(), 0);
+  for (const cluster::VehicleAssignment& v : meta.vehicles) {
+    ++cluster_sizes[static_cast<size_t>(v.cluster_id)];
+  }
+  int64_t cold_id = -1;
+  int cold_cluster = -1;
+  for (const cluster::VehicleAssignment& v : meta.vehicles) {
+    if (cluster_sizes[static_cast<size_t>(v.cluster_id)] >= 2) {
+      cold_id = v.vehicle_id;  // Ascending scan: last hit = max id.
+      cold_cluster = v.cluster_id;
+    }
+  }
+  if (cold_id < 0) {
+    return Fail(Status::FailedPrecondition(
+        "every cluster is a singleton; raise --vehicles or lower "
+        "--clusters"));
+  }
+  const VehicleDataset* cold_ds = nullptr;
+  std::vector<VehicleDataset> warm;
+  warm.reserve(datasets.size() - 1);
+  for (const VehicleDataset& ds : datasets) {
+    if (ds.info().vehicle_id == cold_id) {
+      cold_ds = &ds;
+    } else {
+      warm.push_back(ds);
+    }
+  }
+  StatusOr<std::vector<cluster::PooledModel>> warm_pooled =
+      cluster::TrainPooledHierarchy(warm, meta, popts);
+  if (!warm_pooled.ok()) return Fail(warm_pooled.status());
+  auto find_warm = [&warm_pooled](int64_t id) -> const VehicleForecaster* {
+    for (const cluster::PooledModel& m : warm_pooled.value()) {
+      if (m.model_id == id) return &m.forecaster;
+    }
+    return nullptr;
+  };
+  const VehicleForecaster* cold_cluster_model =
+      find_warm(cluster::ClusterModelId(cold_cluster));
+  const VehicleForecaster* cold_global_model =
+      find_warm(cluster::kGlobalModelId);
+  if (cold_cluster_model == nullptr || cold_global_model == nullptr) {
+    return Fail(Status::FailedPrecondition(
+        "warm fleet too short to train the pooled fallback models"));
+  }
+
+  // Cold-start accuracy: the never-seen vehicle's trailing holdout,
+  // predicted by pooled models trained without it.
+  const size_t cold_n = cold_ds->num_days();
+  if (cold_n <= holdout_days) {
+    return Fail(Status::FailedPrecondition(
+        "cold-start vehicle shorter than the holdout"));
+  }
+  std::vector<double> cold_actuals, cold_cluster_pred, cold_global_pred;
+  for (size_t t = cold_n - holdout_days; t < cold_n; ++t) {
+    StatusOr<double> pc = cold_cluster_model->PredictTarget(*cold_ds, t);
+    if (!pc.ok()) return Fail(pc.status());
+    StatusOr<double> pg = cold_global_model->PredictTarget(*cold_ds, t);
+    if (!pg.ok()) return Fail(pg.status());
+    cold_actuals.push_back(cold_ds->hours()[t]);
+    cold_cluster_pred.push_back(pc.value());
+    cold_global_pred.push_back(pg.value());
+  }
+  const double cold_cluster_pe =
+      PercentageError(cold_cluster_pred, cold_actuals);
+  const double cold_global_pe =
+      PercentageError(cold_global_pred, cold_actuals);
+  if (!std::isfinite(cold_cluster_pe) || !std::isfinite(cold_global_pe)) {
+    return Fail(Status::FailedPrecondition(
+        "cold-start holdout is all-zero; PE undefined"));
+  }
+
+  // Publish warm per-vehicle bundles + the warm pooled hierarchy +
+  // clusters.meta, then prove the serving chain: the cold vehicle must be
+  // served at the cluster level and counted in
+  // vupred_registry_fallback_total{level="cluster"}.
+  std::error_code ec;
+  fs::remove_all(registry_dir, ec);
+  serve::ModelRegistry::Options reg_opts;
+  reg_opts.directory = registry_dir;
+  reg_opts.cache_capacity = 0;
+  StatusOr<serve::ModelRegistry> registry =
+      serve::ModelRegistry::Open(std::move(reg_opts));
+  if (!registry.ok()) return Fail(registry.status());
+  StatusOr<serve::GenerationPublisher> publisher =
+      registry.value().NewGeneration();
+  if (!publisher.ok()) return Fail(publisher.status());
+  size_t warm_published = 0;
+  for (const VehicleDataset& ds : warm) {
+    const size_t n = ds.num_days();
+    const size_t begin = n > train_window
+                             ? std::max(n - train_window, lookback)
+                             : lookback;
+    VehicleForecaster own(forecaster_cfg);
+    Status trained = own.Train(ds, begin, n);
+    if (!trained.ok()) continue;  // Too short: served by the hierarchy.
+    Status stored = publisher.value().Add(ds.info().vehicle_id, own);
+    if (!stored.ok()) return Fail(stored);
+    ++warm_published;
+  }
+  for (const cluster::PooledModel& model : warm_pooled.value()) {
+    Status stored = publisher.value().Add(model.model_id, model.forecaster);
+    if (!stored.ok()) return Fail(stored);
+  }
+  Status meta_written = cluster::WriteClustersMetaFile(
+      publisher.value().staging_dir(), meta);
+  if (!meta_written.ok()) return Fail(meta_written);
+  serve::RegistryMeta reg_meta;
+  reg_meta.fleet_seed = seed;
+  reg_meta.fleet_vehicles = vehicles;
+  reg_meta.algorithm = alg;
+  Status committed = publisher.value().Commit(reg_meta);
+  if (!committed.ok()) return Fail(committed);
+  Status reloaded = registry.value().Reload();
+  if (!reloaded.ok()) return Fail(reloaded);
+
+  serve::PredictionService::Options service_opts;
+  service_opts.hierarchy = &meta;
+  serve::PredictionService service(&registry.value(), nullptr,
+                                   service_opts);
+  serve::PredictionRequest cold_request;
+  cold_request.vehicle_id = cold_id;
+  cold_request.dataset = cold_ds;
+  cold_request.target_index = cold_n;  // One-step-ahead forecast.
+  serve::PredictionResponse cold_response = service.Predict(cold_request);
+  if (!cold_response.status.ok()) return Fail(cold_response.status);
+  const serve::PredictionService::FallbackSnapshot fallback =
+      service.fallback_counts();
+  if (cold_response.level != serve::ServedLevel::kCluster ||
+      fallback.cluster != 1) {
+    return Fail(Status::Internal(StrFormat(
+        "cold-start vehicle %lld served at level %s (fallback cluster "
+        "counter %zu), expected cluster/1",
+        static_cast<long long>(cold_id),
+        std::string(serve::ServedLevelToString(cold_response.level))
+            .c_str(),
+        fallback.cluster)));
+  }
+
+  const double safe_extract = extract_s > 0.0 ? extract_s : 1e-9;
+  const double profiles_per_s =
+      static_cast<double>(n_vehicles) / safe_extract;
+  std::printf("cluster-bench: fleet=%zu profiles=%zu dim=%zu k=%zu "
+              "acf-lags=%zu algorithm=%s jobs=%zu seed=%llu\n",
+              vehicles, n_vehicles,
+              cluster::UsageProfile::Dimension(profile_config), meta.k(),
+              acf_lags, alg.c_str(), jobs,
+              static_cast<unsigned long long>(seed));
+  std::printf("stage            wall\n");
+  std::printf("extract   %9.3fms  %10.0f profiles/s\n", extract_s * 1e3,
+              profiles_per_s);
+  std::printf("kmeans    %9.3fms  inertia=%.4f\n", kmeans_s * 1e3,
+              meta.inertia);
+  std::printf("evaluate  %9.3fms\n", eval_s * 1e3);
+  std::string elbow_line = "elbow:";
+  for (const cluster::ElbowPoint& point : elbow.value()) {
+    elbow_line += StrFormat(" k=%zu:%.2f", point.k, point.inertia);
+  }
+  std::printf("%s\n", elbow_line.c_str());
+  std::printf("hierarchy PE: per-vehicle=%.2f%% per-cluster=%.2f%% "
+              "(%.2fx of per-vehicle) global=%.2f%% evaluated=%zu "
+              "skipped=%zu\n",
+              eval.per_vehicle.mean_pe, eval.per_cluster.mean_pe, pe_ratio,
+              eval.global.mean_pe, eval.per_vehicle.vehicles,
+              eval.vehicles_skipped);
+  std::printf("cold-start: vehicle %lld (no bundle, %zu warm published) "
+              "served level=%s fallback_cluster=%zu cluster-PE=%.2f%% "
+              "global-PE=%.2f%%\n",
+              static_cast<long long>(cold_id), warm_published,
+              std::string(serve::ServedLevelToString(cold_response.level))
+                  .c_str(),
+              fallback.cluster, cold_cluster_pe, cold_global_pe);
+  std::printf("verify: clusters.meta byte-identical across 2 serial reruns "
+              "and --jobs=%zu extraction\n",
+              jobs);
+
+  std::ofstream json(json_path, std::ios::trunc);
+  if (!json) return Fail(Status::Internal("cannot write " + json_path));
+  json << StrFormat(
+      "{\n"
+      "  \"bench\": \"cluster\",\n"
+      "  \"schema_version\": 1,\n"
+      "  \"fleet_vehicles\": %zu,\n"
+      "  \"profiles\": %zu,\n"
+      "  \"profile_dim\": %zu,\n"
+      "  \"clusters\": %zu,\n"
+      "  \"acf_lags\": %zu,\n"
+      "  \"algorithm\": \"%s\",\n"
+      "  \"jobs\": %zu,\n"
+      "  \"train_window\": %zu,\n"
+      "  \"holdout_days\": %zu,\n"
+      "  \"extract_seconds\": %.6f,\n"
+      "  \"profiles_per_second\": %.0f,\n"
+      "  \"kmeans_seconds\": %.6f,\n"
+      "  \"evaluate_seconds\": %.6f,\n"
+      "  \"inertia\": %.6f,\n"
+      "  \"per_vehicle_pe\": %.4f,\n"
+      "  \"per_cluster_pe\": %.4f,\n"
+      "  \"global_pe\": %.4f,\n"
+      "  \"per_cluster_vs_vehicle_ratio\": %.4f,\n"
+      "  \"vehicles_evaluated\": %zu,\n"
+      "  \"vehicles_skipped\": %zu,\n"
+      "  \"cold_start_vehicle\": %lld,\n"
+      "  \"cold_start_level\": \"%s\",\n"
+      "  \"cold_start_fallback_cluster_total\": %zu,\n"
+      "  \"cold_start_cluster_pe\": %.4f,\n"
+      "  \"cold_start_global_pe\": %.4f,\n"
+      "  \"determinism\": \"byte-identical\",\n"
+      "  \"verify\": \"cold-start-served-at-cluster-level\"\n"
+      "}\n",
+      vehicles, n_vehicles, cluster::UsageProfile::Dimension(profile_config),
+      meta.k(), acf_lags, alg.c_str(), jobs, train_window, holdout_days,
+      extract_s, static_cast<double>(n_vehicles) / safe_extract,
+      kmeans_s, eval_s, meta.inertia, eval.per_vehicle.mean_pe,
+      eval.per_cluster.mean_pe, eval.global.mean_pe, pe_ratio,
+      eval.per_vehicle.vehicles, eval.vehicles_skipped,
+      static_cast<long long>(cold_id),
+      std::string(serve::ServedLevelToString(cold_response.level)).c_str(),
+      fallback.cluster, cold_cluster_pe, cold_global_pe);
+  if (!json) return Fail(Status::DataLoss("write failed: " + json_path));
+  std::printf("wrote %s\n", json_path.c_str());
+
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  service.CollectMetrics(&snapshot);
+  registry.value().CollectMetrics(&snapshot);
+  if (!flags.Has("registry-dir")) fs::remove_all(registry_dir, ec);
+  const int metrics_rc =
+      WriteMetricsOutput(flags, metrics_format, std::move(snapshot));
+  if (metrics_rc != 0) return metrics_rc;
+
+  if (max_pe_ratio_pct > 0 &&
+      pe_ratio * 100.0 > static_cast<double>(max_pe_ratio_pct)) {
+    std::fprintf(stderr,
+                 "error: per-cluster PE is %.0f%% of per-vehicle PE, above "
+                 "the required %lld%%\n",
+                 pe_ratio * 100.0, max_pe_ratio_pct);
+    return 1;
+  }
+  return 0;
 }
 
 // ---- Command registry -------------------------------------------------
@@ -1303,32 +1870,40 @@ const std::vector<Command>& Commands() {
        "  [--algorithm=Lasso] [--eval-days=20] [--retrain-every=10]\n"
        "  [--train-window=60] [--lookback=21] [--topk=7] [--jobs=N]\n"
        "  [--fault-profile=none|mild|severe] [--fault-seed=S] [--strict]\n"
-       "  [--metrics-out=FILE] [--metrics-format=prom|json] [--trace]\n"
+       "  [--clusters=K] [--acf-lags=14] [--metrics-out=FILE]\n"
+       "  [--metrics-format=prom|json] [--trace]\n"
        "  Fleet experiment on a demo fleet, optionally routed through the\n"
        "  telemetry fault injector. --jobs=N evaluates vehicles on N\n"
        "  worker threads with byte-identical output; --jobs=0 picks one\n"
        "  job per hardware thread (capped at 16). With --strict, exits\n"
-       "  non-zero when any vehicle was quarantined. --metrics-out writes\n"
+       "  non-zero when any vehicle was quarantined. --clusters=K\n"
+       "  additionally clusters the evaluated vehicles' usage profiles\n"
+       "  (seeded k-means) and reports per-vehicle vs pooled per-cluster\n"
+       "  vs pooled global PE on the shared holdout. --metrics-out writes\n"
        "  the metrics snapshot (Prometheus text, or JSON when the path\n"
        "  ends in .json or --metrics-format=json); --trace prints the\n"
        "  aggregated pipeline span tree.\n",
        {"vehicles", "seed", "max-vehicles", "algorithm", "eval-days",
         "retrain-every", "train-window", "lookback", "topk", "jobs",
-        "fault-profile", "fault-seed", "strict", "metrics-out",
-        "metrics-format", "trace"},
+        "fault-profile", "fault-seed", "strict", "clusters", "acf-lags",
+        "metrics-out", "metrics-format", "trace"},
        {},
        RunFleet},
       {"publish", "train the fleet and publish bundles into a registry",
        "usage: vupred publish --out=DIR [--vehicles=N] [--seed=S]\n"
        "  [--max-vehicles=M] [--algorithm=Lasso] [--lookback=21]\n"
        "  [--topk=7] [--train-days=200] [--keep-generations=2]\n"
+       "  [--clusters=K] [--acf-lags=14]\n"
        "  Train one forecaster per eligible fleet vehicle and write the\n"
        "  bundles plus registry metadata into DIR as a new generation,\n"
        "  made live by an atomic CURRENT flip, ready for serve-bench (or\n"
-       "  any ModelRegistry consumer). Old generations beyond\n"
-       "  --keep-generations are pruned.\n",
+       "  any ModelRegistry consumer). With --clusters=K the same\n"
+       "  generation also carries clusters.meta plus pooled per-cluster /\n"
+       "  per-type / global bundles under their reserved negative ids, so\n"
+       "  serving falls back down the hierarchy for vehicles without a\n"
+       "  bundle. Old generations beyond --keep-generations are pruned.\n",
        {"out", "vehicles", "seed", "max-vehicles", "algorithm", "lookback",
-        "topk", "train-days", "keep-generations"},
+        "topk", "train-days", "keep-generations", "clusters", "acf-lags"},
        {"out"},
        RunPublish},
       {"serve-bench", "replay a request stream against the service",
@@ -1395,6 +1970,34 @@ const std::vector<Command>& Commands() {
         "metrics-format", "trace"},
        {},
        RunIngestBench},
+      {"cluster-bench", "profile/cluster throughput + cold-start fallback",
+       "usage: vupred cluster-bench [--vehicles=12] [--seed=42]\n"
+       "  [--clusters=3] [--acf-lags=14] [--max-k=6] [--algorithm=Lasso]\n"
+       "  [--lookback=21] [--topk=7] [--train-window=140]\n"
+       "  [--holdout-days=28] [--jobs=1] [--json=BENCH_cluster.json]\n"
+       "  [--registry-dir=DIR] [--max-pe-ratio-pct=0]\n"
+       "  [--metrics-out=FILE] [--metrics-format=prom|json] [--trace]\n"
+       "  Benchmark the fleet clustering subsystem on a seeded synthetic\n"
+       "  fleet: time profile extraction (--jobs workers) and seeded\n"
+       "  k-means, print the k=1..max-k elbow, and compare per-vehicle vs\n"
+       "  pooled per-cluster vs pooled global PE on a shared trailing\n"
+       "  holdout. Always verifies that clusters.meta is byte-identical\n"
+       "  across two serial reruns and the parallel extraction path, then\n"
+       "  proves the cold-start chain end to end: the highest-id vehicle\n"
+       "  is published without a per-vehicle bundle (and excluded from\n"
+       "  the pooled fits), served through a real registry, and must come\n"
+       "  back at level=cluster with the labeled fallback counter at 1;\n"
+       "  exits non-zero otherwise. --max-pe-ratio-pct=N additionally\n"
+       "  fails when pooled per-cluster PE exceeds N% of per-vehicle PE\n"
+       "  (off by default; deterministic per seed, unlike timings, which\n"
+       "  are never gated). Writes the JSON report to --json;\n"
+       "  --registry-dir keeps the scratch registry for inspection.\n",
+       {"vehicles", "seed", "clusters", "acf-lags", "max-k", "algorithm",
+        "lookback", "topk", "train-window", "holdout-days", "jobs", "json",
+        "registry-dir", "max-pe-ratio-pct", "metrics-out", "metrics-format",
+        "trace"},
+       {},
+       RunClusterBench},
   };
   return commands;
 }
