@@ -59,11 +59,25 @@ grep -q '"determinism": "byte-identical"' build/BENCH_cluster_smoke.json
 grep -q '"verify": "cold-start-served-at-cluster-level"' build/BENCH_cluster_smoke.json
 rm -rf build/cluster_smoke_registry
 
+echo "== tier-1d2: publish-bench smoke (guarded publish invariants, no timing gates) =="
+# Validate -> canary -> promote -> scrub -> rollback on a seeded fleet;
+# the command exits non-zero unless the canary verdict is healthy, the
+# scrubber quarantines the injected corruption (and the victim is served
+# from the hierarchy), and rollback restores generation A's predictions
+# bit-for-bit (see DESIGN.md section 13).
+./build/tools/vupred publish-bench --vehicles=8 --max-vehicles=4 \
+  --train-days=150 --clusters=2 \
+  --json=build/BENCH_publish_smoke.json \
+  --registry-dir=build/publish_smoke_registry
+grep -q '"bench": "publish"' build/BENCH_publish_smoke.json
+grep -q '"verify": "rollback-restores-previous-generation"' build/BENCH_publish_smoke.json
+rm -rf build/publish_smoke_registry
+
 echo "== tier-1e: bench JSON schema versioning =="
 # Every bench report carries the shared schema_version so downstream
 # tooling can detect field changes.
 for bench_json in build/BENCH_core_smoke.json build/BENCH_ingest_smoke.json \
-  build/BENCH_cluster_smoke.json; do
+  build/BENCH_cluster_smoke.json build/BENCH_publish_smoke.json; do
   grep -q '"schema_version": 1' "${bench_json}" || {
     echo "missing schema_version in ${bench_json}" >&2
     exit 1

@@ -36,4 +36,10 @@ ctest --preset sanitize -j"${JOBS}" -R \
 ctest --preset sanitize -j"${JOBS}" -R \
   'cluster_profile_test|cluster_kmeans_test|cluster_cluster_meta_test|cluster_pooled_test|serve_hierarchy_fallback_test'
 
+# Guarded publishing: the strict MANIFEST / rollback-journal parsers
+# (hostile-input paths), CRC verification over injector-corrupted files,
+# the publish validator, the scrubber and the kill-point chaos walk.
+ctest --preset sanitize -j"${JOBS}" -R \
+  'serve_manifest_test|serve_validator_test|serve_scrubber_test|serve_registry_reload_breaker_test|integration_publish_chaos_test'
+
 ctest --preset sanitize -j"${JOBS}" "$@"

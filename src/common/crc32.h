@@ -1,0 +1,19 @@
+#ifndef VUPRED_COMMON_CRC32_H_
+#define VUPRED_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace vup {
+
+/// IEEE CRC-32 (reflected, polynomial 0xEDB88320): the checksum of the
+/// wire frames, WAL records and registry generation manifests. Shared
+/// here so the serving layer can verify model artifacts without pulling
+/// in the wire stack.
+uint32_t Crc32(std::span<const uint8_t> bytes);
+uint32_t Crc32(const void* data, size_t size);
+
+}  // namespace vup
+
+#endif  // VUPRED_COMMON_CRC32_H_

@@ -7,8 +7,10 @@
 #include <sstream>
 #include <system_error>
 
+#include "common/crc32.h"
 #include "common/random.h"
 #include "common/string_util.h"
+#include "serve/guarded_publish.h"
 
 namespace vup::serve {
 
@@ -57,18 +59,9 @@ std::vector<int64_t> ListBundleIds(const std::string& dir) {
   if (ec) return ids;
   for (const fs::directory_entry& entry : it) {
     if (!entry.is_regular_file(ec) || ec) continue;
-    const std::string name = entry.path().filename().string();
-    if (name.rfind(kBundlePrefix, 0) != 0) continue;
-    const size_t suffix_at = name.size() - std::string(kBundleSuffix).size();
-    if (name.size() <= std::string(kBundlePrefix).size() ||
-        name.substr(suffix_at) != kBundleSuffix) {
-      continue;
-    }
-    std::string_view digits(name);
-    digits.remove_prefix(std::string(kBundlePrefix).size());
-    digits.remove_suffix(std::string(kBundleSuffix).size());
-    StatusOr<long long> id = ParseInt(digits);
-    if (id.ok()) ids.push_back(id.value());
+    std::optional<int64_t> id =
+        ModelRegistry::ParseBundleFileName(entry.path().filename().string());
+    if (id.has_value()) ids.push_back(*id);
   }
   std::sort(ids.begin(), ids.end());
   return ids;
@@ -246,6 +239,22 @@ std::string ModelRegistry::BundleFileName(int64_t vehicle_id) {
                    static_cast<long long>(vehicle_id), kBundleSuffix);
 }
 
+std::optional<int64_t> ModelRegistry::ParseBundleFileName(
+    std::string_view name) {
+  const size_t prefix_len = std::string_view(kBundlePrefix).size();
+  const size_t suffix_len = std::string_view(kBundleSuffix).size();
+  if (name.size() <= prefix_len + suffix_len) return std::nullopt;
+  if (!StartsWith(name, kBundlePrefix) || !EndsWith(name, kBundleSuffix)) {
+    return std::nullopt;
+  }
+  std::string_view digits = name;
+  digits.remove_prefix(prefix_len);
+  digits.remove_suffix(suffix_len);
+  StatusOr<long long> id = ParseInt(digits);
+  if (!id.ok()) return std::nullopt;
+  return static_cast<int64_t>(id.value());
+}
+
 std::string ModelRegistry::GenerationDirName(uint64_t number) {
   return StrFormat("%s%06llu", kGenerationPrefix,
                    static_cast<unsigned long long>(number));
@@ -261,8 +270,18 @@ StatusOr<ModelRegistry::ActiveGeneration> ModelRegistry::ResolveActive(
   const std::string current_path = root + "/" + kCurrentFile;
   std::error_code ec;
   if (!fs::exists(current_path, ec) || ec) {
-    // Legacy flat layout: the root itself is the (only) generation.
-    return ActiveGeneration{root, 0};
+    // Legacy flat layout: the root itself is the (only) generation. A
+    // manifest is still honored when present -- opening a finalized
+    // gen_NNNNNN directory directly (the canary drill does) lands here.
+    ActiveGeneration flat{root, 0, std::nullopt};
+    StatusOr<GenerationManifest> manifest = ReadManifestFile(root);
+    if (manifest.ok()) {
+      flat.manifest = std::move(manifest).value();
+    } else if (!manifest.status().IsNotFound()) {
+      return Status::DataLoss("registry manifest is damaged: " +
+                              manifest.status().ToString());
+    }
+    return flat;
   }
   std::ifstream in(current_path);
   std::string name;
@@ -282,7 +301,19 @@ StatusOr<ModelRegistry::ActiveGeneration> ModelRegistry::ResolveActive(
     return Status::DataLoss("generation " + name + " is incomplete: " +
                             meta.status().ToString());
   }
-  return ActiveGeneration{dir, number};
+  ActiveGeneration active{dir, number, std::nullopt};
+  // A guarded publish always writes a MANIFEST; its absence means a legacy
+  // generation, served unverified. A *damaged* manifest means the
+  // generation is torn -- refuse it whole rather than trusting any part.
+  StatusOr<GenerationManifest> manifest = ReadManifestFile(dir);
+  if (manifest.ok()) {
+    active.manifest = std::move(manifest).value();
+  } else if (!manifest.status().IsNotFound()) {
+    return Status::DataLoss("generation " + name +
+                            " has a damaged manifest: " +
+                            manifest.status().ToString());
+  }
+  return active;
 }
 
 StatusOr<ModelRegistry> ModelRegistry::Open(Options options) {
@@ -312,13 +343,19 @@ Status ModelRegistry::Reload() {
                        ResolveActive(options_.directory));
   std::lock_guard<std::mutex> lock(*mu_);
   if (resolved.dir == active_.dir) return Status::OK();
-  // Swap the active generation: resident models and breaker states belong
-  // to the outgoing fleet. In-flight shared_ptr models stay valid until
-  // their holders drop them.
+  // Swap the active generation: resident models, breaker states and
+  // quarantine verdicts belong to the outgoing fleet. In-flight shared_ptr
+  // models stay valid until their holders drop them.
+  if (resolved.number > active_.number) {
+    counters_->promotes_observed.Increment();
+  } else if (resolved.number < active_.number) {
+    counters_->rollbacks_observed.Increment();
+  }
   active_ = std::move(resolved);
   lru_.clear();
   index_.clear();
   breakers_.clear();
+  quarantined_.clear();
   counters_->reloads.Increment();
   return Status::OK();
 }
@@ -343,6 +380,19 @@ Status ModelRegistry::PruneGenerations(size_t keep) {
     std::lock_guard<std::mutex> lock(*mu_);
     active_dir = active_.dir;
   }
+  // The rollback journal pins generations: deleting the one `previous`
+  // names would leave Rollback() pointing into the void, and deleting
+  // `promoted` would orphan the journal's sanity check. Both are retained
+  // regardless of age or `keep` -- and they consume the keep budget, so
+  // `keep` stays an upper bound on retained non-active generations
+  // whenever the pinned ones fit in it.
+  std::string pinned_promoted, pinned_previous;
+  if (StatusOr<RollbackJournal> journal =
+          ReadRollbackJournal(options_.directory);
+      journal.ok()) {
+    pinned_promoted = journal.value().promoted;
+    pinned_previous = journal.value().previous;
+  }
   std::vector<std::pair<uint64_t, std::string>> generations;
   std::error_code ec;
   fs::directory_iterator it(options_.directory, ec);
@@ -352,21 +402,27 @@ Status ModelRegistry::PruneGenerations(size_t keep) {
   }
   for (const fs::directory_entry& entry : it) {
     if (!entry.is_directory(ec) || ec) continue;
-    StatusOr<uint64_t> number =
-        ParseGenerationName(entry.path().filename().string());
+    const std::string name = entry.path().filename().string();
+    StatusOr<uint64_t> number = ParseGenerationName(name);
     if (!number.ok()) continue;
     const std::string dir = entry.path().string();
     if (dir == active_dir) continue;
     generations.emplace_back(number.value(), dir);
   }
-  std::sort(generations.begin(), generations.end());
-  const size_t remove_count =
-      generations.size() > keep ? generations.size() - keep : 0;
-  for (size_t i = 0; i < remove_count; ++i) {
-    fs::remove_all(generations[i].second, ec);
+  // Newest first: retain pinned generations plus the newest unpinned ones
+  // until the keep budget runs out, delete the rest.
+  std::sort(generations.rbegin(), generations.rend());
+  size_t kept = 0;
+  for (const auto& [number, dir] : generations) {
+    const std::string name = fs::path(dir).filename().string();
+    const bool pinned = name == pinned_promoted || name == pinned_previous;
+    if (pinned || kept < keep) {
+      ++kept;
+      continue;
+    }
+    fs::remove_all(dir, ec);
     if (ec) {
-      return Status::Internal("cannot prune " + generations[i].second +
-                              ": " + ec.message());
+      return Status::Internal("cannot prune " + dir + ": " + ec.message());
     }
   }
   return Status::OK();
@@ -396,7 +452,7 @@ Status ModelRegistry::Publish(int64_t vehicle_id,
                             ec.message());
   }
   // Drop any stale resident copy so the next Get sees the new bundle, and
-  // give the fresh bundle a fresh breaker.
+  // give the fresh bundle a fresh breaker and a clean quarantine record.
   std::lock_guard<std::mutex> lock(*mu_);
   auto it = index_.find(vehicle_id);
   if (it != index_.end()) {
@@ -404,21 +460,68 @@ Status ModelRegistry::Publish(int64_t vehicle_id,
     index_.erase(it);
   }
   breakers_.erase(vehicle_id);
+  quarantined_.erase(vehicle_id);
+  if (active_.manifest.has_value()) {
+    // Keep the generation manifest truthful: re-checksum the installed
+    // bundle and swap its entry, or the next verified load (and every
+    // scrub) would quarantine the bundle we just published.
+    std::ifstream installed(path, std::ios::binary);
+    if (!installed) {
+      return Status::Internal("cannot re-read published bundle: " + path);
+    }
+    std::string bytes((std::istreambuf_iterator<char>(installed)),
+                      std::istreambuf_iterator<char>());
+    if (installed.bad()) {
+      return Status::DataLoss("re-read failed: " + path);
+    }
+    const std::string file = BundleFileName(vehicle_id);
+    GenerationManifest updated;
+    for (const ManifestEntry& entry : active_.manifest->entries()) {
+      if (entry.file == file) continue;
+      VUP_RETURN_IF_ERROR(updated.Add(entry.file, entry.size, entry.crc32));
+    }
+    VUP_RETURN_IF_ERROR(
+        updated.Add(file, bytes.size(), Crc32(bytes.data(), bytes.size())));
+    VUP_RETURN_IF_ERROR(WriteManifestFile(active_.dir, updated));
+    active_.manifest = std::move(updated);
+  }
   return Status::OK();
 }
 
 StatusOr<std::shared_ptr<const VehicleForecaster>>
-ModelRegistry::LoadFromDir(const std::string& dir,
-                           int64_t vehicle_id) const {
-  const std::string path = dir + "/" + BundleFileName(vehicle_id);
-  std::ifstream in(path);
+ModelRegistry::LoadVerifiedLocked(int64_t vehicle_id) {
+  const std::string file = BundleFileName(vehicle_id);
+  const std::string path = active_.dir + "/" + file;
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::NotFound(
         StrFormat("no model bundle for vehicle %lld in %s",
-                  static_cast<long long>(vehicle_id), dir.c_str()));
+                  static_cast<long long>(vehicle_id), active_.dir.c_str()));
   }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::DataLoss("bundle read failed: " + path);
+  if (active_.manifest.has_value()) {
+    // Verify BEFORE the deserializer ever sees the bytes: a corrupt bundle
+    // must never be scored, and a flipped bit that still deserializes into
+    // plausible coefficients is exactly the failure CRCs exist to catch.
+    // Files the manifest does not list load unverified (single-bundle
+    // Publish into a legacy generation keeps working).
+    if (const ManifestEntry* entry = active_.manifest->Find(file)) {
+      Status verified = GenerationManifest::VerifyBytes(*entry, bytes);
+      if (!verified.ok()) {
+        quarantined_.insert(vehicle_id);
+        counters_->quarantines.Increment();
+        return Status::NotFound(StrFormat(
+            "model of vehicle %lld quarantined: %s",
+            static_cast<long long>(vehicle_id),
+            verified.message().c_str()));
+      }
+    }
+  }
+  std::istringstream verified_stream(bytes);
   VUP_ASSIGN_OR_RETURN(VehicleForecaster forecaster,
-                       VehicleForecaster::Load(in));
+                       VehicleForecaster::Load(verified_stream));
   return std::make_shared<const VehicleForecaster>(std::move(forecaster));
 }
 
@@ -471,6 +574,18 @@ StatusOr<std::shared_ptr<const VehicleForecaster>> ModelRegistry::Get(
     return it->second->second;
   }
 
+  if (quarantined_.count(vehicle_id) != 0) {
+    // Quarantine is sticky until the generation swaps or the bundle is
+    // republished -- no disk IO, no breaker involvement, and NotFound so
+    // the caller degrades through the same fallback chain as a missing
+    // bundle.
+    counters_->quarantine_blocks.Increment();
+    return Status::NotFound(
+        StrFormat("model of vehicle %lld is quarantined (manifest "
+                  "verification failed)",
+                  static_cast<long long>(vehicle_id)));
+  }
+
   auto breaker_it = breakers_.find(vehicle_id);
   if (breaker_it != breakers_.end() &&
       breaker_it->second.state == BreakerState::kOpen) {
@@ -492,11 +607,15 @@ StatusOr<std::shared_ptr<const VehicleForecaster>> ModelRegistry::Get(
 
   counters_->misses.Increment();
   StatusOr<std::shared_ptr<const VehicleForecaster>> loaded =
-      LoadFromDir(active_.dir, vehicle_id);
+      LoadVerifiedLocked(vehicle_id);
   if (!loaded.ok()) {
     // A missing bundle is the degradation path, not a fault; only real
     // load failures (corrupt bundle, IO error) count against the breaker.
+    // A fresh quarantine surfaces as NotFound for the same reason.
     if (!loaded.status().IsNotFound()) RecordLoadFailureLocked(vehicle_id);
+    if (quarantined_.count(vehicle_id) != 0) {
+      counters_->quarantine_blocks.Increment();
+    }
     return loaded.status();
   }
   if (breaker_it != breakers_.end()) {
@@ -515,6 +634,30 @@ StatusOr<std::shared_ptr<const VehicleForecaster>> ModelRegistry::Get(
     index_[vehicle_id] = lru_.begin();
   }
   return model;
+}
+
+void ModelRegistry::Quarantine(int64_t vehicle_id) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  if (!quarantined_.insert(vehicle_id).second) return;
+  counters_->quarantines.Increment();
+  // A resident copy was deserialized from bytes that verified at load
+  // time; the scrubber has since seen different bytes on disk, so the
+  // cached model's provenance is gone -- drop it.
+  auto it = index_.find(vehicle_id);
+  if (it != index_.end()) {
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+}
+
+bool ModelRegistry::IsQuarantined(int64_t vehicle_id) const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return quarantined_.count(vehicle_id) != 0;
+}
+
+Status ModelRegistry::Rollback() {
+  VUP_RETURN_IF_ERROR(RollbackGeneration(options_.directory).status());
+  return Reload();
 }
 
 StatusOr<RegistryMeta> ModelRegistry::ReadMeta() const {
@@ -575,6 +718,14 @@ ModelRegistryStats ModelRegistry::StatsLocked() const {
   stats.breaker_open_vehicles = OpenBreakersLocked();
   stats.reloads = static_cast<size_t>(counters_->reloads.value());
   stats.generation = active_.number;
+  stats.quarantines = static_cast<size_t>(counters_->quarantines.value());
+  stats.quarantine_blocks =
+      static_cast<size_t>(counters_->quarantine_blocks.value());
+  stats.quarantined_models = quarantined_.size();
+  stats.promotes_observed =
+      static_cast<size_t>(counters_->promotes_observed.value());
+  stats.rollbacks_observed =
+      static_cast<size_t>(counters_->rollbacks_observed.value());
   return stats;
 }
 
@@ -625,12 +776,27 @@ void ModelRegistry::CollectMetrics(obs::MetricsSnapshot* out,
   add("vupred_registry_reloads_total",
       "Generation swaps performed by Reload().", MetricType::kCounter,
       static_cast<double>(stats.reloads));
+  add("vupred_registry_quarantines_total",
+      "Models quarantined after failing manifest verification.",
+      MetricType::kCounter, static_cast<double>(stats.quarantines));
+  add("vupred_registry_quarantine_blocks_total",
+      "Gets answered NotFound because the model is quarantined.",
+      MetricType::kCounter, static_cast<double>(stats.quarantine_blocks));
+  add("vupred_publish_promotes_total",
+      "Reloads that advanced to a newer generation.", MetricType::kCounter,
+      static_cast<double>(stats.promotes_observed));
+  add("vupred_publish_rollbacks_total",
+      "Reloads that reverted to an older generation.", MetricType::kCounter,
+      static_cast<double>(stats.rollbacks_observed));
   add("vupred_registry_breaker_open_vehicles",
       "Breakers currently open or half-open.", MetricType::kGauge,
       static_cast<double>(stats.breaker_open_vehicles));
   add("vupred_registry_resident_models",
       "Models resident in the LRU cache.", MetricType::kGauge,
       static_cast<double>(resident));
+  add("vupred_registry_quarantined_models",
+      "Models currently quarantined.", MetricType::kGauge,
+      static_cast<double>(stats.quarantined_models));
   add("vupred_registry_generation", "Active generation number.",
       MetricType::kGauge, static_cast<double>(stats.generation));
 }
@@ -646,6 +812,7 @@ GenerationPublisher::GenerationPublisher(GenerationPublisher&& other) noexcept
     : root_(std::move(other.root_)),
       number_(other.number_),
       staging_dir_(std::move(other.staging_dir_)),
+      finalized_(other.finalized_),
       committed_(other.committed_) {
   other.moved_from_ = true;
 }
@@ -656,6 +823,7 @@ GenerationPublisher& GenerationPublisher::operator=(
     root_ = std::move(other.root_);
     number_ = other.number_;
     staging_dir_ = std::move(other.staging_dir_);
+    finalized_ = other.finalized_;
     committed_ = other.committed_;
     moved_from_ = false;
     other.moved_from_ = true;
@@ -664,17 +832,20 @@ GenerationPublisher& GenerationPublisher::operator=(
 }
 
 GenerationPublisher::~GenerationPublisher() {
-  if (moved_from_ || committed_) return;
-  // Abandoned without Commit: the staging directory was never visible to
-  // readers, remove it.
+  if (moved_from_ || finalized_) return;
+  // Abandoned without Finalize: the staging directory was never visible to
+  // readers, remove it. A finalized-but-unpromoted generation stays on
+  // disk deliberately -- the publish gate may have failed it, and the
+  // evidence (plus the prune policy) is worth more than the space.
   std::error_code ec;
   fs::remove_all(staging_dir_, ec);
 }
 
 Status GenerationPublisher::Add(int64_t vehicle_id,
                                 const VehicleForecaster& forecaster) {
-  if (committed_) {
-    return Status::FailedPrecondition("generation already committed");
+  if (finalized_) {
+    return Status::FailedPrecondition(
+        "generation already finalized (its manifest is sealed)");
   }
   const std::string path =
       staging_dir_ + "/" + ModelRegistry::BundleFileName(vehicle_id);
@@ -688,16 +859,20 @@ Status GenerationPublisher::Add(int64_t vehicle_id,
   return Status::OK();
 }
 
-Status GenerationPublisher::Commit(const RegistryMeta& meta) {
-  if (committed_) {
-    return Status::FailedPrecondition("generation already committed");
+Status GenerationPublisher::Finalize(const RegistryMeta& meta) {
+  if (finalized_) {
+    return Status::FailedPrecondition("generation already finalized");
   }
   // Order matters for crash-consistency: (1) meta completes the staging
-  // directory, (2) the directory rename makes the complete generation
-  // appear under its final name, (3) the CURRENT flip -- itself a
-  // temp+rename -- atomically retargets readers. A crash between any two
-  // steps leaves CURRENT pointing at the old complete generation.
+  // directory, (2) the MANIFEST checksums every staged file -- including
+  // the meta -- so any later bit-rot is detectable, (3) the directory
+  // rename makes the complete generation appear under its final name. A
+  // crash between any two steps leaves at worst an ignored staging
+  // directory; CURRENT never moves here.
   VUP_RETURN_IF_ERROR(WriteRegistryMetaFile(staging_dir_, meta));
+  VUP_ASSIGN_OR_RETURN(GenerationManifest manifest,
+                       GenerationManifest::BuildFromDirectory(staging_dir_));
+  VUP_RETURN_IF_ERROR(WriteManifestFile(staging_dir_, manifest));
   std::string final_dir =
       root_ + "/" + ModelRegistry::GenerationDirName(number_);
   std::error_code ec;
@@ -713,11 +888,29 @@ Status GenerationPublisher::Commit(const RegistryMeta& meta) {
                             ": " + ec.message());
   }
   staging_dir_ = final_dir;
+  finalized_ = true;
+  return Status::OK();
+}
+
+Status GenerationPublisher::Promote() {
+  if (!finalized_) {
+    return Status::FailedPrecondition("generation is not finalized");
+  }
+  if (committed_) {
+    return Status::FailedPrecondition("generation already committed");
+  }
+  // Journaled CURRENT flip: the rollback journal lands first, so the
+  // promotion can be undone (and a crash between journal and flip is
+  // harmless -- see PromoteGeneration).
   VUP_RETURN_IF_ERROR(
-      WriteFileAtomic(root_ + "/" + kCurrentFile,
-                      ModelRegistry::GenerationDirName(number_) + "\n"));
+      PromoteGeneration(root_, ModelRegistry::GenerationDirName(number_)));
   committed_ = true;
   return Status::OK();
+}
+
+Status GenerationPublisher::Commit(const RegistryMeta& meta) {
+  VUP_RETURN_IF_ERROR(Finalize(meta));
+  return Promote();
 }
 
 }  // namespace vup::serve

@@ -6,9 +6,11 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -17,6 +19,7 @@
 #include "common/statusor.h"
 #include "core/forecaster.h"
 #include "obs/metrics.h"
+#include "serve/manifest.h"
 
 namespace vup::serve {
 
@@ -71,6 +74,13 @@ struct ModelRegistryStats {
   size_t breaker_open_vehicles = 0;   // Breakers currently open/half-open.
   size_t reloads = 0;        // Generation swaps performed by Reload().
   uint64_t generation = 0;   // Active generation number (0 = flat layout).
+  size_t quarantines = 0;    // Models quarantined (manifest mismatch or
+                             // explicit Quarantine()).
+  size_t quarantine_blocks = 0;  // Gets answered NotFound because the
+                                 // vehicle's model is quarantined.
+  size_t quarantined_models = 0; // Currently quarantined vehicle count.
+  size_t promotes_observed = 0;  // Reloads that moved to a newer generation.
+  size_t rollbacks_observed = 0; // Reloads that moved to an older one.
 };
 
 class GenerationPublisher;
@@ -165,13 +175,36 @@ class ModelRegistry {
   Status Reload();
 
   /// Deletes non-active generation directories, keeping the newest
-  /// `keep` of them (0 keeps none but the active one).
+  /// `keep` of them (0 keeps none but the active one). Generations the
+  /// rollback journal still points at (promoted or previous) are never
+  /// deleted, whatever `keep` says -- pruning the rollback target would
+  /// turn the journal into a loaded footgun.
   Status PruneGenerations(size_t keep);
 
+  /// Undoes the last journaled promotion (guarded_publish.h) and reloads,
+  /// so this registry serves the restored generation immediately.
+  Status Rollback();
+
   /// The model of `vehicle_id`, from cache or disk. NotFound when no
-  /// bundle exists; InvalidArgument/DataLoss when the bundle is corrupt;
-  /// Unavailable (fast, no disk IO) while the vehicle's breaker is open.
+  /// bundle exists OR when the model is quarantined (so callers degrade
+  /// through the same fallback chain either way); InvalidArgument/DataLoss
+  /// when the bundle is corrupt and unlisted in any manifest; Unavailable
+  /// (fast, no disk IO) while the vehicle's breaker is open.
+  ///
+  /// When the active generation carries a MANIFEST, every disk load is
+  /// verified against it first: a size/CRC mismatch quarantines the model
+  /// (never deserialized, never scored) and returns NotFound. Quarantine
+  /// does not touch the circuit breaker -- corruption is a publisher/disk
+  /// fault, not a load-path fault, and burning breaker probes on it would
+  /// delay recovery after the generation is repaired.
   StatusOr<std::shared_ptr<const VehicleForecaster>> Get(int64_t vehicle_id);
+
+  /// Marks the model of `vehicle_id` as unservable (drops any resident
+  /// copy). Used by the scrubber when a background re-verify catches
+  /// bit-rot before any Get does.
+  void Quarantine(int64_t vehicle_id);
+
+  bool IsQuarantined(int64_t vehicle_id) const;
 
   /// Meta of the active generation (root meta in flat layout).
   StatusOr<RegistryMeta> ReadMeta() const;
@@ -208,6 +241,10 @@ class ModelRegistry {
   /// Bundle path inside the active generation.
   std::string BundlePath(int64_t vehicle_id) const;
 
+  /// Inverse of BundleFileName: "vehicle_<id>.fcst" -> id, nullopt for
+  /// anything else (meta, manifest, tmp leftovers).
+  static std::optional<int64_t> ParseBundleFileName(std::string_view name);
+
   static std::string GenerationDirName(uint64_t number);
 
  private:
@@ -223,6 +260,9 @@ class ModelRegistry {
   struct ActiveGeneration {
     std::string dir;
     uint64_t number = 0;
+    /// Integrity manifest of the generation; nullopt for legacy
+    /// generations published before manifests existed (served unverified).
+    std::optional<GenerationManifest> manifest;
   };
 
   explicit ModelRegistry(Options options, ActiveGeneration active)
@@ -236,9 +276,12 @@ class ModelRegistry {
   /// that the generation directory exists and holds a parseable meta.
   static StatusOr<ActiveGeneration> ResolveActive(const std::string& root);
 
-  /// Loads a bundle from `dir` (no cache interaction).
-  StatusOr<std::shared_ptr<const VehicleForecaster>> LoadFromDir(
-      const std::string& dir, int64_t vehicle_id) const;
+  /// Loads the bundle of `vehicle_id` from the active generation,
+  /// verifying it against the manifest when one lists it. A verification
+  /// failure quarantines the vehicle and returns NotFound. Caller holds
+  /// the mutex.
+  StatusOr<std::shared_ptr<const VehicleForecaster>> LoadVerifiedLocked(
+      int64_t vehicle_id);
 
   /// Breaker bookkeeping after a failed (non-NotFound) load. Caller holds
   /// the mutex.
@@ -260,6 +303,10 @@ class ModelRegistry {
   std::list<LruEntry> lru_;
   std::unordered_map<int64_t, std::list<LruEntry>::iterator> index_;
   std::unordered_map<int64_t, Breaker> breakers_;
+  /// Vehicles whose model failed manifest verification (or were flagged by
+  /// the scrubber). Cleared on a generation swap: the new fleet's bundles
+  /// get verified on their own merits.
+  std::unordered_set<int64_t> quarantined_;
 
   /// Cumulative counters on the shared obs instruments (unique_ptr so the
   /// registry stays movable; atomics are not). `breaker_open_vehicles` and
@@ -272,16 +319,27 @@ class ModelRegistry {
     obs::Counter breaker_opens;
     obs::Counter breaker_short_circuits;
     obs::Counter reloads;
+    obs::Counter quarantines;
+    obs::Counter quarantine_blocks;
+    obs::Counter promotes_observed;
+    obs::Counter rollbacks_observed;
   };
   std::unique_ptr<Counters> counters_ = std::make_unique<Counters>();
 };
 
 /// Stages one new generation: bundles are added into a hidden staging
-/// directory, then Commit writes the meta, renames the staging directory
-/// to its final `gen_NNNNNN` name and atomically flips `CURRENT`. A
-/// publisher destroyed without Commit removes its staging directory; a
-/// publisher *killed* without Commit leaves only an ignored staging
-/// directory behind -- never a torn active fleet.
+/// directory; Finalize writes the meta + integrity MANIFEST and renames
+/// the staging directory to its final `gen_NNNNNN` name (still invisible
+/// to readers); Promote journals the step and atomically flips `CURRENT`.
+/// Commit = Finalize + Promote. The split exists so a publish gate
+/// (GenerationValidator, canary drill) can inspect the complete,
+/// checksummed generation BEFORE any reader can be pointed at it.
+///
+/// A publisher destroyed without Finalize removes its staging directory;
+/// one destroyed after Finalize but without Promote leaves the complete
+/// generation on disk un-promoted (prunable, never served). A publisher
+/// *killed* at any step leaves either an ignored staging directory or an
+/// un-promoted generation behind -- never a torn active fleet.
 class GenerationPublisher {
  public:
   GenerationPublisher(GenerationPublisher&& other) noexcept;
@@ -290,13 +348,24 @@ class GenerationPublisher {
 
   Status Add(int64_t vehicle_id, const VehicleForecaster& forecaster);
 
-  /// Finalizes the generation and flips CURRENT. The publisher is spent
-  /// afterwards. Readers pick the new fleet up via ModelRegistry::Reload.
+  /// Completes the staged generation: meta, MANIFEST (size + CRC-32 of
+  /// every staged file), rename to the final gen_NNNNNN name. Readers are
+  /// unaffected; CURRENT does not move.
+  Status Finalize(const RegistryMeta& meta);
+
+  /// Journals and flips CURRENT to the finalized generation
+  /// (FailedPrecondition before Finalize). Readers pick the new fleet up
+  /// via ModelRegistry::Reload; Rollback can undo it.
+  Status Promote();
+
+  /// Finalize + Promote in one step. The publisher is spent afterwards.
   Status Commit(const RegistryMeta& meta);
 
   /// Number this generation will publish as.
   uint64_t number() const { return number_; }
 
+  /// Before Finalize: the hidden staging directory. After: the final
+  /// generation directory.
   const std::string& staging_dir() const { return staging_dir_; }
 
  private:
@@ -311,6 +380,7 @@ class GenerationPublisher {
   std::string root_;
   uint64_t number_ = 0;
   std::string staging_dir_;
+  bool finalized_ = false;
   bool committed_ = false;
   bool moved_from_ = false;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <map>
 #include <utility>
 
@@ -52,9 +53,14 @@ PredictionService::PredictionService(ModelRegistry* registry,
 
 PredictionService::ResolvedModel PredictionService::ResolveModel(
     const PredictionRequest& request) {
+  return ResolveModelFrom(registry_, request);
+}
+
+PredictionService::ResolvedModel PredictionService::ResolveModelFrom(
+    ModelRegistry* registry, const PredictionRequest& request) {
   ResolvedModel resolved;
   StatusOr<std::shared_ptr<const VehicleForecaster>> own =
-      registry_->Get(request.vehicle_id);
+      registry->Get(request.vehicle_id);
   if (own.ok()) {
     resolved.model = std::move(own.value());
     resolved.level = ServedLevel::kVehicle;
@@ -75,7 +81,7 @@ PredictionService::ResolvedModel PredictionService::ResolveModel(
   StatusOr<int> cluster_id = meta.ClusterOf(request.vehicle_id);
   if (cluster_id.ok()) {
     StatusOr<std::shared_ptr<const VehicleForecaster>> pooled =
-        registry_->Get(cluster::ClusterModelId(cluster_id.value()));
+        registry->Get(cluster::ClusterModelId(cluster_id.value()));
     if (pooled.ok()) {
       resolved.model = std::move(pooled.value());
       resolved.level = ServedLevel::kCluster;
@@ -87,7 +93,7 @@ PredictionService::ResolvedModel PredictionService::ResolveModel(
   const int type_id = type.ok() ? type.value() : request.vehicle_type_hint;
   if (type_id >= 0) {
     StatusOr<std::shared_ptr<const VehicleForecaster>> pooled =
-        registry_->Get(cluster::TypeModelId(type_id));
+        registry->Get(cluster::TypeModelId(type_id));
     if (pooled.ok()) {
       resolved.model = std::move(pooled.value());
       resolved.level = ServedLevel::kType;
@@ -96,7 +102,7 @@ PredictionService::ResolvedModel PredictionService::ResolveModel(
   }
 
   StatusOr<std::shared_ptr<const VehicleForecaster>> global =
-      registry_->Get(cluster::kGlobalModelId);
+      registry->Get(cluster::kGlobalModelId);
   if (global.ok()) {
     resolved.model = std::move(global.value());
     resolved.level = ServedLevel::kGlobal;
@@ -174,7 +180,69 @@ PredictionResponse PredictionService::ScoreOne(
   response.latency_seconds = Elapsed(start);
   stats_.RecordRequest(response.latency_seconds, response.status.ok(),
                        response.degraded);
+
+  // Canary shadow scoring rides AFTER the live answer is final: the staged
+  // generation observes real traffic for the hash-slice of vehicles but
+  // can never change what this request returns.
+  if (options_.canary.enabled() && response.status.ok() &&
+      InCanarySlice(options_.canary.seed, options_.canary.fraction,
+                    request.vehicle_id)) {
+    ShadowScore(request, response.prediction);
+  }
   return response;
+}
+
+void PredictionService::ShadowScore(const PredictionRequest& request,
+                                    double live_prediction) {
+  canary_.shadow_scores.Increment(1);
+  ResolvedModel staged = ResolveModelFrom(options_.canary.staged, request);
+  if (staged.model == nullptr) {
+    // The live side served this request; a staged side that cannot is a
+    // regression, whatever the error code.
+    canary_.shadow_errors.Increment(1);
+    return;
+  }
+  StatusOr<double> predicted =
+      staged.model->PredictTarget(*request.dataset, request.target_index);
+  if (!predicted.ok()) {
+    canary_.shadow_errors.Increment(1);
+    return;
+  }
+  // Finiteness first: clamping would silently fold an inf into 24h.
+  if (!std::isfinite(predicted.value())) {
+    canary_.nonfinite_outputs.Increment(1);
+    return;
+  }
+  double staged_prediction = predicted.value();
+  if (options_.clamp_predictions) {
+    staged_prediction = std::clamp(staged_prediction, 0.0, 24.0);
+  }
+  const double divergence = std::abs(staged_prediction - live_prediction);
+  {
+    std::lock_guard<std::mutex> lock(canary_mu_);
+    canary_max_abs_divergence_ =
+        std::max(canary_max_abs_divergence_, divergence);
+    canary_sum_abs_divergence_ += divergence;
+  }
+  if (divergence > options_.canary.divergence_hours) {
+    canary_.divergence_breaches.Increment(1);
+  }
+}
+
+CanarySnapshot PredictionService::canary_counts() const {
+  CanarySnapshot snapshot;
+  snapshot.shadow_scores = canary_.shadow_scores.value();
+  snapshot.divergence_breaches = canary_.divergence_breaches.value();
+  snapshot.nonfinite_outputs = canary_.nonfinite_outputs.value();
+  snapshot.shadow_errors = canary_.shadow_errors.value();
+  std::lock_guard<std::mutex> lock(canary_mu_);
+  snapshot.max_abs_divergence = canary_max_abs_divergence_;
+  snapshot.sum_abs_divergence = canary_sum_abs_divergence_;
+  return snapshot;
+}
+
+CanaryVerdict PredictionService::EvaluateCanary() const {
+  return JudgeCanary(canary_counts(), options_.canary);
 }
 
 void PredictionService::ScoreGroup(
@@ -248,6 +316,39 @@ void PredictionService::CollectMetrics(obs::MetricsSnapshot* out,
     family.samples.push_back(std::move(sample));
   }
   out->families.push_back(std::move(family));
+
+  // Canary families exist only while a canary is configured, so a plain
+  // service's metric set is unchanged.
+  if (options_.canary.enabled()) {
+    const CanarySnapshot canary = canary_counts();
+    obs::MetricFamily shadow;
+    shadow.name = "vupred_publish_canary_shadow_total";
+    shadow.help = "Requests shadow-scored against the staged generation.";
+    shadow.type = obs::MetricType::kCounter;
+    obs::MetricSample shadow_sample;
+    shadow_sample.labels = labels;
+    shadow_sample.value = static_cast<double>(canary.shadow_scores);
+    shadow.samples.push_back(std::move(shadow_sample));
+    out->families.push_back(std::move(shadow));
+
+    obs::MetricFamily breaches;
+    breaches.name = "vupred_publish_canary_breaches_total";
+    breaches.help = "Canary guardrail breaches, by kind.";
+    breaches.type = obs::MetricType::kCounter;
+    const std::pair<const char*, uint64_t> kinds[] = {
+        {"divergence", canary.divergence_breaches},
+        {"nonfinite", canary.nonfinite_outputs},
+        {"error", canary.shadow_errors},
+    };
+    for (const auto& [kind, count] : kinds) {
+      obs::MetricSample sample;
+      sample.labels = labels;
+      sample.labels.emplace_back("kind", kind);
+      sample.value = static_cast<double>(count);
+      breaches.samples.push_back(std::move(sample));
+    }
+    out->families.push_back(std::move(breaches));
+  }
 }
 
 PredictionResponse PredictionService::Predict(

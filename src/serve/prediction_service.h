@@ -12,6 +12,7 @@
 #include "common/clock.h"
 #include "common/thread_pool.h"
 #include "pipeline/dataset.h"
+#include "serve/guarded_publish.h"
 #include "serve/model_registry.h"
 #include "serve/serving_stats.h"
 
@@ -131,6 +132,14 @@ class PredictionService {
     /// disables hierarchy fallback. Must outlive the service; swap it by
     /// constructing a new service (the meta is immutable once published).
     const cluster::ClustersMeta* hierarchy = nullptr;
+    /// Canary rollout: when `canary.staged` is set, requests whose vehicle
+    /// falls in the seeded hash-slice are *shadow-scored* against the
+    /// staged registry after the live answer is produced. The live answer
+    /// is always the one returned -- the canary only observes. Divergence,
+    /// non-finite staged outputs and staged-only errors accumulate in
+    /// canary_counts(); EvaluateCanary() turns them into the promotion
+    /// verdict. The staged registry must outlive the service.
+    CanaryOptions canary;
   };
 
   /// Requests served below the vehicle level, per level, since
@@ -162,6 +171,13 @@ class PredictionService {
 
   ServingStatsSnapshot stats() const { return stats_.Snapshot(); }
   FallbackSnapshot fallback_counts() const;
+
+  /// Point-in-time copy of the canary shadow counters (all zero when no
+  /// canary is configured).
+  CanarySnapshot canary_counts() const;
+
+  /// Guardrail verdict over the accumulated canary evidence.
+  CanaryVerdict EvaluateCanary() const;
   std::string LatencyHistogramToString() const {
     return stats_.HistogramToString();
   }
@@ -192,6 +208,15 @@ class PredictionService {
   };
   ResolvedModel ResolveModel(const PredictionRequest& request);
 
+  /// The same resolution chain against an arbitrary registry -- the live
+  /// one for serving, the staged one for canary shadow scoring.
+  ResolvedModel ResolveModelFrom(ModelRegistry* registry,
+                                 const PredictionRequest& request);
+
+  /// Scores `request` against the staged registry and accumulates the
+  /// divergence from `live_prediction`. Never touches the response.
+  void ShadowScore(const PredictionRequest& request, double live_prediction);
+
   PredictionResponse ScoreOne(const VehicleForecaster* model,
                               const Status& model_status, ServedLevel level,
                               const PredictionRequest& request);
@@ -221,6 +246,18 @@ class PredictionService {
     obs::Counter baseline;
   };
   FallbackCounters fallback_;
+
+  /// Canary shadow counters (only touched when options_.canary.enabled()).
+  struct CanaryCounters {
+    obs::Counter shadow_scores;
+    obs::Counter divergence_breaches;
+    obs::Counter nonfinite_outputs;
+    obs::Counter shadow_errors;
+  };
+  CanaryCounters canary_;
+  mutable std::mutex canary_mu_;  // Guards the divergence extrema below.
+  double canary_max_abs_divergence_ = 0.0;
+  double canary_sum_abs_divergence_ = 0.0;
 
   std::mutex admission_mu_;
   std::condition_variable admission_cv_;

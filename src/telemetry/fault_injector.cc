@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <utility>
 
@@ -20,6 +22,7 @@ constexpr uint64_t kStageSkew = 3;
 constexpr uint64_t kStageCorrupt = 4;
 constexpr uint64_t kStageDuplicate = 5;
 constexpr uint64_t kStageReorder = 6;
+constexpr uint64_t kStageFileCorrupt = 7;
 constexpr uint64_t kSaltSource = 0xF00D5A17ull;
 constexpr uint64_t kSaltTraining = 0x7EA1B00Cull;
 
@@ -97,7 +100,7 @@ bool FaultProfile::AnyStreamFaults() const {
 
 bool FaultProfile::AnyFaults() const {
   return AnyStreamFaults() || source_failure_prob > 0.0 ||
-         training_failure_prob > 0.0;
+         training_failure_prob > 0.0 || file_corrupt_prob > 0.0;
 }
 
 uint64_t FaultProfile::Fingerprint() const {
@@ -115,6 +118,8 @@ uint64_t FaultProfile::Fingerprint() const {
   h = MixInt(h, max_source_failures);
   h = MixDouble(h, training_failure_prob);
   h = MixInt(h, max_training_failures);
+  h = MixDouble(h, file_corrupt_prob);
+  h = MixInt(h, max_file_bit_flips);
   return h;
 }
 
@@ -130,6 +135,12 @@ FaultProfile FaultProfile::Mild() {
   p.max_source_failures = 1;
   p.training_failure_prob = 0.05;
   p.max_training_failures = 1;
+  return p;
+}
+
+FaultProfile FaultProfile::BitRot() {
+  FaultProfile p;
+  p.file_corrupt_prob = 1.0;
   return p;
 }
 
@@ -357,6 +368,100 @@ int FaultInjector::TrainingFailuresFor(uint64_t entity_tag) const {
   return LeadingFailures(seed_, entity_tag, kSaltTraining,
                          profile_.training_failure_prob,
                          profile_.max_training_failures);
+}
+
+std::string_view FileCorruptionKindToString(FileCorruptionKind kind) {
+  switch (kind) {
+    case FileCorruptionKind::kNone: return "none";
+    case FileCorruptionKind::kBitFlip: return "bit-flip";
+    case FileCorruptionKind::kTruncate: return "truncate";
+    case FileCorruptionKind::kZeroFill: return "zero-fill";
+  }
+  return "unknown";
+}
+
+std::string FileCorruptionStats::ToString() const {
+  return StrFormat(
+      "files_seen=%zu corrupted=%zu bits_flipped=%zu bytes_truncated=%zu "
+      "bytes_zeroed=%zu",
+      files_seen, files_corrupted, bits_flipped, bytes_truncated,
+      bytes_zeroed);
+}
+
+StatusOr<FileCorruptionKind> FaultInjector::CorruptFileOnDisk(
+    const std::string& path, uint64_t file_tag,
+    FileCorruptionStats* stats) const {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open for corruption: " + path);
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Status::Internal("cannot read for corruption: " + path);
+  }
+  in.close();
+  if (stats != nullptr) ++stats->files_seen;
+
+  Rng rng(SplitMix64(StreamSeed(seed_, file_tag) ^
+                     (kStageFileCorrupt * 0x9E3779B97F4A7C15ull)));
+  if (profile_.file_corrupt_prob <= 0.0 ||
+      !rng.Bernoulli(profile_.file_corrupt_prob)) {
+    return FileCorruptionKind::kNone;
+  }
+  // Nothing to flip or zero in an empty file, and truncation is a no-op:
+  // degrade to spared rather than pretend damage happened.
+  if (bytes.empty()) return FileCorruptionKind::kNone;
+
+  const auto kind = static_cast<FileCorruptionKind>(rng.UniformInt(1, 3));
+  switch (kind) {
+    case FileCorruptionKind::kBitFlip: {
+      const int flips = static_cast<int>(
+          rng.UniformInt(1, std::max(1, profile_.max_file_bit_flips)));
+      for (int i = 0; i < flips; ++i) {
+        const size_t byte = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(bytes.size()) - 1));
+        const int bit = static_cast<int>(rng.UniformInt(0, 7));
+        bytes[byte] = static_cast<char>(
+            static_cast<uint8_t>(bytes[byte]) ^ (1u << bit));
+      }
+      if (stats != nullptr) stats->bits_flipped += flips;
+      break;
+    }
+    case FileCorruptionKind::kTruncate: {
+      const size_t keep = std::max<size_t>(
+          1, static_cast<size_t>(rng.Uniform(0.1, 0.9) *
+                                 static_cast<double>(bytes.size())));
+      if (stats != nullptr) stats->bytes_truncated += bytes.size() - keep;
+      bytes.resize(keep);
+      break;
+    }
+    case FileCorruptionKind::kZeroFill: {
+      const size_t start = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(bytes.size()) - 1));
+      const size_t len = std::min<size_t>(
+          bytes.size() - start,
+          static_cast<size_t>(
+              rng.UniformInt(1, static_cast<int64_t>(bytes.size()))));
+      std::fill(bytes.begin() + start, bytes.begin() + start + len, '\0');
+      if (stats != nullptr) stats->bytes_zeroed += len;
+      break;
+    }
+    case FileCorruptionKind::kNone:
+      break;
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot rewrite for corruption: " + path);
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  if (!out) {
+    return Status::Internal("short rewrite for corruption: " + path);
+  }
+  if (stats != nullptr) ++stats->files_corrupted;
+  return kind;
 }
 
 }  // namespace vup

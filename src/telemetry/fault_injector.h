@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/statusor.h"
 #include "telemetry/report.h"
 #include "telemetry/usage_model.h"
 
@@ -50,6 +52,15 @@ struct FaultProfile {
   double training_failure_prob = 0.0;
   int max_training_failures = 1;
 
+  // ---- On-disk corruption (bit-rot) -------------------------------------
+  /// P(a stored artifact is corrupted on disk) per CorruptFileOnDisk call.
+  /// The corruption kind (bit flips, truncation, zero-fill) is drawn
+  /// uniformly; this models silent media rot and torn writes under model
+  /// registries and WALs, the class the MANIFEST + scrubber are built to
+  /// catch.
+  double file_corrupt_prob = 0.0;
+  int max_file_bit_flips = 8;  // Bit-flip kind flips 1..this many bits.
+
   /// Any data-stream corruption class enabled?
   bool AnyStreamFaults() const;
   /// Any class at all enabled?
@@ -64,6 +75,10 @@ struct FaultProfile {
   /// Heavy corruption on every class; source/training outages that can
   /// exhaust default retry budgets.
   static FaultProfile Severe();
+  /// Certain on-disk corruption, nothing else: every CorruptFileOnDisk
+  /// call damages its file. The scrubber/chaos suites use this to make
+  /// bit-rot deterministic instead of probabilistic.
+  static FaultProfile BitRot();
 };
 
 /// What the injector did to one stream, for reconciliation in tests.
@@ -77,6 +92,28 @@ struct FaultInjectionStats {
   size_t reports_reordered = 0;
   size_t dates_skewed = 0;
   size_t fields_corrupted = 0;
+
+  std::string ToString() const;
+};
+
+/// How CorruptFileOnDisk damaged a file (kNone = the Bernoulli draw spared
+/// it).
+enum class FileCorruptionKind {
+  kNone = 0,
+  kBitFlip = 1,   // 1..max_file_bit_flips random bits inverted.
+  kTruncate = 2,  // File cut to 10-90% of its length.
+  kZeroFill = 3,  // A contiguous range overwritten with zeros.
+};
+
+std::string_view FileCorruptionKindToString(FileCorruptionKind kind);
+
+/// What CorruptFileOnDisk did across calls, for reconciliation in tests.
+struct FileCorruptionStats {
+  size_t files_seen = 0;
+  size_t files_corrupted = 0;
+  size_t bits_flipped = 0;
+  size_t bytes_truncated = 0;
+  size_t bytes_zeroed = 0;
 
   std::string ToString() const;
 };
@@ -109,6 +146,17 @@ class FaultInjector {
 
   /// Number of leading training attempts that fail for this entity.
   int TrainingFailuresFor(uint64_t entity_tag) const;
+
+  /// Corrupts the file at `path` in place, deterministically in (seed,
+  /// profile, file_tag): the Bernoulli(file_corrupt_prob) draw decides
+  /// whether to touch it at all, then the kind and damage sites are drawn
+  /// from the same stream. Returns the kind applied (kNone when spared).
+  /// NotFound when the file does not exist; a spared file is untouched
+  /// byte-for-byte. An empty file can only be spared or zero-length
+  /// truncated, so it degrades to kNone.
+  StatusOr<FileCorruptionKind> CorruptFileOnDisk(
+      const std::string& path, uint64_t file_tag,
+      FileCorruptionStats* stats = nullptr) const;
 
   const FaultProfile& profile() const { return profile_; }
   uint64_t seed() const { return seed_; }

@@ -4,28 +4,12 @@
 #include <cstring>
 #include <limits>
 
+#include "common/crc32.h"
 #include "common/string_util.h"
 
 namespace vup::wire {
 
 namespace {
-
-// ---- CRC-32 (IEEE, reflected) ------------------------------------------
-
-const uint32_t* Crc32Table() {
-  static const uint32_t* table = [] {
-    static uint32_t t[256];
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  return table;
-}
 
 // ---- Little-endian primitives ------------------------------------------
 
@@ -161,18 +145,10 @@ bool ParseRecord(const uint8_t* p, int64_t vehicle_id, AggregatedReport* r) {
 
 }  // namespace
 
-uint32_t Crc32(std::span<const uint8_t> bytes) {
-  const uint32_t* table = Crc32Table();
-  uint32_t crc = 0xFFFFFFFFu;
-  for (uint8_t b : bytes) {
-    crc = table[(crc ^ b) & 0xFF] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
+uint32_t Crc32(std::span<const uint8_t> bytes) { return vup::Crc32(bytes); }
 
 uint32_t Crc32(const void* data, size_t size) {
-  return Crc32(std::span<const uint8_t>(
-      static_cast<const uint8_t*>(data), size));
+  return vup::Crc32(data, size);
 }
 
 AggregatedReport QuantizeForWire(const AggregatedReport& report) {

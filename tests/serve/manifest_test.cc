@@ -1,0 +1,218 @@
+#include "serve/manifest.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/fault_injector.h"
+
+namespace vup::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ManifestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/vup_manifest_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void WriteFile(const std::string& name, const std::string& content) {
+    std::ofstream out(dir_ + "/" + name, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ManifestTest, SerializeParseRoundTrips) {
+  GenerationManifest manifest;
+  ASSERT_TRUE(manifest.Add("b.fcst", 10, 0xDEADBEEF).ok());
+  ASSERT_TRUE(manifest.Add("a.fcst", 0, 0).ok());
+  ASSERT_TRUE(manifest.Add("clusters.meta", 123, 0xFFFFFFFF).ok());
+
+  std::istringstream in(manifest.Serialize());
+  StatusOr<GenerationManifest> parsed = GenerationManifest::Parse(in);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed.value() == manifest);
+  // Entries come back strictly ascending regardless of Add order.
+  ASSERT_EQ(parsed.value().size(), 3u);
+  EXPECT_EQ(parsed.value().entries()[0].file, "a.fcst");
+  EXPECT_EQ(parsed.value().entries()[1].file, "b.fcst");
+  EXPECT_EQ(parsed.value().entries()[2].file, "clusters.meta");
+}
+
+TEST_F(ManifestTest, AddRejectsUnusableNamesAndDuplicates) {
+  GenerationManifest manifest;
+  EXPECT_TRUE(manifest.Add("", 1, 1).IsInvalidArgument());
+  EXPECT_TRUE(manifest.Add("..", 1, 1).IsInvalidArgument());
+  EXPECT_TRUE(manifest.Add("a/b", 1, 1).IsInvalidArgument());
+  EXPECT_TRUE(manifest.Add("a b", 1, 1).IsInvalidArgument());
+  ASSERT_TRUE(manifest.Add("ok.fcst", 1, 1).ok());
+  EXPECT_TRUE(manifest.Add("ok.fcst", 2, 2).IsInvalidArgument());
+}
+
+TEST_F(ManifestTest, ParseRejectsStructuralDamage) {
+  const auto parse = [](const std::string& text) {
+    std::istringstream in(text);
+    return GenerationManifest::Parse(in).status();
+  };
+  // Bad magic.
+  EXPECT_TRUE(parse("vupred-manifest v9\nend-manifest\n")
+                  .IsInvalidArgument());
+  // Missing end sentinel (truncation must always be detectable).
+  EXPECT_TRUE(parse("vupred-manifest v1\nentry a.fcst 1 2\n")
+                  .IsInvalidArgument());
+  // Missing trailing newline after the sentinel.
+  EXPECT_TRUE(parse("vupred-manifest v1\nend-manifest")
+                  .IsInvalidArgument());
+  // Unsorted entries.
+  EXPECT_TRUE(parse("vupred-manifest v1\nentry b 1 2\nentry a 1 2\n"
+                    "end-manifest\n")
+                  .IsInvalidArgument());
+  // Duplicate entries.
+  EXPECT_TRUE(parse("vupred-manifest v1\nentry a 1 2\nentry a 1 2\n"
+                    "end-manifest\n")
+                  .IsInvalidArgument());
+  // Garbage numbers.
+  EXPECT_TRUE(parse("vupred-manifest v1\nentry a x 2\nend-manifest\n")
+                  .IsInvalidArgument());
+  EXPECT_TRUE(parse("vupred-manifest v1\nentry a 1 99999999999\n"
+                    "end-manifest\n")
+                  .IsInvalidArgument());
+  // Wrong token count.
+  EXPECT_TRUE(parse("vupred-manifest v1\nentry a 1\nend-manifest\n")
+                  .IsInvalidArgument());
+  // Trailing garbage after the sentinel.
+  EXPECT_TRUE(parse("vupred-manifest v1\nend-manifest\nentry a 1 2\n")
+                  .IsInvalidArgument());
+  // Empty manifest is fine.
+  std::istringstream empty("vupred-manifest v1\nend-manifest\n");
+  EXPECT_TRUE(GenerationManifest::Parse(empty).ok());
+}
+
+TEST_F(ManifestTest, BuildFromDirectoryIsDeterministicAndSkipsLeftovers) {
+  WriteFile("vehicle_2.fcst", "model two");
+  WriteFile("vehicle_1.fcst", "model one");
+  WriteFile("registry_meta.txt", "meta");
+  WriteFile("MANIFEST", "a stale manifest must never checksum itself");
+  WriteFile("vehicle_3.fcst.tmp", "torn install leftover");
+
+  StatusOr<GenerationManifest> a = GenerationManifest::BuildFromDirectory(dir_);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  StatusOr<GenerationManifest> b = GenerationManifest::BuildFromDirectory(dir_);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a.value() == b.value());
+  ASSERT_EQ(a.value().size(), 3u);
+  EXPECT_EQ(a.value().entries()[0].file, "registry_meta.txt");
+  EXPECT_EQ(a.value().entries()[1].file, "vehicle_1.fcst");
+  EXPECT_EQ(a.value().entries()[2].file, "vehicle_2.fcst");
+  EXPECT_EQ(a.value().entries()[1].size, 9u);
+  EXPECT_EQ(a.value().Find("MANIFEST"), nullptr);
+  EXPECT_EQ(a.value().Find("vehicle_3.fcst.tmp"), nullptr);
+  // Every listed file verifies against the bytes on disk.
+  for (const ManifestEntry& entry : a.value().entries()) {
+    EXPECT_TRUE(GenerationManifest::VerifyFile(dir_, entry).ok())
+        << entry.file;
+  }
+}
+
+TEST_F(ManifestTest, VerifyBytesCatchesSizeThenCrcMismatch) {
+  WriteFile("vehicle_1.fcst", "original content");
+  StatusOr<GenerationManifest> built =
+      GenerationManifest::BuildFromDirectory(dir_);
+  ASSERT_TRUE(built.ok());
+  const ManifestEntry& entry = built.value().entries()[0];
+
+  EXPECT_TRUE(GenerationManifest::VerifyBytes(entry, "original content").ok());
+  EXPECT_TRUE(GenerationManifest::VerifyBytes(entry, "short")
+                  .IsDataLoss());
+  // Same size, different bytes: the CRC catches it.
+  EXPECT_TRUE(GenerationManifest::VerifyBytes(entry, "originaX content")
+                  .IsDataLoss());
+}
+
+TEST_F(ManifestTest, VerifyFileIsNotFoundWhenTheFileVanished) {
+  GenerationManifest manifest;
+  ASSERT_TRUE(manifest.Add("vehicle_9.fcst", 4, 0x12345).ok());
+  EXPECT_TRUE(GenerationManifest::VerifyFile(dir_, manifest.entries()[0])
+                  .IsNotFound());
+}
+
+TEST_F(ManifestTest, DetectsEveryFaultInjectorCorruptionKind) {
+  // Walk file tags until each corruption kind has been drawn at least
+  // once; VerifyFile must flag every single one.
+  FaultInjector rot(FaultProfile::BitRot(), /*seed=*/7);
+  bool seen[4] = {false, false, false, false};
+  for (uint64_t tag = 0; tag < 64; ++tag) {
+    const std::string name = "vehicle_" + std::to_string(tag) + ".fcst";
+    WriteFile(name, "a model bundle with enough bytes to damage " +
+                        std::to_string(tag));
+    StatusOr<GenerationManifest> built =
+        GenerationManifest::BuildFromDirectory(dir_);
+    ASSERT_TRUE(built.ok());
+    const ManifestEntry* entry = built.value().Find(name);
+    ASSERT_NE(entry, nullptr);
+
+    StatusOr<FileCorruptionKind> kind =
+        rot.CorruptFileOnDisk(dir_ + "/" + name, tag);
+    ASSERT_TRUE(kind.ok()) << kind.status().ToString();
+    ASSERT_NE(kind.value(), FileCorruptionKind::kNone);
+    seen[static_cast<int>(kind.value())] = true;
+
+    Status verified = GenerationManifest::VerifyFile(dir_, *entry);
+    EXPECT_TRUE(verified.IsDataLoss())
+        << name << " corrupted by "
+        << FileCorruptionKindToString(kind.value()) << ": "
+        << verified.ToString();
+    fs::remove(dir_ + "/" + name);
+  }
+  EXPECT_TRUE(seen[static_cast<int>(FileCorruptionKind::kBitFlip)]);
+  EXPECT_TRUE(seen[static_cast<int>(FileCorruptionKind::kTruncate)]);
+  EXPECT_TRUE(seen[static_cast<int>(FileCorruptionKind::kZeroFill)]);
+}
+
+TEST_F(ManifestTest, WriteReadManifestFileRoundTripsAndFlagsLegacy) {
+  EXPECT_TRUE(ReadManifestFile(dir_).status().IsNotFound());
+
+  GenerationManifest manifest;
+  ASSERT_TRUE(manifest.Add("vehicle_1.fcst", 42, 0xABCD).ok());
+  ASSERT_TRUE(WriteManifestFile(dir_, manifest).ok());
+  StatusOr<GenerationManifest> read = ReadManifestFile(dir_);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_TRUE(read.value() == manifest);
+  // Temp + rename: no .tmp leftover.
+  EXPECT_FALSE(fs::exists(dir_ + "/MANIFEST.tmp"));
+
+  // A hand-mangled manifest fails parse rather than half-loading.
+  std::ofstream out(dir_ + "/MANIFEST", std::ios::trunc);
+  out << "vupred-manifest v1\nentry vehicle_1.fcst 42 43981\n";
+  out.close();
+  EXPECT_TRUE(ReadManifestFile(dir_).status().IsInvalidArgument());
+}
+
+TEST_F(ManifestTest, AtomicWriteFileInstallsViaRename) {
+  const std::string path = dir_ + "/CURRENT";
+  ASSERT_TRUE(AtomicWriteFile(path, "gen_000001\n").ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "gen_000001\n");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  // Overwrite is atomic too.
+  ASSERT_TRUE(AtomicWriteFile(path, "gen_000002\n").ok());
+  std::ifstream again(path, std::ios::binary);
+  std::string content2((std::istreambuf_iterator<char>(again)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(content2, "gen_000002\n");
+}
+
+}  // namespace
+}  // namespace vup::serve

@@ -554,10 +554,21 @@ TEST_F(ModelRegistryGenerationTest, PruneKeepsActiveAndNewest) {
   EXPECT_TRUE(
       std::filesystem::exists(registry.directory() + "/gen_000003"));
 
+  // gen_000002 is pinned: the rollback journal of the last promotion
+  // names it as `previous`, and pruning the rollback target would turn
+  // the journal into a loaded footgun. Even keep=0 spares it.
+  ASSERT_TRUE(registry.PruneGenerations(0).ok());
+  EXPECT_TRUE(
+      std::filesystem::exists(registry.directory() + "/gen_000002"));
+  EXPECT_TRUE(
+      std::filesystem::exists(registry.directory() + "/gen_000003"));
+
+  // Without a journal nothing is pinned: keep=0 deletes every non-active
+  // generation, and the active one is still never pruned.
+  std::filesystem::remove(registry.directory() + "/ROLLBACK");
   ASSERT_TRUE(registry.PruneGenerations(0).ok());
   EXPECT_FALSE(
       std::filesystem::exists(registry.directory() + "/gen_000002"));
-  // The active generation is never pruned.
   EXPECT_TRUE(
       std::filesystem::exists(registry.directory() + "/gen_000003"));
   EXPECT_TRUE(registry.Get(3).ok());

@@ -1,6 +1,8 @@
 #include "telemetry/fault_injector.h"
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <string>
 #include <utility>
@@ -301,6 +303,115 @@ TEST(FaultInjectorTest, ControlPlaneChannelsDeterministicAndBounded) {
   FaultInjector healthy(FaultProfile::None(), 55);
   EXPECT_EQ(healthy.SourceFailuresFor(1), 0);
   EXPECT_EQ(healthy.TrainingFailuresFor(1), 0);
+}
+
+std::string WriteTempFile(const std::string& name,
+                          const std::string& content) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  return path;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(FaultProfileTest, BitRotFlagsAndFingerprint) {
+  EXPECT_TRUE(FaultProfile::BitRot().AnyFaults());
+  EXPECT_FALSE(FaultProfile::BitRot().AnyStreamFaults());
+  EXPECT_NE(FaultProfile::BitRot().Fingerprint(),
+            FaultProfile::None().Fingerprint());
+  FaultProfile capped = FaultProfile::BitRot();
+  capped.max_file_bit_flips = 1;
+  EXPECT_NE(capped.Fingerprint(), FaultProfile::BitRot().Fingerprint());
+}
+
+TEST(FaultInjectorTest, FileCorruptionIsDeterministicPerSeedAndTag) {
+  const std::string payload(256, 'M');
+  const std::string a = WriteTempFile("vup_fi_det_a", payload);
+  const std::string b = WriteTempFile("vup_fi_det_b", payload);
+
+  FaultInjector rot(FaultProfile::BitRot(), 99);
+  FileCorruptionStats stats;
+  StatusOr<FileCorruptionKind> ka = rot.CorruptFileOnDisk(a, 5, &stats);
+  StatusOr<FileCorruptionKind> kb = rot.CorruptFileOnDisk(b, 5, &stats);
+  ASSERT_TRUE(ka.ok()) << ka.status().ToString();
+  ASSERT_TRUE(kb.ok());
+  // Same seed, same tag: identical kind and byte-identical damage.
+  EXPECT_EQ(ka.value(), kb.value());
+  EXPECT_NE(ka.value(), FileCorruptionKind::kNone);
+  EXPECT_EQ(ReadAll(a), ReadAll(b));
+  EXPECT_NE(ReadAll(a), payload);
+  EXPECT_EQ(stats.files_seen, 2u);
+  EXPECT_EQ(stats.files_corrupted, 2u);
+
+  // A different tag draws its own damage.
+  const std::string c = WriteTempFile("vup_fi_det_c", payload);
+  StatusOr<FileCorruptionKind> kc = rot.CorruptFileOnDisk(c, 6, &stats);
+  ASSERT_TRUE(kc.ok());
+  EXPECT_TRUE(kc.value() != ka.value() || ReadAll(c) != ReadAll(a));
+  std::filesystem::remove(a);
+  std::filesystem::remove(b);
+  std::filesystem::remove(c);
+}
+
+TEST(FaultInjectorTest, FileCorruptionSparesByProfileAndEmptyFiles) {
+  const std::string payload = "precious model bytes";
+  const std::string spared = WriteTempFile("vup_fi_spared", payload);
+  FaultInjector healthy(FaultProfile::None(), 3);
+  FileCorruptionStats stats;
+  StatusOr<FileCorruptionKind> kind =
+      healthy.CorruptFileOnDisk(spared, 1, &stats);
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(kind.value(), FileCorruptionKind::kNone);
+  EXPECT_EQ(ReadAll(spared), payload);  // Untouched, not rewritten.
+  EXPECT_EQ(stats.files_seen, 1u);
+  EXPECT_EQ(stats.files_corrupted, 0u);
+
+  // An empty file has no bytes to damage: spared even under BitRot.
+  const std::string empty = WriteTempFile("vup_fi_empty", "");
+  FaultInjector rot(FaultProfile::BitRot(), 3);
+  StatusOr<FileCorruptionKind> ek = rot.CorruptFileOnDisk(empty, 1, &stats);
+  ASSERT_TRUE(ek.ok());
+  EXPECT_EQ(ek.value(), FileCorruptionKind::kNone);
+  std::filesystem::remove(spared);
+  std::filesystem::remove(empty);
+}
+
+TEST(FaultInjectorTest, FileCorruptionMissingFileIsNotFound) {
+  FaultInjector rot(FaultProfile::BitRot(), 3);
+  EXPECT_TRUE(rot.CorruptFileOnDisk(::testing::TempDir() + "/vup_fi_nope", 1)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(FaultInjectorTest, FileCorruptionStatsTrackEachKind) {
+  // Walk tags until every corruption kind has occurred, then reconcile
+  // the aggregate stats against the per-kind evidence.
+  FaultInjector rot(FaultProfile::BitRot(), 17);
+  FileCorruptionStats stats;
+  bool seen[4] = {false, false, false, false};
+  for (uint64_t tag = 0; tag < 48; ++tag) {
+    const std::string path = WriteTempFile(
+        "vup_fi_kind_" + std::to_string(tag), std::string(128, 'x'));
+    StatusOr<FileCorruptionKind> kind =
+        rot.CorruptFileOnDisk(path, tag, &stats);
+    ASSERT_TRUE(kind.ok());
+    seen[static_cast<int>(kind.value())] = true;
+    std::filesystem::remove(path);
+  }
+  EXPECT_TRUE(seen[static_cast<int>(FileCorruptionKind::kBitFlip)]);
+  EXPECT_TRUE(seen[static_cast<int>(FileCorruptionKind::kTruncate)]);
+  EXPECT_TRUE(seen[static_cast<int>(FileCorruptionKind::kZeroFill)]);
+  EXPECT_EQ(stats.files_seen, 48u);
+  EXPECT_EQ(stats.files_corrupted, 48u);  // BitRot corrupts every file.
+  EXPECT_GT(stats.bits_flipped, 0u);
+  EXPECT_GT(stats.bytes_truncated, 0u);
+  EXPECT_GT(stats.bytes_zeroed, 0u);
+  EXPECT_FALSE(stats.ToString().empty());
 }
 
 }  // namespace

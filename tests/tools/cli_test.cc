@@ -152,7 +152,7 @@ TEST(CliTest, HelpExitsZeroForEveryCommand) {
   std::string dir = TempDir();
   for (const char* cmd : {"generate", "train", "predict", "evaluate",
                           "fleet", "publish", "serve-bench", "core-bench",
-                          "ingest-bench"}) {
+                          "ingest-bench", "publish-bench"}) {
     std::string out = dir + "/help.txt";
     EXPECT_EQ(RunCli(std::string(cmd) + " --help", out), 0) << cmd;
     EXPECT_NE(ReadFile(out).find("usage: vupred "), std::string::npos)
@@ -721,6 +721,81 @@ TEST(CliTest, PublishWithClustersServesHierarchyFromServeBench) {
   std::string json = ReadFile(dir + "/BENCH_serve_clusters.json");
   EXPECT_NE(json.find("\"hierarchy\": true"), std::string::npos);
   EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+}
+
+TEST(CliTest, PublishGuardrailsValidateCanaryRollback) {
+  std::string dir = TempDir();
+  std::string registry = dir + "/guarded_registry";
+  std::string base = "publish --out=" + registry +
+                     " --vehicles=10 --max-vehicles=2 ";
+
+  // First publish through the validation gate.
+  std::string out1 = dir + "/publish_validate.txt";
+  ASSERT_EQ(RunCli(base + "--train-days=120 --validate", out1), 0);
+  EXPECT_NE(ReadFile(out1).find("validate: "), std::string::npos);
+  std::string first = ReadFile(registry + "/CURRENT");
+  ASSERT_NE(first.find("gen_"), std::string::npos);
+
+  // Second publish adds the canary drill against the live generation.
+  std::string out2 = dir + "/publish_canary.txt";
+  ASSERT_EQ(RunCli(base +
+                       "--train-days=150 --validate --canary-fraction=1.0",
+                   out2),
+            0);
+  EXPECT_NE(ReadFile(out2).find("canary: healthy"), std::string::npos);
+  std::string second = ReadFile(registry + "/CURRENT");
+  EXPECT_NE(second, first);
+  // The promotion was journaled.
+  EXPECT_NE(ReadFile(registry + "/ROLLBACK").find("vupred-rollback v1"),
+            std::string::npos);
+
+  // --rollback restores the previous generation...
+  std::string out3 = dir + "/publish_rollback.txt";
+  ASSERT_EQ(RunCli("publish --out=" + registry + " --rollback", out3), 0);
+  EXPECT_NE(ReadFile(out3).find("rolled back"), std::string::npos);
+  EXPECT_EQ(ReadFile(registry + "/CURRENT"), first);
+  // ...and a second rollback of the spent journal fails cleanly.
+  EXPECT_EQ(CliExitCode("publish --out=" + registry + " --rollback"), 1);
+}
+
+TEST(CliTest, PublishBenchVerifiesGuardedPathAndWritesJson) {
+  std::string dir = TempDir();
+  std::string json_path = dir + "/BENCH_publish.json";
+  std::string out = dir + "/publish_bench.txt";
+  ASSERT_EQ(RunCli("publish-bench --vehicles=8 --max-vehicles=4 "
+                   "--train-days=150 --clusters=2 --registry-dir=" +
+                       dir + "/publish_bench_registry --json=" + json_path,
+                   out),
+            0);
+
+  // The run itself asserts the canary verdict, the scrubber quarantine,
+  // the fallback level and the rollback restore; zero exit plus the
+  // verify line is the proof it all held.
+  std::string text = ReadFile(out);
+  EXPECT_NE(text.find("publish-bench: fleet=8"), std::string::npos);
+  EXPECT_NE(text.find("validate"), std::string::npos);
+  EXPECT_NE(text.find("scrub"), std::string::npos);
+  EXPECT_NE(text.find("rollback restores generation A predictions"),
+            std::string::npos);
+
+  std::string json = ReadFile(json_path);
+  EXPECT_NE(json.find("\"bench\": \"publish\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(
+      json.find("\"verify\": \"rollback-restores-previous-generation\""),
+      std::string::npos);
+  for (const char* field :
+       {"fleet_vehicles", "published_models", "pooled_models", "clusters",
+        "generations_published", "validate_seconds", "canary_seconds",
+        "promote_seconds", "scrub_seconds", "rollback_seconds",
+        "canary_shadow_scores", "scrub_files_checked", "scrub_corruptions",
+        "corruption_kind", "quarantined_models", "victim_served_level"}) {
+    EXPECT_NE(json.find("\"" + std::string(field) + "\""),
+              std::string::npos)
+        << field;
+  }
+
+  EXPECT_EQ(CliExitCode("publish-bench --no-such-flag=1"), 2);
 }
 
 TEST(CliTest, CoreBenchSpeedupGateFailsWhenUnmeetable) {

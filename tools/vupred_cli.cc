@@ -7,7 +7,13 @@
 //   vupred fleet        Fleet experiment, optionally fault-injected and
 //                       parallelized (--jobs=N).
 //   vupred publish      Train the fleet and publish model bundles into a
-//                       serving registry directory.
+//                       serving registry directory, optionally gated by
+//                       --validate and --canary-fraction; --rollback
+//                       reverts the last journaled promotion.
+//   vupred publish-bench Time the guarded publish path (validate, canary,
+//                       promote, scrub, rollback) on a seeded fleet;
+//                       verifies quarantine + rollback invariants and
+//                       writes BENCH_publish.json.
 //   vupred serve-bench  Replay a request stream against the prediction
 //                       service; prints latency/throughput and writes
 //                       BENCH_serve.json.
@@ -54,9 +60,13 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/guarded_publish.h"
 #include "serve/model_registry.h"
 #include "serve/prediction_service.h"
+#include "serve/scrubber.h"
+#include "serve/validator.h"
 #include "table/csv.h"
+#include "telemetry/fault_injector.h"
 #include "telemetry/fleet.h"
 #include "wire/frame.h"
 #include "wire/stream_ingestor.h"
@@ -92,6 +102,13 @@ class Flags {
     auto it = values_.find(key);
     if (it == values_.end()) return fallback;
     StatusOr<long long> v = ParseInt(it->second);
+    return v.ok() ? v.value() : fallback;
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    StatusOr<double> v = ParseDouble(it->second);
     return v.ok() ? v.value() : fallback;
   }
 
@@ -461,6 +478,14 @@ int RunFleet(const Flags& flags) {
 
 int RunPublish(const Flags& flags) {
   const std::string out_dir = flags.Get("out", "");
+  if (flags.Has("rollback")) {
+    // Standalone revert: undo the last journaled promotion and exit.
+    StatusOr<std::string> restored = serve::RollbackGeneration(out_dir);
+    if (!restored.ok()) return Fail(restored.status());
+    std::printf("rolled back %s to %s\n", out_dir.c_str(),
+                restored.value().c_str());
+    return 0;
+  }
   serve::RegistryMeta meta;
   meta.fleet_seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   meta.fleet_vehicles =
@@ -508,6 +533,7 @@ int RunPublish(const Flags& flags) {
   if (!publisher.ok()) return Fail(publisher.status());
 
   size_t published = 0;
+  std::map<int64_t, const VehicleDataset*> probe_data;
   for (size_t index : selected) {
     StatusOr<const VehicleDataset*> ds = runner.Dataset(index);
     if (!ds.ok()) return Fail(ds.status());
@@ -528,6 +554,7 @@ int RunPublish(const Flags& flags) {
     }
     Status stored = publisher.value().Add(id, forecaster);
     if (!stored.ok()) return Fail(stored);
+    probe_data[id] = ds.value();
     ++published;
   }
   if (published == 0) {
@@ -574,7 +601,80 @@ int RunPublish(const Flags& flags) {
         publisher.value().staging_dir(), cmeta.value());
     if (!meta_written.ok()) return Fail(meta_written);
   }
-  Status committed = publisher.value().Commit(meta);
+  // The live generation's bundle directory (if any) before the CURRENT
+  // flip: the holdout-PE guardrail and the canary both compare against it.
+  std::string live_dir;
+  if (registry.value().active_generation() != 0) {
+    live_dir = out_dir + "/" +
+               serve::ModelRegistry::GenerationDirName(
+                   registry.value().active_generation());
+  } else if (!registry.value().ListVehicleIds().empty()) {
+    live_dir = out_dir;  // Flat legacy layout serving live bundles.
+  }
+
+  if (flags.Has("validate")) {
+    // Publish gate: every staged bundle must deserialize and survive its
+    // sanity probes, and the staged fleet must not regress holdout PE
+    // against the live generation. A failing generation never leaves
+    // staging -- CURRENT is untouched and the staging dir is cleaned up.
+    StatusOr<serve::ValidationReport> report = serve::ValidateGeneration(
+        publisher.value().staging_dir(), live_dir, probe_data);
+    const bool passed = report.ok() && report.value().ok();
+    obs::Counter* validations = obs::MetricsRegistry::Global().GetCounter(
+        "vupred_publish_validations_total",
+        "Publish-gate validation outcomes",
+        {{"result", passed ? "pass" : "fail"}});
+    if (validations != nullptr) validations->Increment();
+    if (!report.ok()) return Fail(report.status());
+    std::printf("validate: %s\n", report.value().Summary().c_str());
+    if (!passed) {
+      for (const std::string& failure : report.value().failures) {
+        std::fprintf(stderr, "validate: %s\n", failure.c_str());
+      }
+      return Fail(Status::FailedPrecondition(
+          "generation failed validation; CURRENT not advanced"));
+    }
+  }
+
+  Status finalized = publisher.value().Finalize(meta);
+  if (!finalized.ok()) return Fail(finalized);
+
+  const double canary_fraction = flags.GetDouble("canary-fraction", 0.0);
+  if (canary_fraction > 0.0 && !live_dir.empty()) {
+    // Canary drill before the flip: shadow-score the finalized (still
+    // un-promoted) generation behind live traffic on the seeded vehicle
+    // slice. A guardrail breach aborts with CURRENT untouched.
+    serve::ModelRegistry::Options staged_opts;
+    staged_opts.directory = publisher.value().staging_dir();
+    staged_opts.cache_capacity = 0;
+    StatusOr<serve::ModelRegistry> staged =
+        serve::ModelRegistry::Open(std::move(staged_opts));
+    if (!staged.ok()) return Fail(staged.status());
+    serve::PredictionService::Options service_opts;
+    service_opts.canary.staged = &staged.value();
+    service_opts.canary.fraction = canary_fraction;
+    service_opts.canary.seed = meta.fleet_seed;
+    serve::PredictionService service(&registry.value(), nullptr,
+                                     service_opts);
+    for (const auto& [id, ds] : probe_data) {
+      serve::PredictionRequest request(id, ds, ds->num_days());
+      service.Predict(request);
+    }
+    serve::CanaryVerdict verdict = service.EvaluateCanary();
+    std::printf("canary: %s (shadow=%llu breaches=%llu)\n",
+                verdict.reason.c_str(),
+                static_cast<unsigned long long>(
+                    verdict.snapshot.shadow_scores),
+                static_cast<unsigned long long>(
+                    verdict.snapshot.breaches()));
+    if (!verdict.healthy) {
+      return Fail(Status::FailedPrecondition(
+          "canary guardrail breached; CURRENT not advanced: " +
+          verdict.reason));
+    }
+  }
+
+  Status committed = publisher.value().Promote();
   if (!committed.ok()) return Fail(committed);
   // Pick the committed generation up before pruning, so the prune keeps
   // the fleet that was just made live.
@@ -599,6 +699,347 @@ int RunPublish(const Flags& flags) {
                 pooled_published, pooled_k);
   }
   return 0;
+}
+
+int RunPublishBench(const Flags& flags) {
+  namespace fs = std::filesystem;
+  const size_t vehicles =
+      static_cast<size_t>(std::max<long long>(flags.GetInt("vehicles", 12), 2));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const size_t max_vehicles = static_cast<size_t>(
+      std::max<long long>(flags.GetInt("max-vehicles", 6), 2));
+  const size_t train_days =
+      static_cast<size_t>(flags.GetInt("train-days", 200));
+  const size_t clusters = static_cast<size_t>(
+      std::max<long long>(flags.GetInt("clusters", 3), 1));
+  const std::string json_path = flags.Get("json", "BENCH_publish.json");
+  const std::string registry_dir = flags.Get(
+      "registry-dir",
+      (fs::temp_directory_path() / "vupred_publish_bench").string());
+  const std::string metrics_format = ResolveMetricsFormat(flags);
+  if (metrics_format.empty()) return 2;
+
+  const auto seconds_since = [](std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+
+  std::error_code ec;
+  fs::remove_all(registry_dir, ec);
+
+  // Seeded fleet + per-vehicle forecasters; the bench publishes two
+  // generations trained on different windows so the canary / rollback
+  // drills compare genuinely different fleets.
+  Fleet fleet = Fleet::Generate(FleetConfig::Small(vehicles, seed));
+  ExperimentRunner runner(&fleet);
+  ExperimentOptions opts;
+  opts.max_vehicles = max_vehicles;
+  std::vector<size_t> selected = runner.SelectVehicles(opts);
+  if (selected.size() < 2) {
+    return Fail(Status::FailedPrecondition(
+        "publish-bench needs at least 2 eligible vehicles"));
+  }
+
+  ForecasterConfig cfg;
+  cfg.algorithm = Algorithm::kLasso;
+  cfg.windowing.lookback_w =
+      static_cast<size_t>(flags.GetInt("lookback", 21));
+  cfg.selection.top_k = static_cast<size_t>(flags.GetInt("topk", 7));
+
+  std::map<int64_t, const VehicleDataset*> probe_data;
+  std::vector<VehicleDataset> cluster_datasets;
+  std::vector<int64_t> ids;
+  for (size_t index : selected) {
+    StatusOr<const VehicleDataset*> ds = runner.Dataset(index);
+    if (!ds.ok()) return Fail(ds.status());
+    const int64_t id = fleet.vehicle(index).vehicle_id;
+    probe_data[id] = ds.value();
+    cluster_datasets.push_back(*ds.value());
+    ids.push_back(id);
+  }
+
+  // Train one fleet per generation: gen A on the full window, gen B on a
+  // shorter one (a "newer, differently trained" fleet).
+  const auto train_fleet = [&](size_t window)
+      -> StatusOr<std::map<int64_t, VehicleForecaster>> {
+    std::map<int64_t, VehicleForecaster> models;
+    for (const int64_t id : ids) {
+      const VehicleDataset& d = *probe_data[id];
+      const size_t n = d.num_days();
+      const size_t begin = n > window
+                               ? std::max(n - window, cfg.windowing.lookback_w)
+                               : cfg.windowing.lookback_w;
+      VehicleForecaster forecaster(cfg);
+      VUP_RETURN_IF_ERROR(forecaster.Train(d, begin, n));
+      models.emplace(id, std::move(forecaster));
+    }
+    return models;
+  };
+  StatusOr<std::map<int64_t, VehicleForecaster>> fleet_a =
+      train_fleet(train_days);
+  if (!fleet_a.ok()) return Fail(fleet_a.status());
+  StatusOr<std::map<int64_t, VehicleForecaster>> fleet_b = train_fleet(
+      train_days > 60 ? train_days - 30 : train_days);
+  if (!fleet_b.ok()) return Fail(fleet_b.status());
+
+  // Shared pooled hierarchy (clusters.meta + reserved-id bundles) so the
+  // corruption drill can prove cluster-level fallback serving.
+  cluster::ProfileConfig profile_config;
+  profile_config.acf_lags = static_cast<size_t>(
+      std::max<long long>(flags.GetInt("acf-lags", 14), 1));
+  cluster::KMeansConfig kmeans_config;
+  kmeans_config.k = clusters;
+  kmeans_config.seed = seed;
+  StatusOr<cluster::ClustersMeta> cmeta = cluster::BuildFleetClustering(
+      cluster_datasets, profile_config, kmeans_config);
+  if (!cmeta.ok()) return Fail(cmeta.status());
+  cluster::PooledTrainingOptions popts;
+  popts.forecaster = cfg;
+  popts.train_window = train_days;
+  popts.holdout_days = 0;
+  StatusOr<std::vector<cluster::PooledModel>> pooled =
+      cluster::TrainPooledHierarchy(cluster_datasets, cmeta.value(), popts);
+  if (!pooled.ok()) return Fail(pooled.status());
+
+  serve::ModelRegistry::Options reg_opts;
+  reg_opts.directory = registry_dir;
+  reg_opts.cache_capacity = 0;
+  StatusOr<serve::ModelRegistry> registry =
+      serve::ModelRegistry::Open(std::move(reg_opts));
+  if (!registry.ok()) return Fail(registry.status());
+
+  serve::RegistryMeta meta;
+  meta.fleet_seed = seed;
+  meta.fleet_vehicles = vehicles;
+  meta.algorithm = std::string(AlgorithmToString(cfg.algorithm));
+
+  double validate_s = 0.0;
+  double canary_s = 0.0;
+  double promote_s = 0.0;
+
+  // Stage + validate + promote one generation through the full guarded
+  // path; the canary drill only runs once a live generation exists.
+  const auto publish_generation =
+      [&](const std::map<int64_t, VehicleForecaster>& models,
+          bool canary) -> StatusOr<uint64_t> {
+    StatusOr<serve::GenerationPublisher> publisher =
+        registry.value().NewGeneration();
+    if (!publisher.ok()) return publisher.status();
+    for (const auto& [id, model] : models) {
+      VUP_RETURN_IF_ERROR(publisher.value().Add(id, model));
+    }
+    for (const cluster::PooledModel& model : pooled.value()) {
+      VUP_RETURN_IF_ERROR(
+          publisher.value().Add(model.model_id, model.forecaster));
+    }
+    VUP_RETURN_IF_ERROR(cluster::WriteClustersMetaFile(
+        publisher.value().staging_dir(), cmeta.value()));
+
+    std::string live_dir;
+    if (registry.value().active_generation() != 0) {
+      live_dir = registry_dir + "/" +
+                 serve::ModelRegistry::GenerationDirName(
+                     registry.value().active_generation());
+    }
+    serve::ValidationOptions vopts;
+    // The bench times the gate; the regression-strictness knobs are
+    // exercised by the unit suite. Both fleets are healthy here.
+    vopts.max_pe_regression_ratio = 10.0;
+    const auto validate_t0 = std::chrono::steady_clock::now();
+    StatusOr<serve::ValidationReport> report = serve::ValidateGeneration(
+        publisher.value().staging_dir(), live_dir, probe_data, vopts);
+    validate_s += seconds_since(validate_t0);
+    if (!report.ok()) return report.status();
+    if (!report.value().ok()) {
+      return Status::Internal("bench generation failed validation: " +
+                              report.value().Summary());
+    }
+    VUP_RETURN_IF_ERROR(publisher.value().Finalize(meta));
+
+    if (canary && !live_dir.empty()) {
+      serve::ModelRegistry::Options staged_opts;
+      staged_opts.directory = publisher.value().staging_dir();
+      staged_opts.cache_capacity = 0;
+      StatusOr<serve::ModelRegistry> staged =
+          serve::ModelRegistry::Open(std::move(staged_opts));
+      if (!staged.ok()) return staged.status();
+      serve::PredictionService::Options service_opts;
+      service_opts.canary.staged = &staged.value();
+      service_opts.canary.fraction = 1.0;
+      service_opts.canary.seed = seed;
+      // Differently trained fleets legitimately disagree; the drill
+      // guards against non-finite/erroring staged models, not drift.
+      service_opts.canary.divergence_hours = 24.0;
+      serve::PredictionService service(&registry.value(), nullptr,
+                                       service_opts);
+      const auto canary_t0 = std::chrono::steady_clock::now();
+      for (const auto& [id, ds] : probe_data) {
+        serve::PredictionRequest request(id, ds, ds->num_days());
+        service.Predict(request);
+      }
+      serve::CanaryVerdict verdict = service.EvaluateCanary();
+      canary_s += seconds_since(canary_t0);
+      if (!verdict.healthy) {
+        return Status::Internal("bench canary breached: " + verdict.reason);
+      }
+      if (verdict.snapshot.shadow_scores != probe_data.size()) {
+        return Status::Internal(StrFormat(
+            "canary shadow-scored %llu of %zu vehicles",
+            static_cast<unsigned long long>(verdict.snapshot.shadow_scores),
+            probe_data.size()));
+      }
+    }
+
+    const auto promote_t0 = std::chrono::steady_clock::now();
+    VUP_RETURN_IF_ERROR(publisher.value().Promote());
+    VUP_RETURN_IF_ERROR(registry.value().Reload());
+    promote_s += seconds_since(promote_t0);
+    return publisher.value().number();
+  };
+
+  StatusOr<uint64_t> gen_a = publish_generation(fleet_a.value(), false);
+  if (!gen_a.ok()) return Fail(gen_a.status());
+
+  // Reference prediction served by generation A, for the rollback proof.
+  const int64_t sample_id = ids.front();
+  serve::PredictionService::Options hier_opts;
+  hier_opts.hierarchy = &cmeta.value();
+  const auto serve_once = [&](int64_t id) -> serve::PredictionResponse {
+    serve::PredictionService service(&registry.value(), nullptr, hier_opts);
+    serve::PredictionRequest request(id, probe_data[id],
+                                     probe_data[id]->num_days());
+    return service.Predict(request);
+  };
+  serve::PredictionResponse sample_a = serve_once(sample_id);
+  if (!sample_a.status.ok()) return Fail(sample_a.status);
+
+  StatusOr<uint64_t> gen_b = publish_generation(fleet_b.value(), true);
+  if (!gen_b.ok()) return Fail(gen_b.status());
+
+  // Corruption drill: bit-rot one live bundle, let the scrubber catch and
+  // quarantine it, then prove the victim is served from the hierarchy.
+  const int64_t victim_id = ids.back();
+  FaultInjector rot(FaultProfile::BitRot(), seed);
+  FileCorruptionStats rot_stats;
+  StatusOr<FileCorruptionKind> kind = rot.CorruptFileOnDisk(
+      registry.value().BundlePath(victim_id),
+      static_cast<uint64_t>(victim_id), &rot_stats);
+  if (!kind.ok()) return Fail(kind.status());
+  if (kind.value() == FileCorruptionKind::kNone) {
+    return Fail(Status::Internal("BitRot profile spared the victim bundle"));
+  }
+  serve::ScrubOptions scrub_opts;
+  scrub_opts.root = registry_dir;
+  scrub_opts.registry = &registry.value();
+  serve::RegistryScrubber scrubber(scrub_opts);
+  const auto scrub_t0 = std::chrono::steady_clock::now();
+  StatusOr<serve::ScrubReport> scrub = scrubber.ScrubOnce();
+  const double scrub_s = seconds_since(scrub_t0);
+  if (!scrub.ok()) return Fail(scrub.status());
+  if (scrub.value().corruptions() == 0 ||
+      !registry.value().IsQuarantined(victim_id)) {
+    return Fail(Status::Internal(
+        "scrubber missed the injected corruption: " +
+        scrub.value().ToString()));
+  }
+  serve::PredictionResponse victim_response = serve_once(victim_id);
+  if (!victim_response.status.ok()) return Fail(victim_response.status);
+  if (victim_response.level == serve::ServedLevel::kVehicle) {
+    return Fail(Status::Internal(
+        "quarantined model was served at vehicle level"));
+  }
+  // Snapshot while the victim is still quarantined: the rollback below
+  // swaps generations, which clears the quarantine set (a gauge).
+  const size_t quarantined_models =
+      registry.value().stats().quarantined_models;
+
+  // Rollback drill: revert the B promotion and prove serving flips back
+  // to generation A's answers.
+  const auto rollback_t0 = std::chrono::steady_clock::now();
+  Status rolled_back = registry.value().Rollback();
+  const double rollback_s = seconds_since(rollback_t0);
+  if (!rolled_back.ok()) return Fail(rolled_back);
+  if (registry.value().active_generation() != gen_a.value()) {
+    return Fail(Status::Internal(StrFormat(
+        "rollback landed on generation %llu, expected %llu",
+        static_cast<unsigned long long>(
+            registry.value().active_generation()),
+        static_cast<unsigned long long>(gen_a.value()))));
+  }
+  serve::PredictionResponse sample_restored = serve_once(sample_id);
+  if (!sample_restored.status.ok()) return Fail(sample_restored.status);
+  if (sample_restored.prediction != sample_a.prediction ||
+      sample_restored.level != serve::ServedLevel::kVehicle) {
+    return Fail(Status::Internal(StrFormat(
+        "rollback did not restore generation A serving: %.6f vs %.6f",
+        sample_restored.prediction, sample_a.prediction)));
+  }
+
+  std::printf("publish-bench: fleet=%zu published=%zu pooled=%zu "
+              "clusters=%zu seed=%llu\n",
+              vehicles, ids.size(), pooled.value().size(),
+              cmeta.value().k(), static_cast<unsigned long long>(seed));
+  std::printf("stage      wall\n");
+  std::printf("validate  %9.3fms  (2 generations)\n", validate_s * 1e3);
+  std::printf("canary    %9.3fms  (%zu shadow scores)\n", canary_s * 1e3,
+              probe_data.size());
+  std::printf("promote   %9.3fms  (2 flips incl. reload)\n",
+              promote_s * 1e3);
+  std::printf("scrub     %9.3fms  (%zu files, %zu corrupt, %s)\n",
+              scrub_s * 1e3, scrub.value().files_checked,
+              scrub.value().corruptions(),
+              std::string(FileCorruptionKindToString(kind.value())).c_str());
+  std::printf("rollback  %9.3fms  (gen %llu -> gen %llu)\n",
+              rollback_s * 1e3,
+              static_cast<unsigned long long>(gen_b.value()),
+              static_cast<unsigned long long>(gen_a.value()));
+  std::printf("verify: corrupted bundle quarantined + served at level=%s; "
+              "rollback restores generation A predictions\n",
+              std::string(
+                  serve::ServedLevelToString(victim_response.level))
+                  .c_str());
+
+  std::ofstream json(json_path, std::ios::trunc);
+  if (!json) return Fail(Status::Internal("cannot write " + json_path));
+  json << StrFormat(
+      "{\n"
+      "  \"bench\": \"publish\",\n"
+      "  \"schema_version\": 1,\n"
+      "  \"fleet_vehicles\": %zu,\n"
+      "  \"published_models\": %zu,\n"
+      "  \"pooled_models\": %zu,\n"
+      "  \"clusters\": %zu,\n"
+      "  \"generations_published\": 2,\n"
+      "  \"validate_seconds\": %.6f,\n"
+      "  \"canary_seconds\": %.6f,\n"
+      "  \"promote_seconds\": %.6f,\n"
+      "  \"scrub_seconds\": %.6f,\n"
+      "  \"rollback_seconds\": %.6f,\n"
+      "  \"canary_shadow_scores\": %zu,\n"
+      "  \"scrub_files_checked\": %zu,\n"
+      "  \"scrub_corruptions\": %zu,\n"
+      "  \"corruption_kind\": \"%s\",\n"
+      "  \"quarantined_models\": %zu,\n"
+      "  \"victim_served_level\": \"%s\",\n"
+      "  \"verify\": \"rollback-restores-previous-generation\"\n"
+      "}\n",
+      vehicles, ids.size(), pooled.value().size(), cmeta.value().k(),
+      validate_s, canary_s, promote_s, scrub_s, rollback_s,
+      probe_data.size(), scrub.value().files_checked,
+      scrub.value().corruptions(),
+      std::string(FileCorruptionKindToString(kind.value())).c_str(),
+      quarantined_models,
+      std::string(serve::ServedLevelToString(victim_response.level))
+          .c_str());
+  if (!json) return Fail(Status::DataLoss("write failed: " + json_path));
+  std::printf("wrote %s\n", json_path.c_str());
+
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  registry.value().CollectMetrics(&snapshot);
+  scrubber.CollectMetrics(&snapshot);
+  if (!flags.Has("registry-dir")) fs::remove_all(registry_dir, ec);
+  return WriteMetricsOutput(flags, metrics_format, std::move(snapshot));
 }
 
 int RunServeBench(const Flags& flags) {
@@ -1893,7 +2334,8 @@ const std::vector<Command>& Commands() {
        "usage: vupred publish --out=DIR [--vehicles=N] [--seed=S]\n"
        "  [--max-vehicles=M] [--algorithm=Lasso] [--lookback=21]\n"
        "  [--topk=7] [--train-days=200] [--keep-generations=2]\n"
-       "  [--clusters=K] [--acf-lags=14]\n"
+       "  [--clusters=K] [--acf-lags=14] [--validate]\n"
+       "  [--canary-fraction=F] [--rollback]\n"
        "  Train one forecaster per eligible fleet vehicle and write the\n"
        "  bundles plus registry metadata into DIR as a new generation,\n"
        "  made live by an atomic CURRENT flip, ready for serve-bench (or\n"
@@ -1901,11 +2343,44 @@ const std::vector<Command>& Commands() {
        "  generation also carries clusters.meta plus pooled per-cluster /\n"
        "  per-type / global bundles under their reserved negative ids, so\n"
        "  serving falls back down the hierarchy for vehicles without a\n"
-       "  bundle. Old generations beyond --keep-generations are pruned.\n",
+       "  bundle. Old generations beyond --keep-generations are pruned\n"
+       "  (never the ones the rollback journal points at).\n"
+       "  --validate gates the CURRENT flip: every staged bundle must\n"
+       "  deserialize and survive finite/bounded sanity probes, and the\n"
+       "  staged fleet must not regress holdout PE against the live\n"
+       "  generation; a failing generation never leaves staging.\n"
+       "  --canary-fraction=F shadow-scores the finalized generation\n"
+       "  behind live traffic on the seeded F-slice of vehicles before\n"
+       "  the flip; a canary breach aborts with CURRENT untouched.\n"
+       "  --rollback (standalone) undoes the last journaled promotion\n"
+       "  and exits: CURRENT flips back to the previous generation.\n",
        {"out", "vehicles", "seed", "max-vehicles", "algorithm", "lookback",
-        "topk", "train-days", "keep-generations", "clusters", "acf-lags"},
+        "topk", "train-days", "keep-generations", "clusters", "acf-lags",
+        "validate", "canary-fraction", "rollback"},
        {"out"},
        RunPublish},
+      {"publish-bench", "time the guarded publish path end to end",
+       "usage: vupred publish-bench [--vehicles=12] [--seed=42]\n"
+       "  [--max-vehicles=6] [--train-days=200] [--lookback=21] [--topk=7]\n"
+       "  [--clusters=3] [--acf-lags=14] [--json=BENCH_publish.json]\n"
+       "  [--registry-dir=DIR] [--metrics-out=FILE]\n"
+       "  [--metrics-format=prom|json]\n"
+       "  Drive the guarded publish path on a seeded fleet: publish two\n"
+       "  differently trained generations through validate -> canary ->\n"
+       "  promote, bit-rot one live bundle and let the scrubber catch and\n"
+       "  quarantine it (the victim must come back from the pooled\n"
+       "  hierarchy, never the corrupt bundle), then roll the promotion\n"
+       "  back and prove serving returns generation A's exact\n"
+       "  predictions. Reports per-stage wall times, always verifies the\n"
+       "  quarantine + rollback invariants (exits non-zero on any\n"
+       "  divergence; timings are never gated) and writes the JSON report\n"
+       "  to --json. --registry-dir keeps the scratch registry for\n"
+       "  inspection.\n",
+       {"vehicles", "seed", "max-vehicles", "train-days", "lookback",
+        "topk", "clusters", "acf-lags", "json", "registry-dir",
+        "metrics-out", "metrics-format"},
+       {},
+       RunPublishBench},
       {"serve-bench", "replay a request stream against the service",
        "usage: vupred serve-bench --registry=DIR [--workers=4]\n"
        "  [--batch=64] [--requests=512] [--cache=32] [--stream-seed=7]\n"
