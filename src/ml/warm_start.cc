@@ -1,0 +1,85 @@
+#include "ml/warm_start.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "obs/metrics.h"
+
+namespace vup {
+
+std::string_view WarmStartDecisionToString(WarmStartDecision d) {
+  switch (d) {
+    case WarmStartDecision::kWarm:
+      return "warm";
+    case WarmStartDecision::kColdStart:
+      return "cold_start";
+    case WarmStartDecision::kInvalidated:
+      return "invalidated";
+  }
+  return "?";
+}
+
+uint64_t HashCombine(uint64_t h, uint64_t v) {
+  // FNV-1a over the 8 bytes of v.
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (v >> (byte * 8)) & 0xffull;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+uint64_t HashDouble(uint64_t h, double v) {
+  return HashCombine(h, std::bit_cast<uint64_t>(v));
+}
+
+std::vector<double> ShiftSvrBetaForward(std::span<const double> prev_beta,
+                                        double c) {
+  std::vector<double> beta;
+  if (prev_beta.empty()) return beta;
+  beta.assign(prev_beta.begin() + 1, prev_beta.end());
+  beta.push_back(0.0);
+  // The dropped oldest coefficient leaves sum(beta) = -prev_beta[0], so
+  // +prev_beta[0] must go back in to restore the equality constraint;
+  // spread it starting from the newest rows, respecting the box. Total
+  // box capacity is 2cn, so the loop always zeroes it.
+  double imbalance = prev_beta.front();
+  for (size_t i = beta.size(); i-- > 0 && imbalance != 0.0;) {
+    double take = std::clamp(imbalance, -c - beta[i], c - beta[i]);
+    beta[i] += take;
+    imbalance -= take;
+  }
+  return beta;
+}
+
+void RecordWarmStartDecision(WarmStartDecision decision,
+                             std::string_view algorithm) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const obs::LabelSet labels = {{"algorithm", std::string(algorithm)}};
+  switch (decision) {
+    case WarmStartDecision::kWarm: {
+      obs::Counter* hits = registry.GetCounter(
+          "vupred_train_warmstart_hits_total",
+          "Training calls that resumed from the previous window's state.",
+          labels);
+      if (hits != nullptr) hits->Increment(1);
+      return;
+    }
+    case WarmStartDecision::kInvalidated: {
+      obs::Counter* invalidations = registry.GetCounter(
+          "vupred_train_warmstart_invalidations_total",
+          "Captured warm-start states discarded on a problem mismatch.",
+          labels);
+      if (invalidations != nullptr) invalidations->Increment(1);
+      [[fallthrough]];
+    }
+    case WarmStartDecision::kColdStart: {
+      obs::Counter* cold = registry.GetCounter(
+          "vupred_train_warmstart_cold_starts_total",
+          "Warm-capable training calls that fit from scratch.", labels);
+      if (cold != nullptr) cold->Increment(1);
+      return;
+    }
+  }
+}
+
+}  // namespace vup

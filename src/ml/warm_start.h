@@ -1,0 +1,105 @@
+#ifndef VUPRED_ML_WARM_START_H_
+#define VUPRED_ML_WARM_START_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "ml/tree.h"
+
+namespace vup {
+
+/// Outcome of the warm-start eligibility check for one training call.
+enum class WarmStartDecision : int {
+  /// A captured state matched the new problem and was applied.
+  kWarm = 0,
+  /// No applicable state (first fit, or a scheduled full refresh such as
+  /// the GB staleness cap): the fit starts from scratch.
+  kColdStart = 1,
+  /// A captured state existed but no longer matches the problem (lag set,
+  /// hyper-parameters, record count, or a non-unit span shift changed) and
+  /// was discarded. Also counts as a cold start.
+  kInvalidated = 2,
+};
+
+std::string_view WarmStartDecisionToString(WarmStartDecision d);
+
+/// Identity of the training problem a warm-start payload was captured on.
+/// A payload may only be replayed when everything but the training-span
+/// position is unchanged and the span advanced by exactly one target (the
+/// add-one-drop-one row shift of the walk-forward loop).
+struct WarmStartKey {
+  /// Fingerprint of the algorithm and every hyper-parameter that shapes
+  /// the optimization problem (see WarmStartConfigHash in core/forecaster).
+  uint64_t config_hash = 0;
+  /// Design columns after lag selection; a changed lag set changes what
+  /// each coefficient means, so it must invalidate.
+  std::vector<size_t> selected_columns;
+  size_t num_records = 0;
+  /// First target row of the training span the payload was captured on.
+  size_t first_target = 0;
+
+  /// True when the problems match up to the training-span position
+  /// (config, columns and record count agree; first_target is excluded).
+  bool MatchesProblem(const WarmStartKey& other) const {
+    return config_hash == other.config_hash &&
+           num_records == other.num_records &&
+           selected_columns == other.selected_columns;
+  }
+};
+
+/// Cross-window solver state captured after one fit and replayed into the
+/// next adjacent-window fit. One instance per forecaster; the payloads are
+/// per-algorithm (only the active algorithm's slot is populated).
+struct WarmStartState {
+  bool valid = false;
+  WarmStartKey key;
+
+  /// SVR: the full-length dual vector (one beta per training row, not the
+  /// support-vector compaction) of the previous window's solution.
+  std::vector<double> svr_beta;
+
+  /// Lasso: coefficients at convergence of the previous window.
+  std::vector<double> lasso_coef;
+
+  /// GB: the previous window's ensemble, its constant initial prediction,
+  /// and how many consecutive warm fits built on it (the staleness
+  /// counter that forces periodic full refits).
+  std::vector<RegressionTree> gb_trees;
+  double gb_init = 0.0;
+  size_t gb_warm_fits = 0;
+
+  void Reset() { *this = WarmStartState(); }
+};
+
+/// FNV-1a-style combine of one 64-bit value into a running hash.
+uint64_t HashCombine(uint64_t h, uint64_t v);
+/// Combines the bit pattern of a double (so 0.1 != 0.1000001 and -0.0 is
+/// distinguished from 0.0 -- any representational change invalidates).
+uint64_t HashDouble(uint64_t h, double v);
+
+inline constexpr uint64_t kWarmStartHashSeed = 0xcbf29ce484222325ull;
+
+/// Maps the previous window's SVR dual vector through the add-one-drop-one
+/// row shift: the oldest record's coefficient is dropped, every survivor
+/// keeps its value one slot earlier, and the new record starts at zero.
+/// The dropped coefficient's mass is absorbed back into the newest rows
+/// (clamped to the box [-c, c]) so the equality constraint sum(beta) = 0
+/// still holds at the starting point.
+std::vector<double> ShiftSvrBetaForward(std::span<const double> prev_beta,
+                                        double c);
+
+/// Bumps the labeled counter for one training decision:
+///   vupred_train_warmstart_hits_total{algorithm=...}
+///   vupred_train_warmstart_cold_starts_total{algorithm=...}
+///   vupred_train_warmstart_invalidations_total{algorithm=...}
+/// An invalidation additionally counts as a cold start (the fit that
+/// follows it starts from scratch), so hits + cold_starts always equals
+/// the number of warm-capable training calls.
+void RecordWarmStartDecision(WarmStartDecision decision,
+                             std::string_view algorithm);
+
+}  // namespace vup
+
+#endif  // VUPRED_ML_WARM_START_H_

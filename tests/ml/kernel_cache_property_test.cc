@@ -1,0 +1,179 @@
+// Property tests for the kernel-row LRU cache (ml/kernel.h): under random
+// insert/evict/query sequences a cached row is bitwise-identical to a
+// fresh recompute, the LRU bookkeeping obeys its invariants, and the local
+// Stats agree with the process-wide vupred_kernel_cache_* counters.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "linalg/matrix.h"
+#include "ml/kernel.h"
+#include "obs/metrics.h"
+
+namespace vup {
+namespace {
+
+Matrix MakeDesign(uint64_t seed, size_t n, size_t d) {
+  Rng rng(seed);
+  Matrix x(n, d);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < d; ++c) x(r, c) = rng.Normal();
+  }
+  return x;
+}
+
+/// Reference row computed the way KernelMatrix computes element (i, j)
+/// directly -- no cache, no symmetry shortcut.
+std::vector<double> FreshRow(const KernelParams& params, const Matrix& x,
+                             size_t i) {
+  std::vector<double> row(x.rows());
+  for (size_t j = 0; j < x.rows(); ++j) {
+    row[j] = KernelFunction(params, x.Row(i), x.Row(j));
+  }
+  return row;
+}
+
+KernelParams ResolvedParams(KernelType type, size_t d) {
+  KernelParams params;
+  params.type = type;
+  params.gamma = params.EffectiveGamma(d);
+  params.coef0 = 1.0;
+  params.degree = 2;
+  return params;
+}
+
+class KernelCachePropertyTest : public ::testing::TestWithParam<KernelType> {
+};
+
+TEST_P(KernelCachePropertyTest, RandomQuerySequenceMatchesFreshComputeBitwise) {
+  const size_t n = 40;
+  const size_t d = 6;
+  Matrix x = MakeDesign(101, n, d);
+  KernelParams params = ResolvedParams(GetParam(), d);
+  KernelRowCache cache(params, x, /*capacity=*/7);
+
+  Rng rng(202);
+  for (int step = 0; step < 600; ++step) {
+    size_t i = static_cast<size_t>(rng.NextUint64() % n);
+    std::span<const double> row = cache.Row(i);
+    ASSERT_EQ(row.size(), n);
+    std::vector<double> fresh = FreshRow(params, x, i);
+    for (size_t j = 0; j < n; ++j) {
+      // Bitwise, not approximate: a hit must return exactly what a miss
+      // would have computed, and the symmetry fill (reading K(i,j) off a
+      // cached row j) must be invisible.
+      ASSERT_EQ(row[j], fresh[j]) << "row " << i << " col " << j;
+    }
+  }
+
+  const KernelRowCache::Stats& stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 600u);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+  // Eviction accounting: everything computed is either resident or was
+  // evicted, and the resident set respects capacity.
+  EXPECT_EQ(stats.misses, stats.evictions + cache.size());
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+TEST_P(KernelCachePropertyTest, FullResidencyMatchesKernelMatrixBitwise) {
+  // Capacity >= n: nothing ever evicts, and after touching every row in a
+  // scrambled order the cache holds exactly the Gram matrix.
+  const size_t n = 24;
+  const size_t d = 4;
+  Matrix x = MakeDesign(303, n, d);
+  KernelParams params = ResolvedParams(GetParam(), d);
+  Matrix gram = KernelMatrix(params, x);
+  KernelRowCache cache(params, x, /*capacity=*/n);
+
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  Rng rng(404);
+  rng.Shuffle(&order);
+  for (size_t i : order) {
+    std::span<const double> row = cache.Row(i);
+    for (size_t j = 0; j < n; ++j) {
+      ASSERT_EQ(row[j], gram(i, j)) << "row " << i << " col " << j;
+    }
+  }
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelCachePropertyTest,
+                         ::testing::Values(KernelType::kRbf,
+                                           KernelType::kLinear,
+                                           KernelType::kPolynomial));
+
+TEST(KernelCacheTest, LruEvictsLeastRecentlyUsedRow) {
+  const size_t n = 8;
+  Matrix x = MakeDesign(505, n, 3);
+  KernelParams params = ResolvedParams(KernelType::kRbf, 3);
+  KernelRowCache cache(params, x, /*capacity=*/2);
+
+  cache.Row(0);  // miss          resident: {0}
+  cache.Row(1);  // miss          resident: {0, 1}
+  cache.Row(0);  // hit           LRU order: 0 (MRU), 1
+  cache.Row(2);  // miss, evict 1 resident: {0, 2}
+  cache.Row(0);  // hit
+  cache.Row(2);  // hit
+  cache.Row(1);  // miss again: 1 really was the victim.
+
+  const KernelRowCache::Stats& stats = cache.stats();
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(KernelCacheTest, CapacityClampKeepsSmoPairResident) {
+  // capacity < 2 clamps to 2 so the Row(i)/Row(j) pair-access pattern of
+  // the SMO inner loop never invalidates the first span of the pair.
+  const size_t n = 6;
+  Matrix x = MakeDesign(606, n, 3);
+  KernelParams params = ResolvedParams(KernelType::kRbf, 3);
+  KernelRowCache cache(params, x, /*capacity=*/0);
+  EXPECT_EQ(cache.capacity(), 2u);
+
+  std::vector<double> fresh_i = FreshRow(params, x, 4);
+  std::span<const double> row_i = cache.Row(4);
+  std::span<const double> row_j = cache.Row(5);
+  // row_i was the LRU candidate when row_j came in, but both must stay
+  // resident: reading row_i now still sees the cached values.
+  for (size_t j = 0; j < n; ++j) {
+    ASSERT_EQ(row_i[j], fresh_i[j]);
+  }
+  ASSERT_EQ(row_j.size(), n);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(KernelCacheTest, StatsMatchGlobalCounterDeltas) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  auto value = [&registry](std::string_view name) {
+    return registry.Snapshot().Value(name);
+  };
+  const double hits0 = value("vupred_kernel_cache_hits_total");
+  const double misses0 = value("vupred_kernel_cache_misses_total");
+  const double evictions0 = value("vupred_kernel_cache_evictions_total");
+
+  const size_t n = 20;
+  Matrix x = MakeDesign(707, n, 4);
+  KernelParams params = ResolvedParams(KernelType::kRbf, 4);
+  KernelRowCache cache(params, x, /*capacity=*/5);
+  Rng rng(808);
+  for (int step = 0; step < 200; ++step) {
+    cache.Row(static_cast<size_t>(rng.NextUint64() % n));
+  }
+
+  const KernelRowCache::Stats& stats = cache.stats();
+  EXPECT_EQ(value("vupred_kernel_cache_hits_total") - hits0,
+            static_cast<double>(stats.hits));
+  EXPECT_EQ(value("vupred_kernel_cache_misses_total") - misses0,
+            static_cast<double>(stats.misses));
+  EXPECT_EQ(value("vupred_kernel_cache_evictions_total") - evictions0,
+            static_cast<double>(stats.evictions));
+}
+
+}  // namespace
+}  // namespace vup

@@ -1,0 +1,138 @@
+// Adversarial test for the warm-path SMO shrinking heuristic (satellite
+// of the warm-start equivalence harness): a corrupted warm start makes
+// the sweep-0 shrink decision deactivate rows that later turn into KKT
+// violators; the full-set KKT pass must bring them back, and the final
+// fit must match the unshrunk cold path within the solver tolerances.
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ml/svr.h"
+
+namespace vup {
+namespace {
+
+/// Same generator as the warm-start equivalence suite, kept in sync so
+/// the seeds stay meaningful: y = alternating linear trend + sine + noise.
+void MakeRegression(uint64_t seed, size_t n, size_t d, Matrix* x,
+                    std::vector<double>* y) {
+  Rng rng(seed);
+  *x = Matrix(n, d);
+  y->assign(n, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    double target = 0.0;
+    for (size_t c = 0; c < d; ++c) {
+      double v = rng.Normal();
+      (*x)(r, c) = v;
+      target += (c % 2 == 0 ? 0.8 : -0.4) * v;
+    }
+    (*y)[r] = target + std::sin((*x)(r, 0)) + 0.05 * rng.Normal();
+  }
+}
+
+/// Adversarial warm payload: the cold solution with its `k` largest-|beta|
+/// coefficients negated and pushed past the box. After the fit-time
+/// sanitize clamp these rows sit at the WRONG bound looking KKT-satisfied
+/// from the bound side, so the sweep-0 shrink heuristic is tempted to
+/// drop rows it will later have to fix.
+std::vector<double> CorruptLargestCoefficients(std::vector<double> beta,
+                                               size_t k) {
+  std::vector<size_t> idx(beta.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(), [&beta](size_t a, size_t b) {
+    return std::abs(beta[a]) > std::abs(beta[b]);
+  });
+  for (size_t j = 0; j < k && j < idx.size(); ++j) {
+    beta[idx[j]] = beta[idx[j]] > 0.0 ? -10.0 : 10.0;
+  }
+  return beta;
+}
+
+TEST(SvrShrinkingTest, KktPassReactivatesWronglyShrunkRows) {
+  Matrix x;
+  std::vector<double> y;
+  MakeRegression(2, 70, 5, &x, &y);
+
+  Svr cold{Svr::Options{}};
+  ASSERT_TRUE(cold.Fit(x, y).ok());
+
+  Svr warm{Svr::Options{}};
+  warm.WarmStart(CorruptLargestCoefficients(cold.last_full_beta(), 6),
+                 /*kernel_cache_rows=*/64);
+  ASSERT_TRUE(warm.Fit(x, y).ok());
+  const Svr::FitStats& stats = warm.last_fit_stats();
+  ASSERT_TRUE(stats.warm_started);
+
+  // The shrink heuristic did fire...
+  EXPECT_GT(stats.shrunk_rows_peak, 0u);
+  // ...and skipped rows that were still violating: the full-set KKT pass
+  // caught the stall and resumed with them reactivated.
+  EXPECT_GT(stats.unshrink_passes, 0u);
+  EXPECT_GT(stats.kkt_reactivations, 0u);
+
+  // Reactivation restored correctness: the fit agrees with the unshrunk
+  // cold path far inside the documented SVR equivalence tolerance.
+  EXPECT_NEAR(warm.last_dual_objective(), cold.last_dual_objective(),
+              1e-2 * (1.0 + std::abs(cold.last_dual_objective())));
+  for (size_t r = 0; r < x.rows(); ++r) {
+    EXPECT_NEAR(cold.PredictOne(x.Row(r)).value(),
+                warm.PredictOne(x.Row(r)).value(), 0.05)
+        << "row " << r;
+  }
+}
+
+TEST(SvrShrinkingTest, ReactivationIsRobustAcrossSeeds) {
+  // The property behind the pinned seed above, checked across several
+  // datasets: whenever an unshrink pass fires, the final predictions
+  // still match the cold fit. (Not every seed fires one; the assertion
+  // is one-sided on purpose.)
+  size_t seeds_with_reactivation = 0;
+  for (uint64_t seed : {1, 2, 4, 5, 7, 8}) {
+    Matrix x;
+    std::vector<double> y;
+    MakeRegression(seed, 70, 5, &x, &y);
+    Svr cold{Svr::Options{}};
+    ASSERT_TRUE(cold.Fit(x, y).ok());
+    Svr warm{Svr::Options{}};
+    warm.WarmStart(CorruptLargestCoefficients(cold.last_full_beta(), 6), 64);
+    ASSERT_TRUE(warm.Fit(x, y).ok());
+    if (warm.last_fit_stats().kkt_reactivations > 0) {
+      ++seeds_with_reactivation;
+    }
+    for (size_t r = 0; r < x.rows(); ++r) {
+      EXPECT_NEAR(cold.PredictOne(x.Row(r)).value(),
+                  warm.PredictOne(x.Row(r)).value(), 0.25)
+          << "seed " << seed << " row " << r;
+    }
+  }
+  EXPECT_GT(seeds_with_reactivation, 0u);
+}
+
+TEST(SvrShrinkingTest, CleanWarmStartEndsAfterOneVerifyPass) {
+  // From the exact cold solution there is nothing substantive left to
+  // fix: shrinking may drop most rows, the stalled working set triggers
+  // at most one defensive reactivate-everything verify pass, and the
+  // full-set stall ends the fit -- far under the cold sweep count.
+  Matrix x;
+  std::vector<double> y;
+  MakeRegression(11, 60, 4, &x, &y);
+  Svr cold{Svr::Options{}};
+  ASSERT_TRUE(cold.Fit(x, y).ok());
+
+  Svr warm{Svr::Options{}};
+  warm.WarmStart(cold.last_full_beta(), 64);
+  ASSERT_TRUE(warm.Fit(x, y).ok());
+  EXPECT_LT(warm.last_fit_stats().sweeps, cold.last_fit_stats().sweeps);
+  EXPECT_LE(warm.last_fit_stats().unshrink_passes, 1u);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    EXPECT_NEAR(cold.PredictOne(x.Row(r)).value(),
+                warm.PredictOne(x.Row(r)).value(), 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace vup

@@ -1,0 +1,186 @@
+// Thread-safety of the warm-start machinery (run under TSan by
+// scripts/ci_tsan.sh): concurrent warm fits share exactly two things --
+// the process-wide metrics counters and read-only inputs. Everything else
+// (WarmStartState, kernel caches, solver scratch) is per-forecaster /
+// per-model, and these tests fail loudly (or trip TSan) if that ever
+// changes.
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/forecaster.h"
+#include "ml/grid_search.h"
+#include "ml/svr.h"
+#include "obs/metrics.h"
+#include "pipeline/dataset.h"
+
+namespace vup {
+namespace {
+
+const Country& Italy() {
+  return *CountryRegistry::Global().Find("IT").value();
+}
+
+VehicleDataset MakeDataset(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DailyUsageRecord> recs;
+  double ar = 0.0;
+  for (int i = 0; i < n; ++i) {
+    ar = 0.6 * ar + rng.Normal();
+    DailyUsageRecord r;
+    r.date = Date::FromYmd(2016, 3, 1).value().AddDays(i);
+    r.hours = std::clamp(6.0 + (i % 7 < 5 ? 2.0 : -4.0) + ar, 0.0, 24.0);
+    r.fuel_used_l = 10.0 * r.hours + rng.Normal();
+    r.avg_engine_load_pct = std::clamp(50.0 + 2.0 * ar, 0.0, 100.0);
+    r.avg_engine_rpm = 1400.0 + 25.0 * ar;
+    recs.push_back(r);
+  }
+  VehicleInfo info;
+  info.vehicle_id = 9;
+  return VehicleDataset::Build(info, recs, Italy()).value();
+}
+
+void MakeRegression(uint64_t seed, size_t n, size_t d, Matrix* x,
+                    std::vector<double>* y) {
+  Rng rng(seed);
+  *x = Matrix(n, d);
+  y->assign(n, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    double target = 0.0;
+    for (size_t c = 0; c < d; ++c) {
+      double v = rng.Normal();
+      (*x)(r, c) = v;
+      target += (c % 2 == 0 ? 0.8 : -0.4) * v;
+    }
+    (*y)[r] = target + std::sin((*x)(r, 0)) + 0.05 * rng.Normal();
+  }
+}
+
+TEST(WarmStartConcurrencyTest, GridSearchJobsMatchSerialWithWarmArmedModels) {
+  Matrix x;
+  std::vector<double> y;
+  MakeRegression(61, 80, 5, &x, &y);
+
+  Svr donor{Svr::Options{}};
+  ASSERT_TRUE(donor.Fit(x, y).ok());
+  const std::vector<double> beta0 = donor.last_full_beta();
+
+  // Every candidate model is armed with the same warm payload; the models
+  // are independent, so jobs > 1 must reproduce the serial scores
+  // bitwise (the GridSearch determinism contract extends to warm fits).
+  RegressorFactory factory = [&beta0](const ParamMap& params) {
+    Svr::Options options;
+    options.c = params.at("c");
+    auto model = std::make_unique<Svr>(options);
+    model->WarmStart(beta0, /*kernel_cache_rows=*/64, /*max_sweeps=*/40);
+    return model;
+  };
+  ParamGrid grid;
+  grid.axes["c"] = {1.0, 5.0, 10.0, 20.0};
+
+  GridSearchOptions serial;
+  serial.jobs = 1;
+  GridSearchOptions parallel;
+  parallel.jobs = 4;
+  StatusOr<GridSearchResult> a = GridSearch(factory, grid, x, y, serial);
+  StatusOr<GridSearchResult> b = GridSearch(factory, grid, x, y, parallel);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a.value().best_params, b.value().best_params);
+  ASSERT_EQ(a.value().scores.size(), b.value().scores.size());
+  for (size_t i = 0; i < a.value().scores.size(); ++i) {
+    EXPECT_EQ(a.value().scores[i].second, b.value().scores[i].second) << i;
+  }
+}
+
+TEST(WarmStartConcurrencyTest, ParallelWarmForecastersKeepExactCounters) {
+  // Four forecasters walk the same (read-only) dataset concurrently, each
+  // with its own WarmStartState. The only cross-thread writes are the
+  // atomic metrics counters, whose totals must come out exact.
+  VehicleDataset ds = MakeDataset(100, 67);
+  const obs::LabelSet labels = {{"algorithm", "SVR"}};
+  auto value = [&labels](std::string_view name) {
+    return obs::MetricsRegistry::Global().Snapshot().Value(name, labels);
+  };
+  const double hits0 = value("vupred_train_warmstart_hits_total");
+  const double cold0 = value("vupred_train_warmstart_cold_starts_total");
+
+  constexpr size_t kThreads = 4;
+  constexpr size_t kSteps = 6;
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&ds] {
+      ForecasterConfig cfg;
+      cfg.algorithm = Algorithm::kSvr;
+      cfg.windowing.lookback_w = 12;
+      cfg.selection.top_k = 5;
+      cfg.warm_start.enabled = true;
+      VehicleForecaster fc(cfg);
+      for (size_t step = 0; step < kSteps; ++step) {
+        ASSERT_TRUE(fc.Train(ds, 20 + step, 60 + step).ok());
+        StatusOr<double> p = fc.PredictTarget(ds, 60 + step);
+        ASSERT_TRUE(p.ok());
+        ASSERT_TRUE(std::isfinite(p.value()));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  // Per thread: 1 cold fit then kSteps - 1 warm hits; sums are exact
+  // because the counters are atomics, not because of any luck in timing.
+  EXPECT_EQ(value("vupred_train_warmstart_hits_total") - hits0,
+            static_cast<double>(kThreads * (kSteps - 1)));
+  EXPECT_EQ(value("vupred_train_warmstart_cold_starts_total") - cold0,
+            static_cast<double>(kThreads));
+}
+
+TEST(WarmStartConcurrencyTest, ConcurrentKernelCachesStayIndependent) {
+  // Kernel-row caches are per-fit; hammering warm fits from many threads
+  // must keep every cache's local stats consistent and the global counter
+  // deltas equal to the sum of the locals.
+  Matrix x;
+  std::vector<double> y;
+  MakeRegression(71, 60, 4, &x, &y);
+  Svr donor{Svr::Options{}};
+  ASSERT_TRUE(donor.Fit(x, y).ok());
+  const std::vector<double> beta0 = donor.last_full_beta();
+
+  auto total = [](std::string_view name) {
+    return obs::MetricsRegistry::Global().Snapshot().Value(name);
+  };
+  const double hits0 = total("vupred_kernel_cache_hits_total");
+  const double misses0 = total("vupred_kernel_cache_misses_total");
+
+  constexpr size_t kThreads = 4;
+  std::vector<KernelRowCache::Stats> local(kThreads);
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Svr warm{Svr::Options{}};
+      warm.WarmStart(beta0, /*kernel_cache_rows=*/32, /*max_sweeps=*/30);
+      ASSERT_TRUE(warm.Fit(x, y).ok());
+      local[t] = warm.last_fit_stats().kernel_cache;
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  uint64_t local_hits = 0;
+  uint64_t local_misses = 0;
+  for (const KernelRowCache::Stats& s : local) {
+    EXPECT_GT(s.misses, 0u);
+    local_hits += s.hits;
+    local_misses += s.misses;
+  }
+  EXPECT_EQ(total("vupred_kernel_cache_hits_total") - hits0,
+            static_cast<double>(local_hits));
+  EXPECT_EQ(total("vupred_kernel_cache_misses_total") - misses0,
+            static_cast<double>(local_misses));
+}
+
+}  // namespace
+}  // namespace vup

@@ -1416,6 +1416,49 @@ double StageSpeedup(double naive_seconds, double incremental_seconds) {
   return naive_seconds > 0.0 ? naive_seconds / 1e-9 : 1.0;
 }
 
+/// Per-algorithm warm-start equivalence tolerance: the max absolute
+/// per-prediction delta (hours) between the warm path and the cold
+/// incremental reference (DESIGN.md section 14). Warm starts legitimately
+/// change the solver's iterate path, so predictions agree only within
+/// these bounds: Lasso converges to the same coordinate-descent fixed
+/// point (tightest), the SVR dual has flat epsilon-insensitive directions
+/// so distinct tol-converged optima predict slightly differently, and GB
+/// continues a one-step-stale ensemble (loosest). The PE delta needs no
+/// separate gate: |delta PE| <= 100 * sum|delta pred| / sum|actual| by the
+/// triangle inequality, so bounding predictions bounds PE; the observed
+/// PE delta is still reported.
+double WarmPredictionToleranceFor(Algorithm a) {
+  switch (a) {
+    case Algorithm::kLasso:
+      return 0.05;
+    case Algorithm::kSvr:
+      return 3.0;
+    case Algorithm::kGradientBoosting:
+      return 3.0;
+    default:
+      return 0.0;
+  }
+}
+
+/// Everything core-bench measures for one algorithm: the naive reference,
+/// the bitwise-equivalent incremental path, and (for warm-capable
+/// algorithms) the opt-in warm-start path with its tolerance verdict and
+/// decision counters.
+struct CoreAlgorithmReport {
+  std::string name;
+  Algorithm algorithm = Algorithm::kLinearRegression;
+  size_t predictions = 0;
+  CorePathResult naive;
+  CorePathResult incremental;
+  bool warm_capable = false;
+  CorePathResult warm;
+  double warm_max_pred_delta = 0.0;
+  double warm_max_pe_delta = 0.0;
+  double warm_hits = 0.0;
+  double warm_cold_starts = 0.0;
+  double warm_invalidations = 0.0;
+};
+
 int RunCoreBench(const Flags& flags) {
   const size_t vehicles = static_cast<size_t>(
       std::max<long long>(flags.GetInt("vehicles", 12), 1));
@@ -1435,32 +1478,48 @@ int RunCoreBench(const Flags& flags) {
   const size_t jobs =
       static_cast<size_t>(std::max<long long>(flags.GetInt("jobs", 1), 1));
   const std::string json_path = flags.Get("json", "BENCH_core.json");
-  // Optional gate on the windowing-stage speedup (integer factor; 0 = off).
-  // CI smoke runs leave it off: timings are not asserted there by design.
+  // Optional gates (0 = off). CI smoke runs leave both off: timings are
+  // not asserted there by design.
   const long long min_window_speedup =
       std::max<long long>(flags.GetInt("min-window-speedup", 0), 0);
+  const double min_train_speedup =
+      std::max(flags.GetDouble("min-train-speedup", 0.0), 0.0);
 
-  EvaluationConfig cfg;
-  const std::string alg = flags.Get("algorithm", "LR");
-  bool alg_found = false;
-  for (int a = 0; a < kNumAlgorithms; ++a) {
-    if (AlgorithmToString(static_cast<Algorithm>(a)) == alg) {
-      cfg.forecaster.algorithm = static_cast<Algorithm>(a);
-      alg_found = true;
+  // Algorithm list: --algorithm=X keeps its single-algorithm meaning and
+  // wins over --algorithms; the default benches the paper's three ML
+  // families side by side.
+  std::vector<Algorithm> algorithms;
+  const std::string single_alg = flags.Get("algorithm", "");
+  const std::string alg_list =
+      !single_alg.empty() ? single_alg
+                          : flags.Get("algorithms", "LR,SVR,GB");
+  for (const std::string& name : Split(alg_list, ',')) {
+    bool found = false;
+    for (int a = 0; a < kNumAlgorithms; ++a) {
+      if (AlgorithmToString(static_cast<Algorithm>(a)) == name) {
+        algorithms.push_back(static_cast<Algorithm>(a));
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown --algorithm=%s\n", name.c_str());
+      return 2;
+    }
+    if (algorithms.back() == Algorithm::kLastValue ||
+        algorithms.back() == Algorithm::kMovingAverage) {
+      std::fprintf(stderr,
+                   "core-bench needs an ML algorithm (baselines skip the "
+                   "windowing pipeline), got --algorithm=%s\n",
+                   name.c_str());
+      return 2;
     }
   }
-  if (!alg_found) {
-    std::fprintf(stderr, "unknown --algorithm=%s\n", alg.c_str());
+  if (algorithms.empty()) {
+    std::fprintf(stderr, "empty --algorithms list\n");
     return 2;
   }
-  if (cfg.forecaster.algorithm == Algorithm::kLastValue ||
-      cfg.forecaster.algorithm == Algorithm::kMovingAverage) {
-    std::fprintf(stderr,
-                 "core-bench needs an ML algorithm (baselines skip the "
-                 "windowing pipeline), got --algorithm=%s\n",
-                 alg.c_str());
-    return 2;
-  }
+
+  EvaluationConfig cfg;
   cfg.forecaster.windowing.lookback_w = lookback;
   cfg.forecaster.selection.top_k = topk;
   cfg.eval_days = eval_days;
@@ -1472,7 +1531,7 @@ int RunCoreBench(const Flags& flags) {
   ScopedCliTracer cli_tracer(flags.Has("trace"));
 
   // Seeded fleet; datasets are prepared once (outside the timed region)
-  // and shared by both paths.
+  // and shared by every path of every algorithm.
   Fleet fleet = Fleet::Generate(FleetConfig::Small(vehicles, seed));
   ExperimentRunner runner(&fleet);
   ExperimentOptions opts;
@@ -1489,135 +1548,245 @@ int RunCoreBench(const Flags& flags) {
     datasets.push_back(ds.value());
   }
 
-  // Reference path: full rebuild of the windowed matrix and training-span
-  // ACF at every retrain step.
-  EvaluationConfig naive_cfg = cfg;
-  naive_cfg.forecaster.incremental_training = false;
-  StatusOr<CorePathResult> naive = RunCorePath(datasets, naive_cfg, jobs);
-  if (!naive.ok()) return Fail(naive.status());
+  std::vector<CoreAlgorithmReport> reports;
+  for (Algorithm algorithm : algorithms) {
+    CoreAlgorithmReport report;
+    report.algorithm = algorithm;
+    report.name = std::string(AlgorithmToString(algorithm));
+    cfg.forecaster.algorithm = algorithm;
 
-  EvaluationConfig incremental_cfg = cfg;
-  incremental_cfg.forecaster.incremental_training = true;
-  StatusOr<CorePathResult> incremental =
-      RunCorePath(datasets, incremental_cfg, jobs);
-  if (!incremental.ok()) return Fail(incremental.status());
+    // Reference path: full rebuild of the windowed matrix and training-span
+    // ACF at every retrain step.
+    EvaluationConfig naive_cfg = cfg;
+    naive_cfg.forecaster.incremental_training = false;
+    StatusOr<CorePathResult> naive = RunCorePath(datasets, naive_cfg, jobs);
+    if (!naive.ok()) return Fail(naive.status());
+    report.naive = std::move(naive.value());
 
-  // Equivalence assertion: every prediction and both error metrics must
-  // match the naive rebuild bit for bit, per vehicle.
-  size_t predictions = 0;
-  for (size_t v = 0; v < datasets.size(); ++v) {
-    const VehicleEvaluation& a = naive.value().evals[v];
-    const VehicleEvaluation& b = incremental.value().evals[v];
-    if (a.predictions.size() != b.predictions.size()) {
-      return Fail(Status::Internal(StrFormat(
-          "vehicle #%zu: prediction counts differ (%zu vs %zu)", v,
-          a.predictions.size(), b.predictions.size())));
-    }
-    for (size_t i = 0; i < a.predictions.size(); ++i) {
-      if (!SameBits(a.predictions[i], b.predictions[i])) {
+    EvaluationConfig incremental_cfg = cfg;
+    incremental_cfg.forecaster.incremental_training = true;
+    StatusOr<CorePathResult> incremental =
+        RunCorePath(datasets, incremental_cfg, jobs);
+    if (!incremental.ok()) return Fail(incremental.status());
+    report.incremental = std::move(incremental.value());
+
+    // Equivalence assertion: every prediction and both error metrics must
+    // match the naive rebuild bit for bit, per vehicle.
+    for (size_t v = 0; v < datasets.size(); ++v) {
+      const VehicleEvaluation& a = report.naive.evals[v];
+      const VehicleEvaluation& b = report.incremental.evals[v];
+      if (a.predictions.size() != b.predictions.size()) {
         return Fail(Status::Internal(StrFormat(
-            "vehicle #%zu prediction %zu: incremental %.17g != naive %.17g",
-            v, i, b.predictions[i], a.predictions[i])));
+            "%s vehicle #%zu: prediction counts differ (%zu vs %zu)",
+            report.name.c_str(), v, a.predictions.size(),
+            b.predictions.size())));
+      }
+      for (size_t i = 0; i < a.predictions.size(); ++i) {
+        if (!SameBits(a.predictions[i], b.predictions[i])) {
+          return Fail(Status::Internal(StrFormat(
+              "%s vehicle #%zu prediction %zu: incremental %.17g != naive "
+              "%.17g",
+              report.name.c_str(), v, i, b.predictions[i],
+              a.predictions[i])));
+        }
+      }
+      if (!SameBits(a.pe, b.pe) || !SameBits(a.mae, b.mae)) {
+        return Fail(Status::Internal(StrFormat(
+            "%s vehicle #%zu error metrics diverge: PE %.17g vs %.17g, MAE "
+            "%.17g vs %.17g",
+            report.name.c_str(), v, b.pe, a.pe, b.mae, a.mae)));
+      }
+      report.predictions += a.predictions.size();
+    }
+
+    // Opt-in third path: warm-started solvers, verified against the
+    // incremental reference within the per-algorithm tolerances.
+    report.warm_capable = AlgorithmSupportsWarmStart(algorithm);
+    if (report.warm_capable) {
+      const std::string alg_label = report.name;
+      const obs::LabelSet warm_labels = {{"algorithm", alg_label}};
+      obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+      EvaluationConfig warm_cfg = cfg;
+      warm_cfg.forecaster.incremental_training = true;
+      warm_cfg.forecaster.warm_start.enabled = true;
+      StatusOr<CorePathResult> warm = RunCorePath(datasets, warm_cfg, jobs);
+      if (!warm.ok()) return Fail(warm.status());
+      report.warm = std::move(warm.value());
+      obs::MetricsSnapshot after = obs::MetricsRegistry::Global().Snapshot();
+      auto delta = [&](std::string_view name) {
+        return after.Value(name, warm_labels, 0.0) -
+               before.Value(name, warm_labels, 0.0);
+      };
+      report.warm_hits = delta("vupred_train_warmstart_hits_total");
+      report.warm_cold_starts =
+          delta("vupred_train_warmstart_cold_starts_total");
+      report.warm_invalidations =
+          delta("vupred_train_warmstart_invalidations_total");
+
+      const double tolerance = WarmPredictionToleranceFor(algorithm);
+      for (size_t v = 0; v < datasets.size(); ++v) {
+        const VehicleEvaluation& b = report.incremental.evals[v];
+        const VehicleEvaluation& w = report.warm.evals[v];
+        if (b.predictions.size() != w.predictions.size()) {
+          return Fail(Status::Internal(StrFormat(
+              "%s vehicle #%zu: warm prediction counts differ (%zu vs %zu)",
+              report.name.c_str(), v, w.predictions.size(),
+              b.predictions.size())));
+        }
+        for (size_t i = 0; i < b.predictions.size(); ++i) {
+          report.warm_max_pred_delta =
+              std::max(report.warm_max_pred_delta,
+                       std::abs(w.predictions[i] - b.predictions[i]));
+        }
+        report.warm_max_pe_delta =
+            std::max(report.warm_max_pe_delta, std::abs(w.pe - b.pe));
+      }
+      if (report.warm_max_pred_delta > tolerance) {
+        return Fail(Status::Internal(StrFormat(
+            "%s warm-start drifted past tolerance: max |dpred| %.4f "
+            "(allowed %.4f), max |dPE| %.4f",
+            report.name.c_str(), report.warm_max_pred_delta, tolerance,
+            report.warm_max_pe_delta)));
       }
     }
-    if (!SameBits(a.pe, b.pe) || !SameBits(a.mae, b.mae)) {
-      return Fail(Status::Internal(StrFormat(
-          "vehicle #%zu error metrics diverge: PE %.17g vs %.17g, MAE %.17g "
-          "vs %.17g",
-          v, b.pe, a.pe, b.mae, a.mae)));
-    }
-    predictions += a.predictions.size();
+    reports.push_back(std::move(report));
   }
 
-  const CoreStageSeconds& ns = naive.value().stages;
-  const CoreStageSeconds& is = incremental.value().stages;
-  const double window_speedup = StageSpeedup(ns.window, is.window);
-  const double select_speedup = StageSpeedup(ns.select, is.select);
-  // Train-stage share of the wall: the regressor fit dominates under SVR
-  // and GB, so the per-algorithm fraction is what makes --algorithm
-  // comparisons meaningful (windowing speedups wash out when fit is 99%).
-  const double train_speedup = StageSpeedup(ns.train, is.train);
-  const double naive_train_fraction =
-      naive.value().wall_seconds > 0.0
-          ? ns.train / naive.value().wall_seconds
-          : 0.0;
-  const double incremental_train_fraction =
-      incremental.value().wall_seconds > 0.0
-          ? is.train / incremental.value().wall_seconds
-          : 0.0;
-  const double total_speedup =
-      StageSpeedup(naive.value().wall_seconds,
-                   incremental.value().wall_seconds);
+  // ---- report ----------------------------------------------------------
+  for (const CoreAlgorithmReport& r : reports) {
+    const CoreStageSeconds& ns = r.naive.stages;
+    const CoreStageSeconds& is = r.incremental.stages;
+    const double window_speedup = StageSpeedup(ns.window, is.window);
+    const double select_speedup = StageSpeedup(ns.select, is.select);
+    // Train-stage share of the wall: the regressor fit dominates under SVR
+    // and GB, so the per-algorithm fraction is what makes cross-algorithm
+    // comparisons meaningful (windowing speedups wash out when fit is 99%).
+    const double train_speedup = StageSpeedup(ns.train, is.train);
+    const double naive_train_fraction =
+        r.naive.wall_seconds > 0.0 ? ns.train / r.naive.wall_seconds : 0.0;
+    const double incremental_train_fraction =
+        r.incremental.wall_seconds > 0.0
+            ? is.train / r.incremental.wall_seconds
+            : 0.0;
+    const double total_speedup =
+        StageSpeedup(r.naive.wall_seconds, r.incremental.wall_seconds);
 
-  std::printf("core-bench: fleet=%zu benched=%zu predictions=%zu "
-              "algorithm=%s lookback=%zu topk=%zu train-window=%zu "
-              "eval-days=%zu retrain-every=%zu jobs=%zu\n",
-              vehicles, datasets.size(), predictions, alg.c_str(), lookback,
-              topk, train_window, eval_days, retrain_every, jobs);
-  std::printf("stage          naive        incremental  speedup\n");
-  std::printf("window     %9.3fms  %11.3fms  %6.1fx\n", ns.window * 1e3,
-              is.window * 1e3, window_speedup);
-  std::printf("select     %9.3fms  %11.3fms  %6.1fx\n", ns.select * 1e3,
-              is.select * 1e3, select_speedup);
-  std::printf("scale      %9.3fms  %11.3fms\n", ns.scale * 1e3,
-              is.scale * 1e3);
-  std::printf("train      %9.3fms  %11.3fms  %6.1fx (%.0f%% / %.0f%% of "
-              "wall)\n",
-              ns.train * 1e3, is.train * 1e3, train_speedup,
-              naive_train_fraction * 100.0,
-              incremental_train_fraction * 100.0);
-  std::printf("predict    %9.3fms  %11.3fms\n", ns.predict * 1e3,
-              is.predict * 1e3);
-  std::printf("wall       %9.3fms  %11.3fms  %6.2fx\n",
-              naive.value().wall_seconds * 1e3,
-              incremental.value().wall_seconds * 1e3, total_speedup);
-  std::printf("verify: %zu predictions + error metrics byte-identical "
-              "across %zu vehicles (exact)\n",
-              predictions, datasets.size());
+    std::printf("core-bench: fleet=%zu benched=%zu predictions=%zu "
+                "algorithm=%s lookback=%zu topk=%zu train-window=%zu "
+                "eval-days=%zu retrain-every=%zu jobs=%zu\n",
+                vehicles, datasets.size(), r.predictions, r.name.c_str(),
+                lookback, topk, train_window, eval_days, retrain_every,
+                jobs);
+    std::printf("stage          naive        incremental  speedup\n");
+    std::printf("window     %9.3fms  %11.3fms  %6.1fx\n", ns.window * 1e3,
+                is.window * 1e3, window_speedup);
+    std::printf("select     %9.3fms  %11.3fms  %6.1fx\n", ns.select * 1e3,
+                is.select * 1e3, select_speedup);
+    std::printf("scale      %9.3fms  %11.3fms\n", ns.scale * 1e3,
+                is.scale * 1e3);
+    std::printf("train      %9.3fms  %11.3fms  %6.1fx (%.0f%% / %.0f%% of "
+                "wall)\n",
+                ns.train * 1e3, is.train * 1e3, train_speedup,
+                naive_train_fraction * 100.0,
+                incremental_train_fraction * 100.0);
+    if (r.warm_capable) {
+      std::printf("train-warm %9.3fms  %11.3fms  %6.1fx (vs incremental "
+                  "train)\n",
+                  is.train * 1e3, r.warm.stages.train * 1e3,
+                  StageSpeedup(is.train, r.warm.stages.train));
+    }
+    std::printf("predict    %9.3fms  %11.3fms\n", ns.predict * 1e3,
+                is.predict * 1e3);
+    std::printf("wall       %9.3fms  %11.3fms  %6.2fx\n",
+                r.naive.wall_seconds * 1e3, r.incremental.wall_seconds * 1e3,
+                total_speedup);
+    std::printf("verify: %zu predictions + error metrics byte-identical "
+                "across %zu vehicles (exact)\n",
+                r.predictions, datasets.size());
+    if (r.warm_capable) {
+      std::printf("verify: warm-start within tolerance, max |dpred|=%.4f "
+                  "max |dPE|=%.4f (hits=%.0f cold=%.0f invalidated=%.0f)\n",
+                  r.warm_max_pred_delta, r.warm_max_pe_delta, r.warm_hits,
+                  r.warm_cold_starts, r.warm_invalidations);
+    }
+  }
 
   std::ofstream json(json_path, std::ios::trunc);
   if (!json) return Fail(Status::Internal("cannot write " + json_path));
   json << StrFormat(
       "{\n"
       "  \"bench\": \"core\",\n"
-      "  \"schema_version\": 1,\n"
+      "  \"schema_version\": 2,\n"
       "  \"fleet_vehicles\": %zu,\n"
       "  \"benched_vehicles\": %zu,\n"
       "  \"predictions\": %zu,\n"
-      "  \"algorithm\": \"%s\",\n"
       "  \"lookback_w\": %zu,\n"
       "  \"top_k\": %zu,\n"
       "  \"train_window\": %zu,\n"
       "  \"eval_days\": %zu,\n"
       "  \"retrain_every\": %zu,\n"
       "  \"jobs\": %zu,\n"
-      "  \"naive_wall_seconds\": %.6f,\n"
-      "  \"incremental_wall_seconds\": %.6f,\n"
-      "  \"naive_window_seconds\": %.6f,\n"
-      "  \"incremental_window_seconds\": %.6f,\n"
-      "  \"naive_select_seconds\": %.6f,\n"
-      "  \"incremental_select_seconds\": %.6f,\n"
-      "  \"naive_scale_seconds\": %.6f,\n"
-      "  \"incremental_scale_seconds\": %.6f,\n"
-      "  \"naive_train_seconds\": %.6f,\n"
-      "  \"incremental_train_seconds\": %.6f,\n"
-      "  \"naive_predict_seconds\": %.6f,\n"
-      "  \"incremental_predict_seconds\": %.6f,\n"
-      "  \"window_stage_speedup\": %.2f,\n"
-      "  \"select_stage_speedup\": %.2f,\n"
-      "  \"train_stage_speedup\": %.2f,\n"
-      "  \"naive_train_fraction\": %.4f,\n"
-      "  \"incremental_train_fraction\": %.4f,\n"
-      "  \"total_speedup\": %.3f,\n"
-      "  \"verify\": \"exact-match\"\n"
-      "}\n",
-      vehicles, datasets.size(), predictions, alg.c_str(), lookback, topk,
-      train_window, eval_days, retrain_every, jobs,
-      naive.value().wall_seconds, incremental.value().wall_seconds,
-      ns.window, is.window, ns.select, is.select, ns.scale, is.scale,
-      ns.train, is.train, ns.predict, is.predict, window_speedup,
-      select_speedup, train_speedup, naive_train_fraction,
-      incremental_train_fraction, total_speedup);
+      "  \"algorithms\": [\n",
+      vehicles, datasets.size(), reports.front().predictions, lookback,
+      topk, train_window, eval_days, retrain_every, jobs);
+  for (size_t idx = 0; idx < reports.size(); ++idx) {
+    const CoreAlgorithmReport& r = reports[idx];
+    const CoreStageSeconds& ns = r.naive.stages;
+    const CoreStageSeconds& is = r.incremental.stages;
+    json << StrFormat(
+        "    {\n"
+        "      \"algorithm\": \"%s\",\n"
+        "      \"naive_wall_seconds\": %.6f,\n"
+        "      \"incremental_wall_seconds\": %.6f,\n"
+        "      \"naive_window_seconds\": %.6f,\n"
+        "      \"incremental_window_seconds\": %.6f,\n"
+        "      \"naive_select_seconds\": %.6f,\n"
+        "      \"incremental_select_seconds\": %.6f,\n"
+        "      \"naive_scale_seconds\": %.6f,\n"
+        "      \"incremental_scale_seconds\": %.6f,\n"
+        "      \"naive_train_seconds\": %.6f,\n"
+        "      \"incremental_train_seconds\": %.6f,\n"
+        "      \"naive_predict_seconds\": %.6f,\n"
+        "      \"incremental_predict_seconds\": %.6f,\n"
+        "      \"window_stage_speedup\": %.2f,\n"
+        "      \"select_stage_speedup\": %.2f,\n"
+        "      \"train_stage_speedup\": %.2f,\n"
+        "      \"naive_train_fraction\": %.4f,\n"
+        "      \"incremental_train_fraction\": %.4f,\n"
+        "      \"total_speedup\": %.3f,\n"
+        "      \"warm_supported\": %s,\n",
+        r.name.c_str(), r.naive.wall_seconds, r.incremental.wall_seconds,
+        ns.window, is.window, ns.select, is.select, ns.scale, is.scale,
+        ns.train, is.train, ns.predict, is.predict,
+        StageSpeedup(ns.window, is.window),
+        StageSpeedup(ns.select, is.select),
+        StageSpeedup(ns.train, is.train),
+        r.naive.wall_seconds > 0.0 ? ns.train / r.naive.wall_seconds : 0.0,
+        r.incremental.wall_seconds > 0.0
+            ? is.train / r.incremental.wall_seconds
+            : 0.0,
+        StageSpeedup(r.naive.wall_seconds, r.incremental.wall_seconds),
+        r.warm_capable ? "true" : "false");
+    if (r.warm_capable) {
+      json << StrFormat(
+          "      \"warm_wall_seconds\": %.6f,\n"
+          "      \"warm_train_seconds\": %.6f,\n"
+          "      \"warm_train_speedup\": %.2f,\n"
+          "      \"warm_hits\": %.0f,\n"
+          "      \"warm_cold_starts\": %.0f,\n"
+          "      \"warm_invalidations\": %.0f,\n"
+          "      \"warm_max_abs_prediction_delta\": %.6f,\n"
+          "      \"warm_max_abs_pe_delta\": %.6f,\n"
+          "      \"warm_verify\": \"tolerance-match\",\n",
+          r.warm.wall_seconds, r.warm.stages.train,
+          StageSpeedup(is.train, r.warm.stages.train), r.warm_hits,
+          r.warm_cold_starts, r.warm_invalidations, r.warm_max_pred_delta,
+          r.warm_max_pe_delta);
+    }
+    json << StrFormat("      \"verify\": \"exact-match\"\n    }%s\n",
+                      idx + 1 < reports.size() ? "," : "");
+  }
+  json << "  ]\n}\n";
   if (!json) return Fail(Status::DataLoss("write failed: " + json_path));
   std::printf("wrote %s\n", json_path.c_str());
 
@@ -1625,14 +1794,31 @@ int RunCoreBench(const Flags& flags) {
       flags, metrics_format, obs::MetricsRegistry::Global().Snapshot());
   if (metrics_rc != 0) return metrics_rc;
 
-  if (min_window_speedup > 0 &&
-      window_speedup < static_cast<double>(min_window_speedup)) {
-    std::fprintf(stderr,
-                 "error: window-stage speedup %.1fx below required %lldx\n",
-                 window_speedup, min_window_speedup);
-    return 1;
+  int gate_rc = 0;
+  for (const CoreAlgorithmReport& r : reports) {
+    const double window_speedup =
+        StageSpeedup(r.naive.stages.window, r.incremental.stages.window);
+    if (min_window_speedup > 0 &&
+        window_speedup < static_cast<double>(min_window_speedup)) {
+      std::fprintf(
+          stderr,
+          "error: %s window-stage speedup %.1fx below required %lldx\n",
+          r.name.c_str(), window_speedup, min_window_speedup);
+      gate_rc = 1;
+    }
+    if (min_train_speedup > 0.0 && r.warm_capable) {
+      const double warm_train_speedup =
+          StageSpeedup(r.incremental.stages.train, r.warm.stages.train);
+      if (warm_train_speedup < min_train_speedup) {
+        std::fprintf(stderr,
+                     "error: %s warm-start train-stage speedup %.2fx below "
+                     "required %.2fx\n",
+                     r.name.c_str(), warm_train_speedup, min_train_speedup);
+        gate_rc = 1;
+      }
+    }
   }
-  return 0;
+  return gate_rc;
 }
 
 int RunIngestBench(const Flags& flags) {
@@ -2403,28 +2589,39 @@ const std::vector<Command>& Commands() {
         "deadline-ms", "metrics-out", "metrics-format", "trace"},
        {"registry"},
        RunServeBench},
-      {"core-bench", "time the evaluation pipeline, naive vs incremental",
+      {"core-bench",
+       "time the evaluation pipeline, naive vs incremental vs warm",
        "usage: vupred core-bench [--vehicles=12] [--seed=42]\n"
-       "  [--max-vehicles=3] [--algorithm=LR] [--eval-days=100]\n"
-       "  [--lookback=120] [--topk=20] [--train-window=140]\n"
-       "  [--retrain-every=1] [--jobs=1] [--json=BENCH_core.json]\n"
-       "  [--min-window-speedup=0] [--metrics-out=FILE]\n"
+       "  [--max-vehicles=3] [--algorithms=LR,SVR,GB] [--algorithm=X]\n"
+       "  [--eval-days=100] [--lookback=120] [--topk=20]\n"
+       "  [--train-window=140] [--retrain-every=1] [--jobs=1]\n"
+       "  [--json=BENCH_core.json] [--min-window-speedup=0]\n"
+       "  [--min-train-speedup=0] [--metrics-out=FILE]\n"
        "  [--metrics-format=prom|json] [--trace]\n"
-       "  Run the walk-forward per-vehicle evaluation twice on a seeded\n"
-       "  synthetic fleet -- once rebuilding the windowed matrix and\n"
-       "  training-span ACF from scratch at every step (the naive\n"
-       "  reference), once advancing them incrementally -- and report\n"
-       "  per-stage (window/select/scale/train/predict) timings plus\n"
-       "  speedups. Always asserts that the two paths produce\n"
-       "  byte-identical predictions and error metrics; exits non-zero on\n"
-       "  any divergence. --min-window-speedup=N additionally fails the\n"
-       "  run when the windowing-stage speedup is below N (off by\n"
-       "  default; CI smoke checks the report schema only). Writes the\n"
-       "  JSON report to --json; --metrics-out exports the metrics\n"
-       "  snapshot (incremental advance/rebuild counters included).\n",
-       {"vehicles", "seed", "max-vehicles", "algorithm", "eval-days",
-        "lookback", "topk", "train-window", "retrain-every", "jobs", "json",
-        "min-window-speedup", "metrics-out", "metrics-format", "trace"},
+       "  Run the walk-forward per-vehicle evaluation on a seeded\n"
+       "  synthetic fleet, once per algorithm in --algorithms\n"
+       "  (--algorithm=X restricts to one): a naive path rebuilding the\n"
+       "  windowed matrix and training-span ACF from scratch at every\n"
+       "  step, an incremental path advancing them in place, and -- for\n"
+       "  Lasso/SVR/GB -- a warm-start path that also resumes each\n"
+       "  solver from the previous window's state. Reports per-stage\n"
+       "  (window/select/scale/train/predict) timings plus speedups per\n"
+       "  algorithm. Always asserts the incremental path is\n"
+       "  byte-identical to naive, and the warm path within the\n"
+       "  per-algorithm tolerances of DESIGN.md section 14; exits\n"
+       "  non-zero on any divergence. --min-window-speedup=N fails the\n"
+       "  run when a windowing-stage speedup is below N;\n"
+       "  --min-train-speedup=X fails it when a warm-capable algorithm's\n"
+       "  warm train-stage speedup over the incremental path is below X\n"
+       "  (both off by default; CI smoke checks the report schema only).\n"
+       "  Writes the JSON report (schema_version 2, one entry per\n"
+       "  algorithm) to --json; --metrics-out exports the metrics\n"
+       "  snapshot (incremental advance/rebuild, warm-start decision and\n"
+       "  kernel-cache counters included).\n",
+       {"vehicles", "seed", "max-vehicles", "algorithm", "algorithms",
+        "eval-days", "lookback", "topk", "train-window", "retrain-every",
+        "jobs", "json", "min-window-speedup", "min-train-speedup",
+        "metrics-out", "metrics-format", "trace"},
        {},
        RunCoreBench},
       {"ingest-bench", "time the binary wire ingest path end to end",
