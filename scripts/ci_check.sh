@@ -86,14 +86,34 @@ grep -q '"bench": "publish"' build/BENCH_publish_smoke.json
 grep -q '"verify": "rollback-restores-previous-generation"' build/BENCH_publish_smoke.json
 rm -rf build/publish_smoke_registry
 
+echo "== tier-1d3: serve-bench synthetic smoke (RSS ceiling, no timing gates) =="
+# 10^5-vehicle synthetic registry served compact/mmap over 16 shards with
+# a 64 MiB cache byte budget; the command exits non-zero unless every
+# sampled prediction matches its template (bitwise for LR, within the
+# documented 0.05 for the float32-payload algorithms) AND peak RSS stays
+# under the gate -- the "million models on one box" claim, scaled to CI
+# (see DESIGN.md section 15). Latency and throughput are reported, never
+# gated.
+./build/tools/vupred serve-bench --vehicles=100000 --compact --shards=16 \
+  --cache-mb=64 --max-rss-mb=384 --json=build/BENCH_serve_smoke.json
+grep -q '"bench": "serve"' build/BENCH_serve_smoke.json
+grep -q '"mode": "synthetic"' build/BENCH_serve_smoke.json
+grep -q '"shard_stats"' build/BENCH_serve_smoke.json
+grep -q '"load_latency"' build/BENCH_serve_smoke.json
+grep -q '"parity_max_abs_delta"' build/BENCH_serve_smoke.json
+grep -q '"verify": "lr-bitwise-float32-within-0.05"' build/BENCH_serve_smoke.json
+
 echo "== tier-1e: bench JSON schema versioning =="
 # Every bench report carries the shared schema_version so downstream
 # tooling can detect field changes. core moved to v2 (per-algorithm
-# entries + warm-start fields); the others are still v1.
-grep -q '"schema_version": 2' build/BENCH_core_smoke.json || {
-  echo "BENCH_core_smoke.json is not schema v2" >&2
-  exit 1
-}
+# entries + warm-start fields), serve to v2 (sharded + synthetic mode
+# fields); the others are still v1.
+for bench_json in build/BENCH_core_smoke.json build/BENCH_serve_smoke.json; do
+  grep -q '"schema_version": 2' "${bench_json}" || {
+    echo "${bench_json} is not schema v2" >&2
+    exit 1
+  }
+done
 for bench_json in build/BENCH_ingest_smoke.json \
   build/BENCH_cluster_smoke.json build/BENCH_publish_smoke.json; do
   grep -q '"schema_version": 1' "${bench_json}" || {

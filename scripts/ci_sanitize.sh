@@ -50,4 +50,14 @@ ctest --preset sanitize -j"${JOBS}" -R \
 ctest --preset sanitize -j"${JOBS}" -R \
   'serve_manifest_test|serve_validator_test|serve_scrubber_test|serve_registry_reload_breaker_test|integration_publish_chaos_test'
 
+# Compact-bundle decoder fuzz under the sanitizers: the vupc v1 decoder
+# walks attacker-controlled mmap bytes (counts, offsets, tree child
+# indices), so every truncation, bit flip and seeded mutation in the
+# suite must fail as a clean Status here -- an OOB read, misaligned f64
+# load, or length-field-sized allocation is exactly what this pass
+# exists to catch. The sharded-registry suite rides along for its
+# corrupted-compact quarantine paths.
+ctest --preset sanitize -j"${JOBS}" -R \
+  'ml_compact_roundtrip_test|serve_registry_shard_test'
+
 ctest --preset sanitize -j"${JOBS}" "$@"

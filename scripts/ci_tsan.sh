@@ -24,10 +24,12 @@ TARGETS=(
   obs_trace_test
   serve_prediction_service_test
   serve_model_registry_test
+  serve_registry_shard_test
   serve_scrubber_test
   ml_warmstart_concurrency_test
   integration_chaos_test
   integration_registry_chaos_test
+  integration_shard_chaos_test
   integration_hierarchy_chaos_test
   integration_publish_chaos_test
 )
@@ -35,5 +37,5 @@ TARGETS=(
 cmake --preset tsan
 cmake --build --preset tsan -j"${JOBS}" --target "${TARGETS[@]}"
 ctest --preset tsan -j"${JOBS}" \
-  -R '^(common_thread_pool_test|common_clock_test|obs_metrics_registry_concurrency_test|obs_trace_test|serve_prediction_service_test|serve_model_registry_test|serve_scrubber_test|ml_warmstart_concurrency_test|integration_chaos_test|integration_registry_chaos_test|integration_hierarchy_chaos_test|integration_publish_chaos_test)$' \
+  -R '^(common_thread_pool_test|common_clock_test|obs_metrics_registry_concurrency_test|obs_trace_test|serve_prediction_service_test|serve_model_registry_test|serve_registry_shard_test|serve_scrubber_test|ml_warmstart_concurrency_test|integration_chaos_test|integration_registry_chaos_test|integration_shard_chaos_test|integration_hierarchy_chaos_test|integration_publish_chaos_test)$' \
   "$@"

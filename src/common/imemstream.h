@@ -1,0 +1,30 @@
+#ifndef VUPRED_COMMON_IMEMSTREAM_H_
+#define VUPRED_COMMON_IMEMSTREAM_H_
+
+#include <istream>
+#include <streambuf>
+#include <string_view>
+
+namespace vup {
+
+/// std::istream over a caller-owned constant buffer, without copying it:
+/// the zero-copy replacement for `std::istringstream(std::string(bytes))`
+/// on parse paths that already hold the whole file in memory. The viewed
+/// bytes must outlive the stream.
+class ImemStream : private std::streambuf, public std::istream {
+ public:
+  explicit ImemStream(std::string_view bytes)
+      : std::istream(static_cast<std::streambuf*>(this)) {
+    // setg wants char*; the buffer is never written (no setp, and
+    // overflow/pbackfail keep their failing defaults).
+    char* base = const_cast<char*>(bytes.data());
+    setg(base, base, base + bytes.size());
+  }
+
+  ImemStream(const ImemStream&) = delete;
+  ImemStream& operator=(const ImemStream&) = delete;
+};
+
+}  // namespace vup
+
+#endif  // VUPRED_COMMON_IMEMSTREAM_H_

@@ -1,0 +1,62 @@
+#include "common/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace vup {
+
+void MappedFile::Reset() {
+  if (addr_ != nullptr) {
+    ::munmap(addr_, size_);
+    addr_ = nullptr;
+  }
+  size_ = 0;
+}
+
+StatusOr<MappedFile> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return Status::Internal("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal("cannot stat " + path + ": " +
+                            std::strerror(err));
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::InvalidArgument("not a regular file: " + path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size > kMaxBytes) {
+    ::close(fd);
+    return Status::InvalidArgument("file implausibly large to map: " + path);
+  }
+  MappedFile mapped;
+  if (size > 0) {
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return Status::Internal("cannot mmap " + path + ": " +
+                              std::strerror(err));
+    }
+    mapped.addr_ = addr;
+    mapped.size_ = size;
+  }
+  ::close(fd);  // The mapping keeps the pages; the descriptor is done.
+  return mapped;
+}
+
+}  // namespace vup

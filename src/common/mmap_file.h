@@ -1,0 +1,68 @@
+#ifndef VUPRED_COMMON_MMAP_FILE_H_
+#define VUPRED_COMMON_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/statusor.h"
+
+namespace vup {
+
+/// Read-only memory mapping of a whole file. The mapping is private and
+/// page-cache backed: touched pages count toward RSS but are clean and
+/// reclaimable, so a byte-budgeted model cache can keep many mapped
+/// bundles "resident" without owning their bytes on the heap.
+///
+/// Move-only; the mapping is released on destruction. An empty file maps
+/// to an empty span (no syscall-level mapping is held).
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { Reset(); }
+
+  MappedFile(MappedFile&& other) noexcept
+      : addr_(other.addr_), size_(other.size_) {
+    other.addr_ = nullptr;
+    other.size_ = 0;
+  }
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      addr_ = other.addr_;
+      size_ = other.size_;
+      other.addr_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. NotFound when the file does not exist,
+  /// InvalidArgument when it is implausibly large for a model artifact
+  /// (the size is checked before any mapping, mirroring the registry's
+  /// cap-before-allocation discipline), Internal on mmap failure.
+  static StatusOr<MappedFile> Open(const std::string& path);
+
+  /// Largest file Open accepts (1 GiB); far above any model bundle, far
+  /// below anything that could be one.
+  static constexpr size_t kMaxBytes = 1ull << 30;
+
+  const uint8_t* data() const { return static_cast<const uint8_t*>(addr_); }
+  size_t size() const { return size_; }
+  std::span<const uint8_t> bytes() const {
+    return std::span<const uint8_t>(data(), size_);
+  }
+
+ private:
+  void Reset();
+
+  void* addr_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace vup
+
+#endif  // VUPRED_COMMON_MMAP_FILE_H_

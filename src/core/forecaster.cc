@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "common/string_util.h"
+#include "ml/compact.h"
 #include "ml/linear_regression.h"
 #include "ml/serialize.h"
 #include "obs/metrics.h"
@@ -674,6 +675,115 @@ StatusOr<VehicleForecaster> VehicleForecaster::Load(std::istream& is) {
     return Status::InvalidArgument("trailing tokens after end-forecaster");
   }
   forecaster.trained_ = true;
+  return forecaster;
+}
+
+size_t VehicleForecaster::ResidentBytes() const {
+  size_t bytes = sizeof(*this);
+  if (model_ != nullptr) bytes += model_->ResidentBytes();
+  bytes += (scaler_.means().capacity() + scaler_.scales().capacity()) *
+           sizeof(double);
+  bytes += all_columns_.capacity() * sizeof(WindowColumn);
+  bytes += (selected_lags_.capacity() + selected_columns_.capacity()) *
+           sizeof(size_t);
+  return bytes;
+}
+
+StatusOr<VehicleForecaster> VehicleForecaster::FromParts(
+    const ForecasterConfig& config, std::vector<size_t> selected_lags,
+    std::vector<size_t> selected_columns, StandardScaler scaler,
+    std::unique_ptr<Regressor> model) {
+  VehicleForecaster forecaster(config);
+  if (forecaster.IsBaseline()) {
+    return Status::InvalidArgument(
+        "baseline forecasters carry no model state");
+  }
+  if (model == nullptr || !model->fitted()) {
+    return Status::InvalidArgument("FromParts needs a fitted model");
+  }
+  if (config.standardize && !scaler.fitted()) {
+    return Status::InvalidArgument("standardize set but scaler unfitted");
+  }
+  forecaster.all_columns_ = MakeWindowColumns(config.windowing);
+  for (size_t c : selected_columns) {
+    if (c >= forecaster.all_columns_.size()) {
+      return Status::InvalidArgument("selected column index out of range");
+    }
+  }
+  forecaster.selected_lags_ = std::move(selected_lags);
+  forecaster.selected_columns_ = std::move(selected_columns);
+  forecaster.scaler_ = std::move(scaler);
+  forecaster.model_ = std::move(model);
+  forecaster.trained_ = true;
+  return forecaster;
+}
+
+StatusOr<std::string> VehicleForecaster::SaveCompact() const {
+  if (!trained_) {
+    return Status::FailedPrecondition("cannot save an untrained forecaster");
+  }
+  if (IsBaseline()) {
+    return Status::Unimplemented(
+        "baseline forecasters carry no state to save");
+  }
+  CompactPipelineHeader header;
+  header.algorithm = static_cast<int>(config_.algorithm);
+  header.lookback_w = static_cast<uint32_t>(config_.windowing.lookback_w);
+  header.lag_engine_features =
+      static_cast<uint32_t>(config_.windowing.lag_engine_features);
+  header.top_k = static_cast<uint32_t>(config_.selection.top_k);
+  header.use_feature_selection = config_.use_feature_selection;
+  header.standardize = config_.standardize;
+  header.clamp_predictions = config_.clamp_predictions;
+  header.include_target_day_context =
+      config_.windowing.include_target_day_context;
+  header.include_lag_context = config_.windowing.include_lag_context;
+  header.selected_lags.reserve(selected_lags_.size());
+  for (size_t lag : selected_lags_) {
+    header.selected_lags.push_back(static_cast<uint32_t>(lag));
+  }
+  header.selected_columns.reserve(selected_columns_.size());
+  for (size_t col : selected_columns_) {
+    header.selected_columns.push_back(static_cast<uint32_t>(col));
+  }
+  return EncodeCompactPipeline(
+      header, config_.standardize ? &scaler_ : nullptr, *model_);
+}
+
+StatusOr<VehicleForecaster> VehicleForecaster::LoadCompact(
+    std::span<const uint8_t> bytes, std::shared_ptr<const void> owner) {
+  VUP_ASSIGN_OR_RETURN(DecodedCompactPipeline decoded,
+                       DecodeCompactPipeline(bytes, std::move(owner)));
+  ForecasterConfig config;
+  // The decoder only emits the four ML algorithm codes, which are the
+  // integer values of the Algorithm enum.
+  config.algorithm = static_cast<Algorithm>(decoded.header.algorithm);
+  config.windowing.lookback_w = decoded.header.lookback_w;
+  config.windowing.lag_engine_features = decoded.header.lag_engine_features;
+  config.windowing.include_target_day_context =
+      decoded.header.include_target_day_context;
+  config.windowing.include_lag_context = decoded.header.include_lag_context;
+  config.selection.top_k = decoded.header.top_k;
+  config.use_feature_selection = decoded.header.use_feature_selection;
+  config.standardize = decoded.header.standardize;
+  config.clamp_predictions = decoded.header.clamp_predictions;
+  std::vector<size_t> lags(decoded.header.selected_lags.begin(),
+                           decoded.header.selected_lags.end());
+  std::vector<size_t> cols(decoded.header.selected_columns.begin(),
+                           decoded.header.selected_columns.end());
+  // Column-range validation against MakeWindowColumns happens in
+  // FromParts, exactly as the text Load path; a compact bundle whose
+  // columns fall outside the window set is rejected, not served.
+  StatusOr<VehicleForecaster> forecaster =
+      FromParts(config, std::move(lags), std::move(cols),
+                std::move(decoded.scaler), std::move(decoded.model));
+  if (!forecaster.ok() &&
+      forecaster.status().code() == StatusCode::kInvalidArgument) {
+    // Structural lies that pass the CRC are still corruption from the
+    // serving path's point of view.
+    return Status::DataLoss("compact bundle failed pipeline validation: " +
+                            forecaster.status().message());
+  }
   return forecaster;
 }
 

@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <string_view>
 
 #include "common/statusor.h"
@@ -178,6 +179,24 @@ class VehicleForecaster {
   /// selection is off).
   const std::vector<size_t>& selected_lags() const { return selected_lags_; }
 
+  /// Column indices (into the full window-column set) the model consumes;
+  /// empty when feature selection is off.
+  const std::vector<size_t>& selected_columns() const {
+    return selected_columns_;
+  }
+
+  /// Fitted scaler (meaningful only when config().standardize).
+  const StandardScaler& scaler() const { return scaler_; }
+
+  /// Trained regressor, or nullptr before Train / for baselines.
+  const Regressor* regressor() const { return model_.get(); }
+
+  /// Approximate heap bytes this trained pipeline keeps resident (model
+  /// weights, scaler state, column tables) -- the unit of the serving
+  /// registry's byte-budgeted cache. Compact (mmap-backed) pipelines
+  /// report only bookkeeping; their weights live in clean mapped pages.
+  size_t ResidentBytes() const;
+
   /// Persists the trained pipeline (config, selected columns, scaler,
   /// model) as text, so a model trained centrally can be applied at the
   /// edge without retraining. FailedPrecondition before Train;
@@ -186,6 +205,29 @@ class VehicleForecaster {
 
   /// Restores a pipeline written by Save.
   static StatusOr<VehicleForecaster> Load(std::istream& is);
+
+  /// Persists the trained pipeline as a compact binary bundle
+  /// (ml/compact.h): fixed layout, CRC-framed, mmap-able. Same
+  /// preconditions as Save. Prediction parity vs the text bundle is
+  /// bitwise for LR and tolerance-bounded for Lasso/SVR/GB (DESIGN.md
+  /// section 15).
+  StatusOr<std::string> SaveCompact() const;
+
+  /// Restores a pipeline written by SaveCompact. The forecaster scores in
+  /// place over `bytes` and keeps `owner` alive, so pass the MappedFile
+  /// (or heap buffer) backing them. Error contract as
+  /// DecodeCompactPipeline.
+  static StatusOr<VehicleForecaster> LoadCompact(
+      std::span<const uint8_t> bytes, std::shared_ptr<const void> owner);
+
+  /// Reassembles a trained forecaster from already-validated parts (the
+  /// compact decode path), with Load's structural validation: ML
+  /// algorithm only, fitted model, selected columns within the window
+  /// column set, fitted scaler iff config.standardize.
+  static StatusOr<VehicleForecaster> FromParts(
+      const ForecasterConfig& config, std::vector<size_t> selected_lags,
+      std::vector<size_t> selected_columns, StandardScaler scaler,
+      std::unique_ptr<Regressor> model);
 
  private:
   bool IsBaseline() const {

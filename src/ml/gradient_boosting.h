@@ -76,6 +76,14 @@ class GradientBoosting : public Regressor {
     return std::make_unique<GradientBoosting>(options_);
   }
   bool fitted() const override { return fitted_; }
+  size_t ResidentBytes() const override {
+    size_t bytes = sizeof(*this) +
+                   (trees_.capacity() - trees_.size()) *
+                       sizeof(RegressionTree) +
+                   stage_losses_.capacity() * sizeof(double);
+    for (const RegressionTree& tree : trees_) bytes += tree.ResidentBytes();
+    return bytes;
+  }
 
   /// Training loss after each stage (length n_estimators); useful for
   /// verifying monotone decrease and for early-stopping studies.

@@ -56,6 +56,10 @@ class Lasso : public Regressor {
     return std::make_unique<Lasso>(options_);
   }
   bool fitted() const override { return fitted_; }
+  size_t ResidentBytes() const override {
+    return sizeof(*this) + coef_.capacity() * sizeof(double) +
+           (warm_coef_ ? warm_coef_->capacity() * sizeof(double) : 0);
+  }
 
   const std::vector<double>& coefficients() const { return coef_; }
   double intercept() const { return intercept_; }

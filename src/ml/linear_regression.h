@@ -44,6 +44,9 @@ class LinearRegression : public Regressor {
     return std::make_unique<LinearRegression>(options_);
   }
   bool fitted() const override { return fitted_; }
+  size_t ResidentBytes() const override {
+    return sizeof(*this) + coef_.capacity() * sizeof(double);
+  }
 
   const std::vector<double>& coefficients() const { return coef_; }
   double intercept() const { return intercept_; }

@@ -41,6 +41,13 @@ class Regressor {
   /// Short algorithm name for reports ("LR", "Lasso", "SVR", "GB").
   virtual std::string name() const = 0;
 
+  /// Approximate heap bytes a fitted model keeps resident (weights,
+  /// support vectors, tree nodes), for byte-budgeted caches. Models that
+  /// score in place over externally owned bytes (compact bundles) report
+  /// only their own bookkeeping: mapped pages are clean and reclaimable,
+  /// so they are not charged against a heap budget.
+  virtual size_t ResidentBytes() const { return 0; }
+
   /// Fresh unfitted copy with identical hyper-parameters.
   virtual std::unique_ptr<Regressor> Clone() const = 0;
 

@@ -110,6 +110,12 @@ class Svr : public Regressor {
     return std::make_unique<Svr>(options_);
   }
   bool fitted() const override { return fitted_; }
+  size_t ResidentBytes() const override {
+    return sizeof(*this) +
+           (support_.rows() * support_.cols() + beta_.capacity() +
+            full_beta_.capacity()) *
+               sizeof(double);
+  }
 
   /// Number of support vectors (beta != 0) after fitting.
   size_t num_support_vectors() const { return support_.rows(); }

@@ -50,6 +50,9 @@ class RegressionTree : public Regressor {
     return std::make_unique<RegressionTree>(options_);
   }
   bool fitted() const override { return fitted_; }
+  size_t ResidentBytes() const override {
+    return sizeof(*this) + nodes_.capacity() * sizeof(Node);
+  }
 
   /// Replaces each leaf's value with a statistic (median or mean) of
   /// `values` over the training rows routed to that leaf. This is the

@@ -4,10 +4,13 @@
 #include <filesystem>
 #include <fstream>
 #include <istream>
+#include <optional>
 #include <sstream>
 #include <system_error>
 
 #include "common/crc32.h"
+#include "common/imemstream.h"
+#include "common/mmap_file.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "serve/guarded_publish.h"
@@ -19,7 +22,11 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr const char* kBundleSuffix = ".fcst";
+constexpr const char* kCompactSuffix = ".cfcst";
 constexpr const char* kBundlePrefix = "vehicle_";
+/// Cap checked BEFORE any read buffer is sized (the manifest path's
+/// discipline): a text bundle beyond this is damage, not a model.
+constexpr uintmax_t kMaxBundleBytes = 64ull << 20;
 constexpr const char* kCurrentFile = "CURRENT";
 constexpr const char* kGenerationPrefix = "gen_";
 constexpr const char* kMetaFile = "registry_meta.txt";
@@ -239,6 +246,11 @@ std::string ModelRegistry::BundleFileName(int64_t vehicle_id) {
                    static_cast<long long>(vehicle_id), kBundleSuffix);
 }
 
+std::string ModelRegistry::CompactBundleFileName(int64_t vehicle_id) {
+  return StrFormat("%s%lld%s", kBundlePrefix,
+                   static_cast<long long>(vehicle_id), kCompactSuffix);
+}
+
 std::optional<int64_t> ModelRegistry::ParseBundleFileName(
     std::string_view name) {
   const size_t prefix_len = std::string_view(kBundlePrefix).size();
@@ -261,8 +273,37 @@ std::string ModelRegistry::GenerationDirName(uint64_t number) {
 }
 
 std::string ModelRegistry::BundlePath(int64_t vehicle_id) const {
-  std::lock_guard<std::mutex> lock(*mu_);
+  std::lock_guard<std::mutex> lock(*active_mu_);
   return active_.dir + "/" + BundleFileName(vehicle_id);
+}
+
+ModelRegistry::ModelRegistry(Options options, ActiveGeneration active)
+    : options_(std::move(options)), active_(std::move(active)) {
+  const size_t shards = std::max<size_t>(1, options_.shards);
+  // Even slices of the registry-wide budgets, rounded up so the total is
+  // never silently under the configured bound by more than rounding.
+  shard_capacity_ = options_.cache_capacity == 0
+                        ? 0
+                        : (options_.cache_capacity + shards - 1) / shards;
+  shard_max_bytes_ = options_.cache_max_bytes == 0
+                         ? 0
+                         : std::max<size_t>(
+                               1, (options_.cache_max_bytes + shards - 1) /
+                                      shards);
+  shards_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+size_t ModelRegistry::ShardIndexForVehicle(int64_t vehicle_id) const {
+  return static_cast<size_t>(
+      SplitMix64(static_cast<uint64_t>(vehicle_id)) % shards_.size());
+}
+
+ModelRegistry::Shard& ModelRegistry::ShardForVehicle(
+    int64_t vehicle_id) const {
+  return *shards_[ShardIndexForVehicle(vehicle_id)];
 }
 
 StatusOr<ModelRegistry::ActiveGeneration> ModelRegistry::ResolveActive(
@@ -323,6 +364,12 @@ StatusOr<ModelRegistry> ModelRegistry::Open(Options options) {
   if (options.breaker.failure_threshold < 1) {
     return Status::InvalidArgument("breaker failure_threshold must be >= 1");
   }
+  if (options.shards < 1) {
+    return Status::InvalidArgument("registry needs >= 1 shard");
+  }
+  if (options.shards > 4096) {
+    return Status::InvalidArgument("registry shard count implausibly large");
+  }
   std::error_code ec;
   fs::create_directories(options.directory, ec);
   if (ec) {
@@ -341,22 +388,34 @@ StatusOr<ModelRegistry> ModelRegistry::Open(Options options) {
 Status ModelRegistry::Reload() {
   VUP_ASSIGN_OR_RETURN(ActiveGeneration resolved,
                        ResolveActive(options_.directory));
-  std::lock_guard<std::mutex> lock(*mu_);
+  // Take every shard (ascending index) before active_mu_ -- the global
+  // lock order -- so the swap is atomic against every in-flight Get: a
+  // reader either ran entirely against the old generation or starts after
+  // the caches are clear. Torn-free per shard.
+  std::vector<std::unique_lock<std::mutex>> shard_locks;
+  shard_locks.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    shard_locks.emplace_back(shard->mu);
+  }
+  std::lock_guard<std::mutex> lock(*active_mu_);
   if (resolved.dir == active_.dir) return Status::OK();
   // Swap the active generation: resident models, breaker states and
   // quarantine verdicts belong to the outgoing fleet. In-flight shared_ptr
   // models stay valid until their holders drop them.
   if (resolved.number > active_.number) {
-    counters_->promotes_observed.Increment();
+    ++promotes_observed_;
   } else if (resolved.number < active_.number) {
-    counters_->rollbacks_observed.Increment();
+    ++rollbacks_observed_;
   }
   active_ = std::move(resolved);
-  lru_.clear();
-  index_.clear();
-  breakers_.clear();
-  quarantined_.clear();
-  counters_->reloads.Increment();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    shard->lru.clear();
+    shard->index.clear();
+    shard->breakers.clear();
+    shard->quarantined.clear();
+    shard->resident_bytes = 0;
+  }
+  ++reloads_;
   return Status::OK();
 }
 
@@ -377,7 +436,7 @@ StatusOr<GenerationPublisher> ModelRegistry::NewGeneration() {
 Status ModelRegistry::PruneGenerations(size_t keep) {
   std::string active_dir;
   {
-    std::lock_guard<std::mutex> lock(*mu_);
+    std::lock_guard<std::mutex> lock(*active_mu_);
     active_dir = active_.dir;
   }
   // The rollback journal pins generations: deleting the one `previous`
@@ -451,20 +510,49 @@ Status ModelRegistry::Publish(int64_t vehicle_id,
     return Status::Internal("cannot install bundle " + path + ": " +
                             ec.message());
   }
+  // Keep the compact twin coherent: install a fresh one next to the text
+  // bundle (same temp+rename discipline), so a prefer_compact reader can
+  // never score a stale compact bundle shadowing the text one.
+  VUP_ASSIGN_OR_RETURN(std::string compact_bytes, forecaster.SaveCompact());
+  const std::string compact_path =
+      fs::path(path).parent_path().string() + "/" +
+      CompactBundleFileName(vehicle_id);
+  {
+    const std::string compact_tmp = compact_path + ".tmp";
+    std::ofstream out(compact_tmp, std::ios::trunc | std::ios::binary);
+    if (!out) {
+      return Status::Internal("cannot open bundle for writing: " +
+                              compact_tmp);
+    }
+    out.write(compact_bytes.data(),
+              static_cast<std::streamsize>(compact_bytes.size()));
+    out.flush();
+    if (!out) return Status::DataLoss("bundle write failed: " + compact_tmp);
+    fs::rename(compact_tmp, compact_path, ec);
+    if (ec) {
+      return Status::Internal("cannot install bundle " + compact_path +
+                              ": " + ec.message());
+    }
+  }
   // Drop any stale resident copy so the next Get sees the new bundle, and
   // give the fresh bundle a fresh breaker and a clean quarantine record.
-  std::lock_guard<std::mutex> lock(*mu_);
-  auto it = index_.find(vehicle_id);
-  if (it != index_.end()) {
-    lru_.erase(it->second);
-    index_.erase(it);
+  {
+    Shard& shard = ShardForVehicle(vehicle_id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(vehicle_id);
+    if (it != shard.index.end()) {
+      shard.resident_bytes -= it->second->bytes;
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+    }
+    shard.breakers.erase(vehicle_id);
+    shard.quarantined.erase(vehicle_id);
   }
-  breakers_.erase(vehicle_id);
-  quarantined_.erase(vehicle_id);
+  std::lock_guard<std::mutex> lock(*active_mu_);
   if (active_.manifest.has_value()) {
     // Keep the generation manifest truthful: re-checksum the installed
-    // bundle and swap its entry, or the next verified load (and every
-    // scrub) would quarantine the bundle we just published.
+    // bundles and swap their entries, or the next verified load (and every
+    // scrub) would quarantine the bundles we just published.
     std::ifstream installed(path, std::ios::binary);
     if (!installed) {
       return Status::Internal("cannot re-read published bundle: " + path);
@@ -475,13 +563,17 @@ Status ModelRegistry::Publish(int64_t vehicle_id,
       return Status::DataLoss("re-read failed: " + path);
     }
     const std::string file = BundleFileName(vehicle_id);
+    const std::string compact_file = CompactBundleFileName(vehicle_id);
     GenerationManifest updated;
     for (const ManifestEntry& entry : active_.manifest->entries()) {
-      if (entry.file == file) continue;
+      if (entry.file == file || entry.file == compact_file) continue;
       VUP_RETURN_IF_ERROR(updated.Add(entry.file, entry.size, entry.crc32));
     }
     VUP_RETURN_IF_ERROR(
         updated.Add(file, bytes.size(), Crc32(bytes.data(), bytes.size())));
+    VUP_RETURN_IF_ERROR(updated.Add(
+        compact_file, compact_bytes.size(),
+        Crc32(compact_bytes.data(), compact_bytes.size())));
     VUP_RETURN_IF_ERROR(WriteManifestFile(active_.dir, updated));
     active_.manifest = std::move(updated);
   }
@@ -489,37 +581,112 @@ Status ModelRegistry::Publish(int64_t vehicle_id,
 }
 
 StatusOr<std::shared_ptr<const VehicleForecaster>>
-ModelRegistry::LoadVerifiedLocked(int64_t vehicle_id) {
+ModelRegistry::LoadVerifiedLocked(Shard& shard, int64_t vehicle_id) {
+  // One consistent peek at the active generation (dir + manifest entries):
+  // shard.mu is already held, active_mu_ nests inside it -- the global
+  // lock order -- so a concurrent Reload can never hand this load the new
+  // generation's manifest with the old generation's directory.
+  std::string dir;
+  std::optional<ManifestEntry> text_entry;
+  std::optional<ManifestEntry> compact_entry;
+  bool has_manifest = false;
   const std::string file = BundleFileName(vehicle_id);
-  const std::string path = active_.dir + "/" + file;
+  const std::string compact_file = CompactBundleFileName(vehicle_id);
+  {
+    std::lock_guard<std::mutex> lock(*active_mu_);
+    dir = active_.dir;
+    if (active_.manifest.has_value()) {
+      has_manifest = true;
+      if (const ManifestEntry* e = active_.manifest->Find(file)) {
+        text_entry = *e;
+      }
+      if (const ManifestEntry* e = active_.manifest->Find(compact_file)) {
+        compact_entry = *e;
+      }
+    }
+  }
+
+  auto quarantine = [&](const Status& why) {
+    shard.quarantined.insert(vehicle_id);
+    ++shard.counters.quarantines;
+    return Status::NotFound(StrFormat(
+        "model of vehicle %lld quarantined: %s",
+        static_cast<long long>(vehicle_id), why.message().c_str()));
+  };
+
+  if (options_.prefer_compact) {
+    // Compact path: mmap, verify in place (manifest CRC first when listed,
+    // the bundle's own CRC always), score in place. Falls back to the text
+    // bundle only when no compact twin exists.
+    const std::string compact_path = dir + "/" + compact_file;
+    StatusOr<MappedFile> mapped_or = MappedFile::Open(compact_path);
+    if (mapped_or.ok()) {
+      auto mapped = std::make_shared<MappedFile>(std::move(mapped_or).value());
+      const std::string_view view(
+          reinterpret_cast<const char*>(mapped->data()), mapped->size());
+      if (compact_entry.has_value()) {
+        Status verified =
+            GenerationManifest::VerifyBytes(*compact_entry, view);
+        if (!verified.ok()) return quarantine(verified);
+      }
+      StatusOr<VehicleForecaster> forecaster =
+          VehicleForecaster::LoadCompact(mapped->bytes(), mapped);
+      if (!forecaster.ok()) {
+        // A compact bundle the manifest vouched for but that fails its own
+        // framing is corruption caught late -- same quarantine as a
+        // manifest mismatch. Unlisted bundles surface the raw error and
+        // count against the breaker like any text-path parse failure.
+        if (compact_entry.has_value()) {
+          return quarantine(forecaster.status());
+        }
+        return forecaster.status();
+      }
+      return std::make_shared<const VehicleForecaster>(
+          std::move(forecaster).value());
+    }
+    if (!mapped_or.status().IsNotFound()) return mapped_or.status();
+  }
+
+  const std::string path = dir + "/" + file;
+  // Size cap BEFORE the buffer is sized, then ONE read into ONE buffer:
+  // CRC verify and deserialize both run over string_views of it (no
+  // istreambuf_iterator append-loop, no istringstream copy).
+  std::error_code ec;
+  const uintmax_t file_size = fs::file_size(path, ec);
+  if (ec) {
+    if (ec == std::errc::no_such_file_or_directory) {
+      return Status::NotFound(
+          StrFormat("no model bundle for vehicle %lld in %s",
+                    static_cast<long long>(vehicle_id), dir.c_str()));
+    }
+    return Status::Internal("cannot stat bundle " + path + ": " +
+                            ec.message());
+  }
+  if (file_size > kMaxBundleBytes) {
+    return Status::DataLoss("bundle implausibly large: " + path);
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::NotFound(
         StrFormat("no model bundle for vehicle %lld in %s",
-                  static_cast<long long>(vehicle_id), active_.dir.c_str()));
+                  static_cast<long long>(vehicle_id), dir.c_str()));
   }
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  if (in.bad()) return Status::DataLoss("bundle read failed: " + path);
-  if (active_.manifest.has_value()) {
+  std::string bytes(static_cast<size_t>(file_size), '\0');
+  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (in.bad() || static_cast<uintmax_t>(in.gcount()) != file_size) {
+    return Status::DataLoss("bundle read failed: " + path);
+  }
+  if (has_manifest && text_entry.has_value()) {
     // Verify BEFORE the deserializer ever sees the bytes: a corrupt bundle
     // must never be scored, and a flipped bit that still deserializes into
     // plausible coefficients is exactly the failure CRCs exist to catch.
     // Files the manifest does not list load unverified (single-bundle
     // Publish into a legacy generation keeps working).
-    if (const ManifestEntry* entry = active_.manifest->Find(file)) {
-      Status verified = GenerationManifest::VerifyBytes(*entry, bytes);
-      if (!verified.ok()) {
-        quarantined_.insert(vehicle_id);
-        counters_->quarantines.Increment();
-        return Status::NotFound(StrFormat(
-            "model of vehicle %lld quarantined: %s",
-            static_cast<long long>(vehicle_id),
-            verified.message().c_str()));
-      }
-    }
+    Status verified = GenerationManifest::VerifyBytes(
+        *text_entry, std::string_view(bytes));
+    if (!verified.ok()) return quarantine(verified);
   }
-  std::istringstream verified_stream(bytes);
+  ImemStream verified_stream{std::string_view(bytes)};
   VUP_ASSIGN_OR_RETURN(VehicleForecaster forecaster,
                        VehicleForecaster::Load(verified_stream));
   return std::make_shared<const VehicleForecaster>(std::move(forecaster));
@@ -544,9 +711,10 @@ int64_t ModelRegistry::BreakerBackoffMs(int64_t vehicle_id,
                                   static_cast<double>(base) * factor));
 }
 
-void ModelRegistry::RecordLoadFailureLocked(int64_t vehicle_id) {
-  counters_->load_failures.Increment();
-  Breaker& breaker = breakers_[vehicle_id];
+void ModelRegistry::RecordLoadFailureLocked(Shard& shard,
+                                            int64_t vehicle_id) {
+  ++shard.counters.load_failures;
+  Breaker& breaker = shard.breakers[vehicle_id];
   ++breaker.consecutive_failures;
   const bool reopen = breaker.state == BreakerState::kHalfOpen;
   if (!reopen &&
@@ -557,7 +725,7 @@ void ModelRegistry::RecordLoadFailureLocked(int64_t vehicle_id) {
   // jittered backoff elapses.
   breaker.state = BreakerState::kOpen;
   ++breaker.open_count;
-  counters_->breaker_opens.Increment();
+  ++shard.counters.breaker_opens;
   breaker.open_until =
       clock().Now() + std::chrono::milliseconds(
                           BreakerBackoffMs(vehicle_id, breaker.open_count));
@@ -565,33 +733,34 @@ void ModelRegistry::RecordLoadFailureLocked(int64_t vehicle_id) {
 
 StatusOr<std::shared_ptr<const VehicleForecaster>> ModelRegistry::Get(
     int64_t vehicle_id) {
-  std::lock_guard<std::mutex> lock(*mu_);
-  auto it = index_.find(vehicle_id);
-  if (it != index_.end()) {
-    counters_->hits.Increment();
+  Shard& shard = ShardForVehicle(vehicle_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(vehicle_id);
+  if (it != shard.index.end()) {
+    ++shard.counters.hits;
     // Move to the front (most recently used).
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->second;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->model;
   }
 
-  if (quarantined_.count(vehicle_id) != 0) {
+  if (shard.quarantined.count(vehicle_id) != 0) {
     // Quarantine is sticky until the generation swaps or the bundle is
     // republished -- no disk IO, no breaker involvement, and NotFound so
     // the caller degrades through the same fallback chain as a missing
     // bundle.
-    counters_->quarantine_blocks.Increment();
+    ++shard.counters.quarantine_blocks;
     return Status::NotFound(
         StrFormat("model of vehicle %lld is quarantined (manifest "
                   "verification failed)",
                   static_cast<long long>(vehicle_id)));
   }
 
-  auto breaker_it = breakers_.find(vehicle_id);
-  if (breaker_it != breakers_.end() &&
+  auto breaker_it = shard.breakers.find(vehicle_id);
+  if (breaker_it != shard.breakers.end() &&
       breaker_it->second.state == BreakerState::kOpen) {
     Breaker& breaker = breaker_it->second;
     if (clock().Now() < breaker.open_until) {
-      counters_->breaker_short_circuits.Increment();
+      ++shard.counters.breaker_short_circuits;
       return Status::Unavailable(StrFormat(
           "circuit breaker open for vehicle %lld (retry in %lld ms)",
           static_cast<long long>(vehicle_id),
@@ -601,58 +770,79 @@ StatusOr<std::shared_ptr<const VehicleForecaster>> ModelRegistry::Get(
                   .count())));
     }
     // Backoff elapsed: half-open, admit this Get as the single probe (the
-    // registry mutex serializes probes).
+    // shard mutex serializes probes for every vehicle that hashes here).
     breaker.state = BreakerState::kHalfOpen;
   }
 
-  counters_->misses.Increment();
+  ++shard.counters.misses;
   StatusOr<std::shared_ptr<const VehicleForecaster>> loaded =
-      LoadVerifiedLocked(vehicle_id);
+      LoadVerifiedLocked(shard, vehicle_id);
   if (!loaded.ok()) {
     // A missing bundle is the degradation path, not a fault; only real
     // load failures (corrupt bundle, IO error) count against the breaker.
     // A fresh quarantine surfaces as NotFound for the same reason.
-    if (!loaded.status().IsNotFound()) RecordLoadFailureLocked(vehicle_id);
-    if (quarantined_.count(vehicle_id) != 0) {
-      counters_->quarantine_blocks.Increment();
+    if (!loaded.status().IsNotFound()) {
+      RecordLoadFailureLocked(shard, vehicle_id);
+    }
+    if (shard.quarantined.count(vehicle_id) != 0) {
+      ++shard.counters.quarantine_blocks;
     }
     return loaded.status();
   }
-  if (breaker_it != breakers_.end()) {
+  if (breaker_it != shard.breakers.end()) {
     // Successful load (including a half-open probe): close the breaker.
-    breakers_.erase(vehicle_id);
+    shard.breakers.erase(vehicle_id);
   }
   std::shared_ptr<const VehicleForecaster> model = std::move(loaded).value();
 
-  if (options_.cache_capacity > 0) {
-    while (lru_.size() >= options_.cache_capacity) {
-      index_.erase(lru_.back().first);
-      lru_.pop_back();
-      counters_->evictions.Increment();
+  if (shard_capacity_ > 0) {
+    const size_t bytes = model->ResidentBytes();
+    // Evict from the cold end until both bounds hold: the per-shard entry
+    // count AND the per-shard byte budget (0 = unbounded bytes). Breakers
+    // and quarantine marks are deliberately NOT touched by eviction --
+    // evicting a model must never reset its failure history.
+    while (!shard.lru.empty() &&
+           (shard.lru.size() >= shard_capacity_ ||
+            (shard_max_bytes_ > 0 &&
+             shard.resident_bytes + bytes > shard_max_bytes_))) {
+      const Shard::LruEntry& victim = shard.lru.back();
+      shard.resident_bytes -= victim.bytes;
+      shard.index.erase(victim.vehicle_id);
+      shard.lru.pop_back();
+      ++shard.counters.evictions;
     }
-    lru_.emplace_front(vehicle_id, model);
-    index_[vehicle_id] = lru_.begin();
+    // A model larger than the whole shard budget is served but never
+    // cached; caching it would evict everything else and still bust the
+    // budget.
+    if (shard_max_bytes_ == 0 || bytes <= shard_max_bytes_) {
+      shard.lru.push_front(Shard::LruEntry{vehicle_id, model, bytes});
+      shard.index[vehicle_id] = shard.lru.begin();
+      shard.resident_bytes += bytes;
+    }
   }
   return model;
 }
 
 void ModelRegistry::Quarantine(int64_t vehicle_id) {
-  std::lock_guard<std::mutex> lock(*mu_);
-  if (!quarantined_.insert(vehicle_id).second) return;
-  counters_->quarantines.Increment();
+  Shard& shard = ShardForVehicle(vehicle_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (!shard.quarantined.insert(vehicle_id).second) return;
+  ++shard.counters.quarantines;
   // A resident copy was deserialized from bytes that verified at load
   // time; the scrubber has since seen different bytes on disk, so the
   // cached model's provenance is gone -- drop it.
-  auto it = index_.find(vehicle_id);
-  if (it != index_.end()) {
-    lru_.erase(it->second);
-    index_.erase(it);
+  auto it = shard.index.find(vehicle_id);
+  if (it != shard.index.end()) {
+    shard.resident_bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
   }
 }
 
 bool ModelRegistry::IsQuarantined(int64_t vehicle_id) const {
-  std::lock_guard<std::mutex> lock(*mu_);
-  return quarantined_.count(vehicle_id) != 0;
+  Shard& shard = ShardForVehicle(vehicle_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.quarantined.count(vehicle_id) != 0;
 }
 
 Status ModelRegistry::Rollback() {
@@ -663,7 +853,7 @@ Status ModelRegistry::Rollback() {
 StatusOr<RegistryMeta> ModelRegistry::ReadMeta() const {
   std::string dir;
   {
-    std::lock_guard<std::mutex> lock(*mu_);
+    std::lock_guard<std::mutex> lock(*active_mu_);
     dir = active_.dir;
   }
   return ReadRegistryMetaFile(dir);
@@ -677,72 +867,96 @@ bool ModelRegistry::Contains(int64_t vehicle_id) const {
 std::vector<int64_t> ModelRegistry::ListVehicleIds() const {
   std::string dir;
   {
-    std::lock_guard<std::mutex> lock(*mu_);
+    std::lock_guard<std::mutex> lock(*active_mu_);
     dir = active_.dir;
   }
   return ListBundleIds(dir);
 }
 
 size_t ModelRegistry::resident_models() const {
-  std::lock_guard<std::mutex> lock(*mu_);
-  return lru_.size();
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+size_t ModelRegistry::resident_bytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->resident_bytes;
+  }
+  return total;
 }
 
 BreakerState ModelRegistry::breaker_state(int64_t vehicle_id) const {
-  std::lock_guard<std::mutex> lock(*mu_);
-  auto it = breakers_.find(vehicle_id);
-  return it == breakers_.end() ? BreakerState::kClosed : it->second.state;
+  Shard& shard = ShardForVehicle(vehicle_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.breakers.find(vehicle_id);
+  return it == shard.breakers.end() ? BreakerState::kClosed
+                                    : it->second.state;
 }
 
-size_t ModelRegistry::OpenBreakersLocked() const {
+size_t ModelRegistry::OpenBreakersLocked(const Shard& shard) {
   size_t open = 0;
-  for (const auto& [vehicle_id, breaker] : breakers_) {
+  for (const auto& [vehicle_id, breaker] : shard.breakers) {
     if (breaker.state != BreakerState::kClosed) ++open;
   }
   return open;
 }
 
-ModelRegistryStats ModelRegistry::StatsLocked() const {
+ModelRegistryStats ModelRegistry::StatsAllLocked() const {
+  // Caller holds every shard mutex plus active_mu_. The registry-level
+  // totals are sums of the per-shard slices BY CONSTRUCTION -- the shard
+  // vector is the source of truth and the totals are derived here, so the
+  // "totals == sum of shards" invariant can never drift.
   ModelRegistryStats stats;
-  stats.hits = static_cast<size_t>(counters_->hits.value());
-  stats.misses = static_cast<size_t>(counters_->misses.value());
-  stats.evictions = static_cast<size_t>(counters_->evictions.value());
-  stats.load_failures =
-      static_cast<size_t>(counters_->load_failures.value());
-  stats.breaker_opens =
-      static_cast<size_t>(counters_->breaker_opens.value());
-  stats.breaker_short_circuits =
-      static_cast<size_t>(counters_->breaker_short_circuits.value());
-  // Derived from live state, so a generation swap that clears breakers_
-  // can never leave a stale open-vehicle count behind.
-  stats.breaker_open_vehicles = OpenBreakersLocked();
-  stats.reloads = static_cast<size_t>(counters_->reloads.value());
+  stats.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ModelRegistryShardStats slice = shard->counters;
+    // Derived from live state, so a generation swap that clears breakers
+    // can never leave a stale open-vehicle count behind.
+    slice.breaker_open_vehicles = OpenBreakersLocked(*shard);
+    slice.resident_models = static_cast<uint64_t>(shard->lru.size());
+    slice.cache_bytes = static_cast<uint64_t>(shard->resident_bytes);
+    slice.quarantined_models =
+        static_cast<uint64_t>(shard->quarantined.size());
+    stats.hits += slice.hits;
+    stats.misses += slice.misses;
+    stats.evictions += slice.evictions;
+    stats.load_failures += slice.load_failures;
+    stats.breaker_opens += slice.breaker_opens;
+    stats.breaker_short_circuits += slice.breaker_short_circuits;
+    stats.breaker_open_vehicles += slice.breaker_open_vehicles;
+    stats.quarantines += slice.quarantines;
+    stats.quarantine_blocks += slice.quarantine_blocks;
+    stats.quarantined_models += slice.quarantined_models;
+    stats.resident_models += slice.resident_models;
+    stats.cache_bytes += slice.cache_bytes;
+    stats.shards.push_back(slice);
+  }
+  stats.reloads = reloads_;
   stats.generation = active_.number;
-  stats.quarantines = static_cast<size_t>(counters_->quarantines.value());
-  stats.quarantine_blocks =
-      static_cast<size_t>(counters_->quarantine_blocks.value());
-  stats.quarantined_models = quarantined_.size();
-  stats.promotes_observed =
-      static_cast<size_t>(counters_->promotes_observed.value());
-  stats.rollbacks_observed =
-      static_cast<size_t>(counters_->rollbacks_observed.value());
+  stats.promotes_observed = promotes_observed_;
+  stats.rollbacks_observed = rollbacks_observed_;
   return stats;
 }
 
 ModelRegistryStats ModelRegistry::stats() const {
-  std::lock_guard<std::mutex> lock(*mu_);
-  return StatsLocked();
+  // Lock order: every shard ascending, then active_mu_ -- identical to
+  // Reload, so a concurrent swap can never deadlock against a stats scrape.
+  std::vector<std::unique_lock<std::mutex>> shard_locks;
+  shard_locks.reserve(shards_.size());
+  for (const auto& shard : shards_) shard_locks.emplace_back(shard->mu);
+  std::lock_guard<std::mutex> lock(*active_mu_);
+  return StatsAllLocked();
 }
 
 void ModelRegistry::CollectMetrics(obs::MetricsSnapshot* out,
                                    const obs::LabelSet& labels) const {
-  ModelRegistryStats stats;
-  size_t resident;
-  {
-    std::lock_guard<std::mutex> lock(*mu_);
-    stats = StatsLocked();
-    resident = lru_.size();
-  }
+  const ModelRegistryStats stats = this->stats();
   auto add = [&](const char* name, const char* help, obs::MetricType type,
                  double value) {
     obs::MetricFamily family;
@@ -793,7 +1007,10 @@ void ModelRegistry::CollectMetrics(obs::MetricsSnapshot* out,
       static_cast<double>(stats.breaker_open_vehicles));
   add("vupred_registry_resident_models",
       "Models resident in the LRU cache.", MetricType::kGauge,
-      static_cast<double>(resident));
+      static_cast<double>(stats.resident_models));
+  add("vupred_registry_cache_bytes",
+      "Bytes of model state resident in the LRU cache.", MetricType::kGauge,
+      static_cast<double>(stats.cache_bytes));
   add("vupred_registry_quarantined_models",
       "Models currently quarantined.", MetricType::kGauge,
       static_cast<double>(stats.quarantined_models));
@@ -802,7 +1019,7 @@ void ModelRegistry::CollectMetrics(obs::MetricsSnapshot* out,
 }
 
 uint64_t ModelRegistry::active_generation() const {
-  std::lock_guard<std::mutex> lock(*mu_);
+  std::lock_guard<std::mutex> lock(*active_mu_);
   return active_.number;
 }
 
@@ -856,6 +1073,68 @@ Status GenerationPublisher::Add(int64_t vehicle_id,
   VUP_RETURN_IF_ERROR(forecaster.Save(out));
   out.flush();
   if (!out) return Status::DataLoss("bundle write failed: " + path);
+  if (emit_compact_) {
+    VUP_ASSIGN_OR_RETURN(const std::string compact,
+                         forecaster.SaveCompact());
+    const std::string compact_path =
+        staging_dir_ + "/" +
+        ModelRegistry::CompactBundleFileName(vehicle_id);
+    std::ofstream cout_stream(compact_path,
+                              std::ios::trunc | std::ios::binary);
+    if (!cout_stream) {
+      return Status::Internal("cannot open compact bundle for writing: " +
+                              compact_path);
+    }
+    cout_stream.write(compact.data(),
+                      static_cast<std::streamsize>(compact.size()));
+    cout_stream.flush();
+    if (!cout_stream) {
+      return Status::DataLoss("compact bundle write failed: " +
+                              compact_path);
+    }
+  }
+  return Status::OK();
+}
+
+Status GenerationPublisher::AddPrebuilt(int64_t vehicle_id,
+                                        std::string_view text_bytes,
+                                        std::string_view compact_bytes) {
+  // Byte-level Add for synthetic fleets: serve-bench stamps one trained
+  // model's bundle bytes across hundreds of thousands of vehicle ids
+  // without re-serializing (or re-training) per id. Finalize checksums
+  // the staged files like any other generation.
+  if (finalized_) {
+    return Status::FailedPrecondition(
+        "generation already finalized (its manifest is sealed)");
+  }
+  const std::string path =
+      staging_dir_ + "/" + ModelRegistry::BundleFileName(vehicle_id);
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out) {
+    return Status::Internal("cannot open bundle for writing: " + path);
+  }
+  out.write(text_bytes.data(),
+            static_cast<std::streamsize>(text_bytes.size()));
+  out.flush();
+  if (!out) return Status::DataLoss("bundle write failed: " + path);
+  if (!compact_bytes.empty()) {
+    const std::string compact_path =
+        staging_dir_ + "/" +
+        ModelRegistry::CompactBundleFileName(vehicle_id);
+    std::ofstream cout_stream(compact_path,
+                              std::ios::trunc | std::ios::binary);
+    if (!cout_stream) {
+      return Status::Internal("cannot open compact bundle for writing: " +
+                              compact_path);
+    }
+    cout_stream.write(compact_bytes.data(),
+                      static_cast<std::streamsize>(compact_bytes.size()));
+    cout_stream.flush();
+    if (!cout_stream) {
+      return Status::DataLoss("compact bundle write failed: " +
+                              compact_path);
+    }
+  }
   return Status::OK();
 }
 

@@ -61,26 +61,49 @@ enum class BreakerState { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
 
 std::string_view BreakerStateToString(BreakerState state);
 
+/// Per-shard slice of the registry counters. All integers stay integers
+/// end-to-end: these are plain uint64_t tallies guarded by the shard
+/// mutex, never round-tripped through double.
+struct ModelRegistryShardStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t load_failures = 0;
+  uint64_t breaker_opens = 0;
+  uint64_t breaker_short_circuits = 0;
+  uint64_t quarantines = 0;
+  uint64_t quarantine_blocks = 0;
+  uint64_t resident_models = 0;     // Models resident in this shard's LRU.
+  uint64_t cache_bytes = 0;         // Resident bytes charged to the budget.
+  uint64_t breaker_open_vehicles = 0;
+  uint64_t quarantined_models = 0;
+};
+
 /// Cache/IO/breaker counters of a ModelRegistry. Counts are cumulative
-/// since Open.
+/// since Open. Every top-level counter is exactly the sum of its
+/// per-shard slice (the invariant the shard test suite asserts).
 struct ModelRegistryStats {
-  size_t hits = 0;           // Get served from the resident cache.
-  size_t misses = 0;         // Get had to load the bundle from disk.
-  size_t evictions = 0;      // Resident models displaced by the LRU policy.
-  size_t load_failures = 0;  // Disk loads that returned an error.
-  size_t breaker_opens = 0;  // closed/half-open -> open transitions.
-  size_t breaker_short_circuits = 0;  // Gets rejected while a breaker was
-                                      // open (no disk touched).
-  size_t breaker_open_vehicles = 0;   // Breakers currently open/half-open.
-  size_t reloads = 0;        // Generation swaps performed by Reload().
-  uint64_t generation = 0;   // Active generation number (0 = flat layout).
-  size_t quarantines = 0;    // Models quarantined (manifest mismatch or
-                             // explicit Quarantine()).
-  size_t quarantine_blocks = 0;  // Gets answered NotFound because the
-                                 // vehicle's model is quarantined.
-  size_t quarantined_models = 0; // Currently quarantined vehicle count.
-  size_t promotes_observed = 0;  // Reloads that moved to a newer generation.
-  size_t rollbacks_observed = 0; // Reloads that moved to an older one.
+  uint64_t hits = 0;           // Get served from the resident cache.
+  uint64_t misses = 0;         // Get had to load the bundle from disk.
+  uint64_t evictions = 0;      // Resident models displaced by the LRU policy.
+  uint64_t load_failures = 0;  // Disk loads that returned an error.
+  uint64_t breaker_opens = 0;  // closed/half-open -> open transitions.
+  uint64_t breaker_short_circuits = 0;  // Gets rejected while a breaker was
+                                        // open (no disk touched).
+  uint64_t breaker_open_vehicles = 0;   // Breakers currently open/half-open.
+  uint64_t reloads = 0;        // Generation swaps performed by Reload().
+  uint64_t generation = 0;     // Active generation number (0 = flat layout).
+  uint64_t quarantines = 0;    // Models quarantined (manifest mismatch or
+                               // explicit Quarantine()).
+  uint64_t quarantine_blocks = 0;  // Gets answered NotFound because the
+                                   // vehicle's model is quarantined.
+  uint64_t quarantined_models = 0; // Currently quarantined vehicle count.
+  uint64_t promotes_observed = 0;  // Reloads that moved to a newer generation.
+  uint64_t rollbacks_observed = 0; // Reloads that moved to an older one.
+  uint64_t resident_models = 0;    // Models resident across all shards.
+  uint64_t cache_bytes = 0;        // Resident bytes across all shards.
+  /// One slice per shard, indexed by shard number.
+  std::vector<ModelRegistryShardStats> shards;
 };
 
 class GenerationPublisher;
@@ -144,7 +167,21 @@ class ModelRegistry {
           cache_capacity(cache_capacity_in) {}
 
     std::string directory;
+    /// Total resident-model count bound across all shards (0 disables
+    /// caching entirely). Split evenly per shard, rounded up.
     size_t cache_capacity = 64;
+    /// Total resident-byte budget across all shards (0 = unbounded).
+    /// Split evenly per shard; a model whose ResidentBytes() exceeds its
+    /// shard's slice is served but never cached. Mapped compact bundles
+    /// charge only their bookkeeping bytes (their pages are clean).
+    size_t cache_max_bytes = 0;
+    /// Lock/LRU/breaker shards (>= 1). Vehicles route by SplitMix64 of
+    /// their id, so same-fleet runs shard identically.
+    size_t shards = 1;
+    /// Serve the compact bundle (vehicle_<id>.cfcst, mmap-ed and scored
+    /// in place) when one exists, falling back to the text bundle when it
+    /// does not.
+    bool prefer_compact = false;
     /// Time source for breaker transitions; null means Clock::Real().
     const Clock* clock = nullptr;
     BreakerOptions breaker;
@@ -215,8 +252,18 @@ class ModelRegistry {
   /// Vehicle ids with a bundle in the active generation, ascending.
   std::vector<int64_t> ListVehicleIds() const;
 
-  /// Number of models currently resident in the cache.
+  /// Number of models currently resident in the cache (all shards).
   size_t resident_models() const;
+
+  /// Resident bytes currently charged against the cache budget.
+  size_t resident_bytes() const;
+
+  /// Number of lock/LRU/breaker shards this registry runs with.
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Shard a vehicle routes to: SplitMix64(id) % num_shards. Exposed so
+  /// tests and benches can aim traffic at specific shards.
+  size_t ShardIndexForVehicle(int64_t vehicle_id) const;
 
   /// Breaker state of one vehicle (kClosed when never tripped).
   BreakerState breaker_state(int64_t vehicle_id) const;
@@ -238,11 +285,15 @@ class ModelRegistry {
   const std::string& directory() const { return options_.directory; }
 
   static std::string BundleFileName(int64_t vehicle_id);
+  /// Compact binary twin of BundleFileName: "vehicle_<id>.cfcst".
+  static std::string CompactBundleFileName(int64_t vehicle_id);
   /// Bundle path inside the active generation.
   std::string BundlePath(int64_t vehicle_id) const;
 
   /// Inverse of BundleFileName: "vehicle_<id>.fcst" -> id, nullopt for
-  /// anything else (meta, manifest, tmp leftovers).
+  /// anything else (meta, manifest, compact bundles, tmp leftovers) --
+  /// compact files deliberately do not match, so vehicle listing and
+  /// pruning keep exactly one name per vehicle.
   static std::optional<int64_t> ParseBundleFileName(std::string_view name);
 
   static std::string GenerationDirName(uint64_t number);
@@ -265,8 +316,39 @@ class ModelRegistry {
     std::optional<GenerationManifest> manifest;
   };
 
-  explicit ModelRegistry(Options options, ActiveGeneration active)
-      : options_(std::move(options)), active_(std::move(active)) {}
+  /// One lock domain of the registry: its own mutex, LRU (with per-entry
+  /// byte accounting), breaker map, quarantine set and counters. A
+  /// vehicle's entire serving state lives in exactly one shard, so two
+  /// Gets for vehicles in different shards never contend.
+  ///
+  /// Lock ordering: a shard's mutex is always taken BEFORE active_mu_
+  /// (Get holds its shard while the load path peeks at the active
+  /// generation), and Reload takes every shard mutex in ascending index
+  /// order before active_mu_ -- one global order, no deadlock, and a
+  /// generation swap that a Get observes is always complete (torn-free
+  /// per shard).
+  struct Shard {
+    struct LruEntry {
+      int64_t vehicle_id = 0;
+      std::shared_ptr<const VehicleForecaster> model;
+      size_t bytes = 0;  // ResidentBytes() charged at insert time.
+    };
+
+    mutable std::mutex mu;
+    std::list<LruEntry> lru;  // Most recently used at the front.
+    std::unordered_map<int64_t, std::list<LruEntry>::iterator> index;
+    std::unordered_map<int64_t, Breaker> breakers;
+    /// Vehicles whose model failed manifest verification (or were flagged
+    /// by the scrubber). Cleared on a generation swap: the new fleet's
+    /// bundles get verified on their own merits.
+    std::unordered_set<int64_t> quarantined;
+    size_t resident_bytes = 0;
+
+    // Plain integer counters, guarded by mu -- never doubles.
+    ModelRegistryShardStats counters;
+  };
+
+  explicit ModelRegistry(Options options, ActiveGeneration active);
 
   const Clock& clock() const {
     return options_.clock != nullptr ? *options_.clock : Clock::Real();
@@ -276,55 +358,41 @@ class ModelRegistry {
   /// that the generation directory exists and holds a parseable meta.
   static StatusOr<ActiveGeneration> ResolveActive(const std::string& root);
 
-  /// Loads the bundle of `vehicle_id` from the active generation,
-  /// verifying it against the manifest when one lists it. A verification
-  /// failure quarantines the vehicle and returns NotFound. Caller holds
-  /// the mutex.
+  Shard& ShardForVehicle(int64_t vehicle_id) const;
+
+  /// Loads the bundle of `vehicle_id` from the active generation (compact
+  /// first when options_.prefer_compact), verifying it against the
+  /// manifest when one lists it. A verification failure quarantines the
+  /// vehicle and returns NotFound. Caller holds the vehicle's shard
+  /// mutex; this takes active_mu_ inside (see Shard's lock ordering).
   StatusOr<std::shared_ptr<const VehicleForecaster>> LoadVerifiedLocked(
-      int64_t vehicle_id);
+      Shard& shard, int64_t vehicle_id);
 
   /// Breaker bookkeeping after a failed (non-NotFound) load. Caller holds
-  /// the mutex.
-  void RecordLoadFailureLocked(int64_t vehicle_id);
+  /// the shard mutex.
+  void RecordLoadFailureLocked(Shard& shard, int64_t vehicle_id);
 
-  /// Breakers currently open or half-open. Caller holds the mutex.
-  size_t OpenBreakersLocked() const;
+  /// Breakers currently open or half-open. Caller holds the shard mutex.
+  static size_t OpenBreakersLocked(const Shard& shard);
 
-  /// Assembles the stats struct. Caller holds the mutex.
-  ModelRegistryStats StatsLocked() const;
+  /// Assembles the stats struct. Caller holds ALL shard mutexes and
+  /// active_mu_.
+  ModelRegistryStats StatsAllLocked() const;
 
   Options options_;
+  /// Per-shard count / byte slices of the totals in options_.
+  size_t shard_capacity_ = 0;
+  size_t shard_max_bytes_ = 0;
+
+  /// Guards active_ and the registry-level counters below. unique_ptr so
+  /// the registry stays movable (mutexes are not).
+  std::unique_ptr<std::mutex> active_mu_ = std::make_unique<std::mutex>();
   ActiveGeneration active_;
+  uint64_t reloads_ = 0;
+  uint64_t promotes_observed_ = 0;
+  uint64_t rollbacks_observed_ = 0;
 
-  // LRU cache: most-recently-used at the front. unique_ptr so the registry
-  // stays movable (mutex members are not).
-  using LruEntry = std::pair<int64_t, std::shared_ptr<const VehicleForecaster>>;
-  std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
-  std::list<LruEntry> lru_;
-  std::unordered_map<int64_t, std::list<LruEntry>::iterator> index_;
-  std::unordered_map<int64_t, Breaker> breakers_;
-  /// Vehicles whose model failed manifest verification (or were flagged by
-  /// the scrubber). Cleared on a generation swap: the new fleet's bundles
-  /// get verified on their own merits.
-  std::unordered_set<int64_t> quarantined_;
-
-  /// Cumulative counters on the shared obs instruments (unique_ptr so the
-  /// registry stays movable; atomics are not). `breaker_open_vehicles` and
-  /// `generation` are derived from live state when stats are read.
-  struct Counters {
-    obs::Counter hits;
-    obs::Counter misses;
-    obs::Counter evictions;
-    obs::Counter load_failures;
-    obs::Counter breaker_opens;
-    obs::Counter breaker_short_circuits;
-    obs::Counter reloads;
-    obs::Counter quarantines;
-    obs::Counter quarantine_blocks;
-    obs::Counter promotes_observed;
-    obs::Counter rollbacks_observed;
-  };
-  std::unique_ptr<Counters> counters_ = std::make_unique<Counters>();
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 /// Stages one new generation: bundles are added into a hidden staging
@@ -346,7 +414,18 @@ class GenerationPublisher {
   GenerationPublisher& operator=(GenerationPublisher&& other) noexcept;
   ~GenerationPublisher();
 
+  /// Emit a compact binary twin (vehicle_<id>.cfcst) next to every text
+  /// bundle Add writes. Off by default; flip before the first Add.
+  void set_emit_compact(bool emit) { emit_compact_ = emit; }
+
   Status Add(int64_t vehicle_id, const VehicleForecaster& forecaster);
+
+  /// Writes pre-serialized bundle bytes for `vehicle_id` -- the fast path
+  /// for synthetic registries (serve-bench replicates one trained
+  /// template across 10^5..10^6 vehicle ids without re-serializing each).
+  /// `compact_bytes` empty means no compact twin.
+  Status AddPrebuilt(int64_t vehicle_id, std::string_view text_bytes,
+                     std::string_view compact_bytes = {});
 
   /// Completes the staged generation: meta, MANIFEST (size + CRC-32 of
   /// every staged file), rename to the final gen_NNNNNN name. Readers are
@@ -380,6 +459,7 @@ class GenerationPublisher {
   std::string root_;
   uint64_t number_ = 0;
   std::string staging_dir_;
+  bool emit_compact_ = false;
   bool finalized_ = false;
   bool committed_ = false;
   bool moved_from_ = false;

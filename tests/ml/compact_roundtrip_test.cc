@@ -1,0 +1,315 @@
+// Compact bundle codec: per-algorithm prediction parity against the
+// in-memory model (LR bitwise, float32-payload algorithms within the
+// documented 0.05 ceiling), header/scaler round-trips, and the hostile-
+// bytes error contract -- truncation and bit-rot must surface as clean
+// Status errors, never UB or a crash.
+
+#include "ml/compact.h"
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/forecaster.h"
+#include "ml/gradient_boosting.h"
+#include "ml/lasso.h"
+#include "ml/linear_regression.h"
+#include "ml/svr.h"
+
+namespace vup {
+namespace {
+
+void MakeProblem(Matrix* x, std::vector<double>* y, size_t n,
+                 uint64_t seed) {
+  Rng rng(seed);
+  *x = Matrix(n, 4);
+  y->resize(n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < 4; ++c) (*x)(r, c) = rng.Normal();
+    (*y)[r] = 1.0 + 2.0 * (*x)(r, 0) - (*x)(r, 1) +
+              std::sin(3.0 * (*x)(r, 2)) + 0.01 * rng.Normal();
+  }
+}
+
+CompactPipelineHeader MakeHeader(Algorithm algorithm, bool standardize) {
+  CompactPipelineHeader header;
+  header.algorithm = static_cast<int>(algorithm);
+  header.lookback_w = 14;
+  header.lag_engine_features = 4;
+  header.top_k = 7;
+  header.use_feature_selection = true;
+  header.standardize = standardize;
+  header.clamp_predictions = true;
+  header.include_target_day_context = true;
+  header.include_lag_context = true;
+  header.selected_lags = {1, 2, 7};
+  header.selected_columns = {0, 3, 5, 9};
+  return header;
+}
+
+/// Encodes `model`, decodes the bytes from a heap owner, and returns the
+/// decoded pipeline. The owner keeps the buffer alive past this call.
+DecodedCompactPipeline RoundTrip(const CompactPipelineHeader& header,
+                                 const StandardScaler* scaler,
+                                 const Regressor& model) {
+  StatusOr<std::string> encoded =
+      EncodeCompactPipeline(header, scaler, model);
+  EXPECT_TRUE(encoded.ok()) << encoded.status().ToString();
+  auto owner = std::make_shared<std::string>(std::move(encoded).value());
+  StatusOr<DecodedCompactPipeline> decoded = DecodeCompactPipeline(
+      std::span<const uint8_t>(
+          reinterpret_cast<const uint8_t*>(owner->data()), owner->size()),
+      owner);
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  return std::move(decoded).value();
+}
+
+/// Encode->decode, then compare predictions row by row. `max_abs_delta`
+/// of 0 demands bitwise equality.
+void ExpectParity(const Regressor& model, const Regressor& decoded,
+                  const Matrix& x, double max_abs_delta) {
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double want = model.PredictOne(x.Row(r)).value();
+    const double got = decoded.PredictOne(x.Row(r)).value();
+    if (max_abs_delta == 0.0) {
+      EXPECT_EQ(want, got) << model.name() << " row " << r;
+    } else {
+      EXPECT_NEAR(want, got, max_abs_delta) << model.name() << " row " << r;
+    }
+  }
+}
+
+TEST(CompactRoundtripTest, LinearRegressionIsBitwise) {
+  Matrix x;
+  std::vector<double> y;
+  MakeProblem(&x, &y, 80, 7);
+  LinearRegression model({.ridge = 0.5});
+  ASSERT_TRUE(model.Fit(x, y).ok());
+
+  DecodedCompactPipeline decoded = RoundTrip(
+      MakeHeader(Algorithm::kLinearRegression, false), nullptr, model);
+  ASSERT_NE(decoded.model, nullptr);
+  EXPECT_TRUE(decoded.model->fitted());
+  // The LR contract is bitwise: f64 coefficients through the same Dot.
+  ExpectParity(model, *decoded.model, x, /*max_abs_delta=*/0.0);
+}
+
+TEST(CompactRoundtripTest, LassoWithinTolerance) {
+  Matrix x;
+  std::vector<double> y;
+  MakeProblem(&x, &y, 80, 11);
+  Lasso model(Lasso::Options{.alpha = 0.05});
+  ASSERT_TRUE(model.Fit(x, y).ok());
+
+  DecodedCompactPipeline decoded =
+      RoundTrip(MakeHeader(Algorithm::kLasso, false), nullptr, model);
+  ASSERT_NE(decoded.model, nullptr);
+  ExpectParity(model, *decoded.model, x, /*max_abs_delta=*/0.05);
+}
+
+TEST(CompactRoundtripTest, SvrWithinTolerance) {
+  Matrix x;
+  std::vector<double> y;
+  MakeProblem(&x, &y, 60, 13);
+  Svr::Options o;
+  o.c = 20.0;
+  o.epsilon = 0.05;
+  Svr model(o);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+
+  DecodedCompactPipeline decoded =
+      RoundTrip(MakeHeader(Algorithm::kSvr, false), nullptr, model);
+  ASSERT_NE(decoded.model, nullptr);
+  ExpectParity(model, *decoded.model, x, /*max_abs_delta=*/0.05);
+}
+
+TEST(CompactRoundtripTest, GradientBoostingWithinTolerance) {
+  Matrix x;
+  std::vector<double> y;
+  MakeProblem(&x, &y, 80, 17);
+  GradientBoosting::Options o;
+  o.n_estimators = 40;
+  o.max_depth = 2;
+  GradientBoosting model(o);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+
+  DecodedCompactPipeline decoded = RoundTrip(
+      MakeHeader(Algorithm::kGradientBoosting, false), nullptr, model);
+  ASSERT_NE(decoded.model, nullptr);
+  ExpectParity(model, *decoded.model, x, /*max_abs_delta=*/0.05);
+}
+
+TEST(CompactRoundtripTest, HeaderAndScalerRoundTrip) {
+  Matrix x;
+  std::vector<double> y;
+  MakeProblem(&x, &y, 80, 19);
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(x).ok());
+  Matrix xs = scaler.Transform(x).value();
+  LinearRegression model;
+  ASSERT_TRUE(model.Fit(xs, y).ok());
+
+  const CompactPipelineHeader header =
+      MakeHeader(Algorithm::kLinearRegression, /*standardize=*/true);
+  DecodedCompactPipeline decoded = RoundTrip(header, &scaler, model);
+
+  EXPECT_EQ(decoded.header.algorithm, header.algorithm);
+  EXPECT_EQ(decoded.header.lookback_w, header.lookback_w);
+  EXPECT_EQ(decoded.header.lag_engine_features,
+            header.lag_engine_features);
+  EXPECT_EQ(decoded.header.top_k, header.top_k);
+  EXPECT_EQ(decoded.header.use_feature_selection,
+            header.use_feature_selection);
+  EXPECT_TRUE(decoded.header.standardize);
+  EXPECT_EQ(decoded.header.clamp_predictions, header.clamp_predictions);
+  EXPECT_EQ(decoded.header.include_target_day_context,
+            header.include_target_day_context);
+  EXPECT_EQ(decoded.header.include_lag_context,
+            header.include_lag_context);
+  EXPECT_EQ(decoded.header.selected_lags, header.selected_lags);
+  EXPECT_EQ(decoded.header.selected_columns, header.selected_columns);
+
+  // Scaler means/scales are f64 on the wire: bitwise round-trip, so the
+  // standardization step cannot contribute to the prediction delta.
+  ASSERT_TRUE(decoded.scaler.fitted());
+  ASSERT_EQ(decoded.scaler.means().size(), scaler.means().size());
+  for (size_t i = 0; i < scaler.means().size(); ++i) {
+    EXPECT_EQ(decoded.scaler.means()[i], scaler.means()[i]);
+    EXPECT_EQ(decoded.scaler.scales()[i], scaler.scales()[i]);
+  }
+}
+
+TEST(CompactRoundtripTest, DecodedModelRefusesFit) {
+  Matrix x;
+  std::vector<double> y;
+  MakeProblem(&x, &y, 40, 23);
+  LinearRegression model;
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  DecodedCompactPipeline decoded = RoundTrip(
+      MakeHeader(Algorithm::kLinearRegression, false), nullptr, model);
+  EXPECT_TRUE(decoded.model->Fit(x, y).IsFailedPrecondition());
+}
+
+// ---- Hostile-bytes contract --------------------------------------------
+
+std::string EncodeSample() {
+  Matrix x;
+  std::vector<double> y;
+  MakeProblem(&x, &y, 40, 29);
+  LinearRegression model;
+  EXPECT_TRUE(model.Fit(x, y).ok());
+  StatusOr<std::string> encoded = EncodeCompactPipeline(
+      MakeHeader(Algorithm::kLinearRegression, false), nullptr, model);
+  EXPECT_TRUE(encoded.ok());
+  return std::move(encoded).value();
+}
+
+Status DecodeBytes(std::string bytes) {
+  auto owner = std::make_shared<std::string>(std::move(bytes));
+  StatusOr<DecodedCompactPipeline> decoded = DecodeCompactPipeline(
+      std::span<const uint8_t>(
+          reinterpret_cast<const uint8_t*>(owner->data()), owner->size()),
+      owner);
+  if (!decoded.ok()) return decoded.status();
+  // Exercise the decoded model once so a structurally-wrong accept would
+  // still be caught by sanitizers.
+  std::vector<double> zeros(4, 0.0);
+  (void)decoded.value().model->PredictOne(zeros);
+  return Status::OK();
+}
+
+TEST(CompactHostileBytesTest, TooShortIsDataLoss) {
+  EXPECT_TRUE(DecodeBytes("").IsDataLoss());
+  EXPECT_TRUE(DecodeBytes("VUPC").IsDataLoss());
+  EXPECT_TRUE(DecodeBytes(std::string(35, '\0')).IsDataLoss());
+}
+
+TEST(CompactHostileBytesTest, WrongMagicIsInvalidArgument) {
+  std::string bytes = EncodeSample();
+  bytes[0] = 'X';
+  EXPECT_TRUE(DecodeBytes(bytes).IsInvalidArgument());
+}
+
+TEST(CompactHostileBytesTest, NewerVersionIsUnimplemented) {
+  std::string bytes = EncodeSample();
+  // Version is checked before the CRC: a reader that cannot understand
+  // the format must say so, not misreport it as corruption.
+  bytes[4] = 2;
+  bytes[5] = 0;
+  EXPECT_TRUE(DecodeBytes(bytes).IsUnimplemented());
+}
+
+TEST(CompactHostileBytesTest, EveryTruncationFailsCleanly) {
+  const std::string bytes = EncodeSample();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    Status status = DecodeBytes(bytes.substr(0, len));
+    ASSERT_FALSE(status.ok()) << "truncated to " << len << " decoded";
+    ASSERT_TRUE(status.IsDataLoss() || status.IsInvalidArgument() ||
+                status.IsUnimplemented())
+        << "truncated to " << len << ": " << status.ToString();
+  }
+}
+
+TEST(CompactHostileBytesTest, SingleBitFlipsNeverDecode) {
+  const std::string bytes = EncodeSample();
+  // Every bit of a small bundle: the CRC (verified before the structure
+  // walk) must catch each flip; flips inside magic/version fields may
+  // surface as their dedicated errors instead.
+  for (size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = bytes;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      Status status = DecodeBytes(mutated);
+      ASSERT_FALSE(status.ok())
+          << "flip byte " << byte << " bit " << bit << " decoded";
+      ASSERT_TRUE(status.IsDataLoss() || status.IsInvalidArgument() ||
+                  status.IsUnimplemented())
+          << "flip byte " << byte << " bit " << bit << ": "
+          << status.ToString();
+    }
+  }
+}
+
+TEST(CompactHostileBytesTest, SeededMutationFuzzNeverCrashes) {
+  const std::string bytes = EncodeSample();
+  Rng rng(31);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string mutated = bytes;
+    // 1-8 random byte mutations, then sometimes a random truncation or
+    // extension -- the shapes bit-rot and torn writes actually produce.
+    const int mutations = 1 + static_cast<int>(rng.UniformInt(0, 7));
+    for (int m = 0; m < mutations; ++m) {
+      const size_t at = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+      const char flip = static_cast<char>(1 + rng.UniformInt(0, 254));
+      mutated[at] = static_cast<char>(mutated[at] ^ flip);
+    }
+    if (rng.UniformInt(0, 3) == 0) {
+      mutated.resize(static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(mutated.size()))));
+    } else if (rng.UniformInt(0, 7) == 0) {
+      mutated += std::string(
+          static_cast<size_t>(rng.UniformInt(1, 64)), '\x5a');
+    }
+    if (mutated == bytes) continue;
+    Status status = DecodeBytes(mutated);
+    ASSERT_FALSE(status.ok()) << "iter " << iter << " decoded";
+    ASSERT_TRUE(status.IsDataLoss() || status.IsInvalidArgument() ||
+                status.IsUnimplemented())
+        << "iter " << iter << ": " << status.ToString();
+  }
+}
+
+TEST(CompactHostileBytesTest, TrailingBytesAreDataLoss) {
+  std::string bytes = EncodeSample();
+  bytes += '\0';
+  EXPECT_TRUE(DecodeBytes(bytes).IsDataLoss());
+}
+
+}  // namespace
+}  // namespace vup

@@ -720,7 +720,9 @@ TEST(CliTest, PublishWithClustersServesHierarchyFromServeBench) {
   EXPECT_NE(text.find("fallback: hierarchy=on"), std::string::npos);
   std::string json = ReadFile(dir + "/BENCH_serve_clusters.json");
   EXPECT_NE(json.find("\"hierarchy\": true"), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"mode\": \"replay\""), std::string::npos);
+  EXPECT_NE(json.find("\"shard_stats\": ["), std::string::npos);
 }
 
 TEST(CliTest, PublishGuardrailsValidateCanaryRollback) {
